@@ -1,0 +1,91 @@
+// Ablation — Buffered Search buffer size (the paper uses a fixed small
+// buffer; this sweep shows the trade-off: tiny buffers drain too often to
+// align the warp, huge buffers add staging traffic and per-element checks
+// for diminishing alignment gains).
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace gpuksel;
+using namespace gpuksel::bench;
+using kernels::BufferMode;
+using kernels::QueueKind;
+using kernels::SelectConfig;
+
+constexpr std::uint32_t kN = 1 << 15;
+constexpr std::uint32_t kK = 1 << 8;
+constexpr std::uint32_t kSizes[] = {2, 4, 8, 16, 32, 64};
+
+std::string name(QueueKind queue, std::uint32_t bsize) {
+  return std::string("ablation_buffer_size/") +
+         std::string(kernels::queue_kind_name(queue)) + "/b" +
+         std::to_string(bsize);
+}
+
+SelectConfig cfg_b(QueueKind queue, std::uint32_t bsize) {
+  SelectConfig cfg;
+  cfg.queue = queue;
+  cfg.aligned_merge = false;
+  cfg.buffer = BufferMode::kFullSorted;
+  cfg.buffer_size = bsize;
+  return cfg;
+}
+
+SelectConfig cfg_base(QueueKind queue) {
+  SelectConfig cfg;
+  cfg.queue = queue;
+  cfg.aligned_merge = false;
+  return cfg;
+}
+
+void report(const Scale& scale) {
+  auto& store = ResultStore::instance();
+  Table t("Ablation — buffer size (full+sorted, k=2^8, N=2^15; improvement "
+          "over unbuffered)",
+          {"queue", "b=2", "b=4", "b=8", "b=16", "b=32", "b=64"});
+  CsvWriter csv(scale.csv_path, {"queue", "bsize", "improvement"});
+  for (QueueKind queue :
+       {QueueKind::kInsertion, QueueKind::kHeap, QueueKind::kMerge}) {
+    const double base =
+        store
+            .get_or_run(name(queue, 0),
+                        [&] { return run_flat(scale, kN, kK, cfg_base(queue)); })
+            .seconds;
+    Table& row = t.begin_row().add(std::string(kernels::queue_kind_name(queue)));
+    for (const std::uint32_t b : kSizes) {
+      const double secs =
+          store
+              .get_or_run(name(queue, b),
+                          [&] { return run_flat(scale, kN, kK, cfg_b(queue, b)); })
+              .seconds;
+      row.add(base / secs, 2);
+      csv.write_row({std::string(kernels::queue_kind_name(queue)),
+                     std::to_string(b), std::to_string(base / secs)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "Expected: improvement rises then flattens; the default "
+               "bsize=16 sits near the knee.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench_main(
+      argc, argv, "ablation_buffer_size.csv",
+      [](const Scale& scale) {
+        for (QueueKind queue : {QueueKind::kInsertion, QueueKind::kHeap,
+                                QueueKind::kMerge}) {
+          register_run(name(queue, 0),
+                       [=] { return run_flat(scale, kN, kK, cfg_base(queue)); });
+          for (const std::uint32_t b : kSizes) {
+            register_run(name(queue, b), [=] {
+              return run_flat(scale, kN, kK, cfg_b(queue, b));
+            });
+          }
+        }
+      },
+      report);
+}

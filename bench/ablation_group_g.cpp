@@ -1,0 +1,74 @@
+// Ablation — Hierarchical Partition group size G, including the memory
+// overhead the paper quotes ("G = 4 ... only costs N/3 extra memory for each
+// query but its performance improvement is the best in most cases").
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "core/kernels/hp_kernels.hpp"
+
+namespace {
+
+using namespace gpuksel;
+using namespace gpuksel::bench;
+using kernels::QueueKind;
+using kernels::SelectConfig;
+
+constexpr std::uint32_t kN = 1 << 15;
+constexpr std::uint32_t kK = 1 << 8;
+constexpr std::uint32_t kGroups[] = {2, 3, 4, 6, 8, 12, 16};
+
+std::string name(std::uint32_t g) {
+  return "ablation_group_g/g" + std::to_string(g);
+}
+
+SelectConfig cfg() {
+  SelectConfig c;
+  c.queue = QueueKind::kMerge;
+  c.aligned_merge = true;
+  return c;
+}
+
+void report(const Scale& scale) {
+  auto& store = ResultStore::instance();
+  const double base =
+      store.get_or_run("ablation_group_g/flat",
+                       [&] { return run_flat(scale, kN, kK, cfg()); })
+          .seconds;
+  Table t("Ablation — HP group size G (merge aligned, k=2^8, N=2^15)",
+          {"G", "build+search (s)", "improvement", "extra mem (xN)"});
+  CsvWriter csv(scale.csv_path,
+                {"G", "seconds", "improvement", "extra_mem_fraction"});
+  for (const std::uint32_t g : kGroups) {
+    const double secs =
+        store.get_or_run(name(g), [&] { return run_hp(scale, kN, kK, cfg(), g); })
+            .seconds;
+    const double extra =
+        static_cast<double>(kernels::hp_extra_elements(kN, g, kK)) / kN;
+    t.begin_row()
+        .add_int(g)
+        .add(format_seconds(secs))
+        .add(base / secs, 2)
+        .add(extra, 3);
+    csv.write_row({std::to_string(g), std::to_string(secs),
+                   std::to_string(base / secs), std::to_string(extra)});
+  }
+  t.print(std::cout);
+  std::cout << "Paper: small G costs more memory (G=2 -> ~1.0xN); larger G "
+               "cheapens memory but the improvement diminishes; G=4 (~N/3) "
+               "is the default.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench_main(
+      argc, argv, "ablation_group_g.csv",
+      [](const Scale& scale) {
+        register_run("ablation_group_g/flat",
+                     [=] { return run_flat(scale, kN, kK, cfg()); });
+        for (const std::uint32_t g : kGroups) {
+          register_run(name(g), [=] { return run_hp(scale, kN, kK, cfg(), g); });
+        }
+      },
+      report);
+}

@@ -1,0 +1,93 @@
+// Ablation — distance-matrix layout (coalescing).
+//
+// Thread-per-query kernels scan element i of all 32 queries in lockstep:
+// with the reference-major layout those 32 addresses are consecutive (one
+// 128-byte transaction); query-major strides them N floats apart (32
+// transactions).  This bench isolates the coalescing model by running the
+// same selection in both layouts and reporting transactions and modeled
+// time.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace gpuksel;
+using namespace gpuksel::bench;
+using kernels::MatrixLayout;
+using kernels::QueueKind;
+using kernels::SelectConfig;
+
+constexpr std::uint32_t kN = 1 << 14;
+constexpr std::uint32_t kK = 1 << 7;
+
+std::string name(QueueKind queue, MatrixLayout layout) {
+  return std::string("ablation_layout/") +
+         std::string(kernels::queue_kind_name(queue)) + "/" +
+         (layout == MatrixLayout::kReferenceMajor ? "ref_major"
+                                                  : "query_major");
+}
+
+RunResult run(const Scale& scale, QueueKind queue, MatrixLayout layout) {
+  SelectConfig cfg;
+  cfg.queue = queue;
+  cfg.layout = layout;
+  // NOTE: the matrix content differs between layouts here (fresh uniform
+  // draw), which is fine — the bench compares costs, and selection cost on
+  // uniform data is distribution-stable.
+  return run_flat(scale, kN, kK, cfg);
+}
+
+void report(const Scale& scale) {
+  auto& store = ResultStore::instance();
+  Table t("Ablation — matrix layout (k=2^7, N=2^14, modeled)",
+          {"queue", "layout", "mem tx", "tx/request", "seconds", "slowdown"});
+  CsvWriter csv(scale.csv_path,
+                {"queue", "layout", "mem_tx", "tx_per_request", "seconds"});
+  for (QueueKind queue :
+       {QueueKind::kInsertion, QueueKind::kHeap, QueueKind::kMerge}) {
+    double ref_secs = 0;
+    for (MatrixLayout layout :
+         {MatrixLayout::kReferenceMajor, MatrixLayout::kQueryMajor}) {
+      const auto r = store.get_or_run(
+          name(queue, layout), [&] { return run(scale, queue, layout); });
+      if (layout == MatrixLayout::kReferenceMajor) ref_secs = r.seconds;
+      const char* lname = layout == MatrixLayout::kReferenceMajor
+                              ? "ref-major"
+                              : "query-major";
+      t.begin_row()
+          .add(std::string(kernels::queue_kind_name(queue)))
+          .add(lname)
+          .add_int(static_cast<long long>(r.metrics.global_tx()))
+          .add(r.metrics.transactions_per_request(), 2)
+          .add(format_seconds(r.seconds))
+          .add(r.seconds / ref_secs, 2);
+      csv.write_row({std::string(kernels::queue_kind_name(queue)), lname,
+                     std::to_string(r.metrics.global_tx()),
+                     std::to_string(r.metrics.transactions_per_request()),
+                     std::to_string(r.seconds)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "Expected: query-major scans generate ~32x the scan "
+               "transactions and push the kernels further into the memory "
+               "roofline.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench_main(
+      argc, argv, "ablation_layout.csv",
+      [](const Scale& scale) {
+        for (QueueKind queue : {QueueKind::kInsertion, QueueKind::kHeap,
+                                QueueKind::kMerge}) {
+          for (MatrixLayout layout :
+               {MatrixLayout::kReferenceMajor, MatrixLayout::kQueryMajor}) {
+            register_run(name(queue, layout),
+                         [=] { return run(scale, queue, layout); });
+          }
+        }
+      },
+      report);
+}

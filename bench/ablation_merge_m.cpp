@@ -1,0 +1,72 @@
+// Ablation — Merge Queue first-level size m (the paper fixes m = 8 "since we
+// find that experimentally this configuration can maximize its performance").
+// Sweeps m for the aligned merge queue at N = 2^15 over several k.
+//
+// Expected shape: tiny m triggers merges too often (flat insert is too small
+// to absorb bursts); huge m degenerates toward an insertion queue (O(m)
+// shifts per insert); the sweet spot sits in the middle.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace gpuksel;
+using namespace gpuksel::bench;
+using kernels::QueueKind;
+using kernels::SelectConfig;
+
+constexpr std::uint32_t kN = 1 << 15;
+constexpr std::uint32_t kMs[] = {1, 2, 4, 8, 16, 32};
+
+std::string name(std::uint32_t m, std::uint32_t k) {
+  return "ablation_merge_m/m" + std::to_string(m) + "/k" + std::to_string(k);
+}
+
+SelectConfig cfg_m(std::uint32_t m) {
+  SelectConfig cfg;
+  cfg.queue = QueueKind::kMerge;
+  cfg.aligned_merge = true;
+  cfg.merge_m = m;
+  return cfg;
+}
+
+void report(const Scale& scale) {
+  auto& store = ResultStore::instance();
+  Table t("Ablation — merge queue level size m (aligned, N=2^15, modeled s)",
+          {"log2(k)", "m=1", "m=2", "m=4", "m=8", "m=16", "m=32"});
+  CsvWriter csv(scale.csv_path, {"log2k", "m", "seconds"});
+  for (std::uint32_t logk = 6; logk <= 10; logk += 2) {
+    const std::uint32_t k = 1u << logk;
+    Table& row = t.begin_row().add_int(logk);
+    for (const std::uint32_t m : kMs) {
+      const double secs =
+          store
+              .get_or_run(name(m, k),
+                          [&] { return run_flat(scale, kN, k, cfg_m(m)); })
+              .seconds;
+      row.add(format_seconds(secs));
+      csv.write_row({std::to_string(logk), std::to_string(m),
+                     std::to_string(secs)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "Paper: m = 8 maximises merge-queue performance.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench_main(
+      argc, argv, "ablation_merge_m.csv",
+      [](const Scale& scale) {
+        for (std::uint32_t logk = 6; logk <= 10; logk += 2) {
+          const std::uint32_t k = 1u << logk;
+          for (const std::uint32_t m : kMs) {
+            register_run(name(m, k),
+                         [=] { return run_flat(scale, kN, k, cfg_m(m)); });
+          }
+        }
+      },
+      report);
+}

@@ -1,0 +1,165 @@
+// Shared harness for the figure/table benches.
+//
+// Every bench binary follows the same pattern:
+//  1. parse workload flags (--warps=, --paper-scale, --csv=...) with CliFlags;
+//  2. register one google-benchmark per configuration, reporting the *modeled
+//     GPU seconds* (cost model x simulator metrics, scaled to the paper's
+//     Q = 2^13 queries) as manual time, with SIMT efficiency and memory
+//     counters attached;
+//  3. after RunSpecifiedBenchmarks(), print the paper-shaped table with the
+//     published numbers alongside, and optionally dump a CSV.
+//
+// Simulations are deterministic, so each configuration runs exactly once and
+// its result is memoized for both the benchmark report and the tables.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/kernels/hp_kernels.hpp"
+#include "core/kernels/select_kernels.hpp"
+#include "simt/cost_model.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace gpuksel::bench {
+
+/// Number of queries the paper runs (Q = 2^13); modeled times are scaled to
+/// this count from the sampled warps actually simulated.
+inline constexpr std::uint32_t kPaperQueries = 8192;
+
+/// Workload scale shared by all benches.
+struct Scale {
+  std::uint32_t warps = 2;  ///< simulated warps (32 queries each)
+  std::string csv_path;     ///< optional CSV dump
+
+  [[nodiscard]] std::uint32_t queries() const noexcept {
+    return warps * simt::kWarpSize;
+  }
+  [[nodiscard]] double factor() const noexcept {
+    return static_cast<double>(kPaperQueries) / queries();
+  }
+
+  static Scale from_flags(const CliFlags& flags, const char* default_csv) {
+    Scale s;
+    s.warps = static_cast<std::uint32_t>(flags.get_int("warps", 2));
+    if (flags.get_bool("paper_scale", false)) {
+      s.warps = kPaperQueries / simt::kWarpSize;
+    }
+    s.csv_path = flags.get("csv", default_csv);
+    return s;
+  }
+};
+
+/// One simulated configuration's outcome.
+struct RunResult {
+  double seconds = 0.0;  ///< modeled GPU seconds at paper scale
+  simt::KernelMetrics metrics;
+};
+
+/// Memoizing store: each named configuration simulates once.
+class ResultStore {
+ public:
+  RunResult get_or_run(const std::string& name,
+                       const std::function<RunResult()>& fn) {
+    const auto it = results_.find(name);
+    if (it != results_.end()) return it->second;
+    const RunResult r = fn();
+    results_.emplace(name, r);
+    return r;
+  }
+
+  static ResultStore& instance() {
+    static ResultStore store;
+    return store;
+  }
+
+ private:
+  std::map<std::string, RunResult> results_;
+};
+
+/// Registers a google-benchmark that reports the memoized modeled time.
+inline void register_run(const std::string& name,
+                         std::function<RunResult()> fn) {
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [name, fn = std::move(fn)](benchmark::State& state) {
+        const RunResult r = ResultStore::instance().get_or_run(name, fn);
+        for (auto _ : state) {
+          state.SetIterationTime(r.seconds);
+        }
+        state.counters["simt_eff"] = r.metrics.simt_efficiency();
+        state.counters["instr"] =
+            static_cast<double>(r.metrics.instructions);
+        state.counters["mem_tx"] = static_cast<double>(r.metrics.global_tx());
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+/// Uniform random reference-major distance matrix (the paper's synthetic
+/// distances: k-selection is oblivious to how they were produced, §IV).
+inline std::vector<float> matrix_ref_major(std::uint32_t q, std::uint32_t n,
+                                           std::uint64_t seed) {
+  return uniform_floats(std::size_t{q} * n, seed);
+}
+
+/// Query-major variant for the warp-per-query baselines.
+inline std::vector<float> matrix_query_major(std::uint32_t q, std::uint32_t n,
+                                             std::uint64_t seed) {
+  return uniform_floats(std::size_t{q} * n, seed ^ 0x9e3779b97f4a7c15ULL);
+}
+
+/// Runs the flat-scan kernel and converts to paper-scale modeled seconds.
+inline RunResult run_flat(const Scale& scale, std::uint32_t n, std::uint32_t k,
+                          const kernels::SelectConfig& cfg,
+                          std::uint64_t seed = 1) {
+  const auto matrix = matrix_ref_major(scale.queries(), n, seed);
+  simt::Device dev;
+  const auto out =
+      kernels::flat_select(dev, matrix, scale.queries(), n, k, cfg);
+  const auto cm = simt::c2075_model();
+  return RunResult{cm.kernel_seconds_scaled(out.metrics, scale.factor()),
+                   out.metrics};
+}
+
+/// Runs build + top-down search; seconds include construction (as the
+/// paper's figures do).
+inline RunResult run_hp(const Scale& scale, std::uint32_t n, std::uint32_t k,
+                        const kernels::SelectConfig& cfg, std::uint32_t group,
+                        std::uint64_t seed = 1) {
+  const auto matrix = matrix_ref_major(scale.queries(), n, seed);
+  simt::Device dev;
+  const auto out =
+      kernels::hp_select(dev, matrix, scale.queries(), n, k, cfg, group);
+  const auto cm = simt::c2075_model();
+  const double secs =
+      cm.kernel_seconds_scaled(out.build_metrics, scale.factor()) +
+      cm.kernel_seconds_scaled(out.metrics, scale.factor());
+  return RunResult{secs, out.metrics + out.build_metrics};
+}
+
+/// Standard bench main body: parse flags, call `setup(scale)` to register
+/// benchmarks, run them, then call `report(scale)` for the paper tables.
+inline int bench_main(int argc, char** argv, const char* default_csv,
+                      const std::function<void(const Scale&)>& setup,
+                      const std::function<void(const Scale&)>& report) {
+  CliFlags flags(argc, argv);
+  const Scale scale = Scale::from_flags(flags, default_csv);
+  setup(scale);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report(scale);
+  return 0;
+}
+
+}  // namespace gpuksel::bench

@@ -1,0 +1,106 @@
+// Fig. 6 — Performance improvement of Buffered Search vs k (N = 2^15).
+//
+// For each queue type, the improvement of three buffering variants over the
+// plain (unbuffered) kernel:
+//   buffer      — per-thread buffer drained when *that thread's* buffer fills
+//   full        — + Intra-Warp Communication (shared flag)
+//   full+sorted — + Local Sort of the buffer before draining
+//
+// Paper shape (Fig. 6a-c): full >= buffer; sorting helps the insertion queue
+// most; peak improvements ~5.4x (insertion), ~1.3x (heap), ~1.9x (merge),
+// peaking near k = 2^8 and declining at k = 2^10.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace gpuksel;
+using namespace gpuksel::bench;
+using kernels::BufferMode;
+using kernels::QueueKind;
+using kernels::SelectConfig;
+
+constexpr std::uint32_t kN = 1 << 15;
+
+SelectConfig make_cfg(QueueKind queue, BufferMode mode) {
+  SelectConfig cfg;
+  cfg.queue = queue;
+  cfg.buffer = mode;
+  // Fig. 6 studies buffering on the *unoptimized* queues: the merge queue
+  // runs unaligned here (Table I lists "Merge Queue aligned" separately).
+  cfg.aligned_merge = false;
+  return cfg;
+}
+
+std::string run_name(QueueKind queue, BufferMode mode, std::uint32_t k) {
+  return std::string("fig6/") + std::string(kernels::queue_kind_name(queue)) +
+         "/" + std::string(kernels::buffer_mode_name(mode)) + "/k" +
+         std::to_string(k);
+}
+
+RunResult run(const Scale& scale, QueueKind queue, BufferMode mode,
+              std::uint32_t k) {
+  return ResultStore::instance().get_or_run(run_name(queue, mode, k), [&] {
+    return run_flat(scale, kN, k, make_cfg(queue, mode));
+  });
+}
+
+void report(const Scale& scale) {
+  const QueueKind queues[] = {QueueKind::kInsertion, QueueKind::kHeap,
+                              QueueKind::kMerge};
+  // Paper peak improvements for the "full+sorted"-style best case.
+  const char* paper_peaks[] = {"5.39x @ k=2^8", "1.28x @ k=2^8",
+                               "1.85x @ k=2^8"};
+  CsvWriter csv(scale.csv_path,
+                {"queue", "log2k", "buffer", "full", "full_sorted"});
+  for (std::size_t qi = 0; qi < 3; ++qi) {
+    const QueueKind queue = queues[qi];
+    Table t(std::string("Fig 6") + static_cast<char>('a' + qi) + " — " +
+                std::string(kernels::queue_kind_name(queue)) +
+                " queue: buffered-search improvement (N=2^15, modeled)",
+            {"log2(k)", "base (s)", "buffer", "full", "full+sorted"});
+    for (std::uint32_t logk = 5; logk <= 10; ++logk) {
+      const std::uint32_t k = 1u << logk;
+      const double base = run(scale, queue, BufferMode::kNone, k).seconds;
+      const double b = run(scale, queue, BufferMode::kBufferOnly, k).seconds;
+      const double f = run(scale, queue, BufferMode::kFull, k).seconds;
+      const double fs = run(scale, queue, BufferMode::kFullSorted, k).seconds;
+      t.begin_row()
+          .add_int(logk)
+          .add(format_seconds(base))
+          .add(base / b, 2)
+          .add(base / f, 2)
+          .add(base / fs, 2);
+      csv.write_row({std::string(kernels::queue_kind_name(queue)),
+                     std::to_string(logk), std::to_string(base / b),
+                     std::to_string(base / f), std::to_string(base / fs)});
+    }
+    t.print(std::cout);
+    std::cout << "Paper peak: " << paper_peaks[qi]
+              << "; full >= buffer, sorted best on insertion queue.\n\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench_main(
+      argc, argv, "fig6.csv",
+      [](const Scale& scale) {
+        for (QueueKind queue : {QueueKind::kInsertion, QueueKind::kHeap,
+                                QueueKind::kMerge}) {
+          for (BufferMode mode :
+               {BufferMode::kNone, BufferMode::kBufferOnly, BufferMode::kFull,
+                BufferMode::kFullSorted}) {
+            for (std::uint32_t logk = 5; logk <= 10; ++logk) {
+              const std::uint32_t k = 1u << logk;
+              register_run(run_name(queue, mode, k), [=] {
+                return run_flat(scale, kN, k, make_cfg(queue, mode));
+              });
+            }
+          }
+        }
+      },
+      report);
+}

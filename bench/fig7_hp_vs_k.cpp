@@ -1,0 +1,100 @@
+// Fig. 7 — Hierarchical Partition improvement vs k (N = 2^15, G in
+// {2,4,6,8}).  Improvement = plain flat-scan time / (HP build + search) time,
+// per queue type.  Construction time is included, as in the paper.
+//
+// Paper shape: improvement decreases as k grows (more candidates survive each
+// level); peaks ~7.4x (insertion), ~3.4x (heap), ~5.7x (merge); G = 4 is the
+// best overall trade-off.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace gpuksel;
+using namespace gpuksel::bench;
+using kernels::QueueKind;
+using kernels::SelectConfig;
+
+constexpr std::uint32_t kN = 1 << 15;
+constexpr std::uint32_t kGroups[] = {2, 4, 6, 8};
+
+SelectConfig make_cfg(QueueKind queue) {
+  SelectConfig cfg;
+  cfg.queue = queue;
+  cfg.aligned_merge = false;  // plain queues, as in Fig. 6/7/8
+  return cfg;
+}
+
+std::string flat_name(QueueKind queue, std::uint32_t k) {
+  return std::string("fig7/") + std::string(kernels::queue_kind_name(queue)) +
+         "/flat/k" + std::to_string(k);
+}
+std::string hp_name(QueueKind queue, std::uint32_t g, std::uint32_t k) {
+  return std::string("fig7/") + std::string(kernels::queue_kind_name(queue)) +
+         "/hp_g" + std::to_string(g) + "/k" + std::to_string(k);
+}
+
+void report(const Scale& scale) {
+  auto& store = ResultStore::instance();
+  const QueueKind queues[] = {QueueKind::kInsertion, QueueKind::kHeap,
+                              QueueKind::kMerge};
+  const char* paper_peaks[] = {"7.4x", "3.4x", "5.69x"};
+  CsvWriter csv(scale.csv_path, {"queue", "log2k", "G", "improvement"});
+  for (std::size_t qi = 0; qi < 3; ++qi) {
+    const QueueKind queue = queues[qi];
+    Table t(std::string("Fig 7") + static_cast<char>('a' + qi) + " — " +
+                std::string(kernels::queue_kind_name(queue)) +
+                " queue: HP improvement vs k (N=2^15, modeled)",
+            {"log2(k)", "base (s)", "G=2", "G=4", "G=6", "G=8"});
+    for (std::uint32_t logk = 5; logk <= 10; ++logk) {
+      const std::uint32_t k = 1u << logk;
+      const double base =
+          store
+              .get_or_run(flat_name(queue, k),
+                          [&] { return run_flat(scale, kN, k, make_cfg(queue)); })
+              .seconds;
+      Table& row = t.begin_row().add_int(logk).add(format_seconds(base));
+      for (const std::uint32_t g : kGroups) {
+        const double hp =
+            store
+                .get_or_run(hp_name(queue, g, k),
+                            [&] {
+                              return run_hp(scale, kN, k, make_cfg(queue), g);
+                            })
+                .seconds;
+        row.add(base / hp, 2);
+        csv.write_row({std::string(kernels::queue_kind_name(queue)),
+                       std::to_string(logk), std::to_string(g),
+                       std::to_string(base / hp)});
+      }
+    }
+    t.print(std::cout);
+    std::cout << "Paper peak improvement (N=2^15): " << paper_peaks[qi]
+              << "; improvement declines as k grows; G=4 near-best.\n\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench_main(
+      argc, argv, "fig7.csv",
+      [](const Scale& scale) {
+        for (QueueKind queue : {QueueKind::kInsertion, QueueKind::kHeap,
+                                QueueKind::kMerge}) {
+          for (std::uint32_t logk = 5; logk <= 10; ++logk) {
+            const std::uint32_t k = 1u << logk;
+            register_run(flat_name(queue, k), [=] {
+              return run_flat(scale, kN, k, make_cfg(queue));
+            });
+            for (const std::uint32_t g : kGroups) {
+              register_run(hp_name(queue, g, k), [=] {
+                return run_hp(scale, kN, k, make_cfg(queue), g);
+              });
+            }
+          }
+        }
+      },
+      report);
+}

@@ -1,0 +1,98 @@
+// Fig. 8 — Hierarchical Partition improvement vs N (k = 2^8, G in
+// {2,4,6,8}), construction time included.
+//
+// Paper shape: improvement *increases* with N (more elements pruned); peaks
+// ~8.94x (insertion), ~3.0x (heap), ~6.23x (merge) at N = 2^16; G = 4 best.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace gpuksel;
+using namespace gpuksel::bench;
+using kernels::QueueKind;
+using kernels::SelectConfig;
+
+constexpr std::uint32_t kK = 1 << 8;
+constexpr std::uint32_t kGroups[] = {2, 4, 6, 8};
+
+SelectConfig make_cfg(QueueKind queue) {
+  SelectConfig cfg;
+  cfg.queue = queue;
+  cfg.aligned_merge = false;
+  return cfg;
+}
+
+std::string flat_name(QueueKind queue, std::uint32_t n) {
+  return std::string("fig8/") + std::string(kernels::queue_kind_name(queue)) +
+         "/flat/n" + std::to_string(n);
+}
+std::string hp_name(QueueKind queue, std::uint32_t g, std::uint32_t n) {
+  return std::string("fig8/") + std::string(kernels::queue_kind_name(queue)) +
+         "/hp_g" + std::to_string(g) + "/n" + std::to_string(n);
+}
+
+void report(const Scale& scale) {
+  auto& store = ResultStore::instance();
+  const QueueKind queues[] = {QueueKind::kInsertion, QueueKind::kHeap,
+                              QueueKind::kMerge};
+  const char* paper_peaks[] = {"8.94x", "3.0x", "6.23x"};
+  CsvWriter csv(scale.csv_path, {"queue", "log2n", "G", "improvement"});
+  for (std::size_t qi = 0; qi < 3; ++qi) {
+    const QueueKind queue = queues[qi];
+    Table t(std::string("Fig 8") + static_cast<char>('a' + qi) + " — " +
+                std::string(kernels::queue_kind_name(queue)) +
+                " queue: HP improvement vs N (k=2^8, modeled)",
+            {"log2(N)", "base (s)", "G=2", "G=4", "G=6", "G=8"});
+    for (std::uint32_t logn = 13; logn <= 16; ++logn) {
+      const std::uint32_t n = 1u << logn;
+      const double base =
+          store
+              .get_or_run(flat_name(queue, n),
+                          [&] { return run_flat(scale, n, kK, make_cfg(queue)); })
+              .seconds;
+      Table& row = t.begin_row().add_int(logn).add(format_seconds(base));
+      for (const std::uint32_t g : kGroups) {
+        const double hp =
+            store
+                .get_or_run(hp_name(queue, g, n),
+                            [&] {
+                              return run_hp(scale, n, kK, make_cfg(queue), g);
+                            })
+                .seconds;
+        row.add(base / hp, 2);
+        csv.write_row({std::string(kernels::queue_kind_name(queue)),
+                       std::to_string(logn), std::to_string(g),
+                       std::to_string(base / hp)});
+      }
+    }
+    t.print(std::cout);
+    std::cout << "Paper peak improvement (k=2^8): " << paper_peaks[qi]
+              << "; improvement grows with N; G=4 near-best.\n\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench_main(
+      argc, argv, "fig8.csv",
+      [](const Scale& scale) {
+        for (QueueKind queue : {QueueKind::kInsertion, QueueKind::kHeap,
+                                QueueKind::kMerge}) {
+          for (std::uint32_t logn = 13; logn <= 16; ++logn) {
+            const std::uint32_t n = 1u << logn;
+            register_run(flat_name(queue, n), [=] {
+              return run_flat(scale, n, kK, make_cfg(queue));
+            });
+            for (const std::uint32_t g : kGroups) {
+              register_run(hp_name(queue, g, n), [=] {
+                return run_hp(scale, n, kK, make_cfg(queue), g);
+              });
+            }
+          }
+        }
+      },
+      report);
+}

@@ -1,0 +1,130 @@
+// Fig. 9 — Overall improvement when Buffered Search and Hierarchical
+// Partition are applied together ("buf+hp", buffer full+sorted bsize=16,
+// G=4) over the plain flat-scan kernels.
+//
+//  (a) k in [2^5, 2^10] at N = 2^15;
+//  (b) N in [2^13, 2^16] at k = 2^8.
+//
+// Paper shape: insertion queue peaks at 14.83x (k=2^8) and 16.89x (N=2^16);
+// heap 1.25-3.57x; merge 3.25-7.49x.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace gpuksel;
+using namespace gpuksel::bench;
+using kernels::BufferMode;
+using kernels::QueueKind;
+using kernels::SelectConfig;
+
+constexpr std::uint32_t kG = 4;
+
+SelectConfig base_cfg(QueueKind queue) {
+  SelectConfig cfg;
+  cfg.queue = queue;
+  cfg.aligned_merge = false;
+  return cfg;
+}
+
+SelectConfig opt_cfg(QueueKind queue) {
+  SelectConfig cfg = base_cfg(queue);
+  cfg.buffer = BufferMode::kFullSorted;
+  return cfg;
+}
+
+std::string name(QueueKind queue, const char* variant, std::uint32_t n,
+                 std::uint32_t k) {
+  return std::string("fig9/") + std::string(kernels::queue_kind_name(queue)) +
+         "/" + variant + "/n" + std::to_string(n) + "/k" + std::to_string(k);
+}
+
+double improvement(const Scale& scale, QueueKind queue, std::uint32_t n,
+                   std::uint32_t k) {
+  auto& store = ResultStore::instance();
+  const double base =
+      store
+          .get_or_run(name(queue, "base", n, k),
+                      [&] { return run_flat(scale, n, k, base_cfg(queue)); })
+          .seconds;
+  const double opt =
+      store
+          .get_or_run(name(queue, "bufhp", n, k),
+                      [&] { return run_hp(scale, n, k, opt_cfg(queue), kG); })
+          .seconds;
+  return base / opt;
+}
+
+void report(const Scale& scale) {
+  const QueueKind queues[] = {QueueKind::kInsertion, QueueKind::kHeap,
+                              QueueKind::kMerge};
+  CsvWriter csv(scale.csv_path,
+                {"panel", "x", "insertion", "heap", "merge"});
+
+  Table ta("Fig 9a — overall improvement (buf+hp) vs k (N=2^15, modeled)",
+           {"log2(k)", "insertion", "heap", "merge"});
+  for (std::uint32_t logk = 5; logk <= 10; ++logk) {
+    const std::uint32_t k = 1u << logk;
+    Table& row = ta.begin_row().add_int(logk);
+    std::vector<std::string> cells{"a", std::to_string(logk)};
+    for (QueueKind queue : queues) {
+      const double imp = improvement(scale, queue, 1u << 15, k);
+      row.add(imp, 2);
+      cells.push_back(std::to_string(imp));
+    }
+    csv.write_row(cells);
+  }
+  ta.print(std::cout);
+  std::cout << "Paper: insertion peaks 14.83x @ k=2^8; heap 1.25-3.57x; "
+               "merge 3.25-7.49x.\n\n";
+
+  Table tb("Fig 9b — overall improvement (buf+hp) vs N (k=2^8, modeled)",
+           {"log2(N)", "insertion", "heap", "merge"});
+  for (std::uint32_t logn = 13; logn <= 16; ++logn) {
+    const std::uint32_t n = 1u << logn;
+    Table& row = tb.begin_row().add_int(logn);
+    std::vector<std::string> cells{"b", std::to_string(logn)};
+    for (QueueKind queue : queues) {
+      const double imp = improvement(scale, queue, n, 1u << 8);
+      row.add(imp, 2);
+      cells.push_back(std::to_string(imp));
+    }
+    csv.write_row(cells);
+  }
+  tb.print(std::cout);
+  std::cout << "Paper: insertion peaks 16.89x @ N=2^16; improvement grows "
+               "with N for all queues.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench_main(
+      argc, argv, "fig9.csv",
+      [](const Scale& scale) {
+        for (QueueKind queue : {QueueKind::kInsertion, QueueKind::kHeap,
+                                QueueKind::kMerge}) {
+          for (std::uint32_t logk = 5; logk <= 10; ++logk) {
+            const std::uint32_t k = 1u << logk;
+            register_run(name(queue, "base", 1u << 15, k), [=] {
+              return run_flat(scale, 1u << 15, k, base_cfg(queue));
+            });
+            register_run(name(queue, "bufhp", 1u << 15, k), [=] {
+              return run_hp(scale, 1u << 15, k, opt_cfg(queue), kG);
+            });
+          }
+          for (std::uint32_t logn = 13; logn <= 16; ++logn) {
+            const std::uint32_t n = 1u << logn;
+            if (n == (1u << 15)) continue;  // covered by the k sweep (k=2^8)
+            register_run(name(queue, "base", n, 1u << 8), [=] {
+              return run_flat(scale, n, 1u << 8, base_cfg(queue));
+            });
+            register_run(name(queue, "bufhp", n, 1u << 8), [=] {
+              return run_hp(scale, n, 1u << 8, opt_cfg(queue), kG);
+            });
+          }
+        }
+      },
+      report);
+}

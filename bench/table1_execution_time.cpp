@@ -1,0 +1,270 @@
+// Table I — execution time (seconds) of k-selection algorithms.
+//
+// Reproduces every row of the paper's Table I:
+//   * Distance Calculation on GPU (tiled distance kernel, modeled seconds)
+//   * Data Copy (PCIe model over the actual matrix bytes)
+//   * CPU 1 / CPU 16 (std-library heap + OpenMP, measured wall-clock scaled
+//     to Q = 2^13 queries; this host has 1 core, so CPU 16 is thread-limited)
+//   * GPU-based original: Insertion / Heap / Merge (unaligned) / Merge aligned
+//   * GPU-based optimized: each queue + buf+hp, Merge aligned+buf+hp
+//   * State of the art: Truncated Bitonic Sort, Quick Multi-Select
+// over the paper's two sweeps: k in [2^5, 2^10] at N = 2^15 and
+// N in [2^13, 2^16] at k = 2^8.  The published numbers are printed in a
+// second table for side-by-side comparison.
+#include <omp.h>
+
+#include <cmath>
+#include <iostream>
+#include <optional>
+
+#include "baselines/cpu_select.hpp"
+#include "baselines/qms.hpp"
+#include "baselines/tbs.hpp"
+#include "bench/bench_common.hpp"
+#include "core/kernels/pipeline.hpp"
+#include "knn/dataset.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace gpuksel;
+using namespace gpuksel::bench;
+using kernels::BufferMode;
+using kernels::QueueKind;
+using kernels::SelectConfig;
+
+constexpr std::uint32_t kDim = 128;
+
+struct Column {
+  std::uint32_t n;
+  std::uint32_t k;
+  std::string label;
+};
+
+std::vector<Column> columns() {
+  std::vector<Column> cols;
+  for (std::uint32_t logk = 5; logk <= 10; ++logk) {
+    cols.push_back({1u << 15, 1u << logk, "k=2^" + std::to_string(logk)});
+  }
+  for (std::uint32_t logn = 13; logn <= 16; ++logn) {
+    cols.push_back({1u << logn, 1u << 8, "N=2^" + std::to_string(logn)});
+  }
+  return cols;
+}
+
+SelectConfig cfg_of(QueueKind queue, bool aligned, bool buffered) {
+  SelectConfig cfg;
+  cfg.queue = queue;
+  cfg.aligned_merge = aligned;
+  cfg.buffer = buffered ? BufferMode::kFullSorted : BufferMode::kNone;
+  return cfg;
+}
+
+// --- row runners (each returns modeled/measured seconds at paper scale) ------
+
+RunResult run_distance(const Scale& scale, std::uint32_t n) {
+  // The distance kernel is perfectly regular, so one warp sampled and scaled
+  // to Q = 2^13 is exact.
+  const std::uint32_t q = simt::kWarpSize;
+  const auto queries = knn::make_uniform_dataset(q, kDim, 5);
+  const auto refs = knn::make_uniform_dataset(n, kDim, 6);
+  simt::Device dev;
+  const auto out = kernels::gpu_distance_matrix(
+      dev, knn::to_dim_major(queries), refs.values, q, n, kDim);
+  const auto cm = simt::c2075_model();
+  const double sc = static_cast<double>(kPaperQueries) / q;
+  return RunResult{cm.kernel_seconds_scaled(out.metrics, sc), out.metrics};
+}
+
+RunResult run_data_copy(std::uint32_t n) {
+  const auto cm = simt::c2075_model();
+  const std::uint64_t bytes =
+      std::uint64_t{kPaperQueries} * n * sizeof(float);
+  return RunResult{cm.transfer_seconds(bytes), {}};
+}
+
+RunResult run_cpu(const Scale& scale, std::uint32_t n, std::uint32_t k,
+                  int threads) {
+  const auto matrix = matrix_query_major(scale.queries(), n, 9);
+  WallTimer timer;
+  const auto result =
+      baselines::cpu_select_all(matrix, scale.queries(), n, k, threads);
+  const double measured = timer.seconds();
+  benchmark::DoNotOptimize(result.front().front().dist);
+  return RunResult{measured * scale.factor(), {}};
+}
+
+RunResult run_tbs(const Scale& scale, std::uint32_t n, std::uint32_t k) {
+  const auto matrix = matrix_query_major(scale.queries(), n, 10);
+  simt::Device dev;
+  const auto out =
+      baselines::tbs_select(dev, matrix, scale.queries(), n, k);
+  const auto cm = simt::c2075_model();
+  return RunResult{cm.kernel_seconds_scaled(out.metrics, scale.factor()),
+                   out.metrics};
+}
+
+RunResult run_qms(const Scale& scale, std::uint32_t n, std::uint32_t k) {
+  const auto matrix = matrix_query_major(scale.queries(), n, 11);
+  simt::Device dev;
+  const auto out =
+      baselines::qms_select(dev, matrix, scale.queries(), n, k);
+  const auto cm = simt::c2075_model();
+  return RunResult{cm.kernel_seconds_scaled(out.metrics, scale.factor()),
+                   out.metrics};
+}
+
+struct Row {
+  std::string label;
+  // Returns seconds, or nullopt for "-" (unsupported, like TBS at k=2^10).
+  std::function<std::optional<double>(const Scale&, const Column&)> run;
+};
+
+std::vector<Row> rows() {
+  auto sel = [](QueueKind queue, bool aligned, bool buffered, bool hp) {
+    return [=](const Scale& scale, const Column& c) -> std::optional<double> {
+      const auto cfg = cfg_of(queue, aligned, buffered);
+      const RunResult r = hp ? run_hp(scale, c.n, c.k, cfg, 4)
+                             : run_flat(scale, c.n, c.k, cfg);
+      return r.seconds;
+    };
+  };
+  return {
+      {"Distance Calculation on GPU",
+       [](const Scale& s, const Column& c) -> std::optional<double> {
+         return run_distance(s, c.n).seconds;
+       }},
+      {"Data Copy",
+       [](const Scale&, const Column& c) -> std::optional<double> {
+         return run_data_copy(c.n).seconds;
+       }},
+      {"CPU 1",
+       [](const Scale& s, const Column& c) -> std::optional<double> {
+         return run_cpu(s, c.n, c.k, 1).seconds;
+       }},
+      {"CPU 16",
+       [](const Scale& s, const Column& c) -> std::optional<double> {
+         return run_cpu(s, c.n, c.k, 16).seconds;
+       }},
+      {"Insertion Queue", sel(QueueKind::kInsertion, false, false, false)},
+      {"Heap Queue", sel(QueueKind::kHeap, false, false, false)},
+      {"Merge Queue", sel(QueueKind::kMerge, false, false, false)},
+      {"Merge Queue aligned", sel(QueueKind::kMerge, true, false, false)},
+      {"Insertion Queue buf+hp", sel(QueueKind::kInsertion, false, true, true)},
+      {"Heap Queue buf+hp", sel(QueueKind::kHeap, false, true, true)},
+      {"Merge Queue buf+hp", sel(QueueKind::kMerge, false, true, true)},
+      {"Merge Queue aligned+buf+hp", sel(QueueKind::kMerge, true, true, true)},
+      {"Truncated Bitonic Sort",
+       [](const Scale& s, const Column& c) -> std::optional<double> {
+         if (c.k > baselines::kTbsMaxK) return std::nullopt;  // as published
+         return run_tbs(s, c.n, c.k).seconds;
+       }},
+      {"Quick Multi-Select",
+       [](const Scale& s, const Column& c) -> std::optional<double> {
+         return run_qms(s, c.n, c.k).seconds;
+       }},
+  };
+}
+
+/// The paper's published Table I, for side-by-side comparison ("-" where the
+/// paper has no value).
+const char* kPaperTable[][10] = {
+    {"0.14", "0.14", "0.14", "0.14", "0.14", "0.14", "0.03", "0.07", "0.14", "0.28"},
+    {"0.46", "0.46", "0.46", "0.46", "0.46", "0.46", "0.13", "0.25", "0.49", "0.99"},
+    {"0.34", "0.46", "0.68", "1.1", "1.9", "3.45", "0.72", "0.87", "1.08", "1.43"},
+    {"0.03", "0.05", "0.07", "0.2", "0.19", "0.42", "0.06", "0.07", "0.08", "0.11"},
+    {"0.12", "0.37", "1.16", "3.56", "10.44", "29.03", "1.83", "2.62", "3.53", "4.56"},
+    {"0.05", "0.09", "0.19", "0.41", "0.85", "1.71", "0.27", "0.33", "0.4", "0.48"},
+    {"0.13", "0.33", "0.89", "2.24", "5.29", "11.57", "1.49", "1.85", "2.22", "2.62"},
+    {"0.07", "0.1", "0.16", "0.29", "0.57", "1.1", "0.18", "0.23", "0.29", "0.38"},
+    {"0.04", "0.05", "0.1", "0.24", "0.71", "2.58", "0.2", "0.21", "0.24", "0.27"},
+    {"0.04", "0.05", "0.08", "0.15", "0.31", "0.74", "0.11", "0.12", "0.15", "0.17"},
+    {"0.04", "0.07", "0.13", "0.39", "0.82", "2.77", "0.35", "0.29", "0.4", "0.35"},
+    {"0.04", "0.05", "0.08", "0.14", "0.27", "0.58", "0.1", "0.11", "0.14", "0.17"},
+    {"0.30", "0.36", "0.44", "0.53", "0.64", "-", "0.13", "0.26", "0.53", "1.04"},
+    {"-", "0.21", "0.22", "0.22", "0.23", "-", "0.15", "0.18", "0.22", "0.30"},
+};
+
+std::string bench_name(const std::string& row, const Column& c) {
+  std::string name = "table1/" + row + "/" + c.label;
+  for (auto& ch : name) {
+    if (ch == ' ') ch = '_';
+    if (ch == '^') ch = 'e';
+  }
+  return name;
+}
+
+void report(const Scale& scale) {
+  auto& store = ResultStore::instance();
+  const auto cols = columns();
+  const auto all_rows = rows();
+
+  std::vector<std::string> headers{"Algorithm"};
+  for (const auto& c : cols) headers.push_back(c.label);
+
+  Table ours("Table I (modeled, this reproduction; Q=2^13, seconds)", headers);
+  CsvWriter csv(scale.csv_path, headers);
+  for (const auto& row : all_rows) {
+    Table& r = ours.begin_row().add(row.label);
+    std::vector<std::string> cells{row.label};
+    for (const auto& c : cols) {
+      const std::string name = bench_name(row.label, c);
+      double secs = -1.0;
+      bool supported = true;
+      const RunResult res = store.get_or_run(name, [&] {
+        const auto v = row.run(scale, c);
+        if (!v) {
+          supported = false;
+          return RunResult{};
+        }
+        return RunResult{*v, {}};
+      });
+      secs = res.seconds;
+      // Unsupported configurations (e.g. TBS beyond k=512) memoize as 0.
+      if (!supported || secs <= 0.0) {
+        r.add("-");
+        cells.push_back("-");
+      } else {
+        r.add(format_seconds(secs));
+        cells.push_back(format_seconds(secs));
+      }
+    }
+    csv.write_row(cells);
+  }
+  ours.print(std::cout);
+
+  Table paper("Table I (paper, NVIDIA Tesla C2075, seconds)", headers);
+  for (std::size_t i = 0; i < all_rows.size(); ++i) {
+    Table& r = paper.begin_row().add(all_rows[i].label);
+    for (std::size_t j = 0; j < cols.size(); ++j) r.add(kPaperTable[i][j]);
+  }
+  paper.print(std::cout);
+
+  std::cout
+      << "\nShape checks (see EXPERIMENTS.md): k-selection dominates distance\n"
+         "calculation at large k; Data Copy overshadows CPU-side selection;\n"
+         "aligned merge ~an order of magnitude under unaligned; the optimized\n"
+         "merge queue (aligned+buf+hp) is the best GPU variant at large k.\n"
+      << "CPU rows are measured on this host (1 core) and scaled to Q=2^13;\n"
+         "CPU 16 is thread-count-limited here.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return bench_main(
+      argc, argv, "table1.csv",
+      [](const Scale& scale) {
+        const auto cols = columns();
+        for (const auto& row : rows()) {
+          for (const auto& c : cols) {
+            register_run(bench_name(row.label, c),
+                         [&scale, run = row.run, c]() {
+                           const auto v = run(scale, c);
+                           return RunResult{v.value_or(0.0), {}};
+                         });
+          }
+        }
+      },
+      report);
+}

@@ -1,0 +1,86 @@
+// k-NN classification — the statistical-classification use case from the
+// paper's introduction.
+//
+//   build/examples/classifier
+//
+// Trains nothing (k-NN is lazy): labelled points are drawn from a Gaussian
+// mixture, a held-out test set is classified by majority vote over the k
+// nearest neighbours found with the library, and accuracy is reported for a
+// sweep of k.  Host and simulated-GPU searches are cross-checked.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "knn/knn.hpp"
+
+namespace {
+
+using namespace gpuksel;
+
+std::uint32_t majority_vote(const std::vector<Neighbor>& nns,
+                            const std::vector<std::uint32_t>& labels) {
+  std::map<std::uint32_t, int> votes;
+  for (const Neighbor& n : nns) ++votes[labels[n.index]];
+  std::uint32_t best = 0;
+  int best_votes = -1;
+  for (const auto& [label, count] : votes) {
+    if (count > best_votes) {
+      best = label;
+      best_votes = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t kDim = 16;
+  constexpr std::uint32_t kClusters = 5;
+  constexpr float kSigma = 0.08f;
+
+  // One draw from the mixture, split into train and held-out test so both
+  // share the same cluster means.
+  const auto all = knn::make_gaussian_clusters(2256, kDim, kClusters, kSigma,
+                                               21);
+  knn::LabelledDataset train, test;
+  train.points.dim = test.points.dim = kDim;
+  train.points.count = 2000;
+  test.points.count = 256;
+  train.points.values.assign(all.points.values.begin(),
+                             all.points.values.begin() + 2000 * kDim);
+  test.points.values.assign(all.points.values.begin() + 2000 * kDim,
+                            all.points.values.end());
+  train.labels.assign(all.labels.begin(), all.labels.begin() + 2000);
+  test.labels.assign(all.labels.begin() + 2000, all.labels.end());
+  const knn::BruteForceKnn index(train.points);
+
+  std::printf("train: %u points, test: %u points, %u clusters, sigma %.2f\n",
+              train.points.count, test.points.count, kClusters,
+              static_cast<double>(kSigma));
+  std::printf("%4s  %9s  %9s\n", "k", "host acc", "gpu acc");
+
+  double best_gpu = 0.0;
+  for (const std::uint32_t k : {1u, 3u, 7u, 15u, 31u}) {
+    const auto host = index.search(test.points, k);
+    simt::Device dev;
+    const auto gpu = index.search_gpu(dev, test.points, k);
+
+    std::uint32_t host_correct = 0, gpu_correct = 0;
+    for (std::uint32_t i = 0; i < test.points.count; ++i) {
+      if (majority_vote(host.neighbors[i], train.labels) == test.labels[i]) {
+        ++host_correct;
+      }
+      if (majority_vote(gpu.neighbors[i], train.labels) == test.labels[i]) {
+        ++gpu_correct;
+      }
+    }
+    const double host_acc = 100.0 * host_correct / test.points.count;
+    const double gpu_acc = 100.0 * gpu_correct / test.points.count;
+    best_gpu = std::max(best_gpu, gpu_acc);
+    std::printf("%4u  %8.1f%%  %8.1f%%\n", k, host_acc, gpu_acc);
+  }
+
+  // Well-separated clusters: accuracy should be high, and host/GPU agree.
+  return best_gpu > 90.0 ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// SIMT simulator playground — the substrate as a standalone tool.
+//
+//   build/examples/simt_playground
+//
+// Three miniature kernels show how the simulator quantifies the GPU effects
+// the paper's techniques target:
+//   1. a uniform loop vs a divergent loop (SIMT efficiency),
+//   2. coalesced vs strided global loads (memory transactions),
+//   3. a shared-memory access pattern with bank conflicts.
+#include <cstdio>
+#include <numeric>
+
+#include "simt/cost_model.hpp"
+#include "simt/device.hpp"
+
+int main() {
+  using namespace gpuksel::simt;
+  Device dev;
+
+  // 1. Divergence: every lane runs `lane_id + 1` iterations of the same loop
+  //    versus all lanes running 32.
+  const auto uniform = dev.launch(1, [](WarpContext& ctx, std::uint32_t) {
+    for (int i = 0; i < kWarpSize; ++i) ctx.issue(kFullMask);
+  });
+  const auto divergent = dev.launch(1, [](WarpContext& ctx, std::uint32_t) {
+    U32 remaining = U32::iota(1u);  // lane i wants i+1 iterations
+    LaneMask active = kFullMask;
+    while (active) {
+      ctx.issue(active);
+      remaining = ctx.add(active, remaining, static_cast<std::uint32_t>(-1));
+      active = ctx.pred(active, [&](int l) { return remaining[l] > 0; });
+    }
+  });
+  std::printf("1) divergence\n");
+  std::printf("   uniform loop  : %llu instr, efficiency %.3f\n",
+              static_cast<unsigned long long>(uniform.instructions),
+              uniform.simt_efficiency());
+  std::printf("   divergent loop: %llu instr, efficiency %.3f\n\n",
+              static_cast<unsigned long long>(divergent.instructions),
+              divergent.simt_efficiency());
+
+  // 2. Coalescing: 32 consecutive floats vs a stride-32 gather.
+  DeviceBuffer<float> buf(32 * 32);
+  std::iota(buf.host().begin(), buf.host().end(), 0.0f);
+  const auto coalesced = dev.launch(1, [&](WarpContext& ctx, std::uint32_t) {
+    (void)ctx.load(kFullMask, buf.cspan(), U32::iota());
+  });
+  const auto strided = dev.launch(1, [&](WarpContext& ctx, std::uint32_t) {
+    (void)ctx.load(kFullMask, buf.cspan(), U32::iota(0u, 32u));
+  });
+  std::printf("2) coalescing\n");
+  std::printf("   consecutive : %llu transaction(s) per warp load\n",
+              static_cast<unsigned long long>(coalesced.global_load_tx));
+  std::printf("   stride 32   : %llu transaction(s) per warp load\n\n",
+              static_cast<unsigned long long>(strided.global_load_tx));
+
+  // 3. Shared-memory bank conflicts: conflict-free iota vs a 2-way pattern.
+  const auto banks = dev.launch(1, [](WarpContext& ctx, std::uint32_t) {
+    SharedArray<float> s(ctx, 64);
+    (void)s.read(kFullMask, U32::iota());  // conflict-free
+    U32 two_way;
+    for (int l = 0; l < kWarpSize; ++l) {
+      two_way[l] = static_cast<std::uint32_t>(l < 16 ? 32 + l : l - 16);
+    }
+    (void)s.read(kFullMask, two_way);  // 2-way conflict
+  });
+  std::printf("3) shared memory\n");
+  std::printf("   requests %llu, conflict replays %llu\n\n",
+              static_cast<unsigned long long>(banks.shared_requests),
+              static_cast<unsigned long long>(banks.shared_conflict_replays));
+
+  // Cost model: what one second of issue or bandwidth looks like.
+  const CostModel cm = c2075_model();
+  std::printf("C2075 model: %.1f Ginstr/s issue, %.0f GB/s DRAM, "
+              "%.2f GB/s PCIe\n",
+              cm.issue_rate() / 1e9, cm.dram_bandwidth / 1e9,
+              cm.pcie_bandwidth / 1e9);
+  return 0;
+}

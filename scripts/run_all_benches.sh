@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Runs every bench binary in sequence, teeing the combined output.
+#
+#   scripts/run_all_benches.sh [build-dir] [extra flags...]
+#
+# Extra flags are passed to every binary (e.g. --warps=4, --paper-scale).
+set -eu
+
+build_dir=${1:-build}
+[ $# -ge 1 ] && shift
+
+for b in "$build_dir"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "==================================================================="
+  echo "== $b $*"
+  echo "==================================================================="
+  "$b" "$@"
+  echo
+done

@@ -1,0 +1,70 @@
+#include "baselines/bucket_select.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gpuksel::baselines {
+
+std::vector<Neighbor> bucket_select(std::span<const float> dlist,
+                                    std::uint32_t k,
+                                    std::uint32_t num_buckets) {
+  GPUKSEL_CHECK(k >= 1, "bucket_select needs k >= 1");
+  GPUKSEL_CHECK(num_buckets >= 2, "bucket_select needs >= 2 buckets");
+
+  std::vector<Neighbor> cur;
+  cur.reserve(dlist.size());
+  for (std::uint32_t i = 0; i < dlist.size(); ++i) {
+    cur.push_back(Neighbor{dlist[i], i});
+  }
+  std::size_t want = std::min<std::size_t>(k, cur.size());
+  std::vector<Neighbor> accepted;
+  accepted.reserve(want);
+
+  // Each pass shrinks the candidate set; bounded passes guard against
+  // pathological value distributions (all candidates equal).
+  for (int pass = 0; pass < 16 && cur.size() > 2 * want + 64; ++pass) {
+    float lo = cur[0].dist;
+    float hi = cur[0].dist;
+    for (const Neighbor& n : cur) {
+      lo = std::min(lo, n.dist);
+      hi = std::max(hi, n.dist);
+    }
+    if (!(hi > lo)) break;  // constant values: bucketing cannot refine
+    const float scale = static_cast<float>(num_buckets) / (hi - lo);
+    std::vector<std::size_t> histo(num_buckets, 0);
+    auto bucket_of = [&](float v) {
+      const auto b = static_cast<std::size_t>((v - lo) * scale);
+      return std::min<std::size_t>(b, num_buckets - 1);
+    };
+    for (const Neighbor& n : cur) ++histo[bucket_of(n.dist)];
+    std::size_t straddle = 0;
+    std::size_t below = 0;
+    while (below + histo[straddle] < want) {
+      below += histo[straddle];
+      ++straddle;
+    }
+    std::vector<Neighbor> next;
+    next.reserve(histo[straddle]);
+    for (const Neighbor& n : cur) {
+      const std::size_t b = bucket_of(n.dist);
+      if (b < straddle) {
+        accepted.push_back(n);
+      } else if (b == straddle) {
+        next.push_back(n);
+      }
+    }
+    want -= below;
+    cur = std::move(next);
+  }
+
+  std::sort(cur.begin(), cur.end());
+  for (std::size_t i = 0; i < want && i < cur.size(); ++i) {
+    accepted.push_back(cur[i]);
+  }
+  std::sort(accepted.begin(), accepted.end());
+  return accepted;
+}
+
+}  // namespace gpuksel::baselines

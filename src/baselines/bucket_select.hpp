@@ -1,0 +1,24 @@
+// Bucket Select baseline (Alabi et al. [12], paper §II-C).
+//
+// Value-range bucketing: split [min, max] into uniform buckets, count, keep
+// the buckets entirely below the k-th element, recurse into the straddling
+// bucket.  Degenerates on skewed value distributions (all mass in one
+// bucket), which is the worst case the paper alludes to; the implementation
+// caps the recursion and falls back to sorting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/neighbor.hpp"
+
+namespace gpuksel::baselines {
+
+/// Returns the k smallest (dist, index) pairs, ascending.
+/// `num_buckets` tunes the fan-out of each refinement pass.
+[[nodiscard]] std::vector<Neighbor> bucket_select(std::span<const float> dlist,
+                                                  std::uint32_t k,
+                                                  std::uint32_t num_buckets = 256);
+
+}  // namespace gpuksel::baselines

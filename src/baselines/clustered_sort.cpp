@@ -1,0 +1,53 @@
+#include "baselines/clustered_sort.hpp"
+
+#include <algorithm>
+
+#include "baselines/radix_select.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel::baselines {
+
+std::vector<std::vector<Neighbor>> clustered_sort_select(
+    std::span<const float> matrix, std::uint32_t num_queries, std::uint32_t n,
+    std::uint32_t k) {
+  GPUKSEL_CHECK(k >= 1, "clustered_sort_select needs k >= 1");
+  GPUKSEL_CHECK(matrix.size() == std::size_t{num_queries} * n,
+                "matrix size mismatch");
+  // One 96-bit-equivalent key per record: (query, ordered dist, index),
+  // packed so a single sort clusters queries and orders within each.
+  struct Record {
+    std::uint32_t query;
+    std::uint64_t key;  // ordered dist in the high word, index low
+  };
+  std::vector<Record> records;
+  records.reserve(matrix.size());
+  for (std::uint32_t q = 0; q < num_queries; ++q) {
+    for (std::uint32_t r = 0; r < n; ++r) {
+      const float d = matrix[std::size_t{q} * n + r];
+      records.push_back(
+          Record{q, (std::uint64_t{float_to_ordered(d)} << 32) | r});
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) {
+              if (a.query != b.query) return a.query < b.query;
+              return a.key < b.key;
+            });
+
+  std::vector<std::vector<Neighbor>> out(num_queries);
+  const std::size_t take = std::min<std::size_t>(k, n);
+  for (std::uint32_t q = 0; q < num_queries; ++q) {
+    auto& nbrs = out[q];
+    nbrs.reserve(take);
+    const std::size_t base = std::size_t{q} * n;
+    for (std::size_t j = 0; j < take; ++j) {
+      const std::uint64_t key = records[base + j].key;
+      nbrs.push_back(
+          Neighbor{ordered_to_float(static_cast<std::uint32_t>(key >> 32)),
+                   static_cast<std::uint32_t>(key & 0xffffffffu)});
+    }
+  }
+  return out;
+}
+
+}  // namespace gpuksel::baselines

@@ -1,0 +1,25 @@
+// Clustered-Sort baseline (Pan & Manocha [6], §II-C): Selection by Sorting
+// with the sort amortised over all queries — "combines the tasks from
+// multiple queries as one list and sorts them together".
+//
+// All Q*N (query, distance, index) records are sorted once by the composite
+// key (query, dist, index); each query's k-NN are then the first k records
+// of its contiguous run.  O(QN log QN) total, competitive only when the sort
+// is amortised well — the trade-off the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/neighbor.hpp"
+
+namespace gpuksel::baselines {
+
+/// Selects the k smallest per query from a query-major Q x N matrix by one
+/// global sort over all queries' distances.
+[[nodiscard]] std::vector<std::vector<Neighbor>> clustered_sort_select(
+    std::span<const float> matrix, std::uint32_t num_queries, std::uint32_t n,
+    std::uint32_t k);
+
+}  // namespace gpuksel::baselines

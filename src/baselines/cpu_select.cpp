@@ -1,0 +1,48 @@
+#include "baselines/cpu_select.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gpuksel::baselines {
+
+std::vector<Neighbor> cpu_heap_select(std::span<const float> dlist,
+                                      std::uint32_t k) {
+  GPUKSEL_CHECK(k >= 1, "cpu_heap_select needs k >= 1");
+  std::vector<Neighbor> heap;
+  heap.reserve(k);
+  for (std::uint32_t i = 0; i < dlist.size(); ++i) {
+    const Neighbor cand{dlist[i], i};
+    if (heap.size() < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (cand < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end());
+  return heap;
+}
+
+std::vector<std::vector<Neighbor>> cpu_select_all(std::span<const float> matrix,
+                                                  std::uint32_t num_queries,
+                                                  std::uint32_t n,
+                                                  std::uint32_t k,
+                                                  int threads) {
+  GPUKSEL_CHECK(matrix.size() == std::size_t{num_queries} * n,
+                "matrix size mismatch");
+  std::vector<std::vector<Neighbor>> out(num_queries);
+  if (threads <= 0) threads = omp_get_max_threads();
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (std::int64_t q = 0; q < static_cast<std::int64_t>(num_queries); ++q) {
+    out[static_cast<std::size_t>(q)] = cpu_heap_select(
+        matrix.subspan(static_cast<std::size_t>(q) * n, n), k);
+  }
+  return out;
+}
+
+}  // namespace gpuksel::baselines

@@ -1,0 +1,26 @@
+// CPU-side k-selection baseline (paper Table I "CPU 1" / "CPU 16").
+//
+// The paper uses "the heap algorithm from C++ standard library ... and
+// parallelize[s] it with OpenMP": per query, a k-element max-heap maintained
+// with std::push_heap/std::pop_heap, queries distributed over OpenMP threads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/neighbor.hpp"
+
+namespace gpuksel::baselines {
+
+/// Selects the k smallest of one distance list with a std-library heap.
+[[nodiscard]] std::vector<Neighbor> cpu_heap_select(
+    std::span<const float> dlist, std::uint32_t k);
+
+/// Runs cpu_heap_select for every query of a query-major Q x N matrix using
+/// `threads` OpenMP threads (0 = library default).
+[[nodiscard]] std::vector<std::vector<Neighbor>> cpu_select_all(
+    std::span<const float> matrix, std::uint32_t num_queries, std::uint32_t n,
+    std::uint32_t k, int threads);
+
+}  // namespace gpuksel::baselines

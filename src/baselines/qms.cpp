@@ -1,0 +1,266 @@
+#include "baselines/qms.hpp"
+
+#include <algorithm>
+
+#include "simt/warp_ops.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel::baselines {
+
+namespace {
+
+using kernels::EntryLanes;
+using simt::F32;
+using simt::LaneMask;
+using simt::U32;
+using simt::WarpContext;
+
+/// A scalar (dist, index) pivot broadcast to host control flow.
+struct Pivot {
+  float dist;
+  std::uint32_t index;
+};
+
+constexpr bool entry_less(float ad, std::uint32_t ai, float bd,
+                          std::uint32_t bi) noexcept {
+  if (ad != bd) return ad < bd;
+  return ai < bi;
+}
+
+}  // namespace
+
+kernels::SelectOutput qms_select(simt::Device& dev,
+                                 std::span<const float> distances,
+                                 std::uint32_t num_queries, std::uint32_t n,
+                                 std::uint32_t k) {
+  GPUKSEL_CHECK(k >= 1, "qms_select needs k >= 1");
+  GPUKSEL_CHECK(distances.size() == std::size_t{num_queries} * n,
+                "distance matrix size mismatch");
+  const std::uint32_t threads = kernels::padded_threads(num_queries);
+
+  auto dlist = dev.upload(distances);
+  // Double-buffered per-query scratch.  The launcher executes warps
+  // sequentially, so one query's worth of scratch is reused by every warp.
+  auto scratch_d_a = dev.alloc<float>(n);
+  auto scratch_i_a = dev.alloc<std::uint32_t>(n);
+  auto scratch_d_b = dev.alloc<float>(n);
+  auto scratch_i_b = dev.alloc<std::uint32_t>(n);
+  auto out_d = dev.alloc<float>(std::size_t{k} * threads, simt::kFloatSentinel);
+  auto out_i =
+      dev.alloc<std::uint32_t>(std::size_t{k} * threads, simt::kIndexSentinel);
+
+  const auto in_span = dlist.cspan();
+  auto od_span = out_d.span();
+  auto oi_span = out_i.span();
+
+  kernels::SelectOutput result;
+  result.metrics =
+      dev.launch(num_queries, [&](WarpContext& ctx, std::uint32_t query) {
+        const LaneMask all = simt::kFullMask;
+        const U32 lane = WarpContext::lane_id();
+
+        struct Buf {
+          simt::DeviceSpan<float> d;
+          simt::DeviceSpan<std::uint32_t> i;
+        };
+        Buf src{scratch_d_a.span(), scratch_i_a.span()};
+        Buf dst{scratch_d_b.span(), scratch_i_b.span()};
+
+        // Copy the query's list into scratch with identity indices
+        // (coalesced stream; QMS must mutate its input).
+        for (std::uint32_t ofs = 0; ofs < n; ofs += simt::kWarpSize) {
+          U32 ref = ctx.add(all, lane, ofs);
+          const LaneMask in_range =
+              ctx.pred(all, [&](int l) { return ref[l] < n; });
+          if (!in_range) break;
+          U32 gsrc;
+          ctx.alu(in_range, gsrc, [&](int l) { return query * n + ref[l]; });
+          const F32 v = ctx.load(in_range, in_span, gsrc);
+          ctx.store(in_range, src.d, ref, v);
+          ctx.store(in_range, src.i, ref, ref);
+        }
+
+        std::uint32_t seg_start = 0;
+        std::uint32_t len = n;
+        std::uint32_t want = std::min(k, n);
+        std::uint32_t emitted = 0;
+
+        // Emits `count` entries from buf[first, first+count) to the result.
+        auto emit = [&](const Buf& buf, std::uint32_t first,
+                        std::uint32_t count) {
+          for (std::uint32_t ofs = 0; ofs < count; ofs += simt::kWarpSize) {
+            U32 s = ctx.add(all, lane, first + ofs);
+            const LaneMask in_range = ctx.pred(
+                all, [&](int l) { return s[l] < first + count; });
+            if (!in_range) break;
+            const F32 v = ctx.load(in_range, buf.d, s);
+            const U32 x = ctx.load(in_range, buf.i, s);
+            U32 dstidx;
+            ctx.alu(in_range, dstidx, [&](int l) {
+              return (emitted + ofs + static_cast<std::uint32_t>(l)) * threads +
+                     query;
+            });
+            ctx.store(in_range, od_span, dstidx, v);
+            ctx.store(in_range, oi_span, dstidx, x);
+          }
+          emitted += count;
+        };
+
+        while (want > 0) {
+          if (want == len) {
+            emit(src, seg_start, len);
+            want = 0;
+            break;
+          }
+          if (len <= 2 * simt::kWarpSize) {
+            // Small remainder: repeated warp min-reduction ("selection sort"
+            // tail), each round extracting one winner.
+            for (std::uint32_t round = 0; round < want; ++round) {
+              simt::KeyedLanes best{F32::filled(simt::kFloatSentinel),
+                                    U32::filled(simt::kIndexSentinel)};
+              // Each lane scans its strided slots for its local min.
+              U32 best_slot = U32::filled(simt::kIndexSentinel);
+              for (std::uint32_t ofs = 0; ofs < len; ofs += simt::kWarpSize) {
+                U32 s = ctx.add(all, lane, seg_start + ofs);
+                const LaneMask in_range = ctx.pred(
+                    all, [&](int l) { return s[l] < seg_start + len; });
+                if (!in_range) break;
+                const F32 v = ctx.load(in_range, src.d, s);
+                const U32 x = ctx.load(in_range, src.i, s);
+                const LaneMask better = ctx.pred(in_range, [&](int l) {
+                  return entry_less(v[l], x[l], best.keys[l], best.values[l]);
+                });
+                best.keys = ctx.select(all, better, v, best.keys);
+                best.values = ctx.select(all, better, x, best.values);
+                best_slot = ctx.select(all, better, s, best_slot);
+              }
+              const simt::KeyedLanes winner =
+                  simt::reduce_min_keyed(ctx, all, best);
+              // The lane holding the winner neutralises its slot.
+              const LaneMask holder = ctx.pred(all, [&](int l) {
+                return best.values[l] == winner.values[l] &&
+                       best_slot[l] != simt::kIndexSentinel;
+              });
+              const LaneMask first_holder =
+                  holder ? simt::lane_bit(simt::lowest_lane(holder))
+                         : LaneMask{0};
+              if (first_holder) {
+                ctx.store(first_holder, src.d, best_slot,
+                          F32::filled(simt::kFloatSentinel));
+                ctx.store(first_holder, src.i, best_slot,
+                          U32::filled(simt::kIndexSentinel));
+                U32 dstidx;
+                ctx.alu(first_holder, dstidx,
+                        [&](int) { return (emitted + round) * threads + query; });
+                ctx.store(first_holder, od_span, dstidx, winner.keys);
+                ctx.store(first_holder, oi_span, dstidx, winner.values);
+              }
+            }
+            want = 0;
+            break;
+          }
+
+          // Median-of-three pivot from the segment ends and middle.
+          const auto host_entry = [&](std::uint32_t slot) {
+            return Pivot{src.d.at(slot), src.i.at(slot)};
+          };
+          // Three broadcast loads (lane 0), charged as such.
+          {
+            U32 s0 = ctx.imm(simt::lane_bit(0), seg_start);
+            (void)ctx.load(simt::lane_bit(0), src.d, s0);
+            U32 s1 = ctx.imm(simt::lane_bit(0), seg_start + len / 2);
+            (void)ctx.load(simt::lane_bit(0), src.d, s1);
+            U32 s2 = ctx.imm(simt::lane_bit(0), seg_start + len - 1);
+            (void)ctx.load(simt::lane_bit(0), src.d, s2);
+            ctx.issue(all, 4);  // median computation + broadcast
+          }
+          Pivot a = host_entry(seg_start);
+          Pivot b = host_entry(seg_start + len / 2);
+          Pivot c = host_entry(seg_start + len - 1);
+          auto lt = [](const Pivot& x, const Pivot& y) {
+            return entry_less(x.dist, x.index, y.dist, y.index);
+          };
+          if (lt(b, a)) std::swap(a, b);
+          if (lt(c, b)) {
+            b = c;
+            if (lt(b, a)) std::swap(a, b);
+          }
+          const Pivot pivot = b;
+
+          // Warp-cooperative three-way partition into dst: "< pivot" packs
+          // forward from seg_start, "> pivot" packs backward from the end;
+          // the pivot itself is held implicitly.
+          std::uint32_t lo_cursor = seg_start;
+          std::uint32_t hi_cursor = seg_start + len - 1;
+          for (std::uint32_t ofs = 0; ofs < len; ofs += simt::kWarpSize) {
+            U32 s = ctx.add(all, lane, seg_start + ofs);
+            const LaneMask in_range = ctx.pred(
+                all, [&](int l) { return s[l] < seg_start + len; });
+            if (!in_range) break;
+            const F32 v = ctx.load(in_range, src.d, s);
+            const U32 x = ctx.load(in_range, src.i, s);
+            const LaneMask less = ctx.pred(in_range, [&](int l) {
+              return entry_less(v[l], x[l], pivot.dist, pivot.index);
+            });
+            const LaneMask is_pivot = ctx.pred(in_range, [&](int l) {
+              return v[l] == pivot.dist && x[l] == pivot.index;
+            });
+            const LaneMask greater = in_range & ~less & ~is_pivot;
+            // Rank within this 32-element group (ballot + popcount: the
+            // canonical warp compaction).
+            const LaneMask less_ballot = ctx.ballot(in_range, less);
+            const LaneMask greater_ballot = ctx.ballot(in_range, greater);
+            U32 dst_slot;
+            ctx.alu(in_range, dst_slot, [&](int l) {
+              const LaneMask below = simt::lane_bit(l) - 1;
+              if (simt::lane_active(less, l)) {
+                return lo_cursor + static_cast<std::uint32_t>(
+                                       simt::popcount(less_ballot & below));
+              }
+              return hi_cursor - static_cast<std::uint32_t>(
+                                     simt::popcount(greater_ballot & below));
+            });
+            if (less) {
+              ctx.store(less, dst.d, dst_slot, v);
+              ctx.store(less, dst.i, dst_slot, x);
+            }
+            if (greater) {
+              ctx.store(greater, dst.d, dst_slot, v);
+              ctx.store(greater, dst.i, dst_slot, x);
+            }
+            lo_cursor += static_cast<std::uint32_t>(simt::popcount(less_ballot));
+            hi_cursor -= static_cast<std::uint32_t>(simt::popcount(greater_ballot));
+          }
+          const std::uint32_t less_count = lo_cursor - seg_start;
+
+          if (want <= less_count) {
+            // The k-th element is in the "<" side.
+            len = less_count;
+          } else {
+            // Everything below the pivot (and the pivot, if room) is in.
+            emit(dst, seg_start, less_count);
+            want -= less_count;
+            if (want > 0) {
+              // Emit the pivot from registers.
+              U32 dstidx = ctx.imm(simt::lane_bit(0), emitted * threads + query);
+              ctx.store(simt::lane_bit(0), od_span, dstidx,
+                        F32::filled(pivot.dist));
+              ctx.store(simt::lane_bit(0), oi_span, dstidx,
+                        U32::filled(pivot.index));
+              ++emitted;
+              --want;
+            }
+            const std::uint32_t greater_count = len - less_count - 1;
+            seg_start = seg_start + less_count + 1;
+            len = greater_count;
+          }
+          std::swap(src, dst);
+        }
+      });
+
+  result.neighbors =
+      kernels::extract_queues(out_d, out_i, num_queries, threads, k, k);
+  return result;
+}
+
+}  // namespace gpuksel::baselines

@@ -1,0 +1,27 @@
+// Quick Multi-Select baseline (Komarov, Dashti & D'Souza [9]).
+//
+// Warp-per-query iterative quickselect: partition the list around a
+// median-of-three pivot with a warp-cooperative scatter (ballot + rank), keep
+// the side containing the k-th element, and emit whole "smaller" sides into
+// the result as soon as they fit.  Average O(N) work but data-movement heavy
+// (the whole remaining range is rewritten every round), which is why its
+// time grows with N faster than the queue-based methods — the effect Table I
+// shows.  As in the original, the returned k-NN are NOT sorted; the host-side
+// extraction sorts them for comparison purposes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/kernels/select_kernels.hpp"
+
+namespace gpuksel::baselines {
+
+/// Runs QMS over a Q x N distance matrix in *query-major* layout.
+[[nodiscard]] kernels::SelectOutput qms_select(simt::Device& dev,
+                                               std::span<const float> distances,
+                                               std::uint32_t num_queries,
+                                               std::uint32_t n,
+                                               std::uint32_t k);
+
+}  // namespace gpuksel::baselines

@@ -1,0 +1,74 @@
+#include "baselines/radix_select.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/check.hpp"
+
+namespace gpuksel::baselines {
+
+namespace {
+
+constexpr std::uint64_t composite_key(float dist, std::uint32_t index) noexcept {
+  return (std::uint64_t{float_to_ordered(dist)} << 32) | index;
+}
+
+constexpr Neighbor key_to_neighbor(std::uint64_t key) noexcept {
+  return Neighbor{ordered_to_float(static_cast<std::uint32_t>(key >> 32)),
+                  static_cast<std::uint32_t>(key & 0xffffffffu)};
+}
+
+}  // namespace
+
+std::vector<Neighbor> radix_select(std::span<const float> dlist,
+                                   std::uint32_t k) {
+  GPUKSEL_CHECK(k >= 1, "radix_select needs k >= 1");
+  std::vector<std::uint64_t> keys;
+  keys.reserve(dlist.size());
+  for (std::uint32_t i = 0; i < dlist.size(); ++i) {
+    keys.push_back(composite_key(dlist[i], i));
+  }
+  std::size_t want = std::min<std::size_t>(k, keys.size());
+  std::vector<std::uint64_t> accepted;
+  accepted.reserve(want);
+
+  // MSD radix: histogram the current digit, keep whole buckets that fit,
+  // recurse into the bucket straddling the k-th key.
+  std::vector<std::uint64_t> cur = std::move(keys);
+  for (int shift = 56; shift >= 0 && want > 0; shift -= 8) {
+    if (cur.size() <= 64) break;  // small remainder: finish with a sort
+    std::array<std::size_t, 256> histo{};
+    for (const std::uint64_t key : cur) ++histo[(key >> shift) & 0xff];
+    std::size_t straddle = 0;
+    std::size_t below = 0;
+    while (below + histo[straddle] < want) {
+      below += histo[straddle];
+      ++straddle;
+    }
+    std::vector<std::uint64_t> next;
+    next.reserve(histo[straddle]);
+    for (const std::uint64_t key : cur) {
+      const std::size_t digit = (key >> shift) & 0xff;
+      if (digit < straddle) {
+        accepted.push_back(key);
+      } else if (digit == straddle) {
+        next.push_back(key);
+      }
+    }
+    want -= below;
+    cur = std::move(next);
+  }
+  // Remaining candidates share all inspected digits; sort and take the rest.
+  std::sort(cur.begin(), cur.end());
+  for (std::size_t i = 0; i < want && i < cur.size(); ++i) {
+    accepted.push_back(cur[i]);
+  }
+
+  std::sort(accepted.begin(), accepted.end());
+  std::vector<Neighbor> out;
+  out.reserve(accepted.size());
+  for (const std::uint64_t key : accepted) out.push_back(key_to_neighbor(key));
+  return out;
+}
+
+}  // namespace gpuksel::baselines

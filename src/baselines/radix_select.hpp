@@ -1,0 +1,34 @@
+// Radix Select baseline (Alabi et al. [12], paper §II-C).
+//
+// MSD radix selection over a 64-bit composite key: the order-preserving
+// bit-flip of the float distance in the high word and the element index in
+// the low word.  Keys are therefore unique, so the selection is exact and
+// deterministic even with duplicated distances — the classic weak spot of
+// value-only radix selection.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/neighbor.hpp"
+
+namespace gpuksel::baselines {
+
+/// Order-preserving mapping from IEEE-754 float to uint32 (ascending).
+[[nodiscard]] constexpr std::uint32_t float_to_ordered(float f) noexcept {
+  const auto bits = __builtin_bit_cast(std::uint32_t, f);
+  return (bits & 0x80000000u) != 0 ? ~bits : bits | 0x80000000u;
+}
+
+/// Inverse of float_to_ordered.
+[[nodiscard]] constexpr float ordered_to_float(std::uint32_t u) noexcept {
+  const std::uint32_t bits = (u & 0x80000000u) != 0 ? u & 0x7fffffffu : ~u;
+  return __builtin_bit_cast(float, bits);
+}
+
+/// Returns the k smallest (dist, index) pairs, ascending.
+[[nodiscard]] std::vector<Neighbor> radix_select(std::span<const float> dlist,
+                                                 std::uint32_t k);
+
+}  // namespace gpuksel::baselines

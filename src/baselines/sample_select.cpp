@@ -1,0 +1,76 @@
+#include "baselines/sample_select.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpuksel::baselines {
+
+std::vector<Neighbor> sample_select(std::span<const float> dlist,
+                                    std::uint32_t k, std::uint64_t seed,
+                                    std::uint32_t sample_size) {
+  GPUKSEL_CHECK(k >= 1, "sample_select needs k >= 1");
+  GPUKSEL_CHECK(sample_size >= 2, "sample_select needs sample_size >= 2");
+
+  std::vector<Neighbor> cur;
+  cur.reserve(dlist.size());
+  for (std::uint32_t i = 0; i < dlist.size(); ++i) {
+    cur.push_back(Neighbor{dlist[i], i});
+  }
+  std::size_t want = std::min<std::size_t>(k, cur.size());
+  std::vector<Neighbor> accepted;
+  accepted.reserve(want);
+  Rng rng(seed);
+
+  // Each pass narrows to a band around the k-th element; bounded passes
+  // guard against degenerate samples, then a sort finishes the remainder.
+  for (int pass = 0; pass < 12 && cur.size() > 4 * sample_size && want > 0;
+       ++pass) {
+    // Sample with replacement and sort the sample.
+    std::vector<Neighbor> sample(sample_size);
+    for (auto& s : sample) {
+      s = cur[rng.uniform_below(cur.size())];
+    }
+    std::sort(sample.begin(), sample.end());
+    // The k-th of cur maps to rank ~ want/|cur| in the sample; bracket it
+    // with a safety margin of ~2 standard deviations of the binomial.
+    const double frac = static_cast<double>(want) / cur.size();
+    const double mean = frac * sample_size;
+    const double margin =
+        2.0 * std::sqrt(sample_size * frac * (1.0 - frac)) + 1.0;
+    const auto lo_rank = static_cast<std::size_t>(
+        std::max(0.0, std::floor(mean - margin)));
+    const auto hi_rank = static_cast<std::size_t>(
+        std::min<double>(sample_size - 1, std::ceil(mean + margin)));
+    const Neighbor lo = sample[lo_rank];
+    const Neighbor hi = sample[hi_rank];
+
+    std::vector<Neighbor> below;
+    std::vector<Neighbor> band;
+    for (const Neighbor& n : cur) {
+      if (n < lo) {
+        below.push_back(n);
+      } else if (!(hi < n)) {
+        band.push_back(n);
+      }
+    }
+    if (below.size() > want || below.size() + band.size() < want) {
+      // The brackets missed (rare); resample.
+      continue;
+    }
+    accepted.insert(accepted.end(), below.begin(), below.end());
+    want -= below.size();
+    cur = std::move(band);
+  }
+
+  std::sort(cur.begin(), cur.end());
+  for (std::size_t i = 0; i < want && i < cur.size(); ++i) {
+    accepted.push_back(cur[i]);
+  }
+  std::sort(accepted.begin(), accepted.end());
+  return accepted;
+}
+
+}  // namespace gpuksel::baselines

@@ -1,0 +1,26 @@
+// Sample Select baseline (Monroe, Wendelberger & Michalak [11], §II-C):
+// randomized selection that picks its pivots from a sample so the expected
+// partition is balanced — "to avoid the worst-case performance [of Quick
+// Select], sample select chooses the best pivot by taking samples".
+//
+// Each round samples s elements, sorts the sample, and picks the two sample
+// order statistics that bracket the k-th element with high probability; one
+// counting pass splits the list into below / between / above, and recursion
+// continues on the (small) middle band.  Deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/neighbor.hpp"
+
+namespace gpuksel::baselines {
+
+/// Returns the k smallest (dist, index) pairs, ascending.
+[[nodiscard]] std::vector<Neighbor> sample_select(std::span<const float> dlist,
+                                                  std::uint32_t k,
+                                                  std::uint64_t seed = 0x5eed,
+                                                  std::uint32_t sample_size = 64);
+
+}  // namespace gpuksel::baselines

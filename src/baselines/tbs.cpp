@@ -1,0 +1,188 @@
+#include "baselines/tbs.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "simt/warp_ops.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel::baselines {
+
+namespace {
+
+using kernels::EntryLanes;
+using simt::F32;
+using simt::LaneMask;
+using simt::U32;
+using simt::WarpContext;
+
+/// Shared-memory entry array accessed cooperatively by the warp.
+struct SharedEntries {
+  simt::SharedArray<float> dist;
+  simt::SharedArray<std::uint32_t> index;
+
+  SharedEntries(WarpContext& ctx, std::size_t n)
+      : dist(ctx, n), index(ctx, n) {}
+};
+
+/// Branch-free cooperative compare-exchange of shared slots (i[l], j[l]) per
+/// lane, ordering by (dist, index); `up` selects ascending pairs.
+void cmpex(WarpContext& ctx, LaneMask m, SharedEntries& e, const U32& i,
+           const U32& j, const LaneMask up) {
+  const F32 di = e.dist.read(m, i);
+  const U32 xi = e.index.read(m, i);
+  const F32 dj = e.dist.read(m, j);
+  const U32 xj = e.index.read(m, j);
+  // swap when out of order for the lane's direction
+  const LaneMask i_gt_j = ctx.pred(m, [&](int l) {
+    if (di[l] != dj[l]) return di[l] > dj[l];
+    return xi[l] > xj[l];
+  });
+  // ascending pair wants i <= j; descending wants i >= j.
+  const LaneMask swap = (i_gt_j & up) | (~i_gt_j & ~up & m);
+  const F32 lo_d = ctx.select(m, swap, dj, di);
+  const U32 lo_x = ctx.select(m, swap, xj, xi);
+  const F32 hi_d = ctx.select(m, swap, di, dj);
+  const U32 hi_x = ctx.select(m, swap, xi, xj);
+  e.dist.write(m, i, lo_d);
+  e.index.write(m, i, lo_x);
+  e.dist.write(m, j, hi_d);
+  e.index.write(m, j, hi_x);
+}
+
+}  // namespace
+
+kernels::SelectOutput tbs_select(simt::Device& dev,
+                                 std::span<const float> distances,
+                                 std::uint32_t num_queries, std::uint32_t n,
+                                 std::uint32_t k) {
+  GPUKSEL_CHECK(k >= 1 && k <= kTbsMaxK, "TBS supports 1 <= k <= 512");
+  GPUKSEL_CHECK(distances.size() == std::size_t{num_queries} * n,
+                "distance matrix size mismatch");
+  // Truncation size: power of two covering k, at least one element per lane.
+  const std::uint32_t chunk = std::max<std::uint32_t>(
+      std::bit_ceil(k), simt::kWarpSize);
+
+  const std::uint32_t threads = kernels::padded_threads(num_queries);
+  auto dlist = dev.upload(distances);
+  auto out_d = dev.alloc<float>(std::size_t{chunk} * threads);
+  auto out_i = dev.alloc<std::uint32_t>(std::size_t{chunk} * threads);
+  const auto in_span = dlist.cspan();
+  auto od_span = out_d.span();
+  auto oi_span = out_i.span();
+
+  kernels::SelectOutput result;
+  result.metrics =
+      dev.launch(num_queries, [&](WarpContext& ctx, std::uint32_t query) {
+        const LaneMask all = simt::kFullMask;
+        const U32 lane = WarpContext::lane_id();
+
+        SharedEntries cand(ctx, chunk);   // ascending candidates
+        SharedEntries trunc(ctx, chunk);  // current truncation
+        // Initialise candidates to sentinels (trivially ascending).
+        for (std::uint32_t ofs = 0; ofs < chunk; ofs += simt::kWarpSize) {
+          U32 slot = ctx.add(all, lane, ofs);
+          cand.dist.write(all, slot, F32::filled(simt::kFloatSentinel));
+          cand.index.write(all, slot, U32::filled(simt::kIndexSentinel));
+        }
+
+        for (std::uint32_t r0 = 0; r0 < n; r0 += chunk) {
+          // Load the truncation (query-major: contiguous, coalesced);
+          // out-of-range tail becomes sentinels.
+          for (std::uint32_t ofs = 0; ofs < chunk; ofs += simt::kWarpSize) {
+            U32 ref = ctx.add(all, lane, r0 + ofs);
+            const LaneMask in_range =
+                ctx.pred(all, [&](int l) { return ref[l] < n; });
+            U32 src;
+            ctx.alu(in_range, src,
+                    [&](int l) { return query * n + ref[l]; });
+            F32 v = F32::filled(simt::kFloatSentinel);
+            if (in_range) v = ctx.load(in_range, in_span, src);
+            U32 idx = ctx.select(all, in_range, ref,
+                                 U32::filled(simt::kIndexSentinel));
+            F32 val = ctx.select(all, in_range, v,
+                                 F32::filled(simt::kFloatSentinel));
+            U32 slot = ctx.add(all, lane, ofs);
+            trunc.dist.write(all, slot, val);
+            trunc.index.write(all, slot, idx);
+          }
+
+          // Bitonic sort the truncation descending (canonical network).
+          for (std::uint32_t size = 2; size <= chunk; size <<= 1) {
+            for (std::uint32_t stride = size >> 1; stride >= 1; stride >>= 1) {
+              for (std::uint32_t base = 0; base < chunk / 2;
+                   base += simt::kWarpSize) {
+                // Each lane owns pair p = base + lane.
+                const LaneMask pairs = ctx.pred(all, [&](int l) {
+                  return base + static_cast<std::uint32_t>(l) < chunk / 2;
+                });
+                if (!pairs) break;
+                U32 i;
+                ctx.alu(pairs, i, [&](int l) {
+                  const std::uint32_t p = base + static_cast<std::uint32_t>(l);
+                  // Position of the lower element of pair p at this stride.
+                  return 2 * stride * (p / stride) + (p % stride);
+                });
+                U32 j = ctx.add(pairs, i, stride);
+                // Descending sort: block direction flips the canonical rule.
+                const LaneMask up = ctx.pred(pairs, [&](int l) {
+                  return (i[l] & size) != 0;  // descending overall
+                });
+                cmpex(ctx, pairs, trunc, i, j, up);
+              }
+            }
+          }
+
+          // Element-wise min of (ascending cand, descending trunc): the k
+          // smallest of the union, as a bitonic sequence.
+          for (std::uint32_t ofs = 0; ofs < chunk; ofs += simt::kWarpSize) {
+            U32 slot = ctx.add(all, lane, ofs);
+            const F32 cd = cand.dist.read(all, slot);
+            const U32 cx = cand.index.read(all, slot);
+            const F32 td = trunc.dist.read(all, slot);
+            const U32 tx = trunc.index.read(all, slot);
+            const LaneMask take_t = ctx.pred(all, [&](int l) {
+              if (td[l] != cd[l]) return td[l] < cd[l];
+              return tx[l] < cx[l];
+            });
+            cand.dist.write(all, slot, ctx.select(all, take_t, td, cd));
+            cand.index.write(all, slot, ctx.select(all, take_t, tx, cx));
+          }
+
+          // Bitonic merge candidates back to ascending.
+          for (std::uint32_t stride = chunk / 2; stride >= 1; stride >>= 1) {
+            for (std::uint32_t base = 0; base < chunk / 2;
+                 base += simt::kWarpSize) {
+              const LaneMask pairs = ctx.pred(all, [&](int l) {
+                return base + static_cast<std::uint32_t>(l) < chunk / 2;
+              });
+              if (!pairs) break;
+              U32 i;
+              ctx.alu(pairs, i, [&](int l) {
+                const std::uint32_t p = base + static_cast<std::uint32_t>(l);
+                return 2 * stride * (p / stride) + (p % stride);
+              });
+              U32 j = ctx.add(pairs, i, stride);
+              cmpex(ctx, pairs, cand, i, j, pairs);  // ascending
+            }
+          }
+        }
+
+        // Write candidates to the interleaved result buffer.
+        for (std::uint32_t ofs = 0; ofs < chunk; ofs += simt::kWarpSize) {
+          U32 slot = ctx.add(all, lane, ofs);
+          const F32 cd = cand.dist.read(all, slot);
+          const U32 cx = cand.index.read(all, slot);
+          U32 dst;
+          ctx.alu(all, dst, [&](int l) { return slot[l] * threads + query; });
+          ctx.store(all, od_span, dst, cd);
+          ctx.store(all, oi_span, dst, cx);
+        }
+      });
+
+  result.neighbors =
+      kernels::extract_queues(out_d, out_i, num_queries, threads, chunk, k);
+  return result;
+}
+
+}  // namespace gpuksel::baselines

@@ -1,0 +1,34 @@
+// Truncated Bitonic Sort baseline (Sismanis, Pitsianis & Sun [13]).
+//
+// Warp-per-query, warp-cooperative: the distance list is processed in
+// power-of-two truncations held in shared memory.  Each truncation is bitonic
+// sorted descending; an element-wise min against the ascending candidate
+// array keeps the k smallest of the union as a bitonic sequence, which one
+// bitonic merge restores to ascending order.  Synchronous (divergence-free)
+// operation throughout — TBS's selling point — but every truncation pays a
+// full O(t log^2 t) sort, which is why the queue-based methods overtake it.
+//
+// The published TBS implementation supports only k <= 512 (shared-memory
+// capacity on Fermi); this one mirrors that limit for the kernel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/kernels/select_kernels.hpp"
+
+namespace gpuksel::baselines {
+
+/// Largest k the TBS kernel supports (one truncation + one candidate array
+/// of 8-byte entries in 48 KB of Fermi shared memory, as in the original).
+inline constexpr std::uint32_t kTbsMaxK = 512;
+
+/// Runs TBS over a Q x N distance matrix in *query-major* layout (each
+/// warp streams one query's contiguous list).  k must be <= kTbsMaxK.
+[[nodiscard]] kernels::SelectOutput tbs_select(simt::Device& dev,
+                                               std::span<const float> distances,
+                                               std::uint32_t num_queries,
+                                               std::uint32_t n,
+                                               std::uint32_t k);
+
+}  // namespace gpuksel::baselines

@@ -1,0 +1,68 @@
+// Buffered Search, scalar reference semantics (paper §III-D, Algorithm 3).
+//
+// On the GPU the point of buffering is warp alignment (SIMT efficiency); that
+// effect lives in the SIMT kernels.  This scalar version pins down the
+// *algorithmic* semantics the kernels must match bit-for-bit: candidates are
+// staged in a small buffer, and when the buffer fills it is locally sorted
+// ascending and drained into the queue — draining smallest-first shrinks the
+// queue head early so later buffer entries can be rejected without insertion.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/neighbor.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel {
+
+/// Statistics describing how much work buffering avoided.
+struct BufferedSearchStats {
+  std::uint64_t buffered = 0;        ///< candidates staged in the buffer
+  std::uint64_t inserted = 0;        ///< candidates actually inserted
+  std::uint64_t rejected_late = 0;   ///< buffered but rejected at drain time
+  std::uint64_t flushes = 0;         ///< buffer drains (incl. the final one)
+};
+
+/// Scans `dlist` and selects the k smallest into `queue` (any of the three
+/// queue types), staging candidates in a buffer of `buffer_size` entries.
+/// When `local_sort` is set the buffer is sorted ascending before draining.
+/// Returns drain statistics; the queue afterwards holds exactly the same
+/// contents as a direct scan would produce.
+template <typename Queue>
+BufferedSearchStats buffered_select(std::span<const float> dlist, Queue& queue,
+                                    std::uint32_t buffer_size,
+                                    bool local_sort = true) {
+  GPUKSEL_CHECK(buffer_size >= 1, "buffered search needs buffer_size >= 1");
+  BufferedSearchStats stats;
+  std::vector<Neighbor> buffer;
+  buffer.reserve(buffer_size);
+
+  auto drain = [&] {
+    if (buffer.empty()) return;
+    if (local_sort) std::sort(buffer.begin(), buffer.end());
+    for (const Neighbor& cand : buffer) {
+      if (queue.try_insert(cand.dist, cand.index)) {
+        ++stats.inserted;
+      } else {
+        ++stats.rejected_late;
+      }
+    }
+    buffer.clear();
+    ++stats.flushes;
+  };
+
+  for (std::uint32_t i = 0; i < dlist.size(); ++i) {
+    const Neighbor cand{dlist[i], i};
+    if (cand < queue.head()) {
+      buffer.push_back(cand);
+      ++stats.buffered;
+      if (buffer.size() == buffer_size) drain();
+    }
+  }
+  drain();
+  return stats;
+}
+
+}  // namespace gpuksel

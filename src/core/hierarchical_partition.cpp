@@ -1,0 +1,48 @@
+#include "core/hierarchical_partition.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gpuksel {
+
+HierarchicalPartition::HierarchicalPartition(std::span<const float> dlist,
+                                             std::uint32_t group_size,
+                                             std::uint32_t k)
+    : base_(dlist), group_(group_size), k_(k) {
+  GPUKSEL_CHECK(group_size >= 2, "hierarchical partition needs G >= 2");
+  GPUKSEL_CHECK(k >= 1, "hierarchical partition needs k >= 1");
+  // Bottom-Up Construction (Algorithm 4): fold each level into group minima
+  // until at most k elements remain.  Minima keep the first position that
+  // attains them (strict '<' during the scan) — required for tie safety.
+  std::span<const float> cur = base_;
+  while (cur.size() > k_) {
+    const std::size_t next_size = (cur.size() + group_ - 1) / group_;
+    std::vector<float> next(next_size);
+    for (std::size_t g = 0; g < next_size; ++g) {
+      const std::size_t first = g * group_;
+      const std::size_t last = std::min(cur.size(), first + group_);
+      float min = cur[first];
+      for (std::size_t j = first + 1; j < last; ++j) {
+        if (cur[j] < min) min = cur[j];
+      }
+      next[g] = min;
+    }
+    upper_.push_back(std::move(next));
+    cur = upper_.back();
+  }
+}
+
+std::span<const float> HierarchicalPartition::level(std::size_t l) const {
+  GPUKSEL_CHECK(l < level_count(), "hierarchical partition level out of range");
+  if (l == 0) return base_;
+  return upper_[l - 1];
+}
+
+std::size_t HierarchicalPartition::extra_memory_elements() const noexcept {
+  std::size_t total = 0;
+  for (const auto& lvl : upper_) total += lvl.size();
+  return total;
+}
+
+}  // namespace gpuksel

@@ -1,0 +1,89 @@
+// Hierarchical Partition (paper §III-E, Fig. 4, Algorithm 4).
+//
+// Bottom-Up Construction folds the distance list into levels of group minima
+// (group size G) until at most k elements remain; Top-Down search then visits
+// only the sub-groups of current k-NN candidates, so selection touches
+// ~G*k*log_G(N/k) elements instead of N.  Construction is a linear streaming
+// scan (O(N) time, O(N/(G-1)) extra space) and, on the GPU, perfectly
+// coalesced — which is why paying it on every query is still a large win.
+//
+// Correctness note (property-tested): group minima keep the *first* position
+// achieving the minimum, and queues order candidates by (value, position).
+// With those two rules the k smallest elements of each level always have
+// their group representative among the k smallest of the level above, so
+// Top-Down search can never prune a true k-NN.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/neighbor.hpp"
+
+namespace gpuksel {
+
+class HierarchicalPartition {
+ public:
+  /// Builds the hierarchy over `dlist` for queries of at most `k` neighbors
+  /// with group size `G >= 2`.  The bottom level aliases `dlist`, which must
+  /// outlive this object.
+  HierarchicalPartition(std::span<const float> dlist, std::uint32_t group_size,
+                        std::uint32_t k);
+
+  [[nodiscard]] std::uint32_t group_size() const noexcept { return group_; }
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+
+  /// Number of levels including the bottom (original) list.
+  [[nodiscard]] std::size_t level_count() const noexcept {
+    return upper_.size() + 1;
+  }
+
+  /// Level l values; level 0 is the original list.
+  [[nodiscard]] std::span<const float> level(std::size_t l) const;
+
+  /// Elements stored in the upper levels (the paper's O(N/(G-1)) overhead).
+  [[nodiscard]] std::size_t extra_memory_elements() const noexcept;
+
+  /// Top-Down search: returns the k smallest (dist, index) of the bottom
+  /// list, sorted ascending.  `make_queue(k)` constructs the selection queue
+  /// used at every level (InsertionQueue, HeapQueue or MergeQueue).
+  template <typename MakeQueue>
+  [[nodiscard]] std::vector<Neighbor> select(MakeQueue&& make_queue) const {
+    // Candidate positions at the current level; start with every slot of the
+    // topmost level (its size is <= k by construction).
+    const std::size_t top = level_count() - 1;
+    std::vector<std::uint32_t> candidates(level(top).size());
+    for (std::uint32_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
+
+    for (std::size_t l = top; l > 0; --l) {
+      const std::span<const float> child = level(l - 1);
+      auto queue = make_queue(k_);
+      for (const std::uint32_t pos : candidates) {
+        const std::size_t first = std::size_t{pos} * group_;
+        const std::size_t last =
+            std::min(child.size(), first + group_);
+        for (std::size_t j = first; j < last; ++j) {
+          queue.try_insert(child[j], static_cast<std::uint32_t>(j));
+        }
+      }
+      std::vector<Neighbor> kept = queue.extract_sorted();
+      candidates.clear();
+      for (const Neighbor& n : kept) candidates.push_back(n.index);
+      if (l == 1) return kept;
+    }
+    // Single level: the hierarchy is trivial (N <= k); select directly.
+    auto queue = make_queue(k_);
+    for (std::uint32_t j = 0; j < level(0).size(); ++j) {
+      queue.try_insert(level(0)[j], j);
+    }
+    return queue.extract_sorted();
+  }
+
+ private:
+  std::span<const float> base_;
+  std::vector<std::vector<float>> upper_;
+  std::uint32_t group_;
+  std::uint32_t k_;
+};
+
+}  // namespace gpuksel

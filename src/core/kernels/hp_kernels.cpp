@@ -1,0 +1,276 @@
+#include "core/kernels/hp_kernels.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gpuksel::kernels {
+
+std::vector<std::uint32_t> hp_level_sizes(std::uint32_t n, std::uint32_t group,
+                                          std::uint32_t k) {
+  GPUKSEL_CHECK(group >= 2, "hierarchical partition needs G >= 2");
+  GPUKSEL_CHECK(k >= 1, "hierarchical partition needs k >= 1");
+  std::vector<std::uint32_t> sizes{n};
+  while (sizes.back() > k) {
+    sizes.push_back((sizes.back() + group - 1) / group);
+  }
+  return sizes;
+}
+
+std::uint64_t hp_extra_elements(std::uint32_t n, std::uint32_t group,
+                                std::uint32_t k) {
+  const auto sizes = hp_level_sizes(n, group, k);
+  std::uint64_t extra = 0;
+  for (std::size_t l = 1; l < sizes.size(); ++l) extra += sizes[l];
+  return extra;
+}
+
+namespace {
+
+/// Interleaved per-thread view of one hierarchy level's values.
+struct LevelView {
+  simt::DeviceSpan<float> data;
+  std::uint32_t stride = 0;
+  std::uint32_t size = 0;
+
+  F32 load(WarpContext& ctx, LaneMask m, const U32& thread,
+           std::uint32_t slot) const {
+    U32 idx;
+    ctx.alu(m, idx, [&](int i) { return slot * stride + thread[i]; });
+    return ctx.load(m, data, idx);
+  }
+
+  F32 load_gather(WarpContext& ctx, LaneMask m, const U32& thread,
+                  const U32& slot) const {
+    U32 idx;
+    ctx.alu(m, idx, [&](int i) { return slot[i] * stride + thread[i]; });
+    return ctx.load(m, data, idx);
+  }
+
+  void store(WarpContext& ctx, LaneMask m, const U32& thread,
+             std::uint32_t slot, const F32& v) const {
+    U32 idx;
+    ctx.alu(m, idx, [&](int i) { return slot * stride + thread[i]; });
+    ctx.store(m, data, idx, v);
+  }
+};
+
+}  // namespace
+
+SelectOutput hp_select(simt::Device& dev, std::span<const float> distances,
+                       std::uint32_t num_queries, std::uint32_t n,
+                       std::uint32_t k, const SelectConfig& cfg,
+                       std::uint32_t group) {
+  GPUKSEL_CHECK(k >= 1, "hp_select needs k >= 1");
+  GPUKSEL_CHECK(distances.size() == std::size_t{num_queries} * n,
+                "distance matrix size mismatch");
+  const auto sizes = hp_level_sizes(n, group, k);
+  if (sizes.size() == 1) {
+    // Trivial hierarchy (N <= k): the flat kernel is the whole search.
+    return flat_select(dev, distances, num_queries, n, k, cfg);
+  }
+
+  const std::uint32_t threads = padded_threads(num_queries);
+  const std::uint32_t capacity = queue_capacity(cfg, k);
+  auto dlist = dev.upload(distances);
+  const DistanceMatrixView dm{dlist.cspan(), num_queries, n, cfg.layout};
+
+  // Device storage for the upper levels, per-thread interleaved.
+  std::vector<simt::DeviceBuffer<float>> level_bufs;
+  level_bufs.reserve(sizes.size() - 1);
+  for (std::size_t l = 1; l < sizes.size(); ++l) {
+    level_bufs.emplace_back(std::size_t{sizes[l]} * threads);
+  }
+  auto level_view = [&](std::size_t l) {
+    return LevelView{level_bufs[l - 1].span(), threads, sizes[l]};
+  };
+
+  const std::uint32_t num_warps = threads / simt::kWarpSize;
+
+  SelectOutput out;
+  // ---- Bottom-Up Construction (Algorithm 4) -------------------------------
+  out.build_metrics =
+      dev.launch(num_warps, [&](WarpContext& ctx, std::uint32_t warp) {
+        const std::uint32_t base = warp * simt::kWarpSize;
+        const int live = static_cast<int>(
+            std::min<std::uint32_t>(simt::kWarpSize, num_queries - base));
+        const LaneMask act = simt::first_lanes(live);
+        U32 thread;
+        ctx.alu(act, thread, [&](int i) { return base + i; });
+
+        for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+          const LevelView next = level_view(l + 1);
+          F32 run_min = ctx.imm(act, simt::kFloatSentinel);
+          for (std::uint32_t j = 0; j < sizes[l]; ++j) {
+            const F32 v = l == 0 ? dm.load(ctx, act, thread, j)
+                                 : level_view(l).load(ctx, act, thread, j);
+            const LaneMask smaller = ctx.cmp_lt(act, v, run_min);
+            run_min = ctx.select(act, smaller, v, run_min);
+            if ((j + 1) % group == 0 || j + 1 == sizes[l]) {
+              next.store(ctx, act, thread, j / group, run_min);
+              run_min = ctx.imm(act, simt::kFloatSentinel);
+            }
+          }
+        }
+      });
+
+  // ---- Top-Down search ----------------------------------------------------
+  // Ping-pong queues: candidates of the current level are read from one while
+  // the next level's selection fills the other.
+  auto dq_a = dev.alloc<float>(std::size_t{capacity} * threads);
+  auto iq_a = dev.alloc<std::uint32_t>(std::size_t{capacity} * threads);
+  auto dq_b = dev.alloc<float>(std::size_t{capacity} * threads);
+  auto iq_b = dev.alloc<std::uint32_t>(std::size_t{capacity} * threads);
+  const ThreadArrayView qa{dq_a.span(), iq_a.span(), threads, capacity,
+                           cfg.queue_layout};
+  const ThreadArrayView qb{dq_b.span(), iq_b.span(), threads, capacity,
+                           cfg.queue_layout};
+  auto dbuf = dev.alloc<float>(
+      cfg.buffer == BufferMode::kNone ? 0
+                                      : std::size_t{cfg.buffer_size} * threads);
+  auto ibuf = dev.alloc<std::uint32_t>(
+      cfg.buffer == BufferMode::kNone ? 0
+                                      : std::size_t{cfg.buffer_size} * threads);
+  const ThreadArrayView bview{dbuf.span(), ibuf.span(), threads,
+                              cfg.buffer_size, cfg.queue_layout};
+  const bool two_pointer = cfg.queue == QueueKind::kMerge &&
+                           cfg.merge_strategy == MergeStrategy::kTwoPointer;
+  auto dscratch =
+      dev.alloc<float>(two_pointer ? std::size_t{capacity} * threads : 0);
+  auto iscratch = dev.alloc<std::uint32_t>(
+      two_pointer ? std::size_t{capacity} * threads : 0);
+  const ThreadArrayView sview{dscratch.span(), iscratch.span(), threads,
+                              two_pointer ? capacity : 0, cfg.queue_layout};
+
+  const std::size_t top = sizes.size() - 1;
+  // Whether the final (level 0) results land in queue A or B depends on the
+  // number of ping-pong swaps: after the top-level fill of A, the descent
+  // fills B, A, B, ... `top` times, so an odd descent count ends in B.
+  const bool result_in_a = top % 2 == 0;
+
+  out.metrics = dev.launch(num_warps, [&](WarpContext& ctx, std::uint32_t warp) {
+    const std::uint32_t base = warp * simt::kWarpSize;
+    const int live = static_cast<int>(
+        std::min<std::uint32_t>(simt::kWarpSize, num_queries - base));
+    const LaneMask act = simt::first_lanes(live);
+    U32 thread;
+    ctx.alu(act, thread, [&](int i) { return base + i; });
+
+    simt::SharedArray<int> flag(ctx, 2, 0);
+
+    // Select within the topmost level into the first queue; its size is <= k,
+    // so this keeps every top-level element as a candidate.
+    ThreadArrayView src = qa;
+    ThreadArrayView dst = qb;
+    {
+      WarpQueue queue(ctx, src, thread, act, cfg.queue, cfg.merge_m,
+                      cfg.aligned_merge, &flag, cfg.merge_strategy, sview,
+                      cfg.cache_head);
+      queue.init();
+      BufferedInserter inserter(ctx, queue, act, bview, thread, cfg.buffer,
+                                cfg.buffer_size, &flag);
+      const LevelView lv = level_view(top);
+      for (std::uint32_t j = 0; j < sizes[top]; ++j) {
+        const F32 v = lv.load(ctx, act, thread, j);
+        inserter.offer(act, EntryLanes{v, ctx.imm(act, j)});
+      }
+      inserter.finish();
+    }
+
+    // Walk down with *inherit-and-offer*: every group minimum recurs verbatim
+    // among its children, so the next level's queue starts as a copy of the
+    // current one with each candidate's position remapped to the child that
+    // attains its value.  The remap is an order-isomorphism (values are
+    // unchanged; equal-value entries keep their index order because the new
+    // positions live in disjoint, order-preserving group ranges), so every
+    // queue invariant carries over.  Only the G-1 non-minimum children per
+    // candidate are then offered — against a threshold that is already the
+    // exact k-th smallest — which is what keeps Top-Down search cheap.
+    // The result is provably the k smallest of all visited children, i.e.
+    // identical to re-selecting from scratch.
+    for (std::size_t l = top; l >= 1; --l) {
+      const std::uint32_t child_size = sizes[l - 1];
+      auto load_child = [&](LaneMask m, const U32& child_pos) {
+        return l - 1 == 0
+                   ? dm.load_gather(ctx, m, thread, child_pos)
+                   : level_view(l - 1).load_gather(ctx, m, thread, child_pos);
+      };
+
+      WarpQueue queue(ctx, dst, thread, act, cfg.queue, cfg.merge_m,
+                      cfg.aligned_merge, &flag, cfg.merge_strategy, sview,
+                      cfg.cache_head);
+      // Phase A: copy src -> dst slot-wise, remapping each valid entry's
+      // position to its first value-equal child; record which child was
+      // consumed so Phase B can skip it.
+      for (std::uint32_t c = 0; c < capacity; ++c) {
+        const EntryLanes e = src.load(ctx, act, thread, c);
+        const LaneMask valid = ctx.pred(
+            act, [&](int i) { return e.index[i] != simt::kIndexSentinel; });
+        U32 new_pos = U32::filled(simt::kIndexSentinel);
+        if (valid) {
+          U32 child_base;
+          ctx.alu(valid, child_base, [&](int i) { return e.index[i] * group; });
+          LaneMask found = 0;
+          for (std::uint32_t g = 0; g < group && (found & valid) != valid;
+               ++g) {
+            const U32 child_pos = ctx.add(valid, child_base, g);
+            const LaneMask in_range =
+                ctx.pred(valid & ~found,
+                         [&](int i) { return child_pos[i] < child_size; });
+            if (!in_range) continue;
+            const F32 v = load_child(in_range, child_pos);
+            const LaneMask eq = ctx.pred(
+                in_range, [&](int i) { return v[i] == e.dist[i]; });
+            new_pos = ctx.select(act, eq, child_pos, new_pos);
+            found |= eq;
+          }
+        }
+        dst.store(ctx, act, thread, c, EntryLanes{e.dist, new_pos});
+      }
+      queue.adopt(act);
+
+      // Phase B: offer the remaining children of every candidate; the
+      // inherited threshold rejects almost all of them without insertion.
+      // Candidates are re-read from the *immutable* src snapshot (offers
+      // mutate dst, so dst slots cannot be walked), and the consumed minimum
+      // child is re-identified with the same first-value-match rule.
+      BufferedInserter inserter(ctx, queue, act, bview, thread, cfg.buffer,
+                                cfg.buffer_size, &flag);
+      for (std::uint32_t c = 0; c < capacity; ++c) {
+        const EntryLanes e = src.load(ctx, act, thread, c);
+        const LaneMask valid = ctx.pred(
+            act, [&](int i) { return e.index[i] != simt::kIndexSentinel; });
+        if (!valid) continue;
+        U32 child_base;
+        ctx.alu(valid, child_base, [&](int i) { return e.index[i] * group; });
+        LaneMask found = 0;
+        for (std::uint32_t g = 0; g < group; ++g) {
+          const U32 child_pos = ctx.add(valid, child_base, g);
+          const LaneMask in_range = ctx.pred(
+              valid, [&](int i) { return child_pos[i] < child_size; });
+          if (!in_range) continue;
+          // Per-lane gathers — the divergent part of Top-Down search the
+          // paper's G trade-off is about.
+          const F32 v = load_child(in_range, child_pos);
+          const LaneMask eq =
+              ctx.pred(in_range & ~found,
+                       [&](int i) { return v[i] == e.dist[i]; });
+          found |= eq;
+          const LaneMask offerable = in_range & ~eq;
+          if (offerable) inserter.offer(offerable, EntryLanes{v, child_pos});
+        }
+      }
+      inserter.finish();
+      std::swap(src, dst);
+    }
+  });
+
+  out.neighbors = result_in_a
+                      ? extract_queues(dq_a, iq_a, num_queries, threads,
+                                       capacity, k, cfg.queue_layout)
+                      : extract_queues(dq_b, iq_b, num_queries, threads,
+                                       capacity, k, cfg.queue_layout);
+  return out;
+}
+
+}  // namespace gpuksel::kernels

@@ -1,0 +1,46 @@
+// Hierarchical Partition kernels (paper §III-E) on the simulated GPU.
+//
+// Bottom-Up Construction is a streaming group-minimum fold, one thread per
+// query: every lane reads element j of its own list in lockstep, so the loads
+// coalesce perfectly and SIMT efficiency is ~1 — the reason paying O(N)
+// construction per query is still profitable.  Top-Down search then expands
+// only the sub-groups of the current candidates, inserting at most G*k
+// elements per level into a fresh queue (ping-pong buffers), reusing the same
+// WarpQueue/BufferedInserter machinery as the flat kernels so every queue and
+// buffering variant composes with HP (the paper's "buf+hp" rows).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/kernels/select_kernels.hpp"
+
+namespace gpuksel::kernels {
+
+/// Host-side mirror of the level structure: sizes[0] = N, each next level is
+/// ceil(prev / G), stopping once size <= k.  sizes.size() == 1 means the
+/// hierarchy is trivial (N <= k).
+[[nodiscard]] std::vector<std::uint32_t> hp_level_sizes(std::uint32_t n,
+                                                        std::uint32_t group,
+                                                        std::uint32_t k);
+
+/// Extra device memory per query (elements) the hierarchy costs — the
+/// paper's N/(G-1) bound; reported by the G ablation bench.
+[[nodiscard]] std::uint64_t hp_extra_elements(std::uint32_t n,
+                                              std::uint32_t group,
+                                              std::uint32_t k);
+
+/// Runs Hierarchical Partition selection (construction + top-down search)
+/// over a Q x N distance matrix.  `cfg` selects the queue and buffering used
+/// during the search; `group` is the paper's G (>= 2).  Results are
+/// bit-identical to select_k_smallest_hp().  out.build_metrics holds the
+/// construction kernel's metrics, out.metrics the search kernel's; the
+/// paper's figures charge both.
+[[nodiscard]] SelectOutput hp_select(simt::Device& dev,
+                                     std::span<const float> distances,
+                                     std::uint32_t num_queries, std::uint32_t n,
+                                     std::uint32_t k, const SelectConfig& cfg,
+                                     std::uint32_t group);
+
+}  // namespace gpuksel::kernels

@@ -1,0 +1,93 @@
+#include "core/kernels/pipeline.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gpuksel::kernels {
+
+DistanceOutput gpu_distance_matrix(simt::Device& dev,
+                                   std::span<const float> queries,
+                                   std::span<const float> refs,
+                                   std::uint32_t num_queries, std::uint32_t n,
+                                   std::uint32_t dim,
+                                   MatrixLayout out_layout) {
+  GPUKSEL_CHECK(queries.size() == std::size_t{num_queries} * dim,
+                "query buffer size mismatch");
+  GPUKSEL_CHECK(refs.size() == std::size_t{n} * dim,
+                "reference buffer size mismatch");
+
+  auto d_queries = dev.upload(queries);
+  auto d_refs = dev.upload(refs);
+  DistanceOutput out{dev.alloc<float>(std::size_t{num_queries} * n), {}};
+
+  const std::uint32_t threads = padded_threads(num_queries);
+  const std::uint32_t num_warps = threads / simt::kWarpSize;
+  const auto q_span = d_queries.cspan();
+  const auto r_span = d_refs.cspan();
+  auto m_span = out.matrix.span();
+
+  out.metrics = dev.launch(num_warps, [&](WarpContext& ctx, std::uint32_t warp) {
+    const std::uint32_t base = warp * simt::kWarpSize;
+    const int live = static_cast<int>(
+        std::min<std::uint32_t>(simt::kWarpSize, num_queries - base));
+    const LaneMask act = simt::first_lanes(live);
+    U32 thread;
+    ctx.alu(act, thread, [&](int i) { return base + i; });
+
+    // Query vector into registers: statically-indexed, so a real compiler
+    // keeps it in the register file; loads coalesce (dim-major layout).
+    std::vector<F32> qreg(dim);
+    for (std::uint32_t d = 0; d < dim; ++d) {
+      U32 idx;
+      ctx.alu(act, idx, [&](int i) { return d * num_queries + thread[i]; });
+      qreg[d] = ctx.load(act, q_span, idx);
+    }
+
+    simt::SharedArray<float> tile(ctx, std::size_t{kDistanceTileRefs} * dim);
+    for (std::uint32_t r0 = 0; r0 < n; r0 += kDistanceTileRefs) {
+      const std::uint32_t rt = std::min(kDistanceTileRefs, n - r0);
+      // Cooperative tile copy: all 32 lanes stream rt*dim contiguous floats
+      // (the copy uses the full warp even when some lanes own no query —
+      // exactly what a CUDA block-level copy does).
+      const std::uint32_t total = rt * dim;
+      for (std::uint32_t ofs = 0; ofs < total; ofs += simt::kWarpSize) {
+        const LaneMask in_range =
+            ctx.pred(simt::kFullMask, [&](int i) {
+              return ofs + static_cast<std::uint32_t>(i) < total;
+            });
+        if (!in_range) break;
+        U32 src;
+        ctx.alu(in_range, src, [&](int i) { return r0 * dim + ofs + i; });
+        const F32 v = ctx.load(in_range, r_span, src);
+        U32 dst;
+        ctx.alu(in_range, dst, [&](int i) { return ofs + i; });
+        tile.write(in_range, dst, v);
+      }
+      // Accumulate squared distances against the tile.
+      for (std::uint32_t r = 0; r < rt; ++r) {
+        F32 acc = ctx.imm(act, 0.0f);
+        for (std::uint32_t d = 0; d < dim; ++d) {
+          const F32 ref_v = tile.read_bcast(act, std::size_t{r} * dim + d);
+          // diff = q - ref; acc = fma(diff, diff, acc): two instructions.
+          F32 diff;
+          ctx.alu(act, diff, [&](int i) { return qreg[d][i] - ref_v[i]; });
+          ctx.alu(act, acc, [&](int i) { return acc[i] + diff[i] * diff[i]; });
+        }
+        const std::uint32_t ref = r0 + r;
+        U32 idx;
+        if (out_layout == MatrixLayout::kReferenceMajor) {
+          ctx.alu(act, idx, [&](int i) { return ref * num_queries + thread[i]; });
+        } else {
+          ctx.alu(act, idx, [&](int i) { return thread[i] * n + ref; });
+        }
+        ctx.store(act, m_span, idx, acc);
+      }
+    }
+  });
+
+  return out;
+}
+
+}  // namespace gpuksel::kernels

@@ -1,0 +1,166 @@
+// Device-side data layout for per-thread queues, buffers and distance lists.
+//
+// Each GPU thread (lane) owns one query.  Per-thread arrays (queues,
+// candidate buffers) default to the *interleaved* layout — element j of
+// thread t lives at j*num_threads + t — exactly how CUDA lays out local
+// memory, so that when a warp's lanes access the same element index in
+// lockstep the 32 addresses are consecutive and coalesce into one or two
+// 128-byte transactions.  Divergent indices (heap sift-down paths) scatter
+// across segments and get charged accordingly; the layout is what turns
+// "regular data structure" (paper §III-C) into measurable transactions.
+// A naive row-major layout is also provided (see QueueLayout and
+// bench/ablation_queue_opt).
+//
+// The distance matrix supports both orientations; reference-major is the
+// coalesced one for thread-per-query kernels and is the default.  The
+// query-major layout exists for the layout ablation.
+#pragma once
+
+#include <cstdint>
+
+#include "simt/warp.hpp"
+#include "simt/warp_ops.hpp"
+
+namespace gpuksel::kernels {
+
+using simt::DeviceSpan;
+using simt::F32;
+using simt::LaneMask;
+using simt::U32;
+using simt::WarpContext;
+
+/// Orientation of the Q x N distance matrix in device memory.
+enum class MatrixLayout {
+  kReferenceMajor,  ///< element (q, r) at r*Q + q — warp accesses coalesce
+  kQueryMajor,      ///< element (q, r) at q*N + r — warp accesses stride by N
+};
+
+/// Layout of per-thread arrays (queues, buffers) in device memory.
+///
+/// kRowMajor is what the paper's artifact uses: each thread's queue is a
+/// contiguous row, so even lockstep same-slot accesses scatter across 32
+/// segments.  kInterleaved is the CUDA local-memory layout (slot j of thread
+/// t at j*threads + t): lockstep accesses coalesce.  The paper-faithful
+/// default is kRowMajor; bench/ablation_queue_opt quantifies the difference.
+enum class QueueLayout {
+  kRowMajor,
+  kInterleaved,
+};
+
+/// A (distance, index) pair held in warp registers.
+struct EntryLanes {
+  F32 dist;
+  U32 index;
+};
+
+/// Lexicographic (dist, index) less-than across lanes: one warp instruction,
+/// matching the scalar Neighbor ordering so results are bit-identical.
+inline LaneMask entry_lt(WarpContext& ctx, LaneMask m, const EntryLanes& a,
+                         const EntryLanes& b) {
+  return ctx.pred(m, [&](int i) {
+    if (a.dist[i] != b.dist[i]) return a.dist[i] < b.dist[i];
+    return a.index[i] < b.index[i];
+  });
+}
+
+/// View of the Q x N distance matrix for a warp whose lanes hold `query`.
+struct DistanceMatrixView {
+  DeviceSpan<const float> data;
+  std::uint32_t num_queries = 0;
+  std::uint32_t n = 0;
+  MatrixLayout layout = MatrixLayout::kReferenceMajor;
+
+  /// Loads element `ref` of every active lane's query list.
+  F32 load(WarpContext& ctx, LaneMask m, const U32& query,
+           std::uint32_t ref) const {
+    U32 idx;
+    if (layout == MatrixLayout::kReferenceMajor) {
+      ctx.alu(m, idx, [&](int i) { return ref * num_queries + query[i]; });
+    } else {
+      ctx.alu(m, idx, [&](int i) { return query[i] * n + ref; });
+    }
+    return ctx.load(m, data, idx);
+  }
+
+  /// Loads with a *per-lane* reference index (Top-Down search).
+  F32 load_gather(WarpContext& ctx, LaneMask m, const U32& query,
+                  const U32& ref) const {
+    U32 idx;
+    if (layout == MatrixLayout::kReferenceMajor) {
+      ctx.alu(m, idx, [&](int i) { return ref[i] * num_queries + query[i]; });
+    } else {
+      ctx.alu(m, idx, [&](int i) { return query[i] * n + ref[i]; });
+    }
+    return ctx.load(m, data, idx);
+  }
+};
+
+/// View of a per-thread (dist, index) array: queues and buffers.
+struct ThreadArrayView {
+  DeviceSpan<float> dist;
+  DeviceSpan<std::uint32_t> index;
+  std::uint32_t stride = 0;    ///< total threads (Q padded to warp multiple)
+  std::uint32_t length = 0;    ///< per-thread element count
+  QueueLayout layout = QueueLayout::kInterleaved;
+
+  /// Flat index of element `slot` (same for all lanes) of lane-owned arrays.
+  U32 flat(WarpContext& ctx, LaneMask m, const U32& thread,
+           std::uint32_t slot) const {
+    U32 idx;
+    if (layout == QueueLayout::kInterleaved) {
+      ctx.alu(m, idx, [&](int i) { return slot * stride + thread[i]; });
+    } else {
+      ctx.alu(m, idx, [&](int i) { return thread[i] * length + slot; });
+    }
+    return idx;
+  }
+
+  /// Flat index with per-lane slot (divergent access).
+  U32 flat_gather(WarpContext& ctx, LaneMask m, const U32& thread,
+                  const U32& slot) const {
+    U32 idx;
+    if (layout == QueueLayout::kInterleaved) {
+      ctx.alu(m, idx, [&](int i) { return slot[i] * stride + thread[i]; });
+    } else {
+      ctx.alu(m, idx, [&](int i) { return thread[i] * length + slot[i]; });
+    }
+    return idx;
+  }
+
+  EntryLanes load(WarpContext& ctx, LaneMask m, const U32& thread,
+                  std::uint32_t slot) const {
+    const U32 idx = flat(ctx, m, thread, slot);
+    return EntryLanes{ctx.load(m, dist, idx), ctx.load(m, index, idx)};
+  }
+
+  EntryLanes load_gather(WarpContext& ctx, LaneMask m, const U32& thread,
+                         const U32& slot) const {
+    const U32 idx = flat_gather(ctx, m, thread, slot);
+    return EntryLanes{ctx.load(m, dist, idx), ctx.load(m, index, idx)};
+  }
+
+  void store(WarpContext& ctx, LaneMask m, const U32& thread,
+             std::uint32_t slot, const EntryLanes& e) const {
+    const U32 idx = flat(ctx, m, thread, slot);
+    ctx.store(m, dist, idx, e.dist);
+    ctx.store(m, index, idx, e.index);
+  }
+
+  void store_gather(WarpContext& ctx, LaneMask m, const U32& thread,
+                    const U32& slot, const EntryLanes& e) const {
+    const U32 idx = flat_gather(ctx, m, thread, slot);
+    ctx.store(m, dist, idx, e.dist);
+    ctx.store(m, index, idx, e.index);
+  }
+
+  /// Fills every slot of the active lanes with the empty sentinel.
+  void fill_sentinel(WarpContext& ctx, LaneMask m, const U32& thread) const {
+    for (std::uint32_t j = 0; j < length; ++j) {
+      const U32 idx = flat(ctx, m, thread, j);
+      ctx.store(m, dist, idx, simt::kFloatSentinel);
+      ctx.store(m, index, idx, simt::kIndexSentinel);
+    }
+  }
+};
+
+}  // namespace gpuksel::kernels

@@ -1,0 +1,251 @@
+#include "core/kernels/select_kernels.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gpuksel::kernels {
+
+std::string_view queue_kind_name(QueueKind kind) noexcept {
+  switch (kind) {
+    case QueueKind::kInsertion: return "insertion";
+    case QueueKind::kHeap: return "heap";
+    case QueueKind::kMerge: return "merge";
+  }
+  return "unknown";
+}
+
+std::string_view buffer_mode_name(BufferMode mode) noexcept {
+  switch (mode) {
+    case BufferMode::kNone: return "none";
+    case BufferMode::kBufferOnly: return "buffer";
+    case BufferMode::kFull: return "full";
+    case BufferMode::kFullSorted: return "full+sorted";
+  }
+  return "unknown";
+}
+
+std::uint32_t queue_capacity(const SelectConfig& cfg, std::uint32_t k) noexcept {
+  return cfg.queue == QueueKind::kMerge ? merge_capacity(k, cfg.merge_m) : k;
+}
+
+std::vector<std::vector<Neighbor>> extract_queues(
+    const simt::DeviceBuffer<float>& dist,
+    const simt::DeviceBuffer<std::uint32_t>& index, std::uint32_t num_queries,
+    std::uint32_t stride, std::uint32_t capacity, std::uint32_t k,
+    QueueLayout layout) {
+  std::vector<std::vector<Neighbor>> out(num_queries);
+  const auto& d = dist.host();
+  const auto& id = index.host();
+  for (std::uint32_t q = 0; q < num_queries; ++q) {
+    auto& nbrs = out[q];
+    nbrs.reserve(capacity);
+    for (std::uint32_t j = 0; j < capacity; ++j) {
+      const std::size_t flat = layout == QueueLayout::kInterleaved
+                                   ? std::size_t{j} * stride + q
+                                   : std::size_t{q} * capacity + j;
+      const Neighbor n{d[flat], id[flat]};
+      if (!is_empty_slot(n)) nbrs.push_back(n);
+    }
+    std::sort(nbrs.begin(), nbrs.end());
+    if (nbrs.size() > k) nbrs.resize(k);
+  }
+  return out;
+}
+
+// --- BufferedInserter ------------------------------------------------------
+
+BufferedInserter::BufferedInserter(WarpContext& ctx, WarpQueue& queue,
+                                   LaneMask kernel_mask, ThreadArrayView buffer,
+                                   U32 thread, BufferMode mode,
+                                   std::uint32_t buffer_size,
+                                   simt::SharedArray<int>* flag)
+    : ctx_(ctx),
+      queue_(queue),
+      kernel_mask_(kernel_mask),
+      buffer_(buffer),
+      thread_(thread),
+      mode_(mode),
+      buffer_size_(buffer_size),
+      flag_(flag),
+      cur_(U32::filled(0u)) {
+  if (mode_ == BufferMode::kFullSorted) {
+    // Local Sort reads the whole buffer, so stale slots must stay sentinels.
+    buffer_.fill_sentinel(ctx_, kernel_mask_, thread_);
+  }
+  if (flag_ != nullptr &&
+      (mode_ == BufferMode::kFull || mode_ == BufferMode::kFullSorted)) {
+    flag_->write_bcast(kernel_mask_, kFlagSlot, 0);
+  }
+}
+
+void BufferedInserter::offer(LaneMask m, const EntryLanes& cand) {
+  const LaneMask want = queue_.accepts(m, cand);
+  if (mode_ == BufferMode::kNone) {
+    if (want) queue_.insert(want, cand);
+    return;
+  }
+  // Stage accepted candidates into the per-thread buffer (Algorithm 3 l.4-7).
+  if (want) {
+    buffer_.store_gather(ctx_, want, thread_, cur_, cand);
+    cur_ = ctx_.add(want, cur_, 1u);
+  }
+  const LaneMask full =
+      ctx_.pred(m, [&](int i) { return cur_[i] == buffer_size_; });
+  if (mode_ == BufferMode::kBufferOnly) {
+    // Without intra-warp communication each thread drains alone — the drain
+    // runs under a (usually sparse) mask.
+    if (full) drain(full);
+    return;
+  }
+  // Intra-Warp Communication (Algorithm 3 l.8-10): full lanes raise the
+  // shared flag; everyone reads it each round and drains together.
+  if (full) flag_->write_bcast(full, kFlagSlot, 1);
+  const auto f = flag_->read_bcast(m, kFlagSlot);
+  if (f[0] != 0) {
+    const LaneMask staged =
+        ctx_.pred(m, [&](int i) { return cur_[i] > 0; });
+    drain(staged);
+    flag_->write_bcast(m, kFlagSlot, 0);
+  }
+}
+
+void BufferedInserter::finish() {
+  if (mode_ == BufferMode::kNone) return;
+  const LaneMask staged =
+      ctx_.pred(kernel_mask_, [&](int i) { return cur_[i] > 0; });
+  if (staged) drain(staged);
+}
+
+void BufferedInserter::drain(LaneMask lanes) {
+  if (mode_ == BufferMode::kFullSorted) local_sort(lanes);
+  for (std::uint32_t j = 0; j < buffer_size_; ++j) {
+    const LaneMask valid =
+        ctx_.pred(lanes, [&](int i) { return j < cur_[i]; });
+    if (!valid) continue;
+    const EntryLanes e = buffer_.load(ctx_, valid, thread_, j);
+    const LaneMask want = queue_.accepts(valid, e);
+    if (want) queue_.insert(want, e);
+    if (mode_ == BufferMode::kFullSorted) {
+      // Restore the sentinel so the next Local Sort sees a clean tail.
+      ctx_.store(valid, buffer_.dist, buffer_.flat(ctx_, valid, thread_, j),
+                 simt::kFloatSentinel);
+      ctx_.store(valid, buffer_.index, buffer_.flat(ctx_, valid, thread_, j),
+                 simt::kIndexSentinel);
+    }
+  }
+  ctx_.mov(lanes, cur_, 0u);
+}
+
+void BufferedInserter::local_sort(LaneMask lanes) {
+  // Per-thread ascending bitonic sort of the buffer, run in lockstep: sort
+  // descending with the fixed network, then reverse.  Matches the scalar
+  // buffered_select() drain order bit-for-bit.
+  const std::uint32_t n = buffer_size_;
+  auto cmpex_desc = [&](std::uint32_t i, std::uint32_t j) {
+    const EntryLanes a = buffer_.load(ctx_, lanes, thread_, i);
+    const EntryLanes b = buffer_.load(ctx_, lanes, thread_, j);
+    const LaneMask sw = entry_lt(ctx_, lanes, a, b);
+    const EntryLanes hi{ctx_.select(lanes, sw, b.dist, a.dist),
+                        ctx_.select(lanes, sw, b.index, a.index)};
+    const EntryLanes lo{ctx_.select(lanes, sw, a.dist, b.dist),
+                        ctx_.select(lanes, sw, a.index, b.index)};
+    buffer_.store(ctx_, lanes, thread_, i, hi);
+    buffer_.store(ctx_, lanes, thread_, j, lo);
+  };
+  // Recursive bitonic sort, iterative form (sizes double, then merge).
+  for (std::uint32_t size = 2; size <= n; size *= 2) {
+    // Reverse-bitonic merge each `size` block (both halves sorted desc).
+    for (std::uint32_t base = 0; base < n; base += size) {
+      const std::uint32_t half = size / 2;
+      for (std::uint32_t i = 0; i < half; ++i) {
+        cmpex_desc(base + i, base + size - 1 - i);
+      }
+      for (std::uint32_t dist = half / 2; dist >= 1; dist /= 2) {
+        for (std::uint32_t i = 0; i < size; ++i) {
+          if ((i & dist) == 0) cmpex_desc(base + i, base + i + dist);
+        }
+      }
+    }
+  }
+  // Reverse into ascending order.
+  for (std::uint32_t i = 0; 2 * i + 1 < n; ++i) {
+    const std::uint32_t j = n - 1 - i;
+    const EntryLanes a = buffer_.load(ctx_, lanes, thread_, i);
+    const EntryLanes b = buffer_.load(ctx_, lanes, thread_, j);
+    buffer_.store(ctx_, lanes, thread_, i, b);
+    buffer_.store(ctx_, lanes, thread_, j, a);
+  }
+}
+
+// --- flat scan kernel --------------------------------------------------------
+
+SelectOutput flat_select(simt::Device& dev, std::span<const float> distances,
+                         std::uint32_t num_queries, std::uint32_t n,
+                         std::uint32_t k, const SelectConfig& cfg) {
+  GPUKSEL_CHECK(k >= 1, "flat_select needs k >= 1");
+  GPUKSEL_CHECK(num_queries >= 1, "flat_select needs at least one query");
+  GPUKSEL_CHECK(distances.size() == std::size_t{num_queries} * n,
+                "distance matrix size mismatch");
+  if (cfg.buffer == BufferMode::kFullSorted) {
+    GPUKSEL_CHECK((cfg.buffer_size & (cfg.buffer_size - 1)) == 0,
+                  "Local Sort needs a power-of-two buffer size");
+  }
+
+  const std::uint32_t threads = padded_threads(num_queries);
+  const std::uint32_t capacity = queue_capacity(cfg, k);
+  auto dlist = dev.upload(distances);
+  auto dqueue = dev.alloc<float>(std::size_t{capacity} * threads);
+  auto iqueue = dev.alloc<std::uint32_t>(std::size_t{capacity} * threads);
+  auto dbuf = dev.alloc<float>(
+      cfg.buffer == BufferMode::kNone ? 0 : std::size_t{cfg.buffer_size} * threads);
+  auto ibuf = dev.alloc<std::uint32_t>(
+      cfg.buffer == BufferMode::kNone ? 0 : std::size_t{cfg.buffer_size} * threads);
+  const bool two_pointer = cfg.queue == QueueKind::kMerge &&
+                           cfg.merge_strategy == MergeStrategy::kTwoPointer;
+  auto dscratch =
+      dev.alloc<float>(two_pointer ? std::size_t{capacity} * threads : 0);
+  auto iscratch = dev.alloc<std::uint32_t>(
+      two_pointer ? std::size_t{capacity} * threads : 0);
+
+  const DistanceMatrixView dm{dlist.cspan(), num_queries, n, cfg.layout};
+  const ThreadArrayView qview{dqueue.span(), iqueue.span(), threads, capacity,
+                              cfg.queue_layout};
+  const ThreadArrayView bview{dbuf.span(), ibuf.span(), threads,
+                              cfg.buffer_size, cfg.queue_layout};
+  const ThreadArrayView sview{dscratch.span(), iscratch.span(), threads,
+                              two_pointer ? capacity : 0, cfg.queue_layout};
+
+  const std::uint32_t num_warps = threads / simt::kWarpSize;
+  SelectOutput out;
+  out.metrics = dev.launch(num_warps, [&](WarpContext& ctx, std::uint32_t warp) {
+    const std::uint32_t base = warp * simt::kWarpSize;
+    const int live = static_cast<int>(
+        std::min<std::uint32_t>(simt::kWarpSize, num_queries - base));
+    const LaneMask act = simt::first_lanes(live);
+    U32 thread;
+    ctx.alu(act, thread, [&](int i) { return base + i; });
+
+    // Slot 0: aligned-merge flag; slot 1: buffer-full flag (Algorithm 3).
+    simt::SharedArray<int> flag(ctx, 2, 0);
+    WarpQueue queue(ctx, qview, thread, act, cfg.queue, cfg.merge_m,
+                    cfg.aligned_merge, &flag, cfg.merge_strategy, sview,
+                    cfg.cache_head);
+    queue.init();
+    BufferedInserter inserter(ctx, queue, act, bview, thread, cfg.buffer,
+                              cfg.buffer_size, &flag);
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const F32 d = dm.load(ctx, act, thread, i);
+      const EntryLanes cand{d, ctx.imm(act, i)};
+      inserter.offer(act, cand);
+    }
+    inserter.finish();
+  });
+
+  out.neighbors = extract_queues(dqueue, iqueue, num_queries, threads,
+                                 capacity, k, cfg.queue_layout);
+  return out;
+}
+
+}  // namespace gpuksel::kernels

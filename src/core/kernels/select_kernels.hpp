@@ -1,0 +1,133 @@
+// Simulated-GPU k-selection kernels (flat scan over the distance list).
+//
+// One thread (lane) per query, as in the paper: a warp processes 32 queries
+// in lockstep.  The kernel scans the distance matrix and maintains a
+// per-thread queue (insertion / heap / merge), optionally staging candidates
+// through Buffered Search (§III-D) with Intra-Warp Communication and Local
+// Sort.  Results are bit-identical to the scalar select_k_smallest().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/kernels/queue_layout.hpp"
+#include "core/kernels/warp_queue.hpp"
+#include "core/queues/merge_queue.hpp"
+#include "core/neighbor.hpp"
+#include "simt/device.hpp"
+
+namespace gpuksel::kernels {
+
+/// Candidate staging policy for Buffered Search (Fig. 6 series).
+enum class BufferMode {
+  kNone,        ///< insert directly on every hit (the "original" kernels)
+  kBufferOnly,  ///< each thread drains its own buffer when it fills
+  kFull,        ///< + Intra-Warp Communication: any full buffer drains all
+  kFullSorted,  ///< + Local Sort: buffers sorted ascending before draining
+};
+
+[[nodiscard]] std::string_view queue_kind_name(QueueKind kind) noexcept;
+[[nodiscard]] std::string_view buffer_mode_name(BufferMode mode) noexcept;
+
+/// Kernel configuration (one row of the paper's comparison space).
+struct SelectConfig {
+  QueueKind queue = QueueKind::kMerge;
+  /// Merge queue only: synchronize merge networks across the warp
+  /// ("Merge Queue aligned" in Table I).
+  bool aligned_merge = true;
+  BufferMode buffer = BufferMode::kNone;
+  std::uint32_t buffer_size = 16;
+  /// Merge queue first/second level size (paper: m = 8).
+  std::uint32_t merge_m = 8;
+  /// How merge-queue levels are merged (paper default: the Reverse Bitonic
+  /// network; kTwoPointer is the §V future-work alternative, see
+  /// bench/ablation_merge_strategy).
+  MergeStrategy merge_strategy = MergeStrategy::kReverseBitonic;
+  MatrixLayout layout = MatrixLayout::kReferenceMajor;
+  /// Per-thread queue layout.  kInterleaved (CUDA local-memory order) is the
+  /// default — calibration against the paper's Table I shows it models the
+  /// artifact far better than naive row-major queues (which would invert the
+  /// aligned-merge result); kRowMajor remains available for
+  /// bench/ablation_queue_opt.
+  QueueLayout queue_layout = QueueLayout::kInterleaved;
+  /// Keep the queue head in a register instead of re-reading dqueue[0] per
+  /// element.  On-by-default for the same calibration reason; turning it off
+  /// models a naive Algorithm-1 implementation (see ablation_queue_opt).
+  bool cache_head = true;
+};
+
+/// Selection result plus the metrics the cost model consumes.
+struct SelectOutput {
+  /// Per query: the k nearest (dist, index), ascending.
+  std::vector<std::vector<Neighbor>> neighbors;
+  /// Metrics of the selection kernel itself.
+  simt::KernelMetrics metrics;
+  /// Metrics of Hierarchical Partition construction (zero for flat scans).
+  simt::KernelMetrics build_metrics;
+};
+
+/// Runs the flat-scan selection kernel over a Q x N distance matrix stored in
+/// `cfg.layout` order.  k must be >= 1; returns min(k, n) neighbors/query.
+[[nodiscard]] SelectOutput flat_select(simt::Device& dev,
+                                       std::span<const float> distances,
+                                       std::uint32_t num_queries,
+                                       std::uint32_t n, std::uint32_t k,
+                                       const SelectConfig& cfg);
+
+// --- shared plumbing (used by the HP kernels and the baselines) -----------
+
+/// Thread count padded to a whole number of warps.
+[[nodiscard]] constexpr std::uint32_t padded_threads(std::uint32_t q) noexcept {
+  return (q + simt::kWarpSize - 1) / simt::kWarpSize * simt::kWarpSize;
+}
+
+/// Queue capacity for a configuration (merge queues may round k up).
+[[nodiscard]] std::uint32_t queue_capacity(const SelectConfig& cfg,
+                                           std::uint32_t k) noexcept;
+
+/// Gathers per-query results from interleaved queue buffers: drops sentinel
+/// slots, sorts ascending, truncates to k.
+[[nodiscard]] std::vector<std::vector<Neighbor>> extract_queues(
+    const simt::DeviceBuffer<float>& dist,
+    const simt::DeviceBuffer<std::uint32_t>& index, std::uint32_t num_queries,
+    std::uint32_t stride, std::uint32_t capacity, std::uint32_t k,
+    QueueLayout layout = QueueLayout::kInterleaved);
+
+/// Body of the flat-scan kernel for one warp; exposed so the Hierarchical
+/// Partition kernels can reuse the buffered-insert machinery.
+class BufferedInserter {
+ public:
+  /// `buffer` must be sized cfg.buffer_size (power of two when sorting);
+  /// ignored when cfg.buffer == kNone.
+  BufferedInserter(WarpContext& ctx, WarpQueue& queue, LaneMask kernel_mask,
+                   ThreadArrayView buffer, U32 thread, BufferMode mode,
+                   std::uint32_t buffer_size, simt::SharedArray<int>* flag);
+
+  /// Offers one candidate to the active lanes (stage or insert directly).
+  void offer(LaneMask m, const EntryLanes& cand);
+
+  /// Drains whatever is still buffered (end of scan).
+  void finish();
+
+ private:
+  void drain(LaneMask lanes);
+  void local_sort(LaneMask lanes);
+
+  /// Shared-memory slot used for the buffer-full flag (the merge queue's
+  /// aligned-merge flag lives in slot 0 of the same array).
+  static constexpr std::size_t kFlagSlot = 1;
+
+  WarpContext& ctx_;
+  WarpQueue& queue_;
+  LaneMask kernel_mask_;
+  ThreadArrayView buffer_;
+  U32 thread_;
+  BufferMode mode_;
+  std::uint32_t buffer_size_;
+  simt::SharedArray<int>* flag_;
+  U32 cur_;
+};
+
+}  // namespace gpuksel::kernels

@@ -1,0 +1,333 @@
+// Warp-synchronous queue operations: one lane = one query's queue.
+//
+// All three queue structures from the paper, executed in lockstep under
+// active-lane masks.  The cost asymmetries the paper measures fall out
+// directly:
+//  * insertion queue: the shift loop runs for max-over-lanes iterations while
+//    only the still-shifting lanes are active — heavy divergence, O(k) depth;
+//  * heap queue: short O(log k) sift-down, but lanes walk different tree
+//    paths, so the gathered loads splinter into many transactions;
+//  * merge queue: a bounded O(m) flat insert plus occasional merge networks
+//    whose shape is *identical across lanes* — with Aligned Merge the whole
+//    warp runs the network together (perfect SIMT efficiency), without it
+//    each lane's network runs under a sparse mask.
+//
+// Every operation matches the scalar queues bit-for-bit (same (dist, index)
+// ordering), which the kernel-vs-scalar tests assert.
+#pragma once
+
+#include <cstdint>
+
+#include "core/kernels/queue_layout.hpp"
+#include "core/queues/merge_queue.hpp"
+#include "simt/warp.hpp"
+#include "simt/warp_ops.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel::kernels {
+
+/// Which queue structure a kernel maintains per thread.
+enum class QueueKind {
+  kInsertion,
+  kHeap,
+  kMerge,
+};
+
+/// Internal slot count for a merge queue returning k results with first-level
+/// size m (mirrors MergeQueue::capacity()).
+constexpr std::uint32_t merge_capacity(std::uint32_t k, std::uint32_t m) noexcept {
+  if (k <= m) return k;
+  std::uint32_t cap = 2 * m;
+  while (cap < k) cap *= 2;
+  return cap;
+}
+
+/// Per-warp selection queues (one per lane) living in interleaved device
+/// memory, with the head (global max) cached in registers.
+class WarpQueue {
+ public:
+  /// `view.length` must equal the queue capacity for `kind`
+  /// (k, or merge_capacity(k, m) for the merge queue).  When `strategy` is
+  /// kTwoPointer, `scratch` must view a per-thread array of the same
+  /// capacity (the sequential merge is out-of-place).
+  /// `cache_head` keeps the queue head in registers (an optimization beyond
+  /// the paper — Algorithm 1 re-reads dqueue[0] from memory per element);
+  /// off by default for fidelity.
+  WarpQueue(WarpContext& ctx, ThreadArrayView view, U32 thread,
+            LaneMask kernel_mask, QueueKind kind, std::uint32_t m,
+            bool aligned_merge, simt::SharedArray<int>* flag,
+            MergeStrategy strategy = MergeStrategy::kReverseBitonic,
+            ThreadArrayView scratch = {}, bool cache_head = false)
+      : ctx_(ctx),
+        view_(view),
+        scratch_(scratch),
+        thread_(thread),
+        kernel_mask_(kernel_mask),
+        kind_(kind),
+        m_(m),
+        aligned_(aligned_merge),
+        strategy_(strategy),
+        cache_head_(cache_head),
+        flag_(flag) {
+    if (kind_ == QueueKind::kMerge &&
+        strategy_ == MergeStrategy::kTwoPointer) {
+      GPUKSEL_CHECK(scratch_.length >= view_.length,
+                    "two-pointer merge needs a scratch array of queue size");
+    }
+  }
+
+  /// Sentinel-fills the queues and the cached head.
+  void init() {
+    view_.fill_sentinel(ctx_, kernel_mask_, thread_);
+    head_.dist = F32::filled(simt::kFloatSentinel);
+    head_.index = U32::filled(simt::kIndexSentinel);
+  }
+
+  /// Lanes (within m) whose candidate beats their queue head.
+  ///
+  /// Paper-faithful mode (cache_head == false) re-reads the head distance
+  /// from the queue each call (Algorithm 1 line 2); the index is only
+  /// fetched for lanes whose distance ties exactly, preserving the
+  /// (dist, index) ordering at ~one extra load per tie.
+  LaneMask accepts(LaneMask m, const EntryLanes& cand) {
+    if (cache_head_) return entry_lt(ctx_, m, cand, head_);
+    const U32 idx0 = view_.flat(ctx_, m, thread_, 0);
+    const F32 head_d = ctx_.load(m, view_.dist, idx0);
+    const LaneMask less =
+        ctx_.pred(m, [&](int i) { return cand.dist[i] < head_d[i]; });
+    const LaneMask tied =
+        ctx_.pred(m, [&](int i) { return cand.dist[i] == head_d[i]; });
+    if (!tied) return less;
+    const U32 head_i = ctx_.load(tied, view_.index, idx0);
+    const LaneMask tie_wins =
+        ctx_.pred(tied, [&](int i) { return cand.index[i] < head_i[i]; });
+    return less | tie_wins;
+  }
+
+  [[nodiscard]] const EntryLanes& head() const noexcept { return head_; }
+
+  /// Re-reads the head into the register cache after the queue storage was
+  /// filled externally (the Hierarchical Partition inherit-and-offer step).
+  void adopt(LaneMask m) { refresh_head(m); }
+
+  /// Inserts the candidate for lanes in `ins` (each must have passed
+  /// accepts()), maintaining the structure invariant and the cached head.
+  void insert(LaneMask ins, const EntryLanes& cand) {
+    if (!ins) return;
+    switch (kind_) {
+      case QueueKind::kInsertion:
+        insert_insertion(ins, cand);
+        break;
+      case QueueKind::kHeap:
+        insert_heap(ins, cand);
+        break;
+      case QueueKind::kMerge:
+        insert_merge(ins, cand);
+        break;
+    }
+  }
+
+ private:
+  // --- insertion queue: shift larger elements toward the head ------------
+  void insert_insertion(LaneMask ins, const EntryLanes& cand) {
+    const std::uint32_t cap = view_.length;
+    U32 pos = ctx_.imm(ins, 0u);
+    LaneMask act = ins;
+    while (act) {
+      // cond: pos + 1 < cap && queue[pos + 1] > cand
+      const LaneMask in_range =
+          ctx_.pred(act, [&](int i) { return pos[i] + 1 < cap; });
+      if (!in_range) break;
+      U32 next_pos = ctx_.add(in_range, pos, 1u);
+      const EntryLanes next = view_.load_gather(ctx_, in_range, thread_, next_pos);
+      const LaneMask shift = entry_lt(ctx_, in_range, cand, next);
+      if (shift) {
+        view_.store_gather(ctx_, shift, thread_, pos, next);
+        ctx_.cpy(shift, pos, next_pos);
+      }
+      act = shift;
+    }
+    view_.store_gather(ctx_, ins, thread_, pos, cand);
+    refresh_head(ins);
+  }
+
+  // --- heap queue: replace the root, sift down ----------------------------
+  void insert_heap(LaneMask ins, const EntryLanes& cand) {
+    const std::uint32_t cap = view_.length;
+    U32 hole = ctx_.imm(ins, 0u);
+    LaneMask act = ins;
+    while (act) {
+      U32 left;
+      ctx_.alu(act, left, [&](int i) { return 2 * hole[i] + 1; });
+      const LaneMask has_left =
+          ctx_.pred(act, [&](int i) { return left[i] < cap; });
+      if (!has_left) break;
+      const EntryLanes l = view_.load_gather(ctx_, has_left, thread_, left);
+      U32 right = ctx_.add(has_left, left, 1u);
+      const LaneMask has_right =
+          ctx_.pred(has_left, [&](int i) { return right[i] < cap; });
+      EntryLanes r{F32::filled(0.0f), U32::filled(0u)};
+      if (has_right) r = view_.load_gather(ctx_, has_right, thread_, right);
+      const LaneMask take_right = has_right & entry_lt(ctx_, has_left, l, r);
+      U32 big = ctx_.select(has_left, take_right, right, left);
+      EntryLanes big_e{ctx_.select(has_left, take_right, r.dist, l.dist),
+                       ctx_.select(has_left, take_right, r.index, l.index)};
+      const LaneMask cont = entry_lt(ctx_, has_left, cand, big_e);
+      if (cont) {
+        view_.store_gather(ctx_, cont, thread_, hole, big_e);
+        ctx_.cpy(cont, hole, big);
+      }
+      act = cont;
+    }
+    view_.store_gather(ctx_, ins, thread_, hole, cand);
+    refresh_head(ins);
+  }
+
+  // --- merge queue: flat insert + lazy cascading merges -------------------
+  void insert_merge(LaneMask ins, const EntryLanes& cand) {
+    const std::uint32_t cap = view_.length;
+    const std::uint32_t level0 = m_ < cap ? m_ : cap;
+    // Flat insert (insertion sort bounded by the first level).
+    {
+      U32 pos = ctx_.imm(ins, 0u);
+      LaneMask act = ins;
+      while (act) {
+        const LaneMask in_range =
+            ctx_.pred(act, [&](int i) { return pos[i] + 1 < level0; });
+        if (!in_range) break;
+        U32 next_pos = ctx_.add(in_range, pos, 1u);
+        const EntryLanes next =
+            view_.load_gather(ctx_, in_range, thread_, next_pos);
+        const LaneMask shift = entry_lt(ctx_, in_range, cand, next);
+        if (shift) {
+          view_.store_gather(ctx_, shift, thread_, pos, next);
+          ctx_.cpy(shift, pos, next_pos);
+        }
+        act = shift;
+      }
+      view_.store_gather(ctx_, ins, thread_, pos, cand);
+    }
+    // Lazy Update cascade.  In aligned mode the invariant check runs for the
+    // whole warp and any violating lane pulls every lane into the merge
+    // (Intra-Warp Communication, Algorithm 2 lines 2-8); otherwise each
+    // lane's merge runs under its own sparse mask.
+    for (std::uint32_t prev = 0, next = m_; next < cap; prev = next, next *= 2) {
+      const LaneMask check = aligned_ ? kernel_mask_ : ins;
+      const EntryLanes ep = view_.load(ctx_, check, thread_, prev);
+      const EntryLanes en = view_.load(ctx_, check, thread_, next);
+      const LaneMask need = entry_lt(ctx_, check, ep, en);
+      LaneMask merge_mask;
+      if (aligned_) {
+        if (flag_ != nullptr) {
+          // The shared flag the paper uses: clear, set by violating lanes,
+          // read by everyone.
+          flag_->write_bcast(kernel_mask_, 0, 0);
+          if (need) flag_->write_bcast(need, 0, 1);
+          const auto f = flag_->read_bcast(kernel_mask_, 0);
+          merge_mask = f[0] != 0 ? kernel_mask_ : LaneMask{0};
+        } else {
+          merge_mask = ctx_.any(kernel_mask_, need) ? kernel_mask_ : LaneMask{0};
+        }
+      } else {
+        merge_mask = need;
+      }
+      if (!merge_mask) break;
+      if (strategy_ == MergeStrategy::kReverseBitonic) {
+        reverse_bitonic_merge(merge_mask, 2 * next);
+      } else {
+        two_pointer_merge(merge_mask, 2 * next);
+      }
+    }
+    refresh_head(ins);
+  }
+
+  /// Branch-free compare-exchange putting the larger entry at slot i.
+  void cmpex(LaneMask m, std::uint32_t i, std::uint32_t j) {
+    const EntryLanes a = view_.load(ctx_, m, thread_, i);
+    const EntryLanes b = view_.load(ctx_, m, thread_, j);
+    const LaneMask sw = entry_lt(ctx_, m, a, b);
+    const EntryLanes hi{ctx_.select(m, sw, b.dist, a.dist),
+                        ctx_.select(m, sw, b.index, a.index)};
+    const EntryLanes lo{ctx_.select(m, sw, a.dist, b.dist),
+                        ctx_.select(m, sw, a.index, b.index)};
+    view_.store(ctx_, m, thread_, i, hi);
+    view_.store(ctx_, m, thread_, j, lo);
+  }
+
+  /// Reverse Bitonic Merge of the prefix [0, size): two descending halves
+  /// into one descending run.  The network shape is data-independent, so all
+  /// lanes in `m` execute it in perfect lockstep with coalesced accesses.
+  void reverse_bitonic_merge(LaneMask m, std::uint32_t size) {
+    const std::uint32_t half = size / 2;
+    for (std::uint32_t i = 0; i < half; ++i) {
+      cmpex(m, i, size - 1 - i);
+    }
+    for (std::uint32_t dist = half / 2; dist >= 1; dist /= 2) {
+      for (std::uint32_t i = 0; i < size; ++i) {
+        if ((i & dist) == 0) cmpex(m, i, i + dist);
+      }
+    }
+  }
+
+  /// Sequential two-pointer merge of the two descending halves of the
+  /// prefix [0, size) through the scratch array (the §V future-work
+  /// alternative).  The trip count is uniform (`size` steps), but the two
+  /// read pointers advance data-dependently per lane, so the loads are
+  /// divergent gathers — the cost profile the ablation bench contrasts with
+  /// the bitonic network's lockstep, coalesced compare-exchanges.
+  void two_pointer_merge(LaneMask m, std::uint32_t size) {
+    const std::uint32_t half = size / 2;
+    U32 i = ctx_.imm(m, 0u);
+    U32 j = ctx_.imm(m, half);
+    for (std::uint32_t out = 0; out < size; ++out) {
+      const LaneMask has_l = ctx_.pred(m, [&](int l) { return i[l] < half; });
+      const LaneMask has_r = ctx_.pred(m, [&](int l) { return j[l] < size; });
+      EntryLanes le{F32::filled(0.0f), U32::filled(0u)};
+      EntryLanes re{F32::filled(0.0f), U32::filled(0u)};
+      if (has_l) le = view_.load_gather(ctx_, has_l, thread_, i);
+      if (has_r) re = view_.load_gather(ctx_, has_r, thread_, j);
+      const LaneMask both = has_l & has_r;
+      const LaneMask lt = entry_lt(ctx_, both, le, re);
+      // Descending output: take the left element when it is >= the right
+      // one, or when the right half is exhausted.
+      const LaneMask take_left = (has_l & ~has_r) | (both & ~lt);
+      const EntryLanes out_e{ctx_.select(m, take_left, le.dist, re.dist),
+                             ctx_.select(m, take_left, le.index, re.index)};
+      scratch_.store(ctx_, m, thread_, out, out_e);
+      U32 inc_i = ctx_.add(take_left, i, 1u);
+      ctx_.cpy(take_left, i, inc_i);
+      const LaneMask take_right = m & ~take_left;
+      U32 inc_j = ctx_.add(take_right, j, 1u);
+      ctx_.cpy(take_right, j, inc_j);
+    }
+    // Copy back (uniform slots: coalesced).
+    for (std::uint32_t out = 0; out < size; ++out) {
+      const EntryLanes e = scratch_.load(ctx_, m, thread_, out);
+      view_.store(ctx_, m, thread_, out, e);
+    }
+  }
+
+  /// Reloads the cached head registers for lanes whose queues changed
+  /// (no-op in paper-faithful mode, where the head lives in memory only).
+  void refresh_head(LaneMask changed) {
+    if (!cache_head_) return;
+    const EntryLanes h = view_.load(ctx_, changed, thread_, 0);
+    head_.dist = ctx_.select(kernel_mask_, changed, h.dist, head_.dist);
+    head_.index = ctx_.select(kernel_mask_, changed, h.index, head_.index);
+  }
+
+  WarpContext& ctx_;
+  ThreadArrayView view_;
+  ThreadArrayView scratch_;
+  U32 thread_;
+  LaneMask kernel_mask_;
+  QueueKind kind_;
+  std::uint32_t m_;
+  bool aligned_;
+  MergeStrategy strategy_;
+  bool cache_head_;
+  simt::SharedArray<int>* flag_;
+  EntryLanes head_{};
+};
+
+}  // namespace gpuksel::kernels

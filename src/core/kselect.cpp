@@ -1,0 +1,131 @@
+#include "core/kselect.hpp"
+
+#include <algorithm>
+
+#include "core/hierarchical_partition.hpp"
+#include "core/queues/heap_queue.hpp"
+#include "core/queues/insertion_queue.hpp"
+#include "core/queues/merge_queue.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel {
+
+namespace {
+
+template <typename Queue>
+std::vector<Neighbor> scan_select(std::span<const float> dlist, Queue queue) {
+  for (std::uint32_t i = 0; i < dlist.size(); ++i) {
+    queue.try_insert(dlist[i], i);
+  }
+  return queue.extract_sorted();
+}
+
+std::vector<Neighbor> to_neighbors(std::span<const float> dlist) {
+  std::vector<Neighbor> all(dlist.size());
+  for (std::uint32_t i = 0; i < dlist.size(); ++i) {
+    all[i] = Neighbor{dlist[i], i};
+  }
+  return all;
+}
+
+}  // namespace
+
+std::string_view algo_name(Algo algo) noexcept {
+  switch (algo) {
+    case Algo::kInsertionQueue: return "insertion-queue";
+    case Algo::kHeapQueue: return "heap-queue";
+    case Algo::kMergeQueue: return "merge-queue";
+    case Algo::kStdSort: return "std-sort";
+    case Algo::kStdNthElement: return "std-nth-element";
+  }
+  return "unknown";
+}
+
+std::vector<Neighbor> select_k_smallest(std::span<const float> dlist,
+                                        std::uint32_t k, Algo algo) {
+  GPUKSEL_CHECK(k >= 1, "select_k_smallest needs k >= 1");
+  const auto take = static_cast<std::size_t>(
+      std::min<std::size_t>(k, dlist.size()));
+  switch (algo) {
+    case Algo::kInsertionQueue:
+      return scan_select(dlist, InsertionQueue(k));
+    case Algo::kHeapQueue:
+      return scan_select(dlist, HeapQueue(k));
+    case Algo::kMergeQueue:
+      return scan_select(dlist, MergeQueue(k));
+    case Algo::kStdSort: {
+      std::vector<Neighbor> all = to_neighbors(dlist);
+      std::sort(all.begin(), all.end());
+      all.resize(take);
+      return all;
+    }
+    case Algo::kStdNthElement: {
+      std::vector<Neighbor> all = to_neighbors(dlist);
+      if (take < all.size()) {
+        std::nth_element(all.begin(),
+                         all.begin() + static_cast<std::ptrdiff_t>(take),
+                         all.end());
+        all.resize(take);
+      }
+      std::sort(all.begin(), all.end());
+      return all;
+    }
+  }
+  GPUKSEL_CHECK(false, "unreachable: unknown Algo");
+  return {};
+}
+
+std::vector<Neighbor> select_k_smallest_hp(std::span<const float> dlist,
+                                           std::uint32_t k,
+                                           std::uint32_t group_size,
+                                           Algo queue_algo) {
+  const HierarchicalPartition hp(dlist, group_size, k);
+  switch (queue_algo) {
+    case Algo::kInsertionQueue:
+      return hp.select([](std::uint32_t kk) { return InsertionQueue(kk); });
+    case Algo::kHeapQueue:
+      return hp.select([](std::uint32_t kk) { return HeapQueue(kk); });
+    case Algo::kMergeQueue:
+      return hp.select([](std::uint32_t kk) { return MergeQueue(kk); });
+    default:
+      GPUKSEL_CHECK(false,
+                    "hierarchical partition requires a queue-based algorithm");
+      return {};
+  }
+}
+
+std::vector<Neighbor> select_k_smallest_chunked(std::span<const float> dlist,
+                                                std::uint32_t k,
+                                                std::size_t chunk_size,
+                                                Algo algo) {
+  GPUKSEL_CHECK(k >= 1, "select_k_smallest_chunked needs k >= 1");
+  GPUKSEL_CHECK(chunk_size >= 1, "chunk_size must be >= 1");
+  std::vector<Neighbor> survivors;
+  for (std::size_t first = 0; first < dlist.size(); first += chunk_size) {
+    const std::size_t len = std::min(chunk_size, dlist.size() - first);
+    for (Neighbor n : select_k_smallest(dlist.subspan(first, len), k, algo)) {
+      n.index += static_cast<std::uint32_t>(first);  // globalise the index
+      survivors.push_back(n);
+    }
+  }
+  // Final round over the survivors: they carry their own global indices, so
+  // a straight partial sort finishes the job exactly.
+  const auto take = static_cast<std::ptrdiff_t>(
+      std::min<std::size_t>(k, survivors.size()));
+  std::partial_sort(survivors.begin(), survivors.begin() + take,
+                    survivors.end());
+  survivors.resize(static_cast<std::size_t>(take));
+  return survivors;
+}
+
+std::vector<Neighbor> select_k_oracle(std::span<const float> dlist,
+                                      std::uint32_t k) {
+  std::vector<Neighbor> all = to_neighbors(dlist);
+  const auto take = static_cast<std::ptrdiff_t>(
+      std::min<std::size_t>(k, all.size()));
+  std::partial_sort(all.begin(), all.begin() + take, all.end());
+  all.resize(static_cast<std::size_t>(take));
+  return all;
+}
+
+}  // namespace gpuksel

@@ -1,0 +1,56 @@
+// Public scalar k-selection API.
+//
+// select_k_smallest() is the library's front door: given an unordered list of
+// distances it returns the k smallest (distance, index) pairs in ascending
+// order.  All algorithms produce identical output (ties broken by index);
+// they differ only in cost profile — which is the subject of the paper.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/neighbor.hpp"
+
+namespace gpuksel {
+
+/// Selection algorithm choices for the scalar API.
+enum class Algo {
+  kInsertionQueue,   ///< fully-sorted queue, O(N k)
+  kHeapQueue,        ///< binary max-heap, O(N log k)
+  kMergeQueue,       ///< the paper's Merge Queue, amortised O(N log^2 k)
+  kStdSort,          ///< Selection by Sorting: sort everything, O(N log N)
+  kStdNthElement,    ///< Partition-based Selection (introselect), O(N) avg
+};
+
+/// Human-readable algorithm name (bench table labels).
+[[nodiscard]] std::string_view algo_name(Algo algo) noexcept;
+
+/// Returns the k smallest (dist, index) pairs of `dlist`, ascending by
+/// (dist, index).  Returns min(k, N) results.  k must be >= 1.
+[[nodiscard]] std::vector<Neighbor> select_k_smallest(
+    std::span<const float> dlist, std::uint32_t k,
+    Algo algo = Algo::kMergeQueue);
+
+/// Same selection routed through a Hierarchical Partition with group size G
+/// built on the fly (construction cost included, as in the paper's figures).
+[[nodiscard]] std::vector<Neighbor> select_k_smallest_hp(
+    std::span<const float> dlist, std::uint32_t k, std::uint32_t group_size,
+    Algo queue_algo = Algo::kMergeQueue);
+
+/// Divide-and-merge selection for lists beyond the studied N range (the
+/// paper cites Arefin et al. [18] for this): the list is processed in
+/// fixed-size chunks, the k smallest of each chunk survive, and a final
+/// selection over the survivors yields the exact global k smallest.  This
+/// caps peak working-set size at `chunk_size` while keeping results
+/// bit-identical to select_k_smallest.
+[[nodiscard]] std::vector<Neighbor> select_k_smallest_chunked(
+    std::span<const float> dlist, std::uint32_t k, std::size_t chunk_size,
+    Algo algo = Algo::kMergeQueue);
+
+/// Reference oracle used by the test-suite: partial sort by (dist, index).
+[[nodiscard]] std::vector<Neighbor> select_k_oracle(
+    std::span<const float> dlist, std::uint32_t k);
+
+}  // namespace gpuksel

@@ -1,0 +1,40 @@
+// The (distance, index) pair that flows through every selection structure.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gpuksel {
+
+/// One k-NN candidate: a distance value and the reference index it belongs
+/// to.  Selection structures order candidates by (dist, index) so that ties
+/// resolve deterministically — the paper's pseudocode compares distances
+/// only, which leaves tied results implementation-defined; pinning the tie
+/// order makes every algorithm in this repo produce bit-identical output,
+/// which the tests rely on.
+struct Neighbor {
+  float dist = std::numeric_limits<float>::max();
+  std::uint32_t index = 0xffffffffu;
+
+  friend constexpr bool operator<(const Neighbor& a, const Neighbor& b) noexcept {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.index < b.index;
+  }
+  friend constexpr bool operator>(const Neighbor& a, const Neighbor& b) noexcept {
+    return b < a;
+  }
+  friend constexpr bool operator==(const Neighbor& a, const Neighbor& b) noexcept {
+    return a.dist == b.dist && a.index == b.index;
+  }
+};
+
+/// Sentinel filling empty queue slots: larger than any real candidate.
+inline constexpr Neighbor kEmptySlot{};
+
+/// True if the slot still holds the sentinel (never written).
+constexpr bool is_empty_slot(const Neighbor& n) noexcept {
+  return n.index == kEmptySlot.index &&
+         n.dist == std::numeric_limits<float>::max();
+}
+
+}  // namespace gpuksel

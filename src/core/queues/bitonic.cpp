@@ -1,0 +1,98 @@
+#include "core/queues/bitonic.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace gpuksel {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+bool compare_exchange_desc(std::span<Neighbor> data, std::size_t i,
+                           std::size_t j, UpdateCounter* counter) {
+  GPUKSEL_DEBUG_ASSERT(i < j && j < data.size());
+  if (data[j] > data[i]) {
+    std::swap(data[i], data[j]);
+    if (counter) {
+      counter->record(i);
+      counter->record(j);
+    }
+    return true;
+  }
+  return false;
+}
+
+void bitonic_merge_descending(std::span<Neighbor> data, UpdateCounter* counter) {
+  const std::size_t n = data.size();
+  GPUKSEL_CHECK(is_pow2(n), "bitonic merge size must be a power of two");
+  for (std::size_t dist = n / 2; dist >= 1; dist /= 2) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((i & dist) == 0) {
+        compare_exchange_desc(data, i, i + dist, counter);
+      }
+    }
+  }
+}
+
+void reverse_bitonic_merge_descending(std::span<Neighbor> data,
+                                      UpdateCounter* counter) {
+  const std::size_t n = data.size();
+  GPUKSEL_CHECK(is_pow2(n), "reverse bitonic merge size must be a power of two");
+  if (n < 2) return;
+  const std::size_t half = n / 2;
+  // Cross stage (the dashed box in Fig. 2b): i vs n-1-i.
+  for (std::size_t i = 0; i < half; ++i) {
+    compare_exchange_desc(data, i, n - 1 - i, counter);
+  }
+  // Each half is now bitonic and the halves are separated; finish them with
+  // the standard stages.
+  if (half >= 2) {
+    bitonic_merge_descending(data.subspan(0, half), counter);
+    bitonic_merge_descending(data.subspan(half, half), counter);
+  }
+}
+
+namespace {
+
+void bitonic_sort_desc_impl(std::span<Neighbor> data, UpdateCounter* counter) {
+  const std::size_t n = data.size();
+  if (n < 2) return;
+  const std::size_t half = n / 2;
+  bitonic_sort_desc_impl(data.subspan(0, half), counter);
+  bitonic_sort_desc_impl(data.subspan(half, half), counter);
+  reverse_bitonic_merge_descending(data, counter);
+}
+
+}  // namespace
+
+void bitonic_sort_descending(std::span<Neighbor> data, UpdateCounter* counter) {
+  GPUKSEL_CHECK(is_pow2(data.size()) || data.empty(),
+                "bitonic sort size must be a power of two");
+  bitonic_sort_desc_impl(data, counter);
+}
+
+void bitonic_sort_ascending(std::span<Neighbor> data, UpdateCounter* counter) {
+  bitonic_sort_descending(data, counter);
+  // Reverse in place; counter records the moved slots.
+  const std::size_t n = data.size();
+  for (std::size_t i = 0; i * 2 + 1 < n; ++i) {
+    std::swap(data[i], data[n - 1 - i]);
+    if (counter) {
+      counter->record(i);
+      counter->record(n - 1 - i);
+    }
+  }
+}
+
+std::uint64_t bitonic_merge_compare_count(std::size_t n) noexcept {
+  if (n < 2) return 0;
+  const auto log2n = static_cast<std::uint64_t>(std::bit_width(n) - 1);
+  return (n / 2) * log2n;
+}
+
+}  // namespace gpuksel

@@ -1,0 +1,51 @@
+// Bitonic merge networks, including the paper's Reverse Bitonic Merge.
+//
+// The original bitonic merge network (Fig. 2a) merges one ascending and one
+// descending run.  Merge Queue levels are all sorted *descending*, so the
+// paper flips the first stage into cross compare-exchanges (Fig. 2b): element
+// i of the first half is compared with element n-1-i of the second half.
+// After that stage both halves are bitonic and every element of the first
+// half is >= every element of the second half, so the standard stages finish
+// each half independently.  The network shape is fixed — n/2 * log2(n)
+// compare-exchanges in log2(n) stages — which is what makes it ideal for
+// lockstep execution on a warp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/neighbor.hpp"
+#include "core/queues/update_counter.hpp"
+
+namespace gpuksel {
+
+/// Compare-exchange putting the larger candidate at position i.
+/// Returns true if a swap happened.  Counter records both writes of a swap.
+bool compare_exchange_desc(std::span<Neighbor> data, std::size_t i,
+                           std::size_t j, UpdateCounter* counter = nullptr);
+
+/// Merges a *bitonic* sequence into descending order in place.
+/// data.size() must be a power of two.
+void bitonic_merge_descending(std::span<Neighbor> data,
+                              UpdateCounter* counter = nullptr);
+
+/// Reverse Bitonic Merge: merges two descending-sorted halves of `data` into
+/// one descending-sorted whole, in place.  data.size() must be a power of two
+/// (each half is data.size()/2 elements).
+void reverse_bitonic_merge_descending(std::span<Neighbor> data,
+                                      UpdateCounter* counter = nullptr);
+
+/// Full bitonic sort into descending order; data.size() must be a power of
+/// two.  Used by Local Sort and the Truncated Bitonic Sort baseline.
+void bitonic_sort_descending(std::span<Neighbor> data,
+                             UpdateCounter* counter = nullptr);
+
+/// Full bitonic sort into ascending order; data.size() must be a power of two.
+void bitonic_sort_ascending(std::span<Neighbor> data,
+                            UpdateCounter* counter = nullptr);
+
+/// Number of compare-exchange operations a merge of size n performs
+/// (n/2 * log2 n); the fixed cost the complexity analysis in §III-C uses.
+std::uint64_t bitonic_merge_compare_count(std::size_t n) noexcept;
+
+}  // namespace gpuksel

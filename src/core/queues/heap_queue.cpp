@@ -1,0 +1,48 @@
+#include "core/queues/heap_queue.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gpuksel {
+
+HeapQueue::HeapQueue(std::uint32_t k, UpdateCounter* counter)
+    : slots_(k, kEmptySlot), counter_(counter) {
+  GPUKSEL_CHECK(k >= 1, "heap queue needs k >= 1");
+}
+
+bool HeapQueue::try_insert(float dist, std::uint32_t index) {
+  const Neighbor cand{dist, index};
+  if (!(cand < slots_[0])) return false;
+  sift_down(0, cand);
+  return true;
+}
+
+void HeapQueue::sift_down(std::size_t hole, const Neighbor& value) {
+  const std::size_t n = slots_.size();
+  while (true) {
+    const std::size_t left = 2 * hole + 1;
+    if (left >= n) break;
+    const std::size_t right = left + 1;
+    std::size_t big = left;
+    if (right < n && slots_[right] > slots_[left]) big = right;
+    if (!(slots_[big] > value)) break;
+    slots_[hole] = slots_[big];
+    if (counter_) counter_->record(hole);
+    hole = big;
+  }
+  slots_[hole] = value;
+  if (counter_) counter_->record(hole);
+}
+
+std::vector<Neighbor> HeapQueue::extract_sorted() const {
+  std::vector<Neighbor> out;
+  out.reserve(slots_.size());
+  for (const Neighbor& n : slots_) {
+    if (!is_empty_slot(n)) out.push_back(n);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gpuksel

@@ -1,0 +1,46 @@
+// Heap queue: binary max-heap selection queue (paper §III-B).
+//
+// O(log k) writes per insertion, but the sift-down path depends on the data,
+// so threads of one warp walk different tree branches — the irregular access
+// pattern that motivates the Merge Queue.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/neighbor.hpp"
+#include "core/queues/update_counter.hpp"
+
+namespace gpuksel {
+
+class HeapQueue {
+ public:
+  /// Creates a heap of capacity k filled with sentinel slots.
+  explicit HeapQueue(std::uint32_t k, UpdateCounter* counter = nullptr);
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+  /// The heap root: largest candidate held (sentinel while not full).
+  [[nodiscard]] const Neighbor& head() const noexcept { return slots_.front(); }
+
+  /// Replaces the root and sifts down if the candidate beats it.
+  bool try_insert(float dist, std::uint32_t index);
+
+  /// The retained candidates sorted ascending, sentinels dropped.
+  [[nodiscard]] std::vector<Neighbor> extract_sorted() const;
+
+  /// Raw heap array, for invariant tests.
+  [[nodiscard]] const std::vector<Neighbor>& slots() const noexcept {
+    return slots_;
+  }
+
+ private:
+  void sift_down(std::size_t hole, const Neighbor& value);
+
+  std::vector<Neighbor> slots_;
+  UpdateCounter* counter_;
+};
+
+}  // namespace gpuksel

@@ -1,0 +1,38 @@
+#include "core/queues/insertion_queue.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gpuksel {
+
+InsertionQueue::InsertionQueue(std::uint32_t k, UpdateCounter* counter)
+    : slots_(k, kEmptySlot), counter_(counter) {
+  GPUKSEL_CHECK(k >= 1, "insertion queue needs k >= 1");
+}
+
+bool InsertionQueue::try_insert(float dist, std::uint32_t index) {
+  const Neighbor cand{dist, index};
+  if (!(cand < slots_[0])) return false;
+  // Shift larger elements toward the head; the old head falls out.
+  std::size_t i = 0;
+  while (i + 1 < slots_.size() && slots_[i + 1] > cand) {
+    slots_[i] = slots_[i + 1];
+    if (counter_) counter_->record(i);
+    ++i;
+  }
+  slots_[i] = cand;
+  if (counter_) counter_->record(i);
+  return true;
+}
+
+std::vector<Neighbor> InsertionQueue::extract_sorted() const {
+  std::vector<Neighbor> out;
+  out.reserve(slots_.size());
+  for (auto it = slots_.rbegin(); it != slots_.rend(); ++it) {
+    if (!is_empty_slot(*it)) out.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace gpuksel

@@ -1,0 +1,46 @@
+// Insertion queue: the classic fully-sorted selection queue (paper §III-B).
+//
+// The queue keeps its k entries sorted in decreasing order, head (largest)
+// at position 0.  An accepted candidate pushes the head out and every larger
+// element shifts one slot toward the head — O(k) writes per insertion, which
+// is exactly why Fig. 5 shows its update count exploding with k.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/neighbor.hpp"
+#include "core/queues/update_counter.hpp"
+
+namespace gpuksel {
+
+class InsertionQueue {
+ public:
+  /// Creates a queue of capacity k filled with sentinel slots.
+  explicit InsertionQueue(std::uint32_t k, UpdateCounter* counter = nullptr);
+
+  /// Number of slots (k).
+  [[nodiscard]] std::uint32_t capacity() const noexcept {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+  /// Current threshold: the largest candidate held (sentinel when not full).
+  [[nodiscard]] const Neighbor& head() const noexcept { return slots_.front(); }
+
+  /// Inserts if the candidate beats the head; returns whether it did.
+  bool try_insert(float dist, std::uint32_t index);
+
+  /// The retained candidates sorted ascending, sentinels dropped.
+  [[nodiscard]] std::vector<Neighbor> extract_sorted() const;
+
+  /// Raw slot view (descending order), for tests.
+  [[nodiscard]] const std::vector<Neighbor>& slots() const noexcept {
+    return slots_;
+  }
+
+ private:
+  std::vector<Neighbor> slots_;
+  UpdateCounter* counter_;
+};
+
+}  // namespace gpuksel

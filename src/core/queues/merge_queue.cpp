@@ -1,0 +1,118 @@
+#include "core/queues/merge_queue.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "core/queues/bitonic.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel {
+
+namespace {
+
+bool is_pow2(std::uint32_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::uint32_t round_capacity(std::uint32_t k, std::uint32_t m) {
+  if (k <= m) return k;  // single insertion-sorted level
+  std::uint32_t cap = 2 * m;
+  while (cap < k) cap *= 2;
+  return cap;
+}
+
+}  // namespace
+
+MergeQueue::MergeQueue(std::uint32_t k, std::uint32_t m, UpdateCounter* counter,
+                       MergeStrategy strategy)
+    : k_(k), m_(m), counter_(counter), strategy_(strategy) {
+  GPUKSEL_CHECK(k >= 1, "merge queue needs k >= 1");
+  GPUKSEL_CHECK(is_pow2(m), "merge queue level size m must be a power of two");
+  slots_.assign(round_capacity(k, m), kEmptySlot);
+  level_starts_.push_back(0);
+  if (slots_.size() > m_) {
+    for (std::uint32_t start = m_; start < slots_.size(); start *= 2) {
+      level_starts_.push_back(start);
+    }
+  }
+}
+
+void MergeQueue::flat_insert(const Neighbor& cand) {
+  // Insertion-sort into the first level; the level's head falls out.
+  const std::uint32_t level0 = std::min<std::uint32_t>(m_, capacity());
+  std::uint32_t i = 0;
+  while (i + 1 < level0 && slots_[i + 1] > cand) {
+    slots_[i] = slots_[i + 1];
+    if (counter_) counter_->record(i);
+    ++i;
+  }
+  slots_[i] = cand;
+  if (counter_) counter_->record(i);
+}
+
+bool MergeQueue::try_insert(float dist, std::uint32_t index) {
+  const Neighbor cand{dist, index};
+  if (!(cand < slots_[0])) return false;
+  flat_insert(cand);
+  // Lazy Update: cascade merges only while a level head rises above the head
+  // of the level before it.
+  const std::uint32_t cap = capacity();
+  for (std::uint32_t prev = 0, next = m_; next < cap; prev = next, next *= 2) {
+    if (!(slots_[prev] < slots_[next])) break;
+    // The prefix [0, next) is sorted descending (flat_insert for the first
+    // level, the previous merge otherwise); level [next, 2*next) is sorted
+    // descending by the structure invariant — merging the two halves
+    // re-sorts the whole prefix [0, 2*next).
+    merge_prefix(2 * next);
+    ++merge_count_;
+  }
+  return true;
+}
+
+void MergeQueue::merge_prefix(std::uint32_t size) {
+  const std::span<Neighbor> prefix(slots_.data(), size);
+  if (strategy_ == MergeStrategy::kReverseBitonic) {
+    reverse_bitonic_merge_descending(prefix, counter_);
+    return;
+  }
+  // Two-pointer merge of the two descending halves through a scratch buffer.
+  const std::uint32_t half = size / 2;
+  std::vector<Neighbor> scratch(size);
+  std::uint32_t i = 0;
+  std::uint32_t j = half;
+  for (std::uint32_t out = 0; out < size; ++out) {
+    const bool take_left =
+        i < half && (j >= size || !(slots_[i] < slots_[j]));
+    scratch[out] = take_left ? slots_[i++] : slots_[j++];
+  }
+  for (std::uint32_t out = 0; out < size; ++out) {
+    if (!(slots_[out] == scratch[out])) {
+      slots_[out] = scratch[out];
+      if (counter_) counter_->record(out);
+    }
+  }
+}
+
+std::vector<Neighbor> MergeQueue::extract_sorted() const {
+  std::vector<Neighbor> out;
+  out.reserve(slots_.size());
+  for (const Neighbor& n : slots_) {
+    if (!is_empty_slot(n)) out.push_back(n);
+  }
+  std::sort(out.begin(), out.end());
+  if (out.size() > k_) out.resize(k_);
+  return out;
+}
+
+bool MergeQueue::invariant_holds() const noexcept {
+  for (std::size_t l = 0; l < level_starts_.size(); ++l) {
+    const std::uint32_t start = level_starts_[l];
+    const std::uint32_t end = l + 1 < level_starts_.size() ? level_starts_[l + 1]
+                                                           : capacity();
+    for (std::uint32_t i = start; i + 1 < end; ++i) {
+      if (slots_[i] < slots_[i + 1]) return false;
+    }
+    if (l > 0 && slots_[level_starts_[l - 1]] < slots_[start]) return false;
+  }
+  return true;
+}
+
+}  // namespace gpuksel

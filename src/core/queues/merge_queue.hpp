@@ -1,0 +1,109 @@
+// Merge Queue: the paper's primary queue contribution (§III-C, Fig. 1b).
+//
+// The queue is a single array split into levels: the first and second levels
+// hold m elements each, and every further level doubles (m, m, 2m, 4m, ...).
+// Invariants:
+//  * each level is sorted in decreasing order, so its leftmost element (the
+//    Level Head) is the largest of the level;
+//  * the level heads themselves decrease from top to bottom, so slot 0 holds
+//    the global maximum — the O(1) threshold test `dist < dqueue[0]` needs.
+//
+// An accepted candidate is insertion-sorted into the first level (pushing the
+// level's head out).  Only when the first level's head drops below the second
+// level's head does a merge run (*Lazy Update*), and each merge is a Reverse
+// Bitonic Merge over the prefix [0, 2*next): the already-sorted prefix is one
+// half, the next level the other.  Merges cascade down while level heads are
+// out of order.  Amortised insertion cost is O(log^2 k).
+//
+// Note: Algorithm 2 in the paper triggers the merge on `dqueue[prev] >=
+// dqueue[next]`, which contradicts the surrounding text ("only when the head
+// of an upper level is smaller than the head of the lower level will a merge
+// be required") and would merge on every insert.  We follow the text; the
+// tests pin the lazy behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/neighbor.hpp"
+#include "core/queues/update_counter.hpp"
+
+namespace gpuksel {
+
+/// How two sorted levels are merged (paper §V future work: Merge Path etc.).
+///
+/// kReverseBitonic is the paper's network: fixed shape, n/2*log2(n)
+/// compare-exchanges, ideal for lockstep warps.  kTwoPointer is the classic
+/// sequential merge: only n element moves, but a data-dependent pointer walk
+/// — cheaper on a CPU, divergent and gather-heavy on a GPU.  The SIMT
+/// ablation bench quantifies exactly that trade-off.
+enum class MergeStrategy {
+  kReverseBitonic,
+  kTwoPointer,
+};
+
+class MergeQueue {
+ public:
+  /// Default size of the first and second levels (the paper finds m = 8
+  /// maximises performance; bench/ablation_merge_m reproduces that sweep).
+  static constexpr std::uint32_t kDefaultM = 8;
+
+  /// Creates a merge queue able to return the k smallest candidates.
+  /// m must be a power of two.  Internal capacity is k rounded up to the
+  /// nearest m*2^j (capacity == k whenever k is a power of two >= m, as in
+  /// all of the paper's configurations).
+  explicit MergeQueue(std::uint32_t k, std::uint32_t m = kDefaultM,
+                      UpdateCounter* counter = nullptr,
+                      MergeStrategy strategy = MergeStrategy::kReverseBitonic);
+
+  /// Requested k (extract_sorted returns at most this many).
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+  /// Internal slot count (m*2^j >= k).
+  [[nodiscard]] std::uint32_t capacity() const noexcept {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+  /// Size of the first and second levels.
+  [[nodiscard]] std::uint32_t m() const noexcept { return m_; }
+
+  /// Global maximum held (sentinel while not full).
+  [[nodiscard]] const Neighbor& head() const noexcept { return slots_.front(); }
+
+  /// Inserts if the candidate beats the head; returns whether it did.
+  bool try_insert(float dist, std::uint32_t index);
+
+  /// The k best candidates sorted ascending, sentinels dropped.
+  [[nodiscard]] std::vector<Neighbor> extract_sorted() const;
+
+  /// Raw slot view, for invariant tests.
+  [[nodiscard]] const std::vector<Neighbor>& slots() const noexcept {
+    return slots_;
+  }
+
+  /// Offsets where each level starts: {0, m, 2m, 4m, ...}, for tests.
+  [[nodiscard]] const std::vector<std::uint32_t>& level_starts() const noexcept {
+    return level_starts_;
+  }
+
+  /// True when every level is sorted descending and level heads descend;
+  /// the class invariant (exposed for property tests).
+  [[nodiscard]] bool invariant_holds() const noexcept;
+
+  /// Number of merge operations performed so far (Lazy Update metric).
+  [[nodiscard]] std::uint64_t merge_count() const noexcept {
+    return merge_count_;
+  }
+
+ private:
+  void flat_insert(const Neighbor& cand);
+  void merge_prefix(std::uint32_t size);
+
+  std::uint32_t k_;
+  std::uint32_t m_;
+  std::vector<Neighbor> slots_;
+  std::vector<std::uint32_t> level_starts_;
+  UpdateCounter* counter_;
+  MergeStrategy strategy_;
+  std::uint64_t merge_count_ = 0;
+};
+
+}  // namespace gpuksel

@@ -1,0 +1,40 @@
+// Per-position write instrumentation shared by the queue structures.
+//
+// The paper's Fig. 5 characterises the three queues by *where* in the queue
+// writes land (per-position updates) and how many writes happen in total.
+// Queues accept an optional UpdateCounter and bump it on every slot write.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace gpuksel {
+
+/// Counts writes to each queue position.
+class UpdateCounter {
+ public:
+  explicit UpdateCounter(std::size_t positions) : counts_(positions, 0) {}
+
+  void record(std::size_t position) noexcept {
+    if (position < counts_.size()) ++counts_[position];
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& per_position() const noexcept {
+    return counts_;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return std::accumulate(counts_.begin(), counts_.end(),
+                           std::uint64_t{0});
+  }
+
+  void reset() noexcept {
+    std::fill(counts_.begin(), counts_.end(), std::uint64_t{0});
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace gpuksel

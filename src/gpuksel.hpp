@@ -1,0 +1,32 @@
+// Umbrella header: the whole public API in one include.
+//
+//   #include "gpuksel.hpp"
+//
+// Pulls in the scalar selection API (gpuksel::select_k_smallest), the queue
+// structures, Hierarchical Partition, the k-NN front end
+// (gpuksel::knn::BruteForceKnn), the simulated-GPU kernels
+// (gpuksel::kernels::*), the SIMT simulator (gpuksel::simt::*) and the
+// baseline algorithms (gpuksel::baselines::*).
+#pragma once
+
+#include "baselines/bucket_select.hpp"
+#include "baselines/clustered_sort.hpp"
+#include "baselines/cpu_select.hpp"
+#include "baselines/qms.hpp"
+#include "baselines/radix_select.hpp"
+#include "baselines/sample_select.hpp"
+#include "baselines/tbs.hpp"
+#include "core/buffered_search.hpp"
+#include "core/hierarchical_partition.hpp"
+#include "core/kernels/hp_kernels.hpp"
+#include "core/kernels/pipeline.hpp"
+#include "core/kernels/select_kernels.hpp"
+#include "core/kselect.hpp"
+#include "core/queues/bitonic.hpp"
+#include "core/queues/heap_queue.hpp"
+#include "core/queues/insertion_queue.hpp"
+#include "core/queues/merge_queue.hpp"
+#include "knn/knn.hpp"
+#include "knn/rbc.hpp"
+#include "simt/cost_model.hpp"
+#include "simt/device.hpp"

@@ -1,0 +1,61 @@
+#include "knn/dataset.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpuksel::knn {
+
+Dataset make_uniform_dataset(std::uint32_t count, std::uint32_t dim,
+                             std::uint64_t seed) {
+  GPUKSEL_CHECK(dim >= 1, "dataset needs dim >= 1");
+  Dataset out;
+  out.count = count;
+  out.dim = dim;
+  out.values = uniform_floats(std::size_t{count} * dim, seed);
+  return out;
+}
+
+LabelledDataset make_gaussian_clusters(std::uint32_t count, std::uint32_t dim,
+                                       std::uint32_t clusters, float sigma,
+                                       std::uint64_t seed) {
+  GPUKSEL_CHECK(clusters >= 1, "need at least one cluster");
+  Rng rng(seed);
+  // Cluster means uniform in the unit cube.
+  std::vector<float> means(std::size_t{clusters} * dim);
+  for (auto& m : means) m = rng.uniform_float();
+
+  LabelledDataset out;
+  out.points.count = count;
+  out.points.dim = dim;
+  out.points.values.resize(std::size_t{count} * dim);
+  out.labels.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto label = static_cast<std::uint32_t>(rng.uniform_below(clusters));
+    out.labels[i] = label;
+    for (std::uint32_t d = 0; d < dim; ++d) {
+      // Box-Muller from two uniforms.
+      const float u1 = std::max(rng.uniform_float(), 1e-7f);
+      const float u2 = rng.uniform_float();
+      const float gauss = std::sqrt(-2.0f * std::log(u1)) *
+                          std::cos(6.28318530718f * u2);
+      out.points.values[std::size_t{i} * dim + d] =
+          means[std::size_t{label} * dim + d] + sigma * gauss;
+    }
+  }
+  return out;
+}
+
+std::vector<float> to_dim_major(const Dataset& data) {
+  std::vector<float> out(data.values.size());
+  for (std::uint32_t i = 0; i < data.count; ++i) {
+    for (std::uint32_t d = 0; d < data.dim; ++d) {
+      out[std::size_t{d} * data.count + i] =
+          data.values[std::size_t{i} * data.dim + d];
+    }
+  }
+  return out;
+}
+
+}  // namespace gpuksel::knn

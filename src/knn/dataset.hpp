@@ -1,0 +1,44 @@
+// Synthetic dataset generators matching the paper's evaluation setup:
+// random tuples of dimensionality 128 with values uniform in [0, 1].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gpuksel::knn {
+
+/// A row-major matrix of feature vectors: element (i, d) at i*dim + d.
+struct Dataset {
+  std::vector<float> values;
+  std::uint32_t count = 0;
+  std::uint32_t dim = 0;
+
+  [[nodiscard]] const float* row(std::uint32_t i) const noexcept {
+    return values.data() + std::size_t{i} * dim;
+  }
+};
+
+/// `count` uniform-[0,1) vectors of dimension `dim` (the paper's synthetic
+/// workload; dim = 128 there).
+[[nodiscard]] Dataset make_uniform_dataset(std::uint32_t count,
+                                           std::uint32_t dim,
+                                           std::uint64_t seed);
+
+/// A labelled Gaussian-mixture dataset for the classifier example: `clusters`
+/// isotropic Gaussians with means uniform in [0,1]^dim and the given sigma.
+struct LabelledDataset {
+  Dataset points;
+  std::vector<std::uint32_t> labels;
+};
+
+[[nodiscard]] LabelledDataset make_gaussian_clusters(std::uint32_t count,
+                                                     std::uint32_t dim,
+                                                     std::uint32_t clusters,
+                                                     float sigma,
+                                                     std::uint64_t seed);
+
+/// Re-packs a row-major dataset into dim-major order (element (i, d) at
+/// d*count + i), the layout the distance kernel wants for queries.
+[[nodiscard]] std::vector<float> to_dim_major(const Dataset& data);
+
+}  // namespace gpuksel::knn

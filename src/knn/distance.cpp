@@ -1,0 +1,43 @@
+#include "knn/distance.hpp"
+
+#include "util/check.hpp"
+
+namespace gpuksel::knn {
+
+float squared_euclidean(const float* a, const float* b,
+                        std::uint32_t dim) noexcept {
+  float acc = 0.0f;
+  for (std::uint32_t d = 0; d < dim; ++d) {
+    const float diff = a[d] - b[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+std::vector<float> distance_matrix_host(std::span<const float> queries,
+                                        std::span<const float> refs,
+                                        std::uint32_t num_queries,
+                                        std::uint32_t n, std::uint32_t dim,
+                                        kernels::MatrixLayout layout) {
+  GPUKSEL_CHECK(queries.size() == std::size_t{num_queries} * dim,
+                "query buffer size mismatch");
+  GPUKSEL_CHECK(refs.size() == std::size_t{n} * dim,
+                "reference buffer size mismatch");
+  std::vector<float> out(std::size_t{num_queries} * n);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t q = 0; q < static_cast<std::int64_t>(num_queries); ++q) {
+    const float* qv = queries.data() + static_cast<std::size_t>(q) * dim;
+    for (std::uint32_t r = 0; r < n; ++r) {
+      const float d = squared_euclidean(qv, refs.data() + std::size_t{r} * dim,
+                                        dim);
+      const std::size_t idx =
+          layout == kernels::MatrixLayout::kReferenceMajor
+              ? std::size_t{r} * num_queries + static_cast<std::size_t>(q)
+              : static_cast<std::size_t>(q) * n + r;
+      out[idx] = d;
+    }
+  }
+  return out;
+}
+
+}  // namespace gpuksel::knn

@@ -1,0 +1,25 @@
+// Host-side Euclidean distance computation (reference implementation and the
+// CPU half of the paper's CPU-vs-GPU comparison).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/kernels/queue_layout.hpp"
+
+namespace gpuksel::knn {
+
+/// Squared Euclidean distance between two dim-length vectors.
+[[nodiscard]] float squared_euclidean(const float* a, const float* b,
+                                      std::uint32_t dim) noexcept;
+
+/// Computes the full Q x N squared-distance matrix on the host (OpenMP over
+/// queries).  `queries` and `refs` are row-major.  Output is written in the
+/// requested device layout so it can be fed straight into the kernels.
+[[nodiscard]] std::vector<float> distance_matrix_host(
+    std::span<const float> queries, std::span<const float> refs,
+    std::uint32_t num_queries, std::uint32_t n, std::uint32_t dim,
+    kernels::MatrixLayout layout = kernels::MatrixLayout::kReferenceMajor);
+
+}  // namespace gpuksel::knn

@@ -1,0 +1,59 @@
+#include "knn/knn.hpp"
+
+#include "knn/distance.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel::knn {
+
+BruteForceKnn::BruteForceKnn(Dataset refs) : refs_(std::move(refs)) {
+  GPUKSEL_CHECK(refs_.count >= 1, "reference set must not be empty");
+}
+
+KnnResult BruteForceKnn::search(const Dataset& queries, std::uint32_t k,
+                                Algo algo) const {
+  GPUKSEL_CHECK(queries.dim == refs_.dim, "query/reference dim mismatch");
+  const auto matrix = distance_matrix_host(
+      queries.values, refs_.values, queries.count, refs_.count, queries.dim,
+      kernels::MatrixLayout::kQueryMajor);
+  KnnResult result;
+  result.neighbors.resize(queries.count);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t q = 0; q < static_cast<std::int64_t>(queries.count); ++q) {
+    const std::span<const float> row(
+        matrix.data() + static_cast<std::size_t>(q) * refs_.count, refs_.count);
+    result.neighbors[static_cast<std::size_t>(q)] =
+        select_k_smallest(row, k, algo);
+  }
+  return result;
+}
+
+KnnResult BruteForceKnn::search_gpu(simt::Device& dev, const Dataset& queries,
+                                    std::uint32_t k,
+                                    const GpuSearchOptions& options) const {
+  GPUKSEL_CHECK(queries.dim == refs_.dim, "query/reference dim mismatch");
+  const auto queries_dim_major = to_dim_major(queries);
+  auto dist = kernels::gpu_distance_matrix(dev, queries_dim_major,
+                                           refs_.values, queries.count,
+                                           refs_.count, refs_.dim,
+                                           options.select.layout);
+
+  const std::span<const float> matrix(dist.matrix.host());
+  kernels::SelectOutput sel =
+      options.use_hierarchical_partition
+          ? kernels::hp_select(dev, matrix, queries.count, refs_.count, k,
+                               options.select, options.hp_group)
+          : kernels::flat_select(dev, matrix, queries.count, refs_.count, k,
+                                 options.select);
+
+  KnnResult result;
+  result.neighbors = std::move(sel.neighbors);
+  result.distance_metrics = dist.metrics;
+  result.select_metrics = sel.metrics + sel.build_metrics;
+  const auto& cm = options.cost_model;
+  result.modeled_seconds = cm.kernel_seconds(dist.metrics) +
+                           cm.kernel_seconds(sel.build_metrics) +
+                           cm.kernel_seconds(sel.metrics);
+  return result;
+}
+
+}  // namespace gpuksel::knn

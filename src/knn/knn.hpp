@@ -1,0 +1,63 @@
+// Brute-force k-NN front end: the public API downstream applications use.
+//
+// BruteForceKnn holds a reference set and answers batched queries either on
+// the host (scalar selection algorithms) or on the simulated GPU (distance
+// kernel + the paper's selection kernels), with identical results.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/kernels/hp_kernels.hpp"
+#include "core/kernels/pipeline.hpp"
+#include "core/kselect.hpp"
+#include "knn/dataset.hpp"
+#include "simt/cost_model.hpp"
+
+namespace gpuksel::knn {
+
+/// Result of a batched k-NN search.
+struct KnnResult {
+  /// Per query: the k nearest (squared distance, reference index), ascending.
+  std::vector<std::vector<Neighbor>> neighbors;
+  /// Metrics of the GPU path (zeros for host searches): distance kernel,
+  /// selection kernel(s), and modeled seconds under the given cost model.
+  simt::KernelMetrics distance_metrics;
+  simt::KernelMetrics select_metrics;
+  double modeled_seconds = 0.0;
+};
+
+/// GPU search options: selection kernel configuration plus optional
+/// Hierarchical Partition.
+struct GpuSearchOptions {
+  kernels::SelectConfig select;
+  bool use_hierarchical_partition = true;
+  std::uint32_t hp_group = 4;  ///< the paper's default G
+  simt::CostModel cost_model = simt::c2075_model();
+};
+
+class BruteForceKnn {
+ public:
+  /// Indexes the reference set (row-major `count x dim`).
+  explicit BruteForceKnn(Dataset refs);
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return refs_.count; }
+  [[nodiscard]] std::uint32_t dim() const noexcept { return refs_.dim; }
+  [[nodiscard]] const Dataset& refs() const noexcept { return refs_; }
+
+  /// Host search: distance matrix with OpenMP, then the chosen scalar
+  /// selection algorithm per query.
+  [[nodiscard]] KnnResult search(const Dataset& queries, std::uint32_t k,
+                                 Algo algo = Algo::kMergeQueue) const;
+
+  /// Simulated-GPU search: the paper's full pipeline.
+  [[nodiscard]] KnnResult search_gpu(simt::Device& dev, const Dataset& queries,
+                                     std::uint32_t k,
+                                     const GpuSearchOptions& options = {}) const;
+
+ private:
+  Dataset refs_;
+};
+
+}  // namespace gpuksel::knn

@@ -1,0 +1,108 @@
+#include "knn/rbc.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "knn/distance.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpuksel::knn {
+
+RandomBallCover::RandomBallCover(Dataset points,
+                                 std::uint32_t num_representatives,
+                                 std::uint64_t seed)
+    : points_(std::move(points)) {
+  GPUKSEL_CHECK(num_representatives >= 1, "RBC needs at least one ball");
+  GPUKSEL_CHECK(num_representatives <= points_.count,
+                "more representatives than points");
+  // Representatives: a random sample without replacement.
+  const auto perm = random_permutation(points_.count, seed);
+  rep_ids_.assign(perm.begin(), perm.begin() + num_representatives);
+  balls_.resize(num_representatives);
+  // Assign every point to its nearest representative (ties to the first).
+  for (std::uint32_t p = 0; p < points_.count; ++p) {
+    std::uint32_t best = 0;
+    float best_d = squared_euclidean(points_.row(p), points_.row(rep_ids_[0]),
+                                     points_.dim);
+    for (std::uint32_t r = 1; r < num_representatives; ++r) {
+      const float d = squared_euclidean(points_.row(p),
+                                        points_.row(rep_ids_[r]), points_.dim);
+      if (d < best_d) {
+        best_d = d;
+        best = r;
+      }
+    }
+    balls_[best].push_back(p);
+  }
+}
+
+const std::vector<std::uint32_t>& RandomBallCover::ball(std::uint32_t r) const {
+  GPUKSEL_CHECK(r < balls_.size(), "ball index out of range");
+  return balls_[r];
+}
+
+std::vector<Neighbor> RandomBallCover::query(const float* q, std::uint32_t k,
+                                             std::uint32_t probe,
+                                             Algo algo) const {
+  GPUKSEL_CHECK(k >= 1, "RBC query needs k >= 1");
+  GPUKSEL_CHECK(probe >= 1, "RBC query needs probe >= 1");
+  probe = std::min<std::uint32_t>(probe, representatives());
+
+  // Stage 1: distances to all representatives, select the `probe` nearest —
+  // the small k-selection the library accelerates.
+  std::vector<float> rep_dists(representatives());
+  for (std::uint32_t r = 0; r < representatives(); ++r) {
+    rep_dists[r] =
+        squared_euclidean(q, points_.row(rep_ids_[r]), points_.dim);
+  }
+  const auto near_reps = select_k_smallest(rep_dists, probe, algo);
+
+  // Stage 2: exact selection over the union of the probed balls.
+  std::vector<float> cand_dists;
+  std::vector<std::uint32_t> cand_ids;
+  for (const Neighbor& rep : near_reps) {
+    for (const std::uint32_t p : balls_[rep.index]) {
+      cand_ids.push_back(p);
+      cand_dists.push_back(squared_euclidean(q, points_.row(p), points_.dim));
+    }
+  }
+  auto local = select_k_smallest(cand_dists, k, algo);
+  for (Neighbor& n : local) n.index = cand_ids[n.index];
+  // Re-sort under the *global* point ids so tie order matches exact search.
+  std::sort(local.begin(), local.end());
+  return local;
+}
+
+std::vector<std::vector<Neighbor>> RandomBallCover::query_batch(
+    const Dataset& queries, std::uint32_t k, std::uint32_t probe,
+    Algo algo) const {
+  GPUKSEL_CHECK(queries.dim == points_.dim, "query/point dim mismatch");
+  std::vector<std::vector<Neighbor>> out(queries.count);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(queries.count); ++i) {
+    out[static_cast<std::size_t>(i)] =
+        query(queries.row(static_cast<std::uint32_t>(i)), k, probe, algo);
+  }
+  return out;
+}
+
+double RandomBallCover::recall(
+    const std::vector<std::vector<Neighbor>>& approx,
+    const std::vector<std::vector<Neighbor>>& truth) {
+  GPUKSEL_CHECK(approx.size() == truth.size(), "batch size mismatch");
+  if (truth.empty()) return 1.0;
+  double hit = 0;
+  double total = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    std::set<std::uint32_t> found;
+    for (const Neighbor& n : approx[i]) found.insert(n.index);
+    for (const Neighbor& n : truth[i]) {
+      hit += found.count(n.index) ? 1 : 0;
+      total += 1;
+    }
+  }
+  return total > 0 ? hit / total : 1.0;
+}
+
+}  // namespace gpuksel::knn

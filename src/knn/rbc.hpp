@@ -1,0 +1,58 @@
+// Random Ball Cover (Cayton [8]) — the approximate k-NN index whose
+// selection stage motivated part of the paper's related work (its odd-even
+// sort limited it to k <= 32; built on this library's selection it has no
+// such limit).
+//
+// Index: pick R random representatives; assign every point to its nearest
+// representative ("ball").  Query: find the `probe` nearest representatives
+// with an exact selection over the R representative distances, then run an
+// exact selection over the union of their balls.  Larger `probe` trades time
+// for recall; probe == R degenerates to exact brute force.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/kselect.hpp"
+#include "knn/dataset.hpp"
+
+namespace gpuksel::knn {
+
+class RandomBallCover {
+ public:
+  /// Builds the index over `points` with `num_representatives` balls.
+  RandomBallCover(Dataset points, std::uint32_t num_representatives,
+                  std::uint64_t seed);
+
+  [[nodiscard]] std::uint32_t representatives() const noexcept {
+    return static_cast<std::uint32_t>(rep_ids_.size());
+  }
+
+  /// Points assigned to representative r (including r itself).
+  [[nodiscard]] const std::vector<std::uint32_t>& ball(std::uint32_t r) const;
+
+  /// Approximate k-NN of one query vector (length dim): search the `probe`
+  /// nearest balls.  Returns up to k (squared distance, point index) pairs,
+  /// ascending; selection inside uses `algo`.
+  [[nodiscard]] std::vector<Neighbor> query(const float* q, std::uint32_t k,
+                                            std::uint32_t probe,
+                                            Algo algo = Algo::kMergeQueue) const;
+
+  /// Batch interface over a query dataset.
+  [[nodiscard]] std::vector<std::vector<Neighbor>> query_batch(
+      const Dataset& queries, std::uint32_t k, std::uint32_t probe,
+      Algo algo = Algo::kMergeQueue) const;
+
+  /// Fraction of true k-NN retrieved, averaged over the batch (evaluation
+  /// helper: `truth` must come from an exact search on the same data).
+  [[nodiscard]] static double recall(
+      const std::vector<std::vector<Neighbor>>& approx,
+      const std::vector<std::vector<Neighbor>>& truth);
+
+ private:
+  Dataset points_;
+  std::vector<std::uint32_t> rep_ids_;            ///< representative point ids
+  std::vector<std::vector<std::uint32_t>> balls_; ///< members per rep
+};
+
+}  // namespace gpuksel::knn

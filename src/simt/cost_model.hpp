@@ -1,0 +1,76 @@
+// Cost model converting simulator metrics into modeled seconds.
+//
+// Calibrated to the paper's NVIDIA Tesla C2075 (Fermi): 14 SMs with two warp
+// schedulers each at 1.15 GHz, 144 GB/s GDDR5 served in 128-byte
+// transactions, and a PCIe link whose effective bandwidth is back-solved from
+// the paper's own "Data Copy" row (0.46 s to move the 2^13 x 2^15 float
+// distance matrix => ~2.33 GB/s, typical for PCIe 2.0 with pinned-memory
+// overheads of that era).
+//
+// A kernel's modeled time is the roofline max of its instruction-issue time
+// and its DRAM time: with thousands of resident warps both pipelines overlap,
+// so the slower one bounds throughput.
+#pragma once
+
+#include <cstdint>
+
+#include "simt/metrics.hpp"
+
+namespace gpuksel::simt {
+
+struct CostModel {
+  double sm_count = 14.0;
+  double schedulers_per_sm = 2.0;
+  double clock_hz = 1.15e9;
+  double dram_bandwidth = 144.0e9;       // bytes/s
+  double transaction_bytes = 128.0;
+  double pcie_bandwidth = 2.33e9;        // bytes/s, calibrated to Table I
+  double pcie_latency_s = 20e-6;         // per-transfer launch overhead
+
+  /// Peak warp-instruction issue rate of the whole chip.
+  [[nodiscard]] double issue_rate() const noexcept {
+    return sm_count * schedulers_per_sm * clock_hz;
+  }
+
+  /// Time to issue the recorded instructions, chip fully occupied.
+  [[nodiscard]] double instruction_seconds(const KernelMetrics& m) const noexcept {
+    return static_cast<double>(m.instructions) / issue_rate();
+  }
+
+  /// Time for the recorded global transactions at peak DRAM bandwidth.
+  [[nodiscard]] double memory_seconds(const KernelMetrics& m) const noexcept {
+    return static_cast<double>(m.global_tx()) * transaction_bytes /
+           dram_bandwidth;
+  }
+
+  /// Roofline estimate of kernel time.
+  [[nodiscard]] double kernel_seconds(const KernelMetrics& m) const noexcept {
+    const double ti = instruction_seconds(m);
+    const double tm = memory_seconds(m);
+    return ti > tm ? ti : tm;
+  }
+
+  /// Kernel time when the simulated warps are a sample of `scale`x as many
+  /// real warps (warp sampling; see DESIGN.md §1).
+  [[nodiscard]] double kernel_seconds_scaled(const KernelMetrics& m,
+                                             double scale) const noexcept {
+    KernelMetrics scaled = m;
+    scaled.instructions = static_cast<std::uint64_t>(
+        static_cast<double>(m.instructions) * scale);
+    scaled.global_load_tx = static_cast<std::uint64_t>(
+        static_cast<double>(m.global_load_tx) * scale);
+    scaled.global_store_tx = static_cast<std::uint64_t>(
+        static_cast<double>(m.global_store_tx) * scale);
+    return kernel_seconds(scaled);
+  }
+
+  /// Modeled host<->device copy time for `bytes` bytes.
+  [[nodiscard]] double transfer_seconds(std::uint64_t bytes) const noexcept {
+    return pcie_latency_s + static_cast<double>(bytes) / pcie_bandwidth;
+  }
+};
+
+/// The default (paper-calibrated) cost model.
+[[nodiscard]] inline CostModel c2075_model() noexcept { return CostModel{}; }
+
+}  // namespace gpuksel::simt

@@ -1,0 +1,83 @@
+// Device: allocation, host<->device transfer accounting, kernel launch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simt/memory.hpp"
+#include "simt/metrics.hpp"
+#include "simt/warp.hpp"
+
+namespace gpuksel::simt {
+
+/// The simulated GPU.  Owns transfer statistics and runs kernels warp by
+/// warp; warps are independent (grid-level parallelism), so the launcher may
+/// execute them in any order or in parallel host threads.
+class Device {
+ public:
+  /// Allocates an uninitialised (zero-filled) device buffer of n elements.
+  template <typename T>
+  DeviceBuffer<T> alloc(std::size_t n, T fill = T{}) {
+    return DeviceBuffer<T>(n, fill);
+  }
+
+  /// Copies host data to a new device buffer, charging the PCIe link.
+  template <typename T>
+  DeviceBuffer<T> upload(std::span<const T> host) {
+    transfers_.bytes_h2d += host.size() * sizeof(T);
+    return DeviceBuffer<T>(std::vector<T>(host.begin(), host.end()));
+  }
+
+  template <typename T>
+  DeviceBuffer<T> upload(const std::vector<T>& host) {
+    return upload(std::span<const T>(host));
+  }
+
+  /// Copies a device buffer back to the host, charging the PCIe link.
+  template <typename T>
+  std::vector<T> download(const DeviceBuffer<T>& buf) {
+    transfers_.bytes_d2h += buf.bytes();
+    return buf.host();
+  }
+
+  /// Runs `kernel(WarpContext&, warp_id)` for warp_id in [0, num_warps) and
+  /// returns the metrics summed over all warps.
+  template <typename Kernel>
+  KernelMetrics launch(std::size_t num_warps, Kernel&& kernel) {
+    KernelMetrics total;
+    for (std::size_t w = 0; w < num_warps; ++w) {
+      KernelMetrics per_warp;
+      WarpContext ctx(per_warp, static_cast<std::uint32_t>(w));
+      kernel(ctx, static_cast<std::uint32_t>(w));
+      total += per_warp;
+    }
+    last_launch_ = total;
+    cumulative_ += total;
+    return total;
+  }
+
+  [[nodiscard]] const KernelMetrics& last_launch() const noexcept {
+    return last_launch_;
+  }
+  [[nodiscard]] const KernelMetrics& cumulative() const noexcept {
+    return cumulative_;
+  }
+  [[nodiscard]] const TransferStats& transfers() const noexcept {
+    return transfers_;
+  }
+
+  /// Clears cumulative metrics and transfer counters.
+  void reset_stats() noexcept {
+    last_launch_ = {};
+    cumulative_ = {};
+    transfers_ = {};
+  }
+
+ private:
+  KernelMetrics last_launch_;
+  KernelMetrics cumulative_;
+  TransferStats transfers_;
+};
+
+}  // namespace gpuksel::simt

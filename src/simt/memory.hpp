@@ -1,0 +1,103 @@
+// Simulated device memory: buffers, spans and the transaction model.
+//
+// Device buffers live in host memory (the simulator is functional), but every
+// warp access through WarpContext is charged in 128-byte transactions, the
+// GDDR5 granularity of the paper's Tesla C2075.  Each buffer is modeled as
+// starting on a transaction boundary, so transaction counts depend only on
+// the element indices a warp touches — deterministic and unit-testable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gpuksel::simt {
+
+/// Bytes per global-memory transaction (Fermi L1 line / coalescing window).
+inline constexpr std::size_t kTransactionBytes = 128;
+
+/// A non-owning view of device memory handed to kernels.
+///
+/// The `offset` of a span within its buffer is tracked so that sub-spans
+/// still produce correct transaction segmentation.
+template <typename T>
+class DeviceSpan {
+ public:
+  DeviceSpan() = default;
+  DeviceSpan(T* data, std::size_t size, std::size_t byte_offset = 0) noexcept
+      : data_(data), size_(size), byte_offset_(byte_offset) {}
+
+  /// Implicit widening to a const view.
+  operator DeviceSpan<const T>() const noexcept {  // NOLINT(google-explicit-constructor)
+    return DeviceSpan<const T>(data_, size_, byte_offset_);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] T* data() const noexcept { return data_; }
+
+  /// Raw element access (simulator-internal; kernels go through WarpContext).
+  T& at(std::size_t i) const {
+#if defined(GPUKSEL_BOUNDS_CHECK)
+    GPUKSEL_CHECK(i < size_, "device span index out of range");
+#endif
+    return data_[i];
+  }
+
+  /// Byte offset of element i from the start of the underlying buffer.
+  [[nodiscard]] std::size_t byte_offset(std::size_t i) const noexcept {
+    return byte_offset_ + i * sizeof(T);
+  }
+
+  /// Sub-span of `count` elements starting at `first`.
+  [[nodiscard]] DeviceSpan subspan(std::size_t first, std::size_t count) const {
+    GPUKSEL_CHECK(first + count <= size_, "device subspan out of range");
+    return DeviceSpan(data_ + first, count, byte_offset(first));
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t byte_offset_ = 0;
+};
+
+/// An owning device allocation.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  explicit DeviceBuffer(std::size_t n, T fill = T{}) : storage_(n, fill) {}
+  explicit DeviceBuffer(std::vector<T> host) : storage_(std::move(host)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return storage_.size() * sizeof(T);
+  }
+
+  [[nodiscard]] DeviceSpan<T> span() noexcept {
+    return DeviceSpan<T>(storage_.data(), storage_.size());
+  }
+  [[nodiscard]] DeviceSpan<const T> cspan() const noexcept {
+    return DeviceSpan<const T>(storage_.data(), storage_.size());
+  }
+
+  /// Simulator-side view of the contents (tests and host verification).
+  [[nodiscard]] const std::vector<T>& host() const noexcept { return storage_; }
+  [[nodiscard]] std::vector<T>& host() noexcept { return storage_; }
+
+ private:
+  std::vector<T> storage_;
+};
+
+/// PCIe-like host<->device link model.  The paper's "Data Copy" row measures
+/// moving the distance matrix across this link; we reproduce it by counting
+/// the bytes actually transferred and dividing by a calibrated bandwidth.
+struct TransferStats {
+  std::uint64_t bytes_h2d = 0;
+  std::uint64_t bytes_d2h = 0;
+};
+
+}  // namespace gpuksel::simt

@@ -1,0 +1,85 @@
+// Fundamental SIMT types: lane masks and per-lane register variables.
+//
+// The simulator executes kernels in *warp-synchronous* (explicit-mask) style:
+// a warp instruction operates on all 32 lanes at once, and an active-lane
+// mask selects which lanes actually commit results.  This is precisely the
+// execution model CUDA hardware enforces; writing it out explicitly is what
+// lets us count divergence instead of merely suffering it.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace gpuksel::simt {
+
+/// Number of lanes per warp, matching NVIDIA hardware (and the paper).
+inline constexpr int kWarpSize = 32;
+
+/// One bit per lane; bit i set means lane i is active.
+using LaneMask = std::uint32_t;
+
+/// Mask with all 32 lanes active.
+inline constexpr LaneMask kFullMask = 0xffffffffu;
+
+/// Mask with exactly lane `lane` active.
+constexpr LaneMask lane_bit(int lane) noexcept {
+  return LaneMask{1} << lane;
+}
+
+/// Mask with the first n lanes active (n in [0, 32]).
+constexpr LaneMask first_lanes(int n) noexcept {
+  return n >= kWarpSize ? kFullMask : (LaneMask{1} << n) - 1;
+}
+
+/// Number of active lanes in the mask.
+constexpr int popcount(LaneMask m) noexcept { return std::popcount(m); }
+
+/// True if lane `lane` is active in `m`.
+constexpr bool lane_active(LaneMask m, int lane) noexcept {
+  return (m & lane_bit(lane)) != 0;
+}
+
+/// Index of the lowest active lane; kWarpSize when the mask is empty.
+constexpr int lowest_lane(LaneMask m) noexcept {
+  return m == 0 ? kWarpSize : std::countr_zero(m);
+}
+
+/// A per-lane register: one value of T for each of the 32 lanes.
+///
+/// WarpVar is a plain aggregate; *all* cost accounting happens through
+/// WarpContext operations, so WarpVar itself has value semantics and free
+/// element access (used by kernels only for setup and by tests for
+/// inspection).
+template <typename T>
+struct WarpVar {
+  std::array<T, kWarpSize> lanes{};
+
+  constexpr T& operator[](int lane) noexcept { return lanes[lane]; }
+  constexpr const T& operator[](int lane) const noexcept {
+    return lanes[lane];
+  }
+
+  /// All lanes set to the same value.
+  static constexpr WarpVar filled(T value) noexcept {
+    WarpVar v;
+    v.lanes.fill(value);
+    return v;
+  }
+
+  /// Lane i gets value i (the canonical threadIdx.x % 32 register).
+  static constexpr WarpVar iota(T start = T{0}, T step = T{1}) noexcept {
+    WarpVar v;
+    T cur = start;
+    for (int i = 0; i < kWarpSize; ++i, cur = static_cast<T>(cur + step)) {
+      v.lanes[i] = cur;
+    }
+    return v;
+  }
+};
+
+using F32 = WarpVar<float>;
+using U32 = WarpVar<std::uint32_t>;
+using I32 = WarpVar<std::int32_t>;
+
+}  // namespace gpuksel::simt

@@ -1,0 +1,380 @@
+// WarpContext: the instruction set of the simulated SIMT machine.
+//
+// Kernels are written in warp-synchronous style: every operation takes an
+// active-lane mask and executes for all 32 lanes at once; inactive lanes keep
+// their previous register values (predicated execution).  Host-side `if`/`for`
+// over masks plays the role of the hardware's divergence stack: a path whose
+// mask is empty is skipped (as hardware does for a unanimous branch), and a
+// path executed with a sparse mask is charged full instruction slots — that
+// charge *is* branch divergence.
+//
+// Cost accounting conventions (asserted by tests):
+//  * every WarpContext operation issues exactly one warp instruction unless
+//    documented otherwise (reductions and conflicted shared accesses issue
+//    more);
+//  * useful lane-slots accrue popcount(mask) per issued instruction;
+//  * global accesses additionally count one 128-byte transaction per distinct
+//    segment touched by active lanes (coalescing model);
+//  * shared accesses replay once per conflicting bank access.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <type_traits>
+
+#include "simt/memory.hpp"
+#include "simt/metrics.hpp"
+#include "simt/types.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel::simt {
+
+class WarpContext {
+ public:
+  WarpContext(KernelMetrics& metrics, std::uint32_t warp_id) noexcept
+      : metrics_(metrics), warp_id_(warp_id) {}
+
+  WarpContext(const WarpContext&) = delete;
+  WarpContext& operator=(const WarpContext&) = delete;
+
+  [[nodiscard]] std::uint32_t warp_id() const noexcept { return warp_id_; }
+  [[nodiscard]] KernelMetrics& metrics() noexcept { return metrics_; }
+
+  /// The canonical lane-index register (threadIdx.x % 32).  Free: it is a
+  /// hardware special register.
+  [[nodiscard]] static U32 lane_id() noexcept {
+    return U32::iota();
+  }
+
+  /// Charges `count` warp instructions executed under mask `m`.
+  void issue(LaneMask m, std::uint64_t count = 1) noexcept {
+    metrics_.instructions += count;
+    metrics_.useful_lane_slots +=
+        count * static_cast<std::uint64_t>(popcount(m));
+  }
+
+  // --- register moves -----------------------------------------------------
+
+  /// Broadcast an immediate into active lanes of `dst` (move-immediate).
+  template <typename T>
+  void mov(LaneMask m, WarpVar<T>& dst, T value) noexcept {
+    issue(m);
+    for_active(m, [&](int i) { dst[i] = value; });
+  }
+
+  /// Fresh register holding `value` in every lane.
+  template <typename T>
+  WarpVar<T> imm(LaneMask m, T value) noexcept {
+    WarpVar<T> v = WarpVar<T>::filled(value);
+    issue(m);
+    return v;
+  }
+
+  /// Copy active lanes of `src` into `dst`.
+  template <typename T>
+  void cpy(LaneMask m, WarpVar<T>& dst, const WarpVar<T>& src) noexcept {
+    issue(m);
+    for_active(m, [&](int i) { dst[i] = src[i]; });
+  }
+
+  // --- ALU -----------------------------------------------------------------
+
+  /// Generic one-instruction ALU op: dst[i] = f(i) for active lanes.  The
+  /// functor must be a per-lane expression over already-held registers.
+  template <typename T, typename F>
+  void alu(LaneMask m, WarpVar<T>& dst, F&& f) noexcept {
+    issue(m);
+    for_active(m, [&](int i) { dst[i] = f(i); });
+  }
+
+  template <typename T>
+  WarpVar<T> add(LaneMask m, const WarpVar<T>& a, const WarpVar<T>& b) noexcept {
+    WarpVar<T> r = a;
+    alu(m, r, [&](int i) { return static_cast<T>(a[i] + b[i]); });
+    return r;
+  }
+
+  template <typename T>
+  WarpVar<T> add(LaneMask m, const WarpVar<T>& a, T b) noexcept {
+    WarpVar<T> r = a;
+    alu(m, r, [&](int i) { return static_cast<T>(a[i] + b); });
+    return r;
+  }
+
+  template <typename T>
+  WarpVar<T> sub(LaneMask m, const WarpVar<T>& a, const WarpVar<T>& b) noexcept {
+    WarpVar<T> r = a;
+    alu(m, r, [&](int i) { return static_cast<T>(a[i] - b[i]); });
+    return r;
+  }
+
+  template <typename T>
+  WarpVar<T> mul(LaneMask m, const WarpVar<T>& a, T b) noexcept {
+    WarpVar<T> r = a;
+    alu(m, r, [&](int i) { return static_cast<T>(a[i] * b); });
+    return r;
+  }
+
+  /// dst[i] = cond lane i active in `take` ? a[i] : b[i] — a select executed
+  /// under `m` (both operands already in registers).
+  template <typename T>
+  WarpVar<T> select(LaneMask m, LaneMask take, const WarpVar<T>& a,
+                    const WarpVar<T>& b) noexcept {
+    WarpVar<T> r = b;
+    alu(m, r, [&](int i) { return lane_active(take, i) ? a[i] : b[i]; });
+    return r;
+  }
+
+  // --- predicates ----------------------------------------------------------
+
+  /// Generic compare producing a predicate mask restricted to `m`.
+  template <typename F>
+  LaneMask pred(LaneMask m, F&& f) noexcept {
+    issue(m);
+    LaneMask out = 0;
+    for_active(m, [&](int i) {
+      if (f(i)) out |= lane_bit(i);
+    });
+    return out;
+  }
+
+  template <typename T>
+  LaneMask cmp_lt(LaneMask m, const WarpVar<T>& a, const WarpVar<T>& b) noexcept {
+    return pred(m, [&](int i) { return a[i] < b[i]; });
+  }
+  template <typename T>
+  LaneMask cmp_lt(LaneMask m, const WarpVar<T>& a, T b) noexcept {
+    return pred(m, [&](int i) { return a[i] < b; });
+  }
+  template <typename T>
+  LaneMask cmp_le(LaneMask m, const WarpVar<T>& a, const WarpVar<T>& b) noexcept {
+    return pred(m, [&](int i) { return a[i] <= b[i]; });
+  }
+  template <typename T>
+  LaneMask cmp_gt(LaneMask m, const WarpVar<T>& a, const WarpVar<T>& b) noexcept {
+    return pred(m, [&](int i) { return a[i] > b[i]; });
+  }
+  template <typename T>
+  LaneMask cmp_ge(LaneMask m, const WarpVar<T>& a, const WarpVar<T>& b) noexcept {
+    return pred(m, [&](int i) { return a[i] >= b[i]; });
+  }
+  template <typename T>
+  LaneMask cmp_eq(LaneMask m, const WarpVar<T>& a, T b) noexcept {
+    return pred(m, [&](int i) { return a[i] == b; });
+  }
+
+  // --- votes and shuffles --------------------------------------------------
+
+  /// __ballot_sync: one instruction; the predicate is already a mask in our
+  /// representation, so this just charges the vote and returns it.
+  LaneMask ballot(LaneMask m, LaneMask predicate) noexcept {
+    issue(m);
+    return predicate & m;
+  }
+
+  /// __any_sync.
+  bool any(LaneMask m, LaneMask predicate) noexcept {
+    issue(m);
+    return (predicate & m) != 0;
+  }
+
+  /// __all_sync.
+  bool all(LaneMask m, LaneMask predicate) noexcept {
+    issue(m);
+    return (predicate & m) == m;
+  }
+
+  /// __shfl_sync: every active lane reads `src` from lane `from[i] % 32`.
+  template <typename T>
+  WarpVar<T> shfl(LaneMask m, const WarpVar<T>& src, const U32& from) noexcept {
+    WarpVar<T> r = src;
+    alu(m, r, [&](int i) { return src[from[i] % kWarpSize]; });
+    return r;
+  }
+
+  /// __shfl_xor_sync with a compile-time lane mask (butterfly step).
+  template <typename T>
+  WarpVar<T> shfl_xor(LaneMask m, const WarpVar<T>& src, int lanemask) noexcept {
+    WarpVar<T> r = src;
+    alu(m, r, [&](int i) { return src[i ^ lanemask]; });
+    return r;
+  }
+
+  /// Broadcast the value held by `src_lane` to all active lanes.
+  template <typename T>
+  WarpVar<T> shfl_bcast(LaneMask m, const WarpVar<T>& src, int src_lane) noexcept {
+    WarpVar<T> r = src;
+    alu(m, r, [&](int) { return src[src_lane % kWarpSize]; });
+    return r;
+  }
+
+  // --- global memory ---------------------------------------------------------
+
+  /// Gather: dst[i] = span[idx[i]] for active lanes.  One instruction, one
+  /// request, and one transaction per distinct 128-byte segment touched.
+  template <typename T>
+  WarpVar<T> load(LaneMask m, DeviceSpan<const T> span, const U32& idx) {
+    WarpVar<T> r{};
+    issue(m);
+    charge_transactions<T>(m, span, idx, /*is_store=*/false);
+    for_active(m, [&](int i) { r[i] = span.at(idx[i]); });
+    return r;
+  }
+
+  template <typename T>
+  WarpVar<T> load(LaneMask m, DeviceSpan<T> span, const U32& idx) {
+    return load(m, DeviceSpan<const T>(span), idx);
+  }
+
+  /// Scatter: span[idx[i]] = v[i] for active lanes.  Lanes writing the same
+  /// address commit in lane order (highest lane wins), matching CUDA's
+  /// undefined-but-single-winner semantics deterministically.
+  template <typename T>
+  void store(LaneMask m, DeviceSpan<T> span, const U32& idx,
+             const WarpVar<T>& v) {
+    issue(m);
+    charge_transactions<T>(m, span, idx, /*is_store=*/true);
+    for_active(m, [&](int i) { span.at(idx[i]) = v[i]; });
+  }
+
+  /// Store an immediate to span[idx[i]] for active lanes.
+  template <typename T>
+  void store(LaneMask m, DeviceSpan<T> span, const U32& idx, T value) {
+    store(m, span, idx, WarpVar<T>::filled(value));
+  }
+
+  // --- shared memory accounting (used by SharedArray) -----------------------
+
+  /// Charges one shared request issued under `m` touching the given 4-byte
+  /// bank words; replays once per extra conflicting access in a bank.
+  void charge_shared(LaneMask m, const U32& bank_words) noexcept {
+    std::uint8_t per_bank_addrs[kWarpSize] = {};
+    std::uint32_t bank_addr[kWarpSize] = {};
+    for (int i = 0; i < kWarpSize; ++i) {
+      if (!lane_active(m, i)) continue;
+      const std::uint32_t word = bank_words[i];
+      const int bank = static_cast<int>(word % kWarpSize);
+      // Same word in same bank broadcasts for free; a different word in an
+      // occupied bank forces a replay.
+      if (per_bank_addrs[bank] == 0) {
+        per_bank_addrs[bank] = 1;
+        bank_addr[bank] = word;
+      } else if (bank_addr[bank] != word) {
+        ++per_bank_addrs[bank];
+        bank_addr[bank] = word;
+      }
+    }
+    int degree = 1;
+    for (int b = 0; b < kWarpSize; ++b) {
+      degree = std::max(degree, static_cast<int>(per_bank_addrs[b]));
+    }
+    issue(m, static_cast<std::uint64_t>(degree));
+    metrics_.shared_requests += 1;
+    metrics_.shared_conflict_replays += static_cast<std::uint64_t>(degree - 1);
+  }
+
+ private:
+  template <typename F>
+  static void for_active(LaneMask m, F&& f) {
+    for (int i = 0; i < kWarpSize; ++i) {
+      if (lane_active(m, i)) f(i);
+    }
+  }
+
+  template <typename T, typename SpanT>
+  void charge_transactions(LaneMask m, const SpanT& span, const U32& idx,
+                           bool is_store) {
+    std::uint64_t segments[kWarpSize];
+    int n = 0;
+    for (int i = 0; i < kWarpSize; ++i) {
+      if (!lane_active(m, i)) continue;
+      const std::uint64_t seg = span.byte_offset(idx[i]) / kTransactionBytes;
+      bool seen = false;
+      for (int j = 0; j < n; ++j) {
+        if (segments[j] == seg) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) segments[n++] = seg;
+    }
+    metrics_.global_requests += 1;
+    if (is_store) {
+      metrics_.global_store_tx += static_cast<std::uint64_t>(n);
+    } else {
+      metrics_.global_load_tx += static_cast<std::uint64_t>(n);
+    }
+  }
+
+  KernelMetrics& metrics_;
+  std::uint32_t warp_id_;
+};
+
+/// Per-warp shared-memory array with bank-conflict accounting.  The paper
+/// places one "volatile shared int flag" per warp for Intra-Warp
+/// Communication and uses shared scratch in the warp-cooperative baselines.
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray(WarpContext& ctx, std::size_t n, T fill = T{})
+      : ctx_(ctx), data_(n, fill) {
+    static_assert(sizeof(T) % 4 == 0 || sizeof(T) == 4 || sizeof(T) <= 4,
+                  "shared bank model assumes word-multiple elements");
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  /// Gather from shared memory.
+  WarpVar<T> read(LaneMask m, const U32& idx) {
+    charge(m, idx);
+    WarpVar<T> r{};
+    for (int i = 0; i < kWarpSize; ++i) {
+      if (lane_active(m, i)) r[i] = at(idx[i]);
+    }
+    return r;
+  }
+
+  /// Scatter to shared memory (highest active lane wins on collisions).
+  void write(LaneMask m, const U32& idx, const WarpVar<T>& v) {
+    charge(m, idx);
+    for (int i = 0; i < kWarpSize; ++i) {
+      if (lane_active(m, i)) at(idx[i]) = v[i];
+    }
+  }
+
+  /// All active lanes read slot `slot` (a broadcast: conflict-free).
+  WarpVar<T> read_bcast(LaneMask m, std::size_t slot) {
+    charge(m, U32::filled(static_cast<std::uint32_t>(slot)));
+    return WarpVar<T>::filled(at(slot));
+  }
+
+  /// All active lanes write `value` to slot `slot` (the paper's flag write).
+  void write_bcast(LaneMask m, std::size_t slot, T value) {
+    charge(m, U32::filled(static_cast<std::uint32_t>(slot)));
+    at(slot) = value;
+  }
+
+  /// Simulator-side access for verification.
+  [[nodiscard]] const std::vector<T>& host() const noexcept { return data_; }
+
+ private:
+  T& at(std::size_t i) {
+    GPUKSEL_DEBUG_ASSERT(i < data_.size());
+    return data_[i];
+  }
+
+  void charge(LaneMask m, const U32& idx) {
+    U32 words;
+    const std::uint32_t words_per_elem =
+        static_cast<std::uint32_t>(std::max<std::size_t>(1, sizeof(T) / 4));
+    for (int i = 0; i < kWarpSize; ++i) {
+      words[i] = idx[i] * words_per_elem;
+    }
+    ctx_.charge_shared(m, words);
+  }
+
+  WarpContext& ctx_;
+  std::vector<T> data_;
+};
+
+}  // namespace gpuksel::simt

@@ -1,0 +1,90 @@
+// Warp-level collective building blocks used by kernels and baselines:
+// butterfly reductions, inclusive scans, and keyed min-reduction.  All cost
+// accounting flows through the WarpContext operations these are built from.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "simt/warp.hpp"
+
+namespace gpuksel::simt {
+
+/// Key/value pair held across a warp (e.g. distance + reference index).
+struct KeyedLanes {
+  F32 keys;
+  U32 values;
+};
+
+/// Warp-wide minimum of (key, value) with the arg carried along; after the
+/// call every lane holds the minimum over the *active* lanes.  Ties resolve
+/// to the smaller value (index), which keeps selection results deterministic.
+/// Inactive lanes contribute nothing: their registers are neutralised to the
+/// sentinel before the butterfly, so a partial mask is safe (unlike a raw
+/// __shfl_xor reduction, whose inactive partners are undefined).
+inline KeyedLanes reduce_min_keyed(WarpContext& ctx, LaneMask m,
+                                   KeyedLanes in) {
+  KeyedLanes clean{F32::filled(std::numeric_limits<float>::max()),
+                   U32::filled(0xffffffffu)};
+  clean.keys = ctx.select(kFullMask, m, in.keys, clean.keys);
+  clean.values = ctx.select(kFullMask, m, in.values, clean.values);
+  for (int delta = kWarpSize / 2; delta > 0; delta /= 2) {
+    const F32 other_key = ctx.shfl_xor(kFullMask, clean.keys, delta);
+    const U32 other_val = ctx.shfl_xor(kFullMask, clean.values, delta);
+    const LaneMask take = ctx.pred(kFullMask, [&](int i) {
+      return other_key[i] < clean.keys[i] ||
+             (other_key[i] == clean.keys[i] && other_val[i] < clean.values[i]);
+    });
+    clean.keys = ctx.select(kFullMask, take, other_key, clean.keys);
+    clean.values = ctx.select(kFullMask, take, other_val, clean.values);
+  }
+  return clean;
+}
+
+/// Warp-wide maximum of a float register over the active lanes; inactive
+/// lanes are neutralised first so partial masks are safe.
+inline F32 reduce_max(WarpContext& ctx, LaneMask m, F32 v) {
+  F32 clean = F32::filled(std::numeric_limits<float>::lowest());
+  clean = ctx.select(kFullMask, m, v, clean);
+  for (int delta = kWarpSize / 2; delta > 0; delta /= 2) {
+    const F32 other = ctx.shfl_xor(kFullMask, clean, delta);
+    const LaneMask take = ctx.cmp_gt(kFullMask, other, clean);
+    clean = ctx.select(kFullMask, take, other, clean);
+  }
+  return clean;
+}
+
+/// Warp-wide sum of a u32 register across active lanes (inactive lanes
+/// contribute 0); every active lane receives the total.
+inline U32 reduce_sum(WarpContext& ctx, LaneMask m, U32 v) {
+  // Zero out inactive contributions first so butterfly partners are safe.
+  U32 clean = ctx.imm(kFullMask, 0u);
+  clean = ctx.select(kFullMask, m, v, clean);
+  for (int delta = kWarpSize / 2; delta > 0; delta /= 2) {
+    const U32 other = ctx.shfl_xor(kFullMask, clean, delta);
+    clean = ctx.add(kFullMask, clean, other);
+  }
+  return clean;
+}
+
+/// Exclusive prefix sum across the full warp (Hillis–Steele, 5 steps).
+/// Lane i receives the sum of v over lanes < i.
+inline U32 prefix_sum_exclusive(WarpContext& ctx, U32 v) {
+  const LaneMask m = kFullMask;
+  U32 inclusive = v;
+  for (int delta = 1; delta < kWarpSize; delta *= 2) {
+    U32 shifted = inclusive;
+    ctx.alu(m, shifted,
+            [&](int i) { return i >= delta ? inclusive[i - delta] : 0u; });
+    inclusive = ctx.add(m, inclusive, shifted);
+  }
+  return ctx.sub(m, inclusive, v);
+}
+
+/// Largest representable float, used as the queue sentinel ("+infinity").
+inline constexpr float kFloatSentinel = std::numeric_limits<float>::max();
+
+/// Sentinel index marking an empty queue slot.
+inline constexpr std::uint32_t kIndexSentinel = 0xffffffffu;
+
+}  // namespace gpuksel::simt

@@ -1,0 +1,43 @@
+// Lightweight runtime checking macros used across the library.
+//
+// GPUKSEL_CHECK is always on and throws: it guards API misuse (bad k, bad
+// group size, mismatched buffer lengths).  GPUKSEL_DEBUG_ASSERT compiles away
+// in release builds and guards internal invariants on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gpuksel {
+
+/// Thrown when a documented precondition of a public API is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "GPUKSEL_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace gpuksel
+
+#define GPUKSEL_CHECK(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::gpuksel::detail::check_failed(#expr, __FILE__, __LINE__, (msg));    \
+    }                                                                       \
+  } while (0)
+
+#if defined(NDEBUG)
+#define GPUKSEL_DEBUG_ASSERT(expr) ((void)0)
+#else
+#define GPUKSEL_DEBUG_ASSERT(expr) GPUKSEL_CHECK((expr), "debug assertion")
+#endif

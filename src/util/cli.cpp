@@ -1,0 +1,79 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gpuksel {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         std::equal(prefix.begin(), prefix.end(), s.begin());
+}
+
+}  // namespace
+
+CliFlags::CliFlags(int& argc, char** argv,
+                   const std::vector<std::string>& keep_prefixes) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    std::string key = eq == std::string::npos ? body : body.substr(0, eq);
+    // Normalise dashes to underscores so --paper-scale == --paper_scale.
+    for (auto& c : key) {
+      if (c == '-') c = '_';
+    }
+    bool keep = false;
+    for (const auto& prefix : keep_prefixes) {
+      if (starts_with(key, prefix)) keep = true;
+    }
+    if (keep) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    values_[key] = eq == std::string::npos ? "1" : body.substr(eq + 1);
+  }
+  argc = out;
+  argv[argc] = nullptr;
+}
+
+std::string CliFlags::get(const std::string& key, const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t CliFlags::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 0);
+  return (end && *end == '\0') ? v : def;
+}
+
+double CliFlags::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end && *end == '\0') ? v : def;
+}
+
+bool CliFlags::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  return !(v == "0" || v == "false" || v == "no" || v == "off");
+}
+
+bool CliFlags::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+}  // namespace gpuksel

@@ -1,0 +1,42 @@
+// Tiny command-line flag parser for benches and examples.
+//
+// Flags have the form --name=value or --name (boolean true).  consume()
+// removes the flags this parser recognises from argc/argv so leftover
+// arguments can be handed to google-benchmark's own Initialize().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpuksel {
+
+/// Parses --key=value style flags and hands leftovers to other libraries.
+class CliFlags {
+ public:
+  /// Parses and *removes* all --key[=value] arguments from argv, leaving
+  /// anything it does not recognise as a flag (e.g. positional args) alone.
+  /// Recognised keys are those queried later; unknown --flags are kept if
+  /// `keep_unknown` lists a prefix they match (used for --benchmark_*).
+  CliFlags(int& argc, char** argv,
+           const std::vector<std::string>& keep_prefixes = {"benchmark"});
+
+  /// Value of a string flag, or `def` when absent.
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& def) const;
+  /// Value of an integer flag, or `def` when absent or unparsable.
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t def) const;
+  /// Value of a floating flag, or `def` when absent or unparsable.
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  /// True when the flag is present with no value or a truthy value.
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+  /// True when the flag appeared on the command line at all.
+  [[nodiscard]] bool has(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace gpuksel

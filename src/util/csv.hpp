@@ -1,0 +1,31 @@
+// Minimal CSV writer so bench series can be re-plotted outside the repo.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gpuksel {
+
+/// Writes rows of cells to a CSV file with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file and writes the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one data row; the cell count should match the header.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// True if the file opened successfully.
+  [[nodiscard]] bool ok() const noexcept { return static_cast<bool>(out_); }
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+};
+
+/// Quotes a CSV cell if it contains a comma, quote or newline.
+std::string csv_escape(const std::string& cell);
+
+}  // namespace gpuksel

@@ -1,0 +1,26 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace gpuksel {
+
+std::vector<float> uniform_floats(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(n);
+  for (auto& v : out) v = rng.uniform_float();
+  return out;
+}
+
+std::vector<std::uint32_t> random_permutation(std::size_t n,
+                                              std::uint64_t seed) {
+  std::vector<std::uint32_t> out(n);
+  std::iota(out.begin(), out.end(), 0u);
+  Rng rng(seed);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.uniform_below(i);
+    std::swap(out[i - 1], out[j]);
+  }
+  return out;
+}
+
+}  // namespace gpuksel

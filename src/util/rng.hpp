@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation.
+//
+// All experiments in the repository are seeded so that every test, bench and
+// example is reproducible bit-for-bit across runs.  The generator is
+// xoshiro256** seeded through SplitMix64, which is fast, well distributed and
+// has a tiny state — we create one generator per query list so parallel data
+// generation is order-independent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gpuksel {
+
+/// SplitMix64 step: used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9d2c5680u) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform float in [0, 1).
+  float uniform_float() noexcept {
+    return static_cast<float>((*this)() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound).  bound must be in (0, 2^32].
+  std::uint64_t uniform_below(std::uint64_t bound) noexcept {
+    // Multiply-shift reduction via 32-bit halves (bias < 2^-64 * bound,
+    // irrelevant for test workloads).
+    const std::uint64_t x = (*this)();
+    const std::uint64_t hi = (x >> 32) * bound;
+    const std::uint64_t lo = ((x & 0xffffffffULL) * bound) >> 32;
+    return (hi + lo) >> 32;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int s) noexcept {
+    return (x << s) | (x >> (64 - s));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// n uniform floats in [0,1) from the given seed.
+std::vector<float> uniform_floats(std::size_t n, std::uint64_t seed);
+
+/// A uniformly random permutation of 0..n-1.
+std::vector<std::uint32_t> random_permutation(std::size_t n,
+                                              std::uint64_t seed);
+
+}  // namespace gpuksel

@@ -1,0 +1,43 @@
+// Small descriptive-statistics helpers for the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gpuksel {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a sample; 0 for an empty sample.
+double mean(std::span<const double> xs) noexcept;
+
+/// Median of a sample (copies and partially sorts); 0 for an empty sample.
+double median(std::vector<double> xs) noexcept;
+
+/// Geometric mean of strictly positive values; 0 for an empty sample.
+double geometric_mean(std::span<const double> xs) noexcept;
+
+/// p-th percentile (0..100) with linear interpolation; copies the sample.
+double percentile(std::vector<double> xs, double p) noexcept;
+
+}  // namespace gpuksel

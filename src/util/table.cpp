@@ -1,0 +1,90 @@
+#include "util/table.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace gpuksel {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {
+  GPUKSEL_CHECK(!headers_.empty(), "a table needs at least one column");
+}
+
+Table& Table::begin_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  GPUKSEL_CHECK(!rows_.empty(), "begin_row() before add()");
+  GPUKSEL_CHECK(rows_.back().size() < headers_.size(),
+                "row has more cells than headers");
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(double value, int precision) {
+  if (std::isnan(value)) return add("-");
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return add(os.str());
+}
+
+Table& Table::add_int(long long value) { return add(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  if (!title_.empty()) os << title_ << '\n';
+  auto rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << "| " << std::left << std::setw(static_cast<int>(widths[c])) << cell
+         << ' ';
+    }
+    os << "|\n";
+  };
+  rule();
+  print_row(headers_);
+  rule();
+  for (const auto& row : rows_) print_row(row);
+  rule();
+}
+
+std::string Table::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string format_seconds(double seconds) {
+  std::ostringstream os;
+  if (seconds >= 10.0) {
+    os << std::fixed << std::setprecision(1) << seconds;
+  } else if (seconds >= 0.095) {
+    os << std::fixed << std::setprecision(2) << seconds;
+  } else {
+    os << std::fixed << std::setprecision(3) << seconds;
+  }
+  return os.str();
+}
+
+}  // namespace gpuksel

@@ -1,0 +1,48 @@
+// Fixed-width text-table printing in the style of the paper's Table I.
+//
+// Benches build a Table, add one row per algorithm, and print it to stdout so
+// the output can be compared side by side with the published numbers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gpuksel {
+
+/// A rectangular table of strings with a header row, printed with aligned
+/// columns.  Cells may be added as strings or formatted numbers.
+class Table {
+ public:
+  /// Creates a table with the given title (printed above the grid) and
+  /// column headers.
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& begin_row();
+  /// Appends a string cell to the current row.
+  Table& add(std::string cell);
+  /// Appends a number formatted with the given precision ("-" for NaN).
+  Table& add(double value, int precision = 2);
+  /// Appends an integer cell.
+  Table& add_int(long long value);
+
+  /// Number of complete + in-progress data rows.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table to the stream.
+  void print(std::ostream& os) const;
+
+  /// Renders the table to a string.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double like the paper's tables: fixed, trimmed trailing zeros.
+std::string format_seconds(double seconds);
+
+}  // namespace gpuksel

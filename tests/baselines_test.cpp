@@ -1,0 +1,222 @@
+// Tests for the baseline algorithms: CPU heap selection, radix select,
+// bucket select, Truncated Bitonic Sort and Quick Multi-Select.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baselines/bucket_select.hpp"
+#include "baselines/cpu_select.hpp"
+#include "baselines/qms.hpp"
+#include "baselines/radix_select.hpp"
+#include "baselines/tbs.hpp"
+#include "core/kselect.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpuksel::baselines {
+namespace {
+
+std::vector<float> query_major_matrix(std::uint32_t q, std::uint32_t n,
+                                      std::uint64_t seed) {
+  return uniform_floats(std::size_t{q} * n, seed);
+}
+
+std::vector<std::vector<Neighbor>> oracle_all(const std::vector<float>& m,
+                                              std::uint32_t q, std::uint32_t n,
+                                              std::uint32_t k) {
+  std::vector<std::vector<Neighbor>> out(q);
+  for (std::uint32_t qq = 0; qq < q; ++qq) {
+    out[qq] = select_k_oracle(
+        std::span<const float>(m.data() + std::size_t{qq} * n, n), k);
+  }
+  return out;
+}
+
+// --- CPU heap -----------------------------------------------------------------
+
+TEST(CpuSelect, SingleListMatchesOracle) {
+  const auto data = uniform_floats(5000, 1);
+  EXPECT_EQ(cpu_heap_select(data, 64), select_k_oracle(data, 64));
+}
+
+TEST(CpuSelect, SmallAndEdgeCases) {
+  const auto data = uniform_floats(10, 2);
+  EXPECT_EQ(cpu_heap_select(data, 1), select_k_oracle(data, 1));
+  EXPECT_EQ(cpu_heap_select(data, 10), select_k_oracle(data, 10));
+  EXPECT_EQ(cpu_heap_select(data, 99), select_k_oracle(data, 99));
+  EXPECT_THROW(cpu_heap_select(data, 0), PreconditionError);
+}
+
+TEST(CpuSelect, AllQueriesParallelMatchesOracle) {
+  const std::uint32_t q = 37, n = 500, k = 16;
+  const auto matrix = query_major_matrix(q, n, 3);
+  EXPECT_EQ(cpu_select_all(matrix, q, n, k, 4), oracle_all(matrix, q, n, k));
+  EXPECT_EQ(cpu_select_all(matrix, q, n, k, 1), oracle_all(matrix, q, n, k));
+}
+
+// --- float<->ordered mapping ----------------------------------------------------
+
+TEST(OrderedFloat, PreservesOrdering) {
+  const float values[] = {-100.0f, -1.5f, -0.0f, 0.0f, 1e-20f, 0.5f, 1e20f};
+  for (std::size_t i = 0; i + 1 < std::size(values); ++i) {
+    EXPECT_LE(float_to_ordered(values[i]), float_to_ordered(values[i + 1]))
+        << values[i] << " vs " << values[i + 1];
+  }
+}
+
+TEST(OrderedFloat, RoundTrips) {
+  for (float v : {-3.25f, 0.0f, 7.5f, 1e-10f, -1e10f}) {
+    EXPECT_EQ(ordered_to_float(float_to_ordered(v)), v);
+  }
+}
+
+// --- radix / bucket select ------------------------------------------------------
+
+struct ScalarCase {
+  std::uint32_t k;
+  std::size_t n;
+};
+
+class ScalarBaselineTest : public ::testing::TestWithParam<ScalarCase> {};
+
+TEST_P(ScalarBaselineTest, RadixMatchesOracle) {
+  const auto& p = GetParam();
+  const auto data = uniform_floats(p.n, 40 + p.k);
+  EXPECT_EQ(radix_select(data, p.k), select_k_oracle(data, p.k));
+}
+
+TEST_P(ScalarBaselineTest, BucketMatchesOracle) {
+  const auto& p = GetParam();
+  const auto data = uniform_floats(p.n, 41 + p.k);
+  EXPECT_EQ(bucket_select(data, p.k), select_k_oracle(data, p.k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ScalarBaselineTest,
+                         ::testing::Values(ScalarCase{1, 10},
+                                           ScalarCase{8, 100},
+                                           ScalarCase{64, 10000},
+                                           ScalarCase{500, 600},
+                                           ScalarCase{1024, 1 << 15}),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param.k) + "_n" +
+                                  std::to_string(info.param.n);
+                         });
+
+TEST(RadixSelect, DuplicateHeavyInputExact) {
+  Rng rng(5);
+  std::vector<float> data(8192);
+  for (auto& v : data) v = static_cast<float>(rng.uniform_below(4)) * 0.1f;
+  EXPECT_EQ(radix_select(data, 100), select_k_oracle(data, 100));
+}
+
+TEST(BucketSelect, ConstantInputFallsBackToSort) {
+  std::vector<float> data(5000, 0.5f);
+  EXPECT_EQ(bucket_select(data, 32), select_k_oracle(data, 32));
+}
+
+TEST(BucketSelect, SkewedDistributionStillExact) {
+  // 99% of mass at one value, the k smallest hidden in the tail.
+  Rng rng(6);
+  std::vector<float> data(10000, 0.9f);
+  for (int i = 0; i < 100; ++i) {
+    data[rng.uniform_below(10000)] = rng.uniform_float() * 0.01f;
+  }
+  EXPECT_EQ(bucket_select(data, 64), select_k_oracle(data, 64));
+}
+
+// --- TBS ------------------------------------------------------------------------
+
+struct WarpBaselineCase {
+  std::uint32_t k;
+  std::uint32_t q;
+  std::uint32_t n;
+};
+
+class TbsTest : public ::testing::TestWithParam<WarpBaselineCase> {};
+
+TEST_P(TbsTest, MatchesOracle) {
+  const auto& p = GetParam();
+  const auto matrix = query_major_matrix(p.q, p.n, 70 + p.k);
+  simt::Device dev;
+  const auto out = tbs_select(dev, matrix, p.q, p.n, p.k);
+  EXPECT_EQ(out.neighbors, oracle_all(matrix, p.q, p.n, p.k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, TbsTest,
+                         ::testing::Values(WarpBaselineCase{1, 8, 100},
+                                           WarpBaselineCase{16, 8, 1000},
+                                           WarpBaselineCase{33, 4, 500},
+                                           WarpBaselineCase{128, 4, 2000},
+                                           WarpBaselineCase{512, 2, 1024},
+                                           WarpBaselineCase{8, 1, 7}),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param.k) + "_q" +
+                                  std::to_string(info.param.q) + "_n" +
+                                  std::to_string(info.param.n);
+                         });
+
+TEST(Tbs, RejectsOversizedK) {
+  const auto matrix = query_major_matrix(1, 2048, 71);
+  simt::Device dev;
+  EXPECT_THROW((void)tbs_select(dev, matrix, 1, 2048, 513), PreconditionError);
+}
+
+TEST(Tbs, SynchronousOperationHasPerfectEfficiency) {
+  // TBS's selling point: no divergence at all.
+  const auto matrix = query_major_matrix(4, 2048, 72);
+  simt::Device dev;
+  const auto out = tbs_select(dev, matrix, 4, 2048, 64);
+  EXPECT_GT(out.metrics.simt_efficiency(), 0.99);
+}
+
+// --- QMS ------------------------------------------------------------------------
+
+class QmsTest : public ::testing::TestWithParam<WarpBaselineCase> {};
+
+TEST_P(QmsTest, MatchesOracle) {
+  const auto& p = GetParam();
+  const auto matrix = query_major_matrix(p.q, p.n, 80 + p.k);
+  simt::Device dev;
+  const auto out = qms_select(dev, matrix, p.q, p.n, p.k);
+  EXPECT_EQ(out.neighbors, oracle_all(matrix, p.q, p.n, p.k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, QmsTest,
+                         ::testing::Values(WarpBaselineCase{1, 8, 100},
+                                           WarpBaselineCase{16, 8, 1000},
+                                           WarpBaselineCase{33, 4, 500},
+                                           WarpBaselineCase{128, 4, 2000},
+                                           WarpBaselineCase{1024, 2, 4096},
+                                           WarpBaselineCase{8, 1, 7},
+                                           WarpBaselineCase{50, 2, 50}),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param.k) + "_q" +
+                                  std::to_string(info.param.q) + "_n" +
+                                  std::to_string(info.param.n);
+                         });
+
+TEST(Qms, DuplicateHeavyInputExact) {
+  Rng rng(7);
+  std::vector<float> matrix(4 * 3000);
+  for (auto& v : matrix) v = static_cast<float>(rng.uniform_below(5)) * 0.1f;
+  simt::Device dev;
+  const auto out = qms_select(dev, matrix, 4, 3000, 64);
+  EXPECT_EQ(out.neighbors, oracle_all(matrix, 4, 3000, 64));
+}
+
+TEST(Qms, SortedAndReverseSortedInputs) {
+  // Median-of-three handles pre-sorted data without quadratic blowup; just
+  // verify exactness here.
+  std::vector<float> matrix(2 * 4096);
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    matrix[i] = static_cast<float>(i);
+    matrix[4096 + i] = static_cast<float>(4096 - i);
+  }
+  simt::Device dev;
+  const auto out = qms_select(dev, matrix, 2, 4096, 32);
+  EXPECT_EQ(out.neighbors, oracle_all(matrix, 2, 4096, 32));
+}
+
+}  // namespace
+}  // namespace gpuksel::baselines

@@ -1,0 +1,144 @@
+// Tests for the bitonic merge networks, including the Reverse Bitonic Merge
+// (Fig. 2b) the Merge Queue depends on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/queues/bitonic.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpuksel {
+namespace {
+
+std::vector<Neighbor> random_entries(std::size_t n, std::uint64_t seed) {
+  const auto vals = uniform_floats(n, seed);
+  std::vector<Neighbor> out(n);
+  for (std::uint32_t i = 0; i < n; ++i) out[i] = Neighbor{vals[i], i};
+  return out;
+}
+
+bool is_descending(const std::vector<Neighbor>& v) {
+  return std::is_sorted(v.begin(), v.end(),
+                        [](const Neighbor& a, const Neighbor& b) {
+                          return b < a;
+                        });
+}
+
+TEST(CompareExchange, PutsLargerFirst) {
+  std::vector<Neighbor> v{{1.0f, 0}, {2.0f, 1}};
+  EXPECT_TRUE(compare_exchange_desc(v, 0, 1));
+  EXPECT_EQ(v[0].dist, 2.0f);
+  EXPECT_FALSE(compare_exchange_desc(v, 0, 1));  // already ordered
+}
+
+TEST(CompareExchange, CounterRecordsBothSlotsOnSwap) {
+  UpdateCounter c(2);
+  std::vector<Neighbor> v{{1.0f, 0}, {2.0f, 1}};
+  compare_exchange_desc(v, 0, 1, &c);
+  EXPECT_EQ(c.total(), 2u);
+  compare_exchange_desc(v, 0, 1, &c);  // no swap, no writes
+  EXPECT_EQ(c.total(), 2u);
+}
+
+class ReverseMergeSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ReverseMergeSizes, MergesTwoDescendingHalves) {
+  const std::size_t n = GetParam();
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    auto v = random_entries(n, 100 + seed);
+    const std::size_t half = n / 2;
+    std::sort(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(half),
+              [](const Neighbor& a, const Neighbor& b) { return b < a; });
+    std::sort(v.begin() + static_cast<std::ptrdiff_t>(half), v.end(),
+              [](const Neighbor& a, const Neighbor& b) { return b < a; });
+    auto expected = v;
+    std::sort(expected.begin(), expected.end(),
+              [](const Neighbor& a, const Neighbor& b) { return b < a; });
+    reverse_bitonic_merge_descending(v);
+    EXPECT_EQ(v, expected) << "n=" << n << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, ReverseMergeSizes,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256, 512,
+                                           1024));
+
+TEST(ReverseMerge, NonPowerOfTwoThrows) {
+  auto v = random_entries(6, 1);
+  EXPECT_THROW(reverse_bitonic_merge_descending(v), PreconditionError);
+}
+
+TEST(ReverseMerge, DuplicateValuesStayConsistent) {
+  // All-equal distances: ordering falls back to indices; the network must
+  // still produce a strictly (dist, index)-descending output.
+  std::vector<Neighbor> v(16);
+  for (std::uint32_t i = 0; i < 16; ++i) v[i] = Neighbor{0.5f, i};
+  // halves descending by index
+  std::vector<Neighbor> arranged{{0.5f, 7}, {0.5f, 6}, {0.5f, 5}, {0.5f, 4},
+                                 {0.5f, 3}, {0.5f, 2}, {0.5f, 1}, {0.5f, 0},
+                                 {0.5f, 15}, {0.5f, 14}, {0.5f, 13}, {0.5f, 12},
+                                 {0.5f, 11}, {0.5f, 10}, {0.5f, 9}, {0.5f, 8}};
+  reverse_bitonic_merge_descending(arranged);
+  EXPECT_TRUE(is_descending(arranged));
+}
+
+TEST(BitonicMerge, MergesBitonicSequence) {
+  // Ascending then descending = bitonic.
+  std::vector<Neighbor> v;
+  for (std::uint32_t i = 0; i < 8; ++i) v.push_back({static_cast<float>(i), i});
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    v.push_back({static_cast<float>(8 - i), 8 + i});
+  }
+  bitonic_merge_descending(v);
+  EXPECT_TRUE(is_descending(v));
+}
+
+class BitonicSortSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitonicSortSizes, SortsDescending) {
+  auto v = random_entries(GetParam(), 7);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end(),
+            [](const Neighbor& a, const Neighbor& b) { return b < a; });
+  bitonic_sort_descending(v);
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(BitonicSortSizes, SortsAscending) {
+  auto v = random_entries(GetParam(), 8);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  bitonic_sort_ascending(v);
+  EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, BitonicSortSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 256, 1024));
+
+TEST(MergeCompareCount, MatchesHalfNLogN) {
+  EXPECT_EQ(bitonic_merge_compare_count(1), 0u);
+  EXPECT_EQ(bitonic_merge_compare_count(2), 1u);
+  EXPECT_EQ(bitonic_merge_compare_count(8), 12u);
+  EXPECT_EQ(bitonic_merge_compare_count(1024), 512u * 10u);
+}
+
+TEST(MergeCompareCount, ReverseMergeUsesExactlyTheFixedBudget) {
+  // The network shape is data-independent: a merge of size n performs
+  // n/2*log2(n) compare-exchanges; each swap writes two slots.  Count swaps
+  // with a counter and bound them by twice the compare budget.
+  for (std::size_t n : {8u, 64u, 256u}) {
+    UpdateCounter c(n);
+    auto v = random_entries(n, 17);
+    std::sort(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(n / 2),
+              [](const Neighbor& a, const Neighbor& b) { return b < a; });
+    std::sort(v.begin() + static_cast<std::ptrdiff_t>(n / 2), v.end(),
+              [](const Neighbor& a, const Neighbor& b) { return b < a; });
+    reverse_bitonic_merge_descending(v, &c);
+    EXPECT_LE(c.total(), 2 * bitonic_merge_compare_count(n));
+  }
+}
+
+}  // namespace
+}  // namespace gpuksel

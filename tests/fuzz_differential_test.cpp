@@ -1,0 +1,153 @@
+// Randomized differential testing: for hundreds of random (N, k, data
+// distribution, configuration) draws, every implementation in the repository
+// must agree exactly with the oracle — the broadest net over tie handling,
+// boundary sizes and configuration interactions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/bucket_select.hpp"
+#include "baselines/qms.hpp"
+#include "baselines/radix_select.hpp"
+#include "baselines/sample_select.hpp"
+#include "baselines/tbs.hpp"
+#include "core/kernels/hp_kernels.hpp"
+#include "core/kselect.hpp"
+#include "util/rng.hpp"
+
+namespace gpuksel {
+namespace {
+
+using kernels::BufferMode;
+
+using kernels::QueueKind;
+using kernels::QueueLayout;
+using kernels::SelectConfig;
+
+/// One random scenario drawn from `rng`.
+struct Scenario {
+  std::uint32_t n;
+  std::uint32_t k;
+  std::vector<float> data;
+};
+
+Scenario draw_scenario(Rng& rng) {
+  Scenario s;
+  s.n = 1 + static_cast<std::uint32_t>(rng.uniform_below(3000));
+  s.k = 1 + static_cast<std::uint32_t>(rng.uniform_below(300));
+  s.data.resize(s.n);
+  // Mix distributions: continuous, few-valued (tie-heavy), constant.
+  const auto dist = rng.uniform_below(4);
+  for (auto& v : s.data) {
+    switch (dist) {
+      case 0: v = rng.uniform_float(); break;
+      case 1: v = static_cast<float>(rng.uniform_below(5)) * 0.125f; break;
+      case 2: v = 0.5f; break;
+      default: v = rng.uniform_float() * 1e-6f; break;
+    }
+  }
+  return s;
+}
+
+TEST(FuzzDifferential, ScalarAlgorithmsAgree) {
+  Rng rng(0xfa57);
+  for (int round = 0; round < 200; ++round) {
+    const Scenario s = draw_scenario(rng);
+    const auto oracle = select_k_oracle(s.data, s.k);
+    for (Algo algo : {Algo::kInsertionQueue, Algo::kHeapQueue,
+                      Algo::kMergeQueue, Algo::kStdSort, Algo::kStdNthElement}) {
+      ASSERT_EQ(select_k_smallest(s.data, s.k, algo), oracle)
+          << "round " << round << " algo " << algo_name(algo) << " n=" << s.n
+          << " k=" << s.k;
+    }
+    ASSERT_EQ(baselines::radix_select(s.data, s.k), oracle) << round;
+    ASSERT_EQ(baselines::bucket_select(s.data, s.k), oracle) << round;
+    ASSERT_EQ(baselines::sample_select(s.data, s.k), oracle) << round;
+    const std::size_t chunk = 1 + rng.uniform_below(s.n);
+    ASSERT_EQ(select_k_smallest_chunked(s.data, s.k, chunk), oracle) << round;
+  }
+}
+
+TEST(FuzzDifferential, ScalarHpAgrees) {
+  Rng rng(0xfa58);
+  for (int round = 0; round < 100; ++round) {
+    const Scenario s = draw_scenario(rng);
+    const auto g = 2 + static_cast<std::uint32_t>(rng.uniform_below(7));
+    ASSERT_EQ(select_k_smallest_hp(s.data, s.k, g, Algo::kMergeQueue),
+              select_k_oracle(s.data, s.k))
+        << "round " << round << " n=" << s.n << " k=" << s.k << " G=" << g;
+  }
+}
+
+TEST(FuzzDifferential, KernelConfigurationsAgree) {
+  Rng rng(0xfa59);
+  for (int round = 0; round < 40; ++round) {
+    // A small multi-query instance with a random kernel configuration.
+    const std::uint32_t q = 1 + static_cast<std::uint32_t>(rng.uniform_below(40));
+    const std::uint32_t n = 1 + static_cast<std::uint32_t>(rng.uniform_below(500));
+    const std::uint32_t k = 1 + static_cast<std::uint32_t>(rng.uniform_below(80));
+    std::vector<float> matrix(std::size_t{q} * n);
+    const bool ties = rng.uniform_below(2) == 0;
+    for (auto& v : matrix) {
+      v = ties ? static_cast<float>(rng.uniform_below(4)) * 0.25f
+               : rng.uniform_float();
+    }
+
+    SelectConfig cfg;
+    cfg.queue = static_cast<QueueKind>(rng.uniform_below(3));
+    cfg.buffer = static_cast<BufferMode>(rng.uniform_below(4));
+    cfg.aligned_merge = rng.uniform_below(2) == 0;
+    cfg.merge_strategy = static_cast<MergeStrategy>(rng.uniform_below(2));
+    cfg.queue_layout = static_cast<QueueLayout>(rng.uniform_below(2));
+    cfg.cache_head = rng.uniform_below(2) == 0;
+    cfg.buffer_size = 1u << (2 + rng.uniform_below(4));
+    cfg.merge_m = 1u << rng.uniform_below(5);
+
+    // Oracle per query (reference-major layout).
+    std::vector<std::vector<Neighbor>> expected(q);
+    std::vector<float> row(n);
+    for (std::uint32_t qq = 0; qq < q; ++qq) {
+      for (std::uint32_t r = 0; r < n; ++r) {
+        row[r] = matrix[std::size_t{r} * q + qq];
+      }
+      expected[qq] = select_k_oracle(row, k);
+    }
+
+    simt::Device dev;
+    ASSERT_EQ(kernels::flat_select(dev, matrix, q, n, k, cfg).neighbors,
+              expected)
+        << "round " << round << " q=" << q << " n=" << n << " k=" << k;
+    const auto g = 2 + static_cast<std::uint32_t>(rng.uniform_below(7));
+    ASSERT_EQ(kernels::hp_select(dev, matrix, q, n, k, cfg, g).neighbors,
+              expected)
+        << "round " << round << " G=" << g;
+  }
+}
+
+TEST(FuzzDifferential, WarpBaselinesAgree) {
+  Rng rng(0xfa5a);
+  for (int round = 0; round < 30; ++round) {
+    const std::uint32_t q = 1 + static_cast<std::uint32_t>(rng.uniform_below(8));
+    const std::uint32_t n = 1 + static_cast<std::uint32_t>(rng.uniform_below(800));
+    const std::uint32_t k = 1 + static_cast<std::uint32_t>(rng.uniform_below(200));
+    std::vector<float> matrix(std::size_t{q} * n);
+    for (auto& v : matrix) v = rng.uniform_float();
+
+    std::vector<std::vector<Neighbor>> expected(q);
+    for (std::uint32_t qq = 0; qq < q; ++qq) {
+      expected[qq] = select_k_oracle(
+          std::span<const float>(matrix.data() + std::size_t{qq} * n, n), k);
+    }
+    simt::Device dev;
+    ASSERT_EQ(baselines::qms_select(dev, matrix, q, n, k).neighbors, expected)
+        << "QMS round " << round << " q=" << q << " n=" << n << " k=" << k;
+    if (k <= baselines::kTbsMaxK) {
+      ASSERT_EQ(baselines::tbs_select(dev, matrix, q, n, k).neighbors,
+                expected)
+          << "TBS round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpuksel

@@ -1,0 +1,188 @@
+// Tests for the scalar Hierarchical Partition: construction (Algorithm 4),
+// memory overhead, and the top-down completeness property — the k smallest
+// are never pruned, including under heavy ties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/hierarchical_partition.hpp"
+#include "core/kselect.hpp"
+#include "core/queues/heap_queue.hpp"
+#include "core/queues/insertion_queue.hpp"
+#include "core/queues/merge_queue.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpuksel {
+namespace {
+
+TEST(HpConstruction, LevelSizesFollowCeilDivision) {
+  const auto data = uniform_floats(100, 1);
+  const HierarchicalPartition hp(data, 4, 3);
+  // 100 -> 25 -> 7 -> 2 (stop: 2 <= k=3)
+  ASSERT_EQ(hp.level_count(), 4u);
+  EXPECT_EQ(hp.level(0).size(), 100u);
+  EXPECT_EQ(hp.level(1).size(), 25u);
+  EXPECT_EQ(hp.level(2).size(), 7u);
+  EXPECT_EQ(hp.level(3).size(), 2u);
+}
+
+TEST(HpConstruction, GroupMinimaAreCorrect) {
+  const auto data = uniform_floats(1000, 2);
+  const HierarchicalPartition hp(data, 4, 8);
+  for (std::size_t l = 1; l < hp.level_count(); ++l) {
+    const auto child = hp.level(l - 1);
+    const auto parent = hp.level(l);
+    for (std::size_t g = 0; g < parent.size(); ++g) {
+      const std::size_t first = g * 4;
+      const std::size_t last = std::min(child.size(), first + 4);
+      float expected = child[first];
+      for (std::size_t j = first + 1; j < last; ++j) {
+        expected = std::min(expected, child[j]);
+      }
+      ASSERT_EQ(parent[g], expected) << "level " << l << " group " << g;
+    }
+  }
+}
+
+TEST(HpConstruction, RaggedTailGroupHandled) {
+  // 10 elements, G=4: last group has 2 elements.
+  std::vector<float> data{9, 8, 7, 6, 5, 4, 3, 2, 1, 0.5f};
+  const HierarchicalPartition hp(data, 4, 2);
+  ASSERT_GE(hp.level_count(), 2u);
+  const auto l1 = hp.level(1);
+  ASSERT_EQ(l1.size(), 3u);
+  EXPECT_EQ(l1[0], 6.0f);
+  EXPECT_EQ(l1[1], 2.0f);
+  EXPECT_EQ(l1[2], 0.5f);
+}
+
+TEST(HpConstruction, TrivialWhenNAtMostK) {
+  const auto data = uniform_floats(16, 3);
+  const HierarchicalPartition hp(data, 4, 16);
+  EXPECT_EQ(hp.level_count(), 1u);
+  EXPECT_EQ(hp.extra_memory_elements(), 0u);
+}
+
+TEST(HpConstruction, ExtraMemoryBoundedByNOverGMinus1) {
+  for (std::uint32_t g : {2u, 4u, 6u, 8u}) {
+    const auto data = uniform_floats(1 << 15, 4);
+    const HierarchicalPartition hp(data, g, 256);
+    // Geometric series bound: N/(G-1) plus rounding slack per level.
+    const std::size_t bound =
+        (1u << 15) / (g - 1) + hp.level_count() * g;
+    EXPECT_LE(hp.extra_memory_elements(), bound) << "G=" << g;
+  }
+}
+
+TEST(HpConstruction, BadParamsThrow) {
+  const auto data = uniform_floats(8, 5);
+  EXPECT_THROW(HierarchicalPartition(data, 1, 4), PreconditionError);
+  EXPECT_THROW(HierarchicalPartition(data, 4, 0), PreconditionError);
+}
+
+// --- top-down completeness property -----------------------------------------
+
+struct HpCase {
+  std::uint32_t g;
+  std::uint32_t k;
+  std::size_t n;
+};
+
+class HpSelectTest : public ::testing::TestWithParam<HpCase> {};
+
+TEST_P(HpSelectTest, MatchesOracleWithEveryQueue) {
+  const auto& p = GetParam();
+  const auto data = uniform_floats(p.n, 600 + p.n + p.g);
+  const auto oracle = select_k_oracle(data, p.k);
+  const HierarchicalPartition hp(data, p.g, p.k);
+  EXPECT_EQ(hp.select([](std::uint32_t k) { return InsertionQueue(k); }),
+            oracle);
+  EXPECT_EQ(hp.select([](std::uint32_t k) { return HeapQueue(k); }), oracle);
+  EXPECT_EQ(hp.select([](std::uint32_t k) { return MergeQueue(k); }), oracle);
+}
+
+std::vector<HpCase> hp_cases() {
+  std::vector<HpCase> cases;
+  for (std::uint32_t g : {2u, 3u, 4u, 8u}) {
+    for (std::uint32_t k : {1u, 2u, 16u, 100u}) {
+      for (std::size_t n :
+           {std::size_t{1}, std::size_t{17}, std::size_t{1024},
+            std::size_t{10000}}) {
+        cases.push_back({g, k, n});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, HpSelectTest, ::testing::ValuesIn(hp_cases()),
+                         [](const auto& info) {
+                           return "g" + std::to_string(info.param.g) + "_k" +
+                                  std::to_string(info.param.k) + "_n" +
+                                  std::to_string(info.param.n);
+                         });
+
+TEST(HpSelectTies, HeavyDuplicatesNeverLoseTrueNeighbors) {
+  // Adversarial tie scenario: many elements share the exact minimum value.
+  // The completeness argument depends on (value, position) ordering; this
+  // pins it.
+  Rng rng(7);
+  std::vector<float> data(4096);
+  for (auto& v : data) {
+    v = static_cast<float>(rng.uniform_below(3)) * 0.1f;  // only 3 values
+  }
+  for (std::uint32_t g : {2u, 4u, 8u}) {
+    const HierarchicalPartition hp(data, g, 64);
+    EXPECT_EQ(hp.select([](std::uint32_t k) { return MergeQueue(k); }),
+              select_k_oracle(data, 64))
+        << "G=" << g;
+  }
+}
+
+TEST(HpSelectTies, AllEqualInput) {
+  std::vector<float> data(1000, 0.75f);
+  const HierarchicalPartition hp(data, 4, 10);
+  const auto result =
+      hp.select([](std::uint32_t k) { return MergeQueue(k); });
+  ASSERT_EQ(result.size(), 10u);
+  // With all-equal values the k smallest are the k lowest indices.
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(result[i].index, i);
+    EXPECT_EQ(result[i].dist, 0.75f);
+  }
+}
+
+TEST(HpSelectSearchCost, VisitsFarFewerElementsThanN) {
+  // The headline claim: top-down search touches ~G*k*log_G(N/k) elements.
+  // Count via an instrumented counting queue adapter.
+  std::uint64_t visits = 0;
+  struct CountingQueue {
+    CountingQueue(std::uint32_t k, std::uint64_t* v) : inner(k), visits(v) {}
+    InsertionQueue inner;
+    std::uint64_t* visits;
+    bool try_insert(float d, std::uint32_t i) {
+      ++*visits;
+      return inner.try_insert(d, i);
+    }
+    [[nodiscard]] std::vector<Neighbor> extract_sorted() const {
+      return inner.extract_sorted();
+    }
+  };
+  const std::size_t n = 1 << 15;
+  const std::uint32_t k = 64;
+  const std::uint32_t g = 4;
+  const auto data = uniform_floats(n, 8);
+  const HierarchicalPartition hp(data, g, k);
+  (void)hp.select(
+      [&](std::uint32_t kk) { return CountingQueue(kk, &visits); });
+  // Bound: one queue insert attempt per candidate-group element per level.
+  const double levels = std::ceil(std::log2(double(n) / k) / std::log2(g));
+  EXPECT_LT(visits, static_cast<std::uint64_t>(2.0 * g * k * (levels + 1)));
+  EXPECT_LT(visits, n / 4);  // the actual point
+}
+
+}  // namespace
+}  // namespace gpuksel

@@ -1,0 +1,193 @@
+// Tests for the Hierarchical Partition kernels: level structure helpers,
+// kernel-vs-scalar bit-identity across queue/buffer configurations and group
+// sizes, and the build/search metric split.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/kernels/hp_kernels.hpp"
+#include "core/kselect.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpuksel::kernels {
+namespace {
+
+std::vector<float> make_matrix(std::uint32_t q, std::uint32_t n,
+                               MatrixLayout layout, std::uint64_t seed) {
+  std::vector<float> out(std::size_t{q} * n);
+  for (std::uint32_t qq = 0; qq < q; ++qq) {
+    const auto row = uniform_floats(n, seed * 2654435761u + qq);
+    for (std::uint32_t r = 0; r < n; ++r) {
+      const std::size_t idx = layout == MatrixLayout::kReferenceMajor
+                                  ? std::size_t{r} * q + qq
+                                  : std::size_t{qq} * n + r;
+      out[idx] = row[r];
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<Neighbor>> oracle_all(const std::vector<float>& m,
+                                              std::uint32_t q, std::uint32_t n,
+                                              MatrixLayout layout,
+                                              std::uint32_t k) {
+  std::vector<std::vector<Neighbor>> out(q);
+  std::vector<float> row(n);
+  for (std::uint32_t qq = 0; qq < q; ++qq) {
+    for (std::uint32_t r = 0; r < n; ++r) {
+      row[r] = layout == MatrixLayout::kReferenceMajor
+                   ? m[std::size_t{r} * q + qq]
+                   : m[std::size_t{qq} * n + r];
+    }
+    out[qq] = select_k_oracle(row, k);
+  }
+  return out;
+}
+
+TEST(HpLevelSizes, MatchesCeilDivisionChain) {
+  EXPECT_EQ(hp_level_sizes(100, 4, 3),
+            (std::vector<std::uint32_t>{100, 25, 7, 2}));
+  EXPECT_EQ(hp_level_sizes(16, 4, 16), (std::vector<std::uint32_t>{16}));
+  EXPECT_EQ(hp_level_sizes(17, 4, 16), (std::vector<std::uint32_t>{17, 5}));
+}
+
+TEST(HpLevelSizes, BadParamsThrow) {
+  EXPECT_THROW(hp_level_sizes(10, 1, 2), PreconditionError);
+  EXPECT_THROW(hp_level_sizes(10, 4, 0), PreconditionError);
+}
+
+TEST(HpExtraElements, MatchesPaperBound) {
+  // ~ N/(G-1) with per-level ceil slack.
+  const auto extra = hp_extra_elements(1 << 15, 4, 256);
+  EXPECT_NEAR(static_cast<double>(extra), (1 << 15) / 3.0, 64.0);
+}
+
+struct HpKernelCase {
+  QueueKind queue;
+  BufferMode buffer;
+  std::uint32_t group;
+  std::uint32_t k;
+  std::uint32_t q;
+  std::uint32_t n;
+};
+
+class HpKernelTest : public ::testing::TestWithParam<HpKernelCase> {};
+
+TEST_P(HpKernelTest, MatchesScalarOracle) {
+  const auto& p = GetParam();
+  SelectConfig cfg;
+  cfg.queue = p.queue;
+  cfg.buffer = p.buffer;
+  const auto matrix = make_matrix(p.q, p.n, cfg.layout, 60);
+  simt::Device dev;
+  const auto out = hp_select(dev, matrix, p.q, p.n, p.k, cfg, p.group);
+  EXPECT_EQ(out.neighbors, oracle_all(matrix, p.q, p.n, cfg.layout, p.k));
+}
+
+std::vector<HpKernelCase> hp_kernel_cases() {
+  std::vector<HpKernelCase> cases;
+  for (QueueKind queue :
+       {QueueKind::kInsertion, QueueKind::kHeap, QueueKind::kMerge}) {
+    for (BufferMode mode : {BufferMode::kNone, BufferMode::kFullSorted}) {
+      for (std::uint32_t g : {2u, 4u, 8u}) {
+        cases.push_back({queue, mode, g, 16, 48, 1200});
+      }
+    }
+  }
+  // k values around level boundaries, ragged tails, odd query counts.
+  cases.push_back({QueueKind::kMerge, BufferMode::kFull, 4, 1, 33, 997});
+  cases.push_back({QueueKind::kMerge, BufferMode::kNone, 6, 64, 17, 777});
+  cases.push_back({QueueKind::kInsertion, BufferMode::kBufferOnly, 3, 8, 40, 444});
+  // Trivial hierarchy: n <= k falls back to the flat kernel.
+  cases.push_back({QueueKind::kHeap, BufferMode::kNone, 4, 64, 40, 50});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HpKernelTest, ::testing::ValuesIn(hp_kernel_cases()),
+    [](const auto& info) {
+      std::string name = std::string(queue_kind_name(info.param.queue)) + "_" +
+                         std::string(buffer_mode_name(info.param.buffer)) +
+                         "_g" + std::to_string(info.param.group) + "_k" +
+                         std::to_string(info.param.k) + "_q" +
+                         std::to_string(info.param.q) + "_n" +
+                         std::to_string(info.param.n);
+      std::string clean;
+      for (char c : name) {
+        clean += (c == '+') ? 'P' : c;
+      }
+      return clean;
+    });
+
+TEST(HpKernelMetrics, BuildIsChargedSeparatelyAndIsRegular) {
+  SelectConfig cfg;
+  const auto matrix = make_matrix(64, 4096, cfg.layout, 61);
+  simt::Device dev;
+  const auto out = hp_select(dev, matrix, 64, 4096, 32, cfg, 4);
+  EXPECT_GT(out.build_metrics.instructions, 0u);
+  EXPECT_GT(out.metrics.instructions, 0u);
+  // Construction is streaming and lockstep: near-perfect SIMT efficiency.
+  EXPECT_GT(out.build_metrics.simt_efficiency(), 0.95);
+}
+
+TEST(HpKernelMetrics, SearchVisitsFarLessThanFlatScan) {
+  SelectConfig cfg;
+  const auto matrix = make_matrix(64, 1 << 14, cfg.layout, 62);
+  simt::Device dev;
+  const auto flat = flat_select(dev, matrix, 64, 1 << 14, 32, cfg);
+  const auto hp = hp_select(dev, matrix, 64, 1 << 14, 32, cfg, 4);
+  const auto hp_total =
+      hp.metrics.instructions + hp.build_metrics.instructions;
+  EXPECT_LT(hp_total, flat.metrics.instructions);
+  // The search phase alone costs well under half the flat scan (the paper's
+  // Fig. 7/8 improvements at comparable parameters are 3-6x).
+  EXPECT_LT(hp.metrics.instructions, flat.metrics.instructions / 2);
+}
+
+TEST(HpKernel, TrivialHierarchyEqualsFlatKernel) {
+  SelectConfig cfg;
+  const auto matrix = make_matrix(32, 20, cfg.layout, 63);
+  simt::Device d1, d2;
+  const auto flat = flat_select(d1, matrix, 32, 20, 32, cfg);
+  const auto hp = hp_select(d2, matrix, 32, 20, 32, cfg, 4);
+  EXPECT_EQ(hp.neighbors, flat.neighbors);
+  EXPECT_EQ(hp.build_metrics.instructions, 0u);
+}
+
+TEST(HpKernel, TwoPointerAndRowMajorVariantsMatchOracle) {
+  const auto matrix = make_matrix(40, 1500, MatrixLayout::kReferenceMajor, 64);
+  simt::Device dev;
+  const auto expected = oracle_all(matrix, 40, 1500, MatrixLayout::kReferenceMajor, 20);
+  {
+    SelectConfig cfg;
+    cfg.queue = QueueKind::kMerge;
+    cfg.merge_strategy = MergeStrategy::kTwoPointer;
+    EXPECT_EQ(hp_select(dev, matrix, 40, 1500, 20, cfg, 4).neighbors, expected);
+  }
+  {
+    SelectConfig cfg;
+    cfg.queue_layout = QueueLayout::kRowMajor;
+    cfg.cache_head = false;
+    EXPECT_EQ(hp_select(dev, matrix, 40, 1500, 20, cfg, 4).neighbors, expected);
+  }
+}
+
+TEST(HpKernel, HeavyTiesStillExact) {
+  // Few distinct values force maximal tie pressure through group minima and
+  // queue comparisons.
+  const std::uint32_t q = 40, n = 2000, k = 24;
+  std::vector<float> matrix(std::size_t{q} * n);
+  Rng rng(99);
+  for (auto& v : matrix) {
+    v = static_cast<float>(rng.uniform_below(3)) * 0.25f;
+  }
+  SelectConfig cfg;
+  simt::Device dev;
+  const auto out = hp_select(dev, matrix, q, n, k, cfg, 4);
+  EXPECT_EQ(out.neighbors, oracle_all(matrix, q, n, cfg.layout, k));
+}
+
+}  // namespace
+}  // namespace gpuksel::kernels

@@ -1,0 +1,200 @@
+// Tests for the k-NN pipeline: datasets, host distance computation, the
+// simulated-GPU distance kernel, and the BruteForceKnn front end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "core/kernels/pipeline.hpp"
+#include "knn/dataset.hpp"
+#include "knn/distance.hpp"
+#include "knn/knn.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel::knn {
+namespace {
+
+TEST(Dataset, UniformDatasetShapeAndRange) {
+  const auto d = make_uniform_dataset(100, 16, 1);
+  EXPECT_EQ(d.count, 100u);
+  EXPECT_EQ(d.dim, 16u);
+  EXPECT_EQ(d.values.size(), 1600u);
+  for (float v : d.values) {
+    ASSERT_GE(v, 0.0f);
+    ASSERT_LT(v, 1.0f);
+  }
+}
+
+TEST(Dataset, DeterministicBySeed) {
+  EXPECT_EQ(make_uniform_dataset(10, 4, 7).values,
+            make_uniform_dataset(10, 4, 7).values);
+  EXPECT_NE(make_uniform_dataset(10, 4, 7).values,
+            make_uniform_dataset(10, 4, 8).values);
+}
+
+TEST(Dataset, GaussianClustersLabelsInRange) {
+  const auto d = make_gaussian_clusters(200, 8, 5, 0.05f, 2);
+  EXPECT_EQ(d.labels.size(), 200u);
+  std::set<std::uint32_t> labels(d.labels.begin(), d.labels.end());
+  EXPECT_LE(labels.size(), 5u);
+  for (auto l : d.labels) EXPECT_LT(l, 5u);
+}
+
+TEST(Dataset, GaussianPointsClusterAroundTheirMeans) {
+  // Two points with the same label should usually be closer than points from
+  // different labels when sigma is small.
+  const auto d = make_gaussian_clusters(100, 16, 3, 0.01f, 3);
+  double same_sum = 0, cross_sum = 0;
+  int same_n = 0, cross_n = 0;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    for (std::uint32_t j = i + 1; j < 50; ++j) {
+      const float dist =
+          squared_euclidean(d.points.row(i), d.points.row(j), 16);
+      if (d.labels[i] == d.labels[j]) {
+        same_sum += dist;
+        ++same_n;
+      } else {
+        cross_sum += dist;
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_LT(same_sum / same_n, cross_sum / cross_n);
+}
+
+TEST(Dataset, DimMajorTransposeRoundTrips) {
+  const auto d = make_uniform_dataset(7, 5, 4);
+  const auto t = to_dim_major(d);
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    for (std::uint32_t dd = 0; dd < 5; ++dd) {
+      EXPECT_EQ(t[dd * 7 + i], d.values[i * 5 + dd]);
+    }
+  }
+}
+
+TEST(Distance, SquaredEuclideanBasics) {
+  const float a[] = {0, 0, 0};
+  const float b[] = {1, 2, 2};
+  EXPECT_FLOAT_EQ(squared_euclidean(a, b, 3), 9.0f);
+  EXPECT_FLOAT_EQ(squared_euclidean(a, a, 3), 0.0f);
+}
+
+TEST(Distance, HostMatrixMatchesNaive) {
+  const auto queries = make_uniform_dataset(6, 8, 5);
+  const auto refs = make_uniform_dataset(11, 8, 6);
+  const auto m = distance_matrix_host(queries.values, refs.values, 6, 11, 8,
+                                      kernels::MatrixLayout::kQueryMajor);
+  for (std::uint32_t q = 0; q < 6; ++q) {
+    for (std::uint32_t r = 0; r < 11; ++r) {
+      EXPECT_FLOAT_EQ(m[std::size_t{q} * 11 + r],
+                      squared_euclidean(queries.row(q), refs.row(r), 8));
+    }
+  }
+}
+
+TEST(Distance, LayoutsHoldSameValues) {
+  const auto queries = make_uniform_dataset(5, 4, 7);
+  const auto refs = make_uniform_dataset(9, 4, 8);
+  const auto qm = distance_matrix_host(queries.values, refs.values, 5, 9, 4,
+                                       kernels::MatrixLayout::kQueryMajor);
+  const auto rm = distance_matrix_host(queries.values, refs.values, 5, 9, 4,
+                                       kernels::MatrixLayout::kReferenceMajor);
+  for (std::uint32_t q = 0; q < 5; ++q) {
+    for (std::uint32_t r = 0; r < 9; ++r) {
+      EXPECT_EQ(qm[std::size_t{q} * 9 + r], rm[std::size_t{r} * 5 + q]);
+    }
+  }
+}
+
+TEST(DistanceKernel, MatchesHostComputation) {
+  const std::uint32_t q = 40, n = 70, dim = 24;
+  const auto queries = make_uniform_dataset(q, dim, 9);
+  const auto refs = make_uniform_dataset(n, dim, 10);
+  const auto host = distance_matrix_host(
+      queries.values, refs.values, q, n, dim,
+      kernels::MatrixLayout::kReferenceMajor);
+  simt::Device dev;
+  const auto gpu = kernels::gpu_distance_matrix(
+      dev, to_dim_major(queries), refs.values, q, n, dim,
+      kernels::MatrixLayout::kReferenceMajor);
+  ASSERT_EQ(gpu.matrix.size(), host.size());
+  for (std::size_t i = 0; i < host.size(); ++i) {
+    ASSERT_NEAR(gpu.matrix.host()[i], host[i], 1e-4f) << "at " << i;
+  }
+}
+
+TEST(DistanceKernel, NearPerfectSimtEfficiency) {
+  const std::uint32_t q = 64, n = 128, dim = 32;
+  const auto queries = make_uniform_dataset(q, dim, 11);
+  const auto refs = make_uniform_dataset(n, dim, 12);
+  simt::Device dev;
+  const auto out = kernels::gpu_distance_matrix(dev, to_dim_major(queries),
+                                                refs.values, q, n, dim);
+  EXPECT_GT(out.metrics.simt_efficiency(), 0.98);
+}
+
+TEST(DistanceKernel, SizeMismatchThrows) {
+  simt::Device dev;
+  std::vector<float> queries(10), refs(10);
+  EXPECT_THROW(kernels::gpu_distance_matrix(dev, queries, refs, 3, 2, 4),
+               PreconditionError);
+}
+
+TEST(BruteForceKnnTest, SelfQueryFindsItselfFirst) {
+  const auto data = make_uniform_dataset(50, 16, 13);
+  const BruteForceKnn knn(data);
+  const auto result = knn.search(data, 3);
+  ASSERT_EQ(result.neighbors.size(), 50u);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    ASSERT_EQ(result.neighbors[i].size(), 3u);
+    EXPECT_EQ(result.neighbors[i][0].index, i);  // itself, distance 0
+    EXPECT_FLOAT_EQ(result.neighbors[i][0].dist, 0.0f);
+  }
+}
+
+TEST(BruteForceKnnTest, AllScalarAlgosAgree) {
+  const auto refs = make_uniform_dataset(200, 8, 14);
+  const auto queries = make_uniform_dataset(20, 8, 15);
+  const BruteForceKnn knn(refs);
+  const auto base = knn.search(queries, 10, Algo::kMergeQueue);
+  for (Algo algo : {Algo::kInsertionQueue, Algo::kHeapQueue, Algo::kStdSort,
+                    Algo::kStdNthElement}) {
+    EXPECT_EQ(knn.search(queries, 10, algo).neighbors, base.neighbors);
+  }
+}
+
+TEST(BruteForceKnnTest, GpuPipelineMatchesHost) {
+  const auto refs = make_uniform_dataset(300, 16, 16);
+  const auto queries = make_uniform_dataset(40, 16, 17);
+  const BruteForceKnn knn(refs);
+  const auto host = knn.search(queries, 8);
+  simt::Device dev;
+  for (const bool hp : {false, true}) {
+    GpuSearchOptions opts;
+    opts.use_hierarchical_partition = hp;
+    const auto gpu = knn.search_gpu(dev, queries, 8, opts);
+    ASSERT_EQ(gpu.neighbors.size(), host.neighbors.size());
+    for (std::size_t i = 0; i < host.neighbors.size(); ++i) {
+      ASSERT_EQ(gpu.neighbors[i].size(), host.neighbors[i].size()) << i;
+      for (std::size_t j = 0; j < host.neighbors[i].size(); ++j) {
+        // Distance values come from different summation orders; indices and
+        // near-equal distances must agree.
+        EXPECT_EQ(gpu.neighbors[i][j].index, host.neighbors[i][j].index);
+        EXPECT_NEAR(gpu.neighbors[i][j].dist, host.neighbors[i][j].dist, 1e-4f);
+      }
+    }
+    EXPECT_GT(gpu.modeled_seconds, 0.0);
+  }
+}
+
+TEST(BruteForceKnnTest, DimMismatchThrows) {
+  const BruteForceKnn knn(make_uniform_dataset(10, 4, 18));
+  const auto queries = make_uniform_dataset(5, 8, 19);
+  EXPECT_THROW((void)knn.search(queries, 2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace gpuksel::knn

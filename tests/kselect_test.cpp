@@ -1,0 +1,216 @@
+// Tests for the public scalar API: select_k_smallest across all algorithms,
+// the buffered-search reference semantics, and edge cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/buffered_search.hpp"
+#include "core/kselect.hpp"
+#include "core/queues/heap_queue.hpp"
+#include "core/queues/insertion_queue.hpp"
+#include "core/queues/merge_queue.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpuksel {
+namespace {
+
+const Algo kAllAlgos[] = {Algo::kInsertionQueue, Algo::kHeapQueue,
+                          Algo::kMergeQueue, Algo::kStdSort,
+                          Algo::kStdNthElement};
+
+struct SelectCase {
+  Algo algo;
+  std::uint32_t k;
+  std::size_t n;
+};
+
+class SelectAlgoTest : public ::testing::TestWithParam<SelectCase> {};
+
+TEST_P(SelectAlgoTest, MatchesOracle) {
+  const auto& p = GetParam();
+  const auto data = uniform_floats(p.n, 1234 + p.n + p.k);
+  EXPECT_EQ(select_k_smallest(data, p.k, p.algo), select_k_oracle(data, p.k));
+}
+
+std::vector<SelectCase> select_cases() {
+  std::vector<SelectCase> cases;
+  for (Algo algo : kAllAlgos) {
+    for (std::uint32_t k : {1u, 7u, 32u, 100u, 1024u}) {
+      for (std::size_t n : {std::size_t{1}, std::size_t{100},
+                            std::size_t{1024}, std::size_t{10000}}) {
+        cases.push_back({algo, k, n});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, SelectAlgoTest,
+                         ::testing::ValuesIn(select_cases()),
+                         [](const auto& info) {
+                           std::string name(algo_name(info.param.algo));
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name + "_k" + std::to_string(info.param.k) +
+                                  "_n" + std::to_string(info.param.n);
+                         });
+
+TEST(SelectApi, KZeroThrows) {
+  const auto data = uniform_floats(10, 1);
+  EXPECT_THROW(select_k_smallest(data, 0), PreconditionError);
+}
+
+TEST(SelectApi, KLargerThanNReturnsEverything) {
+  const auto data = uniform_floats(10, 2);
+  for (Algo algo : kAllAlgos) {
+    const auto result = select_k_smallest(data, 50, algo);
+    EXPECT_EQ(result.size(), 10u) << algo_name(algo);
+    EXPECT_TRUE(std::is_sorted(result.begin(), result.end()));
+  }
+}
+
+TEST(SelectApi, ResultsAscendingAndUnique) {
+  const auto data = uniform_floats(5000, 3);
+  const auto result = select_k_smallest(data, 128);
+  EXPECT_EQ(result.size(), 128u);
+  for (std::size_t i = 1; i < result.size(); ++i) {
+    EXPECT_TRUE(result[i - 1] < result[i]);
+  }
+}
+
+TEST(SelectApi, AlgoNamesAreDistinct) {
+  std::vector<std::string_view> names;
+  for (Algo algo : kAllAlgos) names.push_back(algo_name(algo));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(SelectApi, HpEntryPointMatchesOracle) {
+  const auto data = uniform_floats(4096, 4);
+  for (std::uint32_t g : {2u, 4u, 8u}) {
+    for (Algo algo :
+         {Algo::kInsertionQueue, Algo::kHeapQueue, Algo::kMergeQueue}) {
+      EXPECT_EQ(select_k_smallest_hp(data, 64, g, algo),
+                select_k_oracle(data, 64))
+          << algo_name(algo) << " G=" << g;
+    }
+  }
+}
+
+TEST(SelectApi, ChunkedSelectMatchesOracle) {
+  const auto data = uniform_floats(10000, 6);
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{100},
+                            std::size_t{1000}, std::size_t{1 << 14}}) {
+    for (std::uint32_t k : {1u, 16u, 300u}) {
+      EXPECT_EQ(select_k_smallest_chunked(data, k, chunk),
+                select_k_oracle(data, k))
+          << "chunk=" << chunk << " k=" << k;
+    }
+  }
+}
+
+TEST(SelectApi, ChunkedSelectWorksWithEveryAlgo) {
+  const auto data = uniform_floats(3000, 7);
+  for (Algo algo : kAllAlgos) {
+    EXPECT_EQ(select_k_smallest_chunked(data, 64, 512, algo),
+              select_k_oracle(data, 64))
+        << algo_name(algo);
+  }
+}
+
+TEST(SelectApi, ChunkedSelectBadParamsThrow) {
+  const auto data = uniform_floats(10, 8);
+  EXPECT_THROW(select_k_smallest_chunked(data, 0, 4), PreconditionError);
+  EXPECT_THROW(select_k_smallest_chunked(data, 2, 0), PreconditionError);
+}
+
+TEST(SelectApi, HpRejectsNonQueueAlgos) {
+  const auto data = uniform_floats(64, 5);
+  EXPECT_THROW(select_k_smallest_hp(data, 8, 4, Algo::kStdSort),
+               PreconditionError);
+}
+
+// --- buffered search reference semantics -------------------------------------
+
+struct BufferCase {
+  std::uint32_t k;
+  std::uint32_t bsize;
+  bool sorted;
+};
+
+class BufferedSearchTest : public ::testing::TestWithParam<BufferCase> {};
+
+TEST_P(BufferedSearchTest, SameResultsAsDirectScan) {
+  const auto& p = GetParam();
+  const auto data = uniform_floats(20000, 900 + p.k);
+  MergeQueue direct(p.k);
+  for (std::uint32_t i = 0; i < data.size(); ++i) {
+    direct.try_insert(data[i], i);
+  }
+  MergeQueue buffered(p.k);
+  buffered_select(data, buffered, p.bsize, p.sorted);
+  EXPECT_EQ(buffered.extract_sorted(), direct.extract_sorted());
+}
+
+TEST_P(BufferedSearchTest, WorksForAllQueueKinds) {
+  const auto& p = GetParam();
+  const auto data = uniform_floats(5000, 901 + p.bsize);
+  const auto oracle = select_k_oracle(data, p.k);
+  InsertionQueue qi(p.k);
+  HeapQueue qh(p.k);
+  MergeQueue qm(p.k);
+  buffered_select(data, qi, p.bsize, p.sorted);
+  buffered_select(data, qh, p.bsize, p.sorted);
+  buffered_select(data, qm, p.bsize, p.sorted);
+  EXPECT_EQ(qi.extract_sorted(), oracle);
+  EXPECT_EQ(qh.extract_sorted(), oracle);
+  EXPECT_EQ(qm.extract_sorted(), oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BufferedSearchTest,
+    ::testing::Values(BufferCase{8, 1, true}, BufferCase{8, 16, true},
+                      BufferCase{64, 16, true}, BufferCase{64, 16, false},
+                      BufferCase{256, 4, true}, BufferCase{256, 64, false}),
+    [](const auto& info) {
+      return "k" + std::to_string(info.param.k) + "_b" +
+             std::to_string(info.param.bsize) +
+             (info.param.sorted ? "_sorted" : "_unsorted");
+    });
+
+TEST(BufferedSearchStatsTest, LocalSortRejectsLateCandidates) {
+  // With a sorted buffer, draining smallest-first lowers the queue head so
+  // larger buffered candidates get rejected without insertion.  Statistically
+  // certain on a large random input.
+  const auto data = uniform_floats(1 << 15, 42);
+  MergeQueue sorted_q(256);
+  const auto sorted_stats = buffered_select(data, sorted_q, 32, true);
+  EXPECT_GT(sorted_stats.rejected_late, 0u);
+  EXPECT_EQ(sorted_stats.buffered,
+            sorted_stats.inserted + sorted_stats.rejected_late);
+
+  MergeQueue unsorted_q(256);
+  const auto unsorted_stats = buffered_select(data, unsorted_q, 32, false);
+  // Local Sort never increases the number of insertions.
+  EXPECT_LE(sorted_stats.inserted, unsorted_stats.inserted);
+}
+
+TEST(BufferedSearchStatsTest, FlushesCountIncludesFinalPartial) {
+  const auto data = uniform_floats(100, 43);
+  InsertionQueue q(100);  // accepts everything
+  const auto stats = buffered_select(data, q, 16, true);
+  EXPECT_EQ(stats.buffered, 100u);
+  EXPECT_EQ(stats.flushes, 7u);  // 6 full + 1 final partial
+}
+
+TEST(BufferedSearchStatsTest, ZeroBufferSizeThrows) {
+  const auto data = uniform_floats(10, 44);
+  MergeQueue q(4);
+  EXPECT_THROW(buffered_select(data, q, 0, true), PreconditionError);
+}
+
+}  // namespace
+}  // namespace gpuksel

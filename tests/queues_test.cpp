@@ -1,0 +1,312 @@
+// Tests for the three scalar queue structures: correctness against a
+// partial-sort oracle, structural invariants, update instrumentation, and
+// the Merge Queue's lazy-update behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/kselect.hpp"
+#include "core/neighbor.hpp"
+#include "core/queues/heap_queue.hpp"
+#include "core/queues/insertion_queue.hpp"
+#include "core/queues/merge_queue.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpuksel {
+namespace {
+
+template <typename Queue>
+std::vector<Neighbor> run_queue(Queue& queue, std::span<const float> data) {
+  for (std::uint32_t i = 0; i < data.size(); ++i) {
+    queue.try_insert(data[i], i);
+  }
+  return queue.extract_sorted();
+}
+
+// Adversarial input shapes shared by the parameterized suites.
+std::vector<float> make_input(const std::string& shape, std::size_t n,
+                              std::uint64_t seed) {
+  std::vector<float> v;
+  if (shape == "random") {
+    v = uniform_floats(n, seed);
+  } else if (shape == "sorted") {
+    v = uniform_floats(n, seed);
+    std::sort(v.begin(), v.end());
+  } else if (shape == "reverse") {
+    v = uniform_floats(n, seed);
+    std::sort(v.begin(), v.end(), std::greater<>());
+  } else if (shape == "constant") {
+    v.assign(n, 0.25f);
+  } else if (shape == "organpipe") {
+    v.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t half = n / 2;
+      v[i] = static_cast<float>(i < half ? i : n - i) / static_cast<float>(n);
+    }
+  } else if (shape == "fewvalues") {
+    Rng rng(seed);
+    v.resize(n);
+    for (auto& x : v) x = static_cast<float>(rng.uniform_below(4)) * 0.1f;
+  }
+  return v;
+}
+
+const char* const kShapes[] = {"random",   "sorted",    "reverse",
+                               "constant", "organpipe", "fewvalues"};
+
+struct QueueCase {
+  std::string shape;
+  std::uint32_t k;
+  std::size_t n;
+};
+
+class QueueOracleTest : public ::testing::TestWithParam<QueueCase> {};
+
+TEST_P(QueueOracleTest, InsertionQueueMatchesOracle) {
+  const auto& p = GetParam();
+  const auto data = make_input(p.shape, p.n, 77);
+  InsertionQueue q(p.k);
+  EXPECT_EQ(run_queue(q, data), select_k_oracle(data, p.k));
+}
+
+TEST_P(QueueOracleTest, HeapQueueMatchesOracle) {
+  const auto& p = GetParam();
+  const auto data = make_input(p.shape, p.n, 77);
+  HeapQueue q(p.k);
+  EXPECT_EQ(run_queue(q, data), select_k_oracle(data, p.k));
+}
+
+TEST_P(QueueOracleTest, MergeQueueMatchesOracle) {
+  const auto& p = GetParam();
+  const auto data = make_input(p.shape, p.n, 77);
+  MergeQueue q(p.k);
+  EXPECT_EQ(run_queue(q, data), select_k_oracle(data, p.k));
+}
+
+TEST_P(QueueOracleTest, MergeQueueOtherMsMatchOracle) {
+  const auto& p = GetParam();
+  const auto data = make_input(p.shape, p.n, 78);
+  for (std::uint32_t m : {1u, 2u, 32u}) {
+    MergeQueue q(p.k, m);
+    EXPECT_EQ(run_queue(q, data), select_k_oracle(data, p.k)) << "m=" << m;
+  }
+}
+
+std::vector<QueueCase> queue_cases() {
+  std::vector<QueueCase> cases;
+  for (const char* shape : kShapes) {
+    for (std::uint32_t k : {1u, 2u, 3u, 8u, 17u, 64u, 256u}) {
+      for (std::size_t n : {std::size_t{1}, std::size_t{5}, std::size_t{64},
+                            std::size_t{1000}, std::size_t{4096}}) {
+        cases.push_back({shape, k, n});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QueueOracleTest,
+                         ::testing::ValuesIn(queue_cases()),
+                         [](const auto& info) {
+                           return info.param.shape + "_k" +
+                                  std::to_string(info.param.k) + "_n" +
+                                  std::to_string(info.param.n);
+                         });
+
+// --- structure-specific behaviour ------------------------------------------
+
+TEST(InsertionQueueTest, RejectsWorseThanHead) {
+  InsertionQueue q(2);
+  EXPECT_TRUE(q.try_insert(0.5f, 0));
+  EXPECT_TRUE(q.try_insert(0.3f, 1));
+  EXPECT_FALSE(q.try_insert(0.9f, 2));  // worse than head 0.5
+  EXPECT_TRUE(q.try_insert(0.4f, 3));   // replaces 0.5
+  EXPECT_FALSE(q.try_insert(0.4f, 9));  // ties on dist, larger index: reject
+  EXPECT_TRUE(q.try_insert(0.4f, 2));   // ties on dist, smaller index: accept
+}
+
+TEST(InsertionQueueTest, SlotsStayDescending) {
+  const auto data = uniform_floats(500, 3);
+  InsertionQueue q(16);
+  for (std::uint32_t i = 0; i < data.size(); ++i) {
+    q.try_insert(data[i], i);
+    EXPECT_TRUE(std::is_sorted(
+        q.slots().begin(), q.slots().end(),
+        [](const Neighbor& a, const Neighbor& b) { return b < a; }));
+  }
+}
+
+TEST(InsertionQueueTest, KZeroThrows) {
+  EXPECT_THROW(InsertionQueue(0), PreconditionError);
+}
+
+TEST(HeapQueueTest, HeapPropertyMaintained) {
+  const auto data = uniform_floats(500, 4);
+  HeapQueue q(31);
+  for (std::uint32_t i = 0; i < data.size(); ++i) {
+    q.try_insert(data[i], i);
+    const auto& s = q.slots();
+    for (std::size_t parent = 0; parent < s.size(); ++parent) {
+      for (std::size_t child : {2 * parent + 1, 2 * parent + 2}) {
+        if (child < s.size()) {
+          EXPECT_FALSE(s[parent] < s[child]) << "heap violated at " << parent;
+        }
+      }
+    }
+  }
+}
+
+TEST(HeapQueueTest, HeadIsMaximum) {
+  const auto data = uniform_floats(200, 5);
+  HeapQueue q(8);
+  for (std::uint32_t i = 0; i < data.size(); ++i) {
+    q.try_insert(data[i], i);
+    for (const Neighbor& n : q.slots()) {
+      EXPECT_FALSE(q.head() < n);
+    }
+  }
+}
+
+TEST(MergeQueueTest, CapacityRounding) {
+  EXPECT_EQ(MergeQueue(4, 8).capacity(), 4u);  // k <= m: single level
+  EXPECT_EQ(MergeQueue(8, 8).capacity(), 8u);
+  EXPECT_EQ(MergeQueue(9, 8).capacity(), 16u);  // rounded to m*2^j
+  EXPECT_EQ(MergeQueue(64, 8).capacity(), 64u);
+  EXPECT_EQ(MergeQueue(65, 8).capacity(), 128u);
+  EXPECT_EQ(MergeQueue(1024, 8).capacity(), 1024u);
+}
+
+TEST(MergeQueueTest, LevelStartsDoubling) {
+  const MergeQueue q(64, 8);
+  EXPECT_EQ(q.level_starts(), (std::vector<std::uint32_t>{0, 8, 16, 32}));
+}
+
+TEST(MergeQueueTest, NonPowerOfTwoMThrows) {
+  EXPECT_THROW(MergeQueue(64, 3), PreconditionError);
+  EXPECT_THROW(MergeQueue(64, 0), PreconditionError);
+}
+
+TEST(MergeQueueTest, InvariantHoldsAfterEveryInsert) {
+  const auto data = uniform_floats(2000, 6);
+  MergeQueue q(64, 8);
+  for (std::uint32_t i = 0; i < data.size(); ++i) {
+    q.try_insert(data[i], i);
+    ASSERT_TRUE(q.invariant_holds()) << "after insert " << i;
+  }
+}
+
+TEST(MergeQueueTest, LazyUpdateSkipsMergesForAscendingInput) {
+  // Ascending input: once the queue fills, nothing more is accepted, and the
+  // fill itself only ever lands at the level-0 head — nearly no merges.
+  MergeQueue q(32, 8);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    q.try_insert(static_cast<float>(i), i);
+  }
+  EXPECT_LE(q.merge_count(), 8u);
+}
+
+TEST(MergeQueueTest, DescendingInputMergesLazily) {
+  // Every element is accepted (each is the new minimum); merges must happen
+  // but far less often than once per insert thanks to Lazy Update.
+  MergeQueue q(64, 8);
+  const std::uint32_t inserts = 4096;
+  for (std::uint32_t i = 0; i < inserts; ++i) {
+    q.try_insert(static_cast<float>(inserts - i), i);
+  }
+  EXPECT_GT(q.merge_count(), 0u);
+  EXPECT_LT(q.merge_count(), inserts / 2);
+}
+
+TEST(MergeQueueTest, HeadIsGlobalMaximum) {
+  const auto data = uniform_floats(3000, 8);
+  MergeQueue q(128, 8);
+  for (std::uint32_t i = 0; i < data.size(); ++i) {
+    q.try_insert(data[i], i);
+    for (const Neighbor& n : q.slots()) {
+      ASSERT_FALSE(q.head() < n);
+    }
+  }
+}
+
+TEST(MergeQueueTest, TwoPointerStrategyMatchesBitonic) {
+  const auto data = uniform_floats(5000, 12);
+  for (std::uint32_t k : {8u, 64u, 257u}) {
+    MergeQueue bitonic(k, 8, nullptr, MergeStrategy::kReverseBitonic);
+    MergeQueue linear(k, 8, nullptr, MergeStrategy::kTwoPointer);
+    for (std::uint32_t i = 0; i < data.size(); ++i) {
+      bitonic.try_insert(data[i], i);
+      linear.try_insert(data[i], i);
+      ASSERT_TRUE(linear.invariant_holds());
+    }
+    EXPECT_EQ(linear.extract_sorted(), bitonic.extract_sorted()) << "k=" << k;
+    EXPECT_EQ(linear.extract_sorted(), select_k_oracle(data, k));
+  }
+}
+
+TEST(MergeQueueTest, TwoPointerNeedsFewerUpdates) {
+  // The sequential merge moves each element at most once per merge; the
+  // bitonic network swaps up to n/2*log2(n) pairs.
+  const auto data = uniform_floats(1 << 14, 13);
+  UpdateCounter cb(256), cl(256);
+  MergeQueue bitonic(256, 8, &cb, MergeStrategy::kReverseBitonic);
+  MergeQueue linear(256, 8, &cl, MergeStrategy::kTwoPointer);
+  for (std::uint32_t i = 0; i < data.size(); ++i) {
+    bitonic.try_insert(data[i], i);
+    linear.try_insert(data[i], i);
+  }
+  EXPECT_LT(cl.total(), cb.total());
+}
+
+// --- update instrumentation (the Fig. 5 quantities) --------------------------
+
+TEST(UpdateCounterTest, InsertionQueueUpdatesDecayTowardTail) {
+  const auto data = uniform_floats(1 << 15, 9);
+  const std::uint32_t k = 64;
+  UpdateCounter counter(k);
+  InsertionQueue q(k, &counter);
+  run_queue(q, data);
+  const auto& per_pos = counter.per_position();
+  // Head region is written far more than the tail (paper Fig. 5a).
+  EXPECT_GT(per_pos[0], 4 * per_pos[k - 1] + 1);
+  std::uint64_t head_sum = 0;
+  std::uint64_t tail_sum = 0;
+  for (std::uint32_t i = 0; i < k / 4; ++i) head_sum += per_pos[i];
+  for (std::uint32_t i = 3 * k / 4; i < k; ++i) tail_sum += per_pos[i];
+  EXPECT_GT(head_sum, 2 * tail_sum);
+}
+
+TEST(UpdateCounterTest, TotalsOrderInsertionAboveHeapAndMerge) {
+  const auto data = uniform_floats(1 << 15, 10);
+  const std::uint32_t k = 256;
+  UpdateCounter ci(k), ch(k), cm(MergeQueue(k, 8).capacity());
+  InsertionQueue qi(k, &ci);
+  HeapQueue qh(k, &ch);
+  MergeQueue qm(k, 8, &cm);
+  run_queue(qi, data);
+  run_queue(qh, data);
+  run_queue(qm, data);
+  // Paper Fig. 5b: insertion >> merge >= heap (merge slightly above heap).
+  EXPECT_GT(ci.total(), 3 * cm.total());
+  EXPECT_GE(cm.total(), ch.total());
+}
+
+TEST(UpdateCounterTest, ResetClears) {
+  UpdateCounter c(4);
+  c.record(0);
+  c.record(3);
+  EXPECT_EQ(c.total(), 2u);
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(UpdateCounterTest, OutOfRangePositionIgnored) {
+  UpdateCounter c(2);
+  c.record(5);
+  EXPECT_EQ(c.total(), 0u);
+}
+
+}  // namespace
+}  // namespace gpuksel

@@ -1,0 +1,139 @@
+// Tests for Random Ball Cover and the additional §II-C baselines
+// (Sample Select, Clustered-Sort).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "baselines/clustered_sort.hpp"
+#include "baselines/sample_select.hpp"
+#include "core/kselect.hpp"
+#include "knn/knn.hpp"
+#include "knn/rbc.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpuksel {
+namespace {
+
+TEST(RbcIndex, BallsPartitionThePoints) {
+  const auto points = knn::make_uniform_dataset(500, 8, 1);
+  const knn::RandomBallCover rbc(points, 20, 2);
+  std::set<std::uint32_t> seen;
+  std::size_t total = 0;
+  for (std::uint32_t r = 0; r < rbc.representatives(); ++r) {
+    for (const std::uint32_t p : rbc.ball(r)) {
+      EXPECT_TRUE(seen.insert(p).second) << "point in two balls";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(RbcIndex, BadParamsThrow) {
+  const auto points = knn::make_uniform_dataset(10, 4, 3);
+  EXPECT_THROW(knn::RandomBallCover(points, 0, 1), PreconditionError);
+  EXPECT_THROW(knn::RandomBallCover(points, 11, 1), PreconditionError);
+}
+
+TEST(RbcQuery, FullProbeEqualsExactSearch) {
+  // Probing every ball visits every point: results must match brute force.
+  const auto points = knn::make_uniform_dataset(300, 8, 4);
+  const auto queries = knn::make_uniform_dataset(20, 8, 5);
+  const knn::RandomBallCover rbc(points, 16, 6);
+  const knn::BruteForceKnn exact(points);
+  const auto truth = exact.search(queries, 10);
+  const auto approx = rbc.query_batch(queries, 10, /*probe=*/16);
+  EXPECT_EQ(approx, truth.neighbors);
+  EXPECT_DOUBLE_EQ(knn::RandomBallCover::recall(approx, truth.neighbors), 1.0);
+}
+
+TEST(RbcQuery, RecallIncreasesWithProbe) {
+  const auto points = knn::make_uniform_dataset(2000, 16, 7);
+  const auto queries = knn::make_uniform_dataset(32, 16, 8);
+  const knn::RandomBallCover rbc(points, 64, 9);
+  const knn::BruteForceKnn exact(points);
+  const auto truth = exact.search(queries, 8).neighbors;
+  double prev = 0.0;
+  for (const std::uint32_t probe : {1u, 8u, 64u}) {
+    const double r = knn::RandomBallCover::recall(
+        rbc.query_batch(queries, 8, probe), truth);
+    EXPECT_GE(r + 1e-9, prev) << "probe=" << probe;
+    prev = r;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);  // full probe is exact
+}
+
+TEST(RbcQuery, SupportsKBeyond32) {
+  // The motivating limitation of the original RBC (odd-even sort, k <= 32).
+  const auto points = knn::make_uniform_dataset(1000, 8, 10);
+  const auto queries = knn::make_uniform_dataset(4, 8, 11);
+  const knn::RandomBallCover rbc(points, 25, 12);
+  const auto out = rbc.query_batch(queries, 100, 25);
+  for (const auto& nbrs : out) {
+    EXPECT_EQ(nbrs.size(), 100u);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  }
+}
+
+// --- sample select ------------------------------------------------------------
+
+TEST(SampleSelect, MatchesOracleAcrossSizes) {
+  for (std::size_t n : {std::size_t{10}, std::size_t{500}, std::size_t{20000}}) {
+    for (std::uint32_t k : {1u, 7u, 128u}) {
+      const auto data = uniform_floats(n, 90 + n + k);
+      EXPECT_EQ(baselines::sample_select(data, k), select_k_oracle(data, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(SampleSelect, DuplicateHeavyInputExact) {
+  Rng rng(13);
+  std::vector<float> data(8192);
+  for (auto& v : data) v = static_cast<float>(rng.uniform_below(3)) * 0.5f;
+  EXPECT_EQ(baselines::sample_select(data, 200), select_k_oracle(data, 200));
+}
+
+TEST(SampleSelect, DeterministicForSeed) {
+  const auto data = uniform_floats(5000, 14);
+  EXPECT_EQ(baselines::sample_select(data, 64, 1),
+            baselines::sample_select(data, 64, 1));
+}
+
+TEST(SampleSelect, BadParamsThrow) {
+  const auto data = uniform_floats(16, 15);
+  EXPECT_THROW(baselines::sample_select(data, 0), PreconditionError);
+  EXPECT_THROW(baselines::sample_select(data, 4, 0, 1), PreconditionError);
+}
+
+// --- clustered sort -------------------------------------------------------------
+
+TEST(ClusteredSort, MatchesOraclePerQuery) {
+  const std::uint32_t q = 23, n = 400, k = 16;
+  const auto matrix = uniform_floats(std::size_t{q} * n, 16);
+  const auto out = baselines::clustered_sort_select(matrix, q, n, k);
+  ASSERT_EQ(out.size(), q);
+  for (std::uint32_t qq = 0; qq < q; ++qq) {
+    EXPECT_EQ(out[qq],
+              select_k_oracle(
+                  std::span<const float>(matrix.data() + std::size_t{qq} * n, n),
+                  k))
+        << "query " << qq;
+  }
+}
+
+TEST(ClusteredSort, KLargerThanNReturnsAll) {
+  const auto matrix = uniform_floats(3 * 5, 17);
+  const auto out = baselines::clustered_sort_select(matrix, 3, 5, 100);
+  for (const auto& nbrs : out) EXPECT_EQ(nbrs.size(), 5u);
+}
+
+TEST(ClusteredSort, SizeMismatchThrows) {
+  const auto matrix = uniform_floats(10, 18);
+  EXPECT_THROW(baselines::clustered_sort_select(matrix, 3, 4, 2),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace gpuksel

@@ -1,0 +1,372 @@
+// Tests for the simulated-GPU flat-scan selection kernels: every (queue,
+// buffer-mode, alignment, layout) combination must reproduce the scalar
+// oracle exactly, and the metrics must show the SIMT effects the paper's
+// optimizations exist for.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/kernels/select_kernels.hpp"
+#include "core/kselect.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpuksel::kernels {
+namespace {
+
+/// Builds a Q x N matrix of uniform distances in the requested layout.
+std::vector<float> make_matrix(std::uint32_t q, std::uint32_t n,
+                               MatrixLayout layout, std::uint64_t seed) {
+  std::vector<float> out(std::size_t{q} * n);
+  for (std::uint32_t qq = 0; qq < q; ++qq) {
+    const auto row = uniform_floats(n, seed * 1315423911u + qq);
+    for (std::uint32_t r = 0; r < n; ++r) {
+      const std::size_t idx = layout == MatrixLayout::kReferenceMajor
+                                  ? std::size_t{r} * q + qq
+                                  : std::size_t{qq} * n + r;
+      out[idx] = row[r];
+    }
+  }
+  return out;
+}
+
+/// Scalar oracle per query.
+std::vector<std::vector<Neighbor>> oracle_all(const std::vector<float>& m,
+                                              std::uint32_t q, std::uint32_t n,
+                                              MatrixLayout layout,
+                                              std::uint32_t k) {
+  std::vector<std::vector<Neighbor>> out(q);
+  std::vector<float> row(n);
+  for (std::uint32_t qq = 0; qq < q; ++qq) {
+    for (std::uint32_t r = 0; r < n; ++r) {
+      row[r] = layout == MatrixLayout::kReferenceMajor
+                   ? m[std::size_t{r} * q + qq]
+                   : m[std::size_t{qq} * n + r];
+    }
+    out[qq] = select_k_oracle(row, k);
+  }
+  return out;
+}
+
+struct KernelCase {
+  QueueKind queue;
+  BufferMode buffer;
+  bool aligned;
+  std::uint32_t k;
+  std::uint32_t q;
+  std::uint32_t n;
+};
+
+class FlatKernelTest : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(FlatKernelTest, MatchesScalarOracle) {
+  const auto& p = GetParam();
+  SelectConfig cfg;
+  cfg.queue = p.queue;
+  cfg.buffer = p.buffer;
+  cfg.aligned_merge = p.aligned;
+  const auto matrix = make_matrix(p.q, p.n, cfg.layout, 50);
+  simt::Device dev;
+  const auto out = flat_select(dev, matrix, p.q, p.n, p.k, cfg);
+  EXPECT_EQ(out.neighbors, oracle_all(matrix, p.q, p.n, cfg.layout, p.k));
+  EXPECT_GT(out.metrics.instructions, 0u);
+}
+
+std::vector<KernelCase> kernel_cases() {
+  std::vector<KernelCase> cases;
+  const BufferMode modes[] = {BufferMode::kNone, BufferMode::kBufferOnly,
+                              BufferMode::kFull, BufferMode::kFullSorted};
+  for (QueueKind queue :
+       {QueueKind::kInsertion, QueueKind::kHeap, QueueKind::kMerge}) {
+    for (BufferMode mode : modes) {
+      for (std::uint32_t k : {1u, 8u, 33u, 64u}) {
+        cases.push_back({queue, mode, true, k, 48, 700});
+      }
+    }
+  }
+  // Unaligned merge variants.
+  for (BufferMode mode : modes) {
+    cases.push_back({QueueKind::kMerge, mode, false, 32, 48, 700});
+  }
+  // Edge shapes: one query, tiny n, k > n, exactly one warp.
+  cases.push_back({QueueKind::kMerge, BufferMode::kFull, true, 16, 1, 5});
+  cases.push_back({QueueKind::kInsertion, BufferMode::kNone, true, 4, 33, 1});
+  cases.push_back({QueueKind::kHeap, BufferMode::kFullSorted, true, 100, 32, 40});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FlatKernelTest, ::testing::ValuesIn(kernel_cases()),
+    [](const auto& info) {
+      std::string name = std::string(queue_kind_name(info.param.queue)) + "_" +
+                         std::string(buffer_mode_name(info.param.buffer)) +
+                         (info.param.aligned ? "_al" : "_un") + "_k" +
+                         std::to_string(info.param.k) + "_q" +
+                         std::to_string(info.param.q) + "_n" +
+                         std::to_string(info.param.n);
+      std::string clean;
+      for (char c : name) {
+        clean += (c == '+') ? 'P' : c;
+      }
+      return clean;
+    });
+
+TEST(FlatKernel, QueryMajorLayoutMatchesToo) {
+  SelectConfig cfg;
+  cfg.layout = MatrixLayout::kQueryMajor;
+  const auto matrix = make_matrix(40, 500, cfg.layout, 51);
+  simt::Device dev;
+  const auto out = flat_select(dev, matrix, 40, 500, 16, cfg);
+  EXPECT_EQ(out.neighbors, oracle_all(matrix, 40, 500, cfg.layout, 16));
+}
+
+TEST(FlatKernel, DeterministicAcrossRuns) {
+  SelectConfig cfg;
+  cfg.buffer = BufferMode::kFullSorted;
+  const auto matrix = make_matrix(32, 300, cfg.layout, 52);
+  simt::Device d1, d2;
+  const auto a = flat_select(d1, matrix, 32, 300, 32, cfg);
+  const auto b = flat_select(d2, matrix, 32, 300, 32, cfg);
+  EXPECT_EQ(a.neighbors, b.neighbors);
+  EXPECT_EQ(a.metrics.instructions, b.metrics.instructions);
+  EXPECT_EQ(a.metrics.global_tx(), b.metrics.global_tx());
+}
+
+TEST(FlatKernel, InvalidConfigsThrow) {
+  const auto matrix = make_matrix(32, 64, MatrixLayout::kReferenceMajor, 53);
+  simt::Device dev;
+  SelectConfig cfg;
+  EXPECT_THROW(flat_select(dev, matrix, 32, 64, 0, cfg), PreconditionError);
+  cfg.buffer = BufferMode::kFullSorted;
+  cfg.buffer_size = 12;  // Local Sort needs a power of two
+  EXPECT_THROW(flat_select(dev, matrix, 32, 64, 8, cfg), PreconditionError);
+  EXPECT_THROW(flat_select(dev, matrix, 31, 64, 8, SelectConfig{}),
+               PreconditionError);  // size mismatch
+}
+
+TEST(FlatKernel, TwoPointerMergeStrategyMatchesOracle) {
+  SelectConfig cfg;
+  cfg.queue = QueueKind::kMerge;
+  cfg.merge_strategy = MergeStrategy::kTwoPointer;
+  const auto matrix = make_matrix(48, 900, cfg.layout, 55);
+  simt::Device dev;
+  for (const bool aligned : {false, true}) {
+    cfg.aligned_merge = aligned;
+    const auto out = flat_select(dev, matrix, 48, 900, 64, cfg);
+    EXPECT_EQ(out.neighbors, oracle_all(matrix, 48, 900, cfg.layout, 64));
+  }
+}
+
+TEST(FlatKernel, RowMajorQueueLayoutMatchesOracle) {
+  SelectConfig cfg;
+  cfg.queue_layout = QueueLayout::kRowMajor;
+  cfg.cache_head = false;  // the fully naive Algorithm-1 implementation
+  const auto matrix = make_matrix(40, 600, cfg.layout, 56);
+  simt::Device dev;
+  for (QueueKind queue :
+       {QueueKind::kInsertion, QueueKind::kHeap, QueueKind::kMerge}) {
+    cfg.queue = queue;
+    const auto out = flat_select(dev, matrix, 40, 600, 24, cfg);
+    EXPECT_EQ(out.neighbors, oracle_all(matrix, 40, 600, cfg.layout, 24))
+        << queue_kind_name(queue);
+  }
+}
+
+TEST(FlatKernel, MemoryHeadReadMatchesCachedHead) {
+  const auto matrix = make_matrix(40, 600, MatrixLayout::kReferenceMajor, 57);
+  simt::Device dev;
+  SelectConfig cached;
+  cached.cache_head = true;
+  SelectConfig uncached;
+  uncached.cache_head = false;
+  const auto a = flat_select(dev, matrix, 40, 600, 32, cached);
+  const auto b = flat_select(dev, matrix, 40, 600, 32, uncached);
+  EXPECT_EQ(a.neighbors, b.neighbors);
+  // The two modes trade per-element head loads against per-insert refreshes;
+  // they must at least account differently while agreeing on results.
+  EXPECT_NE(b.metrics.instructions, a.metrics.instructions);
+}
+
+// --- metric properties: the paper's phenomena --------------------------------
+
+simt::KernelMetrics run_metrics(QueueKind queue, BufferMode mode, bool aligned,
+                                MatrixLayout layout, std::uint32_t k,
+                                std::uint32_t n, std::uint32_t q = 64) {
+  SelectConfig cfg;
+  cfg.queue = queue;
+  cfg.buffer = mode;
+  cfg.aligned_merge = aligned;
+  cfg.layout = layout;
+  const auto matrix = make_matrix(q, n, layout, 54);
+  simt::Device dev;
+  return flat_select(dev, matrix, q, n, k, cfg).metrics;
+}
+
+TEST(KernelMetricsProperties, BufferedSearchRaisesInsertionQueueEfficiency) {
+  const auto plain = run_metrics(QueueKind::kInsertion, BufferMode::kNone,
+                                 true, MatrixLayout::kReferenceMajor, 64, 4096);
+  const auto buffered =
+      run_metrics(QueueKind::kInsertion, BufferMode::kFullSorted, true,
+                  MatrixLayout::kReferenceMajor, 64, 4096);
+  EXPECT_GT(buffered.simt_efficiency(), plain.simt_efficiency());
+  // And it reduces total issue slots (the actual speedup source).
+  EXPECT_LT(buffered.instructions, plain.instructions);
+}
+
+TEST(KernelMetricsProperties, AlignedMergeBeatsUnaligned) {
+  const auto unaligned = run_metrics(QueueKind::kMerge, BufferMode::kNone,
+                                     false, MatrixLayout::kReferenceMajor, 256,
+                                     4096);
+  const auto aligned = run_metrics(QueueKind::kMerge, BufferMode::kNone, true,
+                                   MatrixLayout::kReferenceMajor, 256, 4096);
+  EXPECT_LT(aligned.instructions, unaligned.instructions);
+  EXPECT_GT(aligned.simt_efficiency(), unaligned.simt_efficiency());
+}
+
+TEST(KernelMetricsProperties, ReferenceMajorScanCoalesces) {
+  // Isolate the distance-matrix layout effect by using the optimized queue
+  // configuration (interleaved queues, cached head), so the scan loads
+  // dominate the transaction count.
+  SelectConfig cfg;
+  cfg.queue = QueueKind::kHeap;
+  cfg.queue_layout = QueueLayout::kInterleaved;
+  cfg.cache_head = true;
+  simt::Device dev;
+  cfg.layout = MatrixLayout::kReferenceMajor;
+  const auto m1 = make_matrix(64, 2048, cfg.layout, 54);
+  const auto coalesced = flat_select(dev, m1, 64, 2048, 16, cfg).metrics;
+  cfg.layout = MatrixLayout::kQueryMajor;
+  const auto m2 = make_matrix(64, 2048, cfg.layout, 54);
+  const auto strided = flat_select(dev, m2, 64, 2048, 16, cfg).metrics;
+  EXPECT_LT(coalesced.global_load_tx, strided.global_load_tx / 4);
+}
+
+TEST(KernelMetricsProperties, InsertionQueueIssuesMostInstructions) {
+  const auto ins = run_metrics(QueueKind::kInsertion, BufferMode::kNone, true,
+                               MatrixLayout::kReferenceMajor, 128, 4096);
+  const auto heap = run_metrics(QueueKind::kHeap, BufferMode::kNone, true,
+                                MatrixLayout::kReferenceMajor, 128, 4096);
+  EXPECT_GT(ins.instructions, heap.instructions);
+}
+
+TEST(KernelMetricsProperties, RowMajorQueuesCostMoreTransactions) {
+  SelectConfig opt;
+  opt.queue = QueueKind::kMerge;
+  const auto matrix = make_matrix(64, 2048, opt.layout, 58);
+  simt::Device dev;
+  const auto interleaved = flat_select(dev, matrix, 64, 2048, 64, opt).metrics;
+  SelectConfig naive = opt;
+  naive.queue_layout = QueueLayout::kRowMajor;
+  const auto row = flat_select(dev, matrix, 64, 2048, 64, naive).metrics;
+  EXPECT_GT(row.global_tx(), 2 * interleaved.global_tx());
+}
+
+TEST(KernelMetricsProperties, TwoPointerTradesInstructionsForGathers) {
+  // The sequential merge does fewer compare instructions but divergent
+  // gathers; at minimum it must differ measurably from the network while
+  // producing identical results (checked elsewhere).
+  SelectConfig bitonic;
+  bitonic.queue = QueueKind::kMerge;
+  const auto matrix = make_matrix(64, 4096, bitonic.layout, 59);
+  simt::Device dev;
+  const auto net = flat_select(dev, matrix, 64, 4096, 256, bitonic).metrics;
+  SelectConfig twoptr = bitonic;
+  twoptr.merge_strategy = MergeStrategy::kTwoPointer;
+  const auto seq = flat_select(dev, matrix, 64, 4096, 256, twoptr).metrics;
+  EXPECT_NE(net.instructions, seq.instructions);
+  EXPECT_GT(seq.transactions_per_request(), net.transactions_per_request());
+}
+
+TEST(KernelMetricsProperties, EfficiencyWithinBounds) {
+  const auto m = run_metrics(QueueKind::kMerge, BufferMode::kFull, true,
+                             MatrixLayout::kReferenceMajor, 32, 1024);
+  EXPECT_GE(m.simt_efficiency(), 1.0 / 32.0);
+  EXPECT_LE(m.simt_efficiency(), 1.0);
+}
+
+}  // namespace
+}  // namespace gpuksel::kernels
+
+namespace gpuksel::kernels {
+namespace {
+
+// --- ThreadArrayView layout math ----------------------------------------------
+
+TEST(ThreadArrayViewTest, InterleavedFlatIndexing) {
+  simt::KernelMetrics m;
+  simt::WarpContext ctx(m, 0);
+  simt::DeviceBuffer<float> d(8 * 64);
+  simt::DeviceBuffer<std::uint32_t> i(8 * 64);
+  const ThreadArrayView v{d.span(), i.span(), 64, 8,
+                          QueueLayout::kInterleaved};
+  const U32 thread = U32::iota();
+  const U32 idx = v.flat(ctx, simt::kFullMask, thread, 3);
+  for (int l = 0; l < simt::kWarpSize; ++l) {
+    EXPECT_EQ(idx[l], 3u * 64u + static_cast<std::uint32_t>(l));
+  }
+}
+
+TEST(ThreadArrayViewTest, RowMajorFlatIndexing) {
+  simt::KernelMetrics m;
+  simt::WarpContext ctx(m, 0);
+  simt::DeviceBuffer<float> d(8 * 64);
+  simt::DeviceBuffer<std::uint32_t> i(8 * 64);
+  const ThreadArrayView v{d.span(), i.span(), 64, 8, QueueLayout::kRowMajor};
+  const U32 thread = U32::iota();
+  const U32 idx = v.flat(ctx, simt::kFullMask, thread, 3);
+  for (int l = 0; l < simt::kWarpSize; ++l) {
+    EXPECT_EQ(idx[l], static_cast<std::uint32_t>(l) * 8u + 3u);
+  }
+}
+
+TEST(ThreadArrayViewTest, InterleavedLockstepAccessCoalesces) {
+  simt::KernelMetrics mi, mr;
+  simt::DeviceBuffer<float> d(8 * 64);
+  simt::DeviceBuffer<std::uint32_t> i(8 * 64);
+  {
+    simt::WarpContext ctx(mi, 0);
+    const ThreadArrayView v{d.span(), i.span(), 64, 8,
+                            QueueLayout::kInterleaved};
+    (void)v.load(ctx, simt::kFullMask, U32::iota(), 2);
+  }
+  {
+    simt::WarpContext ctx(mr, 0);
+    const ThreadArrayView v{d.span(), i.span(), 64, 8,
+                            QueueLayout::kRowMajor};
+    (void)v.load(ctx, simt::kFullMask, U32::iota(), 2);
+  }
+  EXPECT_LE(mi.global_load_tx, 2u);   // 32 consecutive floats
+  EXPECT_GE(mr.global_load_tx, 8u);   // strided by 8 floats per lane
+}
+
+TEST(ThreadArrayViewTest, SentinelFillAndEntryRoundTrip) {
+  simt::KernelMetrics m;
+  simt::WarpContext ctx(m, 0);
+  simt::DeviceBuffer<float> d(4 * 32);
+  simt::DeviceBuffer<std::uint32_t> i(4 * 32);
+  const ThreadArrayView v{d.span(), i.span(), 32, 4,
+                          QueueLayout::kInterleaved};
+  const U32 thread = U32::iota();
+  v.fill_sentinel(ctx, simt::kFullMask, thread);
+  for (float x : d.host()) EXPECT_EQ(x, simt::kFloatSentinel);
+  const EntryLanes e{F32::filled(0.5f), U32::filled(7u)};
+  v.store(ctx, simt::lane_bit(3), thread, 1, e);
+  const EntryLanes back = v.load(ctx, simt::lane_bit(3), thread, 1);
+  EXPECT_EQ(back.dist[3], 0.5f);
+  EXPECT_EQ(back.index[3], 7u);
+}
+
+TEST(EntryLtTest, LexicographicWithTies) {
+  simt::KernelMetrics m;
+  simt::WarpContext ctx(m, 0);
+  EntryLanes a{F32::filled(1.0f), U32::filled(5u)};
+  EntryLanes b{F32::filled(1.0f), U32::filled(6u)};
+  EXPECT_EQ(entry_lt(ctx, simt::kFullMask, a, b), simt::kFullMask);
+  EXPECT_EQ(entry_lt(ctx, simt::kFullMask, b, a), 0u);
+  b.dist = F32::filled(0.5f);
+  EXPECT_EQ(entry_lt(ctx, simt::kFullMask, b, a), simt::kFullMask);
+}
+
+}  // namespace
+}  // namespace gpuksel::kernels

@@ -1,0 +1,400 @@
+// Unit tests for the SIMT simulator: mask algebra, predicated execution,
+// votes/shuffles, memory transaction counting, shared-memory bank conflicts,
+// launcher accounting and the cost model.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "simt/cost_model.hpp"
+#include "simt/device.hpp"
+#include "simt/memory.hpp"
+#include "simt/metrics.hpp"
+#include "simt/types.hpp"
+#include "simt/warp.hpp"
+#include "simt/warp_ops.hpp"
+
+namespace gpuksel::simt {
+namespace {
+
+TEST(Masks, Basics) {
+  EXPECT_EQ(popcount(kFullMask), 32);
+  EXPECT_EQ(popcount(LaneMask{0}), 0);
+  EXPECT_EQ(first_lanes(0), 0u);
+  EXPECT_EQ(first_lanes(1), 1u);
+  EXPECT_EQ(first_lanes(32), kFullMask);
+  EXPECT_TRUE(lane_active(lane_bit(5), 5));
+  EXPECT_FALSE(lane_active(lane_bit(5), 6));
+  EXPECT_EQ(lowest_lane(lane_bit(9) | lane_bit(20)), 9);
+  EXPECT_EQ(lowest_lane(0), kWarpSize);
+}
+
+TEST(WarpVarTest, IotaAndFilled) {
+  const auto v = U32::iota();
+  for (int i = 0; i < kWarpSize; ++i) EXPECT_EQ(v[i], std::uint32_t(i));
+  const auto f = F32::filled(2.5f);
+  for (int i = 0; i < kWarpSize; ++i) EXPECT_EQ(f[i], 2.5f);
+}
+
+class WarpFixture : public ::testing::Test {
+ protected:
+  KernelMetrics metrics_;
+  WarpContext ctx_{metrics_, 0};
+};
+
+TEST_F(WarpFixture, IssueAccountsUsefulSlots) {
+  ctx_.issue(kFullMask);
+  EXPECT_EQ(metrics_.instructions, 1u);
+  EXPECT_EQ(metrics_.useful_lane_slots, 32u);
+  ctx_.issue(lane_bit(0) | lane_bit(7), 3);
+  EXPECT_EQ(metrics_.instructions, 4u);
+  EXPECT_EQ(metrics_.useful_lane_slots, 32u + 6u);
+}
+
+TEST_F(WarpFixture, SimtEfficiencyReflectsDivergence) {
+  ctx_.issue(kFullMask, 10);
+  EXPECT_DOUBLE_EQ(metrics_.simt_efficiency(), 1.0);
+  ctx_.issue(lane_bit(0), 10);  // 10 instructions with one useful lane
+  EXPECT_NEAR(metrics_.simt_efficiency(), (320.0 + 10.0) / 640.0, 1e-12);
+}
+
+TEST_F(WarpFixture, PredicatedAluLeavesInactiveLanesUntouched) {
+  U32 v = U32::filled(7u);
+  ctx_.mov(first_lanes(4), v, 99u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[i], 99u);
+  for (int i = 4; i < kWarpSize; ++i) EXPECT_EQ(v[i], 7u);
+}
+
+TEST_F(WarpFixture, AddAndSelect) {
+  const U32 a = U32::iota();
+  U32 b = ctx_.add(kFullMask, a, 5u);
+  for (int i = 0; i < kWarpSize; ++i) EXPECT_EQ(b[i], std::uint32_t(i + 5));
+  const LaneMask take = 0xaaaaaaaau;
+  const U32 sel = ctx_.select(kFullMask, take, a, b);
+  for (int i = 0; i < kWarpSize; ++i) {
+    EXPECT_EQ(sel[i], lane_active(take, i) ? a[i] : b[i]);
+  }
+}
+
+TEST_F(WarpFixture, CompareProducesRestrictedMask) {
+  const U32 a = U32::iota();
+  const LaneMask lt = ctx_.cmp_lt(first_lanes(16), a, 8u);
+  EXPECT_EQ(lt, first_lanes(8));  // lanes 0..7 only, and within the mask
+}
+
+TEST_F(WarpFixture, Votes) {
+  const LaneMask pred = lane_bit(3) | lane_bit(30);
+  EXPECT_TRUE(ctx_.any(kFullMask, pred));
+  EXPECT_FALSE(ctx_.any(first_lanes(3), pred));
+  EXPECT_FALSE(ctx_.all(kFullMask, pred));
+  EXPECT_TRUE(ctx_.all(lane_bit(3), pred));
+  EXPECT_EQ(ctx_.ballot(first_lanes(8), pred), lane_bit(3));
+}
+
+TEST_F(WarpFixture, ShuffleXorSwapsPartners) {
+  const U32 v = U32::iota();
+  const U32 s = ctx_.shfl_xor(kFullMask, v, 1);
+  for (int i = 0; i < kWarpSize; ++i) EXPECT_EQ(s[i], std::uint32_t(i ^ 1));
+}
+
+TEST_F(WarpFixture, ShuffleBroadcast) {
+  U32 v = U32::iota();
+  const U32 b = ctx_.shfl_bcast(kFullMask, v, 13);
+  for (int i = 0; i < kWarpSize; ++i) EXPECT_EQ(b[i], 13u);
+}
+
+// --- global memory transaction model --------------------------------------
+
+class MemoryFixture : public WarpFixture {
+ protected:
+  DeviceBuffer<float> buf_{1024};
+
+  void SetUp() override {
+    auto& h = buf_.host();
+    std::iota(h.begin(), h.end(), 0.0f);
+  }
+};
+
+TEST_F(MemoryFixture, ContiguousFloatLoadIsOneTransaction) {
+  // 32 consecutive floats = 128 bytes = exactly one segment.
+  const F32 v = ctx_.load(kFullMask, buf_.cspan(), U32::iota());
+  EXPECT_EQ(metrics_.global_load_tx, 1u);
+  EXPECT_EQ(metrics_.global_requests, 1u);
+  EXPECT_EQ(v[31], 31.0f);
+}
+
+TEST_F(MemoryFixture, BroadcastLoadIsOneTransaction) {
+  (void)ctx_.load(kFullMask, buf_.cspan(), U32::filled(100u));
+  EXPECT_EQ(metrics_.global_load_tx, 1u);
+}
+
+TEST_F(MemoryFixture, Stride2CoversTwoSegments) {
+  (void)ctx_.load(kFullMask, buf_.cspan(), U32::iota(0u, 2u));
+  EXPECT_EQ(metrics_.global_load_tx, 2u);
+}
+
+TEST_F(MemoryFixture, Stride32ScattersTo32Transactions) {
+  (void)ctx_.load(kFullMask, buf_.cspan(), U32::iota(0u, 32u));
+  EXPECT_EQ(metrics_.global_load_tx, 32u);
+  EXPECT_DOUBLE_EQ(metrics_.transactions_per_request(), 32.0);
+}
+
+TEST_F(MemoryFixture, MaskedLoadOnlyCountsActiveLanes) {
+  (void)ctx_.load(first_lanes(1), buf_.cspan(), U32::iota(0u, 32u));
+  EXPECT_EQ(metrics_.global_load_tx, 1u);
+}
+
+TEST_F(MemoryFixture, StoreWritesOnlyActiveLanes) {
+  ctx_.store(first_lanes(2), buf_.span(), U32::iota(), F32::filled(-1.0f));
+  EXPECT_EQ(buf_.host()[0], -1.0f);
+  EXPECT_EQ(buf_.host()[1], -1.0f);
+  EXPECT_EQ(buf_.host()[2], 2.0f);
+  EXPECT_EQ(metrics_.global_store_tx, 1u);
+}
+
+TEST_F(MemoryFixture, SubspanKeepsSegmentAlignment) {
+  // Elements 16..47 straddle a 128-byte boundary relative to the buffer.
+  const auto sub = buf_.cspan().subspan(16, 64);
+  (void)ctx_.load(kFullMask, sub, U32::iota());
+  EXPECT_EQ(metrics_.global_load_tx, 2u);
+}
+
+// --- shared memory bank model ----------------------------------------------
+
+TEST_F(WarpFixture, SharedConflictFreeAccess) {
+  SharedArray<float> s(ctx_, 64);
+  s.write(kFullMask, U32::iota(), F32::filled(1.0f));
+  EXPECT_EQ(metrics_.shared_requests, 1u);
+  EXPECT_EQ(metrics_.shared_conflict_replays, 0u);
+}
+
+TEST_F(WarpFixture, SharedBroadcastIsFree) {
+  SharedArray<float> s(ctx_, 64);
+  (void)s.read_bcast(kFullMask, 7);
+  EXPECT_EQ(metrics_.shared_conflict_replays, 0u);
+}
+
+TEST_F(WarpFixture, SharedTwoWayConflictReplaysOnce) {
+  SharedArray<float> s(ctx_, 64);
+  // Lane i accesses word 32 + i for i<16 and word i-16 for i>=16: lanes i and
+  // i+16 hit the same bank with different words -> 2-way conflict.
+  U32 idx;
+  for (int i = 0; i < kWarpSize; ++i) {
+    idx[i] = i < 16 ? 32 + i : i - 16;
+  }
+  (void)s.read(kFullMask, idx);
+  EXPECT_EQ(metrics_.shared_requests, 1u);
+  EXPECT_EQ(metrics_.shared_conflict_replays, 1u);
+}
+
+TEST_F(WarpFixture, SharedSameWordSameBankBroadcasts) {
+  SharedArray<float> s(ctx_, 64);
+  // All lanes read word 3: one bank, one word -> broadcast, no replay.
+  (void)s.read(kFullMask, U32::filled(3u));
+  EXPECT_EQ(metrics_.shared_conflict_replays, 0u);
+}
+
+// --- warp collectives -------------------------------------------------------
+
+TEST_F(WarpFixture, ReduceMinKeyedFindsArgmin) {
+  KeyedLanes in;
+  for (int i = 0; i < kWarpSize; ++i) {
+    in.keys[i] = static_cast<float>((i * 7) % 32);
+    in.values[i] = 1000 + i;
+  }
+  const KeyedLanes out = reduce_min_keyed(ctx_, kFullMask, in);
+  for (int i = 0; i < kWarpSize; ++i) {
+    EXPECT_EQ(out.keys[i], 0.0f);
+    EXPECT_EQ(out.values[i], 1000u);  // (0*7)%32 == 0 at lane 0
+  }
+}
+
+TEST_F(WarpFixture, ReduceMinKeyedBreaksTiesByValue) {
+  KeyedLanes in;
+  in.keys = F32::filled(5.0f);
+  for (int i = 0; i < kWarpSize; ++i) in.values[i] = 100 - i;
+  const KeyedLanes out = reduce_min_keyed(ctx_, kFullMask, in);
+  EXPECT_EQ(out.values[0], 100u - 31u);
+}
+
+TEST_F(WarpFixture, ReduceMaxAllLanesAgree) {
+  F32 v;
+  for (int i = 0; i < kWarpSize; ++i) v[i] = static_cast<float>(i % 9);
+  const F32 out = reduce_max(ctx_, kFullMask, v);
+  for (int i = 0; i < kWarpSize; ++i) EXPECT_EQ(out[i], 8.0f);
+}
+
+TEST_F(WarpFixture, ReduceSumIgnoresInactiveLanes) {
+  const U32 v = U32::filled(1u);
+  const U32 out = reduce_sum(ctx_, first_lanes(10), v);
+  EXPECT_EQ(out[0], 10u);
+}
+
+TEST_F(WarpFixture, PrefixSumExclusive) {
+  const U32 v = U32::filled(2u);
+  const U32 out = prefix_sum_exclusive(ctx_, v);
+  for (int i = 0; i < kWarpSize; ++i) EXPECT_EQ(out[i], std::uint32_t(2 * i));
+}
+
+// --- device ------------------------------------------------------------------
+
+TEST(DeviceTest, LaunchSumsWarpMetrics) {
+  Device dev;
+  const auto m = dev.launch(4, [](WarpContext& ctx, std::uint32_t) {
+    ctx.issue(kFullMask, 10);
+  });
+  EXPECT_EQ(m.instructions, 40u);
+  EXPECT_EQ(dev.last_launch().instructions, 40u);
+  dev.launch(1, [](WarpContext& ctx, std::uint32_t) { ctx.issue(kFullMask); });
+  EXPECT_EQ(dev.cumulative().instructions, 41u);
+  dev.reset_stats();
+  EXPECT_EQ(dev.cumulative().instructions, 0u);
+}
+
+TEST(DeviceTest, TransfersAreCounted) {
+  Device dev;
+  std::vector<float> host(100, 1.0f);
+  auto buf = dev.upload(host);
+  EXPECT_EQ(dev.transfers().bytes_h2d, 400u);
+  auto back = dev.download(buf);
+  EXPECT_EQ(dev.transfers().bytes_d2h, 400u);
+  EXPECT_EQ(back, host);
+}
+
+TEST(DeviceTest, WarpIdsArePassedThrough) {
+  Device dev;
+  std::vector<std::uint32_t> seen;
+  dev.launch(3, [&](WarpContext&, std::uint32_t w) { seen.push_back(w); });
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST_F(WarpFixture, MovImmCpyBehave) {
+  U32 a = U32::filled(1u);
+  const U32 b = ctx_.imm(kFullMask, 9u);
+  for (int i = 0; i < kWarpSize; ++i) EXPECT_EQ(b[i], 9u);
+  ctx_.cpy(first_lanes(2), a, b);
+  EXPECT_EQ(a[0], 9u);
+  EXPECT_EQ(a[1], 9u);
+  EXPECT_EQ(a[2], 1u);
+}
+
+TEST_F(WarpFixture, SubAndMul) {
+  const U32 a = U32::iota(10u);
+  const U32 b = U32::filled(3u);
+  const U32 d = ctx_.sub(kFullMask, a, b);
+  EXPECT_EQ(d[0], 7u);
+  EXPECT_EQ(d[5], 12u);
+  const U32 m = ctx_.mul(kFullMask, b, 4u);
+  EXPECT_EQ(m[31], 12u);
+}
+
+TEST_F(WarpFixture, ShuffleDynamicSource) {
+  const U32 v = U32::iota(100u);
+  U32 from;
+  for (int i = 0; i < kWarpSize; ++i) from[i] = 31 - i;
+  const U32 s = ctx_.shfl(kFullMask, v, from);
+  for (int i = 0; i < kWarpSize; ++i) {
+    EXPECT_EQ(s[i], 100u + std::uint32_t(31 - i));
+  }
+}
+
+TEST_F(WarpFixture, StoreImmediateOverload) {
+  DeviceBuffer<float> buf(64);
+  ctx_.store(first_lanes(4), buf.span(), U32::iota(), 2.5f);
+  EXPECT_EQ(buf.host()[3], 2.5f);
+  EXPECT_EQ(buf.host()[4], 0.0f);
+}
+
+TEST_F(WarpFixture, SharedMaskedWriteLeavesOthers) {
+  SharedArray<float> s(ctx_, 32, 7.0f);
+  s.write(first_lanes(3), U32::iota(), F32::filled(1.0f));
+  EXPECT_EQ(s.host()[0], 1.0f);
+  EXPECT_EQ(s.host()[2], 1.0f);
+  EXPECT_EQ(s.host()[3], 7.0f);
+}
+
+TEST_F(WarpFixture, SharedWriteBcastSetsOneSlot) {
+  SharedArray<int> s(ctx_, 4, 0);
+  s.write_bcast(kFullMask, 2, 5);
+  EXPECT_EQ(s.host()[2], 5);
+  EXPECT_EQ(s.host()[1], 0);
+  const auto v = s.read_bcast(kFullMask, 2);
+  for (int i = 0; i < kWarpSize; ++i) EXPECT_EQ(v[i], 5);
+}
+
+TEST_F(WarpFixture, ReduceMinKeyedRespectsMask) {
+  KeyedLanes in;
+  in.keys = F32::iota(0.0f);  // lane 0 holds the global min
+  in.values = U32::iota(0u);
+  // Exclude lane 0: min over lanes 1..31 is key 1.
+  const KeyedLanes out = reduce_min_keyed(ctx_, kFullMask & ~lane_bit(0), in);
+  EXPECT_EQ(out.keys[1], 1.0f);
+  EXPECT_EQ(out.values[1], 1u);
+}
+
+TEST(MetricsTest, AdditionAccumulates) {
+  KernelMetrics a, b;
+  a.instructions = 5;
+  a.global_load_tx = 2;
+  b.instructions = 7;
+  b.shared_requests = 3;
+  const KernelMetrics c = a + b;
+  EXPECT_EQ(c.instructions, 12u);
+  EXPECT_EQ(c.global_load_tx, 2u);
+  EXPECT_EQ(c.shared_requests, 3u);
+}
+
+TEST(MetricsTest, EmptyMetricsEfficiencyIsOne) {
+  KernelMetrics m;
+  EXPECT_DOUBLE_EQ(m.simt_efficiency(), 1.0);
+  EXPECT_DOUBLE_EQ(m.transactions_per_request(), 0.0);
+}
+
+TEST(DeviceSpanTest, SubspanOutOfRangeThrows) {
+  DeviceBuffer<float> buf(16);
+  EXPECT_THROW(buf.span().subspan(10, 7), gpuksel::PreconditionError);
+  const auto ok = buf.span().subspan(10, 6);
+  EXPECT_EQ(ok.size(), 6u);
+}
+
+// --- cost model ----------------------------------------------------------------
+
+TEST(CostModelTest, InstructionBoundKernel) {
+  const CostModel cm = c2075_model();
+  KernelMetrics m;
+  m.instructions = static_cast<std::uint64_t>(cm.issue_rate());  // 1 second
+  EXPECT_NEAR(cm.kernel_seconds(m), 1.0, 1e-9);
+}
+
+TEST(CostModelTest, MemoryBoundKernel) {
+  const CostModel cm = c2075_model();
+  KernelMetrics m;
+  m.global_load_tx = static_cast<std::uint64_t>(cm.dram_bandwidth / 128.0);
+  EXPECT_NEAR(cm.kernel_seconds(m), 1.0, 1e-9);
+}
+
+TEST(CostModelTest, RooflineTakesTheMax) {
+  const CostModel cm = c2075_model();
+  KernelMetrics m;
+  m.instructions = static_cast<std::uint64_t>(cm.issue_rate());      // 1 s
+  m.global_load_tx = static_cast<std::uint64_t>(cm.dram_bandwidth / 256.0);
+  EXPECT_NEAR(cm.kernel_seconds(m), 1.0, 1e-9);  // memory only needs 0.5 s
+}
+
+TEST(CostModelTest, ScalingMultipliesWork) {
+  const CostModel cm = c2075_model();
+  KernelMetrics m;
+  m.instructions = 1000;
+  EXPECT_NEAR(cm.kernel_seconds_scaled(m, 8.0), 8.0 * cm.kernel_seconds(m),
+              1e-12);
+}
+
+TEST(CostModelTest, TransferCalibratedToPaperDataCopy) {
+  // The paper's Table I reports 0.46 s to copy the 2^13 x 2^15 float matrix.
+  const CostModel cm = c2075_model();
+  const std::uint64_t bytes = 8192ull * 32768ull * 4ull;
+  EXPECT_NEAR(cm.transfer_seconds(bytes), 0.46, 0.02);
+}
+
+}  // namespace
+}  // namespace gpuksel::simt

@@ -1,0 +1,192 @@
+// Unit tests for src/util: rng, stats, table, csv, cli.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace gpuksel {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) differing += a() != b();
+  EXPECT_GT(differing, 24);
+}
+
+TEST(Rng, UniformFloatInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.uniform_float();
+    ASSERT_GE(v, 0.0f);
+    ASSERT_LT(v, 1.0f);
+  }
+}
+
+TEST(Rng, UniformFloatRoughlyUniformMean) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform_float();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformBelowRespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.uniform_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformFloatsHelperMatchesSeed) {
+  const auto a = uniform_floats(64, 5);
+  const auto b = uniform_floats(64, 5);
+  EXPECT_EQ(a, b);
+  const auto c = uniform_floats(64, 6);
+  EXPECT_NE(a, c);
+}
+
+TEST(Rng, RandomPermutationIsPermutation) {
+  const auto p = random_permutation(257, 9);
+  std::set<std::uint32_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, EmptyStatsAreZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometric_mean(std::vector<double>{2.0, 8.0}), 4.0);
+  EXPECT_DOUBLE_EQ(geometric_mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.5);
+}
+
+TEST(Table, PrintsAlignedGrid) {
+  Table t("Title", {"a", "long-header"});
+  t.begin_row().add("x").add(1.5, 1);
+  t.begin_row().add("yyyy").add_int(42);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  // Every grid line has the same width.
+  std::istringstream is(s);
+  std::string line;
+  std::getline(is, line);  // title
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, NanRendersAsDash) {
+  Table t("", {"v"});
+  t.begin_row().add(std::nan(""), 2);
+  EXPECT_NE(t.str().find("| - "), std::string::npos);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t("", {"only"});
+  t.begin_row().add("1");
+  EXPECT_THROW(t.add("2"), PreconditionError);
+}
+
+TEST(Table, AddBeforeBeginRowThrows) {
+  Table t("", {"c"});
+  EXPECT_THROW(t.add("x"), PreconditionError);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("q\"q"), "\"q\"\"q\"");
+  EXPECT_EQ(csv_escape("n\nn"), "\"n\nn\"");
+}
+
+TEST(Cli, ParsesAndStripsFlags) {
+  const char* raw[] = {"prog", "--n=128", "--paper-scale", "--benchmark_filter=x",
+                       "positional", nullptr};
+  char* argv[6];
+  for (int i = 0; i < 5; ++i) argv[i] = const_cast<char*>(raw[i]);
+  argv[5] = nullptr;
+  int argc = 5;
+  CliFlags flags(argc, argv);
+  EXPECT_EQ(flags.get_int("n", 0), 128);
+  EXPECT_TRUE(flags.get_bool("paper_scale", false));
+  EXPECT_FALSE(flags.has("missing"));
+  EXPECT_EQ(flags.get("missing", "d"), "d");
+  // benchmark_* and positionals stay for google-benchmark.
+  EXPECT_EQ(argc, 3);
+  EXPECT_STREQ(argv[1], "--benchmark_filter=x");
+  EXPECT_STREQ(argv[2], "positional");
+}
+
+TEST(Cli, DashAndUnderscoreEquivalent) {
+  const char* raw[] = {"prog", "--paper-scale=0", nullptr};
+  char* argv[3];
+  argv[0] = const_cast<char*>(raw[0]);
+  argv[1] = const_cast<char*>(raw[1]);
+  argv[2] = nullptr;
+  int argc = 2;
+  CliFlags flags(argc, argv);
+  EXPECT_FALSE(flags.get_bool("paper_scale", true));
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    GPUKSEL_CHECK(1 == 2, "custom detail");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom detail"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gpuksel

@@ -1,0 +1,196 @@
+// Unit tests for WarpQueue: per-insert lockstep equivalence with the scalar
+// queues, for every queue kind, across 32 independent lanes at once.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/kernels/select_kernels.hpp"
+#include "core/kernels/warp_queue.hpp"
+#include "core/queues/heap_queue.hpp"
+#include "core/queues/insertion_queue.hpp"
+#include "core/queues/merge_queue.hpp"
+#include "util/rng.hpp"
+
+namespace gpuksel::kernels {
+namespace {
+
+using simt::F32;
+using simt::KernelMetrics;
+using simt::U32;
+using simt::WarpContext;
+
+/// Harness: 32 lanes, each with its own scalar reference queue; feeds the
+/// same candidate stream to both and compares after every insert.
+class WarpQueueHarness {
+ public:
+  WarpQueueHarness(QueueKind kind, std::uint32_t k, std::uint32_t m,
+                   bool aligned, MergeStrategy strategy)
+      : kind_(kind),
+        k_(k),
+        capacity_(kind == QueueKind::kMerge ? merge_capacity(k, m) : k),
+        dq_(std::size_t{capacity_} * 32),
+        iq_(std::size_t{capacity_} * 32),
+        sd_(std::size_t{capacity_} * 32),
+        si_(std::size_t{capacity_} * 32),
+        ctx_(metrics_, 0),
+        flag_(ctx_, 2, 0),
+        queue_(ctx_,
+               ThreadArrayView{dq_.span(), iq_.span(), 32, capacity_,
+                               QueueLayout::kInterleaved},
+               U32::iota(), simt::kFullMask, kind, m, aligned, &flag_,
+               strategy,
+               ThreadArrayView{sd_.span(), si_.span(), 32, capacity_,
+                               QueueLayout::kInterleaved},
+               /*cache_head=*/true) {
+    queue_.init();
+    for (int l = 0; l < simt::kWarpSize; ++l) {
+      switch (kind) {
+        case QueueKind::kInsertion:
+          ins_.push_back(std::make_unique<InsertionQueue>(k));
+          break;
+        case QueueKind::kHeap:
+          heap_.push_back(std::make_unique<HeapQueue>(k));
+          break;
+        case QueueKind::kMerge:
+          merge_.push_back(std::make_unique<MergeQueue>(k, m, nullptr,
+                                                        strategy));
+          break;
+      }
+    }
+  }
+
+  /// Offers candidate (dist[l], index) to every lane and cross-checks the
+  /// accept decision and the retained set against the scalar queues.
+  void step(const F32& dist, std::uint32_t index) {
+    const EntryLanes cand{dist, U32::filled(index)};
+    const simt::LaneMask want = queue_.accepts(simt::kFullMask, cand);
+    for (int l = 0; l < simt::kWarpSize; ++l) {
+      const bool scalar_accepts = scalar_try_insert(l, dist[l], index);
+      ASSERT_EQ(simt::lane_active(want, l), scalar_accepts)
+          << "lane " << l << " index " << index;
+    }
+    if (want) queue_.insert(want, cand);
+  }
+
+  /// Sorted retained set of lane l from the device buffers.
+  std::vector<Neighbor> device_sorted(int l) const {
+    std::vector<Neighbor> out;
+    for (std::uint32_t j = 0; j < capacity_; ++j) {
+      const std::size_t flat = std::size_t{j} * 32 + l;
+      const Neighbor n{dq_.host()[flat], iq_.host()[flat]};
+      if (!is_empty_slot(n)) out.push_back(n);
+    }
+    std::sort(out.begin(), out.end());
+    if (out.size() > k_) out.resize(k_);
+    return out;
+  }
+
+  std::vector<Neighbor> scalar_sorted(int l) const {
+    switch (kind_) {
+      case QueueKind::kInsertion: return ins_[l]->extract_sorted();
+      case QueueKind::kHeap: return heap_[l]->extract_sorted();
+      case QueueKind::kMerge: return merge_[l]->extract_sorted();
+    }
+    return {};
+  }
+
+ private:
+  bool scalar_try_insert(int l, float d, std::uint32_t i) {
+    switch (kind_) {
+      case QueueKind::kInsertion: return ins_[l]->try_insert(d, i);
+      case QueueKind::kHeap: return heap_[l]->try_insert(d, i);
+      case QueueKind::kMerge: return merge_[l]->try_insert(d, i);
+    }
+    return false;
+  }
+
+  QueueKind kind_;
+  std::uint32_t k_;
+  std::uint32_t capacity_;
+  simt::DeviceBuffer<float> dq_;
+  simt::DeviceBuffer<std::uint32_t> iq_;
+  simt::DeviceBuffer<float> sd_;
+  simt::DeviceBuffer<std::uint32_t> si_;
+  KernelMetrics metrics_;
+  WarpContext ctx_;
+  simt::SharedArray<int> flag_;
+  WarpQueue queue_;
+  std::vector<std::unique_ptr<InsertionQueue>> ins_;
+  std::vector<std::unique_ptr<HeapQueue>> heap_;
+  std::vector<std::unique_ptr<MergeQueue>> merge_;
+};
+
+struct WqCase {
+  QueueKind kind;
+  std::uint32_t k;
+  std::uint32_t m;
+  bool aligned;
+  MergeStrategy strategy;
+};
+
+class WarpQueueStepTest : public ::testing::TestWithParam<WqCase> {};
+
+TEST_P(WarpQueueStepTest, LockstepInsertsMatchScalarQueues) {
+  const auto& p = GetParam();
+  WarpQueueHarness h(p.kind, p.k, p.m, p.aligned, p.strategy);
+  Rng rng(4242);
+  for (std::uint32_t i = 0; i < 600; ++i) {
+    F32 dist;
+    for (int l = 0; l < simt::kWarpSize; ++l) {
+      dist[l] = rng.uniform_float();
+    }
+    h.step(dist, i);
+    if (i % 50 == 0) {
+      for (int l = 0; l < simt::kWarpSize; l += 7) {
+        ASSERT_EQ(h.device_sorted(l), h.scalar_sorted(l))
+            << "lane " << l << " after insert " << i;
+      }
+    }
+  }
+  for (int l = 0; l < simt::kWarpSize; ++l) {
+    EXPECT_EQ(h.device_sorted(l), h.scalar_sorted(l)) << "final lane " << l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, WarpQueueStepTest,
+    ::testing::Values(
+        WqCase{QueueKind::kInsertion, 16, 8, true,
+               MergeStrategy::kReverseBitonic},
+        WqCase{QueueKind::kInsertion, 1, 8, true,
+               MergeStrategy::kReverseBitonic},
+        WqCase{QueueKind::kHeap, 16, 8, true, MergeStrategy::kReverseBitonic},
+        WqCase{QueueKind::kHeap, 33, 8, true, MergeStrategy::kReverseBitonic},
+        WqCase{QueueKind::kMerge, 32, 8, true,
+               MergeStrategy::kReverseBitonic},
+        WqCase{QueueKind::kMerge, 32, 8, false,
+               MergeStrategy::kReverseBitonic},
+        WqCase{QueueKind::kMerge, 32, 8, true, MergeStrategy::kTwoPointer},
+        WqCase{QueueKind::kMerge, 64, 2, true,
+               MergeStrategy::kReverseBitonic},
+        WqCase{QueueKind::kMerge, 5, 8, true,
+               MergeStrategy::kReverseBitonic}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return std::string(queue_kind_name(p.kind)) + "_k" +
+             std::to_string(p.k) + "_m" + std::to_string(p.m) +
+             (p.aligned ? "_al" : "_un") +
+             (p.strategy == MergeStrategy::kTwoPointer ? "_2p" : "_bi");
+    });
+
+TEST(WarpQueueTest, TwoPointerWithoutScratchThrows) {
+  simt::KernelMetrics m;
+  simt::WarpContext ctx(m, 0);
+  simt::DeviceBuffer<float> d(32 * 32);
+  simt::DeviceBuffer<std::uint32_t> i(32 * 32);
+  const ThreadArrayView view{d.span(), i.span(), 32, 32,
+                             QueueLayout::kInterleaved};
+  EXPECT_THROW(WarpQueue(ctx, view, U32::iota(), simt::kFullMask,
+                         QueueKind::kMerge, 8, true, nullptr,
+                         MergeStrategy::kTwoPointer, ThreadArrayView{}),
+               gpuksel::PreconditionError);
+}
+
+}  // namespace
+}  // namespace gpuksel::kernels
