@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_group_g.dir/ablation_group_g.cpp.o"
+  "CMakeFiles/ablation_group_g.dir/ablation_group_g.cpp.o.d"
+  "ablation_group_g"
+  "ablation_group_g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_group_g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

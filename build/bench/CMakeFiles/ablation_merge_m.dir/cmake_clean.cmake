@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_merge_m.dir/ablation_merge_m.cpp.o"
+  "CMakeFiles/ablation_merge_m.dir/ablation_merge_m.cpp.o.d"
+  "ablation_merge_m"
+  "ablation_merge_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merge_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_queue_opt.dir/ablation_queue_opt.cpp.o"
+  "CMakeFiles/ablation_queue_opt.dir/ablation_queue_opt.cpp.o.d"
+  "ablation_queue_opt"
+  "ablation_queue_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queue_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

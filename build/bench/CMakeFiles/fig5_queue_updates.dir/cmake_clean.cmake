@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_queue_updates.dir/fig5_queue_updates.cpp.o"
+  "CMakeFiles/fig5_queue_updates.dir/fig5_queue_updates.cpp.o.d"
+  "fig5_queue_updates"
+  "fig5_queue_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_queue_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_hp_vs_k.dir/fig7_hp_vs_k.cpp.o"
+  "CMakeFiles/fig7_hp_vs_k.dir/fig7_hp_vs_k.cpp.o.d"
+  "fig7_hp_vs_k"
+  "fig7_hp_vs_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_hp_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_overall.cpp" "bench/CMakeFiles/fig9_overall.dir/fig9_overall.cpp.o" "gcc" "bench/CMakeFiles/fig9_overall.dir/fig9_overall.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpuksel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/knn/CMakeFiles/gpuksel_knn.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gpuksel_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpuksel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

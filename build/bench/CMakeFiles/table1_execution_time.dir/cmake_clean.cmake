@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_execution_time.dir/table1_execution_time.cpp.o"
+  "CMakeFiles/table1_execution_time.dir/table1_execution_time.cpp.o.d"
+  "table1_execution_time"
+  "table1_execution_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_execution_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classifier.dir/classifier.cpp.o"
+  "CMakeFiles/classifier.dir/classifier.cpp.o.d"
+  "classifier"
+  "classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_match.dir/image_match.cpp.o"
+  "CMakeFiles/image_match.dir/image_match.cpp.o.d"
+  "image_match"
+  "image_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbc_search.dir/rbc_search.cpp.o"
+  "CMakeFiles/rbc_search.dir/rbc_search.cpp.o.d"
+  "rbc_search"
+  "rbc_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbc_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

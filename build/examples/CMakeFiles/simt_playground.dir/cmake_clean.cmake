@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simt_playground.dir/simt_playground.cpp.o"
+  "CMakeFiles/simt_playground.dir/simt_playground.cpp.o.d"
+  "simt_playground"
+  "simt_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simt_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

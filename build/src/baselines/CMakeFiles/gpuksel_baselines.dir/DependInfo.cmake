@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bucket_select.cpp" "src/baselines/CMakeFiles/gpuksel_baselines.dir/bucket_select.cpp.o" "gcc" "src/baselines/CMakeFiles/gpuksel_baselines.dir/bucket_select.cpp.o.d"
+  "/root/repo/src/baselines/clustered_sort.cpp" "src/baselines/CMakeFiles/gpuksel_baselines.dir/clustered_sort.cpp.o" "gcc" "src/baselines/CMakeFiles/gpuksel_baselines.dir/clustered_sort.cpp.o.d"
+  "/root/repo/src/baselines/cpu_select.cpp" "src/baselines/CMakeFiles/gpuksel_baselines.dir/cpu_select.cpp.o" "gcc" "src/baselines/CMakeFiles/gpuksel_baselines.dir/cpu_select.cpp.o.d"
+  "/root/repo/src/baselines/qms.cpp" "src/baselines/CMakeFiles/gpuksel_baselines.dir/qms.cpp.o" "gcc" "src/baselines/CMakeFiles/gpuksel_baselines.dir/qms.cpp.o.d"
+  "/root/repo/src/baselines/radix_select.cpp" "src/baselines/CMakeFiles/gpuksel_baselines.dir/radix_select.cpp.o" "gcc" "src/baselines/CMakeFiles/gpuksel_baselines.dir/radix_select.cpp.o.d"
+  "/root/repo/src/baselines/sample_select.cpp" "src/baselines/CMakeFiles/gpuksel_baselines.dir/sample_select.cpp.o" "gcc" "src/baselines/CMakeFiles/gpuksel_baselines.dir/sample_select.cpp.o.d"
+  "/root/repo/src/baselines/tbs.cpp" "src/baselines/CMakeFiles/gpuksel_baselines.dir/tbs.cpp.o" "gcc" "src/baselines/CMakeFiles/gpuksel_baselines.dir/tbs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpuksel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpuksel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuksel_baselines.dir/bucket_select.cpp.o"
+  "CMakeFiles/gpuksel_baselines.dir/bucket_select.cpp.o.d"
+  "CMakeFiles/gpuksel_baselines.dir/clustered_sort.cpp.o"
+  "CMakeFiles/gpuksel_baselines.dir/clustered_sort.cpp.o.d"
+  "CMakeFiles/gpuksel_baselines.dir/cpu_select.cpp.o"
+  "CMakeFiles/gpuksel_baselines.dir/cpu_select.cpp.o.d"
+  "CMakeFiles/gpuksel_baselines.dir/qms.cpp.o"
+  "CMakeFiles/gpuksel_baselines.dir/qms.cpp.o.d"
+  "CMakeFiles/gpuksel_baselines.dir/radix_select.cpp.o"
+  "CMakeFiles/gpuksel_baselines.dir/radix_select.cpp.o.d"
+  "CMakeFiles/gpuksel_baselines.dir/sample_select.cpp.o"
+  "CMakeFiles/gpuksel_baselines.dir/sample_select.cpp.o.d"
+  "CMakeFiles/gpuksel_baselines.dir/tbs.cpp.o"
+  "CMakeFiles/gpuksel_baselines.dir/tbs.cpp.o.d"
+  "libgpuksel_baselines.a"
+  "libgpuksel_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuksel_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

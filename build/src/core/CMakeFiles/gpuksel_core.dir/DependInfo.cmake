@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hierarchical_partition.cpp" "src/core/CMakeFiles/gpuksel_core.dir/hierarchical_partition.cpp.o" "gcc" "src/core/CMakeFiles/gpuksel_core.dir/hierarchical_partition.cpp.o.d"
+  "/root/repo/src/core/kernels/hp_kernels.cpp" "src/core/CMakeFiles/gpuksel_core.dir/kernels/hp_kernels.cpp.o" "gcc" "src/core/CMakeFiles/gpuksel_core.dir/kernels/hp_kernels.cpp.o.d"
+  "/root/repo/src/core/kernels/pipeline.cpp" "src/core/CMakeFiles/gpuksel_core.dir/kernels/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/gpuksel_core.dir/kernels/pipeline.cpp.o.d"
+  "/root/repo/src/core/kernels/select_kernels.cpp" "src/core/CMakeFiles/gpuksel_core.dir/kernels/select_kernels.cpp.o" "gcc" "src/core/CMakeFiles/gpuksel_core.dir/kernels/select_kernels.cpp.o.d"
+  "/root/repo/src/core/kselect.cpp" "src/core/CMakeFiles/gpuksel_core.dir/kselect.cpp.o" "gcc" "src/core/CMakeFiles/gpuksel_core.dir/kselect.cpp.o.d"
+  "/root/repo/src/core/queues/bitonic.cpp" "src/core/CMakeFiles/gpuksel_core.dir/queues/bitonic.cpp.o" "gcc" "src/core/CMakeFiles/gpuksel_core.dir/queues/bitonic.cpp.o.d"
+  "/root/repo/src/core/queues/heap_queue.cpp" "src/core/CMakeFiles/gpuksel_core.dir/queues/heap_queue.cpp.o" "gcc" "src/core/CMakeFiles/gpuksel_core.dir/queues/heap_queue.cpp.o.d"
+  "/root/repo/src/core/queues/insertion_queue.cpp" "src/core/CMakeFiles/gpuksel_core.dir/queues/insertion_queue.cpp.o" "gcc" "src/core/CMakeFiles/gpuksel_core.dir/queues/insertion_queue.cpp.o.d"
+  "/root/repo/src/core/queues/merge_queue.cpp" "src/core/CMakeFiles/gpuksel_core.dir/queues/merge_queue.cpp.o" "gcc" "src/core/CMakeFiles/gpuksel_core.dir/queues/merge_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpuksel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuksel_core.dir/hierarchical_partition.cpp.o"
+  "CMakeFiles/gpuksel_core.dir/hierarchical_partition.cpp.o.d"
+  "CMakeFiles/gpuksel_core.dir/kernels/hp_kernels.cpp.o"
+  "CMakeFiles/gpuksel_core.dir/kernels/hp_kernels.cpp.o.d"
+  "CMakeFiles/gpuksel_core.dir/kernels/pipeline.cpp.o"
+  "CMakeFiles/gpuksel_core.dir/kernels/pipeline.cpp.o.d"
+  "CMakeFiles/gpuksel_core.dir/kernels/select_kernels.cpp.o"
+  "CMakeFiles/gpuksel_core.dir/kernels/select_kernels.cpp.o.d"
+  "CMakeFiles/gpuksel_core.dir/kselect.cpp.o"
+  "CMakeFiles/gpuksel_core.dir/kselect.cpp.o.d"
+  "CMakeFiles/gpuksel_core.dir/queues/bitonic.cpp.o"
+  "CMakeFiles/gpuksel_core.dir/queues/bitonic.cpp.o.d"
+  "CMakeFiles/gpuksel_core.dir/queues/heap_queue.cpp.o"
+  "CMakeFiles/gpuksel_core.dir/queues/heap_queue.cpp.o.d"
+  "CMakeFiles/gpuksel_core.dir/queues/insertion_queue.cpp.o"
+  "CMakeFiles/gpuksel_core.dir/queues/insertion_queue.cpp.o.d"
+  "CMakeFiles/gpuksel_core.dir/queues/merge_queue.cpp.o"
+  "CMakeFiles/gpuksel_core.dir/queues/merge_queue.cpp.o.d"
+  "libgpuksel_core.a"
+  "libgpuksel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuksel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

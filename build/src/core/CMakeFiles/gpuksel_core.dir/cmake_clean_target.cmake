@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpuksel_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/knn/dataset.cpp" "src/knn/CMakeFiles/gpuksel_knn.dir/dataset.cpp.o" "gcc" "src/knn/CMakeFiles/gpuksel_knn.dir/dataset.cpp.o.d"
+  "/root/repo/src/knn/distance.cpp" "src/knn/CMakeFiles/gpuksel_knn.dir/distance.cpp.o" "gcc" "src/knn/CMakeFiles/gpuksel_knn.dir/distance.cpp.o.d"
+  "/root/repo/src/knn/knn.cpp" "src/knn/CMakeFiles/gpuksel_knn.dir/knn.cpp.o" "gcc" "src/knn/CMakeFiles/gpuksel_knn.dir/knn.cpp.o.d"
+  "/root/repo/src/knn/rbc.cpp" "src/knn/CMakeFiles/gpuksel_knn.dir/rbc.cpp.o" "gcc" "src/knn/CMakeFiles/gpuksel_knn.dir/rbc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpuksel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpuksel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuksel_knn.dir/dataset.cpp.o"
+  "CMakeFiles/gpuksel_knn.dir/dataset.cpp.o.d"
+  "CMakeFiles/gpuksel_knn.dir/distance.cpp.o"
+  "CMakeFiles/gpuksel_knn.dir/distance.cpp.o.d"
+  "CMakeFiles/gpuksel_knn.dir/knn.cpp.o"
+  "CMakeFiles/gpuksel_knn.dir/knn.cpp.o.d"
+  "CMakeFiles/gpuksel_knn.dir/rbc.cpp.o"
+  "CMakeFiles/gpuksel_knn.dir/rbc.cpp.o.d"
+  "libgpuksel_knn.a"
+  "libgpuksel_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuksel_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuksel_util.dir/cli.cpp.o"
+  "CMakeFiles/gpuksel_util.dir/cli.cpp.o.d"
+  "CMakeFiles/gpuksel_util.dir/csv.cpp.o"
+  "CMakeFiles/gpuksel_util.dir/csv.cpp.o.d"
+  "CMakeFiles/gpuksel_util.dir/rng.cpp.o"
+  "CMakeFiles/gpuksel_util.dir/rng.cpp.o.d"
+  "CMakeFiles/gpuksel_util.dir/stats.cpp.o"
+  "CMakeFiles/gpuksel_util.dir/stats.cpp.o.d"
+  "CMakeFiles/gpuksel_util.dir/table.cpp.o"
+  "CMakeFiles/gpuksel_util.dir/table.cpp.o.d"
+  "libgpuksel_util.a"
+  "libgpuksel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuksel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

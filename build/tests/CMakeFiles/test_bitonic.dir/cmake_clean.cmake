@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitonic.dir/bitonic_test.cpp.o"
+  "CMakeFiles/test_bitonic.dir/bitonic_test.cpp.o.d"
+  "test_bitonic"
+  "test_bitonic.pdb"
+  "test_bitonic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hp.dir/hierarchical_partition_test.cpp.o"
+  "CMakeFiles/test_hp.dir/hierarchical_partition_test.cpp.o.d"
+  "test_hp"
+  "test_hp.pdb"
+  "test_hp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hp_kernels.dir/hp_kernels_test.cpp.o"
+  "CMakeFiles/test_hp_kernels.dir/hp_kernels_test.cpp.o.d"
+  "test_hp_kernels"
+  "test_hp_kernels.pdb"
+  "test_hp_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rbc.dir/rbc_test.cpp.o"
+  "CMakeFiles/test_rbc.dir/rbc_test.cpp.o.d"
+  "test_rbc"
+  "test_rbc.pdb"
+  "test_rbc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_warp_queue.dir/warp_queue_test.cpp.o"
+  "CMakeFiles/test_warp_queue.dir/warp_queue_test.cpp.o.d"
+  "test_warp_queue"
+  "test_warp_queue.pdb"
+  "test_warp_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_warp_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_simt[1]_include.cmake")
+include("/root/repo/build/tests/test_queues[1]_include.cmake")
+include("/root/repo/build/tests/test_bitonic[1]_include.cmake")
+include("/root/repo/build/tests/test_kselect[1]_include.cmake")
+include("/root/repo/build/tests/test_hp[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_hp_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_knn[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_rbc[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_warp_queue[1]_include.cmake")
