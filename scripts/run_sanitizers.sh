@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under AddressSanitizer + UBSan.
+#
+# Usage: scripts/run_sanitizers.sh [sanitizers] [build-dir]
+#   sanitizers  comma-separated -fsanitize= list (default: address,undefined)
+#   build-dir   configure directory (default: build-asan)
+#
+# This is the compiler-level complement of the repo's own SIMT sanitizer
+# (src/simt/sanitizer.hpp): the simulated-GPU checks catch kernel-level bugs,
+# ASan/UBSan catch host-level ones in the simulator itself.
+set -euo pipefail
+
+SANITIZERS="${1:-address,undefined}"
+BUILD_DIR="${2:-build-asan}"
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+cmake -B "${ROOT}/${BUILD_DIR}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGPUKSEL_SANITIZE="${SANITIZERS}"
+cmake --build "${ROOT}/${BUILD_DIR}" -j
+ctest --test-dir "${ROOT}/${BUILD_DIR}" --output-on-failure -j"$(nproc)"

@@ -32,10 +32,16 @@ std::vector<Neighbor> bucket_select(std::span<const float> dlist,
       hi = std::max(hi, n.dist);
     }
     if (!(hi > lo)) break;  // constant values: bucketing cannot refine
-    const float scale = static_cast<float>(num_buckets) / (hi - lo);
+    // The mapping runs in double: a subnormal float range makes the float
+    // scale overflow to +inf and (v - lo) * scale go NaN, scattering values
+    // into garbage buckets.
+    const double scale =
+        static_cast<double>(num_buckets) /
+        (static_cast<double>(hi) - static_cast<double>(lo));
     std::vector<std::size_t> histo(num_buckets, 0);
     auto bucket_of = [&](float v) {
-      const auto b = static_cast<std::size_t>((v - lo) * scale);
+      const auto b = static_cast<std::size_t>(
+          (static_cast<double>(v) - static_cast<double>(lo)) * scale);
       return std::min<std::size_t>(b, num_buckets - 1);
     };
     for (const Neighbor& n : cur) ++histo[bucket_of(n.dist)];

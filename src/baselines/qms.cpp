@@ -55,7 +55,8 @@ kernels::SelectOutput qms_select(simt::Device& dev,
 
   kernels::SelectOutput result;
   result.metrics =
-      dev.launch(num_queries, [&](WarpContext& ctx, std::uint32_t query) {
+      dev.launch("qms_select", num_queries,
+                 [&](WarpContext& ctx, std::uint32_t query) {
         const LaneMask all = simt::kFullMask;
         const U32 lane = WarpContext::lane_id();
 

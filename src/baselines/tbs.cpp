@@ -73,7 +73,8 @@ kernels::SelectOutput tbs_select(simt::Device& dev,
 
   kernels::SelectOutput result;
   result.metrics =
-      dev.launch(num_queries, [&](WarpContext& ctx, std::uint32_t query) {
+      dev.launch("tbs_select", num_queries,
+                 [&](WarpContext& ctx, std::uint32_t query) {
         const LaneMask all = simt::kFullMask;
         const U32 lane = WarpContext::lane_id();
 

@@ -90,7 +90,8 @@ SelectOutput hp_select(simt::Device& dev, std::span<const float> distances,
   SelectOutput out;
   // ---- Bottom-Up Construction (Algorithm 4) -------------------------------
   out.build_metrics =
-      dev.launch(num_warps, [&](WarpContext& ctx, std::uint32_t warp) {
+      dev.launch("hp_build", num_warps,
+                 [&](WarpContext& ctx, std::uint32_t warp) {
         const std::uint32_t base = warp * simt::kWarpSize;
         const int live = static_cast<int>(
             std::min<std::uint32_t>(simt::kWarpSize, num_queries - base));
@@ -148,7 +149,8 @@ SelectOutput hp_select(simt::Device& dev, std::span<const float> distances,
   // fills B, A, B, ... `top` times, so an odd descent count ends in B.
   const bool result_in_a = top % 2 == 0;
 
-  out.metrics = dev.launch(num_warps, [&](WarpContext& ctx, std::uint32_t warp) {
+  out.metrics = dev.launch("hp_topdown", num_warps,
+                           [&](WarpContext& ctx, std::uint32_t warp) {
     const std::uint32_t base = warp * simt::kWarpSize;
     const int live = static_cast<int>(
         std::min<std::uint32_t>(simt::kWarpSize, num_queries - base));

@@ -28,7 +28,8 @@ DistanceOutput gpu_distance_matrix(simt::Device& dev,
   const auto r_span = d_refs.cspan();
   auto m_span = out.matrix.span();
 
-  out.metrics = dev.launch(num_warps, [&](WarpContext& ctx, std::uint32_t warp) {
+  out.metrics = dev.launch("gpu_distance_matrix", num_warps,
+                           [&](WarpContext& ctx, std::uint32_t warp) {
     const std::uint32_t base = warp * simt::kWarpSize;
     const int live = static_cast<int>(
         std::min<std::uint32_t>(simt::kWarpSize, num_queries - base));

@@ -218,7 +218,8 @@ SelectOutput flat_select(simt::Device& dev, std::span<const float> distances,
 
   const std::uint32_t num_warps = threads / simt::kWarpSize;
   SelectOutput out;
-  out.metrics = dev.launch(num_warps, [&](WarpContext& ctx, std::uint32_t warp) {
+  out.metrics = dev.launch("flat_select", num_warps,
+                           [&](WarpContext& ctx, std::uint32_t warp) {
     const std::uint32_t base = warp * simt::kWarpSize;
     const int live = static_cast<int>(
         std::min<std::uint32_t>(simt::kWarpSize, num_queries - base));

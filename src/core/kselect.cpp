@@ -1,6 +1,8 @@
 #include "core/kselect.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "core/hierarchical_partition.hpp"
 #include "core/queues/heap_queue.hpp"
@@ -41,9 +43,25 @@ std::string_view algo_name(Algo algo) noexcept {
   return "unknown";
 }
 
+std::size_t apply_nan_policy(std::span<float> dlist, NanPolicy policy) {
+  if (policy == NanPolicy::kPropagate) return 0;
+  std::size_t nans = 0;
+  for (float& v : dlist) {
+    if (std::isnan(v)) ++nans;
+  }
+  if (nans == 0) return 0;
+  GPUKSEL_CHECK(policy != NanPolicy::kReject,
+                "NaN distance rejected by NanPolicy::kReject");
+  for (float& v : dlist) {
+    if (std::isnan(v)) v = std::numeric_limits<float>::infinity();
+  }
+  return nans;
+}
+
 std::vector<Neighbor> select_k_smallest(std::span<const float> dlist,
                                         std::uint32_t k, Algo algo) {
   GPUKSEL_CHECK(k >= 1, "select_k_smallest needs k >= 1");
+  GPUKSEL_CHECK(!dlist.empty(), "select_k_smallest needs a non-empty dlist");
   const auto take = static_cast<std::size_t>(
       std::min<std::size_t>(k, dlist.size()));
   switch (algo) {
@@ -79,6 +97,11 @@ std::vector<Neighbor> select_k_smallest_hp(std::span<const float> dlist,
                                            std::uint32_t k,
                                            std::uint32_t group_size,
                                            Algo queue_algo) {
+  GPUKSEL_CHECK(k >= 1, "select_k_smallest_hp needs k >= 1");
+  GPUKSEL_CHECK(!dlist.empty(),
+                "select_k_smallest_hp needs a non-empty dlist");
+  GPUKSEL_CHECK(group_size >= 2,
+                "hierarchical partition needs group_size >= 2");
   const HierarchicalPartition hp(dlist, group_size, k);
   switch (queue_algo) {
     case Algo::kInsertionQueue:
@@ -99,6 +122,8 @@ std::vector<Neighbor> select_k_smallest_chunked(std::span<const float> dlist,
                                                 std::size_t chunk_size,
                                                 Algo algo) {
   GPUKSEL_CHECK(k >= 1, "select_k_smallest_chunked needs k >= 1");
+  GPUKSEL_CHECK(!dlist.empty(),
+                "select_k_smallest_chunked needs a non-empty dlist");
   GPUKSEL_CHECK(chunk_size >= 1, "chunk_size must be >= 1");
   std::vector<Neighbor> survivors;
   for (std::size_t first = 0; first < dlist.size(); first += chunk_size) {
@@ -126,6 +151,13 @@ std::vector<Neighbor> select_k_oracle(std::span<const float> dlist,
   std::partial_sort(all.begin(), all.begin() + take, all.end());
   all.resize(static_cast<std::size_t>(take));
   return all;
+}
+
+std::vector<Neighbor> select_k_oracle(std::span<const float> dlist,
+                                      std::uint32_t k, NanPolicy policy) {
+  std::vector<float> cleaned(dlist.begin(), dlist.end());
+  apply_nan_policy(cleaned, policy);
+  return select_k_oracle(cleaned, k);
 }
 
 }  // namespace gpuksel

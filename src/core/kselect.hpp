@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/neighbor.hpp"
+#include "util/check.hpp"
 
 namespace gpuksel {
 
@@ -28,10 +29,18 @@ enum class Algo {
 [[nodiscard]] std::string_view algo_name(Algo algo) noexcept;
 
 /// Returns the k smallest (dist, index) pairs of `dlist`, ascending by
-/// (dist, index).  Returns min(k, N) results.  k must be >= 1.
+/// (dist, index).  Returns min(k, N) results.  k must be >= 1 and `dlist`
+/// must not be empty.
 [[nodiscard]] std::vector<Neighbor> select_k_smallest(
     std::span<const float> dlist, std::uint32_t k,
     Algo algo = Algo::kMergeQueue);
+
+/// Enforces a NaN policy on a distance list in place: kPropagate is a no-op,
+/// kReject throws PreconditionError if any element is NaN, kSortLast remaps
+/// every NaN to +infinity (after all finite data, before no real candidate —
+/// matching the simulated GPU's sanitizer under the same policy).  Returns
+/// the number of NaNs found.
+std::size_t apply_nan_policy(std::span<float> dlist, NanPolicy policy);
 
 /// Same selection routed through a Hierarchical Partition with group size G
 /// built on the fly (construction cost included, as in the paper's figures).
@@ -52,5 +61,9 @@ enum class Algo {
 /// Reference oracle used by the test-suite: partial sort by (dist, index).
 [[nodiscard]] std::vector<Neighbor> select_k_oracle(
     std::span<const float> dlist, std::uint32_t k);
+
+/// Oracle with a NaN policy applied to a copy of the input first.
+[[nodiscard]] std::vector<Neighbor> select_k_oracle(
+    std::span<const float> dlist, std::uint32_t k, NanPolicy policy);
 
 }  // namespace gpuksel

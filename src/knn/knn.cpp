@@ -10,11 +10,14 @@ BruteForceKnn::BruteForceKnn(Dataset refs) : refs_(std::move(refs)) {
 }
 
 KnnResult BruteForceKnn::search(const Dataset& queries, std::uint32_t k,
-                                Algo algo) const {
+                                Algo algo, NanPolicy nan_policy) const {
   GPUKSEL_CHECK(queries.dim == refs_.dim, "query/reference dim mismatch");
-  const auto matrix = distance_matrix_host(
+  auto matrix = distance_matrix_host(
       queries.values, refs_.values, queries.count, refs_.count, queries.dim,
       kernels::MatrixLayout::kQueryMajor);
+  // Applied to the whole matrix up front: kReject must throw outside the
+  // OpenMP region below, and kSortLast then leaves the per-query loop NaN-free.
+  apply_nan_policy(matrix, nan_policy);
   KnnResult result;
   result.neighbors.resize(queries.count);
 #pragma omp parallel for schedule(static)
@@ -31,6 +34,35 @@ KnnResult BruteForceKnn::search_gpu(simt::Device& dev, const Dataset& queries,
                                     std::uint32_t k,
                                     const GpuSearchOptions& options) const {
   GPUKSEL_CHECK(queries.dim == refs_.dim, "query/reference dim mismatch");
+  // Run the whole pipeline under the requested NaN policy, restoring the
+  // device's previous policy on every exit path.
+  const NanPolicy saved_policy = dev.sanitizer().nan_policy;
+  dev.sanitizer().nan_policy = options.nan_policy;
+  try {
+    KnnResult result = search_gpu_impl(dev, queries, k, options);
+    dev.sanitizer().nan_policy = saved_policy;
+    return result;
+  } catch (const SimtFaultError& fault) {
+    dev.sanitizer().nan_policy = saved_policy;
+    if (!options.fallback_to_host) throw;
+    // The fault aborted the pipeline mid-launch, so partial GPU output is
+    // unusable; the host path re-answers the whole batch with the same
+    // selection tie-breaking and NaN policy.
+    KnnResult result =
+        search(queries, k, options.host_fallback_algo, options.nan_policy);
+    result.faults.push_back(fault.record());
+    result.used_host_fallback = true;
+    return result;
+  } catch (...) {
+    dev.sanitizer().nan_policy = saved_policy;
+    throw;
+  }
+}
+
+KnnResult BruteForceKnn::search_gpu_impl(simt::Device& dev,
+                                         const Dataset& queries,
+                                         std::uint32_t k,
+                                         const GpuSearchOptions& options) const {
   const auto queries_dim_major = to_dim_major(queries);
   auto dist = kernels::gpu_distance_matrix(dev, queries_dim_major,
                                            refs_.values, queries.count,

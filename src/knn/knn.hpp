@@ -14,6 +14,7 @@
 #include "core/kselect.hpp"
 #include "knn/dataset.hpp"
 #include "simt/cost_model.hpp"
+#include "util/check.hpp"
 
 namespace gpuksel::knn {
 
@@ -26,15 +27,28 @@ struct KnnResult {
   simt::KernelMetrics distance_metrics;
   simt::KernelMetrics select_metrics;
   double modeled_seconds = 0.0;
+  /// SIMT faults caught during the GPU path (empty for fault-free runs).
+  std::vector<FaultRecord> faults;
+  /// True when the answer came from the host fallback after a caught fault.
+  bool used_host_fallback = false;
 };
 
 /// GPU search options: selection kernel configuration plus optional
-/// Hierarchical Partition.
+/// Hierarchical Partition, NaN handling and fault recovery.
 struct GpuSearchOptions {
   kernels::SelectConfig select;
   bool use_hierarchical_partition = true;
   std::uint32_t hp_group = 4;  ///< the paper's default G
   simt::CostModel cost_model = simt::c2075_model();
+  /// How NaN distances behave on both the GPU and host paths: kReject makes
+  /// them an error, kSortLast ranks them after every real candidate.
+  NanPolicy nan_policy = NanPolicy::kPropagate;
+  /// When true, a SimtFaultError raised by the GPU pipeline is recorded in
+  /// KnnResult::faults and the batch is re-answered on the host path (same
+  /// selection tie-breaking, same NaN policy) instead of propagating.
+  bool fallback_to_host = false;
+  /// Scalar algorithm the host fallback uses.
+  Algo host_fallback_algo = Algo::kMergeQueue;
 };
 
 class BruteForceKnn {
@@ -47,16 +61,27 @@ class BruteForceKnn {
   [[nodiscard]] const Dataset& refs() const noexcept { return refs_; }
 
   /// Host search: distance matrix with OpenMP, then the chosen scalar
-  /// selection algorithm per query.
-  [[nodiscard]] KnnResult search(const Dataset& queries, std::uint32_t k,
-                                 Algo algo = Algo::kMergeQueue) const;
+  /// selection algorithm per query.  `nan_policy` mirrors the GPU path:
+  /// kReject throws PreconditionError on any NaN distance, kSortLast ranks
+  /// NaNs after every real candidate.
+  [[nodiscard]] KnnResult search(
+      const Dataset& queries, std::uint32_t k, Algo algo = Algo::kMergeQueue,
+      NanPolicy nan_policy = NanPolicy::kPropagate) const;
 
-  /// Simulated-GPU search: the paper's full pipeline.
+  /// Simulated-GPU search: the paper's full pipeline.  The device sanitizer
+  /// runs under options.nan_policy for the duration of the call; if a
+  /// SimtFaultError escapes the pipeline and options.fallback_to_host is
+  /// set, the fault is recorded and the batch is re-answered on the host.
   [[nodiscard]] KnnResult search_gpu(simt::Device& dev, const Dataset& queries,
                                      std::uint32_t k,
                                      const GpuSearchOptions& options = {}) const;
 
  private:
+  [[nodiscard]] KnnResult search_gpu_impl(simt::Device& dev,
+                                          const Dataset& queries,
+                                          std::uint32_t k,
+                                          const GpuSearchOptions& options) const;
+
   Dataset refs_;
 };
 

@@ -67,6 +67,9 @@ std::vector<Neighbor> RandomBallCover::query(const float* q, std::uint32_t k,
       cand_dists.push_back(squared_euclidean(q, points_.row(p), points_.dim));
     }
   }
+  // All probed balls can be empty (their points claimed by other reps); the
+  // honest answer is then "no neighbors found" rather than a selection error.
+  if (cand_dists.empty()) return {};
   auto local = select_k_smallest(cand_dists, k, algo);
   for (Neighbor& n : local) n.index = cand_ids[n.index];
   // Re-sort under the *global* point ids so tie order matches exact search.

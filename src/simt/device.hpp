@@ -3,22 +3,34 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "simt/fault_injection.hpp"
 #include "simt/memory.hpp"
 #include "simt/metrics.hpp"
+#include "simt/sanitizer.hpp"
 #include "simt/warp.hpp"
 
 namespace gpuksel::simt {
 
-/// The simulated GPU.  Owns transfer statistics and runs kernels warp by
-/// warp; warps are independent (grid-level parallelism), so the launcher may
-/// execute them in any order or in parallel host threads.
+/// The simulated GPU.  Owns transfer statistics, the sanitizer configuration
+/// every launched warp checks against, an optional fault injector, and runs
+/// kernels warp by warp; warps are independent (grid-level parallelism), so
+/// the launcher may execute them in any order or in parallel host threads.
 class Device {
  public:
-  /// Allocates an uninitialised (zero-filled) device buffer of n elements.
+  /// Allocates an uninitialised device buffer of n elements: reading an
+  /// element before any store faults under the sanitizer's poison check.
   template <typename T>
-  DeviceBuffer<T> alloc(std::size_t n, T fill = T{}) {
+  DeviceBuffer<T> alloc(std::size_t n) {
+    return DeviceBuffer<T>::uninitialized(n);
+  }
+
+  /// Allocates a device buffer of n elements filled with `fill`
+  /// (cudaMemset-style: the contents count as initialized).
+  template <typename T>
+  DeviceBuffer<T> alloc(std::size_t n, T fill) {
     return DeviceBuffer<T>(n, fill);
   }
 
@@ -42,19 +54,41 @@ class Device {
   }
 
   /// Runs `kernel(WarpContext&, warp_id)` for warp_id in [0, num_warps) and
-  /// returns the metrics summed over all warps.
+  /// returns the metrics summed over all warps.  The name labels the launch
+  /// in fault reports and is the key the injector's kernel filter matches.
   template <typename Kernel>
-  KernelMetrics launch(std::size_t num_warps, Kernel&& kernel) {
+  KernelMetrics launch(const char* kernel_name, std::size_t num_warps,
+                       Kernel&& kernel) {
+    if (injector_ != nullptr) injector_->begin_launch(kernel_name, num_warps);
     KernelMetrics total;
     for (std::size_t w = 0; w < num_warps; ++w) {
       KernelMetrics per_warp;
-      WarpContext ctx(per_warp, static_cast<std::uint32_t>(w));
+      WarpContext ctx(per_warp, static_cast<std::uint32_t>(w), &sanitizer_,
+                      injector_, kernel_name);
       kernel(ctx, static_cast<std::uint32_t>(w));
       total += per_warp;
     }
     last_launch_ = total;
     cumulative_ += total;
     return total;
+  }
+
+  template <typename Kernel>
+  KernelMetrics launch(std::size_t num_warps, Kernel&& kernel) {
+    return launch("kernel", num_warps, std::forward<Kernel>(kernel));
+  }
+
+  [[nodiscard]] SanitizerConfig& sanitizer() noexcept { return sanitizer_; }
+  [[nodiscard]] const SanitizerConfig& sanitizer() const noexcept {
+    return sanitizer_;
+  }
+
+  /// Attaches (or with nullptr detaches) a fault injector; not owned.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+  [[nodiscard]] FaultInjector* fault_injector() const noexcept {
+    return injector_;
   }
 
   [[nodiscard]] const KernelMetrics& last_launch() const noexcept {
@@ -78,6 +112,8 @@ class Device {
   KernelMetrics last_launch_;
   KernelMetrics cumulative_;
   TransferStats transfers_;
+  SanitizerConfig sanitizer_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace gpuksel::simt

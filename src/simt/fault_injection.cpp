@@ -1,0 +1,88 @@
+#include "simt/fault_injection.hpp"
+
+#include "util/check.hpp"
+
+namespace gpuksel::simt {
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche mix so consecutive access counters
+/// land on uncorrelated decisions.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// The index-th active lane of `m` (wrapping), for picking a victim lane.
+int nth_active_lane(LaneMask m, std::uint32_t nth) noexcept {
+  const int active = popcount(m);
+  if (active == 0) return -1;
+  std::uint32_t target = nth % static_cast<std::uint32_t>(active);
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (!lane_active(m, i)) continue;
+    if (target == 0) return i;
+    --target;
+  }
+  return -1;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(InjectorConfig cfg) : cfg_(std::move(cfg)) {
+  GPUKSEL_CHECK(cfg_.period >= 1, "injector period must be >= 1");
+}
+
+void FaultInjector::begin_launch(const char* kernel, std::size_t num_warps) {
+  current_kernel_ = kernel != nullptr ? kernel : "kernel";
+  kernel_enabled_ =
+      cfg_.kernel_filter.empty() || cfg_.kernel_filter == current_kernel_;
+  access_counts_.assign(num_warps, 0);
+}
+
+std::optional<PlannedFault> FaultInjector::on_global_access(
+    std::uint32_t warp_id, LaneMask active, bool is_load, bool is_float) {
+  if (warp_id >= access_counts_.size()) {
+    // Direct WarpContext construction outside Device::launch; not tracked.
+    return std::nullopt;
+  }
+  const std::uint64_t access = access_counts_[warp_id]++;
+  if (!kernel_enabled_ || active == 0) return std::nullopt;
+  if (cfg_.max_faults != 0 && fault_count() >= cfg_.max_faults) {
+    return std::nullopt;
+  }
+  // Stores only take address faults; value faults are load-side so every
+  // corruption is observable on-device (see header).
+  if (!is_load && cfg_.kind != InjectKind::kOobIndex) return std::nullopt;
+  if ((cfg_.kind == InjectKind::kNanInject ||
+       cfg_.kind == InjectKind::kLaneDrop) &&
+      !is_float) {
+    return std::nullopt;
+  }
+
+  const std::uint64_t h =
+      mix64(cfg_.seed ^ mix64(warp_id * 0x51ed2701u + 1) ^ mix64(access));
+  if (h % cfg_.period != 0) return std::nullopt;
+
+  const std::uint64_t h2 = mix64(h);
+  PlannedFault fault;
+  fault.kind = cfg_.kind;
+  fault.lane = nth_active_lane(active, static_cast<std::uint32_t>(h2));
+  fault.bit = static_cast<int>((h2 >> 32) % 32);
+  fault.oob_extra = 1 + static_cast<std::uint32_t>((h2 >> 40) % 64);
+  if (fault.lane < 0) return std::nullopt;
+
+  events_.push_back(InjectionEvent{current_kernel_, warp_id, access, fault.kind,
+                                   fault.lane, fault.bit, fault.oob_extra});
+  return fault;
+}
+
+void FaultInjector::reset() {
+  events_.clear();
+  access_counts_.clear();
+  current_kernel_.clear();
+  kernel_enabled_ = false;
+}
+
+}  // namespace gpuksel::simt

@@ -1,0 +1,121 @@
+// Deterministic, seeded fault injection for the SIMT simulator.
+//
+// A FaultInjector attaches to a Device (Device::set_fault_injector) and is
+// consulted by WarpContext on every global load/store.  Whether a given
+// access is faulted is a pure function of (seed, kernel filter, warp id,
+// per-warp access counter): the counter is reset at every launch, so the
+// same program with the same seed always faults the same access in the same
+// way — runs are reproducible bug reports, not heisenbugs.
+//
+// Four fault classes model the hardware failure modes a production k-NN
+// service has to survive:
+//  * kBitFlip   — one bit of one loaded word is flipped (cosmic-ray upset;
+//                 caught by the sanitizer's ECC shadow checksum);
+//  * kNanInject — a loaded float becomes quiet NaN (hostile/corrupt
+//                 distances; caught by NanPolicy::kReject, sorted last under
+//                 kSortLast);
+//  * kLaneDrop  — one active lane's load is dropped and its destination
+//                 register poisoned with NaN (lane falling out of lockstep);
+//  * kOobIndex  — one lane's effective address is pushed past the end of the
+//                 buffer (bad indexing; caught by the bounds check).
+//
+// Loads are eligible for every class; stores only for kOobIndex — a
+// corrupted store that is never re-read on-device could silently flow into
+// results extracted host-side, violating the detected-or-masked contract the
+// fault-injection tests enforce.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simt/types.hpp"
+
+namespace gpuksel::simt {
+
+enum class InjectKind {
+  kBitFlip,
+  kNanInject,
+  kLaneDrop,
+  kOobIndex,
+};
+
+[[nodiscard]] constexpr const char* inject_kind_name(InjectKind kind) noexcept {
+  switch (kind) {
+    case InjectKind::kBitFlip: return "bit-flip";
+    case InjectKind::kNanInject: return "nan-inject";
+    case InjectKind::kLaneDrop: return "lane-drop";
+    case InjectKind::kOobIndex: return "oob-index";
+  }
+  return "unknown";
+}
+
+struct InjectorConfig {
+  InjectKind kind = InjectKind::kBitFlip;
+  std::uint64_t seed = 0;
+  /// On average one in `period` eligible accesses is faulted.
+  std::uint64_t period = 256;
+  /// Stop injecting after this many faults (0 = unlimited).
+  std::uint32_t max_faults = 1;
+  /// Only fault launches whose kernel name equals this (empty = all) — the
+  /// hook for targeting one pipeline phase.
+  std::string kernel_filter;
+};
+
+/// The concrete corruption chosen for one access.
+struct PlannedFault {
+  InjectKind kind = InjectKind::kBitFlip;
+  int lane = 0;               ///< victim lane (always active in the mask)
+  int bit = 0;                ///< bit to flip (kBitFlip)
+  std::uint32_t oob_extra = 1;  ///< elements past the end (kOobIndex)
+};
+
+/// What was injected, for determinism assertions and fault logs.
+struct InjectionEvent {
+  std::string kernel;
+  std::uint32_t warp_id = 0;
+  std::uint64_t access = 0;  ///< per-warp global-access ordinal in the launch
+  InjectKind kind = InjectKind::kBitFlip;
+  int lane = 0;
+  int bit = 0;
+  std::uint32_t oob_extra = 0;
+
+  friend bool operator==(const InjectionEvent&,
+                         const InjectionEvent&) = default;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(InjectorConfig cfg);
+
+  /// Called by Device::launch before the first warp runs: resets the
+  /// per-warp access counters that make decisions launch-deterministic.
+  void begin_launch(const char* kernel, std::size_t num_warps);
+
+  /// Consulted once per global load/store instruction.  Returns the fault to
+  /// apply to this access, or nullopt to leave it untouched.  `is_load` and
+  /// `is_float` gate the eligible fault classes (see file comment).
+  [[nodiscard]] std::optional<PlannedFault> on_global_access(
+      std::uint32_t warp_id, LaneMask active, bool is_load, bool is_float);
+
+  [[nodiscard]] const InjectorConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const std::vector<InjectionEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::uint32_t fault_count() const noexcept {
+    return static_cast<std::uint32_t>(events_.size());
+  }
+
+  /// Clears the event log and counters (fresh run with the same config).
+  void reset();
+
+ private:
+  InjectorConfig cfg_;
+  std::string current_kernel_;
+  bool kernel_enabled_ = false;
+  std::vector<std::uint64_t> access_counts_;  ///< per warp, this launch
+  std::vector<InjectionEvent> events_;
+};
+
+}  // namespace gpuksel::simt

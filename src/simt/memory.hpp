@@ -5,6 +5,14 @@
 // GDDR5 granularity of the paper's Tesla C2075.  Each buffer is modeled as
 // starting on a transaction boundary, so transaction counts depend only on
 // the element indices a warp touches — deterministic and unit-testable.
+//
+// Every buffer also carries shadow memory for the sanitizer (sanitizer.hpp):
+// one byte per element recording whether the element was ever written and a
+// 7-bit checksum of its current value.  WarpContext consults the shadow on
+// loads (uninitialized-read poisoning, ECC-style corruption detection) and
+// refreshes it on stores.  Host-side mutation through the non-const host()
+// accessor marks the shadow dirty; the next span() recomputes it, modeling a
+// host->device memcpy of freshly initialized data.
 #pragma once
 
 #include <cstddef>
@@ -12,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "simt/sanitizer.hpp"
 #include "util/check.hpp"
 
 namespace gpuksel::simt {
@@ -27,12 +36,13 @@ template <typename T>
 class DeviceSpan {
  public:
   DeviceSpan() = default;
-  DeviceSpan(T* data, std::size_t size, std::size_t byte_offset = 0) noexcept
-      : data_(data), size_(size), byte_offset_(byte_offset) {}
+  DeviceSpan(T* data, std::size_t size, std::size_t byte_offset = 0,
+             std::uint8_t* shadow = nullptr) noexcept
+      : data_(data), size_(size), byte_offset_(byte_offset), shadow_(shadow) {}
 
   /// Implicit widening to a const view.
   operator DeviceSpan<const T>() const noexcept {  // NOLINT(google-explicit-constructor)
-    return DeviceSpan<const T>(data_, size_, byte_offset_);
+    return DeviceSpan<const T>(data_, size_, byte_offset_, shadow_);
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
@@ -54,23 +64,50 @@ class DeviceSpan {
 
   /// Sub-span of `count` elements starting at `first`.
   [[nodiscard]] DeviceSpan subspan(std::size_t first, std::size_t count) const {
-    GPUKSEL_CHECK(first + count <= size_, "device subspan out of range");
-    return DeviceSpan(data_ + first, count, byte_offset(first));
+    // Written to be overflow-proof: `first + count <= size_` can wrap for
+    // huge `first`, silently accepting a wild view.
+    GPUKSEL_CHECK(first <= size_ && count <= size_ - first,
+                  "device subspan out of range");
+    return DeviceSpan(data_ + first, count, byte_offset(first),
+                      shadow_ != nullptr ? shadow_ + first : nullptr);
+  }
+
+  /// Sanitizer shadow byte of element i (kShadowUninit if never written).
+  [[nodiscard]] bool has_shadow() const noexcept { return shadow_ != nullptr; }
+  [[nodiscard]] std::uint8_t shadow_at(std::size_t i) const noexcept {
+    return shadow_[i];
+  }
+  void set_shadow(std::size_t i, std::uint8_t value) const noexcept {
+    shadow_[i] = value;
   }
 
  private:
   T* data_ = nullptr;
   std::size_t size_ = 0;
   std::size_t byte_offset_ = 0;
+  std::uint8_t* shadow_ = nullptr;
 };
 
-/// An owning device allocation.
+/// An owning device allocation with sanitizer shadow memory.
 template <typename T>
 class DeviceBuffer {
  public:
   DeviceBuffer() = default;
-  explicit DeviceBuffer(std::size_t n, T fill = T{}) : storage_(n, fill) {}
-  explicit DeviceBuffer(std::vector<T> host) : storage_(std::move(host)) {}
+  explicit DeviceBuffer(std::size_t n, T fill = T{})
+      : storage_(n, fill), shadow_(n, shadow_of(fill)) {}
+  explicit DeviceBuffer(std::vector<T> host) : storage_(std::move(host)) {
+    rebuild_shadow();
+  }
+
+  /// A buffer whose contents are garbage until written: reading an element
+  /// before any store faults under the sanitizer's poison check.  (Elements
+  /// are value-initialized under the hood; only the shadow says "uninit".)
+  [[nodiscard]] static DeviceBuffer uninitialized(std::size_t n) {
+    DeviceBuffer buf;
+    buf.storage_.assign(n, T{});
+    buf.shadow_.assign(n, kShadowUninit);
+    return buf;
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
   [[nodiscard]] std::size_t bytes() const noexcept {
@@ -78,18 +115,42 @@ class DeviceBuffer {
   }
 
   [[nodiscard]] DeviceSpan<T> span() noexcept {
-    return DeviceSpan<T>(storage_.data(), storage_.size());
+    refresh_shadow_if_dirty();
+    return DeviceSpan<T>(storage_.data(), storage_.size(), 0, shadow_.data());
   }
   [[nodiscard]] DeviceSpan<const T> cspan() const noexcept {
-    return DeviceSpan<const T>(storage_.data(), storage_.size());
+    refresh_shadow_if_dirty();
+    return DeviceSpan<const T>(storage_.data(), storage_.size(), 0,
+                               shadow_.data());
   }
 
-  /// Simulator-side view of the contents (tests and host verification).
+  /// Simulator-side view of the contents (tests and host verification).  The
+  /// mutable overload counts as a host write: the shadow is rebuilt (and the
+  /// whole buffer considered initialized) at the next span()/cspan().
   [[nodiscard]] const std::vector<T>& host() const noexcept { return storage_; }
-  [[nodiscard]] std::vector<T>& host() noexcept { return storage_; }
+  [[nodiscard]] std::vector<T>& host() noexcept {
+    shadow_dirty_ = true;
+    return storage_;
+  }
 
  private:
+  void rebuild_shadow() const {
+    shadow_.resize(storage_.size());
+    for (std::size_t i = 0; i < storage_.size(); ++i) {
+      shadow_[i] = shadow_of(storage_[i]);
+    }
+  }
+  void refresh_shadow_if_dirty() const noexcept {
+    if (!shadow_dirty_) return;
+    rebuild_shadow();
+    shadow_dirty_ = false;
+  }
+
   std::vector<T> storage_;
+  // Shadow state is metadata about storage_, not logical buffer content, so
+  // const views may refresh it.
+  mutable std::vector<std::uint8_t> shadow_;
+  mutable bool shadow_dirty_ = false;
 };
 
 /// PCIe-like host<->device link model.  The paper's "Data Copy" row measures

@@ -1,0 +1,27 @@
+#include "simt/sanitizer.hpp"
+
+#include <sstream>
+
+namespace gpuksel::simt {
+
+std::string to_string(const SanitizerConfig& cfg) {
+  std::ostringstream os;
+  bool any = false;
+  const auto add = [&](bool on, const char* name) {
+    if (!on) return;
+    if (any) os << '+';
+    os << name;
+    any = true;
+  };
+  add(cfg.bounds, "bounds");
+  add(cfg.poison, "poison");
+  add(cfg.ecc, "ecc");
+  add(cfg.lockstep, "lockstep");
+  if (!any) os << "off";
+  os << " nan=" << nan_policy_name(cfg.nan_policy);
+  return os.str();
+}
+
+void raise_fault(FaultRecord record) { throw SimtFaultError(std::move(record)); }
+
+}  // namespace gpuksel::simt

@@ -1,0 +1,80 @@
+// SanitizerConfig: the always-on safety net of the simulated SIMT machine.
+//
+// Real GPU debugging relies on external tools (cuda-memcheck, compute
+// sanitizer); a functional simulator can do better and make the checks part
+// of the machine.  Every Device owns a SanitizerConfig and hands it to each
+// WarpContext it launches, so every global load/store, shared access and
+// shuffle is validated as it executes:
+//
+//  * bounds       — global loads/stores must index inside the span;
+//  * poison       — loading an element no store (or upload) ever wrote is a
+//                   fault, modeled with one shadow byte per element;
+//  * ecc          — the same shadow byte stores a 7-bit checksum of the
+//                   element, so any single-bit corruption of device memory is
+//                   detected at the next load (ECC-style integrity);
+//  * lockstep     — warp-level invariants: shuffles must source active lanes,
+//                   colliding stores under a mask fault, shared indices stay
+//                   in range;
+//  * nan_policy   — float loads may reject or remap NaN (hostile distances).
+//
+// Faults throw SimtFaultError (util/check.hpp) carrying kernel name, warp id
+// and retired-instruction count.  Constructing a WarpContext directly (unit
+// tests) leaves the sanitizer pointer null: legacy permissive behavior.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace gpuksel::simt {
+
+struct SanitizerConfig {
+  bool bounds = true;    ///< global-memory bounds checks
+  bool poison = true;    ///< uninitialized-read detection
+  bool ecc = true;       ///< shadow-checksum integrity verification on loads
+  bool lockstep = true;  ///< shuffle-source / store-collision / shared-OOB
+  NanPolicy nan_policy = NanPolicy::kPropagate;
+
+  /// All checks off — the pre-sanitizer simulator behavior.
+  [[nodiscard]] static constexpr SanitizerConfig off() noexcept {
+    return SanitizerConfig{false, false, false, false, NanPolicy::kPropagate};
+  }
+};
+
+/// One-line human-readable summary ("bounds+poison+ecc+lockstep nan=reject").
+[[nodiscard]] std::string to_string(const SanitizerConfig& cfg);
+
+// --- shadow memory encoding -------------------------------------------------
+//
+// One byte per element.  0x00 means "never written".  A written element holds
+// 0x80 | fold7(bytes): bit 7 marks initialized, bits 0..6 hold the element's
+// bytes XOR-folded to 7 bits.  Flipping any single bit of a 4-byte element
+// flips exactly one bit of the fold, so every single-bit corruption is
+// detected; multi-bit corruptions are detected unless they cancel in the
+// fold (the same guarantee class as SEC-DED ECC's detection side).
+
+inline constexpr std::uint8_t kShadowUninit = 0x00;
+
+/// 7-bit XOR fold of an element's object representation, tagged initialized.
+template <typename T>
+[[nodiscard]] inline std::uint8_t shadow_of(const T& value) noexcept {
+  static_assert(sizeof(T) <= 16, "shadow fold expects small scalar elements");
+  unsigned char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  std::uint8_t fold = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    fold = static_cast<std::uint8_t>(fold ^ bytes[i]);
+  }
+  // Fold 8 bits down to 7 so bit 7 is free for the initialized tag.
+  fold = static_cast<std::uint8_t>((fold ^ (fold >> 7)) & 0x7f);
+  return static_cast<std::uint8_t>(0x80 | fold);
+}
+
+/// Throws SimtFaultError for `record`; the single funnel every sanitizer
+/// check reports through (kept out of line so warp.hpp stays lean).
+[[noreturn]] void raise_fault(FaultRecord record);
+
+}  // namespace gpuksel::simt

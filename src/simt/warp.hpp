@@ -19,11 +19,19 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <cstdint>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
 #include <type_traits>
 
+#include "simt/fault_injection.hpp"
 #include "simt/memory.hpp"
 #include "simt/metrics.hpp"
+#include "simt/sanitizer.hpp"
 #include "simt/types.hpp"
 #include "util/check.hpp"
 
@@ -31,14 +39,36 @@ namespace gpuksel::simt {
 
 class WarpContext {
  public:
-  WarpContext(KernelMetrics& metrics, std::uint32_t warp_id) noexcept
-      : metrics_(metrics), warp_id_(warp_id) {}
+  /// Direct construction (unit tests) leaves `sanitizer` null: no checks, the
+  /// legacy permissive machine.  Device::launch always passes its sanitizer.
+  WarpContext(KernelMetrics& metrics, std::uint32_t warp_id,
+              const SanitizerConfig* sanitizer = nullptr,
+              FaultInjector* injector = nullptr,
+              const char* kernel_name = "kernel") noexcept
+      : metrics_(metrics),
+        warp_id_(warp_id),
+        sanitizer_(sanitizer),
+        injector_(injector),
+        kernel_name_(kernel_name) {}
 
   WarpContext(const WarpContext&) = delete;
   WarpContext& operator=(const WarpContext&) = delete;
 
   [[nodiscard]] std::uint32_t warp_id() const noexcept { return warp_id_; }
   [[nodiscard]] KernelMetrics& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const SanitizerConfig* sanitizer() const noexcept {
+    return sanitizer_;
+  }
+  [[nodiscard]] const char* kernel_name() const noexcept {
+    return kernel_name_;
+  }
+
+  /// Reports a sanitizer fault with full execution context (public so that
+  /// SharedArray can report through its owning context).
+  [[noreturn]] void fault(FaultKind kind, int lane, std::string detail) const {
+    raise_fault(FaultRecord{kind, kernel_name_, warp_id_,
+                            metrics_.instructions, lane, std::move(detail)});
+  }
 
   /// The canonical lane-index register (threadIdx.x % 32).  Free: it is a
   /// hardware special register.
@@ -185,8 +215,15 @@ class WarpContext {
   }
 
   /// __shfl_sync: every active lane reads `src` from lane `from[i] % 32`.
+  /// Reading from a lane outside the mask returns stale data on hardware;
+  /// the sanitizer's lockstep check faults instead.
   template <typename T>
-  WarpVar<T> shfl(LaneMask m, const WarpVar<T>& src, const U32& from) noexcept {
+  WarpVar<T> shfl(LaneMask m, const WarpVar<T>& src, const U32& from) {
+    if (lockstep_on()) {
+      for_active(m, [&](int i) {
+        check_shuffle_source(m, i, static_cast<int>(from[i] % kWarpSize));
+      });
+    }
     WarpVar<T> r = src;
     alu(m, r, [&](int i) { return src[from[i] % kWarpSize]; });
     return r;
@@ -194,7 +231,12 @@ class WarpContext {
 
   /// __shfl_xor_sync with a compile-time lane mask (butterfly step).
   template <typename T>
-  WarpVar<T> shfl_xor(LaneMask m, const WarpVar<T>& src, int lanemask) noexcept {
+  WarpVar<T> shfl_xor(LaneMask m, const WarpVar<T>& src, int lanemask) {
+    if (lockstep_on()) {
+      for_active(m, [&](int i) {
+        check_shuffle_source(m, i, (i ^ lanemask) % kWarpSize);
+      });
+    }
     WarpVar<T> r = src;
     alu(m, r, [&](int i) { return src[i ^ lanemask]; });
     return r;
@@ -202,7 +244,10 @@ class WarpContext {
 
   /// Broadcast the value held by `src_lane` to all active lanes.
   template <typename T>
-  WarpVar<T> shfl_bcast(LaneMask m, const WarpVar<T>& src, int src_lane) noexcept {
+  WarpVar<T> shfl_bcast(LaneMask m, const WarpVar<T>& src, int src_lane) {
+    if (lockstep_on() && m != 0) {
+      check_shuffle_source(m, lowest_lane(m), src_lane % kWarpSize);
+    }
     WarpVar<T> r = src;
     alu(m, r, [&](int) { return src[src_lane % kWarpSize]; });
     return r;
@@ -212,12 +257,23 @@ class WarpContext {
 
   /// Gather: dst[i] = span[idx[i]] for active lanes.  One instruction, one
   /// request, and one transaction per distinct 128-byte segment touched.
+  ///
+  /// Under a sanitizer the load additionally runs, in order: fault injection
+  /// on the effective address, bounds check, uninitialized-read check, fault
+  /// injection on the loaded values, ECC shadow verification, NaN policy.
   template <typename T>
   WarpVar<T> load(LaneMask m, DeviceSpan<const T> span, const U32& idx) {
     WarpVar<T> r{};
     issue(m);
-    charge_transactions<T>(m, span, idx, /*is_store=*/false);
-    for_active(m, [&](int i) { r[i] = span.at(idx[i]); });
+    const auto planned = consult_injector<T>(m, /*is_load=*/true);
+    U32 eidx = idx;
+    if (planned) apply_index_fault(*planned, span.size(), eidx);
+    check_bounds(m, span.size(), eidx, /*is_store=*/false);
+    charge_transactions<T>(m, span, eidx, /*is_store=*/false);
+    check_initialized(m, span, eidx);
+    for_active(m, [&](int i) { r[i] = span.at(eidx[i]); });
+    if (planned) apply_value_fault(*planned, r);
+    verify_loaded(m, span, eidx, r);
     return r;
   }
 
@@ -228,13 +284,23 @@ class WarpContext {
 
   /// Scatter: span[idx[i]] = v[i] for active lanes.  Lanes writing the same
   /// address commit in lane order (highest lane wins), matching CUDA's
-  /// undefined-but-single-winner semantics deterministically.
+  /// undefined-but-single-winner semantics deterministically — unless the
+  /// sanitizer's lockstep check is on, in which case a collision faults (all
+  /// kernels in this repo write thread-distinct addresses).
   template <typename T>
   void store(LaneMask m, DeviceSpan<T> span, const U32& idx,
              const WarpVar<T>& v) {
     issue(m);
-    charge_transactions<T>(m, span, idx, /*is_store=*/true);
-    for_active(m, [&](int i) { span.at(idx[i]) = v[i]; });
+    const auto planned = consult_injector<T>(m, /*is_load=*/false);
+    U32 eidx = idx;
+    if (planned) apply_index_fault(*planned, span.size(), eidx);
+    check_bounds(m, span.size(), eidx, /*is_store=*/true);
+    check_store_collisions(m, eidx);
+    charge_transactions<T>(m, span, eidx, /*is_store=*/true);
+    for_active(m, [&](int i) {
+      span.at(eidx[i]) = v[i];
+      if (span.has_shadow()) span.set_shadow(eidx[i], shadow_of(v[i]));
+    });
   }
 
   /// Store an immediate to span[idx[i]] for active lanes.
@@ -281,6 +347,138 @@ class WarpContext {
     }
   }
 
+  // --- sanitizer / fault-injection plumbing ---------------------------------
+
+  [[nodiscard]] bool lockstep_on() const noexcept {
+    return sanitizer_ != nullptr && sanitizer_->lockstep;
+  }
+  [[nodiscard]] bool bounds_on() const noexcept {
+    return sanitizer_ != nullptr && sanitizer_->bounds;
+  }
+
+  void check_shuffle_source(LaneMask m, int lane, int src_lane) const {
+    if (lane_active(m, src_lane)) return;
+    std::ostringstream os;
+    os << "shuffle reads lane " << src_lane << " which is inactive in mask 0x"
+       << std::hex << m;
+    fault(FaultKind::kShuffleInactiveSource, lane, os.str());
+  }
+
+  template <typename T>
+  std::optional<PlannedFault> consult_injector(LaneMask m, bool is_load) {
+    if (injector_ == nullptr) return std::nullopt;
+    return injector_->on_global_access(warp_id_, m, is_load,
+                                       std::is_floating_point_v<T>);
+  }
+
+  /// Applies the address-corrupting fault class.  Only armed when the bounds
+  /// check will catch it — otherwise the simulator itself would read out of
+  /// range, which models nothing.
+  void apply_index_fault(const PlannedFault& planned, std::size_t size,
+                         U32& eidx) const noexcept {
+    if (planned.kind != InjectKind::kOobIndex || !bounds_on()) return;
+    eidx[planned.lane] = static_cast<std::uint32_t>(size + planned.oob_extra);
+  }
+
+  /// Applies the value-corrupting fault classes to freshly loaded registers.
+  template <typename T>
+  void apply_value_fault(const PlannedFault& planned, WarpVar<T>& r) const {
+    switch (planned.kind) {
+      case InjectKind::kBitFlip:
+        if constexpr (sizeof(T) == 4) {
+          auto word = std::bit_cast<std::uint32_t>(r[planned.lane]);
+          word ^= (1u << planned.bit);
+          r[planned.lane] = std::bit_cast<T>(word);
+        }
+        break;
+      case InjectKind::kNanInject:
+      case InjectKind::kLaneDrop:
+        // A dropped lane leaves its destination register unwritten; the
+        // simulator poisons it so the loss is observable, like NaN injection.
+        if constexpr (std::is_floating_point_v<T>) {
+          r[planned.lane] = std::numeric_limits<T>::quiet_NaN();
+        }
+        break;
+      case InjectKind::kOobIndex:
+        break;  // applied to the address, not the value
+    }
+  }
+
+  void check_bounds(LaneMask m, std::size_t size, const U32& idx,
+                    bool is_store) const {
+    if (!bounds_on()) return;
+    for_active(m, [&](int i) {
+      if (idx[i] < size) return;
+      std::ostringstream os;
+      os << "global " << (is_store ? "store" : "load") << " index " << idx[i]
+         << " >= size " << size;
+      fault(FaultKind::kOutOfBounds, i, os.str());
+    });
+  }
+
+  template <typename T>
+  void check_initialized(LaneMask m, DeviceSpan<const T> span,
+                         const U32& idx) const {
+    if (sanitizer_ == nullptr || !sanitizer_->poison || !span.has_shadow()) {
+      return;
+    }
+    for_active(m, [&](int i) {
+      if (span.shadow_at(idx[i]) != kShadowUninit) return;
+      std::ostringstream os;
+      os << "global load of element " << idx[i] << " before any store";
+      fault(FaultKind::kUninitializedRead, i, os.str());
+    });
+  }
+
+  /// ECC decode at the consumer: the loaded (possibly injector-corrupted)
+  /// register must match the shadow checksum written alongside the element.
+  /// Runs before NaN remapping so a legitimate stored NaN never false-trips.
+  template <typename T>
+  void verify_loaded(LaneMask m, DeviceSpan<const T> span, const U32& idx,
+                     WarpVar<T>& r) const {
+    if (sanitizer_ == nullptr) return;
+    if (sanitizer_->ecc && span.has_shadow()) {
+      for_active(m, [&](int i) {
+        const std::uint8_t expect = span.shadow_at(idx[i]);
+        if (expect == kShadowUninit || shadow_of(r[i]) == expect) return;
+        std::ostringstream os;
+        os << "loaded word at element " << idx[i]
+           << " disagrees with its shadow checksum (corrupted memory)";
+        fault(FaultKind::kEccMismatch, i, os.str());
+      });
+    }
+    if constexpr (std::is_floating_point_v<T>) {
+      if (sanitizer_->nan_policy == NanPolicy::kReject) {
+        for_active(m, [&](int i) {
+          if (!std::isnan(r[i])) return;
+          std::ostringstream os;
+          os << "NaN loaded from element " << idx[i]
+             << " under NanPolicy::kReject";
+          fault(FaultKind::kNanDistance, i, os.str());
+        });
+      } else if (sanitizer_->nan_policy == NanPolicy::kSortLast) {
+        for_active(m, [&](int i) {
+          if (std::isnan(r[i])) r[i] = std::numeric_limits<T>::infinity();
+        });
+      }
+    }
+  }
+
+  void check_store_collisions(LaneMask m, const U32& idx) const {
+    if (!lockstep_on()) return;
+    for (int i = 0; i < kWarpSize; ++i) {
+      if (!lane_active(m, i)) continue;
+      for (int j = i + 1; j < kWarpSize; ++j) {
+        if (!lane_active(m, j) || idx[i] != idx[j]) continue;
+        std::ostringstream os;
+        os << "lanes " << i << " and " << j
+           << " both store to element " << idx[i] << " under mask 0x"
+           << std::hex << m;
+        fault(FaultKind::kStoreCollision, j, os.str());
+      }
+    }
+  }
+
   template <typename T, typename SpanT>
   void charge_transactions(LaneMask m, const SpanT& span, const U32& idx,
                            bool is_store) {
@@ -308,6 +506,9 @@ class WarpContext {
 
   KernelMetrics& metrics_;
   std::uint32_t warp_id_;
+  const SanitizerConfig* sanitizer_ = nullptr;
+  FaultInjector* injector_ = nullptr;
+  const char* kernel_name_ = "kernel";
 };
 
 /// Per-warp shared-memory array with bank-conflict accounting.  The paper
@@ -326,6 +527,7 @@ class SharedArray {
 
   /// Gather from shared memory.
   WarpVar<T> read(LaneMask m, const U32& idx) {
+    check_indices(m, idx);
     charge(m, idx);
     WarpVar<T> r{};
     for (int i = 0; i < kWarpSize; ++i) {
@@ -334,8 +536,11 @@ class SharedArray {
     return r;
   }
 
-  /// Scatter to shared memory (highest active lane wins on collisions).
+  /// Scatter to shared memory (highest active lane wins on collisions when
+  /// the sanitizer is off; a fault when its lockstep check is on).
   void write(LaneMask m, const U32& idx, const WarpVar<T>& v) {
+    check_indices(m, idx);
+    check_collisions(m, idx);
     charge(m, idx);
     for (int i = 0; i < kWarpSize; ++i) {
       if (lane_active(m, i)) at(idx[i]) = v[i];
@@ -344,12 +549,15 @@ class SharedArray {
 
   /// All active lanes read slot `slot` (a broadcast: conflict-free).
   WarpVar<T> read_bcast(LaneMask m, std::size_t slot) {
+    check_slot(slot);
     charge(m, U32::filled(static_cast<std::uint32_t>(slot)));
     return WarpVar<T>::filled(at(slot));
   }
 
-  /// All active lanes write `value` to slot `slot` (the paper's flag write).
+  /// All active lanes write `value` to slot `slot` (the paper's flag write;
+  /// a deliberate single-address broadcast, exempt from the collision check).
   void write_bcast(LaneMask m, std::size_t slot, T value) {
+    check_slot(slot);
     charge(m, U32::filled(static_cast<std::uint32_t>(slot)));
     at(slot) = value;
   }
@@ -361,6 +569,41 @@ class SharedArray {
   T& at(std::size_t i) {
     GPUKSEL_DEBUG_ASSERT(i < data_.size());
     return data_[i];
+  }
+
+  [[nodiscard]] bool lockstep_on() const noexcept {
+    return ctx_.sanitizer() != nullptr && ctx_.sanitizer()->lockstep;
+  }
+
+  void check_indices(LaneMask m, const U32& idx) const {
+    if (!lockstep_on()) return;
+    for (int i = 0; i < kWarpSize; ++i) {
+      if (!lane_active(m, i) || idx[i] < data_.size()) continue;
+      std::ostringstream os;
+      os << "shared index " << idx[i] << " >= array size " << data_.size();
+      ctx_.fault(FaultKind::kSharedOutOfBounds, i, os.str());
+    }
+  }
+
+  void check_slot(std::size_t slot) const {
+    if (!lockstep_on() || slot < data_.size()) return;
+    std::ostringstream os;
+    os << "shared slot " << slot << " >= array size " << data_.size();
+    ctx_.fault(FaultKind::kSharedOutOfBounds, -1, os.str());
+  }
+
+  void check_collisions(LaneMask m, const U32& idx) const {
+    if (!lockstep_on()) return;
+    for (int i = 0; i < kWarpSize; ++i) {
+      if (!lane_active(m, i)) continue;
+      for (int j = i + 1; j < kWarpSize; ++j) {
+        if (!lane_active(m, j) || idx[i] != idx[j]) continue;
+        std::ostringstream os;
+        os << "lanes " << i << " and " << j << " both write shared element "
+           << idx[i];
+        ctx_.fault(FaultKind::kStoreCollision, j, os.str());
+      }
+    }
   }
 
   void charge(LaneMask m, const U32& idx) {

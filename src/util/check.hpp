@@ -5,9 +5,11 @@
 // in release builds and guards internal invariants on hot paths.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace gpuksel {
 
@@ -15,6 +17,94 @@ namespace gpuksel {
 class PreconditionError : public std::invalid_argument {
  public:
   using std::invalid_argument::invalid_argument;
+};
+
+/// What the SIMT sanitizer detected.  Each value corresponds to one invariant
+/// the simulated hardware enforces (or one integrity property the shadow
+/// memory models).
+enum class FaultKind {
+  kOutOfBounds,            ///< global load/store index beyond the buffer
+  kUninitializedRead,      ///< global load from a never-written element
+  kEccMismatch,            ///< loaded word disagrees with its shadow checksum
+  kNanDistance,            ///< NaN loaded while the NaN policy forbids it
+  kShuffleInactiveSource,  ///< shuffle reads a lane outside the active mask
+  kStoreCollision,         ///< two active lanes store to the same address
+  kSharedOutOfBounds,      ///< shared-memory index beyond the array
+};
+
+[[nodiscard]] constexpr const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kOutOfBounds: return "out-of-bounds";
+    case FaultKind::kUninitializedRead: return "uninitialized-read";
+    case FaultKind::kEccMismatch: return "ecc-mismatch";
+    case FaultKind::kNanDistance: return "nan-distance";
+    case FaultKind::kShuffleInactiveSource: return "shuffle-inactive-source";
+    case FaultKind::kStoreCollision: return "store-collision";
+    case FaultKind::kSharedOutOfBounds: return "shared-out-of-bounds";
+  }
+  return "unknown";
+}
+
+/// How loads of NaN distances are treated by the sanitizer and by the scalar
+/// selection front ends.
+enum class NanPolicy {
+  kPropagate,  ///< no special handling; NaNs flow through comparisons
+  kReject,     ///< a NaN distance raises SimtFaultError / PreconditionError
+  kSortLast,   ///< NaNs are remapped to +infinity so they sort after all data
+};
+
+[[nodiscard]] constexpr const char* nan_policy_name(NanPolicy policy) noexcept {
+  switch (policy) {
+    case NanPolicy::kPropagate: return "propagate";
+    case NanPolicy::kReject: return "reject";
+    case NanPolicy::kSortLast: return "sort-last";
+  }
+  return "unknown";
+}
+
+/// Full context of one detected fault: which kernel, which warp, how many
+/// warp instructions had retired when the fault was raised, which lane
+/// triggered it, and a human-readable detail string.
+struct FaultRecord {
+  FaultKind kind = FaultKind::kOutOfBounds;
+  std::string kernel;
+  std::uint32_t warp_id = 0;
+  std::uint64_t instruction = 0;
+  int lane = -1;  ///< -1 when no single lane is attributable
+  std::string detail;
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    os << "SIMT fault [" << fault_kind_name(kind) << "] in kernel '" << kernel
+       << "' warp " << warp_id << " at instruction " << instruction;
+    if (lane >= 0) os << " lane " << lane;
+    if (!detail.empty()) os << ": " << detail;
+    return os.str();
+  }
+};
+
+/// Thrown by the SIMT sanitizer when a kernel violates a device invariant.
+/// Carries the full FaultRecord so callers (e.g. BruteForceKnn host fallback)
+/// can log the fault with kernel/warp/instruction context.
+class SimtFaultError : public std::runtime_error {
+ public:
+  explicit SimtFaultError(FaultRecord record)
+      : std::runtime_error(record.to_string()), record_(std::move(record)) {}
+
+  [[nodiscard]] const FaultRecord& record() const noexcept { return record_; }
+  [[nodiscard]] FaultKind kind() const noexcept { return record_.kind; }
+  [[nodiscard]] const std::string& kernel() const noexcept {
+    return record_.kernel;
+  }
+  [[nodiscard]] std::uint32_t warp_id() const noexcept {
+    return record_.warp_id;
+  }
+  [[nodiscard]] std::uint64_t instruction() const noexcept {
+    return record_.instruction;
+  }
+
+ private:
+  FaultRecord record_;
 };
 
 namespace detail {

@@ -1,0 +1,524 @@
+// Tests for the SIMT sanitizer and the deterministic fault injector.
+//
+// Two layers: direct sanitizer unit tests (each check fires with full
+// kernel/warp/instruction context and stays silent on clean kernels), and
+// whole-pipeline injection runs asserting the robustness contract — every
+// injected fault is either caught as SimtFaultError with context or the run
+// produces results identical to the fault-free run, and search_gpu with
+// fallback_to_host answers correctly under every fault class.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "knn/dataset.hpp"
+#include "knn/knn.hpp"
+#include "simt/device.hpp"
+#include "simt/fault_injection.hpp"
+#include "simt/memory.hpp"
+#include "simt/sanitizer.hpp"
+#include "simt/types.hpp"
+#include "simt/warp.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel {
+namespace {
+
+using simt::Device;
+using simt::DeviceBuffer;
+using simt::F32;
+using simt::FaultInjector;
+using simt::InjectKind;
+using simt::InjectorConfig;
+using simt::kFullMask;
+using simt::kWarpSize;
+using simt::U32;
+using simt::WarpContext;
+
+// --- sanitizer checks -------------------------------------------------------
+
+TEST(Sanitizer, OutOfBoundsLoadFaultsWithContext) {
+  Device dev;
+  auto buf = dev.alloc<float>(64, 0.0f);
+  const auto span = buf.cspan();
+  try {
+    dev.launch("oob_kernel", 2, [&](WarpContext& ctx, std::uint32_t) {
+      (void)ctx.load(kFullMask, span, U32::filled(64));
+    });
+    FAIL() << "expected SimtFaultError";
+  } catch (const SimtFaultError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kOutOfBounds);
+    EXPECT_EQ(e.kernel(), "oob_kernel");
+    EXPECT_EQ(e.warp_id(), 0u);
+    EXPECT_GE(e.instruction(), 1u);
+    EXPECT_EQ(e.record().kind, FaultKind::kOutOfBounds);
+  }
+}
+
+TEST(Sanitizer, OutOfBoundsStoreFaults) {
+  Device dev;
+  auto buf = dev.alloc<float>(16, 0.0f);
+  auto span = buf.span();
+  EXPECT_THROW(dev.launch("oob_store", 1,
+                          [&](WarpContext& ctx, std::uint32_t) {
+                            ctx.store(kFullMask, span, U32::filled(1000), 1.0f);
+                          }),
+               SimtFaultError);
+}
+
+TEST(Sanitizer, UninitializedReadFaultsAndStoreCures) {
+  Device dev;
+  auto buf = dev.alloc<float>(64);  // no fill: poisoned
+  auto span = buf.span();
+  EXPECT_THROW(dev.launch("poison_read", 1,
+                          [&](WarpContext& ctx, std::uint32_t) {
+                            (void)ctx.load(kFullMask, span, U32::iota());
+                          }),
+               SimtFaultError);
+  // Storing first initializes exactly the written elements.
+  F32 seen{};
+  dev.launch("store_then_load", 1, [&](WarpContext& ctx, std::uint32_t) {
+    ctx.store(kFullMask, span, U32::iota(), 3.5f);
+    seen = ctx.load(kFullMask, span, U32::iota());
+  });
+  for (int i = 0; i < kWarpSize; ++i) EXPECT_EQ(seen[i], 3.5f);
+}
+
+TEST(Sanitizer, FilledAllocAndUploadCountAsInitialized) {
+  Device dev;
+  auto filled = dev.alloc<float>(32, 1.25f);
+  auto uploaded = dev.upload(std::vector<float>(32, 2.5f));
+  auto fspan = filled.span();
+  auto uspan = uploaded.span();
+  EXPECT_NO_THROW(dev.launch("init_reads", 1,
+                             [&](WarpContext& ctx, std::uint32_t) {
+                               (void)ctx.load(kFullMask, fspan, U32::iota());
+                               (void)ctx.load(kFullMask, uspan, U32::iota());
+                             }));
+}
+
+TEST(Sanitizer, HostWriteRefreshesShadow) {
+  Device dev;
+  auto buf = dev.alloc<float>(64);  // poisoned
+  std::iota(buf.host().begin(), buf.host().end(), 0.0f);  // host memcpy
+  auto span = buf.span();  // refresh point
+  F32 seen{};
+  EXPECT_NO_THROW(dev.launch("host_init", 1,
+                             [&](WarpContext& ctx, std::uint32_t) {
+                               seen = ctx.load(kFullMask, span, U32::iota());
+                             }));
+  EXPECT_EQ(seen[7], 7.0f);
+}
+
+TEST(Sanitizer, EccDetectsCorruptionBehindShadow) {
+  Device dev;
+  auto buf = dev.alloc<float>(32, 1.0f);
+  auto span = buf.span();
+  // Corrupt device memory without going through a store or host(): the
+  // shadow checksum still describes the old value.
+  span.at(7) = 2.0f;
+  try {
+    dev.launch("ecc_kernel", 1, [&](WarpContext& ctx, std::uint32_t) {
+      (void)ctx.load(kFullMask, span, U32::iota());
+    });
+    FAIL() << "expected SimtFaultError";
+  } catch (const SimtFaultError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kEccMismatch);
+    EXPECT_EQ(e.kernel(), "ecc_kernel");
+  }
+}
+
+TEST(Sanitizer, StoreCollisionFaults) {
+  Device dev;
+  auto buf = dev.alloc<float>(64, 0.0f);
+  auto span = buf.span();
+  EXPECT_THROW(dev.launch("collide", 1,
+                          [&](WarpContext& ctx, std::uint32_t) {
+                            ctx.store(kFullMask, span, U32::filled(5), 1.0f);
+                          }),
+               SimtFaultError);
+}
+
+TEST(Sanitizer, SharedOutOfBoundsFaults) {
+  Device dev;
+  EXPECT_THROW(
+      dev.launch("shared_oob", 1,
+                 [&](WarpContext& ctx, std::uint32_t) {
+                   simt::SharedArray<float> s(ctx, 4);
+                   (void)s.read(kFullMask, U32::iota());
+                 }),
+      SimtFaultError);
+}
+
+TEST(Sanitizer, SharedWriteCollisionFaults) {
+  Device dev;
+  EXPECT_THROW(
+      dev.launch("shared_collide", 1,
+                 [&](WarpContext& ctx, std::uint32_t) {
+                   simt::SharedArray<float> s(ctx, 8);
+                   s.write(kFullMask, U32::filled(3), F32::filled(1.0f));
+                 }),
+      SimtFaultError);
+}
+
+TEST(Sanitizer, ShuffleFromInactiveLaneFaults) {
+  Device dev;
+  try {
+    dev.launch("bad_shuffle", 1, [&](WarpContext& ctx, std::uint32_t) {
+      const F32 v = F32::filled(1.0f);
+      // Lane 0 reads lane 16, which the mask leaves inactive.
+      (void)ctx.shfl_xor(simt::first_lanes(16), v, 16);
+    });
+    FAIL() << "expected SimtFaultError";
+  } catch (const SimtFaultError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kShuffleInactiveSource);
+  }
+}
+
+TEST(Sanitizer, NanRejectFaultsOnNanLoad) {
+  Device dev;
+  dev.sanitizer().nan_policy = NanPolicy::kReject;
+  std::vector<float> host(32, 1.0f);
+  host[3] = std::numeric_limits<float>::quiet_NaN();
+  auto buf = dev.upload(host);
+  const auto span = buf.cspan();
+  try {
+    dev.launch("nan_kernel", 1, [&](WarpContext& ctx, std::uint32_t) {
+      (void)ctx.load(kFullMask, span, U32::iota());
+    });
+    FAIL() << "expected SimtFaultError";
+  } catch (const SimtFaultError& e) {
+    EXPECT_EQ(e.kind(), FaultKind::kNanDistance);
+  }
+}
+
+TEST(Sanitizer, NanSortLastRemapsToInfinity) {
+  Device dev;
+  dev.sanitizer().nan_policy = NanPolicy::kSortLast;
+  std::vector<float> host(32, 1.0f);
+  host[3] = std::numeric_limits<float>::quiet_NaN();
+  auto buf = dev.upload(host);
+  const auto span = buf.cspan();
+  F32 seen{};
+  EXPECT_NO_THROW(dev.launch("nan_remap", 1,
+                             [&](WarpContext& ctx, std::uint32_t) {
+                               seen = ctx.load(kFullMask, span, U32::iota());
+                             }));
+  EXPECT_TRUE(std::isinf(seen[3]));
+  EXPECT_EQ(seen[4], 1.0f);
+}
+
+TEST(Sanitizer, OffConfigRestoresPermissiveMachine) {
+  Device dev;
+  dev.sanitizer() = simt::SanitizerConfig::off();
+  auto buf = dev.alloc<float>(64);  // would fault under poison
+  auto span = buf.span();
+  EXPECT_NO_THROW(dev.launch("legacy", 1,
+                             [&](WarpContext& ctx, std::uint32_t) {
+                               (void)ctx.load(kFullMask, span, U32::iota());
+                               ctx.store(kFullMask, span, U32::filled(5), 1.0f);
+                             }));
+}
+
+TEST(Sanitizer, ConfigToStringNames) {
+  EXPECT_EQ(simt::to_string(simt::SanitizerConfig{}),
+            "bounds+poison+ecc+lockstep nan=propagate");
+  EXPECT_EQ(simt::to_string(simt::SanitizerConfig::off()), "off nan=propagate");
+}
+
+// --- DeviceSpan regression --------------------------------------------------
+
+TEST(DeviceSpanRegression, SubspanRejectsOverflowingFirst) {
+  DeviceBuffer<float> buf(16);
+  const auto span = buf.span();
+  // first + count would wrap around std::size_t and pass a naive check.
+  EXPECT_THROW(
+      (void)span.subspan(std::numeric_limits<std::size_t>::max() - 3, 8),
+      PreconditionError);
+  EXPECT_THROW((void)span.subspan(10, 7), PreconditionError);
+  EXPECT_NO_THROW((void)span.subspan(10, 6));
+  EXPECT_NO_THROW((void)span.subspan(16, 0));
+}
+
+TEST(DeviceSpanRegression, SubspanCarriesShadow) {
+  Device dev;
+  auto buf = dev.alloc<float>(64);
+  auto sub = buf.span().subspan(8, 8);
+  EXPECT_THROW(dev.launch("sub_poison", 1,
+                          [&](WarpContext& ctx, std::uint32_t) {
+                            (void)ctx.load(simt::first_lanes(8), sub,
+                                           U32::iota());
+                          }),
+               SimtFaultError);
+}
+
+// --- fault injector unit behavior -------------------------------------------
+
+TEST(FaultInjectorUnit, PeriodMustBePositive) {
+  InjectorConfig cfg;
+  cfg.period = 0;
+  EXPECT_THROW(FaultInjector{cfg}, PreconditionError);
+}
+
+TEST(FaultInjectorUnit, StoresOnlyTakeAddressFaults) {
+  InjectorConfig cfg;
+  cfg.kind = InjectKind::kBitFlip;
+  cfg.period = 1;
+  FaultInjector inj(cfg);
+  inj.begin_launch("k", 1);
+  EXPECT_FALSE(
+      inj.on_global_access(0, kFullMask, /*is_load=*/false, /*is_float=*/true)
+          .has_value());
+  EXPECT_TRUE(
+      inj.on_global_access(0, kFullMask, /*is_load=*/true, /*is_float=*/true)
+          .has_value());
+}
+
+TEST(FaultInjectorUnit, NanClassesNeedFloatLoads) {
+  InjectorConfig cfg;
+  cfg.kind = InjectKind::kNanInject;
+  cfg.period = 1;
+  FaultInjector inj(cfg);
+  inj.begin_launch("k", 1);
+  EXPECT_FALSE(
+      inj.on_global_access(0, kFullMask, /*is_load=*/true, /*is_float=*/false)
+          .has_value());
+  const auto planned =
+      inj.on_global_access(0, kFullMask, /*is_load=*/true, /*is_float=*/true);
+  ASSERT_TRUE(planned.has_value());
+  EXPECT_TRUE(simt::lane_active(kFullMask, planned->lane));
+  EXPECT_EQ(inj.fault_count(), 1u);
+}
+
+TEST(FaultInjectorUnit, MaxFaultsCapsInjections) {
+  InjectorConfig cfg;
+  cfg.kind = InjectKind::kOobIndex;
+  cfg.period = 1;
+  cfg.max_faults = 2;
+  FaultInjector inj(cfg);
+  inj.begin_launch("k", 1);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (inj.on_global_access(0, kFullMask, true, true)) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(FaultInjectorUnit, KernelFilterGatesInjection) {
+  InjectorConfig cfg;
+  cfg.kind = InjectKind::kOobIndex;
+  cfg.period = 1;
+  cfg.kernel_filter = "target";
+  FaultInjector inj(cfg);
+  inj.begin_launch("other", 1);
+  EXPECT_FALSE(inj.on_global_access(0, kFullMask, true, true).has_value());
+  inj.begin_launch("target", 1);
+  EXPECT_TRUE(inj.on_global_access(0, kFullMask, true, true).has_value());
+}
+
+}  // namespace
+}  // namespace gpuksel
+
+// --- whole-pipeline injection runs ------------------------------------------
+
+namespace gpuksel::knn {
+namespace {
+
+struct FaultClass {
+  simt::InjectKind kind;
+  bool ecc;                ///< device ECC check for this scenario
+  NanPolicy policy;        ///< NaN policy for this scenario
+  FaultKind expected;      ///< fault kind the sanitizer reports
+  const char* name;
+};
+
+// Bit flips are caught by the ECC shadow; NaN injection and lane drops (which
+// poison the dropped lane with NaN) are caught by the reject policy with ECC
+// disabled, exercising the NaN detector itself; OOB indices are caught by the
+// always-on bounds check.
+const FaultClass kFaultClasses[] = {
+    {simt::InjectKind::kBitFlip, true, NanPolicy::kPropagate,
+     FaultKind::kEccMismatch, "bit-flip"},
+    {simt::InjectKind::kNanInject, false, NanPolicy::kReject,
+     FaultKind::kNanDistance, "nan-inject"},
+    {simt::InjectKind::kLaneDrop, false, NanPolicy::kReject,
+     FaultKind::kNanDistance, "lane-drop"},
+    {simt::InjectKind::kOobIndex, true, NanPolicy::kPropagate,
+     FaultKind::kOutOfBounds, "oob-index"},
+};
+
+class FaultInjectionPipeline : public ::testing::Test {
+ protected:
+  FaultInjectionPipeline()
+      : refs_(make_uniform_dataset(200, 16, 21)),
+        queries_(make_uniform_dataset(16, 16, 22)),
+        knn_(refs_) {}
+
+  static constexpr std::uint32_t kK = 5;
+
+  Dataset refs_;
+  Dataset queries_;
+  BruteForceKnn knn_;
+};
+
+TEST_F(FaultInjectionPipeline, EveryFaultClassDetectedOrMasked) {
+  for (const FaultClass& fc : kFaultClasses) {
+    GpuSearchOptions opts;
+    opts.nan_policy = fc.policy;
+
+    simt::Device clean_dev;
+    clean_dev.sanitizer().ecc = fc.ecc;
+    const KnnResult baseline = knn_.search_gpu(clean_dev, queries_, kK, opts);
+    ASSERT_TRUE(baseline.faults.empty()) << fc.name;
+
+    int detected = 0;
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      simt::Device dev;
+      dev.sanitizer().ecc = fc.ecc;
+      simt::InjectorConfig cfg;
+      cfg.kind = fc.kind;
+      cfg.seed = seed;
+      cfg.period = 1;  // fault the first eligible access
+      cfg.max_faults = 1;
+      simt::FaultInjector injector(cfg);
+      dev.set_fault_injector(&injector);
+      try {
+        const KnnResult faulted = knn_.search_gpu(dev, queries_, kK, opts);
+        // Not detected: the robustness contract demands the fault was masked,
+        // i.e. the output is exactly the fault-free output.
+        EXPECT_EQ(faulted.neighbors, baseline.neighbors) << fc.name;
+      } catch (const SimtFaultError& e) {
+        ++detected;
+        EXPECT_EQ(e.kind(), fc.expected) << fc.name;
+        EXPECT_FALSE(e.kernel().empty()) << fc.name;
+        EXPECT_GE(e.instruction(), 1u) << fc.name;
+      }
+      EXPECT_GE(injector.fault_count(), 1u)
+          << fc.name << ": injection never fired — test is vacuous";
+    }
+    EXPECT_GE(detected, 1) << fc.name << ": no seed produced a detection";
+  }
+}
+
+TEST_F(FaultInjectionPipeline, HostFallbackAnswersEveryFaultClass) {
+  for (const FaultClass& fc : kFaultClasses) {
+    GpuSearchOptions opts;
+    opts.nan_policy = fc.policy;
+    opts.fallback_to_host = true;
+
+    const KnnResult host =
+        knn_.search(queries_, kK, Algo::kMergeQueue, fc.policy);
+
+    for (const std::uint64_t seed : {11u, 12u}) {
+      simt::Device dev;
+      dev.sanitizer().ecc = fc.ecc;
+      simt::InjectorConfig cfg;
+      cfg.kind = fc.kind;
+      cfg.seed = seed;
+      cfg.period = 1;
+      cfg.max_faults = 1;
+      simt::FaultInjector injector(cfg);
+      dev.set_fault_injector(&injector);
+
+      const KnnResult result = knn_.search_gpu(dev, queries_, kK, opts);
+      ASSERT_TRUE(result.used_host_fallback) << fc.name;
+      EXPECT_EQ(result.neighbors, host.neighbors)
+          << fc.name << ": fallback must be oracle-correct";
+      ASSERT_EQ(result.faults.size(), 1u) << fc.name;
+      EXPECT_EQ(result.faults[0].kind, fc.expected) << fc.name;
+      EXPECT_FALSE(result.faults[0].kernel.empty()) << fc.name;
+    }
+  }
+}
+
+TEST_F(FaultInjectionPipeline, WithoutFallbackTheFaultPropagates) {
+  GpuSearchOptions opts;  // fallback_to_host defaults to false
+  simt::Device dev;
+  simt::InjectorConfig cfg;
+  cfg.kind = simt::InjectKind::kOobIndex;
+  cfg.period = 1;
+  simt::FaultInjector injector(cfg);
+  dev.set_fault_injector(&injector);
+  EXPECT_THROW((void)knn_.search_gpu(dev, queries_, kK, opts), SimtFaultError);
+}
+
+TEST_F(FaultInjectionPipeline, KernelFilterTargetsOnePhase) {
+  GpuSearchOptions opts;
+  simt::Device clean_dev;
+  const KnnResult baseline = knn_.search_gpu(clean_dev, queries_, kK, opts);
+
+  // A filter that matches no launch: the injector stays silent and the run
+  // is bit-identical to fault-free — the "masked" arm of the contract.
+  {
+    simt::Device dev;
+    simt::InjectorConfig cfg;
+    cfg.kind = simt::InjectKind::kOobIndex;
+    cfg.period = 1;
+    cfg.kernel_filter = "no_such_kernel";
+    simt::FaultInjector injector(cfg);
+    dev.set_fault_injector(&injector);
+    const KnnResult result = knn_.search_gpu(dev, queries_, kK, opts);
+    EXPECT_EQ(result.neighbors, baseline.neighbors);
+    EXPECT_EQ(injector.fault_count(), 0u);
+  }
+  // Targeting the top-down phase only: the distance and build launches run
+  // untouched and the fault surfaces inside hp_topdown.
+  {
+    simt::Device dev;
+    simt::InjectorConfig cfg;
+    cfg.kind = simt::InjectKind::kOobIndex;
+    cfg.period = 1;
+    cfg.kernel_filter = "hp_topdown";
+    simt::FaultInjector injector(cfg);
+    dev.set_fault_injector(&injector);
+    try {
+      (void)knn_.search_gpu(dev, queries_, kK, opts);
+      FAIL() << "expected SimtFaultError from hp_topdown";
+    } catch (const SimtFaultError& e) {
+      EXPECT_EQ(e.kernel(), "hp_topdown");
+      EXPECT_EQ(e.kind(), FaultKind::kOutOfBounds);
+    }
+  }
+}
+
+TEST_F(FaultInjectionPipeline, InjectionIsDeterministicAcrossRuns) {
+  // NaN injection under kSortLast with ECC off does not fault — each injected
+  // NaN is remapped to +inf — so the pipeline runs to completion and the
+  // whole event log can be compared across two identical runs.
+  GpuSearchOptions opts;
+  opts.nan_policy = NanPolicy::kSortLast;
+
+  const auto run = [&](simt::FaultInjector& injector) {
+    simt::Device dev;
+    dev.sanitizer().ecc = false;
+    dev.set_fault_injector(&injector);
+    return knn_.search_gpu(dev, queries_, kK, opts);
+  };
+
+  simt::InjectorConfig cfg;
+  cfg.kind = simt::InjectKind::kNanInject;
+  cfg.seed = 42;
+  cfg.period = 101;
+  cfg.max_faults = 5;
+
+  simt::FaultInjector first(cfg);
+  simt::FaultInjector second(cfg);
+  const KnnResult r1 = run(first);
+  const KnnResult r2 = run(second);
+
+  EXPECT_GE(first.fault_count(), 1u) << "period too sparse — nothing injected";
+  EXPECT_EQ(first.events(), second.events());
+  EXPECT_EQ(r1.neighbors, r2.neighbors);
+
+  simt::InjectorConfig other = cfg;
+  other.seed = 43;
+  simt::FaultInjector third(other);
+  (void)run(third);
+  EXPECT_NE(first.events(), third.events());
+}
+
+}  // namespace
+}  // namespace gpuksel::knn

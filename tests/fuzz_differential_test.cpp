@@ -4,6 +4,9 @@
 // boundary sizes and configuration interactions.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "baselines/bucket_select.hpp"
@@ -121,6 +124,115 @@ TEST(FuzzDifferential, KernelConfigurationsAgree) {
     ASSERT_EQ(kernels::hp_select(dev, matrix, q, n, k, cfg, g).neighbors,
               expected)
         << "round " << round << " G=" << g;
+  }
+}
+
+TEST(FuzzDifferential, AdversarialDistributionsAgree) {
+  // Distributions crafted to stress the corners random draws rarely hit:
+  // pure tie-breaking, worst-case arrival order, subnormal magnitudes, and
+  // NaN/Inf-laced input under the kSortLast policy.
+  Rng rng(0xfa5b);
+  for (int round = 0; round < 120; ++round) {
+    const auto n = 1 + static_cast<std::uint32_t>(rng.uniform_below(2000));
+    auto k = 1 + static_cast<std::uint32_t>(rng.uniform_below(200));
+    std::vector<float> data(n);
+    const auto shape = rng.uniform_below(4);
+    switch (shape) {
+      case 0:  // all-equal: every result is decided by index tie-breaking
+        for (auto& v : data) v = 0.25f;
+        break;
+      case 1:  // strictly descending: every scan step displaces the worst
+        for (std::uint32_t i = 0; i < n; ++i) {
+          data[i] = static_cast<float>(n - i);
+        }
+        break;
+      case 2:  // subnormal magnitudes (with exact ties mixed in)
+        for (auto& v : data) {
+          v = static_cast<float>(rng.uniform_below(16)) * 1e-41f;
+        }
+        break;
+      default:  // NaN/Inf-laced
+        for (auto& v : data) {
+          const auto r = rng.uniform_below(8);
+          if (r == 0) {
+            v = std::numeric_limits<float>::quiet_NaN();
+          } else if (r == 1) {
+            v = std::numeric_limits<float>::infinity();
+          } else {
+            v = rng.uniform_float();
+          }
+        }
+        break;
+    }
+
+    // All comparisons run over the kSortLast-sanitized list.  k is capped to
+    // the finite candidate count: kSortLast guarantees NaNs never displace a
+    // real candidate, so within that range every algorithm must agree.
+    std::vector<float> clean = data;
+    apply_nan_policy(clean, NanPolicy::kSortLast);
+    auto finite = static_cast<std::uint32_t>(std::count_if(
+        clean.begin(), clean.end(), [](float v) { return std::isfinite(v); }));
+    if (finite == 0) {
+      clean[0] = 0.5f;
+      finite = 1;
+    }
+    k = std::min(k, finite);
+
+    const auto oracle = select_k_oracle(clean, k);
+    for (Algo algo : {Algo::kInsertionQueue, Algo::kHeapQueue,
+                      Algo::kMergeQueue, Algo::kStdSort, Algo::kStdNthElement}) {
+      ASSERT_EQ(select_k_smallest(clean, k, algo), oracle)
+          << "round " << round << " shape " << shape << " algo "
+          << algo_name(algo) << " n=" << n << " k=" << k;
+    }
+    const std::size_t chunk = 1 + rng.uniform_below(n);
+    ASSERT_EQ(select_k_smallest_chunked(clean, k, chunk), oracle)
+        << "round " << round << " shape " << shape;
+    const auto g = 2 + static_cast<std::uint32_t>(rng.uniform_below(7));
+    ASSERT_EQ(select_k_smallest_hp(clean, k, g), oracle)
+        << "round " << round << " shape " << shape << " G=" << g;
+    if (shape != 3) {  // selection-by-value baselines expect finite input
+      ASSERT_EQ(baselines::radix_select(clean, k), oracle)
+          << "round " << round << " shape " << shape;
+      ASSERT_EQ(baselines::bucket_select(clean, k), oracle)
+          << "round " << round << " shape " << shape;
+      ASSERT_EQ(baselines::sample_select(clean, k), oracle)
+          << "round " << round << " shape " << shape;
+    }
+  }
+}
+
+TEST(FuzzDifferential, DeviceNanSortLastAgrees) {
+  // End-to-end check of the sanitizer's load-time NaN remap: raw NaN-laced
+  // distances go to the device, the kSortLast policy remaps them as they are
+  // loaded, and the selection kernel must match the sanitized scalar oracle.
+  Rng rng(0xfa5c);
+  for (int round = 0; round < 20; ++round) {
+    const auto n = 1 + static_cast<std::uint32_t>(rng.uniform_below(400));
+    auto k = 1 + static_cast<std::uint32_t>(rng.uniform_below(60));
+    std::vector<float> data(n);
+    for (auto& v : data) {
+      v = rng.uniform_below(6) == 0 ? std::numeric_limits<float>::quiet_NaN()
+                                    : rng.uniform_float();
+    }
+    std::vector<float> clean = data;
+    apply_nan_policy(clean, NanPolicy::kSortLast);
+    auto finite = static_cast<std::uint32_t>(std::count_if(
+        clean.begin(), clean.end(), [](float v) { return std::isfinite(v); }));
+    if (finite == 0) {
+      data[0] = 0.5f;
+      clean[0] = 0.5f;
+      finite = 1;
+    }
+    k = std::min(k, finite);
+
+    const std::vector<std::vector<Neighbor>> expected = {
+        select_k_oracle(clean, k)};
+    simt::Device dev;
+    dev.sanitizer().nan_policy = NanPolicy::kSortLast;
+    ASSERT_EQ(kernels::flat_select(dev, data, 1, n, k, SelectConfig{}).neighbors,
+              expected)
+        << "round " << round << " n=" << n << " k=" << k;
   }
 }
 

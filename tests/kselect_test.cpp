@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "core/buffered_search.hpp"
@@ -131,6 +132,54 @@ TEST(SelectApi, HpRejectsNonQueueAlgos) {
   const auto data = uniform_floats(64, 5);
   EXPECT_THROW(select_k_smallest_hp(data, 8, 4, Algo::kStdSort),
                PreconditionError);
+}
+
+TEST(SelectApi, EmptyDlistThrowsEverywhere) {
+  const std::vector<float> empty;
+  EXPECT_THROW(select_k_smallest(empty, 1), PreconditionError);
+  EXPECT_THROW(select_k_smallest_hp(empty, 1, 4), PreconditionError);
+  EXPECT_THROW(select_k_smallest_chunked(empty, 1, 4), PreconditionError);
+}
+
+TEST(SelectApi, HpBadParamsThrow) {
+  const auto data = uniform_floats(64, 9);
+  EXPECT_THROW(select_k_smallest_hp(data, 0, 4), PreconditionError);
+  EXPECT_THROW(select_k_smallest_hp(data, 8, 0), PreconditionError);
+  EXPECT_THROW(select_k_smallest_hp(data, 8, 1), PreconditionError);
+}
+
+// --- NaN policy ---------------------------------------------------------------
+
+TEST(NanPolicyApi, PropagateLeavesNansAlone) {
+  std::vector<float> data = {1.0f, std::nanf(""), 2.0f};
+  EXPECT_EQ(apply_nan_policy(data, NanPolicy::kPropagate), 0u);
+  EXPECT_TRUE(std::isnan(data[1]));
+}
+
+TEST(NanPolicyApi, RejectThrowsOnNan) {
+  std::vector<float> data = {1.0f, std::nanf(""), 2.0f};
+  EXPECT_THROW(apply_nan_policy(data, NanPolicy::kReject), PreconditionError);
+  // A NaN-free list passes untouched.
+  std::vector<float> clean = {1.0f, 2.0f};
+  EXPECT_EQ(apply_nan_policy(clean, NanPolicy::kReject), 0u);
+}
+
+TEST(NanPolicyApi, SortLastRemapsNansToInfinity) {
+  std::vector<float> data = {3.0f, std::nanf(""), 1.0f, std::nanf("")};
+  EXPECT_EQ(apply_nan_policy(data, NanPolicy::kSortLast), 2u);
+  EXPECT_TRUE(std::isinf(data[1]));
+  EXPECT_TRUE(std::isinf(data[3]));
+  EXPECT_EQ(data[0], 3.0f);
+  EXPECT_EQ(data[2], 1.0f);
+}
+
+TEST(NanPolicyApi, OracleWithSortLastRanksNansAfterRealCandidates) {
+  const std::vector<float> data = {3.0f, std::nanf(""), 1.0f, 2.0f};
+  const auto top3 = select_k_oracle(data, 3, NanPolicy::kSortLast);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0].index, 2u);
+  EXPECT_EQ(top3[1].index, 3u);
+  EXPECT_EQ(top3[2].index, 0u);
 }
 
 // --- buffered search reference semantics -------------------------------------
