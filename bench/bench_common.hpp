@@ -38,12 +38,20 @@ inline constexpr std::uint32_t kPaperQueries = 8192;
 struct Scale {
   std::uint32_t warps = 2;  ///< simulated warps (32 queries each)
   std::string csv_path;     ///< optional CSV dump
+  /// Host threads for the simulator's warp executor: 0 = device default
+  /// (GPUKSEL_THREADS env, else hardware concurrency), 1 = serial loop.
+  unsigned threads = 0;
 
   [[nodiscard]] std::uint32_t queries() const noexcept {
     return warps * simt::kWarpSize;
   }
   [[nodiscard]] double factor() const noexcept {
     return static_cast<double>(kPaperQueries) / queries();
+  }
+
+  /// Applies the thread knob to a freshly constructed device.
+  void configure(simt::Device& dev) const {
+    dev.set_worker_threads(threads);
   }
 
   static Scale from_flags(const CliFlags& flags, const char* default_csv) {
@@ -53,6 +61,7 @@ struct Scale {
       s.warps = kPaperQueries / simt::kWarpSize;
     }
     s.csv_path = flags.get("csv", default_csv);
+    s.threads = static_cast<unsigned>(flags.get_int("threads", 0));
     return s;
   }
 };
@@ -123,6 +132,7 @@ inline RunResult run_flat(const Scale& scale, std::uint32_t n, std::uint32_t k,
                           std::uint64_t seed = 1) {
   const auto matrix = matrix_ref_major(scale.queries(), n, seed);
   simt::Device dev;
+  scale.configure(dev);
   const auto out =
       kernels::flat_select(dev, matrix, scale.queries(), n, k, cfg);
   const auto cm = simt::c2075_model();
@@ -137,6 +147,7 @@ inline RunResult run_hp(const Scale& scale, std::uint32_t n, std::uint32_t k,
                         std::uint64_t seed = 1) {
   const auto matrix = matrix_ref_major(scale.queries(), n, seed);
   simt::Device dev;
+  scale.configure(dev);
   const auto out =
       kernels::hp_select(dev, matrix, scale.queries(), n, k, cfg, group);
   const auto cm = simt::c2075_model();

@@ -69,6 +69,7 @@ RunResult run_distance(const Scale& scale, std::uint32_t n) {
   const auto queries = knn::make_uniform_dataset(q, kDim, 5);
   const auto refs = knn::make_uniform_dataset(n, kDim, 6);
   simt::Device dev;
+  scale.configure(dev);
   const auto out = kernels::gpu_distance_matrix(
       dev, knn::to_dim_major(queries), refs.values, q, n, kDim);
   const auto cm = simt::c2075_model();
@@ -97,6 +98,7 @@ RunResult run_cpu(const Scale& scale, std::uint32_t n, std::uint32_t k,
 RunResult run_tbs(const Scale& scale, std::uint32_t n, std::uint32_t k) {
   const auto matrix = matrix_query_major(scale.queries(), n, 10);
   simt::Device dev;
+  scale.configure(dev);
   const auto out =
       baselines::tbs_select(dev, matrix, scale.queries(), n, k);
   const auto cm = simt::c2075_model();
@@ -107,6 +109,7 @@ RunResult run_tbs(const Scale& scale, std::uint32_t n, std::uint32_t k) {
 RunResult run_qms(const Scale& scale, std::uint32_t n, std::uint32_t k) {
   const auto matrix = matrix_query_major(scale.queries(), n, 11);
   simt::Device dev;
+  scale.configure(dev);
   const auto out =
       baselines::qms_select(dev, matrix, scale.queries(), n, k);
   const auto cm = simt::c2075_model();

@@ -39,8 +39,10 @@ kernels::SelectOutput qms_select(simt::Device& dev,
   const std::uint32_t threads = kernels::padded_threads(num_queries);
 
   auto dlist = dev.upload(distances);
-  // Double-buffered per-query scratch.  The launcher executes warps
-  // sequentially, so one query's worth of scratch is reused by every warp.
+  // Double-buffered per-query scratch shared by every warp: one query's
+  // worth is reused across queries, so the launch below pins
+  // LaunchPolicy::kSerial — the only kernel in the repo whose warps are not
+  // independent.
   auto scratch_d_a = dev.alloc<float>(n);
   auto scratch_i_a = dev.alloc<std::uint32_t>(n);
   auto scratch_d_b = dev.alloc<float>(n);
@@ -257,7 +259,7 @@ kernels::SelectOutput qms_select(simt::Device& dev,
           }
           std::swap(src, dst);
         }
-      });
+      }, simt::LaunchPolicy::kSerial);
 
   result.neighbors =
       kernels::extract_queues(out_d, out_i, num_queries, threads, k, k);

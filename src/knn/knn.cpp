@@ -34,16 +34,12 @@ KnnResult BruteForceKnn::search_gpu(simt::Device& dev, const Dataset& queries,
                                     std::uint32_t k,
                                     const GpuSearchOptions& options) const {
   GPUKSEL_CHECK(queries.dim == refs_.dim, "query/reference dim mismatch");
-  // Run the whole pipeline under the requested NaN policy, restoring the
-  // device's previous policy on every exit path.
-  const NanPolicy saved_policy = dev.sanitizer().nan_policy;
-  dev.sanitizer().nan_policy = options.nan_policy;
+  // Run the whole pipeline under the requested NaN policy; the guard restores
+  // the device's previous policy on every exit path.
+  simt::ScopedNanPolicy nan_guard(dev.sanitizer(), options.nan_policy);
   try {
-    KnnResult result = search_gpu_impl(dev, queries, k, options);
-    dev.sanitizer().nan_policy = saved_policy;
-    return result;
+    return search_gpu_impl(dev, queries, k, options);
   } catch (const SimtFaultError& fault) {
-    dev.sanitizer().nan_policy = saved_policy;
     if (!options.fallback_to_host) throw;
     // The fault aborted the pipeline mid-launch, so partial GPU output is
     // unusable; the host path re-answers the whole batch with the same
@@ -53,9 +49,6 @@ KnnResult BruteForceKnn::search_gpu(simt::Device& dev, const Dataset& queries,
     result.faults.push_back(fault.record());
     result.used_host_fallback = true;
     return result;
-  } catch (...) {
-    dev.sanitizer().nan_policy = saved_policy;
-    throw;
   }
 }
 

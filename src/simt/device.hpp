@@ -2,10 +2,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "simt/executor.hpp"
 #include "simt/fault_injection.hpp"
 #include "simt/memory.hpp"
 #include "simt/metrics.hpp"
@@ -14,10 +16,26 @@
 
 namespace gpuksel::simt {
 
+/// How a launch may schedule its warps on the host.
+enum class LaunchPolicy {
+  /// Warps may run on parallel host threads (the grid contract: warps of one
+  /// launch are independent).  This is the default; results, metrics and
+  /// faults are bit-identical to serial execution for any thread count.
+  kParallel,
+  /// Warps run one after another on the calling thread, in warp-id order.
+  /// For kernels that (deliberately) share scratch between warps, like the
+  /// QMS baseline's per-query partition buffers.
+  kSerial,
+};
+
 /// The simulated GPU.  Owns transfer statistics, the sanitizer configuration
 /// every launched warp checks against, an optional fault injector, and runs
-/// kernels warp by warp; warps are independent (grid-level parallelism), so
-/// the launcher may execute them in any order or in parallel host threads.
+/// kernels warp by warp.  Warps are independent (grid-level parallelism), so
+/// the launcher executes them on a persistent pool of host worker threads
+/// (WarpExecutor) — sized by set_worker_threads() / GPUKSEL_THREADS,
+/// defaulting to hardware_concurrency() — with per-warp metrics reduced in
+/// warp order and first-fault-wins abort semantics, so every observable
+/// outcome is bit-identical to the one-thread serial loop.
 class Device {
  public:
   /// Allocates an uninitialised device buffer of n elements: reading an
@@ -41,9 +59,13 @@ class Device {
     return DeviceBuffer<T>(std::vector<T>(host.begin(), host.end()));
   }
 
+  /// Vector overload: one copy into the by-value parameter (zero for
+  /// rvalues), moved straight into the device buffer — the span path would
+  /// pay a second host-side copy building its intermediate vector.
   template <typename T>
-  DeviceBuffer<T> upload(const std::vector<T>& host) {
-    return upload(std::span<const T>(host));
+  DeviceBuffer<T> upload(std::vector<T> host) {
+    transfers_.bytes_h2d += host.size() * sizeof(T);
+    return DeviceBuffer<T>(std::move(host));
   }
 
   /// Copies a device buffer back to the host, charging the PCIe link.
@@ -56,26 +78,82 @@ class Device {
   /// Runs `kernel(WarpContext&, warp_id)` for warp_id in [0, num_warps) and
   /// returns the metrics summed over all warps.  The name labels the launch
   /// in fault reports and is the key the injector's kernel filter matches.
+  ///
+  /// Under LaunchPolicy::kParallel (the default) warps are distributed over
+  /// the worker pool; each warp accumulates into its own KernelMetrics slot
+  /// and the slots are reduced in ascending warp order, so the sum is
+  /// bit-identical to serial execution.  A faulting warp aborts the launch
+  /// with first-fault-wins semantics (see WarpExecutor); metrics are not
+  /// updated on an aborted launch, matching the serial loop.  The launch
+  /// falls back to the serial loop when only one thread or warp is
+  /// available, when the policy demands it, or when an attached injector
+  /// has a live bounded fault budget (whose spend order is inherently
+  /// serial — see FaultInjector::parallel_safe).
   template <typename Kernel>
   KernelMetrics launch(const char* kernel_name, std::size_t num_warps,
-                       Kernel&& kernel) {
+                       Kernel&& kernel,
+                       LaunchPolicy policy = LaunchPolicy::kParallel) {
     if (injector_ != nullptr) injector_->begin_launch(kernel_name, num_warps);
+    const unsigned threads = worker_threads();
     KernelMetrics total;
-    for (std::size_t w = 0; w < num_warps; ++w) {
-      KernelMetrics per_warp;
-      WarpContext ctx(per_warp, static_cast<std::uint32_t>(w), &sanitizer_,
-                      injector_, kernel_name);
-      kernel(ctx, static_cast<std::uint32_t>(w));
-      total += per_warp;
+    if (policy == LaunchPolicy::kSerial || threads <= 1 || num_warps <= 1 ||
+        (injector_ != nullptr && !injector_->parallel_safe())) {
+      for (std::size_t w = 0; w < num_warps; ++w) {
+        KernelMetrics per_warp;
+        WarpContext ctx(per_warp, static_cast<std::uint32_t>(w), &sanitizer_,
+                        injector_, kernel_name);
+        try {
+          kernel(ctx, static_cast<std::uint32_t>(w));
+        } catch (...) {
+          if (injector_ != nullptr) {
+            injector_->end_launch(static_cast<std::uint32_t>(w));
+          }
+          throw;
+        }
+        total += per_warp;
+      }
+    } else {
+      std::vector<KernelMetrics> per_warp(num_warps);
+      WarpExecutor& exec = executor(threads);
+      try {
+        exec.run(num_warps, [&](std::uint32_t w) {
+          WarpContext ctx(per_warp[w], w, &sanitizer_, injector_, kernel_name);
+          kernel(ctx, w);
+        });
+      } catch (...) {
+        if (injector_ != nullptr) {
+          injector_->end_launch(exec.last_abort()->warp_id);
+        }
+        throw;
+      }
+      for (std::size_t w = 0; w < num_warps; ++w) total += per_warp[w];
     }
+    if (injector_ != nullptr) injector_->end_launch();
     last_launch_ = total;
     cumulative_ += total;
     return total;
   }
 
   template <typename Kernel>
-  KernelMetrics launch(std::size_t num_warps, Kernel&& kernel) {
-    return launch("kernel", num_warps, std::forward<Kernel>(kernel));
+  KernelMetrics launch(std::size_t num_warps, Kernel&& kernel,
+                       LaunchPolicy policy = LaunchPolicy::kParallel) {
+    return launch("kernel", num_warps, std::forward<Kernel>(kernel), policy);
+  }
+
+  /// Sets how many host threads launches may use: n >= 2 enables the pool,
+  /// n == 1 forces the serial loop, n == 0 restores the default
+  /// (GPUKSEL_THREADS env var, else hardware_concurrency).
+  void set_worker_threads(unsigned n) {
+    requested_threads_ = n;
+    if (executor_ != nullptr && executor_->thread_count() != worker_threads()) {
+      executor_.reset();
+    }
+  }
+
+  /// The thread count the next parallel launch will use.
+  [[nodiscard]] unsigned worker_threads() const noexcept {
+    return requested_threads_ != 0 ? requested_threads_
+                                   : default_worker_threads();
   }
 
   [[nodiscard]] SanitizerConfig& sanitizer() noexcept { return sanitizer_; }
@@ -109,11 +187,22 @@ class Device {
   }
 
  private:
+  /// The pool, built lazily at the first parallel launch and kept across
+  /// launches; rebuilt only when the thread count changes.
+  WarpExecutor& executor(unsigned threads) {
+    if (executor_ == nullptr || executor_->thread_count() != threads) {
+      executor_ = std::make_unique<WarpExecutor>(threads);
+    }
+    return *executor_;
+  }
+
   KernelMetrics last_launch_;
   KernelMetrics cumulative_;
   TransferStats transfers_;
   SanitizerConfig sanitizer_;
   FaultInjector* injector_ = nullptr;
+  unsigned requested_threads_ = 0;  ///< 0 = default_worker_threads()
+  std::unique_ptr<WarpExecutor> executor_;
 };
 
 }  // namespace gpuksel::simt

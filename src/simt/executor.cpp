@@ -1,0 +1,110 @@
+#include "simt/executor.hpp"
+
+#include <cstdlib>
+
+namespace gpuksel::simt {
+
+WarpExecutor::WarpExecutor(unsigned threads) : threads_(threads) {
+  GPUKSEL_CHECK(threads >= 1, "executor needs at least one thread");
+  workers_.reserve(threads - 1);
+  for (unsigned i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WarpExecutor::~WarpExecutor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void WarpExecutor::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    cv_work_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    ++active_;
+    lk.unlock();
+    drain();
+    lk.lock();
+    if (--active_ == 0) cv_done_.notify_all();
+  }
+}
+
+void WarpExecutor::drain() {
+  while (true) {
+    const std::size_t w = next_.fetch_add(1, std::memory_order_relaxed);
+    if (w >= num_warps_) break;
+    execute_one(static_cast<std::uint32_t>(w));
+    if (retired_.fetch_add(1, std::memory_order_acq_rel) + 1 == num_warps_) {
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void WarpExecutor::execute_one(std::uint32_t w) {
+  // Cancellation: a warp above the current best abort can be skipped — the
+  // serial loop would never have reached it.  Warps *below* must still run
+  // so a lower fault can claim the win (see header).
+  if (w > abort_warp_.load(std::memory_order_acquire)) return;
+  try {
+    (*body_)(w);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(abort_mu_);
+    if (w < abort_warp_.load(std::memory_order_relaxed)) {
+      abort_warp_.store(w, std::memory_order_release);
+      abort_ = LaunchAbort{w, std::current_exception()};
+    }
+  }
+}
+
+void WarpExecutor::run(std::size_t num_warps,
+                       const std::function<void(std::uint32_t)>& body) {
+  if (num_warps == 0) {
+    abort_.reset();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    // A worker late to the previous generation may still be inside drain();
+    // wait it out so per-run state can be reset safely.
+    cv_done_.wait(lk, [&] { return active_ == 0; });
+    body_ = &body;
+    num_warps_ = num_warps;
+    next_.store(0, std::memory_order_relaxed);
+    retired_.store(0, std::memory_order_relaxed);
+    abort_warp_.store(kNoAbort, std::memory_order_relaxed);
+    abort_.reset();
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  drain();  // the calling thread is pool member #0
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] {
+      return active_ == 0 && retired_.load(std::memory_order_acquire) >= num_warps_;
+    });
+    body_ = nullptr;
+  }
+  if (abort_.has_value()) std::rethrow_exception(abort_->error);
+}
+
+unsigned default_worker_threads() noexcept {
+  static const unsigned resolved = [] {
+    if (const char* env = std::getenv("GPUKSEL_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 1) return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1u;
+  }();
+  return resolved;
+}
+
+}  // namespace gpuksel::simt

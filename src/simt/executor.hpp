@@ -1,0 +1,107 @@
+// WarpExecutor: a persistent host worker pool for grid-level parallelism.
+//
+// Warps of one launch are independent (the CUDA grid contract), so the
+// simulator may execute them on parallel host threads.  The executor keeps
+// its workers alive across launches — a launch posts a [0, num_warps) index
+// range, workers pull warp ids off a shared atomic cursor, and the caller
+// thread participates, so an executor built for N threads runs warps on the
+// caller plus N-1 workers.
+//
+// Determinism contract (asserted by tests/executor_determinism_test.cpp):
+//  * the executor only partitions *work*; every per-warp side effect lands in
+//    a slot indexed by warp id, and Device::launch reduces those slots in
+//    ascending warp order, so metrics are bit-identical for any thread count;
+//  * faults follow *first-fault-wins in warp order*, matching the serial
+//    loop exactly: when warp w faults, warps with id > w are cancelled, but
+//    warps with id < w still run to completion — if one of them also faults,
+//    it becomes the winner (serial execution would have hit it first).  The
+//    single rethrown exception is therefore the fault of the lowest faulting
+//    warp id at its first faulting instruction, for any thread count.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gpuksel::simt {
+
+/// What aborted a parallel launch: the winning (lowest-warp) exception.
+struct LaunchAbort {
+  std::uint32_t warp_id = 0;
+  std::exception_ptr error;  ///< SimtFaultError or any other kernel exception
+};
+
+class WarpExecutor {
+ public:
+  /// Builds a pool that runs work on `threads` host threads in total (the
+  /// caller plus threads-1 persistent workers).  threads >= 1.
+  explicit WarpExecutor(unsigned threads);
+  ~WarpExecutor();
+
+  WarpExecutor(const WarpExecutor&) = delete;
+  WarpExecutor& operator=(const WarpExecutor&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const noexcept { return threads_; }
+
+  /// Runs `body(w)` once for every w in [0, num_warps), distributing warps
+  /// over the pool, and blocks until all are retired.  On kernel exceptions
+  /// the first-fault-wins rule above picks a single winner, which is
+  /// rethrown; the winning warp id is also left in `last_abort()` so the
+  /// caller can attribute the abort without re-parsing the exception.
+  void run(std::size_t num_warps,
+           const std::function<void(std::uint32_t)>& body);
+
+  /// The abort of the most recent run() on this executor, or nullopt if that
+  /// run completed cleanly.  Only meaningful between run() calls.
+  [[nodiscard]] const std::optional<LaunchAbort>& last_abort() const noexcept {
+    return abort_;
+  }
+
+ private:
+  static constexpr std::uint32_t kNoAbort =
+      std::numeric_limits<std::uint32_t>::max();
+
+  void worker_loop();
+  /// Pulls warps off the shared cursor until the range is exhausted; shared
+  /// by workers and the calling thread.
+  void drain();
+  void execute_one(std::uint32_t w);
+
+  const unsigned threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;  ///< wakes workers for a new generation
+  std::condition_variable cv_done_;  ///< wakes run() when the job retires
+  std::uint64_t generation_ = 0;     ///< bumped per run(), guarded by mu_
+  bool shutdown_ = false;
+  unsigned active_ = 0;  ///< workers currently inside drain()
+
+  // Per-run state.  Written by run() under mu_ while no worker is active;
+  // read by draining threads without the lock (made safe by the active_
+  // handshake: a worker only enters drain() after observing the new
+  // generation under mu_, and run() never mutates while active_ > 0).
+  const std::function<void(std::uint32_t)>* body_ = nullptr;
+  std::size_t num_warps_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> retired_{0};
+  /// Lowest warp id that threw so far; warps above it are cancelled.
+  std::atomic<std::uint32_t> abort_warp_{kNoAbort};
+  std::mutex abort_mu_;
+  std::optional<LaunchAbort> abort_;
+};
+
+/// Process-wide default thread count: GPUKSEL_THREADS if set and >= 1, else
+/// std::thread::hardware_concurrency() (1 when unknown).
+[[nodiscard]] unsigned default_worker_threads() noexcept;
+
+}  // namespace gpuksel::simt

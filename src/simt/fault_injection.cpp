@@ -39,6 +39,26 @@ void FaultInjector::begin_launch(const char* kernel, std::size_t num_warps) {
   kernel_enabled_ =
       cfg_.kernel_filter.empty() || cfg_.kernel_filter == current_kernel_;
   access_counts_.assign(num_warps, 0);
+  // Order-free launches stage events per warp (merged by end_launch); a
+  // launch with a live bounded budget commits straight to events_ because
+  // the budget check needs the globally-ordered count — Device::launch runs
+  // such launches serially (see parallel_safe()).
+  staged_.clear();
+  if (kernel_enabled_ && cfg_.max_faults == 0) staged_.resize(num_warps);
+}
+
+bool FaultInjector::parallel_safe() const noexcept {
+  if (!kernel_enabled_) return true;
+  if (cfg_.max_faults == 0) return true;
+  return fault_count() >= cfg_.max_faults;
+}
+
+void FaultInjector::end_launch(std::uint32_t up_to_warp) {
+  for (std::size_t w = 0; w < staged_.size(); ++w) {
+    if (w > up_to_warp) break;
+    for (auto& ev : staged_[w]) events_.push_back(std::move(ev));
+  }
+  staged_.clear();
 }
 
 std::optional<PlannedFault> FaultInjector::on_global_access(
@@ -49,7 +69,8 @@ std::optional<PlannedFault> FaultInjector::on_global_access(
   }
   const std::uint64_t access = access_counts_[warp_id]++;
   if (!kernel_enabled_ || active == 0) return std::nullopt;
-  if (cfg_.max_faults != 0 && fault_count() >= cfg_.max_faults) {
+  if (staged_.empty() && cfg_.max_faults != 0 &&
+      fault_count() >= cfg_.max_faults) {
     return std::nullopt;
   }
   // Stores only take address faults; value faults are load-side so every
@@ -73,13 +94,22 @@ std::optional<PlannedFault> FaultInjector::on_global_access(
   fault.oob_extra = 1 + static_cast<std::uint32_t>((h2 >> 40) % 64);
   if (fault.lane < 0) return std::nullopt;
 
-  events_.push_back(InjectionEvent{current_kernel_, warp_id, access, fault.kind,
-                                   fault.lane, fault.bit, fault.oob_extra});
+  InjectionEvent event{current_kernel_, warp_id, access, fault.kind,
+                       fault.lane,      fault.bit, fault.oob_extra};
+  if (!staged_.empty()) {
+    // Order-free launch, possibly on parallel host threads: append to this
+    // warp's own log only.  Distinct vector elements are distinct memory
+    // locations, so concurrent warps never touch the same log.
+    staged_[warp_id].push_back(std::move(event));
+  } else {
+    events_.push_back(std::move(event));
+  }
   return fault;
 }
 
 void FaultInjector::reset() {
   events_.clear();
+  staged_.clear();
   access_counts_.clear();
   current_kernel_.clear();
   kernel_enabled_ = false;

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
@@ -93,6 +94,24 @@ class FaultInjector {
   /// per-warp access counters that make decisions launch-deterministic.
   void begin_launch(const char* kernel, std::size_t num_warps);
 
+  /// Whether this launch's injection decisions are a pure function of
+  /// (seed, warp id, per-warp access ordinal) — i.e. independent of the
+  /// order warps execute in — so Device::launch may run warps on parallel
+  /// host threads.  True when the kernel filter rejects the launch, when
+  /// max_faults is 0 (unlimited: no cross-warp budget), or when the budget
+  /// is already spent.  A launch with remaining *bounded* budget must run
+  /// serially: which access consumes the budget depends on warp order.
+  [[nodiscard]] bool parallel_safe() const noexcept;
+
+  /// Called by Device::launch after the last warp retires (or after the
+  /// winning fault is chosen on an aborted launch): merges the per-warp
+  /// staged event logs into events() in ascending warp order.  On an abort,
+  /// `up_to_warp` limits the merge to warps the serial loop would have run
+  /// (ids <= the faulting warp), keeping the log bit-identical to a serial
+  /// execution for every thread count.
+  void end_launch(std::uint32_t up_to_warp =
+                      std::numeric_limits<std::uint32_t>::max());
+
   /// Consulted once per global load/store instruction.  Returns the fault to
   /// apply to this access, or nullopt to leave it untouched.  `is_load` and
   /// `is_float` gate the eligible fault classes (see file comment).
@@ -116,6 +135,12 @@ class FaultInjector {
   bool kernel_enabled_ = false;
   std::vector<std::uint64_t> access_counts_;  ///< per warp, this launch
   std::vector<InjectionEvent> events_;
+  /// Per-warp event staging for order-free (parallel-safe) launches: each
+  /// warp appends only to its own log, so no synchronisation is needed;
+  /// end_launch() concatenates the logs in warp order.  Empty for launches
+  /// with a live bounded budget, which write straight to events_ (Device
+  /// runs those serially).
+  std::vector<std::vector<InjectionEvent>> staged_;
 };
 
 }  // namespace gpuksel::simt

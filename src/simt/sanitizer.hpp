@@ -42,6 +42,33 @@ struct SanitizerConfig {
   [[nodiscard]] static constexpr SanitizerConfig off() noexcept {
     return SanitizerConfig{false, false, false, false, NanPolicy::kPropagate};
   }
+
+  /// Whether any per-access check is live.  When false (and no injector is
+  /// attached) WarpContext takes its unchecked fast path for global memory.
+  [[nodiscard]] constexpr bool any_check_on() const noexcept {
+    return bounds || poison || ecc || lockstep ||
+           nan_policy != NanPolicy::kPropagate;
+  }
+};
+
+/// Scoped override of a device's NaN policy: sets `policy` on construction,
+/// restores the previous policy on destruction — exception-safe, so callers
+/// that probe with NanPolicy::kReject and fall back (e.g. BruteForceKnn) need
+/// no catch-restore-rethrow boilerplate.
+class ScopedNanPolicy {
+ public:
+  ScopedNanPolicy(SanitizerConfig& cfg, NanPolicy policy) noexcept
+      : cfg_(cfg), saved_(cfg.nan_policy) {
+    cfg_.nan_policy = policy;
+  }
+  ~ScopedNanPolicy() { cfg_.nan_policy = saved_; }
+
+  ScopedNanPolicy(const ScopedNanPolicy&) = delete;
+  ScopedNanPolicy& operator=(const ScopedNanPolicy&) = delete;
+
+ private:
+  SanitizerConfig& cfg_;
+  NanPolicy saved_;
 };
 
 /// One-line human-readable summary ("bounds+poison+ecc+lockstep nan=reject").

@@ -49,7 +49,9 @@ class WarpContext {
         warp_id_(warp_id),
         sanitizer_(sanitizer),
         injector_(injector),
-        kernel_name_(kernel_name) {}
+        kernel_name_(kernel_name),
+        unchecked_(injector == nullptr &&
+                   (sanitizer == nullptr || !sanitizer->any_check_on())) {}
 
   WarpContext(const WarpContext&) = delete;
   WarpContext& operator=(const WarpContext&) = delete;
@@ -265,6 +267,14 @@ class WarpContext {
   WarpVar<T> load(LaneMask m, DeviceSpan<const T> span, const U32& idx) {
     WarpVar<T> r{};
     issue(m);
+    // Fast path: with no injector and every sanitizer check off, the
+    // per-access decisions below are all constant no — skip them rather than
+    // re-deriving that per lane.  Cost accounting is identical either way.
+    if (unchecked_) {
+      charge_transactions<T>(m, span, idx, /*is_store=*/false);
+      for_active(m, [&](int i) { r[i] = span.at(idx[i]); });
+      return r;
+    }
     const auto planned = consult_injector<T>(m, /*is_load=*/true);
     U32 eidx = idx;
     if (planned) apply_index_fault(*planned, span.size(), eidx);
@@ -291,15 +301,31 @@ class WarpContext {
   void store(LaneMask m, DeviceSpan<T> span, const U32& idx,
              const WarpVar<T>& v) {
     issue(m);
+    // Fast path (see load): no checks to run, and the has_shadow branch is
+    // hoisted out of the lane loop.  Shadow bytes are still maintained so a
+    // later launch with ecc/poison re-enabled sees coherent metadata.
+    if (unchecked_) {
+      charge_transactions<T>(m, span, idx, /*is_store=*/true);
+      if (span.has_shadow()) {
+        for_active(m, [&](int i) {
+          span.at(idx[i]) = v[i];
+          span.set_shadow(idx[i], shadow_of(v[i]));
+        });
+      } else {
+        for_active(m, [&](int i) { span.at(idx[i]) = v[i]; });
+      }
+      return;
+    }
     const auto planned = consult_injector<T>(m, /*is_load=*/false);
     U32 eidx = idx;
     if (planned) apply_index_fault(*planned, span.size(), eidx);
     check_bounds(m, span.size(), eidx, /*is_store=*/true);
     check_store_collisions(m, eidx);
     charge_transactions<T>(m, span, eidx, /*is_store=*/true);
+    const bool shadow = span.has_shadow();
     for_active(m, [&](int i) {
       span.at(eidx[i]) = v[i];
-      if (span.has_shadow()) span.set_shadow(eidx[i], shadow_of(v[i]));
+      if (shadow) span.set_shadow(eidx[i], shadow_of(v[i]));
     });
   }
 
@@ -509,6 +535,10 @@ class WarpContext {
   const SanitizerConfig* sanitizer_ = nullptr;
   FaultInjector* injector_ = nullptr;
   const char* kernel_name_ = "kernel";
+  /// No injector and no live sanitizer check at construction: global
+  /// accesses take the branch-free fast path.  Cached once per warp — the
+  /// config cannot change mid-launch.
+  bool unchecked_ = false;
 };
 
 /// Per-warp shared-memory array with bank-conflict accounting.  The paper

@@ -1,0 +1,334 @@
+// Determinism tests for the parallel warp execution engine.
+//
+// The contract under test (DESIGN.md §1, executor.hpp): for any host thread
+// count, a launch's results, metrics and fault behavior are bit-identical to
+// the one-thread serial loop — warps only ever write thread-distinct data,
+// per-warp metrics are reduced in ascending warp order, injected-fault event
+// logs are merged in ascending warp order, and an aborting launch rethrows
+// the fault of the lowest faulting warp id (first-fault-wins).  Every test
+// here runs the same work at thread counts {1, 2, 7, 16} and asserts
+// equality against the serial run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/qms.hpp"
+#include "knn/dataset.hpp"
+#include "knn/knn.hpp"
+#include "simt/device.hpp"
+#include "simt/executor.hpp"
+#include "simt/fault_injection.hpp"
+#include "simt/memory.hpp"
+#include "simt/sanitizer.hpp"
+#include "simt/types.hpp"
+#include "simt/warp.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel {
+namespace {
+
+using simt::Device;
+using simt::F32;
+using simt::InjectKind;
+using simt::InjectorConfig;
+using simt::FaultInjector;
+using simt::kFullMask;
+using simt::kWarpSize;
+using simt::LaunchPolicy;
+using simt::U32;
+using simt::WarpContext;
+using simt::WarpExecutor;
+
+constexpr unsigned kThreadCounts[] = {1, 2, 7, 16};
+
+// --- executor unit behavior -------------------------------------------------
+
+TEST(WarpExecutor, RunsEveryWarpExactlyOnce) {
+  for (const unsigned threads : kThreadCounts) {
+    WarpExecutor exec(threads);
+    EXPECT_EQ(exec.thread_count(), threads);
+    std::vector<std::atomic<int>> hits(97);
+    exec.run(hits.size(), [&](std::uint32_t w) {
+      hits[w].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    EXPECT_FALSE(exec.last_abort().has_value());
+    // The pool is persistent: a second run on the same executor.
+    exec.run(hits.size(), [&](std::uint32_t w) {
+      hits[w].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 2);
+  }
+}
+
+TEST(WarpExecutor, ZeroWarpsIsANoOp) {
+  WarpExecutor exec(4);
+  exec.run(0, [](std::uint32_t) { FAIL() << "no warp should run"; });
+  EXPECT_FALSE(exec.last_abort().has_value());
+}
+
+TEST(WarpExecutor, FirstFaultWinsLowestWarpId) {
+  // Warp 12 throws immediately; warp 3 throws late (after a delay long
+  // enough that warp 12's fault has almost certainly landed first in wall
+  // time).  The serial loop would hit warp 3 first, so warp 3 must win for
+  // every thread count.
+  for (const unsigned threads : {2u, 4u, 16u}) {
+    WarpExecutor exec(threads);
+    try {
+      exec.run(16, [&](std::uint32_t w) {
+        if (w == 12) throw std::runtime_error("12");
+        if (w == 3) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          throw std::runtime_error("3");
+        }
+      });
+      FAIL() << "expected the launch to abort";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "3") << "threads=" << threads;
+    }
+    ASSERT_TRUE(exec.last_abort().has_value());
+    EXPECT_EQ(exec.last_abort()->warp_id, 3u);
+  }
+}
+
+TEST(WarpExecutor, ReusableAfterAbort) {
+  WarpExecutor exec(4);
+  EXPECT_THROW(exec.run(8,
+                        [](std::uint32_t w) {
+                          if (w == 5) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  ASSERT_TRUE(exec.last_abort().has_value());
+  EXPECT_EQ(exec.last_abort()->warp_id, 5u);
+
+  std::vector<std::atomic<int>> hits(8);
+  exec.run(hits.size(), [&](std::uint32_t w) {
+    hits[w].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_FALSE(exec.last_abort().has_value());
+}
+
+TEST(Device, WorkerThreadsKnobRoundTrips) {
+  Device dev;
+  EXPECT_GE(dev.worker_threads(), 1u);
+  dev.set_worker_threads(5);
+  EXPECT_EQ(dev.worker_threads(), 5u);
+  dev.set_worker_threads(0);  // back to the environment default
+  EXPECT_GE(dev.worker_threads(), 1u);
+}
+
+// --- launch determinism -----------------------------------------------------
+
+/// A divergent multi-phase kernel with per-warp-disjoint output: each warp
+/// streams its 32-element row, odd warps do extra masked work (so metrics are
+/// sensitive to which warp contributed what), and results land in row
+/// `warp_id` of the output buffer.
+struct DivergentKernelRun {
+  simt::KernelMetrics metrics;
+  std::vector<float> output;
+};
+
+DivergentKernelRun run_divergent_kernel(unsigned threads,
+                                        FaultInjector* injector = nullptr,
+                                        bool ecc = true) {
+  constexpr std::uint32_t kWarps = 48;
+  std::vector<float> input(std::size_t{kWarps} * kWarpSize);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<float>((i * 2654435761u >> 8) % 1000) * 0.001f;
+  }
+  Device dev;
+  dev.set_worker_threads(threads);
+  dev.sanitizer().ecc = ecc;
+  dev.sanitizer().nan_policy = NanPolicy::kSortLast;
+  if (injector != nullptr) dev.set_fault_injector(injector);
+  auto in = dev.upload(input);
+  auto out = dev.alloc<float>(input.size(), 0.0f);
+  const auto in_span = in.cspan();
+  auto out_span = out.span();
+  DivergentKernelRun run;
+  run.metrics =
+      dev.launch("divergent", kWarps, [&](WarpContext& ctx, std::uint32_t w) {
+        const U32 lane = WarpContext::lane_id();
+        U32 idx = ctx.add(kFullMask, lane, w * kWarpSize);
+        F32 v = ctx.load(kFullMask, in_span, idx);
+        // Odd warps square the lower half-warp (divergent extra work).
+        if (w % 2 == 1) {
+          const simt::LaneMask lower =
+              ctx.pred(kFullMask, [&](int l) { return l < kWarpSize / 2; });
+          F32 sq = v;
+          ctx.alu(lower, sq, [&](int l) { return v[l] * v[l]; });
+          v = ctx.select(kFullMask, lower, sq, v);
+        }
+        ctx.store(kFullMask, out_span, idx, v);
+      });
+  run.output = dev.download(out);
+  return run;
+}
+
+TEST(LaunchDeterminism, MetricsAndResultsBitIdenticalAcrossThreadCounts) {
+  const DivergentKernelRun serial = run_divergent_kernel(1);
+  for (const unsigned threads : kThreadCounts) {
+    const DivergentKernelRun parallel = run_divergent_kernel(threads);
+    EXPECT_TRUE(parallel.metrics == serial.metrics) << "threads=" << threads;
+    EXPECT_EQ(parallel.output, serial.output) << "threads=" << threads;
+  }
+}
+
+TEST(LaunchDeterminism, KnnPipelineIdenticalAcrossThreadCounts) {
+  const knn::Dataset refs = knn::make_uniform_dataset(300, 12, 31);
+  const knn::Dataset queries = knn::make_uniform_dataset(40, 12, 32);
+  const knn::BruteForceKnn searcher(refs);
+
+  auto run = [&](unsigned threads) {
+    Device dev;
+    dev.set_worker_threads(threads);
+    const knn::KnnResult result =
+        searcher.search_gpu(dev, queries, 9, knn::GpuSearchOptions{});
+    return std::pair(result.neighbors, dev.cumulative());
+  };
+  const auto [serial_neighbors, serial_metrics] = run(1);
+  for (const unsigned threads : kThreadCounts) {
+    const auto [neighbors, metrics] = run(threads);
+    EXPECT_EQ(neighbors, serial_neighbors) << "threads=" << threads;
+    EXPECT_TRUE(metrics == serial_metrics) << "threads=" << threads;
+  }
+}
+
+TEST(LaunchDeterminism, QmsSerialPolicyCorrectUnderThreadedDevice) {
+  // QMS shares per-query scratch across warps, so its launch pins
+  // LaunchPolicy::kSerial; a many-threaded device must not change results.
+  std::vector<float> matrix(16 * 512);
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    matrix[i] = static_cast<float>((i * 40503u + 7) % 4096);
+  }
+  auto run = [&](unsigned threads) {
+    Device dev;
+    dev.set_worker_threads(threads);
+    return baselines::qms_select(dev, matrix, 16, 512, 24).neighbors;
+  };
+  const auto serial = run(1);
+  for (const unsigned threads : kThreadCounts) {
+    EXPECT_EQ(run(threads), serial) << "threads=" << threads;
+  }
+}
+
+// --- fault determinism ------------------------------------------------------
+
+TEST(FaultDeterminism, UncappedInjectionEventLogIdenticalAcrossThreadCounts) {
+  // max_faults = 0 keeps injection decisions order-free, so the launch runs
+  // in parallel, stages events per warp, and merges them in warp order; with
+  // NaN remapping (kSortLast) and ECC off nothing throws, so the full event
+  // log is comparable.
+  auto run = [&](unsigned threads) {
+    InjectorConfig cfg;
+    cfg.kind = InjectKind::kNanInject;
+    cfg.period = 16;
+    cfg.max_faults = 0;
+    cfg.seed = 99;
+    FaultInjector injector(cfg);
+    const DivergentKernelRun r =
+        run_divergent_kernel(threads, &injector, /*ecc=*/false);
+    return std::tuple(injector.events(), r.metrics, r.output);
+  };
+  const auto [serial_events, serial_metrics, serial_output] = run(1);
+  ASSERT_FALSE(serial_events.empty()) << "injection never fired — vacuous";
+  for (const unsigned threads : kThreadCounts) {
+    const auto [events, metrics, output] = run(threads);
+    EXPECT_EQ(events, serial_events) << "threads=" << threads;
+    EXPECT_TRUE(metrics == serial_metrics) << "threads=" << threads;
+    EXPECT_EQ(output, serial_output) << "threads=" << threads;
+  }
+}
+
+TEST(FaultDeterminism, AbortingLaunchRethrowsSerialFaultForAnyThreadCount) {
+  // Uncapped bit flips with ECC on: several warps would fault; the rethrown
+  // fault and the event log up to it must match the serial run exactly.
+  auto run = [&](unsigned threads) {
+    InjectorConfig cfg;
+    cfg.kind = InjectKind::kBitFlip;
+    cfg.period = 64;
+    cfg.max_faults = 0;
+    cfg.seed = 5;
+    FaultInjector injector(cfg);
+    FaultRecord record{};
+    try {
+      (void)run_divergent_kernel(threads, &injector, /*ecc=*/true);
+      ADD_FAILURE() << "expected SimtFaultError, threads=" << threads;
+    } catch (const SimtFaultError& e) {
+      record = e.record();
+    }
+    return std::pair(record, injector.events());
+  };
+  const auto [serial_record, serial_events] = run(1);
+  EXPECT_EQ(serial_record.kind, FaultKind::kEccMismatch);
+  for (const unsigned threads : kThreadCounts) {
+    const auto [record, events] = run(threads);
+    EXPECT_EQ(record.kind, serial_record.kind) << "threads=" << threads;
+    EXPECT_EQ(record.warp_id, serial_record.warp_id) << "threads=" << threads;
+    EXPECT_EQ(record.instruction, serial_record.instruction)
+        << "threads=" << threads;
+    EXPECT_EQ(record.lane, serial_record.lane) << "threads=" << threads;
+    EXPECT_EQ(events, serial_events) << "threads=" << threads;
+  }
+}
+
+TEST(FaultDeterminism, BoundedBudgetFallsBackToSerialAndStaysIdentical) {
+  // A live bounded budget is inherently order-dependent, so the launch must
+  // run serially regardless of the device's thread count — and therefore
+  // produce the identical event log.
+  auto run = [&](unsigned threads) {
+    InjectorConfig cfg;
+    cfg.kind = InjectKind::kNanInject;
+    cfg.period = 8;
+    cfg.max_faults = 3;
+    cfg.seed = 17;
+    FaultInjector injector(cfg);
+    const DivergentKernelRun r =
+        run_divergent_kernel(threads, &injector, /*ecc=*/false);
+    return std::tuple(injector.events(), r.metrics, r.output);
+  };
+  const auto [serial_events, serial_metrics, serial_output] = run(1);
+  EXPECT_EQ(serial_events.size(), 3u);
+  for (const unsigned threads : kThreadCounts) {
+    const auto [events, metrics, output] = run(threads);
+    EXPECT_EQ(events, serial_events) << "threads=" << threads;
+    EXPECT_TRUE(metrics == serial_metrics) << "threads=" << threads;
+    EXPECT_EQ(output, serial_output) << "threads=" << threads;
+  }
+}
+
+TEST(FaultDeterminism, ParallelSafeReflectsBudgetState) {
+  InjectorConfig cfg;
+  cfg.kind = InjectKind::kNanInject;
+  cfg.period = 1;
+  cfg.max_faults = 1;
+  FaultInjector injector(cfg);
+  injector.begin_launch("k", 1);
+  EXPECT_FALSE(injector.parallel_safe());  // live bounded budget
+  ASSERT_TRUE(injector.on_global_access(0, kFullMask, true, true));
+  injector.end_launch();
+  injector.begin_launch("k", 1);
+  EXPECT_TRUE(injector.parallel_safe());  // budget spent: decisions constant
+
+  InjectorConfig uncapped = cfg;
+  uncapped.max_faults = 0;
+  FaultInjector free_injector(uncapped);
+  free_injector.begin_launch("k", 4);
+  EXPECT_TRUE(free_injector.parallel_safe());
+
+  InjectorConfig filtered = cfg;
+  filtered.kernel_filter = "other";
+  FaultInjector off_injector(filtered);
+  off_injector.begin_launch("k", 4);
+  EXPECT_TRUE(off_injector.parallel_safe());  // filter rejects the launch
+}
+
+}  // namespace
+}  // namespace gpuksel

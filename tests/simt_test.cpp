@@ -263,8 +263,10 @@ TEST(DeviceTest, TransfersAreCounted) {
 
 TEST(DeviceTest, WarpIdsArePassedThrough) {
   Device dev;
-  std::vector<std::uint32_t> seen;
-  dev.launch(3, [&](WarpContext&, std::uint32_t w) { seen.push_back(w); });
+  // Each warp writes its own slot: valid under any launch schedule,
+  // including parallel host threads.
+  std::vector<std::uint32_t> seen(3, 99u);
+  dev.launch(3, [&](WarpContext&, std::uint32_t w) { seen[w] = w; });
   EXPECT_EQ(seen, (std::vector<std::uint32_t>{0, 1, 2}));
 }
 
