@@ -17,12 +17,14 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/kernels/hp_kernels.hpp"
 #include "core/kernels/select_kernels.hpp"
 #include "simt/cost_model.hpp"
+#include "simt/profiler.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
@@ -41,6 +43,12 @@ struct Scale {
   /// Host threads for the simulator's warp executor: 0 = device default
   /// (GPUKSEL_THREADS env, else hardware concurrency), 1 = serial loop.
   unsigned threads = 0;
+  /// --profile=<path>: per-kernel profile report path; the trace and region
+  /// CSV land next to it as <base>.trace.json / <base>.regions.csv.
+  std::string profile_path;
+  /// Shared so the const Scale copies handed to the setup/report callbacks
+  /// all record into one profiler.
+  std::shared_ptr<simt::Profiler> profiler;
 
   [[nodiscard]] std::uint32_t queries() const noexcept {
     return warps * simt::kWarpSize;
@@ -49,9 +57,11 @@ struct Scale {
     return static_cast<double>(kPaperQueries) / queries();
   }
 
-  /// Applies the thread knob to a freshly constructed device.
+  /// Applies the thread knob (and the profiler, when --profile= was given)
+  /// to a freshly constructed device.
   void configure(simt::Device& dev) const {
     dev.set_worker_threads(threads);
+    if (profiler != nullptr) dev.set_profiler(profiler.get());
   }
 
   static Scale from_flags(const CliFlags& flags, const char* default_csv) {
@@ -62,7 +72,24 @@ struct Scale {
     }
     s.csv_path = flags.get("csv", default_csv);
     s.threads = static_cast<unsigned>(flags.get_int("threads", 0));
+    s.profile_path = flags.get("profile", "");
+    if (!s.profile_path.empty()) {
+      s.profiler = std::make_shared<simt::Profiler>();
+    }
     return s;
+  }
+
+  /// Writes the accumulated profile (report + trace + region CSV); no-op
+  /// without --profile=.
+  void write_profile() const {
+    if (profiler == nullptr) return;
+    std::string base = profile_path;
+    if (const auto dot = base.rfind(".json");
+        dot != std::string::npos && dot == base.size() - 5) {
+      base.resize(dot);
+    }
+    profiler->write_files(profile_path, base + ".trace.json",
+                          base + ".regions.csv");
   }
 };
 
@@ -170,6 +197,7 @@ inline int bench_main(int argc, char** argv, const char* default_csv,
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   report(scale);
+  scale.write_profile();
   return 0;
 }
 

@@ -5,6 +5,13 @@
 # (which are thread-count-invariant — the executor changes how fast the
 # simulator runs, never what it computes).
 #
+# Both runs pass --profile=, so the structured per-kernel profile replaces
+# stdout scraping: the simulated warp count is summed from the profile's
+# KernelRecords, and determinism is asserted by byte-comparing the two
+# profiles (written without host info, the only fields allowed to differ).
+# A "parallelism_valid" field flags results captured where the requested
+# thread count exceeds the host's cores (speedup is meaningless there).
+#
 # Usage: scripts/bench_to_json.sh [build_dir] [out_json]
 #   WARPS=n    sampled warps per configuration (default 2)
 #   THREADS=n  parallel thread count (default: nproc)
@@ -21,33 +28,39 @@ if [[ ! -x "${BENCH}" ]]; then
   exit 1
 fi
 
-# Simulated warps across all Table I configurations at --warps=W:
-# 10 distance launches of 1 warp, 8 flat/hp rows (4xW + 4x2W = 12W) and QMS
-# (32W warp-per-query) over 10 columns, TBS (32W) over 9 columns (k=2^10 is
-# unsupported, as published).
-TOTAL_WARPS=$((10 + 728 * WARPS))
+TMPDIR_RUN=$(mktemp -d)
+trap 'rm -rf "${TMPDIR_RUN}"' EXIT
 
 run_once() {
-  local threads="$1" csv="$2" t0 t1
+  local threads="$1" csv="$2" profile="$3" t0 t1
   t0=$(date +%s%N)
   "${BENCH}" --warps="${WARPS}" --threads="${threads}" --csv="${csv}" \
-    >/dev/null
+    --profile="${profile}" >/dev/null
   t1=$(date +%s%N)
   awk "BEGIN{printf \"%.6f\", (${t1} - ${t0}) / 1e9}"
 }
 
-CSV_SERIAL=$(mktemp)
-CSV_PARALLEL=$(mktemp)
-trap 'rm -f "${CSV_SERIAL}" "${CSV_PARALLEL}"' EXIT
+CSV_SERIAL="${TMPDIR_RUN}/serial.csv"
+CSV_PARALLEL="${TMPDIR_RUN}/parallel.csv"
+PROFILE_SERIAL="${TMPDIR_RUN}/serial.json"
+PROFILE_PARALLEL="${TMPDIR_RUN}/parallel.json"
 
-SERIAL_S=$(run_once 1 "${CSV_SERIAL}")
-PARALLEL_S=$(run_once "${THREADS}" "${CSV_PARALLEL}")
+SERIAL_S=$(run_once 1 "${CSV_SERIAL}" "${PROFILE_SERIAL}")
+PARALLEL_S=$(run_once "${THREADS}" "${CSV_PARALLEL}" "${PROFILE_PARALLEL}")
 
 # The CPU rows are measured host wall-clock (non-deterministic); every
 # simulated row is modeled from metrics and must be bit-identical.
 if ! cmp -s <(grep -v '^CPU ' "${CSV_SERIAL}") \
             <(grep -v '^CPU ' "${CSV_PARALLEL}"); then
   echo "error: serial and parallel runs disagree — determinism violated" >&2
+  exit 1
+fi
+
+# Same contract on the full profiles: everything except the two host fields
+# (wall_seconds, worker_threads) must be byte-identical.
+if ! cmp -s <(grep -vE '"(wall_seconds|worker_threads)":' "${PROFILE_SERIAL}") \
+            <(grep -vE '"(wall_seconds|worker_threads)":' "${PROFILE_PARALLEL}"); then
+  echo "error: serial and parallel profiles disagree — determinism violated" >&2
   exit 1
 fi
 
@@ -58,28 +71,39 @@ MODELED_S=$(awk -F, '/^Merge Queue aligned\+buf\+hp/ {
   printf "%.4f", s
 }' "${CSV_SERIAL}")
 
-python3 - "$OUT_JSON" <<EOF
+python3 - "$OUT_JSON" "${PROFILE_SERIAL}" <<EOF
 import json, sys
 serial_s, parallel_s = ${SERIAL_S}, ${PARALLEL_S}
+threads, host_cores = ${THREADS}, $(nproc)
+with open(sys.argv[2]) as f:
+    profile = json.load(f)
+total_warps = sum(k["num_warps"] for k in profile["kernels"])
 out = {
     "bench": "table1_execution_time",
     "warps_flag": ${WARPS},
-    "total_simulated_warps": ${TOTAL_WARPS},
-    "host_cores": $(nproc),
+    "total_simulated_warps": total_warps,
+    "kernel_launches": len(profile["kernels"]),
+    "host_cores": host_cores,
+    # Speedup only means something when every requested thread can run on
+    # its own core; oversubscribed runs just measure scheduler churn.
+    "parallelism_valid": threads <= host_cores,
     "serial": {
         "threads": 1,
         "wall_seconds": serial_s,
-        "warps_per_second": round(${TOTAL_WARPS} / serial_s, 1),
+        "warps_per_second": round(total_warps / serial_s, 1),
     },
     "parallel": {
-        "threads": ${THREADS},
+        "threads": threads,
         "wall_seconds": parallel_s,
-        "warps_per_second": round(${TOTAL_WARPS} / parallel_s, 1),
+        "warps_per_second": round(total_warps / parallel_s, 1),
     },
     "speedup": round(serial_s / parallel_s, 3),
     "modeled_gpu_seconds_best_variant": ${MODELED_S:-0},
     "outputs_identical": True,
 }
+if not out["parallelism_valid"]:
+    out["note"] = (f"captured with {threads} threads on {host_cores} "
+                   "host core(s): speedup is not meaningful")
 with open(sys.argv[1], "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")

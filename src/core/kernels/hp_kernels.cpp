@@ -100,6 +100,7 @@ SelectOutput hp_select(simt::Device& dev, std::span<const float> distances,
         ctx.alu(act, thread, [&](int i) { return base + i; });
 
         for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+          const auto prof = ctx.region("hp_build_level");
           const LevelView next = level_view(l + 1);
           F32 run_min = ctx.imm(act, simt::kFloatSentinel);
           for (std::uint32_t j = 0; j < sizes[l]; ++j) {
@@ -165,6 +166,7 @@ SelectOutput hp_select(simt::Device& dev, std::span<const float> distances,
     ThreadArrayView src = qa;
     ThreadArrayView dst = qb;
     {
+      const auto prof = ctx.region("hp_top_select");
       WarpQueue queue(ctx, src, thread, act, cfg.queue, cfg.merge_m,
                       cfg.aligned_merge, &flag, cfg.merge_strategy, sview,
                       cfg.cache_head);
@@ -204,65 +206,72 @@ SelectOutput hp_select(simt::Device& dev, std::span<const float> distances,
       // Phase A: copy src -> dst slot-wise, remapping each valid entry's
       // position to its first value-equal child; record which child was
       // consumed so Phase B can skip it.
-      for (std::uint32_t c = 0; c < capacity; ++c) {
-        const EntryLanes e = src.load(ctx, act, thread, c);
-        const LaneMask valid = ctx.pred(
-            act, [&](int i) { return e.index[i] != simt::kIndexSentinel; });
-        U32 new_pos = U32::filled(simt::kIndexSentinel);
-        if (valid) {
-          U32 child_base;
-          ctx.alu(valid, child_base, [&](int i) { return e.index[i] * group; });
-          LaneMask found = 0;
-          for (std::uint32_t g = 0; g < group && (found & valid) != valid;
-               ++g) {
-            const U32 child_pos = ctx.add(valid, child_base, g);
-            const LaneMask in_range =
-                ctx.pred(valid & ~found,
-                         [&](int i) { return child_pos[i] < child_size; });
-            if (!in_range) continue;
-            const F32 v = load_child(in_range, child_pos);
-            const LaneMask eq = ctx.pred(
-                in_range, [&](int i) { return v[i] == e.dist[i]; });
-            new_pos = ctx.select(act, eq, child_pos, new_pos);
-            found |= eq;
+      {
+        const auto prof = ctx.region("hp_inherit");
+        for (std::uint32_t c = 0; c < capacity; ++c) {
+          const EntryLanes e = src.load(ctx, act, thread, c);
+          const LaneMask valid = ctx.pred(
+              act, [&](int i) { return e.index[i] != simt::kIndexSentinel; });
+          U32 new_pos = U32::filled(simt::kIndexSentinel);
+          if (valid) {
+            U32 child_base;
+            ctx.alu(valid, child_base,
+                    [&](int i) { return e.index[i] * group; });
+            LaneMask found = 0;
+            for (std::uint32_t g = 0; g < group && (found & valid) != valid;
+                 ++g) {
+              const U32 child_pos = ctx.add(valid, child_base, g);
+              const LaneMask in_range =
+                  ctx.pred(valid & ~found,
+                           [&](int i) { return child_pos[i] < child_size; });
+              if (!in_range) continue;
+              const F32 v = load_child(in_range, child_pos);
+              const LaneMask eq = ctx.pred(
+                  in_range, [&](int i) { return v[i] == e.dist[i]; });
+              new_pos = ctx.select(act, eq, child_pos, new_pos);
+              found |= eq;
+            }
           }
+          dst.store(ctx, act, thread, c, EntryLanes{e.dist, new_pos});
         }
-        dst.store(ctx, act, thread, c, EntryLanes{e.dist, new_pos});
+        queue.adopt(act);
       }
-      queue.adopt(act);
 
       // Phase B: offer the remaining children of every candidate; the
       // inherited threshold rejects almost all of them without insertion.
       // Candidates are re-read from the *immutable* src snapshot (offers
       // mutate dst, so dst slots cannot be walked), and the consumed minimum
       // child is re-identified with the same first-value-match rule.
-      BufferedInserter inserter(ctx, queue, act, bview, thread, cfg.buffer,
-                                cfg.buffer_size, &flag);
-      for (std::uint32_t c = 0; c < capacity; ++c) {
-        const EntryLanes e = src.load(ctx, act, thread, c);
-        const LaneMask valid = ctx.pred(
-            act, [&](int i) { return e.index[i] != simt::kIndexSentinel; });
-        if (!valid) continue;
-        U32 child_base;
-        ctx.alu(valid, child_base, [&](int i) { return e.index[i] * group; });
-        LaneMask found = 0;
-        for (std::uint32_t g = 0; g < group; ++g) {
-          const U32 child_pos = ctx.add(valid, child_base, g);
-          const LaneMask in_range = ctx.pred(
-              valid, [&](int i) { return child_pos[i] < child_size; });
-          if (!in_range) continue;
-          // Per-lane gathers — the divergent part of Top-Down search the
-          // paper's G trade-off is about.
-          const F32 v = load_child(in_range, child_pos);
-          const LaneMask eq =
-              ctx.pred(in_range & ~found,
-                       [&](int i) { return v[i] == e.dist[i]; });
-          found |= eq;
-          const LaneMask offerable = in_range & ~eq;
-          if (offerable) inserter.offer(offerable, EntryLanes{v, child_pos});
+      {
+        const auto prof = ctx.region("hp_offer");
+        BufferedInserter inserter(ctx, queue, act, bview, thread, cfg.buffer,
+                                  cfg.buffer_size, &flag);
+        for (std::uint32_t c = 0; c < capacity; ++c) {
+          const EntryLanes e = src.load(ctx, act, thread, c);
+          const LaneMask valid = ctx.pred(
+              act, [&](int i) { return e.index[i] != simt::kIndexSentinel; });
+          if (!valid) continue;
+          U32 child_base;
+          ctx.alu(valid, child_base, [&](int i) { return e.index[i] * group; });
+          LaneMask found = 0;
+          for (std::uint32_t g = 0; g < group; ++g) {
+            const U32 child_pos = ctx.add(valid, child_base, g);
+            const LaneMask in_range = ctx.pred(
+                valid, [&](int i) { return child_pos[i] < child_size; });
+            if (!in_range) continue;
+            // Per-lane gathers — the divergent part of Top-Down search the
+            // paper's G trade-off is about.
+            const F32 v = load_child(in_range, child_pos);
+            const LaneMask eq =
+                ctx.pred(in_range & ~found,
+                         [&](int i) { return v[i] == e.dist[i]; });
+            found |= eq;
+            const LaneMask offerable = in_range & ~eq;
+            if (offerable) inserter.offer(offerable, EntryLanes{v, child_pos});
+          }
         }
+        inserter.finish();
       }
-      inserter.finish();
       std::swap(src, dst);
     }
   });

@@ -53,20 +53,24 @@ DistanceOutput gpu_distance_matrix(simt::Device& dev,
       // (the copy uses the full warp even when some lanes own no query —
       // exactly what a CUDA block-level copy does).
       const std::uint32_t total = rt * dim;
-      for (std::uint32_t ofs = 0; ofs < total; ofs += simt::kWarpSize) {
-        const LaneMask in_range =
-            ctx.pred(simt::kFullMask, [&](int i) {
-              return ofs + static_cast<std::uint32_t>(i) < total;
-            });
-        if (!in_range) break;
-        U32 src;
-        ctx.alu(in_range, src, [&](int i) { return r0 * dim + ofs + i; });
-        const F32 v = ctx.load(in_range, r_span, src);
-        U32 dst;
-        ctx.alu(in_range, dst, [&](int i) { return ofs + i; });
-        tile.write(in_range, dst, v);
+      {
+        const auto prof = ctx.region("tile_copy");
+        for (std::uint32_t ofs = 0; ofs < total; ofs += simt::kWarpSize) {
+          const LaneMask in_range =
+              ctx.pred(simt::kFullMask, [&](int i) {
+                return ofs + static_cast<std::uint32_t>(i) < total;
+              });
+          if (!in_range) break;
+          U32 src;
+          ctx.alu(in_range, src, [&](int i) { return r0 * dim + ofs + i; });
+          const F32 v = ctx.load(in_range, r_span, src);
+          U32 dst;
+          ctx.alu(in_range, dst, [&](int i) { return ofs + i; });
+          tile.write(in_range, dst, v);
+        }
       }
       // Accumulate squared distances against the tile.
+      const auto prof = ctx.region("distance_tile");
       for (std::uint32_t r = 0; r < rt; ++r) {
         F32 acc = ctx.imm(act, 0.0f);
         for (std::uint32_t d = 0; d < dim; ++d) {

@@ -118,6 +118,7 @@ void BufferedInserter::finish() {
 }
 
 void BufferedInserter::drain(LaneMask lanes) {
+  const auto prof = ctx_.region("buffer_flush");
   if (mode_ == BufferMode::kFullSorted) local_sort(lanes);
   for (std::uint32_t j = 0; j < buffer_size_; ++j) {
     const LaneMask valid =
@@ -141,6 +142,7 @@ void BufferedInserter::local_sort(LaneMask lanes) {
   // Per-thread ascending bitonic sort of the buffer, run in lockstep: sort
   // descending with the fixed network, then reverse.  Matches the scalar
   // buffered_select() drain order bit-for-bit.
+  const auto prof = ctx_.region("local_sort");
   const std::uint32_t n = buffer_size_;
   auto cmpex_desc = [&](std::uint32_t i, std::uint32_t j) {
     const EntryLanes a = buffer_.load(ctx_, lanes, thread_, i);
@@ -236,12 +238,15 @@ SelectOutput flat_select(simt::Device& dev, std::span<const float> distances,
     BufferedInserter inserter(ctx, queue, act, bview, thread, cfg.buffer,
                               cfg.buffer_size, &flag);
 
-    for (std::uint32_t i = 0; i < n; ++i) {
-      const F32 d = dm.load(ctx, act, thread, i);
-      const EntryLanes cand{d, ctx.imm(act, i)};
-      inserter.offer(act, cand);
+    {
+      const auto prof = ctx.region("scan");
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const F32 d = dm.load(ctx, act, thread, i);
+        const EntryLanes cand{d, ctx.imm(act, i)};
+        inserter.offer(act, cand);
+      }
+      inserter.finish();
     }
-    inserter.finish();
   });
 
   out.neighbors = extract_queues(dqueue, iqueue, num_queries, threads,

@@ -258,6 +258,7 @@ class WarpQueue {
   /// into one descending run.  The network shape is data-independent, so all
   /// lanes in `m` execute it in perfect lockstep with coalesced accesses.
   void reverse_bitonic_merge(LaneMask m, std::uint32_t size) {
+    const auto prof = ctx_.region("reverse_bitonic_merge");
     const std::uint32_t half = size / 2;
     for (std::uint32_t i = 0; i < half; ++i) {
       cmpex(m, i, size - 1 - i);
@@ -276,6 +277,7 @@ class WarpQueue {
   /// divergent gathers — the cost profile the ablation bench contrasts with
   /// the bitonic network's lockstep, coalesced compare-exchanges.
   void two_pointer_merge(LaneMask m, std::uint32_t size) {
+    const auto prof = ctx_.region("two_pointer_merge");
     const std::uint32_t half = size / 2;
     U32 i = ctx_.imm(m, 0u);
     U32 j = ctx_.imm(m, half);

@@ -18,6 +18,29 @@
 
 namespace gpuksel::simt {
 
+/// Scales *all* counters of a sampled launch to the full warp count (warp
+/// sampling; see DESIGN.md §1).  Every counter must scale together or the
+/// derived ratios (simt_efficiency, transactions_per_request) silently drift:
+/// scaling only instructions/tx leaves useful_lane_slots and global_requests
+/// at their sampled values, inflating efficiency and deflating the replay
+/// factor by the scale factor itself.  Rounds to nearest so integral scales
+/// preserve the ratios exactly.
+[[nodiscard]] inline KernelMetrics scale_metrics(const KernelMetrics& m,
+                                                 double scale) noexcept {
+  const auto mul = [scale](std::uint64_t v) noexcept {
+    return static_cast<std::uint64_t>(static_cast<double>(v) * scale + 0.5);
+  };
+  KernelMetrics s;
+  s.instructions = mul(m.instructions);
+  s.useful_lane_slots = mul(m.useful_lane_slots);
+  s.global_load_tx = mul(m.global_load_tx);
+  s.global_store_tx = mul(m.global_store_tx);
+  s.global_requests = mul(m.global_requests);
+  s.shared_requests = mul(m.shared_requests);
+  s.shared_conflict_replays = mul(m.shared_conflict_replays);
+  return s;
+}
+
 struct CostModel {
   double sm_count = 14.0;
   double schedulers_per_sm = 2.0;
@@ -54,14 +77,7 @@ struct CostModel {
   /// real warps (warp sampling; see DESIGN.md §1).
   [[nodiscard]] double kernel_seconds_scaled(const KernelMetrics& m,
                                              double scale) const noexcept {
-    KernelMetrics scaled = m;
-    scaled.instructions = static_cast<std::uint64_t>(
-        static_cast<double>(m.instructions) * scale);
-    scaled.global_load_tx = static_cast<std::uint64_t>(
-        static_cast<double>(m.global_load_tx) * scale);
-    scaled.global_store_tx = static_cast<std::uint64_t>(
-        static_cast<double>(m.global_store_tx) * scale);
-    return kernel_seconds(scaled);
+    return kernel_seconds(scale_metrics(m, scale));
   }
 
   /// Modeled host<->device copy time for `bytes` bytes.

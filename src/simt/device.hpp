@@ -1,6 +1,7 @@
 // Device: allocation, host<->device transfer accounting, kernel launch.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -11,6 +12,7 @@
 #include "simt/fault_injection.hpp"
 #include "simt/memory.hpp"
 #include "simt/metrics.hpp"
+#include "simt/profiler.hpp"
 #include "simt/sanitizer.hpp"
 #include "simt/warp.hpp"
 
@@ -95,13 +97,27 @@ class Device {
                        LaunchPolicy policy = LaunchPolicy::kParallel) {
     if (injector_ != nullptr) injector_->begin_launch(kernel_name, num_warps);
     const unsigned threads = worker_threads();
-    KernelMetrics total;
-    if (policy == LaunchPolicy::kSerial || threads <= 1 || num_warps <= 1 ||
-        (injector_ != nullptr && !injector_->parallel_safe())) {
+    const bool serial =
+        policy == LaunchPolicy::kSerial || threads <= 1 || num_warps <= 1 ||
+        (injector_ != nullptr && !injector_->parallel_safe());
+    // Per-warp slots (metrics and, when profiling, region profiles) are
+    // reduced in ascending warp order below, so the aggregate — and the
+    // whole profile — is bit-identical to serial execution.
+    std::vector<KernelMetrics> slots(num_warps);
+    std::vector<WarpProfile> profiles;
+    if (profiler_ != nullptr) {
+      profiles.resize(num_warps);
+      for (WarpProfile& p : profiles) {
+        p.set_span_capacity(profiler_->max_spans_per_warp());
+      }
+    }
+    WarpProfile* const profile0 = profiles.empty() ? nullptr : profiles.data();
+    const auto start = std::chrono::steady_clock::now();
+    if (serial) {
       for (std::size_t w = 0; w < num_warps; ++w) {
-        KernelMetrics per_warp;
-        WarpContext ctx(per_warp, static_cast<std::uint32_t>(w), &sanitizer_,
-                        injector_, kernel_name);
+        WarpContext ctx(slots[w], static_cast<std::uint32_t>(w), &sanitizer_,
+                        injector_, kernel_name,
+                        profile0 == nullptr ? nullptr : profile0 + w);
         try {
           kernel(ctx, static_cast<std::uint32_t>(w));
         } catch (...) {
@@ -110,14 +126,13 @@ class Device {
           }
           throw;
         }
-        total += per_warp;
       }
     } else {
-      std::vector<KernelMetrics> per_warp(num_warps);
       WarpExecutor& exec = executor(threads);
       try {
         exec.run(num_warps, [&](std::uint32_t w) {
-          WarpContext ctx(per_warp[w], w, &sanitizer_, injector_, kernel_name);
+          WarpContext ctx(slots[w], w, &sanitizer_, injector_, kernel_name,
+                          profile0 == nullptr ? nullptr : profile0 + w);
           kernel(ctx, w);
         });
       } catch (...) {
@@ -126,9 +141,20 @@ class Device {
         }
         throw;
       }
-      for (std::size_t w = 0; w < num_warps; ++w) total += per_warp[w];
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    KernelMetrics total;
+    for (std::size_t w = 0; w < num_warps; ++w) {
+      if (profiler_ != nullptr) profiles[w].finalize(slots[w]);
+      total += slots[w];
     }
     if (injector_ != nullptr) injector_->end_launch();
+    if (profiler_ != nullptr) {
+      profiler_->record_launch(kernel_name, serial ? 1u : threads, wall,
+                               std::move(slots), std::move(profiles), total);
+    }
     last_launch_ = total;
     cumulative_ += total;
     return total;
@@ -169,6 +195,12 @@ class Device {
     return injector_;
   }
 
+  /// Attaches (or with nullptr detaches) a profiler; not owned.  While
+  /// attached, every completed launch appends one KernelRecord (aborted
+  /// launches record nothing, matching the metrics contract).
+  void set_profiler(Profiler* profiler) noexcept { profiler_ = profiler; }
+  [[nodiscard]] Profiler* profiler() const noexcept { return profiler_; }
+
   [[nodiscard]] const KernelMetrics& last_launch() const noexcept {
     return last_launch_;
   }
@@ -201,6 +233,7 @@ class Device {
   TransferStats transfers_;
   SanitizerConfig sanitizer_;
   FaultInjector* injector_ = nullptr;
+  Profiler* profiler_ = nullptr;
   unsigned requested_threads_ = 0;  ///< 0 = default_worker_threads()
   std::unique_ptr<WarpExecutor> executor_;
 };

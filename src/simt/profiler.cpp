@@ -1,0 +1,304 @@
+#include "simt/profiler.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace gpuksel::simt {
+
+// --- WarpProfile ------------------------------------------------------------
+
+RegionStats& WarpProfile::stats_for(const char* name) {
+  for (RegionStats& r : regions_) {
+    if (r.name == name) return r;
+  }
+  // Different translation units may hold distinct copies of equal literals.
+  for (RegionStats& r : regions_) {
+    if (std::strcmp(r.name.c_str(), name) == 0) return r;
+  }
+  regions_.push_back(RegionStats{name, 0, {}});
+  return regions_.back();
+}
+
+void WarpProfile::enter(const char* name, const KernelMetrics& now) {
+  stats_for(name);  // register at entry so regions() is first-entered order
+  stack_.push_back(OpenRegion{name, now, {}, now.instructions});
+}
+
+void WarpProfile::close_top(const KernelMetrics& now) {
+  OpenRegion top = stack_.back();
+  stack_.pop_back();
+  const KernelMetrics inclusive = now - top.at_entry;
+  RegionStats& stats = stats_for(top.name);
+  stats.calls += 1;
+  stats.self += inclusive - top.child_inclusive;
+  if (stack_.empty()) {
+    top_level_inclusive_ += inclusive;
+  } else {
+    stack_.back().child_inclusive += inclusive;
+  }
+  if (spans_.size() < span_capacity_) {
+    spans_.push_back(TraceSpan{top.name,
+                               static_cast<std::uint32_t>(stack_.size()),
+                               top.begin_instructions, now.instructions});
+  } else {
+    ++dropped_;
+  }
+}
+
+void WarpProfile::exit(const KernelMetrics& now) {
+  if (stack_.empty()) return;  // unbalanced exit: ignore defensively
+  close_top(now);
+}
+
+void WarpProfile::finalize(const KernelMetrics& final_metrics) {
+  while (!stack_.empty()) close_top(final_metrics);
+}
+
+// --- Profiler: record building ----------------------------------------------
+
+namespace {
+
+/// Merges `add` into `into`, keyed by region name, preserving first-seen
+/// order (deterministic: callers iterate warps in ascending id).
+void merge_regions(std::vector<RegionStats>& into,
+                   const std::vector<RegionStats>& add) {
+  for (const RegionStats& r : add) {
+    bool found = false;
+    for (RegionStats& existing : into) {
+      if (existing.name == r.name) {
+        existing.calls += r.calls;
+        existing.self += r.self;
+        found = true;
+        break;
+      }
+    }
+    if (!found) into.push_back(r);
+  }
+}
+
+bool any_counter(const KernelMetrics& m) noexcept {
+  return m.instructions != 0 || m.useful_lane_slots != 0 ||
+         m.global_load_tx != 0 || m.global_store_tx != 0 ||
+         m.global_requests != 0 || m.shared_requests != 0 ||
+         m.shared_conflict_replays != 0;
+}
+
+}  // namespace
+
+void Profiler::record_launch(const char* kernel_name, unsigned worker_threads,
+                             double wall_seconds,
+                             std::vector<KernelMetrics> per_warp,
+                             std::vector<WarpProfile> profiles,
+                             const KernelMetrics& total) {
+  KernelRecord rec;
+  rec.kernel = kernel_name;
+  rec.launch_index = records_.size();
+  rec.num_warps = per_warp.size();
+  rec.worker_threads = worker_threads;
+  rec.wall_seconds = wall_seconds;
+  rec.total = total;
+
+  rec.warp_regions.reserve(profiles.size());
+  rec.warp_spans.reserve(profiles.size());
+  for (std::size_t w = 0; w < profiles.size(); ++w) {
+    WarpProfile& p = profiles[w];
+    std::vector<RegionStats> regions = p.regions();
+    const KernelMetrics unattributed = per_warp[w] - p.attributed();
+    if (any_counter(unattributed) || regions.empty()) {
+      regions.push_back(RegionStats{kUnattributedRegion, 0, unattributed});
+    }
+    merge_regions(rec.regions, regions);
+    rec.warp_regions.push_back(std::move(regions));
+    rec.warp_spans.push_back(p.spans());
+    rec.dropped_spans += p.dropped_spans();
+  }
+  rec.per_warp = std::move(per_warp);
+
+  rec.instruction_seconds = model_.instruction_seconds(rec.total);
+  rec.memory_seconds = model_.memory_seconds(rec.total);
+  rec.kernel_seconds = model_.kernel_seconds(rec.total);
+  rec.memory_bound = rec.memory_seconds > rec.instruction_seconds;
+
+  records_.push_back(std::move(rec));
+}
+
+// --- JSON helpers -----------------------------------------------------------
+
+namespace {
+
+void json_double(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void json_metrics(std::ostream& os, const KernelMetrics& m) {
+  os << "{\"instructions\": " << m.instructions
+     << ", \"useful_lane_slots\": " << m.useful_lane_slots
+     << ", \"global_load_tx\": " << m.global_load_tx
+     << ", \"global_store_tx\": " << m.global_store_tx
+     << ", \"global_requests\": " << m.global_requests
+     << ", \"shared_requests\": " << m.shared_requests
+     << ", \"shared_conflict_replays\": " << m.shared_conflict_replays
+     << ", \"simt_efficiency\": ";
+  json_double(os, m.simt_efficiency());
+  os << ", \"transactions_per_request\": ";
+  json_double(os, m.transactions_per_request());
+  os << "}";
+}
+
+}  // namespace
+
+// --- exports ----------------------------------------------------------------
+
+void Profiler::write_report(std::ostream& os) const {
+  os << "{\n  \"schema\": \"gpuksel.profile.v1\",\n"
+     << "  \"timeline_unit\": \"warp_instructions\",\n"
+     << "  \"kernels\": [";
+  const char* rec_sep = "";
+  for (const KernelRecord& rec : records_) {
+    os << rec_sep << "\n    {\n      \"kernel\": ";
+    rec_sep = ",";
+    json_string(os, rec.kernel);
+    os << ",\n      \"launch_index\": " << rec.launch_index
+       << ",\n      \"num_warps\": " << rec.num_warps
+       << ",\n      \"worker_threads\": "
+       << (include_host_info_ ? rec.worker_threads : 0)
+       << ",\n      \"wall_seconds\": ";
+    json_double(os, include_host_info_ ? rec.wall_seconds : 0.0);
+    os << ",\n      \"metrics\": ";
+    json_metrics(os, rec.total);
+    os << ",\n      \"cost\": {\"instruction_seconds\": ";
+    json_double(os, rec.instruction_seconds);
+    os << ", \"memory_seconds\": ";
+    json_double(os, rec.memory_seconds);
+    os << ", \"kernel_seconds\": ";
+    json_double(os, rec.kernel_seconds);
+    os << ", \"bound\": \"" << (rec.memory_bound ? "memory" : "instruction")
+       << "\"}";
+    os << ",\n      \"dropped_spans\": " << rec.dropped_spans;
+    os << ",\n      \"regions\": [";
+    const char* sep = "";
+    for (const RegionStats& r : rec.regions) {
+      os << sep << "\n        {\"name\": ";
+      sep = ",";
+      json_string(os, r.name);
+      os << ", \"calls\": " << r.calls << ", \"self\": ";
+      json_metrics(os, r.self);
+      os << "}";
+    }
+    os << (rec.regions.empty() ? "]" : "\n      ]");
+    os << ",\n      \"per_warp\": [";
+    sep = "";
+    for (const KernelMetrics& m : rec.per_warp) {
+      os << sep << "\n        ";
+      sep = ",";
+      json_metrics(os, m);
+    }
+    os << (rec.per_warp.empty() ? "]" : "\n      ]");
+    os << "\n    }";
+  }
+  os << (records_.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+void Profiler::write_trace(std::ostream& os) const {
+  os << "{\"traceEvents\": [";
+  const char* sep = "";
+  for (const KernelRecord& rec : records_) {
+    const std::uint64_t pid = rec.launch_index;
+    os << sep << "\n  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+       << pid << ", \"tid\": 0, \"args\": {\"name\": ";
+    sep = ",";
+    json_string(os, rec.kernel + " #" + std::to_string(rec.launch_index));
+    os << "}}";
+    for (std::size_t w = 0; w < rec.num_warps; ++w) {
+      // One root span per warp covering its whole execution, so the
+      // timeline shows per-warp load imbalance even without regions.
+      os << ",\n  {\"name\": ";
+      json_string(os, rec.kernel);
+      os << ", \"ph\": \"X\", \"pid\": " << pid << ", \"tid\": " << w
+         << ", \"ts\": 0, \"dur\": " << rec.per_warp[w].instructions << "}";
+      if (w >= rec.warp_spans.size()) continue;
+      for (const TraceSpan& span : rec.warp_spans[w]) {
+        os << ",\n  {\"name\": ";
+        json_string(os, span.name);
+        os << ", \"ph\": \"X\", \"pid\": " << pid << ", \"tid\": " << w
+           << ", \"ts\": " << span.begin_instructions << ", \"dur\": "
+           << span.end_instructions - span.begin_instructions
+           << ", \"args\": {\"depth\": " << span.depth << "}}";
+      }
+    }
+  }
+  os << (records_.empty() ? "]" : "\n]")
+     << ", \"displayTimeUnit\": \"ms\", \"metadata\": {\"timeline_unit\": "
+        "\"warp_instructions\"}}\n";
+}
+
+void Profiler::write_regions_csv(std::ostream& os) const {
+  os << "kernel,launch_index,region,calls,instructions,useful_lane_slots,"
+        "simt_efficiency,global_load_tx,global_store_tx,global_requests,"
+        "shared_requests,shared_conflict_replays\n";
+  for (const KernelRecord& rec : records_) {
+    for (const RegionStats& r : rec.regions) {
+      char eff[40];
+      std::snprintf(eff, sizeof eff, "%.17g", r.self.simt_efficiency());
+      os << csv_escape(rec.kernel) << ',' << rec.launch_index << ','
+         << csv_escape(r.name) << ',' << r.calls << ','
+         << r.self.instructions << ',' << r.self.useful_lane_slots << ','
+         << eff << ',' << r.self.global_load_tx << ','
+         << r.self.global_store_tx << ',' << r.self.global_requests << ','
+         << r.self.shared_requests << ',' << r.self.shared_conflict_replays
+         << '\n';
+    }
+  }
+}
+
+void Profiler::write_files(const std::string& report_path,
+                           const std::string& trace_path,
+                           const std::string& csv_path) const {
+  const auto open = [](const std::string& path) {
+    std::ofstream os(path);
+    GPUKSEL_CHECK(os.is_open(), "cannot open profile output file: " + path);
+    return os;
+  };
+  if (!report_path.empty()) {
+    auto os = open(report_path);
+    write_report(os);
+  }
+  if (!trace_path.empty()) {
+    auto os = open(trace_path);
+    write_trace(os);
+  }
+  if (!csv_path.empty()) {
+    auto os = open(csv_path);
+    write_regions_csv(os);
+  }
+}
+
+}  // namespace gpuksel::simt

@@ -1,0 +1,211 @@
+// Per-kernel, per-region profiling and tracing for the simulated device.
+//
+// The paper's whole argument is made in counters — SIMT efficiency, memory
+// transactions, elements visited (§III–IV) — so the profiler makes every one
+// of them attributable: Device::launch records one KernelRecord per launch
+// (per-warp and aggregate KernelMetrics, host wall time, worker-thread count,
+// and the cost model's instruction-vs-memory roofline breakdown), and kernels
+// open named scoped regions through WarpContext::region() so divergence and
+// transaction hotspots are charged to the code region that caused them
+// (buffer_flush, reverse_bitonic_merge, hp_offer, ...).
+//
+// Attribution model: a region's *self* metrics are the counters accumulated
+// while it was the innermost open region; work outside any region lands in
+// the synthetic "(unattributed)" region.  Self metrics therefore partition
+// the launch exactly — per warp and per launch they sum to the aggregate
+// KernelMetrics, which tests/profiler_test.cpp asserts.
+//
+// Determinism: regions charge no instructions and every per-warp profile is
+// collected into its own slot and reduced in ascending warp order, so all
+// profile content except the two host-execution fields (wall_seconds,
+// worker_threads) is bit-identical for any executor thread count.  The trace
+// timeline is the warp's *instruction counter*, not wall time, for the same
+// reason.  set_include_host_info(false) zeroes the two host fields so whole
+// exports can be byte-compared (tests/executor_determinism_test.cpp).
+//
+// Exports: write_report() (machine-readable JSON), write_trace() (Chrome
+// trace_event JSON, loadable in chrome://tracing or Perfetto; ts/dur are
+// instruction counts), write_regions_csv() (flat per-region CSV).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "simt/cost_model.hpp"
+#include "simt/metrics.hpp"
+
+namespace gpuksel::simt {
+
+/// Name of the synthetic region holding work outside any open region.
+inline constexpr const char* kUnattributedRegion = "(unattributed)";
+
+/// One closed region instance on one warp's timeline.  The "timestamps" are
+/// the warp's instruction counter at entry/exit (deterministic; see above).
+struct TraceSpan {
+  const char* name = nullptr;
+  std::uint32_t depth = 0;  ///< nesting depth (0 = top level)
+  std::uint64_t begin_instructions = 0;
+  std::uint64_t end_instructions = 0;
+
+  friend bool operator==(const TraceSpan&, const TraceSpan&) = default;
+};
+
+/// Aggregated counters of one named region (exclusive/self attribution).
+struct RegionStats {
+  std::string name;
+  std::uint64_t calls = 0;  ///< region entries (0 for "(unattributed)")
+  KernelMetrics self;       ///< counters while innermost; sums to the launch
+
+  friend bool operator==(const RegionStats&, const RegionStats&) = default;
+};
+
+/// Per-warp region collector.  Device::launch gives every warp its own
+/// WarpProfile slot (like its KernelMetrics slot); WarpContext::region()
+/// drives enter()/exit().  Region names must be string literals (stable
+/// storage for the whole launch).
+class WarpProfile {
+ public:
+  /// Caps `spans()` (the timeline); region *stats* are always exact.  Spans
+  /// past the cap are counted in dropped_spans(), never silently lost.
+  void set_span_capacity(std::size_t cap) noexcept { span_capacity_ = cap; }
+
+  /// Opens a region: counters from now on are charged to `name` until a
+  /// nested region opens or this one exits.
+  void enter(const char* name, const KernelMetrics& now);
+
+  /// Closes the innermost region (unbalanced exits are ignored).
+  void exit(const KernelMetrics& now);
+
+  /// Closes any regions left open by the kernel (defensive; RAII makes this
+  /// a no-op) using the warp's final counters.
+  void finalize(const KernelMetrics& final_metrics);
+
+  [[nodiscard]] const std::vector<TraceSpan>& spans() const noexcept {
+    return spans_;
+  }
+  /// Self metrics per region in first-entered order (no unattributed entry —
+  /// the Profiler derives it from the warp total).
+  [[nodiscard]] const std::vector<RegionStats>& regions() const noexcept {
+    return regions_;
+  }
+  /// Sum of the *inclusive* metrics of all top-level regions; warp total
+  /// minus this is the warp's unattributed work.
+  [[nodiscard]] const KernelMetrics& attributed() const noexcept {
+    return top_level_inclusive_;
+  }
+  [[nodiscard]] std::uint64_t dropped_spans() const noexcept {
+    return dropped_;
+  }
+
+ private:
+  struct OpenRegion {
+    const char* name;
+    KernelMetrics at_entry;
+    KernelMetrics child_inclusive;  ///< closed nested regions' inclusive sum
+    std::uint64_t begin_instructions;
+  };
+
+  void close_top(const KernelMetrics& now);
+  RegionStats& stats_for(const char* name);
+
+  std::vector<OpenRegion> stack_;
+  std::vector<TraceSpan> spans_;
+  std::vector<RegionStats> regions_;
+  KernelMetrics top_level_inclusive_;
+  std::uint64_t dropped_ = 0;
+  std::size_t span_capacity_ = 8192;
+};
+
+/// Everything recorded about one kernel launch.
+struct KernelRecord {
+  std::string kernel;
+  std::uint64_t launch_index = 0;
+  std::size_t num_warps = 0;
+  /// Host threads the launch actually used (1 for the serial loop).  Host
+  /// execution detail — excluded from the determinism contract.
+  unsigned worker_threads = 0;
+  /// Host wall-clock seconds of the launch (simulator speed, not modeled
+  /// device time).  Host execution detail like worker_threads.
+  double wall_seconds = 0.0;
+
+  KernelMetrics total;
+  std::vector<KernelMetrics> per_warp;
+  /// Launch-aggregate self metrics per region, first-seen (warp-ascending)
+  /// order, "(unattributed)" last.  Sums to `total`.
+  std::vector<RegionStats> regions;
+  /// Per-warp attribution: warp_regions[w] sums to per_warp[w].
+  std::vector<std::vector<RegionStats>> warp_regions;
+  /// Per-warp region timelines for the Chrome trace.
+  std::vector<std::vector<TraceSpan>> warp_spans;
+  std::uint64_t dropped_spans = 0;
+
+  // Cost-model breakdown of `total` (the roofline the modeled seconds max
+  // over): which side bounds the kernel and by how much.
+  double instruction_seconds = 0.0;
+  double memory_seconds = 0.0;
+  double kernel_seconds = 0.0;
+  bool memory_bound = false;
+};
+
+/// Collects KernelRecords from every launch of the Devices it is attached to
+/// (Device::set_profiler) and exports them.  Not thread-safe: attach to
+/// devices driven from one host thread (launch internals may still use the
+/// parallel executor — per-warp collection handles that).
+class Profiler {
+ public:
+  explicit Profiler(CostModel model = c2075_model()) noexcept
+      : model_(model) {}
+
+  /// Span cap handed to every warp of subsequent launches (timeline only;
+  /// region stats stay exact).
+  void set_max_spans_per_warp(std::size_t n) noexcept { max_spans_ = n; }
+  [[nodiscard]] std::size_t max_spans_per_warp() const noexcept {
+    return max_spans_;
+  }
+
+  /// When off, exports write wall_seconds as 0 and worker_threads as 0 — the
+  /// only two host-execution fields — making whole exports byte-comparable
+  /// across executor thread counts.
+  void set_include_host_info(bool on) noexcept { include_host_info_ = on; }
+  [[nodiscard]] bool include_host_info() const noexcept {
+    return include_host_info_;
+  }
+
+  [[nodiscard]] const CostModel& cost_model() const noexcept { return model_; }
+
+  /// Called by Device::launch after a completed (non-aborted) launch.
+  void record_launch(const char* kernel_name, unsigned worker_threads,
+                     double wall_seconds, std::vector<KernelMetrics> per_warp,
+                     std::vector<WarpProfile> profiles,
+                     const KernelMetrics& total);
+
+  [[nodiscard]] const std::vector<KernelRecord>& records() const noexcept {
+    return records_;
+  }
+  void clear() noexcept { records_.clear(); }
+
+  /// Machine-readable JSON report: one object per launch with metrics,
+  /// derived ratios, cost breakdown and per-region attribution.
+  void write_report(std::ostream& os) const;
+  /// Chrome trace_event JSON (chrome://tracing / Perfetto): pid = launch,
+  /// tid = warp, ts/dur = warp instruction counts.
+  void write_trace(std::ostream& os) const;
+  /// Flat CSV: one row per (launch, region).
+  void write_regions_csv(std::ostream& os) const;
+
+  /// Writes each non-empty path (report / trace / regions CSV); throws
+  /// PreconditionError when a file cannot be opened.
+  void write_files(const std::string& report_path,
+                   const std::string& trace_path,
+                   const std::string& csv_path) const;
+
+ private:
+  CostModel model_;
+  std::vector<KernelRecord> records_;
+  std::size_t max_spans_ = 8192;
+  bool include_host_info_ = true;
+};
+
+}  // namespace gpuksel::simt

@@ -31,25 +31,31 @@
 #include "simt/fault_injection.hpp"
 #include "simt/memory.hpp"
 #include "simt/metrics.hpp"
+#include "simt/profiler.hpp"
 #include "simt/sanitizer.hpp"
 #include "simt/types.hpp"
 #include "util/check.hpp"
 
 namespace gpuksel::simt {
 
+class ScopedRegion;
+
 class WarpContext {
  public:
   /// Direct construction (unit tests) leaves `sanitizer` null: no checks, the
-  /// legacy permissive machine.  Device::launch always passes its sanitizer.
+  /// legacy permissive machine.  Device::launch always passes its sanitizer
+  /// and, when a profiler is attached, this warp's WarpProfile slot.
   WarpContext(KernelMetrics& metrics, std::uint32_t warp_id,
               const SanitizerConfig* sanitizer = nullptr,
               FaultInjector* injector = nullptr,
-              const char* kernel_name = "kernel") noexcept
+              const char* kernel_name = "kernel",
+              WarpProfile* profile = nullptr) noexcept
       : metrics_(metrics),
         warp_id_(warp_id),
         sanitizer_(sanitizer),
         injector_(injector),
         kernel_name_(kernel_name),
+        profile_(profile),
         unchecked_(injector == nullptr &&
                    (sanitizer == nullptr || !sanitizer->any_check_on())) {}
 
@@ -83,6 +89,22 @@ class WarpContext {
     metrics_.instructions += count;
     metrics_.useful_lane_slots +=
         count * static_cast<std::uint64_t>(popcount(m));
+  }
+
+  // --- profiling regions ----------------------------------------------------
+
+  /// Opens a named profiling region scoped to the returned guard; counters
+  /// accrued while it is the innermost open region are attributed to `name`.
+  /// Free (regions charge no instructions) and a no-op when no profiler is
+  /// attached.  `name` must be a string literal (stable for the launch).
+  [[nodiscard]] ScopedRegion region(const char* name);
+
+  /// Raw region controls for non-RAII callers; prefer region().
+  void enter_region(const char* name) {
+    if (profile_ != nullptr) profile_->enter(name, metrics_);
+  }
+  void exit_region() {
+    if (profile_ != nullptr) profile_->exit(metrics_);
   }
 
   // --- register moves -----------------------------------------------------
@@ -535,11 +557,33 @@ class WarpContext {
   const SanitizerConfig* sanitizer_ = nullptr;
   FaultInjector* injector_ = nullptr;
   const char* kernel_name_ = "kernel";
+  WarpProfile* profile_ = nullptr;
   /// No injector and no live sanitizer check at construction: global
   /// accesses take the branch-free fast path.  Cached once per warp — the
   /// config cannot change mid-launch.
   bool unchecked_ = false;
 };
+
+/// RAII guard for a WarpContext profiling region; closes it on destruction.
+/// Obtained from WarpContext::region() — guaranteed copy elision means the
+/// region opens and closes exactly once per guard.
+class ScopedRegion {
+ public:
+  ScopedRegion(WarpContext& ctx, const char* name) : ctx_(ctx) {
+    ctx_.enter_region(name);
+  }
+  ~ScopedRegion() { ctx_.exit_region(); }
+
+  ScopedRegion(const ScopedRegion&) = delete;
+  ScopedRegion& operator=(const ScopedRegion&) = delete;
+
+ private:
+  WarpContext& ctx_;
+};
+
+inline ScopedRegion WarpContext::region(const char* name) {
+  return ScopedRegion(*this, name);
+}
 
 /// Per-warp shared-memory array with bank-conflict accounting.  The paper
 /// places one "volatile shared int flag" per warp for Intra-Warp

@@ -45,8 +45,14 @@ double median(std::vector<double> xs) noexcept {
 
 double geometric_mean(std::span<const double> xs) noexcept {
   if (xs.empty()) return 0.0;
+  // Guard the log: a zero factor makes the product (and so the mean) zero,
+  // and a negative factor leaves it undefined — both previously came out as
+  // NaN (log of a negative) or -inf underflow (log of zero).
   double log_sum = 0.0;
-  for (double x : xs) log_sum += std::log(x);
+  for (double x : xs) {
+    if (x <= 0.0) return 0.0;
+    log_sum += std::log(x);
+  }
   return std::exp(log_sum / static_cast<double>(xs.size()));
 }
 

@@ -34,7 +34,9 @@ double mean(std::span<const double> xs) noexcept;
 /// Median of a sample (copies and partially sorts); 0 for an empty sample.
 double median(std::vector<double> xs) noexcept;
 
-/// Geometric mean of strictly positive values; 0 for an empty sample.
+/// Geometric mean of a sample; 0 for an empty sample.  A zero factor makes
+/// the product zero, and the mean of values containing a negative factor is
+/// undefined, so both return 0 instead of NaN/underflow.
 double geometric_mean(std::span<const double> xs) noexcept;
 
 /// p-th percentile (0..100) with linear interpolation; copies the sample.

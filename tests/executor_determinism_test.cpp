@@ -13,6 +13,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -25,6 +26,7 @@
 #include "simt/executor.hpp"
 #include "simt/fault_injection.hpp"
 #include "simt/memory.hpp"
+#include "simt/profiler.hpp"
 #include "simt/sanitizer.hpp"
 #include "simt/types.hpp"
 #include "simt/warp.hpp"
@@ -216,6 +218,52 @@ TEST(LaunchDeterminism, QmsSerialPolicyCorrectUnderThreadedDevice) {
   const auto serial = run(1);
   for (const unsigned threads : kThreadCounts) {
     EXPECT_EQ(run(threads), serial) << "threads=" << threads;
+  }
+}
+
+TEST(LaunchDeterminism, ProfilesBitIdenticalAcrossThreadCounts) {
+  // The whole profile — per-warp metrics, region attribution, trace spans —
+  // must be bit-identical for any executor thread count; only the two host
+  // fields (wall_seconds, worker_threads) may differ, and
+  // set_include_host_info(false) zeroes them so the serialized exports can
+  // be compared as strings.
+  auto run = [&](unsigned threads) {
+    constexpr std::uint32_t kWarps = 24;
+    Device dev;
+    dev.set_worker_threads(threads);
+    simt::Profiler prof;
+    prof.set_include_host_info(false);
+    dev.set_profiler(&prof);
+    auto buf = dev.alloc<float>(std::size_t{kWarps} * kWarpSize, 0.0f);
+    auto span = buf.span();
+    dev.launch("profiled", kWarps, [&](WarpContext& ctx, std::uint32_t w) {
+      const U32 lane = WarpContext::lane_id();
+      U32 idx = ctx.add(kFullMask, lane, w * kWarpSize);
+      // Divergent region trip counts: warp w flushes w % 3 + 1 times.
+      for (std::uint32_t it = 0; it <= w % 3; ++it) {
+        const auto flush = ctx.region("flush");
+        ctx.store(kFullMask, span, idx, static_cast<float>(it));
+        {
+          const auto sort = ctx.region("sort");
+          const F32 v = ctx.load(kFullMask, span, idx);
+          ctx.issue(kFullMask, w % 5);
+          (void)v;
+        }
+      }
+      ctx.issue(kFullMask, 2);  // unattributed tail
+    });
+    std::ostringstream report, trace, csv;
+    prof.write_report(report);
+    prof.write_trace(trace);
+    prof.write_regions_csv(csv);
+    return std::tuple(report.str(), trace.str(), csv.str());
+  };
+  const auto [serial_report, serial_trace, serial_csv] = run(1);
+  for (const unsigned threads : {1u, 2u, 7u}) {
+    const auto [report, trace, csv] = run(threads);
+    EXPECT_EQ(report, serial_report) << "threads=" << threads;
+    EXPECT_EQ(trace, serial_trace) << "threads=" << threads;
+    EXPECT_EQ(csv, serial_csv) << "threads=" << threads;
   }
 }
 

@@ -1,0 +1,347 @@
+// Tests for the per-kernel SIMT profiler: region nesting and exclusive-self
+// attribution, per-warp metrics partitioning the launch aggregate, trace and
+// report export well-formedness, the span cap, and the cost-model breakdown.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "simt/device.hpp"
+#include "simt/metrics.hpp"
+#include "simt/profiler.hpp"
+#include "simt/types.hpp"
+#include "simt/warp.hpp"
+
+namespace gpuksel::simt {
+namespace {
+
+/// Minimal JSON well-formedness checker (no JSON library in the toolchain):
+/// validates balanced braces/brackets outside strings, string escape syntax,
+/// and that the document is a single object.  Enough to catch the classic
+/// emission bugs (trailing commas are additionally rejected).
+bool json_well_formed(const std::string& text, std::string* why = nullptr) {
+  const auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  char prev_token = '\0';  // last structural char outside strings
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[':
+        stack.push_back(c);
+        prev_token = c;
+        break;
+      case '}': case ']': {
+        if (prev_token == ',') return fail("trailing comma");
+        if (stack.empty()) return fail("unbalanced close");
+        const char open = stack.back();
+        stack.pop_back();
+        if ((c == '}') != (open == '{')) return fail("mismatched close");
+        prev_token = c;
+        break;
+      }
+      case ',':
+        if (prev_token == ',' || prev_token == '{' || prev_token == '[') {
+          return fail("empty element");
+        }
+        prev_token = ',';
+        break;
+      default:
+        if (!std::isspace(static_cast<unsigned char>(c))) prev_token = '\0';
+    }
+  }
+  if (in_string) return fail("unterminated string");
+  if (!stack.empty()) return fail("unbalanced open");
+  return true;
+}
+
+KernelMetrics sum_regions(const std::vector<RegionStats>& regions) {
+  KernelMetrics total;
+  for (const RegionStats& r : regions) total += r.self;
+  return total;
+}
+
+/// A kernel with nested regions and divergent per-warp work: warp w does
+/// (w + 1) outer iterations, each opening "outer" with a nested "inner".
+void run_nested_kernel(Device& dev, std::size_t num_warps) {
+  auto buf = dev.alloc<float>(64 * num_warps, 0.0f);
+  auto span = buf.span();
+  dev.launch("nested", num_warps, [&](WarpContext& ctx, std::uint32_t w) {
+    const LaneMask m = kFullMask;
+    for (std::uint32_t it = 0; it <= w; ++it) {
+      const auto outer = ctx.region("outer");
+      U32 idx;
+      ctx.alu(m, idx, [&](int i) {
+        return static_cast<std::uint32_t>(w * 64 + i);
+      });
+      ctx.store(m, span, idx, 1.0f);
+      {
+        const auto inner = ctx.region("inner");
+        const F32 v = ctx.load(m, span, idx);
+        ctx.issue(m);
+        (void)v;
+      }
+      ctx.issue(m, 2);  // back in "outer" after "inner" closed
+    }
+    ctx.issue(m, 3);  // outside any region: unattributed
+  });
+}
+
+TEST(WarpProfileTest, SelfAttributionAndNesting) {
+  KernelMetrics m;
+  WarpProfile p;
+  // outer: 5 instructions before inner, inner: 3, outer after inner: 2.
+  m.instructions = 10;
+  p.enter("outer", m);
+  m.instructions += 5;
+  m.global_load_tx += 4;
+  p.enter("inner", m);
+  m.instructions += 3;
+  m.shared_requests += 2;
+  p.exit(m);  // inner
+  m.instructions += 2;
+  p.exit(m);  // outer
+  m.instructions += 7;  // unattributed tail
+  p.finalize(m);
+
+  ASSERT_EQ(p.regions().size(), 2u);
+  const RegionStats& outer = p.regions()[0];
+  const RegionStats& inner = p.regions()[1];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.calls, 1u);
+  EXPECT_EQ(outer.self.instructions, 7u);  // 5 + 2, inner's 3 excluded
+  EXPECT_EQ(outer.self.global_load_tx, 4u);
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.self.instructions, 3u);
+  EXPECT_EQ(inner.self.shared_requests, 2u);
+  // attributed() is the inclusive top-level sum: 10 of the 17 instructions
+  // issued after entry (the 10 before entry and 7 after exit are not).
+  EXPECT_EQ(p.attributed().instructions, 10u);
+
+  ASSERT_EQ(p.spans().size(), 2u);
+  // Spans are appended at close: inner closes first.
+  EXPECT_STREQ(p.spans()[0].name, "inner");
+  EXPECT_EQ(p.spans()[0].depth, 1u);
+  EXPECT_EQ(p.spans()[0].begin_instructions, 15u);
+  EXPECT_EQ(p.spans()[0].end_instructions, 18u);
+  EXPECT_STREQ(p.spans()[1].name, "outer");
+  EXPECT_EQ(p.spans()[1].depth, 0u);
+  EXPECT_EQ(p.spans()[1].begin_instructions, 10u);
+  EXPECT_EQ(p.spans()[1].end_instructions, 20u);
+}
+
+TEST(WarpProfileTest, FinalizeClosesOpenRegions) {
+  KernelMetrics m;
+  WarpProfile p;
+  p.enter("left_open", m);
+  m.instructions = 4;
+  p.finalize(m);
+  ASSERT_EQ(p.regions().size(), 1u);
+  EXPECT_EQ(p.regions()[0].self.instructions, 4u);
+  EXPECT_TRUE(p.regions()[0].self == p.attributed());
+}
+
+TEST(WarpProfileTest, SpanCapCountsDrops) {
+  KernelMetrics m;
+  WarpProfile p;
+  p.set_span_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    p.enter("r", m);
+    m.instructions += 1;
+    p.exit(m);
+  }
+  p.finalize(m);
+  EXPECT_EQ(p.spans().size(), 2u);
+  EXPECT_EQ(p.dropped_spans(), 3u);
+  // Region stats stay exact past the cap.
+  ASSERT_EQ(p.regions().size(), 1u);
+  EXPECT_EQ(p.regions()[0].calls, 5u);
+  EXPECT_EQ(p.regions()[0].self.instructions, 5u);
+}
+
+TEST(ProfilerTest, RegionsPartitionLaunchAggregate) {
+  Device dev;
+  dev.set_worker_threads(1);
+  Profiler prof;
+  dev.set_profiler(&prof);
+  run_nested_kernel(dev, 3);
+
+  ASSERT_EQ(prof.records().size(), 1u);
+  const KernelRecord& rec = prof.records()[0];
+  EXPECT_EQ(rec.kernel, "nested");
+  EXPECT_EQ(rec.num_warps, 3u);
+  EXPECT_TRUE(rec.total == dev.last_launch());
+
+  // Launch-aggregate region self metrics sum exactly to the aggregate.
+  EXPECT_TRUE(sum_regions(rec.regions) == rec.total);
+  // And per warp: warp_regions[w] partitions per_warp[w].
+  ASSERT_EQ(rec.warp_regions.size(), 3u);
+  KernelMetrics warp_sum;
+  for (std::size_t w = 0; w < 3; ++w) {
+    EXPECT_TRUE(sum_regions(rec.warp_regions[w]) == rec.per_warp[w])
+        << "warp " << w;
+    warp_sum += rec.per_warp[w];
+  }
+  EXPECT_TRUE(warp_sum == rec.total);
+
+  // The synthetic region exists (the kernel issues outside regions) and is
+  // ordered last in the aggregate.
+  ASSERT_FALSE(rec.regions.empty());
+  EXPECT_EQ(rec.regions.back().name, kUnattributedRegion);
+  // Divergent trip counts: warp w opens "outer" w+1 times.
+  EXPECT_EQ(rec.warp_regions[2][0].name, "outer");
+  EXPECT_EQ(rec.warp_regions[2][0].calls, 3u);
+}
+
+TEST(ProfilerTest, RecordsCostBreakdown) {
+  Device dev;
+  dev.set_worker_threads(1);
+  Profiler prof;
+  dev.set_profiler(&prof);
+  run_nested_kernel(dev, 2);
+  const KernelRecord& rec = prof.records()[0];
+  const CostModel& cm = prof.cost_model();
+  EXPECT_DOUBLE_EQ(rec.instruction_seconds, cm.instruction_seconds(rec.total));
+  EXPECT_DOUBLE_EQ(rec.memory_seconds, cm.memory_seconds(rec.total));
+  EXPECT_DOUBLE_EQ(rec.kernel_seconds, cm.kernel_seconds(rec.total));
+  EXPECT_EQ(rec.memory_bound, rec.memory_seconds > rec.instruction_seconds);
+  EXPECT_EQ(rec.worker_threads, 1u);
+  EXPECT_GE(rec.wall_seconds, 0.0);
+}
+
+TEST(ProfilerTest, MultipleLaunchesIndexInOrder) {
+  Device dev;
+  dev.set_worker_threads(1);
+  Profiler prof;
+  dev.set_profiler(&prof);
+  run_nested_kernel(dev, 1);
+  run_nested_kernel(dev, 2);
+  ASSERT_EQ(prof.records().size(), 2u);
+  EXPECT_EQ(prof.records()[0].launch_index, 0u);
+  EXPECT_EQ(prof.records()[1].launch_index, 1u);
+  prof.clear();
+  EXPECT_TRUE(prof.records().empty());
+}
+
+TEST(ProfilerTest, ReportAndTraceAreWellFormedJson) {
+  Device dev;
+  dev.set_worker_threads(1);
+  Profiler prof;
+  dev.set_profiler(&prof);
+  run_nested_kernel(dev, 3);
+  run_nested_kernel(dev, 1);
+
+  std::string why;
+  std::ostringstream report;
+  prof.write_report(report);
+  EXPECT_TRUE(json_well_formed(report.str(), &why)) << why;
+  EXPECT_NE(report.str().find("\"kernel\": \"nested\""), std::string::npos);
+  EXPECT_NE(report.str().find("\"outer\""), std::string::npos);
+
+  std::ostringstream trace;
+  prof.write_trace(trace);
+  EXPECT_TRUE(json_well_formed(trace.str(), &why)) << why;
+  // Chrome trace_event essentials: complete events with pid/tid/ts/dur.
+  EXPECT_NE(trace.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.str().find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(trace.str().find("\"ph\": \"M\""), std::string::npos);
+
+  std::ostringstream csv;
+  prof.write_regions_csv(csv);
+  const std::string header = csv.str().substr(0, csv.str().find('\n'));
+  EXPECT_EQ(header,
+            "kernel,launch_index,region,calls,instructions,useful_lane_slots,"
+            "simt_efficiency,global_load_tx,global_store_tx,global_requests,"
+            "shared_requests,shared_conflict_replays");
+}
+
+TEST(ProfilerTest, EmptyProfilerExportsAreWellFormed) {
+  Profiler prof;
+  std::string why;
+  std::ostringstream report, trace;
+  prof.write_report(report);
+  prof.write_trace(trace);
+  EXPECT_TRUE(json_well_formed(report.str(), &why)) << why;
+  EXPECT_TRUE(json_well_formed(trace.str(), &why)) << why;
+}
+
+TEST(ProfilerTest, UnprofiledLaunchWithoutRegionsStillPartitions) {
+  // A kernel with no region annotations: everything lands in
+  // "(unattributed)" and the partition invariant still holds.
+  Device dev;
+  dev.set_worker_threads(1);
+  Profiler prof;
+  dev.set_profiler(&prof);
+  dev.launch("plain", 2, [&](WarpContext& ctx, std::uint32_t) {
+    ctx.issue(kFullMask, 5);
+  });
+  const KernelRecord& rec = prof.records()[0];
+  ASSERT_EQ(rec.regions.size(), 1u);
+  EXPECT_EQ(rec.regions[0].name, kUnattributedRegion);
+  EXPECT_TRUE(sum_regions(rec.regions) == rec.total);
+}
+
+TEST(ProfilerTest, HostInfoToggleZeroesOnlyHostFields) {
+  Device dev;
+  dev.set_worker_threads(1);
+  Profiler prof;
+  dev.set_profiler(&prof);
+  run_nested_kernel(dev, 2);
+
+  std::ostringstream with_host;
+  prof.write_report(with_host);
+  prof.set_include_host_info(false);
+  std::ostringstream without_host;
+  prof.write_report(without_host);
+  EXPECT_NE(without_host.str().find("\"worker_threads\": 0"),
+            std::string::npos);
+  EXPECT_NE(without_host.str().find("\"wall_seconds\": 0"), std::string::npos);
+  // The toggle must not perturb anything else: stripping the two host lines
+  // makes the exports identical.
+  const auto strip = [](const std::string& s) {
+    std::istringstream is(s);
+    std::string line, out;
+    while (std::getline(is, line)) {
+      if (line.find("\"wall_seconds\"") != std::string::npos ||
+          line.find("\"worker_threads\"") != std::string::npos) {
+        continue;
+      }
+      out += line;
+      out += '\n';
+    }
+    return out;
+  };
+  EXPECT_EQ(strip(with_host.str()), strip(without_host.str()));
+}
+
+TEST(ProfilerTest, DetachedDeviceRecordsNothing) {
+  Device dev;
+  dev.set_worker_threads(1);
+  Profiler prof;
+  dev.set_profiler(&prof);
+  run_nested_kernel(dev, 1);
+  dev.set_profiler(nullptr);
+  run_nested_kernel(dev, 1);
+  EXPECT_EQ(prof.records().size(), 1u);
+}
+
+}  // namespace
+}  // namespace gpuksel::simt

@@ -391,6 +391,33 @@ TEST(CostModelTest, ScalingMultipliesWork) {
               1e-12);
 }
 
+TEST(CostModelTest, ScalingPreservesDerivedRatios) {
+  // Regression: kernel_seconds_scaled used to scale only instructions and
+  // transactions, so efficiency/coalescing ratios of a scaled KernelMetrics
+  // were silently wrong by the scale factor.  scale_metrics must scale every
+  // counter together, keeping the ratios invariant.
+  KernelMetrics m;
+  m.instructions = 1000;
+  m.useful_lane_slots = 17'500;  // efficiency 0.546875
+  m.global_load_tx = 300;
+  m.global_store_tx = 100;
+  m.global_requests = 250;  // 1.6 tx/request
+  m.shared_requests = 40;
+  m.shared_conflict_replays = 7;
+  for (const double scale : {2.0, 128.0, 4096.0}) {
+    const KernelMetrics s = scale_metrics(m, scale);
+    EXPECT_DOUBLE_EQ(s.simt_efficiency(), m.simt_efficiency())
+        << "scale " << scale;
+    EXPECT_DOUBLE_EQ(s.transactions_per_request(),
+                     m.transactions_per_request())
+        << "scale " << scale;
+    EXPECT_EQ(s.instructions, static_cast<std::uint64_t>(scale) * 1000);
+    EXPECT_EQ(s.shared_requests, static_cast<std::uint64_t>(scale) * 40);
+    EXPECT_EQ(s.shared_conflict_replays,
+              static_cast<std::uint64_t>(scale) * 7);
+  }
+}
+
 TEST(CostModelTest, TransferCalibratedToPaperDataCopy) {
   // The paper's Table I reports 0.46 s to copy the 2^13 x 2^15 float matrix.
   const CostModel cm = c2075_model();

@@ -94,9 +94,23 @@ TEST(Stats, MedianOddEven) {
   EXPECT_DOUBLE_EQ(median({}), 0.0);
 }
 
+TEST(Stats, MedianSingleElement) {
+  EXPECT_DOUBLE_EQ(median({42.0}), 42.0);
+}
+
 TEST(Stats, GeometricMean) {
   EXPECT_DOUBLE_EQ(geometric_mean(std::vector<double>{2.0, 8.0}), 4.0);
   EXPECT_DOUBLE_EQ(geometric_mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, GeometricMeanZeroAndNegativeInputs) {
+  // Regression: std::log(0) / std::log(-x) used to leak NaN or -inf
+  // underflow into the mean; a zero factor zeroes the product and negative
+  // factors make it undefined, so both come back as 0.
+  EXPECT_DOUBLE_EQ(geometric_mean(std::vector<double>{0.0, 4.0}), 0.0);
+  EXPECT_DOUBLE_EQ(geometric_mean(std::vector<double>{-2.0, 8.0}), 0.0);
+  EXPECT_DOUBLE_EQ(geometric_mean(std::vector<double>{0.0}), 0.0);
+  EXPECT_FALSE(std::isnan(geometric_mean(std::vector<double>{-1.0, -1.0})));
 }
 
 TEST(Stats, Percentile) {
@@ -104,6 +118,16 @@ TEST(Stats, Percentile) {
   EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 100), 10.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.5);
+}
+
+TEST(Stats, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  // Out-of-range p clamps rather than indexing out of bounds.
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, -10), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 140), 2.0);
 }
 
 TEST(Table, PrintsAlignedGrid) {
