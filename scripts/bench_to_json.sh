@@ -12,19 +12,26 @@
 # A "parallelism_valid" field flags results captured where the requested
 # thread count exceeds the host's cores (speedup is meaningless there).
 #
-# Usage: scripts/bench_to_json.sh [build_dir] [out_json]
+# The batched serving bench (fig10) gets the same treatment and emits
+# BENCH_batched_throughput.json: queries/sec per batch size, the b=1 -> full
+# speedup, and the kernel-launch count — with the serial/parallel determinism
+# checks applied to its CSV (fully modeled, so byte-identical) and profile.
+#
+# Usage: scripts/bench_to_json.sh [build_dir] [out_json] [out_batched_json]
 #   WARPS=n    sampled warps per configuration (default 2)
 #   THREADS=n  parallel thread count (default: nproc)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_sim_throughput.json}"
+OUT_BATCHED_JSON="${3:-BENCH_batched_throughput.json}"
 WARPS="${WARPS:-2}"
 THREADS="${THREADS:-$(nproc)}"
 BENCH="${BUILD_DIR}/bench/table1_execution_time"
+BENCH_BATCHED="${BUILD_DIR}/bench/fig10_batched_throughput"
 
-if [[ ! -x "${BENCH}" ]]; then
-  echo "error: ${BENCH} not found — build the repo first" >&2
+if [[ ! -x "${BENCH}" || ! -x "${BENCH_BATCHED}" ]]; then
+  echo "error: ${BENCH} or ${BENCH_BATCHED} not found — build the repo first" >&2
   exit 1
 fi
 
@@ -32,9 +39,9 @@ TMPDIR_RUN=$(mktemp -d)
 trap 'rm -rf "${TMPDIR_RUN}"' EXIT
 
 run_once() {
-  local threads="$1" csv="$2" profile="$3" t0 t1
+  local bench="$1" threads="$2" csv="$3" profile="$4" t0 t1
   t0=$(date +%s%N)
-  "${BENCH}" --warps="${WARPS}" --threads="${threads}" --csv="${csv}" \
+  "${bench}" --warps="${WARPS}" --threads="${threads}" --csv="${csv}" \
     --profile="${profile}" >/dev/null
   t1=$(date +%s%N)
   awk "BEGIN{printf \"%.6f\", (${t1} - ${t0}) / 1e9}"
@@ -45,8 +52,8 @@ CSV_PARALLEL="${TMPDIR_RUN}/parallel.csv"
 PROFILE_SERIAL="${TMPDIR_RUN}/serial.json"
 PROFILE_PARALLEL="${TMPDIR_RUN}/parallel.json"
 
-SERIAL_S=$(run_once 1 "${CSV_SERIAL}" "${PROFILE_SERIAL}")
-PARALLEL_S=$(run_once "${THREADS}" "${CSV_PARALLEL}" "${PROFILE_PARALLEL}")
+SERIAL_S=$(run_once "${BENCH}" 1 "${CSV_SERIAL}" "${PROFILE_SERIAL}")
+PARALLEL_S=$(run_once "${BENCH}" "${THREADS}" "${CSV_PARALLEL}" "${PROFILE_PARALLEL}")
 
 # The CPU rows are measured host wall-clock (non-deterministic); every
 # simulated row is modeled from metrics and must be bit-identical.
@@ -104,6 +111,67 @@ out = {
 if not out["parallelism_valid"]:
     out["note"] = (f"captured with {threads} threads on {host_cores} "
                    "host core(s): speedup is not meaningful")
+with open(sys.argv[1], "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(json.dumps(out, indent=2))
+EOF
+
+# --- batched serving throughput (fig10) -------------------------------------
+
+BATCH_CSV_SERIAL="${TMPDIR_RUN}/batched_serial.csv"
+BATCH_CSV_PARALLEL="${TMPDIR_RUN}/batched_parallel.csv"
+BATCH_PROFILE_SERIAL="${TMPDIR_RUN}/batched_serial.json"
+BATCH_PROFILE_PARALLEL="${TMPDIR_RUN}/batched_parallel.json"
+
+BATCH_SERIAL_S=$(run_once "${BENCH_BATCHED}" 1 \
+  "${BATCH_CSV_SERIAL}" "${BATCH_PROFILE_SERIAL}")
+BATCH_PARALLEL_S=$(run_once "${BENCH_BATCHED}" "${THREADS}" \
+  "${BATCH_CSV_PARALLEL}" "${BATCH_PROFILE_PARALLEL}")
+
+# Every fig10 row is modeled from metrics — no host-measured rows to exclude.
+if ! cmp -s "${BATCH_CSV_SERIAL}" "${BATCH_CSV_PARALLEL}"; then
+  echo "error: batched serial and parallel runs disagree — determinism violated" >&2
+  exit 1
+fi
+if ! cmp -s <(grep -vE '"(wall_seconds|worker_threads)":' "${BATCH_PROFILE_SERIAL}") \
+            <(grep -vE '"(wall_seconds|worker_threads)":' "${BATCH_PROFILE_PARALLEL}"); then
+  echo "error: batched serial and parallel profiles disagree — determinism violated" >&2
+  exit 1
+fi
+
+python3 - "${OUT_BATCHED_JSON}" "${BATCH_CSV_SERIAL}" "${BATCH_PROFILE_SERIAL}" <<EOF
+import csv, json, sys
+with open(sys.argv[2]) as f:
+    rows = list(csv.DictReader(f))
+with open(sys.argv[3]) as f:
+    profile = json.load(f)
+batched_kernels = [k for k in profile["kernels"]
+                   if k["kernel"] in ("batch_tile_score", "batch_reduce")]
+by_batch = [
+    {
+        "batch_size": int(r["batch_size"]),
+        "batches": int(r["batches"]),
+        "modeled_seconds": float(r["modeled_seconds"]),
+        "queries_per_second": round(float(r["queries_per_second"]), 1),
+        "speedup_vs_b1": round(float(r["speedup_vs_b1"]), 3),
+        "simt_efficiency": round(float(r["simt_efficiency"]), 4),
+        "tile_score_share": round(float(r["tile_score_share"]), 4),
+        "tile_copy_share": round(float(r["tile_copy_share"]), 4),
+    }
+    for r in rows
+]
+full = max(by_batch, key=lambda r: r["batch_size"])
+out = {
+    "bench": "fig10_batched_throughput",
+    "warps_flag": ${WARPS},
+    "queries": ${WARPS} * 32,
+    "kernel_launches": len(profile["kernels"]),
+    "batched_kernel_launches": len(batched_kernels),
+    "by_batch_size": by_batch,
+    "speedup_full_batch_vs_b1": full["speedup_vs_b1"],
+    "outputs_identical": True,
+}
 with open(sys.argv[1], "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")

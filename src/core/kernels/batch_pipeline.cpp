@@ -1,0 +1,247 @@
+#include "core/kernels/batch_pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "core/kernels/pipeline.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel::kernels {
+
+namespace {
+
+/// NaN distances are *computed* in registers here, not loaded, so the
+/// load-time NaN policy in WarpContext never sees them.  Apply the same
+/// policy to the accumulator, so the fused kernel behaves exactly like the
+/// two-kernel pipeline — where the select kernel's matrix loads would have
+/// remapped (kSortLast) or faulted (kReject) these values.  The fixup is
+/// free, like the load-path remap: hardware charges nothing for it, it is a
+/// sanitizer semantic.
+void apply_computed_nan_policy(WarpContext& ctx, LaneMask act, F32& acc,
+                               const U32& thread, std::uint32_t ref) {
+  const simt::SanitizerConfig* san = ctx.sanitizer();
+  if (san == nullptr || san->nan_policy == NanPolicy::kPropagate) return;
+  for (int i = 0; i < simt::kWarpSize; ++i) {
+    if (!simt::lane_active(act, i) || !std::isnan(acc[i])) continue;
+    if (san->nan_policy == NanPolicy::kReject) {
+      std::ostringstream os;
+      os << "NaN distance computed for query " << thread[i] << " x ref " << ref
+         << " under NanPolicy::kReject";
+      ctx.fault(FaultKind::kNanDistance, i, os.str());
+    }
+    acc[i] = std::numeric_limits<float>::infinity();
+  }
+}
+
+}  // namespace
+
+BatchOutput batched_select(simt::Device& dev,
+                           const simt::DeviceBuffer<float>& refs,
+                           std::span<const float> queries_dim_major,
+                           std::uint32_t num_queries, std::uint32_t n,
+                           std::uint32_t dim, std::uint32_t k,
+                           const BatchConfig& cfg) {
+  GPUKSEL_CHECK(k >= 1, "batched_select needs k >= 1");
+  GPUKSEL_CHECK(n >= 1, "batched_select needs a non-empty reference set");
+  GPUKSEL_CHECK(dim >= 1, "batched_select needs dim >= 1");
+  GPUKSEL_CHECK(cfg.tile_refs >= 1, "batched_select needs tile_refs >= 1");
+  GPUKSEL_CHECK(refs.size() == std::size_t{n} * dim,
+                "reference buffer size mismatch");
+  GPUKSEL_CHECK(queries_dim_major.size() == std::size_t{num_queries} * dim,
+                "query buffer size mismatch");
+  if (cfg.select.buffer == BufferMode::kFullSorted) {
+    GPUKSEL_CHECK((cfg.select.buffer_size & (cfg.select.buffer_size - 1)) == 0,
+                  "Local Sort needs a power-of-two buffer size");
+  }
+
+  BatchOutput out;
+  out.num_tiles = batch_num_tiles(n, cfg.tile_refs);
+  if (num_queries == 0) return out;  // an empty batch is served for free
+
+  const SelectConfig& sel = cfg.select;
+  const std::uint32_t threads = padded_threads(num_queries);
+  const std::uint32_t num_warps = threads / simt::kWarpSize;
+  const std::uint32_t num_tiles = out.num_tiles;
+  // Per-tile partial queues keep the tile-scan queue's capacity; the reduce
+  // queue is always a merge queue, whose capacity may round k up.
+  const std::uint32_t tile_cap = queue_capacity(sel, k);
+  SelectConfig reduce_cfg = sel;
+  reduce_cfg.queue = QueueKind::kMerge;
+  const std::uint32_t red_cap = queue_capacity(reduce_cfg, k);
+
+  auto d_queries = dev.upload(queries_dim_major);
+  // One slab of per-thread queues per tile: tile t's queues live at flat
+  // offset t*tile_cap*threads, each viewed in sel.queue_layout order.
+  auto pdist = dev.alloc<float>(std::size_t{num_tiles} * tile_cap * threads);
+  auto pidx =
+      dev.alloc<std::uint32_t>(std::size_t{num_tiles} * tile_cap * threads);
+  auto fdist = dev.alloc<float>(std::size_t{red_cap} * threads);
+  auto fidx = dev.alloc<std::uint32_t>(std::size_t{red_cap} * threads);
+  auto dbuf = dev.alloc<float>(
+      sel.buffer == BufferMode::kNone ? 0 : std::size_t{sel.buffer_size} * threads);
+  auto ibuf = dev.alloc<std::uint32_t>(
+      sel.buffer == BufferMode::kNone ? 0 : std::size_t{sel.buffer_size} * threads);
+  const bool tile_two_pointer = sel.queue == QueueKind::kMerge &&
+                                sel.merge_strategy == MergeStrategy::kTwoPointer;
+  auto tdscr =
+      dev.alloc<float>(tile_two_pointer ? std::size_t{tile_cap} * threads : 0);
+  auto tiscr = dev.alloc<std::uint32_t>(
+      tile_two_pointer ? std::size_t{tile_cap} * threads : 0);
+  // The reduce merge is always two-pointer, so it always needs scratch.
+  auto rdscr = dev.alloc<float>(std::size_t{red_cap} * threads);
+  auto riscr = dev.alloc<std::uint32_t>(std::size_t{red_cap} * threads);
+
+  const auto q_span = d_queries.cspan();
+  const auto r_span = refs.cspan();
+  // Views are built host-side before any launch: DeviceBuffer::span() is not
+  // safe to call from parallel warp workers (it refreshes the shadow).
+  std::vector<ThreadArrayView> tile_views;
+  tile_views.reserve(num_tiles);
+  {
+    const auto pd = pdist.span();
+    const auto pi = pidx.span();
+    for (std::uint32_t t = 0; t < num_tiles; ++t) {
+      const std::size_t ofs = std::size_t{t} * tile_cap * threads;
+      const std::size_t len = std::size_t{tile_cap} * threads;
+      tile_views.push_back(ThreadArrayView{pd.subspan(ofs, len),
+                                           pi.subspan(ofs, len), threads,
+                                           tile_cap, sel.queue_layout});
+    }
+  }
+  const ThreadArrayView bview{dbuf.span(), ibuf.span(), threads,
+                              sel.buffer_size, sel.queue_layout};
+  const ThreadArrayView tsview{tdscr.span(), tiscr.span(), threads,
+                               tile_two_pointer ? tile_cap : 0,
+                               sel.queue_layout};
+  const ThreadArrayView fview{fdist.span(), fidx.span(), threads, red_cap,
+                              sel.queue_layout};
+  const ThreadArrayView rsview{rdscr.span(), riscr.span(), threads, red_cap,
+                               sel.queue_layout};
+
+  // --- phase 1: one fused distance+select launch per tile -------------------
+  for (std::uint32_t t = 0; t < num_tiles; ++t) {
+    const std::uint32_t tile_begin = t * cfg.tile_refs;
+    const std::uint32_t tile_end =
+        std::min<std::uint32_t>(tile_begin + cfg.tile_refs, n);
+    const ThreadArrayView qview = tile_views[t];
+    out.tile_metrics += dev.launch(
+        "batch_tile_score", num_warps, [&](WarpContext& ctx, std::uint32_t warp) {
+          const std::uint32_t base = warp * simt::kWarpSize;
+          const int live = static_cast<int>(
+              std::min<std::uint32_t>(simt::kWarpSize, num_queries - base));
+          const LaneMask act = simt::first_lanes(live);
+          U32 thread;
+          ctx.alu(act, thread, [&](int i) { return base + i; });
+
+          // Query vector into registers, dim-major (coalesced) — the same
+          // loads gpu_distance_matrix issues, once per tile launch instead
+          // of once per query set: the reuse the batch amortizes.
+          std::vector<F32> qreg(dim);
+          for (std::uint32_t d = 0; d < dim; ++d) {
+            U32 idx;
+            ctx.alu(act, idx,
+                    [&](int i) { return d * num_queries + thread[i]; });
+            qreg[d] = ctx.load(act, q_span, idx);
+          }
+
+          simt::SharedArray<int> flag(ctx, 2, 0);
+          WarpQueue queue(ctx, qview, thread, act, sel.queue, sel.merge_m,
+                          sel.aligned_merge, &flag, sel.merge_strategy, tsview,
+                          sel.cache_head);
+          queue.init();
+          BufferedInserter inserter(ctx, queue, act, bview, thread, sel.buffer,
+                                    sel.buffer_size, &flag);
+
+          simt::SharedArray<float> stage(ctx,
+                                         std::size_t{kDistanceTileRefs} * dim);
+          for (std::uint32_t r0 = tile_begin; r0 < tile_end;
+               r0 += kDistanceTileRefs) {
+            const std::uint32_t rt =
+                std::min(kDistanceTileRefs, tile_end - r0);
+            const std::uint32_t total = rt * dim;
+            {
+              // Cooperative stage copy under the full warp, exactly as in
+              // gpu_distance_matrix: the staged refs are then scored by
+              // every query lane of the batch before the next stage loads.
+              const auto prof = ctx.region("tile_copy");
+              for (std::uint32_t ofs = 0; ofs < total;
+                   ofs += simt::kWarpSize) {
+                const LaneMask in_range = ctx.pred(simt::kFullMask, [&](int i) {
+                  return ofs + static_cast<std::uint32_t>(i) < total;
+                });
+                if (!in_range) break;
+                U32 src;
+                ctx.alu(in_range, src,
+                        [&](int i) { return r0 * dim + ofs + i; });
+                const F32 v = ctx.load(in_range, r_span, src);
+                U32 dst;
+                ctx.alu(in_range, dst, [&](int i) { return ofs + i; });
+                stage.write(in_range, dst, v);
+              }
+            }
+            const auto prof = ctx.region("batch_tile_score");
+            for (std::uint32_t r = 0; r < rt; ++r) {
+              // Identical FP op order to gpu_distance_matrix, so batched
+              // distances are bit-identical to the scalar pipeline's.
+              F32 acc = ctx.imm(act, 0.0f);
+              for (std::uint32_t d = 0; d < dim; ++d) {
+                const F32 ref_v =
+                    stage.read_bcast(act, std::size_t{r} * dim + d);
+                F32 diff;
+                ctx.alu(act, diff,
+                        [&](int i) { return qreg[d][i] - ref_v[i]; });
+                ctx.alu(act, acc,
+                        [&](int i) { return acc[i] + diff[i] * diff[i]; });
+              }
+              const std::uint32_t ref = r0 + r;
+              apply_computed_nan_policy(ctx, act, acc, thread, ref);
+              const EntryLanes cand{acc, ctx.imm(act, ref)};
+              inserter.offer(act, cand);
+            }
+          }
+          {
+            const auto prof = ctx.region("batch_tile_score");
+            inserter.finish();
+          }
+        });
+  }
+
+  // --- phase 2: merge the per-tile partials per query -----------------------
+  out.reduce_metrics = dev.launch(
+      "batch_reduce", num_warps, [&](WarpContext& ctx, std::uint32_t warp) {
+        const std::uint32_t base = warp * simt::kWarpSize;
+        const int live = static_cast<int>(
+            std::min<std::uint32_t>(simt::kWarpSize, num_queries - base));
+        const LaneMask act = simt::first_lanes(live);
+        U32 thread;
+        ctx.alu(act, thread, [&](int i) { return base + i; });
+
+        simt::SharedArray<int> flag(ctx, 2, 0);
+        WarpQueue queue(ctx, fview, thread, act, QueueKind::kMerge,
+                        reduce_cfg.merge_m, reduce_cfg.aligned_merge, &flag,
+                        MergeStrategy::kTwoPointer, rsview,
+                        reduce_cfg.cache_head);
+        queue.init();
+
+        const auto prof = ctx.region("batch_reduce");
+        // Tiles in ascending order, slots in queue order: candidates arrive
+        // in a deterministic sequence, and sentinel slots of underfull
+        // partials are rejected by accepts() (nothing beats the sentinel).
+        for (std::uint32_t t = 0; t < num_tiles; ++t) {
+          for (std::uint32_t j = 0; j < tile_cap; ++j) {
+            const EntryLanes e = tile_views[t].load(ctx, act, thread, j);
+            const LaneMask want = queue.accepts(act, e);
+            if (want) queue.insert(want, e);
+          }
+        }
+      });
+
+  out.neighbors = extract_queues(fdist, fidx, num_queries, threads, red_cap, k,
+                                 sel.queue_layout);
+  return out;
+}
+
+}  // namespace gpuksel::kernels

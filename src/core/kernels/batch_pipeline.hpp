@@ -1,0 +1,80 @@
+// Batched multi-query selection over sharded distance tiles.
+//
+// The serving-path counterpart of pipeline.hpp: instead of materializing the
+// full Q x N distance matrix and selecting over it, the reference set is
+// sharded into fixed-size tiles and one fused kernel is launched per
+// (tile, query-batch) pair.  Each kernel stages the tile's reference vectors
+// through shared memory once per warp and scores them against every query
+// lane in the batch before the next tile loads — the FAISS-style tile-reuse
+// amortization — feeding candidates straight into the paper's per-lane
+// queues (merge/insertion/heap + Buffered Search) to keep a per-tile partial
+// top-k.  A final reduce kernel merges the per-tile partials per query with
+// the two-pointer merge queue.
+//
+// Exactness: each tile's top-k is a superset of the tile's contribution to
+// the global top-k (same divide-and-merge argument as
+// select_k_smallest_chunked), tiles cover disjoint ascending index ranges,
+// and all ordering is lexicographic (dist, index) — so the reduced result is
+// bit-identical to a flat scan, and distances replicate gpu_distance_matrix's
+// FP op order exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/kernels/select_kernels.hpp"
+#include "core/neighbor.hpp"
+#include "simt/device.hpp"
+
+namespace gpuksel::kernels {
+
+/// Shape of the batched pipeline: how the reference set is sharded and which
+/// per-lane queue configuration scores each tile.
+struct BatchConfig {
+  /// References per shard.  Each shard gets its own fused
+  /// distance+select launch; smaller tiles mean more launches with less
+  /// work each (more partials to reduce), larger tiles approach the flat
+  /// scan.  Must be >= 1.
+  std::uint32_t tile_refs = 256;
+  /// Per-lane queue configuration for the tile scan.  The reduce step always
+  /// runs a merge queue with the two-pointer strategy regardless of
+  /// `select.queue`: partials arrive sorted-descending and mostly below the
+  /// threshold, the regime the sequential merge handles with uniform cost.
+  SelectConfig select;
+};
+
+/// Result of one batched selection: per-query neighbors plus the metrics of
+/// the two kernel classes (all tile launches summed, and the reduce launch).
+struct BatchOutput {
+  /// Per query: the min(k, n) nearest (dist, index), ascending.
+  std::vector<std::vector<Neighbor>> neighbors;
+  /// Sum over all "batch_tile_score" launches (fused distance + tile select).
+  simt::KernelMetrics tile_metrics;
+  /// The single "batch_reduce" launch merging per-tile partials.
+  simt::KernelMetrics reduce_metrics;
+  /// Number of shards the reference set was split into.
+  std::uint32_t num_tiles = 0;
+};
+
+/// Number of shards a reference set of n rows splits into.
+[[nodiscard]] constexpr std::uint32_t batch_num_tiles(
+    std::uint32_t n, std::uint32_t tile_refs) noexcept {
+  return tile_refs == 0 ? 0 : (n + tile_refs - 1) / tile_refs;
+}
+
+/// Runs the batched pipeline for one query batch against a device-resident
+/// reference set (row-major n x dim, uploaded once by the caller so its
+/// transfer cost amortizes over every batch served).  `queries_dim_major`
+/// is the dim-major host buffer of the batch (see to_dim_major); k must be
+/// >= 1, n and dim >= 1.  An empty batch (num_queries == 0) is valid and
+/// launches nothing.
+[[nodiscard]] BatchOutput batched_select(simt::Device& dev,
+                                         const simt::DeviceBuffer<float>& refs,
+                                         std::span<const float> queries_dim_major,
+                                         std::uint32_t num_queries,
+                                         std::uint32_t n, std::uint32_t dim,
+                                         std::uint32_t k,
+                                         const BatchConfig& cfg);
+
+}  // namespace gpuksel::kernels

@@ -3,8 +3,8 @@
 //   #include "gpuksel.hpp"
 //
 // Pulls in the scalar selection API (gpuksel::select_k_smallest), the queue
-// structures, Hierarchical Partition, the k-NN front end
-// (gpuksel::knn::BruteForceKnn), the simulated-GPU kernels
+// structures, Hierarchical Partition, the k-NN front ends
+// (gpuksel::knn::BruteForceKnn, gpuksel::knn::BatchedKnn), the simulated-GPU kernels
 // (gpuksel::kernels::*), the SIMT simulator (gpuksel::simt::*) and the
 // baseline algorithms (gpuksel::baselines::*).
 #pragma once
@@ -18,6 +18,7 @@
 #include "baselines/tbs.hpp"
 #include "core/buffered_search.hpp"
 #include "core/hierarchical_partition.hpp"
+#include "core/kernels/batch_pipeline.hpp"
 #include "core/kernels/hp_kernels.hpp"
 #include "core/kernels/pipeline.hpp"
 #include "core/kernels/select_kernels.hpp"
@@ -26,6 +27,7 @@
 #include "core/queues/heap_queue.hpp"
 #include "core/queues/insertion_queue.hpp"
 #include "core/queues/merge_queue.hpp"
+#include "knn/batch.hpp"
 #include "knn/knn.hpp"
 #include "knn/rbc.hpp"
 #include "simt/cost_model.hpp"

@@ -1,0 +1,82 @@
+#include "knn/batch.hpp"
+
+#include <utility>
+
+#include "knn/distance.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel::knn {
+
+BatchedKnn::BatchedKnn(Dataset refs, BatchedKnnOptions options)
+    : host_(std::move(refs)), options_(std::move(options)) {
+  GPUKSEL_CHECK(options_.batch.tile_refs >= 1,
+                "BatchedKnn needs tile_refs >= 1");
+}
+
+std::size_t BatchedKnn::enqueue(Dataset queries, std::uint32_t k) {
+  GPUKSEL_CHECK(queries.count == 0 || queries.dim == dim(),
+                "query/reference dim mismatch");
+  GPUKSEL_CHECK(k >= 1, "BatchedKnn needs k >= 1");
+  queue_.push_back(PendingBatch{std::move(queries), k});
+  return queue_.size() - 1;
+}
+
+std::vector<KnnResult> BatchedKnn::serve(simt::Device& dev) {
+  std::vector<KnnResult> results;
+  results.reserve(queue_.size());
+  while (!queue_.empty()) {
+    const PendingBatch& batch = queue_.front();
+    // run_batch may throw (fault without fallback): the batch stays queued
+    // so the caller can inspect or retry it.
+    results.push_back(run_batch(dev, batch.queries, batch.k));
+    queue_.pop_front();
+  }
+  return results;
+}
+
+KnnResult BatchedKnn::search_gpu(simt::Device& dev, const Dataset& queries,
+                                 std::uint32_t k) {
+  GPUKSEL_CHECK(queries.count == 0 || queries.dim == dim(),
+                "query/reference dim mismatch");
+  GPUKSEL_CHECK(k >= 1, "BatchedKnn needs k >= 1");
+  return run_batch(dev, queries, k);
+}
+
+void BatchedKnn::ensure_refs(simt::Device& dev) {
+  if (bound_device_ == &dev && d_refs_.size() == std::size_t{size()} * dim()) {
+    return;
+  }
+  d_refs_ = dev.upload(std::span<const float>(host_.refs().values));
+  bound_device_ = &dev;
+}
+
+KnnResult BatchedKnn::run_batch(simt::Device& dev, const Dataset& queries,
+                                std::uint32_t k) {
+  if (queries.count == 0) return {};
+  // The whole pipeline runs under the configured NaN policy; the guard
+  // restores the device's previous policy on every exit path.
+  simt::ScopedNanPolicy nan_guard(dev.sanitizer(), options_.nan_policy);
+  try {
+    ensure_refs(dev);
+    kernels::BatchOutput out = kernels::batched_select(
+        dev, d_refs_, to_dim_major(queries), queries.count, size(), dim(), k,
+        options_.batch);
+    KnnResult result;
+    result.neighbors = std::move(out.neighbors);
+    result.distance_metrics = out.tile_metrics;
+    result.select_metrics = out.reduce_metrics;
+    const auto& cm = options_.cost_model;
+    result.modeled_seconds =
+        cm.kernel_seconds(out.tile_metrics) + cm.kernel_seconds(out.reduce_metrics);
+    return result;
+  } catch (const SimtFaultError& fault) {
+    if (!options_.fallback_to_host) throw;
+    KnnResult result = host_.search(queries, k, options_.host_fallback_algo,
+                                    options_.nan_policy);
+    result.faults.push_back(fault.record());
+    result.used_host_fallback = true;
+    return result;
+  }
+}
+
+}  // namespace gpuksel::knn

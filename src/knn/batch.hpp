@@ -1,0 +1,86 @@
+// Batched multi-query k-NN serving front end.
+//
+// BruteForceKnn answers one query set per call and re-uploads nothing but
+// also amortizes nothing; BatchedKnn is the serving-path wrapper the ROADMAP
+// asks for: the reference set is uploaded to the device once and reused by
+// every batch, query batches are accepted into a FIFO queue and served in
+// order, and each batch runs the sharded tile pipeline (batch_pipeline.hpp)
+// so one staged distance tile is scored against every query in the batch.
+// Results are bit-identical to per-query BruteForceKnn::search_gpu.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/kernels/batch_pipeline.hpp"
+#include "knn/knn.hpp"
+
+namespace gpuksel::knn {
+
+/// Options for the batched GPU path; mirrors GpuSearchOptions where the two
+/// paths share semantics (NaN policy, fault fallback, cost model).
+struct BatchedKnnOptions {
+  kernels::BatchConfig batch;
+  simt::CostModel cost_model = simt::c2075_model();
+  /// NaN semantics for the whole batched pipeline, including distances
+  /// *computed* NaN inside the fused tile kernel (inf-inf, NaN features):
+  /// kReject faults, kSortLast ranks them after every real candidate.
+  NanPolicy nan_policy = NanPolicy::kPropagate;
+  /// When true, a SimtFaultError from the batched pipeline is recorded and
+  /// the batch is re-answered on the host path instead of propagating.
+  bool fallback_to_host = false;
+  Algo host_fallback_algo = Algo::kMergeQueue;
+};
+
+class BatchedKnn {
+ public:
+  /// Indexes the reference set (row-major `count x dim`).
+  explicit BatchedKnn(Dataset refs, BatchedKnnOptions options = {});
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return host_.size(); }
+  [[nodiscard]] std::uint32_t dim() const noexcept { return host_.dim(); }
+  [[nodiscard]] const BatchedKnnOptions& options() const noexcept {
+    return options_;
+  }
+  /// The host-path engine sharing this reference set (fallbacks, tests).
+  [[nodiscard]] const BruteForceKnn& host() const noexcept { return host_; }
+
+  /// Appends a query batch to the serving queue; returns its position.
+  /// An empty batch is valid (served as an empty result).
+  std::size_t enqueue(Dataset queries, std::uint32_t k);
+
+  /// Batches waiting to be served.
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Serves every pending batch in FIFO order on the device, one KnnResult
+  /// per batch.  The reference upload happens on the first batch served on a
+  /// device and is reused by the rest (watch transfers().bytes_h2d).  If a
+  /// batch faults and fallback_to_host is off, the error propagates with the
+  /// faulting batch still at the head of the queue.
+  [[nodiscard]] std::vector<KnnResult> serve(simt::Device& dev);
+
+  /// One-shot convenience: serves a single batch immediately, bypassing the
+  /// queue (the queue stays untouched).
+  [[nodiscard]] KnnResult search_gpu(simt::Device& dev, const Dataset& queries,
+                                     std::uint32_t k);
+
+ private:
+  struct PendingBatch {
+    Dataset queries;
+    std::uint32_t k = 0;
+  };
+
+  [[nodiscard]] KnnResult run_batch(simt::Device& dev, const Dataset& queries,
+                                    std::uint32_t k);
+  /// Uploads the reference set if this device doesn't hold it yet.
+  void ensure_refs(simt::Device& dev);
+
+  BruteForceKnn host_;
+  BatchedKnnOptions options_;
+  std::deque<PendingBatch> queue_;
+  simt::DeviceBuffer<float> d_refs_;
+  const simt::Device* bound_device_ = nullptr;
+};
+
+}  // namespace gpuksel::knn

@@ -11,6 +11,7 @@ BruteForceKnn::BruteForceKnn(Dataset refs) : refs_(std::move(refs)) {
 
 KnnResult BruteForceKnn::search(const Dataset& queries, std::uint32_t k,
                                 Algo algo, NanPolicy nan_policy) const {
+  if (queries.count == 0) return {};  // an empty batch has an empty answer
   GPUKSEL_CHECK(queries.dim == refs_.dim, "query/reference dim mismatch");
   auto matrix = distance_matrix_host(
       queries.values, refs_.values, queries.count, refs_.count, queries.dim,
@@ -33,6 +34,9 @@ KnnResult BruteForceKnn::search(const Dataset& queries, std::uint32_t k,
 KnnResult BruteForceKnn::search_gpu(simt::Device& dev, const Dataset& queries,
                                     std::uint32_t k,
                                     const GpuSearchOptions& options) const {
+  // An empty batch is answered without touching the device: the selection
+  // kernels require >= 1 query (padded_threads(0) launches zero warps).
+  if (queries.count == 0) return {};
   GPUKSEL_CHECK(queries.dim == refs_.dim, "query/reference dim mismatch");
   // Run the whole pipeline under the requested NaN policy; the guard restores
   // the device's previous policy on every exit path.

@@ -1,0 +1,255 @@
+// Tests for the batched multi-query serving layer: the BatchedKnn queue
+// front end, the sharded tile pipeline's exactness against the scalar GPU
+// path, edge-case batch shapes (empty, single query, k == n) and fault
+// recovery.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/kernels/batch_pipeline.hpp"
+#include "knn/batch.hpp"
+#include "knn/dataset.hpp"
+#include "knn/knn.hpp"
+#include "simt/device.hpp"
+#include "simt/fault_injection.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel::knn {
+namespace {
+
+BatchedKnnOptions tiled_options(std::uint32_t tile_refs) {
+  BatchedKnnOptions opts;
+  opts.batch.tile_refs = tile_refs;
+  return opts;
+}
+
+/// The scalar-pipeline reference the batched path must match bit-for-bit.
+std::vector<std::vector<Neighbor>> scalar_gpu(const BruteForceKnn& knn,
+                                              const Dataset& queries,
+                                              std::uint32_t k) {
+  simt::Device dev;
+  return knn.search_gpu(dev, queries, k).neighbors;
+}
+
+TEST(BatchedKnnTest, MatchesScalarGpuPathExactly) {
+  const auto refs = make_uniform_dataset(200, 8, 21);
+  const auto queries = make_uniform_dataset(45, 8, 22);
+  const BruteForceKnn scalar(refs);
+  const auto expected = scalar_gpu(scalar, queries, 10);
+  for (const std::uint32_t tile : {16u, 64u, 256u}) {
+    simt::Device dev;
+    BatchedKnn knn(refs, tiled_options(tile));
+    const auto got = knn.search_gpu(dev, queries, 10);
+    EXPECT_EQ(got.neighbors, expected) << "tile_refs=" << tile;
+    EXPECT_GT(got.modeled_seconds, 0.0);
+  }
+}
+
+TEST(BatchedKnnTest, EmptyBatchIsServedWithoutLaunching) {
+  simt::Device dev;
+  BatchedKnn knn(make_uniform_dataset(30, 4, 23), tiled_options(8));
+  const auto result = knn.search_gpu(dev, Dataset{}, 3);
+  EXPECT_TRUE(result.neighbors.empty());
+  EXPECT_EQ(dev.transfers().bytes_h2d, 0u);  // not even the refs upload
+  EXPECT_EQ(dev.cumulative().instructions, 0u);
+}
+
+TEST(BruteForceKnnTest, EmptyBatchIsValidOnBothPaths) {
+  const BruteForceKnn knn(make_uniform_dataset(30, 4, 23));
+  EXPECT_TRUE(knn.search(Dataset{}, 3).neighbors.empty());
+  simt::Device dev;
+  EXPECT_TRUE(knn.search_gpu(dev, Dataset{}, 3).neighbors.empty());
+  EXPECT_EQ(dev.cumulative().instructions, 0u);
+}
+
+TEST(BatchedKnnTest, SingleQueryMatchesScalarPath) {
+  const auto refs = make_uniform_dataset(100, 6, 24);
+  const auto queries = make_uniform_dataset(1, 6, 25);
+  const BruteForceKnn scalar(refs);
+  simt::Device dev;
+  BatchedKnn knn(refs, tiled_options(16));
+  EXPECT_EQ(knn.search_gpu(dev, queries, 5).neighbors,
+            scalar_gpu(scalar, queries, 5));
+}
+
+TEST(BatchedKnnTest, KEqualsNReturnsEveryReference) {
+  const std::uint32_t n = 60;
+  const auto refs = make_uniform_dataset(n, 5, 26);
+  const auto queries = make_uniform_dataset(9, 5, 27);
+  const BruteForceKnn scalar(refs);
+  simt::Device dev;
+  BatchedKnn knn(refs, tiled_options(16));  // k spans several tiles
+  const auto got = knn.search_gpu(dev, queries, n);
+  EXPECT_EQ(got.neighbors, scalar_gpu(scalar, queries, n));
+  for (const auto& nbrs : got.neighbors) EXPECT_EQ(nbrs.size(), n);
+}
+
+TEST(BatchedKnnTest, KLargerThanNIsClampedLikeScalarPath) {
+  const auto refs = make_uniform_dataset(20, 4, 28);
+  const auto queries = make_uniform_dataset(3, 4, 29);
+  const BruteForceKnn scalar(refs);
+  simt::Device dev;
+  BatchedKnn knn(refs, tiled_options(7));
+  const auto got = knn.search_gpu(dev, queries, 50);
+  EXPECT_EQ(got.neighbors, scalar_gpu(scalar, queries, 50));
+  for (const auto& nbrs : got.neighbors) EXPECT_EQ(nbrs.size(), 20u);
+}
+
+TEST(BatchedKnnTest, ServeDrainsTheQueueInFifoOrder) {
+  const auto refs = make_uniform_dataset(80, 6, 30);
+  const auto b0 = make_uniform_dataset(33, 6, 31);  // non-multiple of warp
+  const auto b1 = make_uniform_dataset(1, 6, 32);
+  const auto b2 = make_uniform_dataset(32, 6, 33);
+  const BruteForceKnn scalar(refs);
+  simt::Device dev;
+  BatchedKnn knn(refs, tiled_options(32));
+  EXPECT_EQ(knn.enqueue(b0, 4), 0u);
+  EXPECT_EQ(knn.enqueue(b1, 7), 1u);
+  EXPECT_EQ(knn.enqueue(b2, 4), 2u);
+  EXPECT_EQ(knn.pending(), 3u);
+  const auto results = knn.serve(dev);
+  EXPECT_EQ(knn.pending(), 0u);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].neighbors, scalar_gpu(scalar, b0, 4));
+  EXPECT_EQ(results[1].neighbors, scalar_gpu(scalar, b1, 7));
+  EXPECT_EQ(results[2].neighbors, scalar_gpu(scalar, b2, 4));
+  EXPECT_TRUE(knn.serve(dev).empty());  // an empty queue serves to nothing
+}
+
+TEST(BatchedKnnTest, ReferenceUploadAmortizesAcrossBatches) {
+  const std::uint32_t n = 64, dim = 8, q = 16;
+  const auto refs = make_uniform_dataset(n, dim, 34);
+  const auto queries = make_uniform_dataset(q, dim, 35);
+  simt::Device dev;
+  BatchedKnn knn(refs, tiled_options(16));
+  (void)knn.search_gpu(dev, queries, 4);
+  const std::uint64_t first = dev.transfers().bytes_h2d;
+  EXPECT_EQ(first, (std::size_t{n} * dim + std::size_t{q} * dim) * sizeof(float));
+  (void)knn.search_gpu(dev, queries, 4);
+  // Second batch moves only its queries: the reference set is resident.
+  EXPECT_EQ(dev.transfers().bytes_h2d - first,
+            std::size_t{q} * dim * sizeof(float));
+}
+
+TEST(BatchedKnnTest, FaultWithFallbackReAnswersOnHost) {
+  const auto refs = make_uniform_dataset(50, 4, 36);
+  const auto queries = make_uniform_dataset(8, 4, 37);
+  simt::FaultInjector injector(simt::InjectorConfig{
+      simt::InjectKind::kOobIndex, /*seed=*/5, /*period=*/64, /*max_faults=*/1,
+      /*kernel_filter=*/"batch_tile_score"});
+  simt::Device dev;
+  dev.set_fault_injector(&injector);
+  auto opts = tiled_options(16);
+  opts.fallback_to_host = true;
+  BatchedKnn knn(refs, opts);
+  const auto result = knn.search_gpu(dev, queries, 5);
+  EXPECT_TRUE(result.used_host_fallback);
+  ASSERT_EQ(result.faults.size(), 1u);
+  EXPECT_EQ(result.faults[0].kind, FaultKind::kOutOfBounds);
+  EXPECT_EQ(result.neighbors, knn.host().search(queries, 5).neighbors);
+}
+
+TEST(BatchedKnnTest, FaultWithoutFallbackKeepsBatchQueued) {
+  const auto refs = make_uniform_dataset(50, 4, 36);
+  const auto queries = make_uniform_dataset(8, 4, 37);
+  simt::FaultInjector injector(simt::InjectorConfig{
+      simt::InjectKind::kOobIndex, /*seed=*/5, /*period=*/64, /*max_faults=*/1,
+      /*kernel_filter=*/"batch_tile_score"});
+  simt::Device dev;
+  dev.set_fault_injector(&injector);
+  BatchedKnn knn(refs, tiled_options(16));
+  knn.enqueue(queries, 5);
+  EXPECT_THROW((void)knn.serve(dev), SimtFaultError);
+  EXPECT_EQ(knn.pending(), 1u);  // the faulting batch stays at the head
+  dev.set_fault_injector(nullptr);
+  const auto results = knn.serve(dev);  // retry succeeds fault-free
+  ASSERT_EQ(results.size(), 1u);
+  simt::Device clean;
+  EXPECT_EQ(results[0].neighbors,
+            knn.host().search_gpu(clean, queries, 5).neighbors);
+}
+
+TEST(BatchedKnnTest, ComputedNanDistancesFollowTheSortLastPolicy) {
+  // A NaN feature makes every distance to that reference NaN *in registers*
+  // (the fused kernel never loads a distance); under kSortLast those rank
+  // after every real candidate, exactly like the two-kernel scalar path.
+  auto refs = make_uniform_dataset(40, 4, 38);
+  refs.values[5 * 4 + 2] = std::numeric_limits<float>::quiet_NaN();
+  const auto queries = make_uniform_dataset(6, 4, 39);
+  const std::uint32_t k = 12;  // < 39 finite candidates
+  GpuSearchOptions scalar_opts;
+  scalar_opts.nan_policy = NanPolicy::kSortLast;
+  simt::Device sdev;
+  const auto expected =
+      BruteForceKnn(refs).search_gpu(sdev, queries, k, scalar_opts).neighbors;
+  auto opts = tiled_options(16);
+  opts.nan_policy = NanPolicy::kSortLast;
+  simt::Device dev;
+  BatchedKnn knn(refs, opts);
+  EXPECT_EQ(knn.search_gpu(dev, queries, k).neighbors, expected);
+}
+
+TEST(BatchedKnnTest, ComputedNanDistancesFaultUnderReject) {
+  auto refs = make_uniform_dataset(40, 4, 38);
+  refs.values[5 * 4 + 2] = std::numeric_limits<float>::quiet_NaN();
+  const auto queries = make_uniform_dataset(6, 4, 39);
+  auto opts = tiled_options(16);
+  opts.nan_policy = NanPolicy::kReject;
+  simt::Device dev;
+  BatchedKnn knn(refs, opts);
+  try {
+    (void)knn.search_gpu(dev, queries, 3);
+    FAIL() << "expected a NaN-distance fault";
+  } catch (const SimtFaultError& e) {
+    EXPECT_EQ(e.record().kind, FaultKind::kNanDistance);
+  }
+}
+
+TEST(BatchedKnnTest, PreconditionViolationsThrow) {
+  BatchedKnn knn(make_uniform_dataset(10, 4, 40), tiled_options(4));
+  simt::Device dev;
+  EXPECT_THROW((void)knn.search_gpu(dev, make_uniform_dataset(2, 8, 41), 2),
+               PreconditionError);  // dim mismatch
+  EXPECT_THROW((void)knn.search_gpu(dev, make_uniform_dataset(2, 4, 41), 0),
+               PreconditionError);  // k == 0
+  EXPECT_THROW(knn.enqueue(make_uniform_dataset(2, 8, 41), 2),
+               PreconditionError);
+  BatchedKnnOptions bad;
+  bad.batch.tile_refs = 0;
+  EXPECT_THROW(BatchedKnn(make_uniform_dataset(10, 4, 40), bad),
+               PreconditionError);
+}
+
+TEST(BatchPipelineTest, TileCountCoversTheReferenceSet) {
+  EXPECT_EQ(kernels::batch_num_tiles(100, 32), 4u);
+  EXPECT_EQ(kernels::batch_num_tiles(96, 32), 3u);
+  EXPECT_EQ(kernels::batch_num_tiles(1, 32), 1u);
+  EXPECT_EQ(kernels::batch_num_tiles(100, 1), 100u);
+}
+
+TEST(BatchPipelineTest, EveryQueueConfigurationStaysExact) {
+  const auto refs = make_uniform_dataset(90, 5, 42);
+  const auto queries = make_uniform_dataset(17, 5, 43);
+  const BruteForceKnn scalar(refs);
+  const auto expected = scalar_gpu(scalar, queries, 9);
+  for (const auto queue : {kernels::QueueKind::kInsertion,
+                           kernels::QueueKind::kHeap,
+                           kernels::QueueKind::kMerge}) {
+    for (const auto buffer :
+         {kernels::BufferMode::kNone, kernels::BufferMode::kFullSorted}) {
+      auto opts = tiled_options(16);
+      opts.batch.select.queue = queue;
+      opts.batch.select.buffer = buffer;
+      simt::Device dev;
+      BatchedKnn knn(refs, opts);
+      EXPECT_EQ(knn.search_gpu(dev, queries, 9).neighbors, expected)
+          << kernels::queue_kind_name(queue) << "/"
+          << kernels::buffer_mode_name(buffer);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpuksel::knn

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "baselines/qms.hpp"
+#include "knn/batch.hpp"
 #include "knn/dataset.hpp"
 #include "knn/knn.hpp"
 #include "simt/device.hpp"
@@ -203,6 +204,67 @@ TEST(LaunchDeterminism, KnnPipelineIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(LaunchDeterminism, BatchedKnnIdenticalAcrossThreadCounts) {
+  // The batched pipeline launches two kernels per batch (tile scoring and the
+  // cross-tile reduce); both go through the same per-warp-slot reduction, so
+  // neighbors and cumulative metrics must be bit-identical for any thread
+  // count.  Three batches of mixed sizes exercise partial warps too.
+  const knn::Dataset refs = knn::make_uniform_dataset(220, 9, 51);
+  auto run = [&](unsigned threads) {
+    Device dev;
+    dev.set_worker_threads(threads);
+    knn::BatchedKnnOptions opts;
+    opts.batch.tile_refs = 64;
+    knn::BatchedKnn engine(refs, opts);
+    engine.enqueue(knn::make_uniform_dataset(33, 9, 52), 7);
+    engine.enqueue(knn::make_uniform_dataset(1, 9, 53), 7);
+    engine.enqueue(knn::make_uniform_dataset(32, 9, 54), 7);
+    std::vector<std::vector<std::vector<Neighbor>>> neighbors;
+    for (const auto& result : engine.serve(dev)) {
+      neighbors.push_back(result.neighbors);
+    }
+    return std::pair(neighbors, dev.cumulative());
+  };
+  const auto [serial_neighbors, serial_metrics] = run(1);
+  for (const unsigned threads : kThreadCounts) {
+    const auto [neighbors, metrics] = run(threads);
+    EXPECT_EQ(neighbors, serial_neighbors) << "threads=" << threads;
+    EXPECT_TRUE(metrics == serial_metrics) << "threads=" << threads;
+  }
+}
+
+TEST(LaunchDeterminism, BatchedProfilesBitIdenticalAcrossThreadCounts) {
+  // With host info excluded, the serialized profile of a batched serve —
+  // per-launch totals, batch_tile_score / tile_copy / batch_reduce region
+  // attribution, trace spans — must compare equal as strings across thread
+  // counts.
+  const knn::Dataset refs = knn::make_uniform_dataset(150, 6, 61);
+  const knn::Dataset queries = knn::make_uniform_dataset(40, 6, 62);
+  auto run = [&](unsigned threads) {
+    Device dev;
+    dev.set_worker_threads(threads);
+    simt::Profiler prof;
+    prof.set_include_host_info(false);
+    dev.set_profiler(&prof);
+    knn::BatchedKnnOptions opts;
+    opts.batch.tile_refs = 48;
+    knn::BatchedKnn engine(refs, opts);
+    (void)engine.search_gpu(dev, queries, 11);
+    std::ostringstream report, trace, csv;
+    prof.write_report(report);
+    prof.write_trace(trace);
+    prof.write_regions_csv(csv);
+    return std::tuple(report.str(), trace.str(), csv.str());
+  };
+  const auto [serial_report, serial_trace, serial_csv] = run(1);
+  for (const unsigned threads : {1u, 2u, 7u}) {
+    const auto [report, trace, csv] = run(threads);
+    EXPECT_EQ(report, serial_report) << "threads=" << threads;
+    EXPECT_EQ(trace, serial_trace) << "threads=" << threads;
+    EXPECT_EQ(csv, serial_csv) << "threads=" << threads;
+  }
+}
+
 TEST(LaunchDeterminism, QmsSerialPolicyCorrectUnderThreadedDevice) {
   // QMS shares per-query scratch across warps, so its launch pins
   // LaunchPolicy::kSerial; a many-threaded device must not change results.
@@ -349,6 +411,41 @@ TEST(FaultDeterminism, BoundedBudgetFallsBackToSerialAndStaysIdentical) {
     EXPECT_EQ(events, serial_events) << "threads=" << threads;
     EXPECT_TRUE(metrics == serial_metrics) << "threads=" << threads;
     EXPECT_EQ(output, serial_output) << "threads=" << threads;
+  }
+}
+
+TEST(FaultDeterminism, BatchedServeIdenticalUnderUncappedInjection) {
+  // Seeded NaN injection into the batched pipeline: with an order-free budget
+  // (max_faults = 0), ECC off, and the kSortLast policy remapping every
+  // injected NaN, both batched kernels still run in parallel — and the event
+  // log, neighbors, and metrics must all match the serial run bit for bit.
+  const knn::Dataset refs = knn::make_uniform_dataset(180, 8, 71);
+  const knn::Dataset queries = knn::make_uniform_dataset(33, 8, 72);
+  auto run = [&](unsigned threads) {
+    InjectorConfig cfg;
+    cfg.kind = InjectKind::kNanInject;
+    cfg.period = 32;
+    cfg.max_faults = 0;
+    cfg.seed = 23;
+    FaultInjector injector(cfg);
+    Device dev;
+    dev.set_worker_threads(threads);
+    dev.sanitizer().ecc = false;
+    dev.set_fault_injector(&injector);
+    knn::BatchedKnnOptions opts;
+    opts.batch.tile_refs = 64;
+    opts.nan_policy = NanPolicy::kSortLast;
+    knn::BatchedKnn engine(refs, opts);
+    const knn::KnnResult result = engine.search_gpu(dev, queries, 9);
+    return std::tuple(injector.events(), result.neighbors, dev.cumulative());
+  };
+  const auto [serial_events, serial_neighbors, serial_metrics] = run(1);
+  ASSERT_FALSE(serial_events.empty()) << "injection never fired — vacuous";
+  for (const unsigned threads : kThreadCounts) {
+    const auto [events, neighbors, metrics] = run(threads);
+    EXPECT_EQ(events, serial_events) << "threads=" << threads;
+    EXPECT_EQ(neighbors, serial_neighbors) << "threads=" << threads;
+    EXPECT_TRUE(metrics == serial_metrics) << "threads=" << threads;
   }
 }
 

@@ -10,12 +10,17 @@
 #include <vector>
 
 #include "baselines/bucket_select.hpp"
+#include "baselines/cpu_select.hpp"
 #include "baselines/qms.hpp"
 #include "baselines/radix_select.hpp"
 #include "baselines/sample_select.hpp"
 #include "baselines/tbs.hpp"
 #include "core/kernels/hp_kernels.hpp"
+#include "core/kernels/pipeline.hpp"
 #include "core/kselect.hpp"
+#include "knn/batch.hpp"
+#include "knn/dataset.hpp"
+#include "knn/knn.hpp"
 #include "util/rng.hpp"
 
 namespace gpuksel {
@@ -233,6 +238,185 @@ TEST(FuzzDifferential, DeviceNanSortLastAgrees) {
     ASSERT_EQ(kernels::flat_select(dev, data, 1, n, k, SelectConfig{}).neighbors,
               expected)
         << "round " << round << " n=" << n << " k=" << k;
+  }
+}
+
+/// Feature-space distributions for the batched differential matrix; each
+/// stresses a different corner of the sharded pipeline (tie-breaking across
+/// shard boundaries, duplicate distances, subnormal accumulation, NaNs).
+knn::Dataset make_feature_set(std::uint32_t count, std::uint32_t dim,
+                              std::uint32_t shape, Rng& rng) {
+  knn::Dataset d;
+  d.count = count;
+  d.dim = dim;
+  d.values.resize(std::size_t{count} * dim);
+  switch (shape) {
+    case 0:  // continuous uniform
+      for (auto& v : d.values) v = rng.uniform_float();
+      break;
+    case 1:  // few-valued features: heavy duplicate distances
+      for (auto& v : d.values) {
+        v = static_cast<float>(rng.uniform_below(3)) * 0.25f;
+      }
+      break;
+    case 2:  // all-constant: every distance equal, pure index tie-breaking
+      for (auto& v : d.values) v = 0.5f;
+      break;
+    case 3:  // subnormal magnitudes: squared diffs underflow and tie
+      for (auto& v : d.values) {
+        v = static_cast<float>(rng.uniform_below(8)) * 1e-21f;
+      }
+      break;
+    case 4:  // duplicated rows: exact duplicate distances across shards
+      for (std::uint32_t i = 0; i < count; ++i) {
+        for (std::uint32_t dd = 0; dd < dim; ++dd) {
+          Rng row_rng(0xd0b1e + (i % 7) * 131 + dd);
+          d.values[std::size_t{i} * dim + dd] = row_rng.uniform_float();
+        }
+      }
+      break;
+    case 5:  // strongly ordered: row i at distance ~(count-i)^2 * dim
+      for (std::uint32_t i = 0; i < count; ++i) {
+        for (std::uint32_t dd = 0; dd < dim; ++dd) {
+          d.values[std::size_t{i} * dim + dd] = static_cast<float>(count - i);
+        }
+      }
+      break;
+    case 6:  // coarse grid: continuous draw snapped to 1/8 steps (many ties)
+      for (auto& v : d.values) {
+        v = std::floor(rng.uniform_float() * 8.0f) * 0.125f;
+      }
+      break;
+    default:  // NaN-laced rows (served under kSortLast); row 0 stays clean
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const bool poison = i > 0 && rng.uniform_below(5) == 0;
+        for (std::uint32_t dd = 0; dd < dim; ++dd) {
+          d.values[std::size_t{i} * dim + dd] =
+              poison && dd == rng.uniform_below(dim)
+                  ? std::numeric_limits<float>::quiet_NaN()
+                  : rng.uniform_float();
+        }
+      }
+      break;
+  }
+  return d;
+}
+
+/// References whose distances to *every* query are finite under kSortLast:
+/// the per-lane queues reject non-finite candidates (nothing beats the
+/// FLT_MAX sentinel), so agreement with the CPU reference is asserted for
+/// k capped to this count — the same convention the adversarial scalar
+/// tests use.
+std::uint32_t finite_row_count(const knn::Dataset& refs) {
+  std::uint32_t finite = 0;
+  for (std::uint32_t i = 0; i < refs.count; ++i) {
+    bool ok = true;
+    for (std::uint32_t dd = 0; dd < refs.dim; ++dd) {
+      ok = ok && std::isfinite(refs.values[std::size_t{i} * refs.dim + dd]);
+    }
+    finite += ok ? 1u : 0u;
+  }
+  return finite;
+}
+
+TEST(FuzzDifferential, BatchedMatchesPerQueryGpuAndCpuSelect) {
+  // The batched serving matrix: 8 feature distributions x 4 batch shapes
+  // (single query, sub-warp, exactly one warp, warp-plus-one).  Every cell
+  // must agree bit-for-bit with (a) per-query BruteForceKnn::search_gpu —
+  // the fused tile kernel replicates gpu_distance_matrix's FP op order, so
+  // even distances are bitwise-identical — and (b) the CPU heap baseline
+  // over the device-computed distance matrix.
+  Rng rng(0xba7c);
+  const std::uint32_t batch_shapes[] = {1, 7, 32, 33};
+  for (std::uint32_t shape = 0; shape < 8; ++shape) {
+    for (std::size_t bi = 0; bi < 4; ++bi) {
+      const std::uint32_t q = batch_shapes[bi];
+      const std::uint32_t dim = 1 + static_cast<std::uint32_t>(rng.uniform_below(6));
+      const std::uint32_t n =
+          40 + static_cast<std::uint32_t>(rng.uniform_below(120));
+      const knn::Dataset refs = make_feature_set(n, dim, shape, rng);
+      const knn::Dataset queries = make_feature_set(q, dim, 0, rng);
+      // Tiles deliberately small so k > n-per-shard is the common case.
+      const std::uint32_t tile =
+          1 + static_cast<std::uint32_t>(rng.uniform_below(48));
+      std::uint32_t k;
+      switch ((shape + bi) % 3) {
+        case 0: k = n; break;         // k == n: keep everything
+        case 1: k = tile + 3; break;  // k > n-per-shard, always
+        default:
+          k = 1 + static_cast<std::uint32_t>(rng.uniform_below(n));
+          break;
+      }
+      const NanPolicy policy =
+          shape == 7 ? NanPolicy::kSortLast : NanPolicy::kPropagate;
+      k = std::min(k, finite_row_count(refs));
+
+      knn::BatchedKnnOptions opts;
+      opts.batch.tile_refs = tile;
+      opts.nan_policy = policy;
+      simt::Device bdev;
+      knn::BatchedKnn batched(refs, opts);
+      const auto got = batched.search_gpu(bdev, queries, k).neighbors;
+      ASSERT_EQ(got.size(), q);
+
+      // (a) the scalar GPU path, one search per query.
+      const knn::BruteForceKnn scalar(refs);
+      knn::GpuSearchOptions sopts;
+      sopts.nan_policy = policy;
+      for (std::uint32_t qq = 0; qq < q; ++qq) {
+        knn::Dataset one;
+        one.count = 1;
+        one.dim = dim;
+        one.values.assign(
+            queries.values.begin() + std::size_t{qq} * dim,
+            queries.values.begin() + (std::size_t{qq} + 1) * dim);
+        simt::Device dev;
+        ASSERT_EQ(got[qq], scalar.search_gpu(dev, one, k, sopts).neighbors[0])
+            << "shape " << shape << " batch " << q << " query " << qq
+            << " n=" << n << " k=" << k << " tile=" << tile;
+      }
+
+      // (b) the CPU heap baseline over the device-computed matrix (same
+      // floats the kernels see, sanitized under the same NaN policy).
+      simt::Device mdev;
+      mdev.sanitizer().nan_policy = policy;
+      auto dm = kernels::gpu_distance_matrix(
+          mdev, knn::to_dim_major(queries), refs.values, q, n, dim,
+          kernels::MatrixLayout::kQueryMajor);
+      std::vector<float> matrix = dm.matrix.host();
+      apply_nan_policy(matrix, policy);
+      ASSERT_EQ(got, baselines::cpu_select_all(matrix, q, n, k, 1))
+          << "shape " << shape << " batch " << q << " n=" << n << " k=" << k
+          << " tile=" << tile;
+    }
+  }
+}
+
+TEST(FuzzDifferential, BatchedQueueServesMixedBatchesExactly) {
+  // The FIFO front end with heterogeneous batch shapes and k values in one
+  // serve() call, against the one-shot batched path and the scalar pipeline.
+  Rng rng(0xba7d);
+  const std::uint32_t dim = 5, n = 150;
+  const knn::Dataset refs = make_feature_set(n, dim, 1, rng);
+  const knn::BruteForceKnn scalar(refs);
+  knn::BatchedKnnOptions opts;
+  opts.batch.tile_refs = 32;
+  simt::Device dev;
+  knn::BatchedKnn batched(refs, opts);
+  std::vector<knn::Dataset> batches;
+  std::vector<std::uint32_t> ks;
+  for (const std::uint32_t q : {1u, 32u, 33u, 7u}) {
+    batches.push_back(make_feature_set(q, dim, 0, rng));
+    ks.push_back(1 + static_cast<std::uint32_t>(rng.uniform_below(60)));
+    batched.enqueue(batches.back(), ks.back());
+  }
+  const auto results = batched.serve(dev);
+  ASSERT_EQ(results.size(), batches.size());
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    simt::Device sdev;
+    ASSERT_EQ(results[i].neighbors,
+              scalar.search_gpu(sdev, batches[i], ks[i]).neighbors)
+        << "batch " << i << " q=" << batches[i].count << " k=" << ks[i];
   }
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/kernels/batch_pipeline.hpp"
 #include "simt/device.hpp"
 #include "simt/metrics.hpp"
 #include "simt/profiler.hpp"
@@ -209,6 +210,68 @@ TEST(ProfilerTest, RegionsPartitionLaunchAggregate) {
   // Divergent trip counts: warp w opens "outer" w+1 times.
   EXPECT_EQ(rec.warp_regions[2][0].name, "outer");
   EXPECT_EQ(rec.warp_regions[2][0].calls, 3u);
+}
+
+TEST(ProfilerTest, BatchRegionsPartitionEveryLaunchAggregate) {
+  // The batched serving pipeline (batch_pipeline.hpp) instruments its two
+  // kernel classes with regions; for every launch it records, the region
+  // self metrics — including "(unattributed)" — must sum exactly to the
+  // launch aggregate, per warp and in total.
+  constexpr std::uint32_t kNumQueries = 10;
+  constexpr std::uint32_t kRefs = 96;
+  constexpr std::uint32_t kDim = 4;
+  Device dev;
+  Profiler prof;
+  dev.set_profiler(&prof);
+
+  std::vector<float> refs(std::size_t{kRefs} * kDim);
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    refs[i] = static_cast<float>((i * 2654435761u >> 7) % 997) * 0.001f;
+  }
+  std::vector<float> queries(std::size_t{kNumQueries} * kDim);  // dim-major
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    queries[i] = static_cast<float>((i * 40503u + 11) % 997) * 0.001f;
+  }
+  auto d_refs = dev.upload(refs);
+  kernels::BatchConfig cfg;
+  cfg.tile_refs = 32;  // 3 tile launches + 1 reduce launch
+  const kernels::BatchOutput out = kernels::batched_select(
+      dev, d_refs, queries, kNumQueries, kRefs, kDim, /*k=*/5, cfg);
+  EXPECT_EQ(out.num_tiles, 3u);
+
+  ASSERT_EQ(prof.records().size(), 4u);
+  KernelMetrics tile_total;
+  for (std::size_t i = 0; i < prof.records().size(); ++i) {
+    const KernelRecord& rec = prof.records()[i];
+    EXPECT_EQ(rec.kernel, i < 3 ? "batch_tile_score" : "batch_reduce");
+    // Aggregate partition: region selves sum exactly to the launch total.
+    EXPECT_TRUE(sum_regions(rec.regions) == rec.total) << "launch " << i;
+    // Per-warp partition too.
+    ASSERT_EQ(rec.warp_regions.size(), rec.per_warp.size());
+    KernelMetrics warp_sum;
+    for (std::size_t w = 0; w < rec.per_warp.size(); ++w) {
+      EXPECT_TRUE(sum_regions(rec.warp_regions[w]) == rec.per_warp[w])
+          << "launch " << i << " warp " << w;
+      warp_sum += rec.per_warp[w];
+    }
+    EXPECT_TRUE(warp_sum == rec.total) << "launch " << i;
+    // The expected named regions are present.
+    const auto has = [&](const std::string& name) {
+      for (const RegionStats& r : rec.regions)
+        if (r.name == name) return true;
+      return false;
+    };
+    if (i < 3) {
+      EXPECT_TRUE(has("batch_tile_score")) << "launch " << i;
+      EXPECT_TRUE(has("tile_copy")) << "launch " << i;
+      tile_total += rec.total;
+    } else {
+      EXPECT_TRUE(has("batch_reduce"));
+      EXPECT_TRUE(rec.total == out.reduce_metrics);
+    }
+  }
+  // The pipeline's reported tile metrics are exactly the recorded launches.
+  EXPECT_TRUE(tile_total == out.tile_metrics);
 }
 
 TEST(ProfilerTest, RecordsCostBreakdown) {
