@@ -1,0 +1,156 @@
+// Fig. 11 (extension) — Sharded serving throughput vs shard count.
+//
+// Fixed workload (N references, Q queries, k) served through ShardedKnn at
+// shard counts {1, 2, 4, 8}: every shard scans only N/S references, shards
+// run concurrently, and the request's modeled latency is the slowest shard
+// plus the cross-shard merge.  Queries/sec rises toward S× as long as the
+// merge (S·k candidates per query) stays small against the per-shard scan;
+// the merge share column shows the scaling tax growing with S.
+//
+// No paper counterpart (the paper is single-GPU); the shape to expect is the
+// near-linear multi-GPU scaling of Johnson et al.'s sharded mode.
+//
+// --shards-json=<path> additionally dumps the gpuksel.shards.v1 report of
+// the largest shard count run (the partition check CI consumes).
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "knn/dataset.hpp"
+#include "serve/sharded_knn.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace gpuksel;
+using namespace gpuksel::bench;
+
+constexpr std::uint32_t kN = 2048;  // references
+constexpr std::uint32_t kDim = 16;
+constexpr std::uint32_t kK = 16;
+constexpr std::uint32_t kTileRefs = 128;
+
+std::string& shards_json_path() {
+  static std::string path;
+  return path;
+}
+
+struct ShardedScalingRun {
+  double seconds = 0.0;  ///< modeled request latency (max shard + merge)
+  double merge_share = 0.0;  ///< merge seconds / request seconds
+  simt::KernelMetrics metrics;  ///< all shard launches + the merge launch
+  std::string report;  ///< gpuksel.shards.v1 JSON
+};
+
+std::map<std::uint32_t, ShardedScalingRun>& runs() {
+  static std::map<std::uint32_t, ShardedScalingRun> store;
+  return store;
+}
+
+ShardedScalingRun run_sharded(const Scale& scale, std::uint32_t num_shards) {
+  const auto refs = knn::make_uniform_dataset(kN, kDim, 1);
+  const auto queries = knn::make_uniform_dataset(scale.queries(), kDim, 2);
+
+  serve::ShardedKnnOptions opts;
+  opts.num_shards = num_shards;
+  opts.batch.batch.tile_refs = kTileRefs;
+  opts.worker_threads = scale.threads;
+  serve::ShardedKnn engine(refs, opts);
+  if (scale.profiler != nullptr) engine.attach_profilers();
+
+  const auto res = engine.search(queries, kK);
+  GPUKSEL_CHECK(!res.degraded, "fault-free bench run came back degraded");
+
+  ShardedScalingRun run;
+  run.seconds = res.modeled_seconds;
+  run.merge_share =
+      res.modeled_seconds > 0.0 ? res.merge_seconds / res.modeled_seconds : 0.0;
+  for (const serve::ShardStats& st : res.shards) run.metrics += st.metrics;
+  run.metrics += res.merge_metrics;
+  if (scale.profiler != nullptr) {
+    engine.drain_profiles(*scale.profiler,
+                          "s" + std::to_string(num_shards) + "/");
+  }
+  std::ostringstream report;
+  engine.write_shard_report(report);
+  run.report = report.str();
+  return run;
+}
+
+const ShardedScalingRun& run(const Scale& scale, std::uint32_t num_shards) {
+  auto& store = runs();
+  if (const auto it = store.find(num_shards); it != store.end()) {
+    return it->second;
+  }
+  return store.emplace(num_shards, run_sharded(scale, num_shards))
+      .first->second;
+}
+
+std::vector<std::uint32_t> shard_counts() { return {1u, 2u, 4u, 8u}; }
+
+void report(const Scale& scale) {
+  const double base_qps = scale.queries() / run(scale, 1).seconds;
+  Table t("Fig 11 — sharded serving scaling (N=" + std::to_string(kN) +
+              ", k=" + std::to_string(kK) + ", Q=" +
+              std::to_string(scale.queries()) + ", modeled)",
+          {"shards", "time (us)", "queries/s", "vs S=1", "merge share",
+           "simt eff"});
+  CsvWriter csv(scale.csv_path,
+                {"shard_count", "modeled_seconds", "queries_per_second",
+                 "speedup_vs_s1", "merge_share", "simt_efficiency"});
+  for (const std::uint32_t s : shard_counts()) {
+    const ShardedScalingRun& r = run(scale, s);
+    const double qps = scale.queries() / r.seconds;
+    t.begin_row()
+        .add_int(s)
+        .add(r.seconds * 1e6, 1)
+        .add(qps, 1)
+        .add(qps / base_qps, 2)
+        .add(r.merge_share, 3)
+        .add(r.metrics.simt_efficiency(), 3);
+    csv.write_row({std::to_string(s), std::to_string(r.seconds),
+                   std::to_string(qps), std::to_string(qps / base_qps),
+                   std::to_string(r.merge_share),
+                   std::to_string(r.metrics.simt_efficiency())});
+  }
+  t.print(std::cout);
+  std::cout << "Each shard scans N/S references concurrently, so latency "
+               "falls near S-fold until\nthe cross-shard merge (S*k "
+               "candidates per query) starts to dominate.\n\n";
+  if (!shards_json_path().empty()) {
+    std::ofstream os(shards_json_path());
+    GPUKSEL_CHECK(os.is_open(),
+                  "cannot open shard report file: " + shards_json_path());
+    os << run(scale, shard_counts().back()).report;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Read the fig11-specific flag without consuming anything: bench_main's
+  // CliFlags strips every --key=value (including this one) before handing
+  // argv to google-benchmark.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (const std::string prefix = "--shards-json=";
+        arg.rfind(prefix, 0) == 0) {
+      shards_json_path() = arg.substr(prefix.size());
+    }
+  }
+  return bench_main(
+      argc, argv, "fig11.csv",
+      [](const Scale& scale) {
+        for (const std::uint32_t s : shard_counts()) {
+          register_run("fig11/shards" + std::to_string(s), [scale, s] {
+            const ShardedScalingRun& r = run(scale, s);
+            return RunResult{r.seconds, r.metrics};
+          });
+        }
+      },
+      report);
+}

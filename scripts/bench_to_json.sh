@@ -17,7 +17,17 @@
 # speedup, and the kernel-launch count — with the serial/parallel determinism
 # checks applied to its CSV (fully modeled, so byte-identical) and profile.
 #
-# Usage: scripts/bench_to_json.sh [build_dir] [out_json] [out_batched_json]
+# The sharded serving bench (fig11) emits BENCH_sharded_scaling.json:
+# queries/sec and speedup per shard count, the merge's latency share, and the
+# gpuksel.shards.v1 report of the widest run — under the same determinism
+# gates.
+#
+# Every emitter refuses (non-zero exit) a profile whose kernel list is
+# missing or empty: a benchmark that silently stopped profiling would
+# otherwise publish kernel_launches = 0 as if it were a measurement.
+#
+# Usage: scripts/bench_to_json.sh [build_dir] [out_json] [out_batched_json] \
+#                                 [out_sharded_json]
 #   WARPS=n    sampled warps per configuration (default 2)
 #   THREADS=n  parallel thread count (default: nproc)
 set -euo pipefail
@@ -25,13 +35,15 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_sim_throughput.json}"
 OUT_BATCHED_JSON="${3:-BENCH_batched_throughput.json}"
+OUT_SHARDED_JSON="${4:-BENCH_sharded_scaling.json}"
 WARPS="${WARPS:-2}"
 THREADS="${THREADS:-$(nproc)}"
 BENCH="${BUILD_DIR}/bench/table1_execution_time"
 BENCH_BATCHED="${BUILD_DIR}/bench/fig10_batched_throughput"
+BENCH_SHARDED="${BUILD_DIR}/bench/fig11_sharded_scaling"
 
-if [[ ! -x "${BENCH}" || ! -x "${BENCH_BATCHED}" ]]; then
-  echo "error: ${BENCH} or ${BENCH_BATCHED} not found — build the repo first" >&2
+if [[ ! -x "${BENCH}" || ! -x "${BENCH_BATCHED}" || ! -x "${BENCH_SHARDED}" ]]; then
+  echo "error: ${BENCH}, ${BENCH_BATCHED} or ${BENCH_SHARDED} not found — build the repo first" >&2
   exit 1
 fi
 
@@ -40,9 +52,10 @@ trap 'rm -rf "${TMPDIR_RUN}"' EXIT
 
 run_once() {
   local bench="$1" threads="$2" csv="$3" profile="$4" t0 t1
+  shift 4
   t0=$(date +%s%N)
   "${bench}" --warps="${WARPS}" --threads="${threads}" --csv="${csv}" \
-    --profile="${profile}" >/dev/null
+    --profile="${profile}" "$@" >/dev/null
   t1=$(date +%s%N)
   awk "BEGIN{printf \"%.6f\", (${t1} - ${t0}) / 1e9}"
 }
@@ -84,12 +97,16 @@ serial_s, parallel_s = ${SERIAL_S}, ${PARALLEL_S}
 threads, host_cores = ${THREADS}, $(nproc)
 with open(sys.argv[2]) as f:
     profile = json.load(f)
-total_warps = sum(k["num_warps"] for k in profile["kernels"])
+kernels = profile.get("kernels")
+if not kernels:
+    sys.exit(f"error: profile {sys.argv[2]} has a missing or empty kernel "
+             "list — refusing to emit kernel_launches")
+total_warps = sum(k["num_warps"] for k in kernels)
 out = {
     "bench": "table1_execution_time",
     "warps_flag": ${WARPS},
     "total_simulated_warps": total_warps,
-    "kernel_launches": len(profile["kernels"]),
+    "kernel_launches": len(kernels),
     "host_cores": host_cores,
     # Speedup only means something when every requested thread can run on
     # its own core; oversubscribed runs just measure scheduler churn.
@@ -146,7 +163,11 @@ with open(sys.argv[2]) as f:
     rows = list(csv.DictReader(f))
 with open(sys.argv[3]) as f:
     profile = json.load(f)
-batched_kernels = [k for k in profile["kernels"]
+kernels = profile.get("kernels")
+if not kernels:
+    sys.exit(f"error: profile {sys.argv[3]} has a missing or empty kernel "
+             "list — refusing to emit kernel_launches")
+batched_kernels = [k for k in kernels
                    if k["kernel"] in ("batch_tile_score", "batch_reduce")]
 by_batch = [
     {
@@ -166,10 +187,84 @@ out = {
     "bench": "fig10_batched_throughput",
     "warps_flag": ${WARPS},
     "queries": ${WARPS} * 32,
-    "kernel_launches": len(profile["kernels"]),
+    "kernel_launches": len(kernels),
     "batched_kernel_launches": len(batched_kernels),
     "by_batch_size": by_batch,
     "speedup_full_batch_vs_b1": full["speedup_vs_b1"],
+    "outputs_identical": True,
+}
+with open(sys.argv[1], "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(json.dumps(out, indent=2))
+EOF
+
+# --- sharded serving scaling (fig11) -----------------------------------------
+
+SHARD_CSV_SERIAL="${TMPDIR_RUN}/sharded_serial.csv"
+SHARD_CSV_PARALLEL="${TMPDIR_RUN}/sharded_parallel.csv"
+SHARD_PROFILE_SERIAL="${TMPDIR_RUN}/sharded_serial.json"
+SHARD_PROFILE_PARALLEL="${TMPDIR_RUN}/sharded_parallel.json"
+SHARD_REPORT_SERIAL="${TMPDIR_RUN}/shards_serial.json"
+SHARD_REPORT_PARALLEL="${TMPDIR_RUN}/shards_parallel.json"
+
+SHARD_SERIAL_S=$(run_once "${BENCH_SHARDED}" 1 \
+  "${SHARD_CSV_SERIAL}" "${SHARD_PROFILE_SERIAL}" \
+  --shards-json="${SHARD_REPORT_SERIAL}")
+SHARD_PARALLEL_S=$(run_once "${BENCH_SHARDED}" "${THREADS}" \
+  "${SHARD_CSV_PARALLEL}" "${SHARD_PROFILE_PARALLEL}" \
+  --shards-json="${SHARD_REPORT_PARALLEL}")
+
+# Every fig11 value — per-shard metrics, the merge, the shards.v1 report —
+# is modeled, so serial and parallel runs must agree byte-for-byte.
+if ! cmp -s "${SHARD_CSV_SERIAL}" "${SHARD_CSV_PARALLEL}"; then
+  echo "error: sharded serial and parallel runs disagree — determinism violated" >&2
+  exit 1
+fi
+if ! cmp -s <(grep -vE '"(wall_seconds|worker_threads)":' "${SHARD_PROFILE_SERIAL}") \
+            <(grep -vE '"(wall_seconds|worker_threads)":' "${SHARD_PROFILE_PARALLEL}"); then
+  echo "error: sharded serial and parallel profiles disagree — determinism violated" >&2
+  exit 1
+fi
+if ! cmp -s "${SHARD_REPORT_SERIAL}" "${SHARD_REPORT_PARALLEL}"; then
+  echo "error: sharded serial and parallel shard reports disagree — determinism violated" >&2
+  exit 1
+fi
+
+python3 - "${OUT_SHARDED_JSON}" "${SHARD_CSV_SERIAL}" "${SHARD_PROFILE_SERIAL}" \
+  "${SHARD_REPORT_SERIAL}" <<EOF
+import csv, json, sys
+with open(sys.argv[2]) as f:
+    rows = list(csv.DictReader(f))
+with open(sys.argv[3]) as f:
+    profile = json.load(f)
+kernels = profile.get("kernels")
+if not kernels:
+    sys.exit(f"error: profile {sys.argv[3]} has a missing or empty kernel "
+             "list — refusing to emit kernel_launches")
+with open(sys.argv[4]) as f:
+    report = json.load(f)
+by_shards = [
+    {
+        "shard_count": int(r["shard_count"]),
+        "modeled_seconds": float(r["modeled_seconds"]),
+        "queries_per_second": round(float(r["queries_per_second"]), 1),
+        "speedup_vs_s1": round(float(r["speedup_vs_s1"]), 3),
+        "merge_share": round(float(r["merge_share"]), 4),
+        "simt_efficiency": round(float(r["simt_efficiency"]), 4),
+    }
+    for r in rows
+]
+widest = max(by_shards, key=lambda r: r["shard_count"])
+out = {
+    "bench": "fig11_sharded_scaling",
+    "warps_flag": ${WARPS},
+    "queries": ${WARPS} * 32,
+    "kernel_launches": len(kernels),
+    "by_shard_count": by_shards,
+    "speedup_widest_vs_s1": widest["speedup_vs_s1"],
+    "merge_share_widest": widest["merge_share"],
+    "shard_report": report,
     "outputs_identical": True,
 }
 with open(sys.argv[1], "w") as f:

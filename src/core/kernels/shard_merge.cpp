@@ -1,0 +1,118 @@
+#include "core/kernels/shard_merge.hpp"
+
+#include <algorithm>
+
+#include "core/kernels/warp_queue.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel::kernels {
+
+ShardMergeOutput shard_merge(
+    simt::Device& dev,
+    std::span<const std::vector<std::vector<Neighbor>>> partials,
+    std::uint32_t num_queries, std::uint32_t k, const SelectConfig& cfg) {
+  GPUKSEL_CHECK(k >= 1, "shard_merge needs k >= 1");
+  GPUKSEL_CHECK(!partials.empty(), "shard_merge needs at least one shard");
+  ShardMergeOutput out;
+  if (num_queries == 0) return out;  // an empty batch is merged for free
+
+  const auto num_shards = static_cast<std::uint32_t>(partials.size());
+  std::uint32_t slot_cap = 0;
+  for (const auto& shard : partials) {
+    GPUKSEL_CHECK(shard.size() == num_queries,
+                  "shard_merge: every shard must answer every query");
+    for (const auto& list : shard) {
+      slot_cap = std::max(slot_cap, static_cast<std::uint32_t>(list.size()));
+    }
+  }
+  if (slot_cap == 0) {  // all shards empty-handed: nothing to select from
+    out.neighbors.resize(num_queries);
+    return out;
+  }
+
+  const std::uint32_t threads = padded_threads(num_queries);
+  const std::uint32_t num_warps = threads / simt::kWarpSize;
+  // The reduction is always a merge queue (two-pointer), like batch_reduce:
+  // partials arrive sorted and mostly below the threshold.
+  SelectConfig merge_cfg = cfg;
+  merge_cfg.queue = QueueKind::kMerge;
+  const std::uint32_t red_cap = queue_capacity(merge_cfg, k);
+
+  // One sentinel-padded slab of per-thread candidate lists per shard, built
+  // host-side in the view's layout and uploaded (that transfer is the cost
+  // of shipping partials to the merge device).
+  std::vector<simt::DeviceBuffer<float>> sdist;
+  std::vector<simt::DeviceBuffer<std::uint32_t>> sidx;
+  sdist.reserve(num_shards);
+  sidx.reserve(num_shards);
+  const std::size_t slab = std::size_t{slot_cap} * threads;
+  for (const auto& shard : partials) {
+    std::vector<float> dist(slab, simt::kFloatSentinel);
+    std::vector<std::uint32_t> index(slab, simt::kIndexSentinel);
+    for (std::uint32_t q = 0; q < num_queries; ++q) {
+      for (std::size_t j = 0; j < shard[q].size(); ++j) {
+        const std::size_t flat = merge_cfg.queue_layout == QueueLayout::kInterleaved
+                                     ? j * threads + q
+                                     : std::size_t{q} * slot_cap + j;
+        dist[flat] = shard[q][j].dist;
+        index[flat] = shard[q][j].index;
+      }
+    }
+    sdist.push_back(dev.upload(std::move(dist)));
+    sidx.push_back(dev.upload(std::move(index)));
+  }
+
+  auto fdist = dev.alloc<float>(std::size_t{red_cap} * threads);
+  auto fidx = dev.alloc<std::uint32_t>(std::size_t{red_cap} * threads);
+  auto rdscr = dev.alloc<float>(std::size_t{red_cap} * threads);
+  auto riscr = dev.alloc<std::uint32_t>(std::size_t{red_cap} * threads);
+
+  // Views are built host-side before the launch: DeviceBuffer::span() is not
+  // safe to call from parallel warp workers (it refreshes the shadow).
+  std::vector<ThreadArrayView> shard_views;
+  shard_views.reserve(num_shards);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    shard_views.push_back(ThreadArrayView{sdist[s].span(), sidx[s].span(),
+                                          threads, slot_cap,
+                                          merge_cfg.queue_layout});
+  }
+  const ThreadArrayView fview{fdist.span(), fidx.span(), threads, red_cap,
+                              merge_cfg.queue_layout};
+  const ThreadArrayView rsview{rdscr.span(), riscr.span(), threads, red_cap,
+                               merge_cfg.queue_layout};
+
+  out.metrics = dev.launch(
+      "shard_merge", num_warps, [&](WarpContext& ctx, std::uint32_t warp) {
+        const std::uint32_t base = warp * simt::kWarpSize;
+        const int live = static_cast<int>(
+            std::min<std::uint32_t>(simt::kWarpSize, num_queries - base));
+        const LaneMask act = simt::first_lanes(live);
+        U32 thread;
+        ctx.alu(act, thread, [&](int i) { return base + i; });
+
+        simt::SharedArray<int> flag(ctx, 2, 0);
+        WarpQueue queue(ctx, fview, thread, act, QueueKind::kMerge,
+                        merge_cfg.merge_m, merge_cfg.aligned_merge, &flag,
+                        MergeStrategy::kTwoPointer, rsview,
+                        merge_cfg.cache_head);
+        queue.init();
+
+        const auto prof = ctx.region("shard_merge");
+        // Shards in ascending order, slots in list order: candidates arrive
+        // in a deterministic sequence, and the sentinel padding of ragged
+        // lists is rejected by accepts() (nothing beats the sentinel).
+        for (std::uint32_t s = 0; s < num_shards; ++s) {
+          for (std::uint32_t j = 0; j < slot_cap; ++j) {
+            const EntryLanes e = shard_views[s].load(ctx, act, thread, j);
+            const LaneMask want = queue.accepts(act, e);
+            if (want) queue.insert(want, e);
+          }
+        }
+      });
+
+  out.neighbors = extract_queues(fdist, fidx, num_queries, threads, red_cap, k,
+                                 merge_cfg.queue_layout);
+  return out;
+}
+
+}  // namespace gpuksel::kernels

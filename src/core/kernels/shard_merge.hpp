@@ -1,0 +1,50 @@
+// Cross-device top-k reduction for the sharded serving layer.
+//
+// Each DeviceShard answers a query batch over its own partition of the
+// reference set and ships back a per-query partial top-k list (already
+// remapped to global indices).  shard_merge() uploads those partials to the
+// merge device as sentinel-padded per-thread slabs — one slab per shard,
+// mirroring the per-tile slabs of batch_pipeline — and reduces them with the
+// same two-pointer merge queue the batched reduce step uses.
+//
+// Exactness: every shard's partial top-k is a superset of that shard's
+// contribution to the global top-k (the divide-and-merge argument of
+// select_k_smallest_chunked, applied at partition granularity), shards cover
+// disjoint global index ranges, and all ordering is lexicographic
+// (dist, index) — so the merged result is bit-identical to running the whole
+// reference set through one device, which tests/sharded_knn_test.cpp asserts
+// for every shard count, uneven splits, and host-recomputed (excluded)
+// shards alike.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/kernels/select_kernels.hpp"
+#include "core/neighbor.hpp"
+#include "simt/device.hpp"
+
+namespace gpuksel::kernels {
+
+/// Result of one cross-shard reduction.
+struct ShardMergeOutput {
+  /// Per query: the min(k, total candidates) nearest (dist, index), ascending.
+  std::vector<std::vector<Neighbor>> neighbors;
+  /// Metrics of the single "shard_merge" launch.
+  simt::KernelMetrics metrics;
+};
+
+/// Merges per-shard partial top-k lists into exact global results on `dev`.
+/// `partials[s][q]` is shard s's (ascending) candidate list for query q with
+/// globally-remapped indices; every shard must answer all `num_queries`
+/// queries.  Ragged lists (k > shard size, excluded shards) are
+/// sentinel-padded.  `cfg` supplies the queue layout and merge parameters;
+/// the reduction always runs a two-pointer merge queue regardless of
+/// cfg.queue, like the batched reduce step.  An empty batch launches nothing.
+[[nodiscard]] ShardMergeOutput shard_merge(
+    simt::Device& dev,
+    std::span<const std::vector<std::vector<Neighbor>>> partials,
+    std::uint32_t num_queries, std::uint32_t k, const SelectConfig& cfg);
+
+}  // namespace gpuksel::kernels

@@ -4,9 +4,10 @@
 //
 // Pulls in the scalar selection API (gpuksel::select_k_smallest), the queue
 // structures, Hierarchical Partition, the k-NN front ends
-// (gpuksel::knn::BruteForceKnn, gpuksel::knn::BatchedKnn), the simulated-GPU kernels
-// (gpuksel::kernels::*), the SIMT simulator (gpuksel::simt::*) and the
-// baseline algorithms (gpuksel::baselines::*).
+// (gpuksel::knn::BruteForceKnn, gpuksel::knn::BatchedKnn), the sharded
+// multi-device serving layer (gpuksel::serve::ShardedKnn, Scheduler), the
+// simulated-GPU kernels (gpuksel::kernels::*), the SIMT simulator
+// (gpuksel::simt::*) and the baseline algorithms (gpuksel::baselines::*).
 #pragma once
 
 #include "baselines/bucket_select.hpp"
@@ -27,8 +28,11 @@
 #include "core/queues/heap_queue.hpp"
 #include "core/queues/insertion_queue.hpp"
 #include "core/queues/merge_queue.hpp"
+#include "core/kernels/shard_merge.hpp"
 #include "knn/batch.hpp"
 #include "knn/knn.hpp"
 #include "knn/rbc.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/sharded_knn.hpp"
 #include "simt/cost_model.hpp"
 #include "simt/device.hpp"

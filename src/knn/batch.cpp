@@ -42,12 +42,26 @@ KnnResult BatchedKnn::search_gpu(simt::Device& dev, const Dataset& queries,
   return run_batch(dev, queries, k);
 }
 
+void BatchedKnn::set_refs(Dataset refs) {
+  GPUKSEL_CHECK(queue_.empty(),
+                "BatchedKnn::set_refs with batches still pending");
+  host_ = BruteForceKnn(std::move(refs));
+  // Invalidate unconditionally: the next batch must re-upload even onto the
+  // same device with a same-sized set.
+  d_refs_ = {};
+  bound_device_ = nullptr;
+  uploaded_refs_ = nullptr;
+}
+
 void BatchedKnn::ensure_refs(simt::Device& dev) {
-  if (bound_device_ == &dev && d_refs_.size() == std::size_t{size()} * dim()) {
+  const float* host_data = host_.refs().values.data();
+  if (bound_device_ == &dev && uploaded_refs_ == host_data &&
+      d_refs_.size() == std::size_t{size()} * dim()) {
     return;
   }
   d_refs_ = dev.upload(std::span<const float>(host_.refs().values));
   bound_device_ = &dev;
+  uploaded_refs_ = host_data;
 }
 
 KnnResult BatchedKnn::run_batch(simt::Device& dev, const Dataset& queries,

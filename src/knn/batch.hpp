@@ -46,6 +46,11 @@ class BatchedKnn {
   /// The host-path engine sharing this reference set (fallbacks, tests).
   [[nodiscard]] const BruteForceKnn& host() const noexcept { return host_; }
 
+  /// Replaces the reference set (re-sharding a serving front end).  The
+  /// cached device upload is invalidated even when the new set has the same
+  /// row count — the amortization key is the host data, not its size.
+  void set_refs(Dataset refs);
+
   /// Appends a query batch to the serving queue; returns its position.
   /// An empty batch is valid (served as an empty result).
   std::size_t enqueue(Dataset queries, std::uint32_t k);
@@ -81,6 +86,10 @@ class BatchedKnn {
   std::deque<PendingBatch> queue_;
   simt::DeviceBuffer<float> d_refs_;
   const simt::Device* bound_device_ = nullptr;
+  /// Host buffer d_refs_ was uploaded from.  A replaced reference set of the
+  /// same size must not reuse the stale upload (set_refs / moved storage), so
+  /// ensure_refs keys on this pointer, not just the buffer size.
+  const float* uploaded_refs_ = nullptr;
 };
 
 }  // namespace gpuksel::knn

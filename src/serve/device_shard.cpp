@@ -1,0 +1,67 @@
+#include "serve/device_shard.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace gpuksel::serve {
+
+namespace {
+
+knn::BatchedKnnOptions shard_options(knn::BatchedKnnOptions options) {
+  options.fallback_to_host = false;
+  return options;
+}
+
+}  // namespace
+
+DeviceShard::DeviceShard(std::uint32_t id, std::uint32_t begin,
+                         knn::Dataset slice, knn::BatchedKnnOptions options)
+    : id_(id),
+      begin_(begin),
+      engine_(std::move(slice), shard_options(std::move(options))) {}
+
+std::vector<std::vector<Neighbor>> DeviceShard::remap(
+    std::vector<std::vector<Neighbor>> neighbors) const {
+  for (auto& list : neighbors) {
+    for (Neighbor& n : list) n.index += begin_;
+  }
+  return neighbors;
+}
+
+std::vector<std::vector<Neighbor>> DeviceShard::search(
+    const knn::Dataset& queries, std::uint32_t k, bool allow_exclusion,
+    ShardStats& stats) {
+  stats = ShardStats{};
+  stats.shard_id = id_;
+  const auto attempt = [&] {
+    knn::KnnResult res = engine_.search_gpu(device_, queries, k);
+    stats.metrics = res.distance_metrics;
+    stats.metrics += res.select_metrics;
+    stats.modeled_seconds = res.modeled_seconds;
+    return remap(std::move(res.neighbors));
+  };
+  try {
+    return attempt();
+  } catch (const SimtFaultError& fault) {
+    stats.faults.push_back(fault.record());
+  }
+  stats.retries = 1;
+  try {
+    return attempt();
+  } catch (const SimtFaultError& fault) {
+    stats.faults.push_back(fault.record());
+    if (!allow_exclusion) throw;
+  }
+  // Both GPU attempts faulted: degrade this shard to the host path.  Same
+  // FP op order and tie-breaking as the fused kernel, so the partial list
+  // is bit-identical to what a healthy shard would have produced.
+  stats.excluded = true;
+  const auto& opts = engine_.options();
+  knn::KnnResult res =
+      engine_.host().search(queries, k, opts.host_fallback_algo,
+                            opts.nan_policy);
+  return remap(std::move(res.neighbors));
+}
+
+}  // namespace gpuksel::serve

@@ -1,0 +1,74 @@
+// One device of the sharded serving pool.
+//
+// A DeviceShard owns an independent simt::Device plus a BatchedKnn engine
+// over one contiguous slice [begin, begin + rows) of the global reference
+// set.  It answers query batches with shard-local indices remapped to global
+// ones, and implements the shard-level fault policy the ISSUE specifies: a
+// SimtFaultError is retried once (transient-fault model — the injector's
+// budget decides whether the retry survives), and a second fault either
+// propagates or, when exclusion is allowed, degrades the shard to a
+// host-path recompute of its partition.  The host path shares the fused
+// kernel's FP op order, so a degraded shard still contributes bit-identical
+// partials and the merged result stays exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "knn/batch.hpp"
+#include "simt/device.hpp"
+
+namespace gpuksel::serve {
+
+/// What happened on one shard while serving one request.
+struct ShardStats {
+  std::uint32_t shard_id = 0;
+  std::uint32_t retries = 0;  ///< GPU attempts beyond the first (0 or 1)
+  /// True when the shard's partition was recomputed on the host after the
+  /// retry also faulted (the request is degraded, not failed).
+  bool excluded = false;
+  std::vector<FaultRecord> faults;
+  /// GPU metrics of the successful attempt (zero when excluded).
+  simt::KernelMetrics metrics;
+  /// Modeled device seconds of the successful attempt (0 when excluded).
+  double modeled_seconds = 0.0;
+};
+
+class DeviceShard {
+ public:
+  /// `slice` is the shard's rows (already cut from the global set); `begin`
+  /// is the global index of its first row.  fallback_to_host is forced off
+  /// on the engine: fault handling is this class's job, and a silent
+  /// engine-level fallback would hide the retry/exclusion policy.
+  DeviceShard(std::uint32_t id, std::uint32_t begin, knn::Dataset slice,
+              knn::BatchedKnnOptions options);
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  /// Global index of the first reference row this shard holds.
+  [[nodiscard]] std::uint32_t begin() const noexcept { return begin_; }
+  [[nodiscard]] std::uint32_t rows() const noexcept { return engine_.size(); }
+  [[nodiscard]] std::uint32_t dim() const noexcept { return engine_.dim(); }
+
+  [[nodiscard]] simt::Device& device() noexcept { return device_; }
+  [[nodiscard]] const simt::Device& device() const noexcept { return device_; }
+  [[nodiscard]] knn::BatchedKnn& engine() noexcept { return engine_; }
+
+  /// Answers the batch over this shard's partition; per-query lists carry
+  /// *global* indices.  Faults follow the retry-once policy; when the retry
+  /// faults too, `allow_exclusion` decides between rethrowing and the host
+  /// recompute.  `stats` is overwritten with this request's outcome.
+  [[nodiscard]] std::vector<std::vector<Neighbor>> search(
+      const knn::Dataset& queries, std::uint32_t k, bool allow_exclusion,
+      ShardStats& stats);
+
+ private:
+  [[nodiscard]] std::vector<std::vector<Neighbor>> remap(
+      std::vector<std::vector<Neighbor>> neighbors) const;
+
+  std::uint32_t id_;
+  std::uint32_t begin_;
+  simt::Device device_;
+  knn::BatchedKnn engine_;
+};
+
+}  // namespace gpuksel::serve

@@ -1,0 +1,143 @@
+#include "serve/scheduler.hpp"
+
+#include <exception>
+#include <utility>
+
+namespace gpuksel::serve {
+
+namespace {
+
+ServeResponse shut_down_response() {
+  ServeResponse resp;
+  resp.status = RequestStatus::kFailed;
+  resp.error = "scheduler is shut down";
+  return resp;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(ShardedKnn& engine, SchedulerOptions options)
+    : engine_(engine), options_(options) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+Scheduler::~Scheduler() { shutdown(); }
+
+Scheduler::Request Scheduler::make_request(
+    knn::Dataset queries, std::uint32_t k,
+    std::chrono::nanoseconds timeout) const {
+  Request req;
+  req.queries = std::move(queries);
+  req.k = k;
+  if (timeout != kNoDeadline) {
+    req.has_deadline = true;
+    req.deadline = std::chrono::steady_clock::now() + timeout;
+  }
+  return req;
+}
+
+std::future<ServeResponse> Scheduler::submit(knn::Dataset queries,
+                                             std::uint32_t k,
+                                             std::chrono::nanoseconds timeout) {
+  Request req = make_request(std::move(queries), k, timeout);
+  std::future<ServeResponse> fut = req.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock, [&] {
+      return stopping_ || queue_.size() < options_.queue_capacity;
+    });
+    if (stopping_) {
+      req.promise.set_value(shut_down_response());
+      return fut;
+    }
+    queue_.push_back(std::move(req));
+  }
+  work_cv_.notify_one();
+  return fut;
+}
+
+std::optional<std::future<ServeResponse>> Scheduler::try_submit(
+    knn::Dataset queries, std::uint32_t k, std::chrono::nanoseconds timeout) {
+  Request req = make_request(std::move(queries), k, timeout);
+  std::future<ServeResponse> fut = req.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      req.promise.set_value(shut_down_response());
+      return fut;
+    }
+    if (queue_.size() >= options_.queue_capacity) return std::nullopt;
+    queue_.push_back(std::move(req));
+  }
+  work_cv_.notify_one();
+  return fut;
+}
+
+void Scheduler::pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void Scheduler::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_one();
+}
+
+std::size_t Scheduler::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void Scheduler::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (joined_) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  worker_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  joined_ = true;
+}
+
+void Scheduler::worker_loop() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // A stopping scheduler drains regardless of pause, so shutdown never
+      // deadlocks on a paused queue.
+      work_cv_.wait(lock, [&] {
+        return (stopping_ || !paused_) && (stopping_ || !queue_.empty());
+      });
+      if (queue_.empty()) return;  // stopping_ with nothing left to drain
+      req = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_cv_.notify_one();
+    req.promise.set_value(serve_one(req));
+  }
+}
+
+ServeResponse Scheduler::serve_one(Request& req) {
+  ServeResponse resp;
+  if (req.has_deadline && std::chrono::steady_clock::now() >= req.deadline) {
+    resp.status = RequestStatus::kTimedOut;
+    resp.error = "deadline expired before the request was served";
+    return resp;
+  }
+  try {
+    resp.result = engine_.search(req.queries, req.k);
+    resp.status = RequestStatus::kOk;
+  } catch (const std::exception& e) {
+    resp.status = RequestStatus::kFailed;
+    resp.error = e.what();
+  }
+  return resp;
+}
+
+}  // namespace gpuksel::serve

@@ -1,0 +1,114 @@
+// Async admission scheduler in front of the sharded engine.
+//
+// A single worker thread serves requests in FIFO order off a bounded
+// admission queue; ShardedKnn is single-request-at-a-time, and one worker
+// keeps every device-side outcome deterministic (the parallelism lives
+// below, in the per-shard fan-out and each device's warp executor).
+//
+// Backpressure: submit() blocks while the queue is full (bounded admission),
+// try_submit() returns nullopt instead.  Deadlines: a request whose deadline
+// has passed when the worker dequeues it is answered kTimedOut without
+// touching the engine — the admission-control semantic (drop stale work at
+// the head of the line) rather than a mid-flight abort, which the simulator
+// cannot do and a real device could not either.  pause()/resume() gate the
+// worker for deterministic tests: a paused scheduler admits (and times out)
+// but does not serve.  shutdown() drains the queue — even while paused —
+// fails any submitter still blocked on admission, then joins the worker.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "serve/sharded_knn.hpp"
+
+namespace gpuksel::serve {
+
+enum class RequestStatus {
+  kOk,
+  kTimedOut,  ///< deadline passed before the request reached the engine
+  kFailed,    ///< engine threw (fault policy exhausted, bad arguments)
+};
+
+struct ServeResponse {
+  RequestStatus status = RequestStatus::kOk;
+  ShardedResult result;  ///< populated only for kOk
+  std::string error;     ///< populated only for kFailed
+};
+
+struct SchedulerOptions {
+  /// Admission-queue bound: submit() blocks (and try_submit() refuses) while
+  /// this many requests are already waiting.
+  std::size_t queue_capacity = 16;
+};
+
+class Scheduler {
+ public:
+  /// The engine outlives the scheduler (not owned).
+  explicit Scheduler(ShardedKnn& engine, SchedulerOptions options = {});
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// "No deadline" sentinel for submit()'s timeout.
+  static constexpr std::chrono::nanoseconds kNoDeadline =
+      std::chrono::nanoseconds::max();
+
+  /// Enqueues a request, blocking while the queue is full; the future
+  /// resolves when the worker has served (or expired, or failed) it.  After
+  /// shutdown() the future resolves immediately as kFailed.
+  [[nodiscard]] std::future<ServeResponse> submit(
+      knn::Dataset queries, std::uint32_t k,
+      std::chrono::nanoseconds timeout = kNoDeadline);
+
+  /// Non-blocking submit: nullopt when the queue is full.
+  [[nodiscard]] std::optional<std::future<ServeResponse>> try_submit(
+      knn::Dataset queries, std::uint32_t k,
+      std::chrono::nanoseconds timeout = kNoDeadline);
+
+  /// Stops the worker from dequeuing (admission continues); deterministic
+  /// test hook for backpressure and deadline behaviour.
+  void pause();
+  void resume();
+
+  /// Requests waiting in the admission queue (not the one being served).
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Drains the queue (deadlines still apply), unblocks and fails waiting
+  /// submitters, joins the worker.  Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  struct Request {
+    knn::Dataset queries;
+    std::uint32_t k = 0;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
+    std::promise<ServeResponse> promise;
+  };
+
+  [[nodiscard]] Request make_request(knn::Dataset queries, std::uint32_t k,
+                                     std::chrono::nanoseconds timeout) const;
+  void worker_loop();
+  [[nodiscard]] ServeResponse serve_one(Request& req);
+
+  ShardedKnn& engine_;
+  SchedulerOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< worker waits for work / shutdown
+  std::condition_variable space_cv_;  ///< submitters wait for queue space
+  std::deque<Request> queue_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  bool joined_ = false;
+  std::thread worker_;
+};
+
+}  // namespace gpuksel::serve

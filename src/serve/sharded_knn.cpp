@@ -1,0 +1,199 @@
+#include "serve/sharded_knn.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "core/kernels/shard_merge.hpp"
+#include "simt/sanitizer.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel::serve {
+
+ShardedKnn::ShardedKnn(knn::Dataset refs, ShardedKnnOptions options)
+    : options_(std::move(options)), size_(refs.count), dim_(refs.dim) {
+  GPUKSEL_CHECK(refs.count >= 1, "ShardedKnn needs a non-empty reference set");
+  GPUKSEL_CHECK(options_.num_shards >= 1 && options_.num_shards <= refs.count,
+                "ShardedKnn needs num_shards in [1, reference rows]");
+  const std::uint32_t num_shards = options_.num_shards;
+  // Contiguous split with the remainder spread over the first shards, so
+  // shard sizes differ by at most one row for any (rows, num_shards).
+  const std::uint32_t base = size_ / num_shards;
+  const std::uint32_t rem = size_ % num_shards;
+  std::uint32_t begin = 0;
+  shards_.reserve(num_shards);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    const std::uint32_t rows = base + (s < rem ? 1 : 0);
+    knn::Dataset slice;
+    slice.count = rows;
+    slice.dim = dim_;
+    slice.values.assign(
+        refs.values.begin() + std::size_t{begin} * dim_,
+        refs.values.begin() + (std::size_t{begin} + rows) * dim_);
+    shards_.push_back(std::make_unique<DeviceShard>(s, begin, std::move(slice),
+                                                    options_.batch));
+    shards_.back()->device().set_worker_threads(options_.worker_threads);
+    begin += rows;
+  }
+  merge_device_.set_worker_threads(options_.worker_threads);
+  totals_.resize(num_shards);
+}
+
+ShardedResult ShardedKnn::search(const knn::Dataset& queries, std::uint32_t k) {
+  GPUKSEL_CHECK(queries.count == 0 || queries.dim == dim_,
+                "query/reference dim mismatch");
+  GPUKSEL_CHECK(k >= 1, "ShardedKnn needs k >= 1");
+  const auto num_shards = static_cast<std::uint32_t>(shards_.size());
+
+  ShardedResult out;
+  out.shards.resize(num_shards);
+  std::vector<std::vector<std::vector<Neighbor>>> partials(num_shards);
+  const auto run_shard = [&](std::uint32_t s) {
+    partials[s] = shards_[s]->search(queries, k,
+                                     options_.exclude_faulty_shards,
+                                     out.shards[s]);
+  };
+
+  if (options_.parallel_fanout && num_shards > 1) {
+    // One host thread per shard; each thread drives only its own Device and
+    // writes only its own partials/stats slot.  Exceptions are captured per
+    // slot and rethrown in ascending shard order, so a multi-shard failure
+    // surfaces the same error the sequential fan-out would.
+    std::vector<std::exception_ptr> errors(num_shards);
+    std::vector<std::thread> workers;
+    workers.reserve(num_shards - 1);
+    for (std::uint32_t s = 1; s < num_shards; ++s) {
+      workers.emplace_back([&, s] {
+        try {
+          run_shard(s);
+        } catch (...) {
+          errors[s] = std::current_exception();
+        }
+      });
+    }
+    try {
+      run_shard(0);
+    } catch (...) {
+      errors[0] = std::current_exception();
+    }
+    for (std::thread& w : workers) w.join();
+    for (const std::exception_ptr& e : errors) {
+      if (e != nullptr) std::rethrow_exception(e);
+    }
+  } else {
+    for (std::uint32_t s = 0; s < num_shards; ++s) run_shard(s);
+  }
+
+  // Merge under the same NaN policy the shard pipelines ran with, so loaded
+  // partial distances get identical sanitizer semantics.
+  {
+    simt::ScopedNanPolicy guard(merge_device_.sanitizer(),
+                                options_.batch.nan_policy);
+    kernels::ShardMergeOutput merged =
+        kernels::shard_merge(merge_device_, partials, queries.count, k,
+                             options_.batch.batch.select);
+    out.neighbors = std::move(merged.neighbors);
+    out.merge_metrics = merged.metrics;
+  }
+  out.merge_seconds =
+      options_.batch.cost_model.kernel_seconds(out.merge_metrics);
+
+  double slowest_shard = 0.0;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    const ShardStats& st = out.shards[s];
+    slowest_shard = std::max(slowest_shard, st.modeled_seconds);
+    out.degraded = out.degraded || st.excluded;
+    ShardTotals& tot = totals_[s];
+    tot.requests += 1;
+    tot.retries += st.retries;
+    tot.exclusions += st.excluded ? 1 : 0;
+    tot.faults += st.faults.size();
+    tot.modeled_seconds += st.modeled_seconds;
+  }
+  out.modeled_seconds = slowest_shard + out.merge_seconds;
+  requests_ += 1;
+  if (out.degraded) degraded_requests_ += 1;
+  merge_seconds_total_ += out.merge_seconds;
+  return out;
+}
+
+void ShardedKnn::attach_profilers() {
+  if (!profilers_.empty()) return;
+  profilers_.reserve(shards_.size() + 1);
+  for (auto& shard : shards_) {
+    profilers_.push_back(
+        std::make_unique<simt::Profiler>(options_.batch.cost_model));
+    shard->device().set_profiler(profilers_.back().get());
+  }
+  profilers_.push_back(
+      std::make_unique<simt::Profiler>(options_.batch.cost_model));
+  merge_device_.set_profiler(profilers_.back().get());
+}
+
+void ShardedKnn::drain_profiles(simt::Profiler& sink,
+                                const std::string& prefix) {
+  if (profilers_.empty()) return;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    sink.absorb(*profilers_[s], prefix + "shard" + std::to_string(s) + "/");
+    profilers_[s]->clear();
+  }
+  sink.absorb(*profilers_.back(), prefix + "merge/");
+  profilers_.back()->clear();
+}
+
+void ShardedKnn::write_shard_report(std::ostream& os) const {
+  simt::KernelMetrics total;
+  std::uint64_t total_h2d = 0;
+  std::uint64_t total_d2h = 0;
+  os << "{\n  \"schema\": \"gpuksel.shards.v1\",\n"
+     << "  \"num_shards\": " << shards_.size() << ",\n"
+     << "  \"reference_rows\": " << size_ << ",\n"
+     << "  \"dim\": " << dim_ << ",\n"
+     << "  \"requests\": " << requests_ << ",\n"
+     << "  \"degraded_requests\": " << degraded_requests_ << ",\n"
+     << "  \"shards\": [";
+  const char* sep = "";
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const DeviceShard& shard = *shards_[s];
+    const ShardTotals& tot = totals_[s];
+    const simt::KernelMetrics& m = shard.device().cumulative();
+    const simt::TransferStats& tx = shard.device().transfers();
+    total += m;
+    total_h2d += tx.bytes_h2d;
+    total_d2h += tx.bytes_d2h;
+    os << sep << "\n    {\"shard\": " << s << ", \"begin\": " << shard.begin()
+       << ", \"rows\": " << shard.rows() << ", \"requests\": " << tot.requests
+       << ", \"retries\": " << tot.retries
+       << ", \"exclusions\": " << tot.exclusions
+       << ", \"faults\": " << tot.faults
+       << ", \"modeled_seconds\": " << tot.modeled_seconds
+       << ", \"transfers\": {\"bytes_h2d\": " << tx.bytes_h2d
+       << ", \"bytes_d2h\": " << tx.bytes_d2h << "},\n     \"metrics\": ";
+    simt::write_metrics_json(os, m);
+    os << "}";
+    sep = ",";
+  }
+  os << (shards_.empty() ? "]" : "\n  ]") << ",\n  \"merge\": {";
+  {
+    const simt::KernelMetrics& m = merge_device_.cumulative();
+    const simt::TransferStats& tx = merge_device_.transfers();
+    total += m;
+    total_h2d += tx.bytes_h2d;
+    total_d2h += tx.bytes_d2h;
+    os << "\"modeled_seconds\": " << merge_seconds_total_
+       << ", \"transfers\": {\"bytes_h2d\": " << tx.bytes_h2d
+       << ", \"bytes_d2h\": " << tx.bytes_d2h << "},\n    \"metrics\": ";
+    simt::write_metrics_json(os, m);
+  }
+  // The partition invariant CI checks: the shard metrics plus the merge
+  // metrics sum exactly to these totals (each launch runs on exactly one
+  // device and every device is listed once).
+  os << "},\n  \"total\": {\"transfers\": {\"bytes_h2d\": " << total_h2d
+     << ", \"bytes_d2h\": " << total_d2h << "},\n    \"metrics\": ";
+  simt::write_metrics_json(os, total);
+  os << "}\n}\n";
+}
+
+}  // namespace gpuksel::serve

@@ -1,0 +1,143 @@
+// Multi-device sharded k-NN front end.
+//
+// ShardedKnn cuts the reference set into contiguous shards (remainder rows
+// spread over the first shards), gives each to a DeviceShard with its own
+// simt::Device, fans every query batch out to all shards — on one host
+// thread per shard when parallel_fanout is on; each Device's WarpExecutor is
+// internally synchronized, so per-request fan-out threads are safe — and
+// reduces the per-shard partial top-k lists on a dedicated merge device with
+// the shard_merge kernel.  Results are bit-identical to a single-device
+// BatchedKnn over the whole set (see shard_merge.hpp for the exactness
+// argument), including when a faulty shard is excluded and recomputed on the
+// host.
+//
+// Observability: per-request ShardStats ride on every ShardedResult;
+// cumulative per-shard service counters plus each device's KernelMetrics and
+// transfer totals are exported by write_shard_report() as the
+// "gpuksel.shards.v1" JSON schema, where the per-shard metrics and the merge
+// metrics partition the report's totals exactly (CI checks this).  Attach
+// per-device profilers with attach_profilers() and fold the per-shard
+// records into one report via drain_profiles() ("shard0/", ..., "merge/"
+// kernel prefixes).
+//
+// Thread-safety: one request at a time — drive ShardedKnn from a single
+// thread (the Scheduler's worker does exactly that).  The fan-out threads
+// are internal per-request workers, not concurrent requests.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/device_shard.hpp"
+#include "simt/profiler.hpp"
+
+namespace gpuksel::serve {
+
+struct ShardedKnnOptions {
+  /// Devices to shard the reference set over; must be in [1, rows].
+  std::uint32_t num_shards = 2;
+  /// Per-shard engine configuration (tile size, queue config, NaN policy,
+  /// cost model).  fallback_to_host is ignored — shard fault policy is
+  /// retry-once-then-exclude, owned by DeviceShard.
+  knn::BatchedKnnOptions batch;
+  /// Serve shards on one host thread each (the multi-device model); off =
+  /// sequential fan-out, same results.
+  bool parallel_fanout = true;
+  /// When true a shard whose retry also faulted is excluded for the request
+  /// and its partition recomputed on the host (degraded service); when false
+  /// the second fault fails the whole request.
+  bool exclude_faulty_shards = true;
+  /// Host worker threads per simulated device (0 = device default).
+  unsigned worker_threads = 0;
+};
+
+/// Result of one sharded request.
+struct ShardedResult {
+  /// Per query: the min(k, total rows) nearest (dist, global index),
+  /// ascending — byte-identical to the single-device answer.
+  std::vector<std::vector<Neighbor>> neighbors;
+  /// Per-shard outcome of this request, indexed by shard id.
+  std::vector<ShardStats> shards;
+  simt::KernelMetrics merge_metrics;
+  double merge_seconds = 0.0;
+  /// Shards run concurrently, the merge after all of them: the request's
+  /// modeled latency is max over shard seconds plus the merge.
+  double modeled_seconds = 0.0;
+  /// True when at least one shard was excluded (host-recomputed).
+  bool degraded = false;
+};
+
+/// Cumulative per-shard service counters (since construction).
+struct ShardTotals {
+  std::uint64_t requests = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t exclusions = 0;
+  std::uint64_t faults = 0;
+  double modeled_seconds = 0.0;
+};
+
+class ShardedKnn {
+ public:
+  explicit ShardedKnn(knn::Dataset refs, ShardedKnnOptions options = {});
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return size_; }
+  [[nodiscard]] std::uint32_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::uint32_t num_shards() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] const ShardedKnnOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] DeviceShard& shard(std::uint32_t i) { return *shards_[i]; }
+  [[nodiscard]] const DeviceShard& shard(std::uint32_t i) const {
+    return *shards_[i];
+  }
+  [[nodiscard]] simt::Device& merge_device() noexcept { return merge_device_; }
+
+  /// Serves one query batch across all shards and merges the partials.
+  /// Throws SimtFaultError when a shard fails beyond the fault policy
+  /// (lowest faulting shard id wins under parallel fan-out, matching the
+  /// sequential order).
+  [[nodiscard]] ShardedResult search(const knn::Dataset& queries,
+                                     std::uint32_t k);
+
+  [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
+  [[nodiscard]] std::uint64_t degraded_requests() const noexcept {
+    return degraded_requests_;
+  }
+  [[nodiscard]] const std::vector<ShardTotals>& totals() const noexcept {
+    return totals_;
+  }
+
+  /// Gives every shard device (and the merge device) its own Profiler.
+  /// Idempotent; call before serving to capture every launch.
+  void attach_profilers();
+  /// Folds the per-device profiles into `sink` with "<prefix>shard<i>/" and
+  /// "<prefix>merge/" kernel-name prefixes, then clears the local profilers.
+  void drain_profiles(simt::Profiler& sink, const std::string& prefix = "");
+
+  /// Writes the "gpuksel.shards.v1" JSON report: per-shard partition bounds,
+  /// cumulative service counters, device KernelMetrics and transfer bytes,
+  /// the merge device's share, and totals that the per-shard + merge metrics
+  /// partition exactly.
+  void write_shard_report(std::ostream& os) const;
+
+ private:
+  ShardedKnnOptions options_;
+  std::uint32_t size_ = 0;
+  std::uint32_t dim_ = 0;
+  std::vector<std::unique_ptr<DeviceShard>> shards_;
+  simt::Device merge_device_;
+  /// One profiler per shard plus one for the merge device, heap-held for
+  /// pointer stability (Device keeps a raw Profiler*).
+  std::vector<std::unique_ptr<simt::Profiler>> profilers_;
+  std::vector<ShardTotals> totals_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t degraded_requests_ = 0;
+  double merge_seconds_total_ = 0.0;
+};
+
+}  // namespace gpuksel::serve

@@ -127,6 +127,16 @@ void Profiler::record_launch(const char* kernel_name, unsigned worker_threads,
   records_.push_back(std::move(rec));
 }
 
+void Profiler::absorb(const Profiler& other, const std::string& kernel_prefix) {
+  records_.reserve(records_.size() + other.records_.size());
+  for (const KernelRecord& rec : other.records_) {
+    KernelRecord copy = rec;
+    copy.kernel = kernel_prefix + rec.kernel;
+    copy.launch_index = records_.size();
+    records_.push_back(std::move(copy));
+  }
+}
+
 // --- JSON helpers -----------------------------------------------------------
 
 namespace {
@@ -158,7 +168,9 @@ void json_string(std::ostream& os, const std::string& s) {
   os << '"';
 }
 
-void json_metrics(std::ostream& os, const KernelMetrics& m) {
+}  // namespace
+
+void write_metrics_json(std::ostream& os, const KernelMetrics& m) {
   os << "{\"instructions\": " << m.instructions
      << ", \"useful_lane_slots\": " << m.useful_lane_slots
      << ", \"global_load_tx\": " << m.global_load_tx
@@ -172,8 +184,6 @@ void json_metrics(std::ostream& os, const KernelMetrics& m) {
   json_double(os, m.transactions_per_request());
   os << "}";
 }
-
-}  // namespace
 
 // --- exports ----------------------------------------------------------------
 
@@ -193,7 +203,7 @@ void Profiler::write_report(std::ostream& os) const {
        << ",\n      \"wall_seconds\": ";
     json_double(os, include_host_info_ ? rec.wall_seconds : 0.0);
     os << ",\n      \"metrics\": ";
-    json_metrics(os, rec.total);
+    write_metrics_json(os, rec.total);
     os << ",\n      \"cost\": {\"instruction_seconds\": ";
     json_double(os, rec.instruction_seconds);
     os << ", \"memory_seconds\": ";
@@ -210,7 +220,7 @@ void Profiler::write_report(std::ostream& os) const {
       sep = ",";
       json_string(os, r.name);
       os << ", \"calls\": " << r.calls << ", \"self\": ";
-      json_metrics(os, r.self);
+      write_metrics_json(os, r.self);
       os << "}";
     }
     os << (rec.regions.empty() ? "]" : "\n      ]");
@@ -219,7 +229,7 @@ void Profiler::write_report(std::ostream& os) const {
     for (const KernelMetrics& m : rec.per_warp) {
       os << sep << "\n        ";
       sep = ",";
-      json_metrics(os, m);
+      write_metrics_json(os, m);
     }
     os << (rec.per_warp.empty() ? "]" : "\n      ]");
     os << "\n    }";

@@ -41,6 +41,11 @@ namespace gpuksel::simt {
 /// Name of the synthetic region holding work outside any open region.
 inline constexpr const char* kUnattributedRegion = "(unattributed)";
 
+/// Writes one KernelMetrics as a JSON object (counters plus the derived
+/// simt_efficiency / transactions_per_request ratios) — the same encoding
+/// write_report() uses, exposed for other JSON emitters (the shard report).
+void write_metrics_json(std::ostream& os, const KernelMetrics& m);
+
 /// One closed region instance on one warp's timeline.  The "timestamps" are
 /// the warp's instruction counter at entry/exit (deterministic; see above).
 struct TraceSpan {
@@ -185,6 +190,14 @@ class Profiler {
     return records_;
   }
   void clear() noexcept { records_.clear(); }
+
+  /// Copies every record of `other` into this profiler, prepending
+  /// `kernel_prefix` to the kernel names and renumbering launch_index to
+  /// continue this profiler's sequence.  The multi-device aggregation hook:
+  /// each DeviceShard records into its own profiler (Profiler is not
+  /// thread-safe), and the serving layer absorbs them into one report with
+  /// "shard0/", "shard1/", ... prefixes after the fan-out joins.
+  void absorb(const Profiler& other, const std::string& kernel_prefix);
 
   /// Machine-readable JSON report: one object per launch with metrics,
   /// derived ratios, cost breakdown and per-region attribution.

@@ -133,6 +133,35 @@ TEST(BatchedKnnTest, ReferenceUploadAmortizesAcrossBatches) {
             std::size_t{q} * dim * sizeof(float));
 }
 
+TEST(BatchedKnnTest, SetRefsInvalidatesTheResidentUploadEvenAtSameSize) {
+  // Regression: the upload cache used to key on (device, byte size) only, so
+  // swapping in a same-shaped reference set kept serving the *old* vectors
+  // from device memory.  The cache now also keys on the host pointer.
+  const std::uint32_t n = 64, dim = 8;
+  const auto refs_a = make_uniform_dataset(n, dim, 44);
+  const auto refs_b = make_uniform_dataset(n, dim, 45);  // same shape
+  const auto queries = make_uniform_dataset(10, dim, 46);
+  simt::Device dev;
+  BatchedKnn knn(refs_a, tiled_options(16));
+  const auto before = knn.search_gpu(dev, queries, 5).neighbors;
+  const std::uint64_t uploaded = dev.transfers().bytes_h2d;
+
+  knn.set_refs(refs_b);
+  const auto after = knn.search_gpu(dev, queries, 5).neighbors;
+  // The new reference set was re-uploaded (refs + queries moved again)...
+  EXPECT_EQ(dev.transfers().bytes_h2d - uploaded,
+            (std::size_t{n} * dim + std::size_t{10} * dim) * sizeof(float));
+  // ...and the answers come from the new vectors.
+  EXPECT_NE(after, before);
+  simt::Device clean;
+  EXPECT_EQ(after,
+            BruteForceKnn(refs_b).search_gpu(clean, queries, 5).neighbors);
+
+  // set_refs with batches still pending would strand queued work: refused.
+  knn.enqueue(queries, 3);
+  EXPECT_THROW(knn.set_refs(refs_a), PreconditionError);
+}
+
 TEST(BatchedKnnTest, FaultWithFallbackReAnswersOnHost) {
   const auto refs = make_uniform_dataset(50, 4, 36);
   const auto queries = make_uniform_dataset(8, 4, 37);

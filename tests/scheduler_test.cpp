@@ -1,0 +1,158 @@
+// Tests for the async admission scheduler: exactness through the queue,
+// deadline expiry at dequeue, bounded-queue backpressure (blocking submit
+// unblocks without deadlock), pause/resume, shutdown semantics, and fault
+// propagation as kFailed vs degraded-but-kOk.  The backpressure and shutdown
+// tests exercise real cross-thread blocking and are run under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "knn/dataset.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/sharded_knn.hpp"
+#include "simt/fault_injection.hpp"
+
+namespace gpuksel::serve {
+namespace {
+
+using std::chrono::nanoseconds;
+
+ShardedKnnOptions engine_options(std::uint32_t shards) {
+  ShardedKnnOptions opts;
+  opts.num_shards = shards;
+  opts.batch.batch.tile_refs = 16;
+  return opts;
+}
+
+knn::Dataset queries_batch(std::uint32_t count, std::uint32_t seed) {
+  return knn::make_uniform_dataset(count, 4, seed);
+}
+
+TEST(SchedulerTest, ServesRequestsExactlyLikeTheEngine) {
+  const auto refs = knn::make_uniform_dataset(50, 4, 1);
+  ShardedKnn direct(refs, engine_options(3));
+  ShardedKnn served(refs, engine_options(3));
+  Scheduler sched(served);
+
+  std::vector<std::future<ServeResponse>> futures;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    futures.push_back(sched.submit(queries_batch(9, 10 + i), 6));
+  }
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ServeResponse resp = futures[i].get();
+    ASSERT_EQ(resp.status, RequestStatus::kOk) << resp.error;
+    EXPECT_EQ(resp.result.neighbors,
+              direct.search(queries_batch(9, 10 + i), 6).neighbors);
+  }
+  sched.shutdown();
+  EXPECT_EQ(served.requests(), 4u);
+}
+
+TEST(SchedulerTest, ExpiredDeadlineTimesOutWithoutTouchingTheEngine) {
+  ShardedKnn engine(knn::make_uniform_dataset(30, 4, 2), engine_options(2));
+  Scheduler sched(engine);
+  sched.pause();  // deadline is checked when the worker dequeues
+  auto stale = sched.submit(queries_batch(5, 3), 4, nanoseconds{0});
+  auto fresh = sched.submit(queries_batch(5, 4), 4);
+  sched.resume();
+  EXPECT_EQ(stale.get().status, RequestStatus::kTimedOut);
+  ServeResponse ok = fresh.get();
+  ASSERT_EQ(ok.status, RequestStatus::kOk) << ok.error;
+  // Only the undeadlined request reached the engine.
+  EXPECT_EQ(engine.requests(), 1u);
+}
+
+TEST(SchedulerTest, BoundedQueueBackpressureUnblocksWithoutDeadlock) {
+  ShardedKnn engine(knn::make_uniform_dataset(30, 4, 5), engine_options(2));
+  Scheduler sched(engine, SchedulerOptions{/*queue_capacity=*/1});
+  sched.pause();
+  auto first = sched.submit(queries_batch(4, 6), 3);
+  ASSERT_EQ(sched.pending(), 1u);
+
+  // Queue is full: non-blocking admission refuses...
+  EXPECT_FALSE(sched.try_submit(queries_batch(4, 7), 3).has_value());
+
+  // ...and a blocking submit parks until the worker frees a slot.
+  std::promise<void> submitted;
+  std::future<ServeResponse> second;
+  std::thread submitter([&] {
+    second = sched.submit(queries_batch(4, 8), 3);
+    submitted.set_value();
+  });
+  EXPECT_EQ(submitted.get_future().wait_for(std::chrono::milliseconds(50)),
+            std::future_status::timeout);
+
+  sched.resume();  // worker drains the queue, space_cv_ releases the submitter
+  submitter.join();
+  EXPECT_EQ(first.get().status, RequestStatus::kOk);
+  EXPECT_EQ(second.get().status, RequestStatus::kOk);
+  EXPECT_EQ(engine.requests(), 2u);
+}
+
+TEST(SchedulerTest, ShutdownDrainsPendingRequests) {
+  ShardedKnn engine(knn::make_uniform_dataset(30, 4, 9), engine_options(2));
+  auto sched = std::make_unique<Scheduler>(engine);
+  sched->pause();
+  auto a = sched->submit(queries_batch(4, 10), 3);
+  auto b = sched->submit(queries_batch(4, 11), 3);
+  sched->shutdown();  // drains even while paused
+  EXPECT_EQ(a.get().status, RequestStatus::kOk);
+  EXPECT_EQ(b.get().status, RequestStatus::kOk);
+  EXPECT_EQ(engine.requests(), 2u);
+}
+
+TEST(SchedulerTest, SubmitAfterShutdownFailsImmediately) {
+  ShardedKnn engine(knn::make_uniform_dataset(30, 4, 12), engine_options(2));
+  Scheduler sched(engine);
+  sched.shutdown();
+  ServeResponse resp = sched.submit(queries_batch(4, 13), 3).get();
+  EXPECT_EQ(resp.status, RequestStatus::kFailed);
+  EXPECT_EQ(resp.error, "scheduler is shut down");
+  auto attempt = sched.try_submit(queries_batch(4, 14), 3);
+  ASSERT_TRUE(attempt.has_value());
+  EXPECT_EQ(attempt->get().status, RequestStatus::kFailed);
+}
+
+TEST(SchedulerTest, EngineFaultSurfacesAsFailedResponse) {
+  ShardedKnnOptions opts = engine_options(2);
+  opts.exclude_faulty_shards = false;
+  ShardedKnn engine(knn::make_uniform_dataset(30, 4, 15), opts);
+  simt::FaultInjector injector(simt::InjectorConfig{
+      simt::InjectKind::kOobIndex, /*seed=*/5, /*period=*/32, /*max_faults=*/0,
+      /*kernel_filter=*/"batch_tile_score"});
+  engine.shard(0).device().set_fault_injector(&injector);
+  Scheduler sched(engine);
+  ServeResponse resp = sched.submit(queries_batch(4, 16), 3).get();
+  EXPECT_EQ(resp.status, RequestStatus::kFailed);
+  EXPECT_FALSE(resp.error.empty());
+}
+
+TEST(SchedulerTest, ExcludedShardStillAnswersOkButDegraded) {
+  ShardedKnn engine(knn::make_uniform_dataset(30, 4, 17), engine_options(2));
+  simt::FaultInjector injector(simt::InjectorConfig{
+      simt::InjectKind::kOobIndex, /*seed=*/5, /*period=*/32, /*max_faults=*/0,
+      /*kernel_filter=*/"batch_tile_score"});
+  engine.shard(0).device().set_fault_injector(&injector);
+  Scheduler sched(engine);
+  ServeResponse resp = sched.submit(queries_batch(4, 18), 3).get();
+  ASSERT_EQ(resp.status, RequestStatus::kOk) << resp.error;
+  EXPECT_TRUE(resp.result.degraded);
+  EXPECT_TRUE(resp.result.shards[0].excluded);
+}
+
+TEST(SchedulerTest, DestructorShutsDownCleanly) {
+  ShardedKnn engine(knn::make_uniform_dataset(30, 4, 19), engine_options(2));
+  std::future<ServeResponse> fut;
+  {
+    Scheduler sched(engine);
+    fut = sched.submit(queries_batch(4, 20), 3);
+  }  // ~Scheduler drains and joins
+  EXPECT_EQ(fut.get().status, RequestStatus::kOk);
+}
+
+}  // namespace
+}  // namespace gpuksel::serve

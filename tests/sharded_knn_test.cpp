@@ -1,0 +1,350 @@
+// Tests for the multi-device sharded serving layer: the differential matrix
+// (sharded vs single-device vs the CPU heap baseline) across seeded feature
+// distributions, shard counts, uneven splits, k > shard size and ties that
+// cross shard boundaries; shard fault policy (retry once, then exclude with
+// host recompute); metrics/profile aggregation and the shards.v1 report.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/cpu_select.hpp"
+#include "core/kernels/pipeline.hpp"
+#include "core/kernels/shard_merge.hpp"
+#include "knn/batch.hpp"
+#include "knn/dataset.hpp"
+#include "serve/sharded_knn.hpp"
+#include "simt/device.hpp"
+#include "simt/fault_injection.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpuksel::serve {
+namespace {
+
+/// Feature distributions stressing cross-shard behaviour: ties and duplicate
+/// rows land in *different* shards, so the merge's (dist, index) tie-break
+/// is what keeps the result identical to the single-device scan.
+knn::Dataset make_feature_set(std::uint32_t count, std::uint32_t dim,
+                              std::uint32_t shape, Rng& rng) {
+  knn::Dataset d;
+  d.count = count;
+  d.dim = dim;
+  d.values.resize(std::size_t{count} * dim);
+  switch (shape) {
+    case 0:  // continuous uniform
+      for (auto& v : d.values) v = rng.uniform_float();
+      break;
+    case 1:  // few-valued features: heavy duplicate distances
+      for (auto& v : d.values) {
+        v = static_cast<float>(rng.uniform_below(3)) * 0.25f;
+      }
+      break;
+    case 2:  // all-constant: every distance equal, pure index tie-breaking
+      for (auto& v : d.values) v = 0.5f;
+      break;
+    default:  // duplicated rows: exact duplicate distances across shards
+      for (std::uint32_t i = 0; i < count; ++i) {
+        for (std::uint32_t dd = 0; dd < dim; ++dd) {
+          Rng row_rng(0xd0b1e + (i % 7) * 131 + dd);
+          d.values[std::size_t{i} * dim + dd] = row_rng.uniform_float();
+        }
+      }
+      break;
+  }
+  return d;
+}
+
+ShardedKnnOptions sharded_options(std::uint32_t num_shards,
+                                  std::uint32_t tile_refs = 16) {
+  ShardedKnnOptions opts;
+  opts.num_shards = num_shards;
+  opts.batch.batch.tile_refs = tile_refs;
+  return opts;
+}
+
+/// The single-device answer the sharded path must match bit-for-bit.
+std::vector<std::vector<Neighbor>> single_device(const knn::Dataset& refs,
+                                                 const knn::Dataset& queries,
+                                                 std::uint32_t k) {
+  simt::Device dev;
+  knn::BatchedKnnOptions opts;
+  opts.batch.tile_refs = 16;
+  knn::BatchedKnn engine(refs, opts);
+  return engine.search_gpu(dev, queries, k).neighbors;
+}
+
+/// The CPU heap baseline over the device-computed distance matrix.
+std::vector<std::vector<Neighbor>> cpu_reference(const knn::Dataset& refs,
+                                                 const knn::Dataset& queries,
+                                                 std::uint32_t k) {
+  simt::Device dev;
+  auto dm = kernels::gpu_distance_matrix(
+      dev, knn::to_dim_major(queries), refs.values, queries.count, refs.count,
+      refs.dim, kernels::MatrixLayout::kQueryMajor);
+  return baselines::cpu_select_all(dm.matrix.host(), queries.count,
+                                   refs.count, k, 1);
+}
+
+TEST(ShardedKnnTest, DifferentialMatrixMatchesSingleDeviceAndCpuSelect) {
+  // 4 feature distributions x shard counts {1, 2, 3, 8} x k {1, 5, 16}.
+  // N = 67 is deliberately indivisible by every shard count (uneven splits),
+  // and k = 16 exceeds the 8-shard slice size (8 or 9 rows): every shard's
+  // partial is ragged and the merge must still be exact.
+  Rng rng(0x5a4d);
+  const std::uint32_t n = 67, dim = 6, q = 33;
+  for (std::uint32_t shape = 0; shape < 4; ++shape) {
+    const knn::Dataset refs = make_feature_set(n, dim, shape, rng);
+    const knn::Dataset queries = make_feature_set(q, dim, 0, rng);
+    for (const std::uint32_t k : {1u, 5u, 16u}) {
+      const auto expected = single_device(refs, queries, k);
+      ASSERT_EQ(expected, cpu_reference(refs, queries, k))
+          << "shape " << shape << " k " << k;
+      for (const std::uint32_t shards : {1u, 2u, 3u, 8u}) {
+        ShardedKnn engine(refs, sharded_options(shards));
+        const auto got = engine.search(queries, k);
+        EXPECT_EQ(got.neighbors, expected)
+            << "shape " << shape << " shards " << shards << " k " << k;
+        EXPECT_FALSE(got.degraded);
+      }
+    }
+  }
+}
+
+TEST(ShardedKnnTest, UnevenShardsPartitionTheReferenceRange) {
+  const knn::Dataset refs = knn::make_uniform_dataset(67, 4, 3);
+  ShardedKnn engine(refs, sharded_options(8));
+  std::uint32_t next = 0;
+  for (std::uint32_t s = 0; s < engine.num_shards(); ++s) {
+    EXPECT_EQ(engine.shard(s).begin(), next);
+    const std::uint32_t rows = engine.shard(s).rows();
+    EXPECT_TRUE(rows == 8 || rows == 9) << "shard " << s;
+    next += rows;
+  }
+  EXPECT_EQ(next, refs.count);
+}
+
+TEST(ShardedKnnTest, KLargerThanEveryShardIsExact) {
+  // k = 40 with 4 shards of ~9 rows: every partial holds its entire shard.
+  Rng rng(0x77);
+  const knn::Dataset refs = make_feature_set(37, 5, 3, rng);
+  const knn::Dataset queries = make_feature_set(9, 5, 0, rng);
+  const auto expected = single_device(refs, queries, 40);
+  ASSERT_EQ(expected.front().size(), 37u);  // min(k, n) convention
+  ShardedKnn engine(refs, sharded_options(4));
+  EXPECT_EQ(engine.search(queries, 40).neighbors, expected);
+}
+
+TEST(ShardedKnnTest, AllTiedCandidatesResolveAcrossShardBoundaries) {
+  // Every reference row identical: all distances tie and the global top-k
+  // must be exactly indices 0..k-1 — candidates from shard 0 beating every
+  // other shard purely on the index tie-break.
+  Rng rng(0x99);
+  const knn::Dataset refs = make_feature_set(24, 3, 2, rng);
+  const knn::Dataset queries = make_feature_set(5, 3, 0, rng);
+  ShardedKnn engine(refs, sharded_options(3));
+  const auto got = engine.search(queries, 6);
+  for (const auto& list : got.neighbors) {
+    ASSERT_EQ(list.size(), 6u);
+    for (std::uint32_t j = 0; j < 6; ++j) EXPECT_EQ(list[j].index, j);
+  }
+  EXPECT_EQ(got.neighbors, single_device(refs, queries, 6));
+}
+
+TEST(ShardedKnnTest, SequentialFanoutMatchesParallel) {
+  Rng rng(0xf0);
+  const knn::Dataset refs = make_feature_set(50, 4, 0, rng);
+  const knn::Dataset queries = make_feature_set(17, 4, 0, rng);
+  ShardedKnnOptions par = sharded_options(4);
+  ShardedKnnOptions seq = sharded_options(4);
+  seq.parallel_fanout = false;
+  ShardedKnn a(refs, par);
+  ShardedKnn b(refs, seq);
+  const auto ra = a.search(queries, 7);
+  const auto rb = b.search(queries, 7);
+  EXPECT_EQ(ra.neighbors, rb.neighbors);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(ra.shards[s].metrics, rb.shards[s].metrics) << "shard " << s;
+  }
+  EXPECT_EQ(ra.merge_metrics, rb.merge_metrics);
+  EXPECT_EQ(ra.modeled_seconds, rb.modeled_seconds);
+}
+
+TEST(ShardedKnnTest, ModeledLatencyIsSlowestShardPlusMerge) {
+  const knn::Dataset refs = knn::make_uniform_dataset(60, 4, 5);
+  const knn::Dataset queries = knn::make_uniform_dataset(10, 4, 6);
+  ShardedKnn engine(refs, sharded_options(3));
+  const auto res = engine.search(queries, 4);
+  double slowest = 0.0;
+  for (const ShardStats& st : res.shards) {
+    EXPECT_GT(st.modeled_seconds, 0.0);
+    slowest = std::max(slowest, st.modeled_seconds);
+  }
+  EXPECT_GT(res.merge_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(res.modeled_seconds, slowest + res.merge_seconds);
+}
+
+TEST(ShardedKnnTest, FaultyShardIsRetriedOnceThenExcludedExactly) {
+  // Unlimited fault budget on shard 1's device: the first attempt and the
+  // retry both fault, the shard degrades to the host recompute — and the
+  // merged answer is still byte-identical to the healthy single-device run.
+  Rng rng(0xfa);
+  const knn::Dataset refs = make_feature_set(45, 4, 1, rng);
+  const knn::Dataset queries = make_feature_set(11, 4, 0, rng);
+  const auto expected = single_device(refs, queries, 8);
+
+  ShardedKnn engine(refs, sharded_options(3));
+  simt::FaultInjector injector(simt::InjectorConfig{
+      simt::InjectKind::kOobIndex, /*seed=*/5, /*period=*/32, /*max_faults=*/0,
+      /*kernel_filter=*/"batch_tile_score"});
+  engine.shard(1).device().set_fault_injector(&injector);
+
+  const auto got = engine.search(queries, 8);
+  EXPECT_EQ(got.neighbors, expected);
+  EXPECT_TRUE(got.degraded);
+  EXPECT_TRUE(got.shards[1].excluded);
+  EXPECT_EQ(got.shards[1].retries, 1u);
+  EXPECT_GE(got.shards[1].faults.size(), 2u);  // first attempt + retry
+  EXPECT_EQ(got.shards[1].modeled_seconds, 0.0);  // no successful GPU attempt
+  for (const std::uint32_t s : {0u, 2u}) {
+    EXPECT_FALSE(got.shards[s].excluded);
+    EXPECT_EQ(got.shards[s].retries, 0u);
+    EXPECT_TRUE(got.shards[s].faults.empty());
+  }
+  EXPECT_EQ(engine.degraded_requests(), 1u);
+  EXPECT_EQ(engine.totals()[1].exclusions, 1u);
+}
+
+TEST(ShardedKnnTest, TransientFaultSurvivesViaRetry) {
+  // A budget of one fault: the first attempt faults and spends it, the retry
+  // runs clean — the transient-fault model the retry policy exists for.
+  Rng rng(0xfb);
+  const knn::Dataset refs = make_feature_set(45, 4, 0, rng);
+  const knn::Dataset queries = make_feature_set(11, 4, 0, rng);
+  const auto expected = single_device(refs, queries, 8);
+
+  ShardedKnn engine(refs, sharded_options(3));
+  simt::FaultInjector injector(simt::InjectorConfig{
+      simt::InjectKind::kOobIndex, /*seed=*/5, /*period=*/32, /*max_faults=*/1,
+      /*kernel_filter=*/"batch_tile_score"});
+  engine.shard(1).device().set_fault_injector(&injector);
+
+  const auto got = engine.search(queries, 8);
+  EXPECT_EQ(got.neighbors, expected);
+  EXPECT_FALSE(got.degraded);
+  EXPECT_FALSE(got.shards[1].excluded);
+  EXPECT_EQ(got.shards[1].retries, 1u);
+  EXPECT_EQ(got.shards[1].faults.size(), 1u);
+  EXPECT_GT(got.shards[1].modeled_seconds, 0.0);
+}
+
+TEST(ShardedKnnTest, ExclusionDisabledPropagatesTheFault) {
+  ShardedKnnOptions opts = sharded_options(3);
+  opts.exclude_faulty_shards = false;
+  ShardedKnn engine(knn::make_uniform_dataset(45, 4, 7), opts);
+  simt::FaultInjector injector(simt::InjectorConfig{
+      simt::InjectKind::kOobIndex, /*seed=*/5, /*period=*/32, /*max_faults=*/0,
+      /*kernel_filter=*/"batch_tile_score"});
+  engine.shard(2).device().set_fault_injector(&injector);
+  EXPECT_THROW((void)engine.search(knn::make_uniform_dataset(6, 4, 8), 4),
+               SimtFaultError);
+}
+
+TEST(ShardedKnnTest, EmptyBatchIsServedWithoutLaunching) {
+  ShardedKnn engine(knn::make_uniform_dataset(30, 4, 9), sharded_options(2));
+  const auto res = engine.search(knn::Dataset{}, 3);
+  EXPECT_TRUE(res.neighbors.empty());
+  EXPECT_FALSE(res.degraded);
+  EXPECT_EQ(engine.merge_device().cumulative().instructions, 0u);
+}
+
+TEST(ShardedKnnTest, PreconditionsAreChecked) {
+  const knn::Dataset refs = knn::make_uniform_dataset(10, 4, 1);
+  EXPECT_THROW(ShardedKnn(refs, sharded_options(0)), PreconditionError);
+  EXPECT_THROW(ShardedKnn(refs, sharded_options(11)), PreconditionError);
+  ShardedKnn engine(refs, sharded_options(2));
+  EXPECT_THROW((void)engine.search(knn::make_uniform_dataset(3, 4, 2), 0),
+               PreconditionError);
+  EXPECT_THROW((void)engine.search(knn::make_uniform_dataset(3, 5, 2), 3),
+               PreconditionError);
+}
+
+TEST(ShardedKnnTest, ProfilerAggregationPrefixesEveryDevice) {
+  ShardedKnn engine(knn::make_uniform_dataset(40, 4, 11), sharded_options(2));
+  engine.attach_profilers();
+  (void)engine.search(knn::make_uniform_dataset(8, 4, 12), 5);
+  simt::Profiler sink;
+  engine.drain_profiles(sink, "svc/");
+  ASSERT_FALSE(sink.records().empty());
+  bool saw_shard0 = false, saw_shard1 = false, saw_merge = false;
+  for (std::size_t i = 0; i < sink.records().size(); ++i) {
+    const auto& rec = sink.records()[i];
+    EXPECT_EQ(rec.launch_index, i);  // renumbered into one sequence
+    saw_shard0 = saw_shard0 || rec.kernel.rfind("svc/shard0/", 0) == 0;
+    saw_shard1 = saw_shard1 || rec.kernel.rfind("svc/shard1/", 0) == 0;
+    saw_merge = saw_merge || rec.kernel == "svc/merge/shard_merge";
+  }
+  EXPECT_TRUE(saw_shard0);
+  EXPECT_TRUE(saw_shard1);
+  EXPECT_TRUE(saw_merge);
+  // Drained: a second drain adds nothing.
+  const std::size_t count = sink.records().size();
+  engine.drain_profiles(sink, "svc/");
+  EXPECT_EQ(sink.records().size(), count);
+}
+
+TEST(ShardedKnnTest, ShardReportPartitionsTotalsExactly) {
+  ShardedKnn engine(knn::make_uniform_dataset(50, 4, 13), sharded_options(3));
+  (void)engine.search(knn::make_uniform_dataset(9, 4, 14), 6);
+  (void)engine.search(knn::make_uniform_dataset(5, 4, 15), 3);
+
+  // The invariant the report's "total" block encodes: every launch ran on
+  // exactly one device, so per-device cumulatives partition the sum.
+  simt::KernelMetrics sum;
+  for (std::uint32_t s = 0; s < engine.num_shards(); ++s) {
+    sum += engine.shard(s).device().cumulative();
+  }
+  sum += engine.merge_device().cumulative();
+  EXPECT_GT(sum.instructions, 0u);
+
+  std::ostringstream os;
+  engine.write_shard_report(os);
+  const std::string report = os.str();
+  EXPECT_NE(report.find("\"schema\": \"gpuksel.shards.v1\""),
+            std::string::npos);
+  EXPECT_NE(report.find("\"num_shards\": 3"), std::string::npos);
+  EXPECT_NE(report.find("\"requests\": 2"), std::string::npos);
+  EXPECT_NE(report.find("\"instructions\": " +
+                        std::to_string(sum.instructions)),
+            std::string::npos);
+}
+
+TEST(ShardMergeTest, MergesRaggedPartialsWithSentinelPadding) {
+  // Hand-built partials with ragged lengths: shard 0 has 2 candidates for
+  // query 0 and none for query 1; shard 1 has 1 and 3.
+  std::vector<std::vector<std::vector<Neighbor>>> partials(2);
+  partials[0] = {{{0.25f, 3u}, {0.5f, 0u}}, {}};
+  partials[1] = {{{0.25f, 7u}}, {{0.1f, 9u}, {0.2f, 11u}, {0.3f, 12u}}};
+  simt::Device dev;
+  const auto out = kernels::shard_merge(dev, partials, 2, 2, {});
+  ASSERT_EQ(out.neighbors.size(), 2u);
+  EXPECT_EQ(out.neighbors[0],
+            (std::vector<Neighbor>{{0.25f, 3u}, {0.25f, 7u}}));
+  EXPECT_EQ(out.neighbors[1],
+            (std::vector<Neighbor>{{0.1f, 9u}, {0.2f, 11u}}));
+  EXPECT_GT(out.metrics.instructions, 0u);
+}
+
+TEST(ShardMergeTest, RejectsMismatchedShardQueryCounts) {
+  std::vector<std::vector<std::vector<Neighbor>>> partials(2);
+  partials[0] = {{{0.5f, 0u}}};
+  partials[1] = {{{0.5f, 1u}}, {{0.5f, 2u}}};
+  simt::Device dev;
+  EXPECT_THROW((void)kernels::shard_merge(dev, partials, 2, 1, {}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace gpuksel::serve
