@@ -26,8 +26,15 @@
 # missing or empty: a benchmark that silently stopped profiling would
 # otherwise publish kernel_launches = 0 as if it were a measurement.
 #
+# The availability bench (fig12) emits BENCH_availability.json: availability,
+# degraded fraction and queries/sec per injected fault rate, with and without
+# the shard health machine, plus the gpuksel.shards.v1 health report of the
+# heaviest quarantine run.  Its emitter additionally gates on the health
+# counters partitioning exactly and on the acceptance shape (availability
+# >= 99% with quarantine; qps collapse without it at the persistent rate).
+#
 # Usage: scripts/bench_to_json.sh [build_dir] [out_json] [out_batched_json] \
-#                                 [out_sharded_json]
+#                                 [out_sharded_json] [out_availability_json]
 #   WARPS=n    sampled warps per configuration (default 2)
 #   THREADS=n  parallel thread count (default: nproc)
 set -euo pipefail
@@ -36,14 +43,17 @@ BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_sim_throughput.json}"
 OUT_BATCHED_JSON="${3:-BENCH_batched_throughput.json}"
 OUT_SHARDED_JSON="${4:-BENCH_sharded_scaling.json}"
+OUT_AVAIL_JSON="${5:-BENCH_availability.json}"
 WARPS="${WARPS:-2}"
 THREADS="${THREADS:-$(nproc)}"
 BENCH="${BUILD_DIR}/bench/table1_execution_time"
 BENCH_BATCHED="${BUILD_DIR}/bench/fig10_batched_throughput"
 BENCH_SHARDED="${BUILD_DIR}/bench/fig11_sharded_scaling"
+BENCH_AVAIL="${BUILD_DIR}/bench/fig12_availability"
 
-if [[ ! -x "${BENCH}" || ! -x "${BENCH_BATCHED}" || ! -x "${BENCH_SHARDED}" ]]; then
-  echo "error: ${BENCH}, ${BENCH_BATCHED} or ${BENCH_SHARDED} not found — build the repo first" >&2
+if [[ ! -x "${BENCH}" || ! -x "${BENCH_BATCHED}" || ! -x "${BENCH_SHARDED}" \
+      || ! -x "${BENCH_AVAIL}" ]]; then
+  echo "error: ${BENCH}, ${BENCH_BATCHED}, ${BENCH_SHARDED} or ${BENCH_AVAIL} not found — build the repo first" >&2
   exit 1
 fi
 
@@ -128,6 +138,114 @@ out = {
 if not out["parallelism_valid"]:
     out["note"] = (f"captured with {threads} threads on {host_cores} "
                    "host core(s): speedup is not meaningful")
+with open(sys.argv[1], "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(json.dumps(out, indent=2))
+EOF
+
+# --- serving availability under faults (fig12) -------------------------------
+
+AVAIL_CSV_SERIAL="${TMPDIR_RUN}/avail_serial.csv"
+AVAIL_CSV_PARALLEL="${TMPDIR_RUN}/avail_parallel.csv"
+AVAIL_PROFILE_SERIAL="${TMPDIR_RUN}/avail_serial.json"
+AVAIL_PROFILE_PARALLEL="${TMPDIR_RUN}/avail_parallel.json"
+AVAIL_HEALTH_SERIAL="${TMPDIR_RUN}/health_serial.json"
+AVAIL_HEALTH_PARALLEL="${TMPDIR_RUN}/health_parallel.json"
+
+AVAIL_SERIAL_S=$(run_once "${BENCH_AVAIL}" 1 \
+  "${AVAIL_CSV_SERIAL}" "${AVAIL_PROFILE_SERIAL}" \
+  --health-json="${AVAIL_HEALTH_SERIAL}")
+AVAIL_PARALLEL_S=$(run_once "${BENCH_AVAIL}" "${THREADS}" \
+  "${AVAIL_CSV_PARALLEL}" "${AVAIL_PROFILE_PARALLEL}" \
+  --health-json="${AVAIL_HEALTH_PARALLEL}")
+
+# Every fig12 value — latencies, availability, the health report — is modeled
+# and the injector runs with an unlimited (parallel-safe) budget, so serial
+# and parallel runs must agree byte-for-byte.
+if ! cmp -s "${AVAIL_CSV_SERIAL}" "${AVAIL_CSV_PARALLEL}"; then
+  echo "error: availability serial and parallel runs disagree — determinism violated" >&2
+  exit 1
+fi
+if ! cmp -s <(grep -vE '"(wall_seconds|worker_threads)":' "${AVAIL_PROFILE_SERIAL}") \
+            <(grep -vE '"(wall_seconds|worker_threads)":' "${AVAIL_PROFILE_PARALLEL}"); then
+  echo "error: availability serial and parallel profiles disagree — determinism violated" >&2
+  exit 1
+fi
+if ! cmp -s "${AVAIL_HEALTH_SERIAL}" "${AVAIL_HEALTH_PARALLEL}"; then
+  echo "error: availability serial and parallel health reports disagree — determinism violated" >&2
+  exit 1
+fi
+
+python3 - "${OUT_AVAIL_JSON}" "${AVAIL_CSV_SERIAL}" "${AVAIL_HEALTH_SERIAL}" <<EOF
+import csv, json, sys
+with open(sys.argv[2]) as f:
+    rows = list(csv.DictReader(f))
+with open(sys.argv[3]) as f:
+    report = json.load(f)
+
+# The health counters must partition exactly: every served request is
+# attributed to exactly one state, every probe has exactly one outcome, and
+# the entry/exit balance matches the final state.
+for shard in report["shards"]:
+    h = shard["health"]
+    sid = shard["shard"]
+    served = (h["healthy_served"] + h["suspect_served"]
+              + h["quarantined_served"] + h["probes_served"])
+    if served != h["requests"]:
+        sys.exit(f"error: shard {sid} health: served-by-state {served} != "
+                 f"requests {h['requests']}")
+    if h["probe_successes"] + h["probe_failures"] != h["probes_served"]:
+        sys.exit(f"error: shard {sid} health: probe outcomes do not "
+                 "partition probes_served")
+    open_episode = 1 if h["state"] in ("quarantined", "probing") else 0
+    if h["quarantine_entries"] - h["quarantine_exits"] != open_episode:
+        sys.exit(f"error: shard {sid} health: entries - exits != "
+                 f"{open_episode} for state {h['state']}")
+
+by_mode = {}
+for r in rows:
+    by_mode.setdefault(r["mode"], []).append(r)
+baseline_qps = float(by_mode["none"][0]["queries_per_second"])
+heavy_period = min(int(r["fault_period"]) for r in rows if r["mode"] != "none")
+
+# Acceptance shape: the health machine holds availability >= 99% at every
+# injected rate; without it the persistent rate collapses throughput.
+for r in by_mode.get("quarantine", []):
+    if float(r["availability"]) < 0.99:
+        sys.exit(f"error: quarantine availability "
+                 f"{r['availability']} < 0.99 at period {r['fault_period']}")
+for r in by_mode.get("no-quarantine", []):
+    if int(r["fault_period"]) == heavy_period:
+        if float(r["queries_per_second"]) > 0.5 * baseline_qps:
+            sys.exit("error: no-quarantine qps did not collapse at the "
+                     f"persistent rate (period {heavy_period})")
+
+out = {
+    "bench": "fig12_availability",
+    "slo_note": "availability = fraction of requests within 3x the worst "
+                "fault-free modeled latency",
+    "by_mode": [
+        {
+            "mode": r["mode"],
+            "fault_period": int(r["fault_period"]),
+            "request_fault_rate": round(float(r["request_fault_rate"]), 4),
+            "availability": round(float(r["availability"]), 4),
+            "degraded_fraction": round(float(r["degraded_fraction"]), 4),
+            "queries_per_second": round(float(r["queries_per_second"]), 1),
+            "quarantine_entries": int(r["quarantine_entries"]),
+            "quarantine_exits": int(r["quarantine_exits"]),
+            "probe_successes": int(r["probe_successes"]),
+            "probe_failures": int(r["probe_failures"]),
+        }
+        for r in rows
+    ],
+    "qps_collapse_no_quarantine": round(
+        baseline_qps /
+        float(by_mode["no-quarantine"][-1]["queries_per_second"]), 3),
+    "health_report": report,
+    "outputs_identical": True,
+}
 with open(sys.argv[1], "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")

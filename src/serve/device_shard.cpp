@@ -1,5 +1,6 @@
 #include "serve/device_shard.hpp"
 
+#include <exception>
 #include <utility>
 
 #include "util/check.hpp"
@@ -16,10 +17,12 @@ knn::BatchedKnnOptions shard_options(knn::BatchedKnnOptions options) {
 }  // namespace
 
 DeviceShard::DeviceShard(std::uint32_t id, std::uint32_t begin,
-                         knn::Dataset slice, knn::BatchedKnnOptions options)
+                         knn::Dataset slice, knn::BatchedKnnOptions options,
+                         HealthOptions health)
     : id_(id),
       begin_(begin),
-      engine_(std::move(slice), shard_options(std::move(options))) {}
+      engine_(std::move(slice), shard_options(std::move(options))),
+      health_(health) {}
 
 std::vector<std::vector<Neighbor>> DeviceShard::remap(
     std::vector<std::vector<Neighbor>> neighbors) const {
@@ -29,11 +32,38 @@ std::vector<std::vector<Neighbor>> DeviceShard::remap(
   return neighbors;
 }
 
+std::vector<std::vector<Neighbor>> DeviceShard::host_recompute(
+    const knn::Dataset& queries, std::uint32_t k) {
+  // Same FP op order and tie-breaking as the fused kernel, so a degraded
+  // shard's partial list is bit-identical to what a healthy shard would have
+  // produced.
+  const auto& opts = engine_.options();
+  knn::KnnResult res = engine_.host().search(queries, k,
+                                             opts.host_fallback_algo,
+                                             opts.nan_policy);
+  return remap(std::move(res.neighbors));
+}
+
 std::vector<std::vector<Neighbor>> DeviceShard::search(
     const knn::Dataset& queries, std::uint32_t k, bool allow_exclusion,
-    ShardStats& stats) {
+    ShardStats& stats,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
   stats = ShardStats{};
   stats.shard_id = id_;
+  const ShardHealth::Plan plan = health_.plan_request();
+  stats.health_state = health_.state();
+  stats.probe = plan.probe;
+
+  if (!plan.gpu_attempt) {
+    // Quarantined: host service only, no GPU work and no retry tax.  The
+    // health machine only plans this when exclusion is allowed (see
+    // ShardedKnn's constructor, which disables health otherwise).
+    stats.quarantine_served = true;
+    stats.excluded = true;
+    health_.record_outcome(plan, /*faulted=*/false);
+    return host_recompute(queries, k);
+  }
+
   const auto attempt = [&] {
     knn::KnnResult res = engine_.search_gpu(device_, queries, k);
     stats.metrics = res.distance_metrics;
@@ -41,27 +71,63 @@ std::vector<std::vector<Neighbor>> DeviceShard::search(
     stats.modeled_seconds = res.modeled_seconds;
     return remap(std::move(res.neighbors));
   };
+  // A faulted launch aborts before recording its own metrics, but the
+  // attempt's *completed* launches (earlier tiles) did run — the cumulative
+  // delta across the attempt is exactly that executed-but-discarded work.
+  const auto record_waste = [&](const simt::KernelMetrics& before) {
+    const simt::KernelMetrics delta = device_.cumulative() - before;
+    stats.wasted_metrics += delta;
+    stats.wasted_seconds +=
+        engine_.options().cost_model.kernel_seconds(delta);
+    stats.failed_attempts += 1;
+  };
+  const auto degrade = [&] {
+    stats.excluded = true;
+    return host_recompute(queries, k);
+  };
+
+  simt::KernelMetrics before = device_.cumulative();
+  std::exception_ptr first_error;
+  const auto first_start = std::chrono::steady_clock::now();
   try {
-    return attempt();
+    auto out = attempt();
+    health_.record_outcome(plan, /*faulted=*/false);
+    return out;
   } catch (const SimtFaultError& fault) {
     stats.faults.push_back(fault.record());
+    first_error = std::current_exception();
+    record_waste(before);
   }
+  const auto first_attempt_wall =
+      std::chrono::steady_clock::now() - first_start;
+  health_.record_outcome(plan, /*faulted=*/true);
+
+  if (plan.probe) {
+    // Probes are deliberately low-cost: no retry — re-admission waits for
+    // the next probe, and this request degrades to the host path.
+    if (!allow_exclusion) std::rethrow_exception(first_error);
+    return degrade();
+  }
+  if (deadline.has_value() &&
+      std::chrono::steady_clock::now() + first_attempt_wall > *deadline) {
+    // The remaining budget cannot cover a second attempt of the same size:
+    // degrade immediately instead of burning the budget on a doomed retry.
+    stats.budget_skipped_retry = true;
+    if (!allow_exclusion) std::rethrow_exception(first_error);
+    return degrade();
+  }
+
   stats.retries = 1;
+  before = device_.cumulative();
   try {
     return attempt();
   } catch (const SimtFaultError& fault) {
     stats.faults.push_back(fault.record());
+    record_waste(before);
     if (!allow_exclusion) throw;
   }
-  // Both GPU attempts faulted: degrade this shard to the host path.  Same
-  // FP op order and tie-breaking as the fused kernel, so the partial list
-  // is bit-identical to what a healthy shard would have produced.
-  stats.excluded = true;
-  const auto& opts = engine_.options();
-  knn::KnnResult res =
-      engine_.host().search(queries, k, opts.host_fallback_algo,
-                            opts.nan_policy);
-  return remap(std::move(res.neighbors));
+  // Both GPU attempts faulted: degrade this shard to the host path.
+  return degrade();
 }
 
 }  // namespace gpuksel::serve

@@ -3,19 +3,29 @@
 // A DeviceShard owns an independent simt::Device plus a BatchedKnn engine
 // over one contiguous slice [begin, begin + rows) of the global reference
 // set.  It answers query batches with shard-local indices remapped to global
-// ones, and implements the shard-level fault policy the ISSUE specifies: a
-// SimtFaultError is retried once (transient-fault model — the injector's
-// budget decides whether the retry survives), and a second fault either
-// propagates or, when exclusion is allowed, degrades the shard to a
-// host-path recompute of its partition.  The host path shares the fused
-// kernel's FP op order, so a degraded shard still contributes bit-identical
-// partials and the merged result stays exact.
+// ones, and implements the shard-level fault policy: a SimtFaultError is
+// retried once (transient-fault model — the injector's budget decides
+// whether the retry survives), and a second fault either propagates or, when
+// exclusion is allowed, degrades the shard to a host-path recompute of its
+// partition.  The host path shares the fused kernel's FP op order, so a
+// degraded shard still contributes bit-identical partials and the merged
+// result stays exact.
+//
+// Layered on top of the per-request policy is a ShardHealth state machine
+// (shard_health.hpp): a shard whose sliding fault window crosses the
+// quarantine threshold stops receiving GPU attempts entirely — its requests
+// are host-recomputed with no retry tax — and periodic probe requests (one
+// GPU attempt, no retry) decide re-admission.  A deadline budget can skip
+// the retry when the remaining wall budget cannot cover a second attempt.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "knn/batch.hpp"
+#include "serve/shard_health.hpp"
 #include "simt/device.hpp"
 
 namespace gpuksel::serve {
@@ -24,14 +34,37 @@ namespace gpuksel::serve {
 struct ShardStats {
   std::uint32_t shard_id = 0;
   std::uint32_t retries = 0;  ///< GPU attempts beyond the first (0 or 1)
-  /// True when the shard's partition was recomputed on the host after the
-  /// retry also faulted (the request is degraded, not failed).
+  std::uint32_t failed_attempts = 0;  ///< GPU attempts that faulted (0..2)
+  /// True when the shard's partition was recomputed on the host (the request
+  /// is degraded, not failed) — after a failed retry, a failed probe, a
+  /// budget-skipped retry, or while quarantined.
   bool excluded = false;
+  /// True when the shard was quarantined and served by host recompute with
+  /// no GPU attempt at all.
+  bool quarantine_served = false;
+  /// True when the single GPU attempt doubled as a re-admission probe.
+  bool probe = false;
+  /// True when the deadline budget could not cover a second attempt, so the
+  /// retry was skipped and the shard degraded straight to the host path.
+  bool budget_skipped_retry = false;
+  /// Health state the request was planned under (kProbing for probes).
+  HealthState health_state = HealthState::kHealthy;
   std::vector<FaultRecord> faults;
   /// GPU metrics of the successful attempt (zero when excluded).
   simt::KernelMetrics metrics;
   /// Modeled device seconds of the successful attempt (0 when excluded).
   double modeled_seconds = 0.0;
+  /// Device work executed by faulted attempts before the abort (delta of the
+  /// device's cumulative metrics across the attempt).  Together with
+  /// `metrics` this partitions the device's cumulative counters exactly:
+  /// useful + wasted == everything the device ever ran.
+  simt::KernelMetrics wasted_metrics;
+  /// Modeled seconds of wasted_metrics under the engine's cost model.
+  double wasted_seconds = 0.0;
+  /// Modeled fault-path charges assigned by ShardedKnn (sync-detection tax
+  /// for aborted attempts plus the host-recompute penalty when excluded).
+  /// Not device time — kept separate from modeled/wasted seconds.
+  double penalty_seconds = 0.0;
 };
 
 class DeviceShard {
@@ -41,7 +74,7 @@ class DeviceShard {
   /// on the engine: fault handling is this class's job, and a silent
   /// engine-level fallback would hide the retry/exclusion policy.
   DeviceShard(std::uint32_t id, std::uint32_t begin, knn::Dataset slice,
-              knn::BatchedKnnOptions options);
+              knn::BatchedKnnOptions options, HealthOptions health = {});
 
   [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
   /// Global index of the first reference row this shard holds.
@@ -52,23 +85,33 @@ class DeviceShard {
   [[nodiscard]] simt::Device& device() noexcept { return device_; }
   [[nodiscard]] const simt::Device& device() const noexcept { return device_; }
   [[nodiscard]] knn::BatchedKnn& engine() noexcept { return engine_; }
+  [[nodiscard]] const ShardHealth& health() const noexcept { return health_; }
 
   /// Answers the batch over this shard's partition; per-query lists carry
-  /// *global* indices.  Faults follow the retry-once policy; when the retry
-  /// faults too, `allow_exclusion` decides between rethrowing and the host
-  /// recompute.  `stats` is overwritten with this request's outcome.
+  /// *global* indices.  The health machine plans the request (GPU attempt vs
+  /// quarantined host service vs probe); GPU faults follow the retry-once
+  /// policy, except that probes never retry and a `deadline` whose remaining
+  /// budget cannot cover a second attempt (measured by the first attempt's
+  /// wall duration) skips the retry.  When the GPU path is exhausted,
+  /// `allow_exclusion` decides between rethrowing and the host recompute.
+  /// `stats` is overwritten with this request's outcome.
   [[nodiscard]] std::vector<std::vector<Neighbor>> search(
       const knn::Dataset& queries, std::uint32_t k, bool allow_exclusion,
-      ShardStats& stats);
+      ShardStats& stats,
+      std::optional<std::chrono::steady_clock::time_point> deadline =
+          std::nullopt);
 
  private:
   [[nodiscard]] std::vector<std::vector<Neighbor>> remap(
       std::vector<std::vector<Neighbor>> neighbors) const;
+  [[nodiscard]] std::vector<std::vector<Neighbor>> host_recompute(
+      const knn::Dataset& queries, std::uint32_t k);
 
   std::uint32_t id_;
   std::uint32_t begin_;
   simt::Device device_;
   knn::BatchedKnn engine_;
+  ShardHealth health_;
 };
 
 }  // namespace gpuksel::serve

@@ -1,5 +1,6 @@
 #include "serve/scheduler.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <utility>
 
@@ -11,6 +12,20 @@ ServeResponse shut_down_response() {
   ServeResponse resp;
   resp.status = RequestStatus::kFailed;
   resp.error = "scheduler is shut down";
+  return resp;
+}
+
+ServeResponse shed_response() {
+  ServeResponse resp;
+  resp.status = RequestStatus::kShed;
+  resp.error = "request shed: admission queue is full";
+  return resp;
+}
+
+ServeResponse expired_in_queue_response() {
+  ServeResponse resp;
+  resp.status = RequestStatus::kTimedOut;
+  resp.error = "deadline expired while the request was queued";
   return resp;
 }
 
@@ -36,6 +51,22 @@ Scheduler::Request Scheduler::make_request(
   return req;
 }
 
+std::size_t Scheduler::shed_expired_locked() {
+  const auto now = std::chrono::steady_clock::now();
+  std::size_t shed = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->has_deadline && now >= it->deadline) {
+      it->promise.set_value(expired_in_queue_response());
+      it = queue_.erase(it);
+      ++shed;
+    } else {
+      ++it;
+    }
+  }
+  counters_.shed_expired += shed;
+  return shed;
+}
+
 std::future<ServeResponse> Scheduler::submit(knn::Dataset queries,
                                              std::uint32_t k,
                                              std::chrono::nanoseconds timeout) {
@@ -43,14 +74,31 @@ std::future<ServeResponse> Scheduler::submit(knn::Dataset queries,
   std::future<ServeResponse> fut = req.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
-    space_cv_.wait(lock, [&] {
-      return stopping_ || queue_.size() < options_.queue_capacity;
-    });
+    ++counters_.submitted;
+    if (options_.overload == OverloadPolicy::kBlock) {
+      if (!stopping_ && queue_.size() >= options_.queue_capacity) {
+        ++counters_.backpressure_waits;
+      }
+      space_cv_.wait(lock, [&] {
+        return stopping_ || queue_.size() < options_.queue_capacity;
+      });
+    } else if (!stopping_ && queue_.size() >= options_.queue_capacity) {
+      if (options_.overload == OverloadPolicy::kShedOldestExpired) {
+        shed_expired_locked();
+      }
+      if (queue_.size() >= options_.queue_capacity) {
+        ++counters_.rejected;
+        req.promise.set_value(shed_response());
+        return fut;
+      }
+    }
     if (stopping_) {
+      ++counters_.rejected;
       req.promise.set_value(shut_down_response());
       return fut;
     }
     queue_.push_back(std::move(req));
+    ++counters_.admitted;
   }
   work_cv_.notify_one();
   return fut;
@@ -62,12 +110,22 @@ std::optional<std::future<ServeResponse>> Scheduler::try_submit(
   std::future<ServeResponse> fut = req.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
+    ++counters_.submitted;
     if (stopping_) {
+      ++counters_.rejected;
       req.promise.set_value(shut_down_response());
       return fut;
     }
-    if (queue_.size() >= options_.queue_capacity) return std::nullopt;
+    if (queue_.size() >= options_.queue_capacity &&
+        options_.overload == OverloadPolicy::kShedOldestExpired) {
+      shed_expired_locked();
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      ++counters_.rejected;
+      return std::nullopt;
+    }
     queue_.push_back(std::move(req));
+    ++counters_.admitted;
   }
   work_cv_.notify_one();
   return fut;
@@ -89,6 +147,13 @@ void Scheduler::resume() {
 std::size_t Scheduler::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+SchedulerCounters Scheduler::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SchedulerCounters snapshot = counters_;
+  snapshot.pending = queue_.size();
+  return snapshot;
 }
 
 void Scheduler::shutdown() {
@@ -128,14 +193,36 @@ ServeResponse Scheduler::serve_one(Request& req) {
   if (req.has_deadline && std::chrono::steady_clock::now() >= req.deadline) {
     resp.status = RequestStatus::kTimedOut;
     resp.error = "deadline expired before the request was served";
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.timed_out_at_dequeue;
     return resp;
   }
   try {
-    resp.result = engine_.search(req.queries, req.k);
+    // Budget propagation: the engine (and through it each shard's retry
+    // policy) sees the request's remaining deadline.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    if (req.has_deadline) deadline = req.deadline;
+    resp.result = engine_.search(req.queries, req.k, deadline);
+    resp.served = true;
+    if (req.has_deadline &&
+        std::chrono::steady_clock::now() >= req.deadline) {
+      // Expired while being served: the caller gets kTimedOut, but the
+      // partial result and its stats stay attached for observability.
+      resp.status = RequestStatus::kTimedOut;
+      resp.error = "deadline expired while the request was being served";
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.timed_out_after_serve;
+      return resp;
+    }
     resp.status = RequestStatus::kOk;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.served_ok;
+    if (resp.result.degraded) ++counters_.degraded;
   } catch (const std::exception& e) {
     resp.status = RequestStatus::kFailed;
     resp.error = e.what();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.failed;
   }
   return resp;
 }

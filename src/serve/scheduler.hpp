@@ -5,15 +5,30 @@
 // keeps every device-side outcome deterministic (the parallelism lives
 // below, in the per-shard fan-out and each device's warp executor).
 //
-// Backpressure: submit() blocks while the queue is full (bounded admission),
-// try_submit() returns nullopt instead.  Deadlines: a request whose deadline
-// has passed when the worker dequeues it is answered kTimedOut without
-// touching the engine — the admission-control semantic (drop stale work at
-// the head of the line) rather than a mid-flight abort, which the simulator
-// cannot do and a real device could not either.  pause()/resume() gate the
-// worker for deterministic tests: a paused scheduler admits (and times out)
-// but does not serve.  shutdown() drains the queue — even while paused —
-// fails any submitter still blocked on admission, then joins the worker.
+// Backpressure and overload: with the default kBlock policy submit() blocks
+// while the queue is full (bounded admission) and try_submit() returns
+// nullopt.  kRejectNewest answers an immediate kShed instead of blocking;
+// kShedOldestExpired first sweeps already-expired requests out of the queue
+// (completing them kTimedOut) to make room, and sheds the newest only when
+// none were expired.  SchedulerCounters expose the full admission/outcome
+// partition: submitted == admitted + rejected, and every admitted request
+// ends in exactly one of served_ok / timed_out_* / failed / shed_expired.
+//
+// Deadlines: a request whose deadline has passed when the worker dequeues it
+// is answered kTimedOut without touching the engine — the admission-control
+// semantic (drop stale work at the head of the line) rather than a
+// mid-flight abort, which the simulator cannot do and a real device could
+// not either.  The worker also propagates the remaining deadline budget into
+// the engine (ShardedKnn::search's deadline parameter, which lets shards
+// skip retries the budget cannot cover) and re-checks the deadline after the
+// engine returns: a request that expired *while being served* reports
+// kTimedOut with the partial result and its stats still attached
+// (served == true).
+//
+// pause()/resume() gate the worker for deterministic tests: a paused
+// scheduler admits (and times out) but does not serve.  shutdown() drains
+// the queue — even while paused — fails any submitter still blocked on
+// admission, then joins the worker.
 #pragma once
 
 #include <chrono>
@@ -32,20 +47,53 @@ namespace gpuksel::serve {
 
 enum class RequestStatus {
   kOk,
-  kTimedOut,  ///< deadline passed before the request reached the engine
+  kTimedOut,  ///< deadline passed before or while the request was served
   kFailed,    ///< engine threw (fault policy exhausted, bad arguments)
+  kShed,      ///< dropped by the overload policy without reaching the queue
 };
 
 struct ServeResponse {
   RequestStatus status = RequestStatus::kOk;
-  ShardedResult result;  ///< populated only for kOk
-  std::string error;     ///< populated only for kFailed
+  /// Populated whenever the engine ran (kOk, and kTimedOut detected after
+  /// serving — the partial stats are still attached).
+  ShardedResult result;
+  /// True when the engine actually served the request (result is valid).
+  bool served = false;
+  std::string error;  ///< populated for kFailed / kTimedOut / kShed
+};
+
+/// What to do when a request arrives and the admission queue is full.
+enum class OverloadPolicy {
+  kBlock,             ///< submit() blocks until space (try_submit refuses)
+  kRejectNewest,      ///< answer the new request kShed immediately
+  kShedOldestExpired, ///< sweep expired queue entries first, else reject
 };
 
 struct SchedulerOptions {
-  /// Admission-queue bound: submit() blocks (and try_submit() refuses) while
-  /// this many requests are already waiting.
+  /// Admission-queue bound: the overload policy engages while this many
+  /// requests are already waiting.
   std::size_t queue_capacity = 16;
+  OverloadPolicy overload = OverloadPolicy::kBlock;
+};
+
+/// Cumulative admission/outcome counters.  Partition invariants (stable
+/// whenever no request is mid-flight):
+///   submitted == admitted + rejected
+///   admitted == served_ok + timed_out_at_dequeue + timed_out_after_serve
+///               + failed + shed_expired + pending (+ the in-flight request)
+///   degraded <= served_ok
+struct SchedulerCounters {
+  std::uint64_t submitted = 0;  ///< every submit()/try_submit() call
+  std::uint64_t admitted = 0;   ///< entered the queue
+  std::uint64_t rejected = 0;   ///< refused admission (kShed / nullopt / shutdown)
+  std::uint64_t shed_expired = 0;  ///< swept from the queue already expired
+  std::uint64_t served_ok = 0;
+  std::uint64_t timed_out_at_dequeue = 0;   ///< expired before the engine ran
+  std::uint64_t timed_out_after_serve = 0;  ///< expired while being served
+  std::uint64_t failed = 0;
+  std::uint64_t degraded = 0;  ///< served_ok responses with degraded results
+  std::uint64_t backpressure_waits = 0;  ///< kBlock submits that had to park
+  std::uint64_t pending = 0;  ///< queue depth at snapshot time
 };
 
 class Scheduler {
@@ -61,14 +109,17 @@ class Scheduler {
   static constexpr std::chrono::nanoseconds kNoDeadline =
       std::chrono::nanoseconds::max();
 
-  /// Enqueues a request, blocking while the queue is full; the future
-  /// resolves when the worker has served (or expired, or failed) it.  After
-  /// shutdown() the future resolves immediately as kFailed.
+  /// Enqueues a request; the future resolves when the worker has served (or
+  /// expired, or failed) it.  Under kBlock this blocks while the queue is
+  /// full; under the shedding policies a full queue resolves the future
+  /// immediately as kShed instead.  After shutdown() the future resolves
+  /// immediately as kFailed.
   [[nodiscard]] std::future<ServeResponse> submit(
       knn::Dataset queries, std::uint32_t k,
       std::chrono::nanoseconds timeout = kNoDeadline);
 
-  /// Non-blocking submit: nullopt when the queue is full.
+  /// Non-blocking submit: nullopt when the queue is full (after the
+  /// kShedOldestExpired sweep, when that policy is active).
   [[nodiscard]] std::optional<std::future<ServeResponse>> try_submit(
       knn::Dataset queries, std::uint32_t k,
       std::chrono::nanoseconds timeout = kNoDeadline);
@@ -80,6 +131,9 @@ class Scheduler {
 
   /// Requests waiting in the admission queue (not the one being served).
   [[nodiscard]] std::size_t pending() const;
+
+  /// Snapshot of the cumulative admission/outcome counters.
+  [[nodiscard]] SchedulerCounters counters() const;
 
   /// Drains the queue (deadlines still apply), unblocks and fails waiting
   /// submitters, joins the worker.  Idempotent; the destructor calls it.
@@ -96,6 +150,9 @@ class Scheduler {
 
   [[nodiscard]] Request make_request(knn::Dataset queries, std::uint32_t k,
                                      std::chrono::nanoseconds timeout) const;
+  /// Completes queued requests whose deadline has already passed (kTimedOut)
+  /// to make room; returns how many were shed.  Caller holds mu_.
+  std::size_t shed_expired_locked();
   void worker_loop();
   [[nodiscard]] ServeResponse serve_one(Request& req);
 
@@ -105,6 +162,7 @@ class Scheduler {
   std::condition_variable work_cv_;   ///< worker waits for work / shutdown
   std::condition_variable space_cv_;  ///< submitters wait for queue space
   std::deque<Request> queue_;
+  SchedulerCounters counters_;
   bool paused_ = false;
   bool stopping_ = false;
   bool joined_ = false;

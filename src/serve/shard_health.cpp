@@ -1,0 +1,122 @@
+#include "serve/shard_health.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gpuksel::serve {
+
+ShardHealth::ShardHealth(HealthOptions options) : options_(options) {
+  GPUKSEL_CHECK(options_.window >= 1, "health window must be >= 1");
+  GPUKSEL_CHECK(options_.suspect_faults >= 1,
+                "suspect threshold must be >= 1 fault");
+  GPUKSEL_CHECK(options_.quarantine_faults >= options_.suspect_faults,
+                "quarantine threshold must be >= suspect threshold");
+  GPUKSEL_CHECK(options_.quarantine_faults <= options_.window,
+                "quarantine threshold cannot exceed the window");
+  GPUKSEL_CHECK(options_.probe_interval >= 1, "probe interval must be >= 1");
+  GPUKSEL_CHECK(options_.probe_successes >= 1,
+                "re-admission needs at least one clean probe");
+}
+
+void ShardHealth::transition(HealthState to) {
+  if (log_.size() < kMaxLoggedTransitions) {
+    log_.push_back(HealthTransition{current_request_, state_, to});
+  }
+  ++counters_.transitions;
+  state_ = to;
+}
+
+void ShardHealth::note_quarantined_request() {
+  ++episode_requests_;
+  ++counters_.quarantined_requests;
+  counters_.longest_quarantine =
+      std::max(counters_.longest_quarantine, episode_requests_);
+}
+
+ShardHealth::Plan ShardHealth::plan_request() {
+  current_request_ = counters_.requests++;
+  if (!options_.enabled) {
+    ++counters_.healthy_served;
+    return Plan{/*gpu_attempt=*/true, /*probe=*/false};
+  }
+  switch (state_) {
+    case HealthState::kHealthy:
+      ++counters_.healthy_served;
+      return Plan{true, false};
+    case HealthState::kSuspect:
+      ++counters_.suspect_served;
+      return Plan{true, false};
+    case HealthState::kQuarantined:
+      note_quarantined_request();
+      if (++since_probe_ >= options_.probe_interval) {
+        since_probe_ = 0;
+        transition(HealthState::kProbing);
+        ++counters_.probes_served;
+        return Plan{true, true};
+      }
+      ++counters_.quarantined_served;
+      return Plan{false, false};
+    case HealthState::kProbing:
+      // Mid-re-admission: keep probing until the streak completes or breaks.
+      note_quarantined_request();
+      ++counters_.probes_served;
+      return Plan{true, true};
+  }
+  GPUKSEL_CHECK(false, "unreachable health state");
+  return Plan{};
+}
+
+void ShardHealth::record_outcome(const Plan& plan, bool faulted) {
+  if (!options_.enabled) {
+    return;
+  }
+  if (plan.probe) {
+    if (faulted) {
+      ++counters_.probe_failures;
+      probe_streak_ = 0;
+      transition(HealthState::kQuarantined);
+    } else {
+      ++counters_.probe_successes;
+      if (++probe_streak_ >= options_.probe_successes) {
+        probe_streak_ = 0;
+        window_.clear();
+        window_faults_ = 0;
+        episode_requests_ = 0;
+        ++counters_.quarantine_exits;
+        transition(HealthState::kHealthy);
+      }
+      // else: stay kProbing — the next request probes again.
+    }
+    return;
+  }
+  if (!plan.gpu_attempt) {
+    return;  // host-served while quarantined: no GPU evidence to record
+  }
+  window_.push_back(faulted);
+  if (faulted) {
+    ++window_faults_;
+  }
+  while (window_.size() > options_.window) {
+    if (window_.front()) {
+      --window_faults_;
+    }
+    window_.pop_front();
+  }
+  if (window_faults_ >= options_.quarantine_faults) {
+    since_probe_ = 0;
+    probe_streak_ = 0;
+    episode_requests_ = 0;
+    ++counters_.quarantine_entries;
+    transition(HealthState::kQuarantined);
+  } else if (window_faults_ >= options_.suspect_faults) {
+    if (state_ != HealthState::kSuspect) {
+      transition(HealthState::kSuspect);
+    }
+  } else if (state_ != HealthState::kHealthy) {
+    // Window drained below the suspect threshold: recover silently.
+    transition(HealthState::kHealthy);
+  }
+}
+
+}  // namespace gpuksel::serve

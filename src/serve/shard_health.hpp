@@ -1,0 +1,163 @@
+// Per-shard health state machine for the sharded serving pool.
+//
+// PR 5's fault policy is purely per-request: a shard that faults is retried
+// once and host-recomputed for that request only, then hit again by the very
+// next request — under a persistent single-shard failure every call re-pays
+// the retry + host-recompute tax and nothing ever recovers.  ShardHealth
+// turns device health into first-class state, the way billion-scale serving
+// systems (FAISS, Johnson et al.) treat it:
+//
+//     healthy --faults in window--> suspect --more faults--> quarantined
+//        ^                                                       |
+//        |                                               every probe_interval
+//        +-- probe_successes consecutive clean probes -- probing <+
+//
+//  * healthy / suspect: requests run on the GPU with the retry policy;
+//    suspect is the observational "recent faults in the sliding window"
+//    state between healthy and quarantined.
+//  * quarantined: requests are served by host recompute WITHOUT any GPU
+//    attempt — no retries burned, no fault-path tax.  Every probe_interval-th
+//    quarantined request doubles as a probe.
+//  * probing: the shard is actively re-testing — the request issues one GPU
+//    attempt (no retry: probes are deliberately low-cost).  A clean probe
+//    serves its GPU result (the request is NOT degraded) and advances the
+//    re-admission streak; a faulted probe falls back to the host and returns
+//    the shard to quarantined.  probe_successes consecutive clean probes
+//    re-admit the shard (window cleared).
+//
+// The time base is *served requests*, not wall clock: transitions are a pure
+// function of the request outcome sequence, so the chaos harness can replay
+// seeded fault schedules and assert exact state trajectories.
+//
+// Thread-safety: none — one ShardHealth per DeviceShard, driven only by that
+// shard's fan-out thread (one request at a time).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace gpuksel::serve {
+
+enum class HealthState : std::uint8_t {
+  kHealthy,
+  kSuspect,
+  kQuarantined,
+  kProbing,
+};
+
+[[nodiscard]] constexpr const char* health_state_name(
+    HealthState state) noexcept {
+  switch (state) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kSuspect: return "suspect";
+    case HealthState::kQuarantined: return "quarantined";
+    case HealthState::kProbing: return "probing";
+  }
+  return "unknown";
+}
+
+struct HealthOptions {
+  /// Master switch: off = PR 5's stateless retry-once-then-exclude policy.
+  bool enabled = true;
+  /// Sliding window of the last `window` GPU-attempted request outcomes.
+  std::uint32_t window = 8;
+  /// Faulted requests in the window that make a healthy shard suspect.
+  std::uint32_t suspect_faults = 1;
+  /// Faulted requests in the window that quarantine the shard.
+  std::uint32_t quarantine_faults = 3;
+  /// Quarantined requests between probes (the probe_interval-th quarantined
+  /// request doubles as a probe).
+  std::uint32_t probe_interval = 4;
+  /// Consecutive clean probes required to re-admit the shard.
+  std::uint32_t probe_successes = 2;
+};
+
+/// One state-machine edge, stamped with the shard-local served-request
+/// ordinal (0-based) of the request that caused it.
+struct HealthTransition {
+  std::uint64_t request = 0;
+  HealthState from = HealthState::kHealthy;
+  HealthState to = HealthState::kHealthy;
+
+  friend bool operator==(const HealthTransition&,
+                         const HealthTransition&) = default;
+};
+
+/// Cumulative health counters (since construction).  Partition invariants
+/// the report check enforces:
+///   healthy_served + suspect_served + quarantined_served + probes_served
+///     == requests
+///   probes_served == probe_successes + probe_failures
+///   quarantine_entries - quarantine_exits == 1 iff the current state is
+///     quarantined or probing, else 0
+struct HealthCounters {
+  std::uint64_t requests = 0;           ///< requests planned through the machine
+  std::uint64_t healthy_served = 0;     ///< served while healthy
+  std::uint64_t suspect_served = 0;     ///< served while suspect
+  std::uint64_t quarantined_served = 0; ///< host-served, no GPU attempt
+  std::uint64_t probes_served = 0;      ///< requests that doubled as probes
+  std::uint64_t probe_successes = 0;
+  std::uint64_t probe_failures = 0;
+  std::uint64_t quarantine_entries = 0;
+  std::uint64_t quarantine_exits = 0;   ///< re-admissions (probing -> healthy)
+  /// Total requests spent quarantined or probing (quarantine duration, in
+  /// the deterministic request time base).
+  std::uint64_t quarantined_requests = 0;
+  std::uint64_t longest_quarantine = 0; ///< longest single episode, requests
+  std::uint64_t transitions = 0;        ///< every edge, including probe dips
+};
+
+class ShardHealth {
+ public:
+  explicit ShardHealth(HealthOptions options = {});
+
+  [[nodiscard]] HealthState state() const noexcept { return state_; }
+  [[nodiscard]] const HealthOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const HealthCounters& counters() const noexcept {
+    return counters_;
+  }
+  /// Transition log (capped at kMaxLoggedTransitions; counters_.transitions
+  /// keeps the exact count).
+  [[nodiscard]] const std::vector<HealthTransition>& transitions()
+      const noexcept {
+    return log_;
+  }
+
+  /// How DeviceShard::search should serve the next request.
+  struct Plan {
+    bool gpu_attempt = true;  ///< false: host recompute, no device work
+    bool probe = false;       ///< the GPU attempt doubles as a probe (no retry)
+  };
+
+  /// Advances the request clock and decides the serving plan from the
+  /// current state.  Must be paired with exactly one record_outcome() call.
+  [[nodiscard]] Plan plan_request();
+
+  /// Records the outcome of the request planned by the last plan_request():
+  /// `faulted` is whether any GPU fault occurred (meaningless and ignored
+  /// when the plan had no GPU attempt).  Drives every transition.
+  void record_outcome(const Plan& plan, bool faulted);
+
+  static constexpr std::size_t kMaxLoggedTransitions = 256;
+
+ private:
+  void transition(HealthState to);
+  void note_quarantined_request();
+
+  HealthOptions options_;
+  HealthState state_ = HealthState::kHealthy;
+  /// Sliding window of GPU-attempted request outcomes (true = faulted).
+  std::deque<bool> window_;
+  std::uint32_t window_faults_ = 0;
+  std::uint32_t since_probe_ = 0;   ///< quarantined requests since last probe
+  std::uint32_t probe_streak_ = 0;  ///< consecutive clean probes
+  std::uint64_t episode_requests_ = 0;  ///< current quarantine episode length
+  std::uint64_t current_request_ = 0;   ///< ordinal of the in-flight request
+  HealthCounters counters_;
+  std::vector<HealthTransition> log_;
+};
+
+}  // namespace gpuksel::serve

@@ -7,17 +7,34 @@
 #include <utility>
 
 #include "core/kernels/shard_merge.hpp"
+#include "serve/scheduler.hpp"
 #include "simt/sanitizer.hpp"
 #include "util/check.hpp"
 
 namespace gpuksel::serve {
+
+namespace {
+
+HealthOptions effective_health(const ShardedKnnOptions& options) {
+  HealthOptions health = options.health;
+  // Quarantined service is host recompute (a degraded answer); without
+  // exclusion there is no legal way to serve a quarantined shard, so the
+  // state machine is forced off and faults follow the strict retry policy.
+  health.enabled = health.enabled && options.exclude_faulty_shards;
+  return health;
+}
+
+}  // namespace
 
 ShardedKnn::ShardedKnn(knn::Dataset refs, ShardedKnnOptions options)
     : options_(std::move(options)), size_(refs.count), dim_(refs.dim) {
   GPUKSEL_CHECK(refs.count >= 1, "ShardedKnn needs a non-empty reference set");
   GPUKSEL_CHECK(options_.num_shards >= 1 && options_.num_shards <= refs.count,
                 "ShardedKnn needs num_shards in [1, reference rows]");
+  GPUKSEL_CHECK(options_.degraded_host_penalty >= 0.0,
+                "degraded_host_penalty must be non-negative");
   const std::uint32_t num_shards = options_.num_shards;
+  const HealthOptions health = effective_health(options_);
   // Contiguous split with the remainder spread over the first shards, so
   // shard sizes differ by at most one row for any (rows, num_shards).
   const std::uint32_t base = size_ / num_shards;
@@ -33,7 +50,7 @@ ShardedKnn::ShardedKnn(knn::Dataset refs, ShardedKnnOptions options)
         refs.values.begin() + std::size_t{begin} * dim_,
         refs.values.begin() + (std::size_t{begin} + rows) * dim_);
     shards_.push_back(std::make_unique<DeviceShard>(s, begin, std::move(slice),
-                                                    options_.batch));
+                                                    options_.batch, health));
     shards_.back()->device().set_worker_threads(options_.worker_threads);
     begin += rows;
   }
@@ -41,7 +58,9 @@ ShardedKnn::ShardedKnn(knn::Dataset refs, ShardedKnnOptions options)
   totals_.resize(num_shards);
 }
 
-ShardedResult ShardedKnn::search(const knn::Dataset& queries, std::uint32_t k) {
+ShardedResult ShardedKnn::search(
+    const knn::Dataset& queries, std::uint32_t k,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
   GPUKSEL_CHECK(queries.count == 0 || queries.dim == dim_,
                 "query/reference dim mismatch");
   GPUKSEL_CHECK(k >= 1, "ShardedKnn needs k >= 1");
@@ -50,12 +69,32 @@ ShardedResult ShardedKnn::search(const knn::Dataset& queries, std::uint32_t k) {
   ShardedResult out;
   out.shards.resize(num_shards);
   std::vector<std::vector<std::vector<Neighbor>>> partials(num_shards);
+  // Marks shards whose serve actually ran (their ShardStats are meaningful)
+  // so a failed request's work still lands in the cumulative totals.
+  std::vector<char> served(num_shards, 0);
   const auto run_shard = [&](std::uint32_t s) {
+    served[s] = 1;
     partials[s] = shards_[s]->search(queries, k,
                                      options_.exclude_faulty_shards,
-                                     out.shards[s]);
+                                     out.shards[s], deadline);
+  };
+  const auto accumulate = [&](std::uint32_t s) {
+    const ShardStats& st = out.shards[s];
+    ShardTotals& tot = totals_[s];
+    tot.requests += 1;
+    tot.retries += st.retries;
+    tot.exclusions += st.excluded ? 1 : 0;
+    tot.faults += st.faults.size();
+    tot.failed_attempts += st.failed_attempts;
+    tot.budget_skipped_retries += st.budget_skipped_retry ? 1 : 0;
+    tot.modeled_seconds += st.modeled_seconds;
+    tot.wasted_seconds += st.wasted_seconds;
+    tot.penalty_seconds += st.penalty_seconds;
+    tot.useful_metrics += st.metrics;
+    tot.wasted_metrics += st.wasted_metrics;
   };
 
+  std::exception_ptr failure;
   if (options_.parallel_fanout && num_shards > 1) {
     // One host thread per shard; each thread drives only its own Device and
     // writes only its own partials/stats slot.  Exceptions are captured per
@@ -80,10 +119,28 @@ ShardedResult ShardedKnn::search(const knn::Dataset& queries, std::uint32_t k) {
     }
     for (std::thread& w : workers) w.join();
     for (const std::exception_ptr& e : errors) {
-      if (e != nullptr) std::rethrow_exception(e);
+      if (e != nullptr && failure == nullptr) failure = e;
     }
   } else {
-    for (std::uint32_t s = 0; s < num_shards; ++s) run_shard(s);
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      try {
+        run_shard(s);
+      } catch (...) {
+        failure = std::current_exception();
+        break;
+      }
+    }
+  }
+  if (failure != nullptr) {
+    // The request fails, but the device work (and fault evidence) already
+    // happened: absorb the served shards' stats so the cumulative totals —
+    // and the useful + wasted partition of each device's counters — stay
+    // exact, then rethrow.
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      if (served[s]) accumulate(s);
+    }
+    requests_ += 1;
+    std::rethrow_exception(failure);
   }
 
   // Merge under the same NaN policy the shard pipelines ran with, so loaded
@@ -100,17 +157,40 @@ ShardedResult ShardedKnn::search(const knn::Dataset& queries, std::uint32_t k) {
   out.merge_seconds =
       options_.batch.cost_model.kernel_seconds(out.merge_metrics);
 
-  double slowest_shard = 0.0;
+  // Fault-path latency model.  wasted_seconds only covers device work the
+  // aborted attempts actually executed — a fault in the first tile wastes
+  // almost nothing by that measure, yet the serving thread still paid a full
+  // attempt before the post-attempt sync surfaced the fault.  Charge each
+  // failed attempt up to one clean-attempt estimate (extrapolated from the
+  // fastest clean sibling shard's per-row seconds — deterministic, modeled),
+  // and each host recompute degraded_host_penalty clean attempts.  When no
+  // shard produced a clean attempt this request the estimate degrades to 0:
+  // there is nothing to extrapolate from.
+  double per_row_clean = 0.0;
   for (std::uint32_t s = 0; s < num_shards; ++s) {
     const ShardStats& st = out.shards[s];
-    slowest_shard = std::max(slowest_shard, st.modeled_seconds);
+    if (st.failed_attempts == 0 && !st.excluded && st.modeled_seconds > 0.0 &&
+        shards_[s]->rows() > 0) {
+      per_row_clean = std::max(per_row_clean,
+                               st.modeled_seconds / shards_[s]->rows());
+    }
+  }
+  double slowest_shard = 0.0;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    ShardStats& st = out.shards[s];
+    const double est_attempt = per_row_clean * shards_[s]->rows();
+    if (st.failed_attempts > 0) {
+      st.penalty_seconds += std::max(
+          0.0, st.failed_attempts * est_attempt - st.wasted_seconds);
+    }
+    if (st.excluded) {
+      st.penalty_seconds += options_.degraded_host_penalty * est_attempt;
+    }
+    slowest_shard = std::max(slowest_shard, st.modeled_seconds +
+                                                st.wasted_seconds +
+                                                st.penalty_seconds);
     out.degraded = out.degraded || st.excluded;
-    ShardTotals& tot = totals_[s];
-    tot.requests += 1;
-    tot.retries += st.retries;
-    tot.exclusions += st.excluded ? 1 : 0;
-    tot.faults += st.faults.size();
-    tot.modeled_seconds += st.modeled_seconds;
+    accumulate(s);
   }
   out.modeled_seconds = slowest_shard + out.merge_seconds;
   requests_ += 1;
@@ -143,7 +223,8 @@ void ShardedKnn::drain_profiles(simt::Profiler& sink,
   profilers_.back()->clear();
 }
 
-void ShardedKnn::write_shard_report(std::ostream& os) const {
+void ShardedKnn::write_shard_report(std::ostream& os,
+                                    const SchedulerCounters* scheduler) const {
   simt::KernelMetrics total;
   std::uint64_t total_h2d = 0;
   std::uint64_t total_d2h = 0;
@@ -168,9 +249,48 @@ void ShardedKnn::write_shard_report(std::ostream& os) const {
        << ", \"retries\": " << tot.retries
        << ", \"exclusions\": " << tot.exclusions
        << ", \"faults\": " << tot.faults
+       << ", \"failed_attempts\": " << tot.failed_attempts
+       << ", \"budget_skipped_retries\": " << tot.budget_skipped_retries
        << ", \"modeled_seconds\": " << tot.modeled_seconds
+       << ", \"wasted_seconds\": " << tot.wasted_seconds
+       << ", \"penalty_seconds\": " << tot.penalty_seconds
        << ", \"transfers\": {\"bytes_h2d\": " << tx.bytes_h2d
-       << ", \"bytes_d2h\": " << tx.bytes_d2h << "},\n     \"metrics\": ";
+       << ", \"bytes_d2h\": " << tx.bytes_d2h << "},\n     \"health\": ";
+    {
+      const ShardHealth& health = shard.health();
+      const HealthCounters& hc = health.counters();
+      os << "{\"state\": \"" << health_state_name(health.state()) << "\""
+         << ", \"enabled\": " << (health.options().enabled ? "true" : "false")
+         << ", \"requests\": " << hc.requests
+         << ", \"healthy_served\": " << hc.healthy_served
+         << ", \"suspect_served\": " << hc.suspect_served
+         << ", \"quarantined_served\": " << hc.quarantined_served
+         << ", \"probes_served\": " << hc.probes_served
+         << ", \"probe_successes\": " << hc.probe_successes
+         << ", \"probe_failures\": " << hc.probe_failures
+         << ", \"quarantine_entries\": " << hc.quarantine_entries
+         << ", \"quarantine_exits\": " << hc.quarantine_exits
+         << ", \"quarantined_requests\": " << hc.quarantined_requests
+         << ", \"longest_quarantine\": " << hc.longest_quarantine
+         << ", \"transitions\": " << hc.transitions
+         << ", \"transition_log\": [";
+      const char* tsep = "";
+      for (const HealthTransition& t : health.transitions()) {
+        os << tsep << "{\"request\": " << t.request << ", \"from\": \""
+           << health_state_name(t.from) << "\", \"to\": \""
+           << health_state_name(t.to) << "\"}";
+        tsep = ", ";
+      }
+      os << "]}";
+    }
+    // useful + wasted partition this shard's cumulative device metrics
+    // exactly (failed requests included — their stats are absorbed before
+    // the rethrow).
+    os << ",\n     \"useful_metrics\": ";
+    simt::write_metrics_json(os, tot.useful_metrics);
+    os << ",\n     \"wasted_metrics\": ";
+    simt::write_metrics_json(os, tot.wasted_metrics);
+    os << ",\n     \"metrics\": ";
     simt::write_metrics_json(os, m);
     os << "}";
     sep = ",";
@@ -187,10 +307,25 @@ void ShardedKnn::write_shard_report(std::ostream& os) const {
        << ", \"bytes_d2h\": " << tx.bytes_d2h << "},\n    \"metrics\": ";
     simt::write_metrics_json(os, m);
   }
+  os << "},\n";
+  if (scheduler != nullptr) {
+    const SchedulerCounters& sc = *scheduler;
+    os << "  \"scheduler\": {\"submitted\": " << sc.submitted
+       << ", \"admitted\": " << sc.admitted
+       << ", \"rejected\": " << sc.rejected
+       << ", \"shed_expired\": " << sc.shed_expired
+       << ", \"served_ok\": " << sc.served_ok
+       << ", \"timed_out_at_dequeue\": " << sc.timed_out_at_dequeue
+       << ", \"timed_out_after_serve\": " << sc.timed_out_after_serve
+       << ", \"failed\": " << sc.failed
+       << ", \"degraded\": " << sc.degraded
+       << ", \"backpressure_waits\": " << sc.backpressure_waits
+       << ", \"pending\": " << sc.pending << "},\n";
+  }
   // The partition invariant CI checks: the shard metrics plus the merge
   // metrics sum exactly to these totals (each launch runs on exactly one
   // device and every device is listed once).
-  os << "},\n  \"total\": {\"transfers\": {\"bytes_h2d\": " << total_h2d
+  os << "  \"total\": {\"transfers\": {\"bytes_h2d\": " << total_h2d
      << ", \"bytes_d2h\": " << total_d2h << "},\n    \"metrics\": ";
   simt::write_metrics_json(os, total);
   os << "}\n}\n";

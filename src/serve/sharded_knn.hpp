@@ -11,23 +11,38 @@
 // argument), including when a faulty shard is excluded and recomputed on the
 // host.
 //
+// Resilience: each DeviceShard carries a ShardHealth state machine
+// (shard_health.hpp) — persistent faulters are quarantined (host-served, no
+// GPU retries) and re-admitted via probes.  search() takes an optional
+// deadline that DeviceShard uses to skip retries the remaining budget cannot
+// cover.  Fault-path cost is modeled explicitly: wasted_seconds (device work
+// aborted attempts actually executed), plus a penalty model charging each
+// failed attempt a full clean-attempt estimate (faults surface at the
+// post-attempt sync) and each host recompute degraded_host_penalty clean
+// attempts; a request's modeled latency is max over shard
+// (modeled + wasted + penalty) seconds plus the merge.
+//
 // Observability: per-request ShardStats ride on every ShardedResult;
 // cumulative per-shard service counters plus each device's KernelMetrics and
 // transfer totals are exported by write_shard_report() as the
 // "gpuksel.shards.v1" JSON schema, where the per-shard metrics and the merge
-// metrics partition the report's totals exactly (CI checks this).  Attach
-// per-device profilers with attach_profilers() and fold the per-shard
-// records into one report via drain_profiles() ("shard0/", ..., "merge/"
-// kernel prefixes).
+// metrics partition the report's totals exactly, and per-shard useful +
+// wasted metrics partition that shard's device cumulative counters (CI
+// checks both).  Each shard's report entry carries a "health" section whose
+// served-by-state counters partition its request count.  Attach per-device
+// profilers with attach_profilers() and fold the per-shard records into one
+// report via drain_profiles() ("shard0/", ..., "merge/" kernel prefixes).
 //
 // Thread-safety: one request at a time — drive ShardedKnn from a single
 // thread (the Scheduler's worker does exactly that).  The fan-out threads
 // are internal per-request workers, not concurrent requests.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,6 +50,8 @@
 #include "simt/profiler.hpp"
 
 namespace gpuksel::serve {
+
+struct SchedulerCounters;  // scheduler.hpp; optional report section
 
 struct ShardedKnnOptions {
   /// Devices to shard the reference set over; must be in [1, rows].
@@ -50,6 +67,14 @@ struct ShardedKnnOptions {
   /// and its partition recomputed on the host (degraded service); when false
   /// the second fault fails the whole request.
   bool exclude_faulty_shards = true;
+  /// Per-shard health state machine (quarantine + probe re-admission).
+  /// Quarantined service is host recompute, so health is forced off when
+  /// exclude_faulty_shards is false.
+  HealthOptions health;
+  /// Modeled cost of a host-recomputed shard partition, as a multiple of a
+  /// clean GPU attempt over the same rows (the host path has no device
+  /// metrics, so its cost is charged via this penalty).
+  double degraded_host_penalty = 2.0;
   /// Host worker threads per simulated device (0 = device default).
   unsigned worker_threads = 0;
 };
@@ -64,19 +89,30 @@ struct ShardedResult {
   simt::KernelMetrics merge_metrics;
   double merge_seconds = 0.0;
   /// Shards run concurrently, the merge after all of them: the request's
-  /// modeled latency is max over shard seconds plus the merge.
+  /// modeled latency is max over shard (modeled + wasted + penalty) seconds
+  /// plus the merge.
   double modeled_seconds = 0.0;
   /// True when at least one shard was excluded (host-recomputed).
   bool degraded = false;
 };
 
-/// Cumulative per-shard service counters (since construction).
+/// Cumulative per-shard service counters (since construction).  Partition
+/// invariant: useful_metrics + wasted_metrics equals the shard device's
+/// cumulative KernelMetrics exactly (every launch belongs to exactly one
+/// attempt, and every attempt is either the successful one or a recorded
+/// failure).
 struct ShardTotals {
   std::uint64_t requests = 0;
   std::uint64_t retries = 0;
   std::uint64_t exclusions = 0;
   std::uint64_t faults = 0;
+  std::uint64_t failed_attempts = 0;
+  std::uint64_t budget_skipped_retries = 0;
   double modeled_seconds = 0.0;
+  double wasted_seconds = 0.0;
+  double penalty_seconds = 0.0;
+  simt::KernelMetrics useful_metrics;
+  simt::KernelMetrics wasted_metrics;
 };
 
 class ShardedKnn {
@@ -98,11 +134,16 @@ class ShardedKnn {
   [[nodiscard]] simt::Device& merge_device() noexcept { return merge_device_; }
 
   /// Serves one query batch across all shards and merges the partials.
-  /// Throws SimtFaultError when a shard fails beyond the fault policy
-  /// (lowest faulting shard id wins under parallel fan-out, matching the
-  /// sequential order).
-  [[nodiscard]] ShardedResult search(const knn::Dataset& queries,
-                                     std::uint32_t k);
+  /// `deadline` is the request's absolute wall deadline (budget
+  /// propagation): shards skip the GPU retry when the remaining budget
+  /// cannot cover a second attempt.  Throws SimtFaultError when a shard
+  /// fails beyond the fault policy (lowest faulting shard id wins under
+  /// parallel fan-out, matching the sequential order); cumulative counters
+  /// still absorb the failed request's stats first.
+  [[nodiscard]] ShardedResult search(
+      const knn::Dataset& queries, std::uint32_t k,
+      std::optional<std::chrono::steady_clock::time_point> deadline =
+          std::nullopt);
 
   [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
   [[nodiscard]] std::uint64_t degraded_requests() const noexcept {
@@ -120,10 +161,14 @@ class ShardedKnn {
   void drain_profiles(simt::Profiler& sink, const std::string& prefix = "");
 
   /// Writes the "gpuksel.shards.v1" JSON report: per-shard partition bounds,
-  /// cumulative service counters, device KernelMetrics and transfer bytes,
+  /// cumulative service counters, fault-path cost (wasted/penalty seconds,
+  /// useful + wasted metrics partitioning the device's cumulative counters),
+  /// a per-shard health section, device KernelMetrics and transfer bytes,
   /// the merge device's share, and totals that the per-shard + merge metrics
-  /// partition exactly.
-  void write_shard_report(std::ostream& os) const;
+  /// partition exactly.  When `scheduler` is non-null its counters are
+  /// emitted as a "scheduler" section (shed/timeout observability).
+  void write_shard_report(std::ostream& os,
+                          const SchedulerCounters* scheduler = nullptr) const;
 
  private:
   ShardedKnnOptions options_;

@@ -1,0 +1,180 @@
+#include "chaos_harness.hpp"
+
+#include <future>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "knn/dataset.hpp"
+
+namespace gpuksel::serve::chaos {
+
+namespace {
+
+ShardedKnnOptions engine_options(const ChaosScenario& scenario) {
+  ShardedKnnOptions opts;
+  opts.num_shards = scenario.num_shards;
+  opts.batch.batch.tile_refs = scenario.tile_refs;
+  opts.health = scenario.health;
+  return opts;
+}
+
+knn::Dataset request_queries(const ChaosScenario& scenario, std::uint32_t seed,
+                             std::uint32_t request) {
+  // Every request gets its own deterministic batch; the prime spreads the
+  // per-request seeds away from the dataset seed.
+  return knn::make_uniform_dataset(scenario.queries, scenario.dim,
+                                   seed * 7919u + request);
+}
+
+}  // namespace
+
+ChaosRun run_scenario(const ChaosScenario& scenario, std::uint32_t seed) {
+  ChaosRun run;
+  const knn::Dataset refs =
+      knn::make_uniform_dataset(scenario.refs, scenario.dim, seed);
+
+  // Pass 1: fault-free ground truth over the identical request stream.
+  {
+    ShardedKnn clean(refs, engine_options(scenario));
+    run.baseline.reserve(scenario.num_requests);
+    for (std::uint32_t r = 0; r < scenario.num_requests; ++r) {
+      run.baseline.push_back(
+          clean.search(request_queries(scenario, seed, r), scenario.k)
+              .neighbors);
+    }
+  }
+
+  // Pass 2: the same stream through the full serving stack with the fault
+  // schedule attached.  Injector lifetime must cover the scheduler's.
+  ShardedKnn engine(refs, engine_options(scenario));
+  std::vector<std::unique_ptr<simt::FaultInjector>> injectors;
+  injectors.reserve(scenario.faults.size());
+  for (const ShardFaultPlan& plan : scenario.faults) {
+    injectors.push_back(std::make_unique<simt::FaultInjector>(plan.config));
+    engine.shard(plan.shard).device().set_fault_injector(
+        injectors.back().get());
+  }
+  {
+    Scheduler sched(engine, scenario.scheduler);
+    std::vector<std::future<ServeResponse>> futures;
+    futures.reserve(scenario.num_requests);
+    for (std::uint32_t r = 0; r < scenario.num_requests; ++r) {
+      futures.push_back(
+          sched.submit(request_queries(scenario, seed, r), scenario.k));
+    }
+    run.responses.reserve(scenario.num_requests);
+    for (auto& fut : futures) run.responses.push_back(fut.get());
+    run.scheduler = sched.counters();
+    sched.shutdown();
+  }
+
+  run.shards.reserve(engine.num_shards());
+  for (std::uint32_t s = 0; s < engine.num_shards(); ++s) {
+    ShardHealthSnapshot snap;
+    snap.state = engine.shard(s).health().state();
+    snap.counters = engine.shard(s).health().counters();
+    snap.transitions = engine.shard(s).health().transitions();
+    snap.totals = engine.totals()[s];
+    snap.device_cumulative = engine.shard(s).device().cumulative();
+    run.shards.push_back(std::move(snap));
+  }
+  std::ostringstream os;
+  engine.write_shard_report(os, &run.scheduler);
+  run.report_json = os.str();
+  return run;
+}
+
+std::vector<std::string> check_invariants(const ChaosScenario& scenario,
+                                          const ChaosRun& run) {
+  std::vector<std::string> violations;
+  const auto fail = [&](std::string msg) {
+    violations.push_back(scenario.name + ": " + std::move(msg));
+  };
+
+  // No request lost: every submitted future resolved with a response.
+  if (run.responses.size() != scenario.num_requests) {
+    fail("expected " + std::to_string(scenario.num_requests) +
+         " responses, got " + std::to_string(run.responses.size()));
+    return violations;
+  }
+  // Exactness: scenarios carry no deadlines and a fault budget the policy
+  // absorbs, so every response must be kOk and — degraded or not —
+  // byte-identical to the fault-free baseline (the host recompute shares
+  // the kernel's FP op order).
+  for (std::uint32_t r = 0; r < scenario.num_requests; ++r) {
+    const ServeResponse& resp = run.responses[r];
+    if (resp.status != RequestStatus::kOk) {
+      fail("request " + std::to_string(r) + " not kOk: " + resp.error);
+      continue;
+    }
+    if (!resp.served) {
+      fail("request " + std::to_string(r) + " kOk but not marked served");
+    }
+    if (resp.result.neighbors != run.baseline[r]) {
+      fail("request " + std::to_string(r) +
+           " diverges from the fault-free baseline");
+    }
+  }
+
+  // Scheduler admission/outcome partition; nothing pending, nothing
+  // double-counted.
+  const SchedulerCounters& sc = run.scheduler;
+  if (sc.submitted != sc.admitted + sc.rejected) {
+    fail("scheduler: submitted != admitted + rejected");
+  }
+  const std::uint64_t outcomes = sc.served_ok + sc.timed_out_at_dequeue +
+                                 sc.timed_out_after_serve + sc.failed +
+                                 sc.shed_expired;
+  if (sc.admitted != outcomes + sc.pending) {
+    fail("scheduler: admitted != outcomes + pending");
+  }
+  if (sc.pending != 0) fail("scheduler: queue not drained");
+  if (sc.degraded > sc.served_ok) fail("scheduler: degraded > served_ok");
+
+  // Per-shard health + accounting partitions.
+  for (std::size_t s = 0; s < run.shards.size(); ++s) {
+    const ShardHealthSnapshot& snap = run.shards[s];
+    const HealthCounters& hc = snap.counters;
+    const auto shard_fail = [&](const std::string& msg) {
+      fail("shard " + std::to_string(s) + ": " + msg);
+    };
+    if (hc.healthy_served + hc.suspect_served + hc.quarantined_served +
+            hc.probes_served !=
+        hc.requests) {
+      shard_fail("served-by-state counters do not partition requests");
+    }
+    if (hc.probes_served != hc.probe_successes + hc.probe_failures) {
+      shard_fail("probe outcomes do not partition probes_served");
+    }
+    const bool in_quarantine = snap.state == HealthState::kQuarantined ||
+                               snap.state == HealthState::kProbing;
+    if (hc.quarantine_entries != hc.quarantine_exits + (in_quarantine ? 1 : 0)) {
+      shard_fail("quarantine entries/exits inconsistent with final state");
+    }
+    if (hc.requests != snap.totals.requests) {
+      shard_fail("health request clock diverges from service totals");
+    }
+    if (snap.transitions.size() >
+        std::min<std::uint64_t>(hc.transitions,
+                                ShardHealth::kMaxLoggedTransitions)) {
+      shard_fail("transition log longer than the transition counter");
+    }
+    for (std::size_t t = 1; t < snap.transitions.size(); ++t) {
+      if (snap.transitions[t].from != snap.transitions[t - 1].to) {
+        shard_fail("transition log does not chain at entry " +
+                   std::to_string(t));
+      }
+    }
+    // Every device instruction belongs to exactly one attempt: the useful
+    // and wasted metrics must partition the device's cumulative counters.
+    simt::KernelMetrics sum = snap.totals.useful_metrics;
+    sum += snap.totals.wasted_metrics;
+    if (!(sum == snap.device_cumulative)) {
+      shard_fail("useful + wasted metrics do not partition the device total");
+    }
+  }
+  return violations;
+}
+
+}  // namespace gpuksel::serve::chaos

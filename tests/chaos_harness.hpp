@@ -1,0 +1,90 @@
+// Deterministic chaos harness for the serving stack.
+//
+// A ChaosScenario describes a workload (reference set, request stream) plus
+// a seeded fault schedule: per-shard FaultInjector configs whose budgets
+// (max_faults) bound how long each failure persists.  run_scenario() first
+// serves the whole request stream fault-free to capture the ground-truth
+// answers, then replays the identical stream through
+// Scheduler -> ShardedKnn -> DeviceShard with the injectors attached, and
+// snapshots every shard's health machine, cumulative totals and device
+// counters plus the scheduler's admission/outcome counters.
+//
+// Everything is deterministic: the injector is a pure function of
+// (seed, warp, access ordinal), the health machine runs on the
+// served-request clock, and the scheduler's single FIFO worker serves
+// requests in submit order — so a scenario replays bit-identically and
+// check_invariants() can assert exact resilience properties:
+//   * no request lost or double-completed (every future resolves exactly
+//     once; the scheduler counters partition),
+//   * every non-degraded response byte-identical to the fault-free run,
+//   * degraded responses still byte-identical (host recompute shares the
+//     kernel's FP op order) — checked for all kOk responses,
+//   * per-shard health counters partition the shard's request count,
+//   * useful + wasted metrics partition each device's cumulative counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/scheduler.hpp"
+#include "simt/fault_injection.hpp"
+
+namespace gpuksel::serve::chaos {
+
+/// One shard's fault schedule: the injector config is attached to that
+/// shard's device for the whole chaos pass.  A bounded max_faults budget
+/// models a transient failure (the shard recovers once the budget drains);
+/// max_faults == 0 models a persistent one.
+struct ShardFaultPlan {
+  std::uint32_t shard = 0;
+  simt::InjectorConfig config;
+};
+
+struct ChaosScenario {
+  std::string name;
+  // Workload shape (kept small: scenarios run many requests, twice).
+  std::uint32_t refs = 96;
+  std::uint32_t dim = 4;
+  std::uint32_t queries = 8;
+  std::uint32_t k = 6;
+  std::uint32_t num_shards = 3;
+  std::uint32_t tile_refs = 16;
+  std::uint32_t num_requests = 24;
+  std::vector<ShardFaultPlan> faults;
+  HealthOptions health;
+  SchedulerOptions scheduler;
+};
+
+/// Final state of one shard after the chaos pass.
+struct ShardHealthSnapshot {
+  HealthState state = HealthState::kHealthy;
+  HealthCounters counters;
+  std::vector<HealthTransition> transitions;
+  ShardTotals totals;
+  simt::KernelMetrics device_cumulative;
+};
+
+struct ChaosRun {
+  /// Chaos-pass responses in submit order (== serve order: FIFO worker).
+  std::vector<ServeResponse> responses;
+  /// Fault-free ground truth, same order.
+  std::vector<std::vector<std::vector<Neighbor>>> baseline;
+  std::vector<ShardHealthSnapshot> shards;
+  SchedulerCounters scheduler;
+  /// gpuksel.shards.v1 report of the chaos engine, scheduler section
+  /// included.
+  std::string report_json;
+};
+
+/// Derives the request stream and runs the fault-free + chaos passes.
+/// `seed` perturbs the dataset and every per-request query batch.
+[[nodiscard]] ChaosRun run_scenario(const ChaosScenario& scenario,
+                                    std::uint32_t seed);
+
+/// Structural invariants every scenario must satisfy regardless of its fault
+/// schedule.  Returns human-readable violations (empty == pass).
+[[nodiscard]] std::vector<std::string> check_invariants(
+    const ChaosScenario& scenario, const ChaosRun& run);
+
+}  // namespace gpuksel::serve::chaos

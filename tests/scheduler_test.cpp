@@ -144,6 +144,180 @@ TEST(SchedulerTest, ExcludedShardStillAnswersOkButDegraded) {
   EXPECT_TRUE(resp.result.shards[0].excluded);
 }
 
+TEST(SchedulerTest, DeadlineExpiringDuringServiceReportsTimedOutWithStats) {
+  // The engine is sized so one request takes far longer than the timeout,
+  // while the timeout comfortably covers the worker's dequeue latency: the
+  // deadline check at dequeue passes, the re-check after the engine returns
+  // fires.  Retried with growing timeouts to ride out scheduler jitter on a
+  // loaded machine.
+  ShardedKnnOptions opts = engine_options(2);
+  opts.batch.batch.tile_refs = 32;
+  ShardedKnn engine(knn::make_uniform_dataset(2048, 16, 21), opts);
+  Scheduler sched(engine);
+  bool observed = false;
+  for (std::uint32_t attempt = 0; attempt < 5 && !observed; ++attempt) {
+    const auto timeout = std::chrono::milliseconds(20 * (attempt + 1));
+    ServeResponse resp =
+        sched.submit(knn::make_uniform_dataset(96, 16, 22 + attempt), 16,
+                     timeout)
+            .get();
+    if (resp.status == RequestStatus::kTimedOut && resp.served) {
+      observed = true;
+      // The partial result and its stats are attached despite the timeout.
+      EXPECT_EQ(resp.result.neighbors.size(), 96u);
+      EXPECT_EQ(resp.result.shards.size(), 2u);
+      EXPECT_GT(resp.result.modeled_seconds, 0.0);
+    }
+  }
+  EXPECT_TRUE(observed) << "service never outlived the deadline";
+  EXPECT_GE(sched.counters().timed_out_after_serve, 1u);
+}
+
+TEST(SchedulerTest, RejectNewestShedsImmediatelyWhenFull) {
+  ShardedKnn engine(knn::make_uniform_dataset(30, 4, 23), engine_options(2));
+  SchedulerOptions opts;
+  opts.queue_capacity = 1;
+  opts.overload = OverloadPolicy::kRejectNewest;
+  Scheduler sched(engine, opts);
+  sched.pause();
+  auto admitted = sched.submit(queries_batch(4, 24), 3);
+  ServeResponse shed = sched.submit(queries_batch(4, 25), 3).get();
+  EXPECT_EQ(shed.status, RequestStatus::kShed);
+  EXPECT_FALSE(shed.error.empty());
+  EXPECT_FALSE(sched.try_submit(queries_batch(4, 26), 3).has_value());
+  sched.resume();
+  EXPECT_EQ(admitted.get().status, RequestStatus::kOk);
+  const SchedulerCounters c = sched.counters();
+  EXPECT_EQ(c.submitted, 3u);
+  EXPECT_EQ(c.admitted, 1u);
+  EXPECT_EQ(c.rejected, 2u);
+  EXPECT_EQ(c.submitted, c.admitted + c.rejected);
+}
+
+TEST(SchedulerTest, ShedOldestExpiredMakesRoomForFreshWork) {
+  ShardedKnn engine(knn::make_uniform_dataset(30, 4, 27), engine_options(2));
+  SchedulerOptions opts;
+  opts.queue_capacity = 2;
+  opts.overload = OverloadPolicy::kShedOldestExpired;
+  Scheduler sched(engine, opts);
+  sched.pause();
+  auto stale = sched.submit(queries_batch(4, 28), 3, nanoseconds{0});
+  auto fresh = sched.submit(queries_batch(4, 29), 3);
+  // Queue full; the already-expired head is swept (kTimedOut) to admit this.
+  auto newest = sched.submit(queries_batch(4, 30), 3);
+  EXPECT_EQ(stale.get().status, RequestStatus::kTimedOut);
+  sched.resume();
+  EXPECT_EQ(fresh.get().status, RequestStatus::kOk);
+  EXPECT_EQ(newest.get().status, RequestStatus::kOk);
+  const SchedulerCounters c = sched.counters();
+  EXPECT_EQ(c.shed_expired, 1u);
+  EXPECT_EQ(c.admitted, 3u);
+  EXPECT_EQ(c.served_ok, 2u);
+  // Nothing expired to sweep: the newest is shed instead.
+  sched.pause();
+  auto a = sched.submit(queries_batch(4, 31), 3);
+  auto b = sched.submit(queries_batch(4, 32), 3);
+  EXPECT_EQ(sched.submit(queries_batch(4, 33), 3).get().status,
+            RequestStatus::kShed);
+  sched.resume();
+  EXPECT_EQ(a.get().status, RequestStatus::kOk);
+  EXPECT_EQ(b.get().status, RequestStatus::kOk);
+}
+
+TEST(SchedulerTest, PauseResumeRacesConcurrentSubmitters) {
+  // 8 threads hammer submit/try_submit while the main thread toggles
+  // pause/resume: every obtained future must resolve, nothing may be lost
+  // or double-completed, and the counters must partition.  Run under TSan
+  // in CI.
+  ShardedKnn engine(knn::make_uniform_dataset(30, 4, 34), engine_options(2));
+  SchedulerOptions opts;
+  opts.queue_capacity = 4;
+  opts.overload = OverloadPolicy::kRejectNewest;  // submitters never block
+  Scheduler sched(engine, opts);
+
+  constexpr std::uint32_t kThreads = 8;
+  constexpr std::uint32_t kPerThread = 6;
+  std::vector<std::vector<std::future<ServeResponse>>> futures(kThreads);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::uint32_t i = 0; i < kPerThread; ++i) {
+        const std::uint32_t seed = 100 + t * kPerThread + i;
+        if (t % 2 == 0) {
+          futures[t].push_back(sched.submit(queries_batch(3, seed), 2));
+        } else if (auto fut = sched.try_submit(queries_batch(3, seed), 2)) {
+          futures[t].push_back(std::move(*fut));
+        }
+      }
+    });
+  }
+  for (std::uint32_t toggle = 0; toggle < 20; ++toggle) {
+    sched.pause();
+    std::this_thread::yield();
+    sched.resume();
+  }
+  for (std::thread& s : submitters) s.join();
+  sched.resume();
+
+  std::uint64_t resolved_ok = 0;
+  std::uint64_t obtained = 0;
+  for (auto& per_thread : futures) {
+    for (auto& fut : per_thread) {
+      ++obtained;
+      ServeResponse resp = fut.get();  // must resolve: nothing lost
+      if (resp.status == RequestStatus::kOk) ++resolved_ok;
+    }
+  }
+  sched.shutdown();
+  const SchedulerCounters c = sched.counters();
+  EXPECT_EQ(c.submitted, std::uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(c.submitted, c.admitted + c.rejected);
+  // kShed futures resolve without reaching the engine; every admitted
+  // request was served exactly once (no deadlines, no failures here).
+  EXPECT_EQ(c.served_ok, resolved_ok);
+  EXPECT_EQ(c.admitted, c.served_ok);
+  EXPECT_EQ(engine.requests(), c.served_ok);
+  EXPECT_LE(c.served_ok, obtained);
+  EXPECT_EQ(c.pending, 0u);
+}
+
+TEST(SchedulerTest, ShutdownWhileProbeRequestsAreInFlight) {
+  // Drive a shard into quarantine, then shut down while probe-carrying
+  // requests are mid-queue/mid-serve: the drain must complete every future
+  // exactly once with no deadlock (TSan-checked in CI).
+  ShardedKnnOptions opts = engine_options(2);
+  opts.health.window = 2;
+  opts.health.suspect_faults = 1;
+  opts.health.quarantine_faults = 1;
+  opts.health.probe_interval = 1;  // every quarantined request probes
+  ShardedKnn engine(knn::make_uniform_dataset(30, 4, 36), opts);
+  simt::FaultInjector injector(simt::InjectorConfig{
+      simt::InjectKind::kOobIndex, /*seed=*/5, /*period=*/8, /*max_faults=*/0,
+      /*kernel_filter=*/"batch_tile_score"});
+  engine.shard(0).device().set_fault_injector(&injector);
+  auto sched = std::make_unique<Scheduler>(engine);
+
+  // Quarantine shard 0 (both attempts fault, exclusion degrades it).
+  ServeResponse first = sched->submit(queries_batch(4, 37), 3).get();
+  ASSERT_EQ(first.status, RequestStatus::kOk) << first.error;
+  ASSERT_EQ(engine.shard(0).health().state(), HealthState::kQuarantined);
+
+  // Every further request carries a probe; shut down while they're in
+  // flight.
+  std::vector<std::future<ServeResponse>> probes;
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    probes.push_back(sched->submit(queries_batch(4, 40 + r), 3));
+  }
+  sched->shutdown();  // drains the queue, probe work included
+  for (auto& fut : probes) {
+    ServeResponse resp = fut.get();
+    EXPECT_EQ(resp.status, RequestStatus::kOk) << resp.error;
+    EXPECT_TRUE(resp.result.degraded);
+  }
+  EXPECT_GE(engine.shard(0).health().counters().probes_served, 1u);
+}
+
 TEST(SchedulerTest, DestructorShutsDownCleanly) {
   ShardedKnn engine(knn::make_uniform_dataset(30, 4, 19), engine_options(2));
   std::future<ServeResponse> fut;

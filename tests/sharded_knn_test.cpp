@@ -321,6 +321,207 @@ TEST(ShardedKnnTest, ShardReportPartitionsTotalsExactly) {
             std::string::npos);
 }
 
+TEST(ShardedKnnTest, WastedWorkIsAccountedAndPartitionsDeviceTotals) {
+  // Fault the *reduce* launch: every tile launch of the attempt completes
+  // first, so the aborted attempt leaves real executed-but-discarded work
+  // behind — exactly what wasted_metrics must capture.
+  const knn::Dataset refs = knn::make_uniform_dataset(45, 4, 21);
+  const knn::Dataset queries = knn::make_uniform_dataset(11, 4, 22);
+  const auto expected = single_device(refs, queries, 8);
+
+  ShardedKnn engine(refs, sharded_options(3));
+  simt::FaultInjector injector(simt::InjectorConfig{
+      simt::InjectKind::kOobIndex, /*seed=*/5, /*period=*/32, /*max_faults=*/0,
+      /*kernel_filter=*/"batch_reduce"});
+  engine.shard(1).device().set_fault_injector(&injector);
+
+  const auto got = engine.search(queries, 8);
+  EXPECT_EQ(got.neighbors, expected);
+  const ShardStats& st = got.shards[1];
+  EXPECT_TRUE(st.excluded);
+  EXPECT_EQ(st.failed_attempts, 2u);
+  EXPECT_GT(st.wasted_metrics.instructions, 0u);
+  EXPECT_GT(st.wasted_seconds, 0.0);
+  EXPECT_EQ(st.metrics, simt::KernelMetrics{});  // no successful attempt
+  // The sync-detection + host-recompute penalty is charged against the
+  // clean siblings' per-row estimate and rides the request latency.
+  EXPECT_GT(st.penalty_seconds, 0.0);
+  EXPECT_GE(got.modeled_seconds,
+            st.wasted_seconds + st.penalty_seconds + got.merge_seconds);
+  // useful + wasted partition each shard device's cumulative counters.
+  for (std::uint32_t s = 0; s < engine.num_shards(); ++s) {
+    simt::KernelMetrics sum = engine.totals()[s].useful_metrics;
+    sum += engine.totals()[s].wasted_metrics;
+    EXPECT_EQ(sum, engine.shard(s).device().cumulative()) << "shard " << s;
+  }
+}
+
+TEST(ShardedKnnTest, QuarantineStopsGpuAttemptsAndStaysExact) {
+  ShardedKnnOptions opts = sharded_options(3);
+  opts.health.window = 2;
+  opts.health.suspect_faults = 1;
+  opts.health.quarantine_faults = 1;
+  opts.health.probe_interval = 100;  // no probes in this test
+  const knn::Dataset refs = knn::make_uniform_dataset(45, 4, 23);
+  ShardedKnn engine(refs, opts);
+  simt::FaultInjector injector(simt::InjectorConfig{
+      simt::InjectKind::kOobIndex, /*seed=*/5, /*period=*/32, /*max_faults=*/0,
+      /*kernel_filter=*/"batch_tile_score"});
+  engine.shard(1).device().set_fault_injector(&injector);
+
+  // Request 0 pays the retry tax and trips the quarantine threshold.
+  const knn::Dataset q0 = knn::make_uniform_dataset(9, 4, 24);
+  const auto first = engine.search(q0, 6);
+  EXPECT_EQ(first.neighbors, single_device(refs, q0, 6));
+  EXPECT_EQ(first.shards[1].retries, 1u);
+  EXPECT_EQ(engine.shard(1).health().state(), HealthState::kQuarantined);
+
+  // Subsequent requests are host-served: zero new device work, zero new
+  // retries — the quarantine win — and still byte-exact.
+  const simt::KernelMetrics frozen = engine.shard(1).device().cumulative();
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    const knn::Dataset q = knn::make_uniform_dataset(7, 4, 30 + r);
+    const auto res = engine.search(q, 5);
+    EXPECT_EQ(res.neighbors, single_device(refs, q, 5));
+    EXPECT_TRUE(res.shards[1].quarantine_served);
+    EXPECT_TRUE(res.shards[1].excluded);
+    EXPECT_EQ(res.shards[1].retries, 0u);
+    EXPECT_EQ(res.shards[1].failed_attempts, 0u);
+  }
+  EXPECT_EQ(engine.shard(1).device().cumulative(), frozen);
+  EXPECT_EQ(engine.totals()[1].retries, 1u);
+  EXPECT_EQ(engine.shard(1).health().counters().quarantined_served, 3u);
+}
+
+TEST(ShardedKnnTest, ProbeReadmitsTheShardAfterTheFaultBudgetDrains) {
+  ShardedKnnOptions opts = sharded_options(3);
+  opts.health.window = 2;
+  opts.health.suspect_faults = 1;
+  opts.health.quarantine_faults = 1;
+  opts.health.probe_interval = 2;
+  opts.health.probe_successes = 1;
+  const knn::Dataset refs = knn::make_uniform_dataset(45, 4, 25);
+  ShardedKnn engine(refs, opts);
+  // Budget 3: request 0 burns two attempts, the first probe burns the last
+  // fault, the second probe runs clean and re-admits the shard.
+  simt::FaultInjector injector(simt::InjectorConfig{
+      simt::InjectKind::kOobIndex, /*seed=*/5, /*period=*/8, /*max_faults=*/3,
+      /*kernel_filter=*/"batch_tile_score"});
+  engine.shard(1).device().set_fault_injector(&injector);
+
+  std::vector<bool> degraded;
+  for (std::uint32_t r = 0; r < 6; ++r) {
+    const knn::Dataset q = knn::make_uniform_dataset(8, 4, 40 + r);
+    const auto res = engine.search(q, 5);
+    EXPECT_EQ(res.neighbors, single_device(refs, q, 5)) << "request " << r;
+    degraded.push_back(res.degraded);
+  }
+  // 0: fault+fault -> quarantined; 1: host; 2: probe faults -> quarantined;
+  // 3: host; 4: probe clean -> healthy, GPU answer served; 5: healthy.
+  EXPECT_EQ(degraded, (std::vector<bool>{true, true, true, true, false,
+                                         false}));
+  const HealthCounters& hc = engine.shard(1).health().counters();
+  EXPECT_EQ(hc.probe_failures, 1u);
+  EXPECT_EQ(hc.probe_successes, 1u);
+  EXPECT_EQ(hc.quarantine_entries, 1u);
+  EXPECT_EQ(hc.quarantine_exits, 1u);
+  EXPECT_EQ(engine.shard(1).health().state(), HealthState::kHealthy);
+}
+
+TEST(ShardedKnnTest, DeadlineBudgetSkipsTheRetryAndDegradesImmediately) {
+  const knn::Dataset refs = knn::make_uniform_dataset(45, 4, 26);
+  const knn::Dataset queries = knn::make_uniform_dataset(9, 4, 27);
+  const auto expected = single_device(refs, queries, 6);
+  ShardedKnn engine(refs, sharded_options(3));
+  simt::FaultInjector injector(simt::InjectorConfig{
+      simt::InjectKind::kOobIndex, /*seed=*/5, /*period=*/32, /*max_faults=*/0,
+      /*kernel_filter=*/"batch_tile_score"});
+  engine.shard(1).device().set_fault_injector(&injector);
+
+  // An already-spent budget can never cover a second attempt: the shard
+  // must degrade without retrying, still byte-exact via the host path.
+  const auto res =
+      engine.search(queries, 6, std::chrono::steady_clock::now());
+  EXPECT_EQ(res.neighbors, expected);
+  EXPECT_TRUE(res.shards[1].budget_skipped_retry);
+  EXPECT_EQ(res.shards[1].retries, 0u);
+  EXPECT_EQ(res.shards[1].failed_attempts, 1u);
+  EXPECT_TRUE(res.shards[1].excluded);
+  EXPECT_EQ(engine.totals()[1].budget_skipped_retries, 1u);
+
+  // A generous budget keeps the usual retry-once policy.
+  const auto relaxed = engine.search(
+      queries, 6, std::chrono::steady_clock::now() + std::chrono::hours(1));
+  EXPECT_EQ(relaxed.neighbors, expected);
+  EXPECT_EQ(relaxed.shards[1].retries, 1u);
+  EXPECT_FALSE(relaxed.shards[1].budget_skipped_retry);
+}
+
+TEST(ShardedKnnTest, FailedRequestStillLandsInCumulativeTotals) {
+  // With exclusion disabled the second fault fails the whole request, but
+  // the device work (and fault evidence) must still be absorbed into the
+  // totals so the useful + wasted partition stays exact.
+  ShardedKnnOptions opts = sharded_options(3);
+  opts.exclude_faulty_shards = false;
+  const knn::Dataset refs = knn::make_uniform_dataset(45, 4, 28);
+  ShardedKnn engine(refs, opts);
+  simt::FaultInjector injector(simt::InjectorConfig{
+      simt::InjectKind::kOobIndex, /*seed=*/5, /*period=*/32, /*max_faults=*/0,
+      /*kernel_filter=*/"batch_reduce"});
+  engine.shard(2).device().set_fault_injector(&injector);
+  EXPECT_THROW((void)engine.search(knn::make_uniform_dataset(6, 4, 29), 4),
+               SimtFaultError);
+  EXPECT_EQ(engine.requests(), 1u);
+  EXPECT_EQ(engine.totals()[2].requests, 1u);
+  EXPECT_EQ(engine.totals()[2].faults, 2u);
+  for (std::uint32_t s = 0; s < engine.num_shards(); ++s) {
+    simt::KernelMetrics sum = engine.totals()[s].useful_metrics;
+    sum += engine.totals()[s].wasted_metrics;
+    EXPECT_EQ(sum, engine.shard(s).device().cumulative()) << "shard " << s;
+  }
+}
+
+TEST(ShardedKnnTest, HealthIsForcedOffWithoutExclusion) {
+  // Quarantined service is host recompute; with exclusion disabled there is
+  // no legal degraded path, so the health machine must not engage.
+  ShardedKnnOptions opts = sharded_options(2);
+  opts.exclude_faulty_shards = false;
+  opts.health.quarantine_faults = 1;
+  opts.health.window = 1;
+  ShardedKnn engine(knn::make_uniform_dataset(30, 4, 31), opts);
+  EXPECT_FALSE(engine.shard(0).health().options().enabled);
+  (void)engine.search(knn::make_uniform_dataset(4, 4, 32), 3);
+  EXPECT_EQ(engine.shard(0).health().state(), HealthState::kHealthy);
+}
+
+TEST(ShardedKnnTest, ShardReportCarriesHealthAndWastedSections) {
+  ShardedKnnOptions opts = sharded_options(3);
+  opts.health.window = 2;
+  opts.health.quarantine_faults = 1;
+  ShardedKnn engine(knn::make_uniform_dataset(45, 4, 33), opts);
+  simt::FaultInjector injector(simt::InjectorConfig{
+      simt::InjectKind::kOobIndex, /*seed=*/5, /*period=*/32, /*max_faults=*/0,
+      /*kernel_filter=*/"batch_tile_score"});
+  engine.shard(1).device().set_fault_injector(&injector);
+  (void)engine.search(knn::make_uniform_dataset(8, 4, 34), 5);
+  (void)engine.search(knn::make_uniform_dataset(8, 4, 35), 5);
+
+  std::ostringstream os;
+  engine.write_shard_report(os);
+  const std::string report = os.str();
+  EXPECT_NE(report.find("\"schema\": \"gpuksel.shards.v1\""),
+            std::string::npos);
+  for (const char* key :
+       {"\"health\"", "\"state\": \"quarantined\"", "\"transition_log\"",
+        "\"wasted_seconds\"", "\"penalty_seconds\"", "\"useful_metrics\"",
+        "\"wasted_metrics\"", "\"quarantined_served\"",
+        "\"budget_skipped_retries\""}) {
+    EXPECT_NE(report.find(key), std::string::npos) << key;
+  }
+  // No scheduler attached: the section is omitted.
+  EXPECT_EQ(report.find("\"scheduler\""), std::string::npos);
+}
+
 TEST(ShardMergeTest, MergesRaggedPartialsWithSentinelPadding) {
   // Hand-built partials with ragged lengths: shard 0 has 2 candidates for
   // query 0 and none for query 1; shard 1 has 1 and 3.
