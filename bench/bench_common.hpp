@@ -15,6 +15,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <memory>
@@ -25,6 +26,7 @@
 #include "core/kernels/select_kernels.hpp"
 #include "simt/cost_model.hpp"
 #include "simt/profiler.hpp"
+#include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
@@ -46,6 +48,13 @@ struct Scale {
   /// --profile=<path>: per-kernel profile report path; the trace and region
   /// CSV land next to it as <base>.trace.json / <base>.regions.csv.
   std::string profile_path;
+  /// --sanitize: arm the full sanitizer (bounds/poison/ECC/lockstep) for the
+  /// simulated kernels.  Benches default to the unchecked fast path — the
+  /// configuration whose wall-clock the throughput JSON records — because
+  /// sanitizer checks never charge metrics, so every modeled number and
+  /// paper table is byte-identical either way; re-arm when chasing a kernel
+  /// bug surfaced by a bench workload.
+  bool sanitize = false;
   /// Shared so the const Scale copies handed to the setup/report callbacks
   /// all record into one profiler.
   std::shared_ptr<simt::Profiler> profiler;
@@ -61,18 +70,25 @@ struct Scale {
   /// to a freshly constructed device.
   void configure(simt::Device& dev) const {
     dev.set_worker_threads(threads);
+    if (!sanitize) dev.sanitizer() = simt::SanitizerConfig::off();
     if (profiler != nullptr) dev.set_profiler(profiler.get());
   }
 
   static Scale from_flags(const CliFlags& flags, const char* default_csv) {
     Scale s;
-    s.warps = static_cast<std::uint32_t>(flags.get_int("warps", 2));
+    // Strict parses: a malformed or out-of-range --warps/--threads aborts the
+    // bench with a usage error instead of silently running the default
+    // configuration (which would let a typo'd CI smoke job pass vacuously).
+    s.warps =
+        static_cast<std::uint32_t>(flags.require_int("warps", 2, 1, 1 << 22));
     if (flags.get_bool("paper_scale", false)) {
       s.warps = kPaperQueries / simt::kWarpSize;
     }
     s.csv_path = flags.get("csv", default_csv);
-    s.threads = static_cast<unsigned>(flags.get_int("threads", 0));
+    s.threads =
+        static_cast<unsigned>(flags.require_int("threads", 0, 0, 4096));
     s.profile_path = flags.get("profile", "");
+    s.sanitize = flags.get_bool("sanitize", false);
     if (!s.profile_path.empty()) {
       s.profiler = std::make_shared<simt::Profiler>();
     }
@@ -140,24 +156,46 @@ inline void register_run(const std::string& name,
       ->Unit(benchmark::kMillisecond);
 }
 
+/// Memoized uniform_floats: one bench binary regenerates the same synthetic
+/// matrix for every algorithm row and k-column that shares its (size, seed),
+/// so cache the deterministic result.  Paper-scale matrices (gigabytes) stay
+/// uncached to keep the peak footprint at one live copy.
+inline const std::vector<float>& uniform_floats_cached(std::size_t count,
+                                                       std::uint64_t seed) {
+  constexpr std::size_t kCacheableFloats = std::size_t{1} << 26;  // 256 MiB
+  static std::map<std::pair<std::size_t, std::uint64_t>, std::vector<float>>
+      cache;
+  static std::vector<float> scratch;
+  if (count > kCacheableFloats) {
+    scratch = uniform_floats(count, seed);
+    return scratch;
+  }
+  const auto [it, fresh] = cache.try_emplace({count, seed});
+  if (fresh) it->second = uniform_floats(count, seed);
+  return it->second;
+}
+
 /// Uniform random reference-major distance matrix (the paper's synthetic
 /// distances: k-selection is oblivious to how they were produced, §IV).
-inline std::vector<float> matrix_ref_major(std::uint32_t q, std::uint32_t n,
-                                           std::uint64_t seed) {
-  return uniform_floats(std::size_t{q} * n, seed);
+inline const std::vector<float>& matrix_ref_major(std::uint32_t q,
+                                                 std::uint32_t n,
+                                                 std::uint64_t seed) {
+  return uniform_floats_cached(std::size_t{q} * n, seed);
 }
 
 /// Query-major variant for the warp-per-query baselines.
-inline std::vector<float> matrix_query_major(std::uint32_t q, std::uint32_t n,
-                                             std::uint64_t seed) {
-  return uniform_floats(std::size_t{q} * n, seed ^ 0x9e3779b97f4a7c15ULL);
+inline const std::vector<float>& matrix_query_major(std::uint32_t q,
+                                                    std::uint32_t n,
+                                                    std::uint64_t seed) {
+  return uniform_floats_cached(std::size_t{q} * n,
+                               seed ^ 0x9e3779b97f4a7c15ULL);
 }
 
 /// Runs the flat-scan kernel and converts to paper-scale modeled seconds.
 inline RunResult run_flat(const Scale& scale, std::uint32_t n, std::uint32_t k,
                           const kernels::SelectConfig& cfg,
                           std::uint64_t seed = 1) {
-  const auto matrix = matrix_ref_major(scale.queries(), n, seed);
+  const auto& matrix = matrix_ref_major(scale.queries(), n, seed);
   simt::Device dev;
   scale.configure(dev);
   const auto out =
@@ -172,7 +210,7 @@ inline RunResult run_flat(const Scale& scale, std::uint32_t n, std::uint32_t k,
 inline RunResult run_hp(const Scale& scale, std::uint32_t n, std::uint32_t k,
                         const kernels::SelectConfig& cfg, std::uint32_t group,
                         std::uint64_t seed = 1) {
-  const auto matrix = matrix_ref_major(scale.queries(), n, seed);
+  const auto& matrix = matrix_ref_major(scale.queries(), n, seed);
   simt::Device dev;
   scale.configure(dev);
   const auto out =
@@ -190,7 +228,13 @@ inline int bench_main(int argc, char** argv, const char* default_csv,
                       const std::function<void(const Scale&)>& setup,
                       const std::function<void(const Scale&)>& report) {
   CliFlags flags(argc, argv);
-  const Scale scale = Scale::from_flags(flags, default_csv);
+  Scale scale;
+  try {
+    scale = Scale::from_flags(flags, default_csv);
+  } catch (const PreconditionError& e) {
+    std::fprintf(stderr, "flag error: %s\n", e.what());
+    return 2;
+  }
   setup(scale);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

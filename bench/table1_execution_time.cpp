@@ -86,7 +86,7 @@ RunResult run_data_copy(std::uint32_t n) {
 
 RunResult run_cpu(const Scale& scale, std::uint32_t n, std::uint32_t k,
                   int threads) {
-  const auto matrix = matrix_query_major(scale.queries(), n, 9);
+  const auto& matrix = matrix_query_major(scale.queries(), n, 9);
   WallTimer timer;
   const auto result =
       baselines::cpu_select_all(matrix, scale.queries(), n, k, threads);
@@ -96,7 +96,7 @@ RunResult run_cpu(const Scale& scale, std::uint32_t n, std::uint32_t k,
 }
 
 RunResult run_tbs(const Scale& scale, std::uint32_t n, std::uint32_t k) {
-  const auto matrix = matrix_query_major(scale.queries(), n, 10);
+  const auto& matrix = matrix_query_major(scale.queries(), n, 10);
   simt::Device dev;
   scale.configure(dev);
   const auto out =
@@ -107,7 +107,7 @@ RunResult run_tbs(const Scale& scale, std::uint32_t n, std::uint32_t k) {
 }
 
 RunResult run_qms(const Scale& scale, std::uint32_t n, std::uint32_t k) {
-  const auto matrix = matrix_query_major(scale.queries(), n, 11);
+  const auto& matrix = matrix_query_major(scale.queries(), n, 11);
   simt::Device dev;
   scale.configure(dev);
   const auto out =

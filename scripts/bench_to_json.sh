@@ -37,6 +37,11 @@
 #                                 [out_sharded_json] [out_availability_json]
 #   WARPS=n    sampled warps per configuration (default 2)
 #   THREADS=n  parallel thread count (default: nproc)
+#   SCALAR_BUILD_DIR=dir  optional GPUKSEL_SIMD=OFF build tree: adds a
+#              scalar-*build* leg to the lane-engine section.  The runtime
+#              GPUKSEL_SIMD=0 leg still executes auto-vectorizable loops
+#              compiled with AVX flags; the OFF build is the honest scalar
+#              baseline (it is also what CI's throughput smoke compares).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -72,11 +77,54 @@ run_once() {
 
 CSV_SERIAL="${TMPDIR_RUN}/serial.csv"
 CSV_PARALLEL="${TMPDIR_RUN}/parallel.csv"
+CSV_SCALAR="${TMPDIR_RUN}/scalar.csv"
 PROFILE_SERIAL="${TMPDIR_RUN}/serial.json"
 PROFILE_PARALLEL="${TMPDIR_RUN}/parallel.json"
+PROFILE_SCALAR="${TMPDIR_RUN}/scalar.json"
 
 SERIAL_S=$(run_once "${BENCH}" 1 "${CSV_SERIAL}" "${PROFILE_SERIAL}")
 PARALLEL_S=$(run_once "${BENCH}" "${THREADS}" "${CSV_PARALLEL}" "${PROFILE_PARALLEL}")
+# Scalar lane-engine leg: same bench, vector backend disabled at run time.
+# Everything modeled must match the SIMD runs byte for byte; only wall time
+# may differ, and that difference is the lane-engine speedup we record.
+SCALAR_S=$(GPUKSEL_SIMD=0 run_once "${BENCH}" 1 "${CSV_SCALAR}" "${PROFILE_SCALAR}")
+
+# Optional scalar-build leg: the same bench from a GPUKSEL_SIMD=OFF tree,
+# compiled without any AVX flags, held to the same bit-identity gates.
+SCALAR_BUILD_S=""
+if [[ -n "${SCALAR_BUILD_DIR:-}" ]]; then
+  BENCH_OFF="${SCALAR_BUILD_DIR}/bench/table1_execution_time"
+  if [[ ! -x "${BENCH_OFF}" ]]; then
+    echo "error: SCALAR_BUILD_DIR set but ${BENCH_OFF} not found" >&2
+    exit 1
+  fi
+  CSV_OFF="${TMPDIR_RUN}/scalar_build.csv"
+  PROFILE_OFF="${TMPDIR_RUN}/scalar_build.json"
+  SCALAR_BUILD_S=$(run_once "${BENCH_OFF}" 1 "${CSV_OFF}" "${PROFILE_OFF}")
+  if ! cmp -s <(grep -v '^CPU ' "${CSV_SERIAL}") \
+              <(grep -v '^CPU ' "${CSV_OFF}"); then
+    echo "error: SIMD and scalar-build runs disagree — bit-identity violated" >&2
+    exit 1
+  fi
+  if ! cmp -s <(grep -vE '"(wall_seconds|worker_threads)":' "${PROFILE_SERIAL}") \
+              <(grep -vE '"(wall_seconds|worker_threads)":' "${PROFILE_OFF}"); then
+    echo "error: SIMD and scalar-build profiles disagree — bit-identity violated" >&2
+    exit 1
+  fi
+fi
+
+# Prior recording (if one exists): carrying the previously committed serial
+# warps/second forward documents how much this regeneration moved the number.
+PRIOR_WPS=""
+if [[ -f "${OUT_JSON}" ]]; then
+  PRIOR_WPS=$(python3 -c '
+import json, sys
+try:
+    with open(sys.argv[1]) as f:
+        print(json.load(f)["serial"]["warps_per_second"])
+except Exception:
+    pass' "${OUT_JSON}")
+fi
 
 # The CPU rows are measured host wall-clock (non-deterministic); every
 # simulated row is modeled from metrics and must be bit-identical.
@@ -94,6 +142,20 @@ if ! cmp -s <(grep -vE '"(wall_seconds|worker_threads)":' "${PROFILE_SERIAL}") \
   exit 1
 fi
 
+# SIMD-vs-scalar lane engine: identical results and metrics are the contract
+# that makes the recorded speedup meaningful at all.
+LANE_OUTPUTS_IDENTICAL=true
+if ! cmp -s <(grep -v '^CPU ' "${CSV_SERIAL}") \
+            <(grep -v '^CPU ' "${CSV_SCALAR}"); then
+  echo "error: SIMD and scalar lane-engine runs disagree — bit-identity violated" >&2
+  exit 1
+fi
+if ! cmp -s <(grep -vE '"(wall_seconds|worker_threads)":' "${PROFILE_SERIAL}") \
+            <(grep -vE '"(wall_seconds|worker_threads)":' "${PROFILE_SCALAR}"); then
+  echo "error: SIMD and scalar lane-engine profiles disagree — bit-identity violated" >&2
+  exit 1
+fi
+
 # Modeled seconds of the paper's best GPU variant, summed over all columns.
 MODELED_S=$(awk -F, '/^Merge Queue aligned\+buf\+hp/ {
   s = 0
@@ -103,8 +165,11 @@ MODELED_S=$(awk -F, '/^Merge Queue aligned\+buf\+hp/ {
 
 python3 - "$OUT_JSON" "${PROFILE_SERIAL}" <<EOF
 import json, sys
-serial_s, parallel_s = ${SERIAL_S}, ${PARALLEL_S}
+serial_s, parallel_s, scalar_s = ${SERIAL_S}, ${PARALLEL_S}, ${SCALAR_S}
+scalar_build_s = float("${SCALAR_BUILD_S}") if "${SCALAR_BUILD_S}" else None
+prior_wps = float("${PRIOR_WPS}") if "${PRIOR_WPS}" else None
 threads, host_cores = ${THREADS}, $(nproc)
+lane_outputs_identical = "${LANE_OUTPUTS_IDENTICAL}" == "true"
 with open(sys.argv[2]) as f:
     profile = json.load(f)
 kernels = profile.get("kernels")
@@ -112,6 +177,13 @@ if not kernels:
     sys.exit(f"error: profile {sys.argv[2]} has a missing or empty kernel "
              "list — refusing to emit kernel_launches")
 total_warps = sum(k["num_warps"] for k in kernels)
+# A "parallel" leg that ran one thread measured nothing: validity requires
+# both that every requested thread had its own core and that more than one
+# thread actually ran.
+parallelism_valid = threads <= host_cores and threads > 1
+if host_cores == 1 and parallelism_valid:
+    sys.exit("error: host has 1 core but the emitter claims "
+             "parallelism_valid — refusing to publish a degenerate speedup")
 out = {
     "bench": "table1_execution_time",
     "warps_flag": ${WARPS},
@@ -119,8 +191,9 @@ out = {
     "kernel_launches": len(kernels),
     "host_cores": host_cores,
     # Speedup only means something when every requested thread can run on
-    # its own core; oversubscribed runs just measure scheduler churn.
-    "parallelism_valid": threads <= host_cores,
+    # its own core; oversubscribed runs just measure scheduler churn, and a
+    # single-thread "parallel" leg measures nothing at all.
+    "parallelism_valid": parallelism_valid,
     "serial": {
         "threads": 1,
         "wall_seconds": serial_s,
@@ -132,12 +205,45 @@ out = {
         "warps_per_second": round(total_warps / parallel_s, 1),
     },
     "speedup": round(serial_s / parallel_s, 3),
+    "lane_engine": {
+        # Scalar reference engine vs the SIMD lane engine, single thread.
+        # The speedup is only published when every modeled output matched
+        # byte for byte (the script aborts on any mismatch upstream).
+        "outputs_identical": lane_outputs_identical,
+        "scalar": {
+            "wall_seconds": scalar_s,
+            "warps_per_second": round(total_warps / scalar_s, 1),
+        },
+        "simd": {
+            "wall_seconds": serial_s,
+            "warps_per_second": round(total_warps / serial_s, 1),
+        },
+    },
     "modeled_gpu_seconds_best_variant": ${MODELED_S:-0},
     "outputs_identical": True,
 }
+if lane_outputs_identical:
+    out["lane_engine"]["speedup"] = round(scalar_s / serial_s, 3)
+if scalar_build_s is not None:
+    # GPUKSEL_SIMD=OFF build: compiled without AVX flags, so unlike the
+    # runtime-disabled leg above its hot loops are not auto-vectorized.
+    # This is the comparison CI's throughput smoke asserts (>= 5x).
+    out["lane_engine"]["scalar_build"] = {
+        "wall_seconds": scalar_build_s,
+        "warps_per_second": round(total_warps / scalar_build_s, 1),
+    }
+    out["lane_engine"]["speedup_vs_scalar_build"] = round(
+        scalar_build_s / serial_s, 3)
+if prior_wps:
+    # Serial warps/second of the JSON this run replaced — the improvement
+    # the lane engine landed relative to the last committed recording.
+    out["serial"]["prior_recorded_warps_per_second"] = prior_wps
+    out["serial"]["improvement_vs_prior_recording"] = round(
+        total_warps / serial_s / prior_wps, 2)
 if not out["parallelism_valid"]:
-    out["note"] = (f"captured with {threads} threads on {host_cores} "
-                   "host core(s): speedup is not meaningful")
+    out["note"] = (f"captured with {threads} thread(s) on {host_cores} "
+                   "host core(s): the serial/parallel speedup is not "
+                   "meaningful")
 with open(sys.argv[1], "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")

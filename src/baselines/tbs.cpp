@@ -33,11 +33,8 @@ void cmpex(WarpContext& ctx, LaneMask m, SharedEntries& e, const U32& i,
   const U32 xi = e.index.read(m, i);
   const F32 dj = e.dist.read(m, j);
   const U32 xj = e.index.read(m, j);
-  // swap when out of order for the lane's direction
-  const LaneMask i_gt_j = ctx.pred(m, [&](int l) {
-    if (di[l] != dj[l]) return di[l] > dj[l];
-    return xi[l] > xj[l];
-  });
+  // swap when out of order for the lane's direction: (di,xi) > (dj,xj)
+  const LaneMask i_gt_j = ctx.lex_lt(m, dj, xj, di, xi);
   // ascending pair wants i <= j; descending wants i >= j.
   const LaneMask swap = (i_gt_j & up) | (~i_gt_j & ~up & m);
   const F32 lo_d = ctx.select(m, swap, dj, di);
@@ -92,11 +89,8 @@ kernels::SelectOutput tbs_select(simt::Device& dev,
           // out-of-range tail becomes sentinels.
           for (std::uint32_t ofs = 0; ofs < chunk; ofs += simt::kWarpSize) {
             U32 ref = ctx.add(all, lane, r0 + ofs);
-            const LaneMask in_range =
-                ctx.pred(all, [&](int l) { return ref[l] < n; });
-            U32 src;
-            ctx.alu(in_range, src,
-                    [&](int l) { return query * n + ref[l]; });
+            const LaneMask in_range = ctx.iota_lt(all, r0 + ofs, n);
+            const U32 src = ctx.lane_offset(in_range, query * n + r0 + ofs);
             F32 v = F32::filled(simt::kFloatSentinel);
             if (in_range) v = ctx.load(in_range, in_span, src);
             U32 idx = ctx.select(all, in_range, ref,
@@ -114,21 +108,13 @@ kernels::SelectOutput tbs_select(simt::Device& dev,
               for (std::uint32_t base = 0; base < chunk / 2;
                    base += simt::kWarpSize) {
                 // Each lane owns pair p = base + lane.
-                const LaneMask pairs = ctx.pred(all, [&](int l) {
-                  return base + static_cast<std::uint32_t>(l) < chunk / 2;
-                });
+                const LaneMask pairs = ctx.iota_lt(all, base, chunk / 2);
                 if (!pairs) break;
-                U32 i;
-                ctx.alu(pairs, i, [&](int l) {
-                  const std::uint32_t p = base + static_cast<std::uint32_t>(l);
-                  // Position of the lower element of pair p at this stride.
-                  return 2 * stride * (p / stride) + (p % stride);
-                });
+                // Position of the lower element of pair p at this stride.
+                const U32 i = ctx.bitonic_low_index(pairs, base, stride);
                 U32 j = ctx.add(pairs, i, stride);
                 // Descending sort: block direction flips the canonical rule.
-                const LaneMask up = ctx.pred(pairs, [&](int l) {
-                  return (i[l] & size) != 0;  // descending overall
-                });
+                const LaneMask up = ctx.test_any(pairs, i, size);
                 cmpex(ctx, pairs, trunc, i, j, up);
               }
             }
@@ -142,10 +128,7 @@ kernels::SelectOutput tbs_select(simt::Device& dev,
             const U32 cx = cand.index.read(all, slot);
             const F32 td = trunc.dist.read(all, slot);
             const U32 tx = trunc.index.read(all, slot);
-            const LaneMask take_t = ctx.pred(all, [&](int l) {
-              if (td[l] != cd[l]) return td[l] < cd[l];
-              return tx[l] < cx[l];
-            });
+            const LaneMask take_t = ctx.lex_lt(all, td, tx, cd, cx);
             cand.dist.write(all, slot, ctx.select(all, take_t, td, cd));
             cand.index.write(all, slot, ctx.select(all, take_t, tx, cx));
           }
@@ -154,15 +137,9 @@ kernels::SelectOutput tbs_select(simt::Device& dev,
           for (std::uint32_t stride = chunk / 2; stride >= 1; stride >>= 1) {
             for (std::uint32_t base = 0; base < chunk / 2;
                  base += simt::kWarpSize) {
-              const LaneMask pairs = ctx.pred(all, [&](int l) {
-                return base + static_cast<std::uint32_t>(l) < chunk / 2;
-              });
+              const LaneMask pairs = ctx.iota_lt(all, base, chunk / 2);
               if (!pairs) break;
-              U32 i;
-              ctx.alu(pairs, i, [&](int l) {
-                const std::uint32_t p = base + static_cast<std::uint32_t>(l);
-                return 2 * stride * (p / stride) + (p % stride);
-              });
+              const U32 i = ctx.bitonic_low_index(pairs, base, stride);
               U32 j = ctx.add(pairs, i, stride);
               cmpex(ctx, pairs, cand, i, j, pairs);  // ascending
             }
@@ -174,8 +151,7 @@ kernels::SelectOutput tbs_select(simt::Device& dev,
           U32 slot = ctx.add(all, lane, ofs);
           const F32 cd = cand.dist.read(all, slot);
           const U32 cx = cand.index.read(all, slot);
-          U32 dst;
-          ctx.alu(all, dst, [&](int l) { return slot[l] * threads + query; });
+          const U32 dst = ctx.mad(all, slot, threads, query);
           ctx.store(all, od_span, dst, cd);
           ctx.store(all, oi_span, dst, cx);
         }

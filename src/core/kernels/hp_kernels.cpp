@@ -251,8 +251,7 @@ SelectOutput hp_select(simt::Device& dev, std::span<const float> distances,
           const LaneMask valid = ctx.pred(
               act, [&](int i) { return e.index[i] != simt::kIndexSentinel; });
           if (!valid) continue;
-          U32 child_base;
-          ctx.alu(valid, child_base, [&](int i) { return e.index[i] * group; });
+          const U32 child_base = ctx.mul(valid, e.index, group);
           LaneMask found = 0;
           for (std::uint32_t g = 0; g < group; ++g) {
             const U32 child_pos = ctx.add(valid, child_base, g);

@@ -57,10 +57,7 @@ struct EntryLanes {
 /// matching the scalar Neighbor ordering so results are bit-identical.
 inline LaneMask entry_lt(WarpContext& ctx, LaneMask m, const EntryLanes& a,
                          const EntryLanes& b) {
-  return ctx.pred(m, [&](int i) {
-    if (a.dist[i] != b.dist[i]) return a.dist[i] < b.dist[i];
-    return a.index[i] < b.index[i];
-  });
+  return ctx.lex_lt(m, a.dist, a.index, b.dist, b.index);
 }
 
 /// View of the Q x N distance matrix for a warp whose lanes hold `query`.
@@ -73,24 +70,18 @@ struct DistanceMatrixView {
   /// Loads element `ref` of every active lane's query list.
   F32 load(WarpContext& ctx, LaneMask m, const U32& query,
            std::uint32_t ref) const {
-    U32 idx;
-    if (layout == MatrixLayout::kReferenceMajor) {
-      ctx.alu(m, idx, [&](int i) { return ref * num_queries + query[i]; });
-    } else {
-      ctx.alu(m, idx, [&](int i) { return query[i] * n + ref; });
-    }
+    const U32 idx = layout == MatrixLayout::kReferenceMajor
+                        ? ctx.add(m, query, ref * num_queries)
+                        : ctx.mad(m, query, n, ref);
     return ctx.load(m, data, idx);
   }
 
   /// Loads with a *per-lane* reference index (Top-Down search).
   F32 load_gather(WarpContext& ctx, LaneMask m, const U32& query,
                   const U32& ref) const {
-    U32 idx;
-    if (layout == MatrixLayout::kReferenceMajor) {
-      ctx.alu(m, idx, [&](int i) { return ref[i] * num_queries + query[i]; });
-    } else {
-      ctx.alu(m, idx, [&](int i) { return query[i] * n + ref[i]; });
-    }
+    const U32 idx = layout == MatrixLayout::kReferenceMajor
+                        ? ctx.mad(m, ref, num_queries, query)
+                        : ctx.mad(m, query, n, ref);
     return ctx.load(m, data, idx);
   }
 };
@@ -106,51 +97,45 @@ struct ThreadArrayView {
   /// Flat index of element `slot` (same for all lanes) of lane-owned arrays.
   U32 flat(WarpContext& ctx, LaneMask m, const U32& thread,
            std::uint32_t slot) const {
-    U32 idx;
-    if (layout == QueueLayout::kInterleaved) {
-      ctx.alu(m, idx, [&](int i) { return slot * stride + thread[i]; });
-    } else {
-      ctx.alu(m, idx, [&](int i) { return thread[i] * length + slot; });
-    }
-    return idx;
+    return layout == QueueLayout::kInterleaved
+               ? ctx.add(m, thread, slot * stride)
+               : ctx.mad(m, thread, length, slot);
   }
 
   /// Flat index with per-lane slot (divergent access).
   U32 flat_gather(WarpContext& ctx, LaneMask m, const U32& thread,
                   const U32& slot) const {
-    U32 idx;
-    if (layout == QueueLayout::kInterleaved) {
-      ctx.alu(m, idx, [&](int i) { return slot[i] * stride + thread[i]; });
-    } else {
-      ctx.alu(m, idx, [&](int i) { return thread[i] * length + slot[i]; });
-    }
-    return idx;
+    return layout == QueueLayout::kInterleaved
+               ? ctx.mad(m, slot, stride, thread)
+               : ctx.mad(m, thread, length, slot);
   }
 
   EntryLanes load(WarpContext& ctx, LaneMask m, const U32& thread,
                   std::uint32_t slot) const {
     const U32 idx = flat(ctx, m, thread, slot);
-    return EntryLanes{ctx.load(m, dist, idx), ctx.load(m, index, idx)};
+    EntryLanes e;
+    ctx.load_pair(m, dist, index, idx, e.dist, e.index);
+    return e;
   }
 
   EntryLanes load_gather(WarpContext& ctx, LaneMask m, const U32& thread,
                          const U32& slot) const {
     const U32 idx = flat_gather(ctx, m, thread, slot);
-    return EntryLanes{ctx.load(m, dist, idx), ctx.load(m, index, idx)};
+    EntryLanes e;
+    ctx.load_pair(m, dist, index, idx, e.dist, e.index);
+    return e;
   }
 
   void store(WarpContext& ctx, LaneMask m, const U32& thread,
              std::uint32_t slot, const EntryLanes& e) const {
     const U32 idx = flat(ctx, m, thread, slot);
-    ctx.store(m, dist, idx, e.dist);
-    ctx.store(m, index, idx, e.index);
+    ctx.store_pair(m, dist, index, idx, e.dist, e.index);
   }
 
   void store_gather(WarpContext& ctx, LaneMask m, const U32& thread,
                     const U32& slot, const EntryLanes& e) const {
     const U32 idx = flat_gather(ctx, m, thread, slot);
-    ctx.store(m, dist, idx, e.dist);
-    ctx.store(m, index, idx, e.index);
+    ctx.store_pair(m, dist, index, idx, e.dist, e.index);
   }
 
   /// Fills every slot of the active lanes with the empty sentinel.

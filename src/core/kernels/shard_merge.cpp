@@ -87,8 +87,7 @@ ShardMergeOutput shard_merge(
         const int live = static_cast<int>(
             std::min<std::uint32_t>(simt::kWarpSize, num_queries - base));
         const LaneMask act = simt::first_lanes(live);
-        U32 thread;
-        ctx.alu(act, thread, [&](int i) { return base + i; });
+        const U32 thread = ctx.lane_offset(act, base);
 
         simt::SharedArray<int> flag(ctx, 2, 0);
         WarpQueue queue(ctx, fview, thread, act, QueueKind::kMerge,

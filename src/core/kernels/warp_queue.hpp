@@ -93,14 +93,11 @@ class WarpQueue {
     if (cache_head_) return entry_lt(ctx_, m, cand, head_);
     const U32 idx0 = view_.flat(ctx_, m, thread_, 0);
     const F32 head_d = ctx_.load(m, view_.dist, idx0);
-    const LaneMask less =
-        ctx_.pred(m, [&](int i) { return cand.dist[i] < head_d[i]; });
-    const LaneMask tied =
-        ctx_.pred(m, [&](int i) { return cand.dist[i] == head_d[i]; });
+    const LaneMask less = ctx_.cmp_lt(m, cand.dist, head_d);
+    const LaneMask tied = ctx_.cmp_eq(m, cand.dist, head_d);
     if (!tied) return less;
     const U32 head_i = ctx_.load(tied, view_.index, idx0);
-    const LaneMask tie_wins =
-        ctx_.pred(tied, [&](int i) { return cand.index[i] < head_i[i]; });
+    const LaneMask tie_wins = ctx_.cmp_lt(tied, cand.index, head_i);
     return less | tie_wins;
   }
 
@@ -135,8 +132,7 @@ class WarpQueue {
     LaneMask act = ins;
     while (act) {
       // cond: pos + 1 < cap && queue[pos + 1] > cand
-      const LaneMask in_range =
-          ctx_.pred(act, [&](int i) { return pos[i] + 1 < cap; });
+      const LaneMask in_range = ctx_.inc_lt(act, pos, cap);
       if (!in_range) break;
       U32 next_pos = ctx_.add(in_range, pos, 1u);
       const EntryLanes next = view_.load_gather(ctx_, in_range, thread_, next_pos);
@@ -157,15 +153,12 @@ class WarpQueue {
     U32 hole = ctx_.imm(ins, 0u);
     LaneMask act = ins;
     while (act) {
-      U32 left;
-      ctx_.alu(act, left, [&](int i) { return 2 * hole[i] + 1; });
-      const LaneMask has_left =
-          ctx_.pred(act, [&](int i) { return left[i] < cap; });
+      const U32 left = ctx_.mad(act, hole, 2u, 1u);
+      const LaneMask has_left = ctx_.cmp_lt(act, left, cap);
       if (!has_left) break;
       const EntryLanes l = view_.load_gather(ctx_, has_left, thread_, left);
       U32 right = ctx_.add(has_left, left, 1u);
-      const LaneMask has_right =
-          ctx_.pred(has_left, [&](int i) { return right[i] < cap; });
+      const LaneMask has_right = ctx_.cmp_lt(has_left, right, cap);
       EntryLanes r{F32::filled(0.0f), U32::filled(0u)};
       if (has_right) r = view_.load_gather(ctx_, has_right, thread_, right);
       const LaneMask take_right = has_right & entry_lt(ctx_, has_left, l, r);
@@ -192,8 +185,7 @@ class WarpQueue {
       U32 pos = ctx_.imm(ins, 0u);
       LaneMask act = ins;
       while (act) {
-        const LaneMask in_range =
-            ctx_.pred(act, [&](int i) { return pos[i] + 1 < level0; });
+        const LaneMask in_range = ctx_.inc_lt(act, pos, level0);
         if (!in_range) break;
         U32 next_pos = ctx_.add(in_range, pos, 1u);
         const EntryLanes next =
@@ -282,8 +274,8 @@ class WarpQueue {
     U32 i = ctx_.imm(m, 0u);
     U32 j = ctx_.imm(m, half);
     for (std::uint32_t out = 0; out < size; ++out) {
-      const LaneMask has_l = ctx_.pred(m, [&](int l) { return i[l] < half; });
-      const LaneMask has_r = ctx_.pred(m, [&](int l) { return j[l] < size; });
+      const LaneMask has_l = ctx_.cmp_lt(m, i, half);
+      const LaneMask has_r = ctx_.cmp_lt(m, j, size);
       EntryLanes le{F32::filled(0.0f), U32::filled(0u)};
       EntryLanes re{F32::filled(0.0f), U32::filled(0u)};
       if (has_l) le = view_.load_gather(ctx_, has_l, thread_, i);

@@ -80,8 +80,11 @@ struct CostModel {
     return kernel_seconds(scale_metrics(m, scale));
   }
 
-  /// Modeled host<->device copy time for `bytes` bytes.
+  /// Modeled host<->device copy time for `bytes` bytes.  A zero-byte
+  /// transfer models as 0 s: no copy is issued for an empty batch or a
+  /// zero-row delta, so there is no launch to pay PCIe latency on.
   [[nodiscard]] double transfer_seconds(std::uint64_t bytes) const noexcept {
+    if (bytes == 0) return 0.0;
     return pcie_latency_s + static_cast<double>(bytes) / pcie_bandwidth;
   }
 };

@@ -92,10 +92,13 @@ class WarpExecutor {
   // generation under mu_, and run() never mutates while active_ > 0).
   const std::function<void(std::uint32_t)>* body_ = nullptr;
   std::size_t num_warps_ = 0;
-  std::atomic<std::size_t> next_{0};
-  std::atomic<std::size_t> retired_{0};
+  // Each hot atomic gets its own cache line: next_ is hammered by every
+  // worker claiming warps, retired_ by every completion — sharing a line
+  // (with each other or the cold fields above) would bounce it per warp.
+  alignas(64) std::atomic<std::size_t> next_{0};
+  alignas(64) std::atomic<std::size_t> retired_{0};
   /// Lowest warp id that threw so far; warps above it are cancelled.
-  std::atomic<std::uint32_t> abort_warp_{kNoAbort};
+  alignas(64) std::atomic<std::uint32_t> abort_warp_{kNoAbort};
   std::mutex abort_mu_;
   std::optional<LaunchAbort> abort_;
 };

@@ -118,6 +118,13 @@ class FaultInjector {
   [[nodiscard]] std::optional<PlannedFault> on_global_access(
       std::uint32_t warp_id, LaneMask active, bool is_load, bool is_float);
 
+  /// Whether the current launch passed the kernel filter.  False means
+  /// on_global_access is a guaranteed no-op until the next begin_launch, so
+  /// WarpContext may skip consulting the injector entirely (the per-warp
+  /// access counters it would have bumped are reset at every launch and only
+  /// read on enabled launches).
+  [[nodiscard]] bool kernel_enabled() const noexcept { return kernel_enabled_; }
+
   [[nodiscard]] const InjectorConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const std::vector<InjectionEvent>& events() const noexcept {
     return events_;

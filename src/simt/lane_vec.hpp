@@ -1,0 +1,1730 @@
+// lanevec: the host-SIMD backend of the lane engine.
+//
+// Every WarpContext operation is semantically "do X on 32 lanes under a
+// mask".  This header provides that 32-wide body three ways:
+//
+//  * a portable scalar reference (always compiled — it *defines* the
+//    semantics, and is the fallback when SIMD is compiled out or disabled);
+//  * an AVX2 tier (4 x 256-bit vectors, mask expansion via compares);
+//  * an AVX-512 tier (2 x 512-bit vectors; LaneMask maps 1:1 onto a pair of
+//    __mmask16, so predication is native).
+//
+// The tier is chosen at build time (CMake: GPUKSEL_SIMD / GPUKSEL_SIMD_ISA
+// set GPUKSEL_SIMD_AVX512 or GPUKSEL_SIMD_AVX2) and can be switched off at
+// run time (`GPUKSEL_SIMD=0` env, or set_enabled(false) — used by the
+// differential tests to run both paths in one binary).
+//
+// Bit-identity contract: for every operation here the vector tiers produce
+// exactly the bits the scalar reference produces, for every mask and every
+// payload (including NaN and subnormals):
+//  * per-lane float add/sub/mul in AVX2/AVX-512 are IEEE-754 binary32 ops,
+//    identical to their scalar counterparts (the build sets -ffp-contract=off
+//    so no path fuses a*b+c into an FMA);
+//  * compares use the ordered-quiet predicates (_CMP_LT_OQ etc.), matching
+//    scalar `<` on NaN (false) and +/-0 (equal);
+//  * scatter commits lane 0..31 in order, so colliding stores resolve
+//    "highest lane wins" exactly like the scalar commit loop;
+//  * detection helpers (bounds, poison, ECC, collisions) only *detect*; the
+//    caller re-runs the scalar loop on violation to reproduce the exact
+//    fault record, so fault ordering and messages cannot drift.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <type_traits>
+
+#include "simt/types.hpp"
+
+#if defined(GPUKSEL_SIMD_AVX512) || defined(GPUKSEL_SIMD_AVX2)
+// GCC's unmasked AVX-512 intrinsics pass _mm512_undefined_epi32() (the
+// self-initialized `__Y = __Y` idiom) to their masked builtins; under -O2
+// inlining that trips -Wmaybe-uninitialized at the header's own lines.
+// Suppress the warning for those lines only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#include <immintrin.h>
+#pragma GCC diagnostic pop
+#define GPUKSEL_SIMD_COMPILED 1
+#else
+#define GPUKSEL_SIMD_COMPILED 0
+#endif
+
+namespace gpuksel::simt::lanevec {
+
+/// True when a 4-byte lane type can take the vector tiers; anything else
+/// falls through to the scalar reference at compile time.
+template <typename T>
+inline constexpr bool lane32 =
+    sizeof(T) == 4 && std::is_trivially_copyable_v<T> &&
+    (std::is_same_v<T, float> || std::is_integral_v<T>);
+
+// --- runtime switch ---------------------------------------------------------
+
+namespace detail {
+
+inline bool detect_enabled() noexcept {
+#if defined(GPUKSEL_SIMD_AVX512)
+  if (!__builtin_cpu_supports("avx512f") ||
+      !__builtin_cpu_supports("avx512bw") ||
+      !__builtin_cpu_supports("avx512vl") ||
+      !__builtin_cpu_supports("avx512cd")) {
+    return false;
+  }
+#elif defined(GPUKSEL_SIMD_AVX2)
+  if (!__builtin_cpu_supports("avx2")) return false;
+#else
+  return false;
+#endif
+  const char* env = std::getenv("GPUKSEL_SIMD");
+  if (env != nullptr &&
+      (env[0] == '0' || env[0] == 'n' || env[0] == 'N' || env[0] == 'f' ||
+       env[0] == 'F' ||
+       ((env[0] == 'o' || env[0] == 'O') &&
+        (env[1] == 'f' || env[1] == 'F')))) {
+    return false;
+  }
+  return true;
+}
+
+inline std::atomic<bool> g_enabled{detect_enabled()};
+
+}  // namespace detail
+
+/// Whether any vector tier was compiled in at all.
+[[nodiscard]] constexpr bool compiled() noexcept {
+  return GPUKSEL_SIMD_COMPILED != 0;
+}
+
+[[nodiscard]] inline const char* backend_name() noexcept {
+#if defined(GPUKSEL_SIMD_AVX512)
+  return "avx512";
+#elif defined(GPUKSEL_SIMD_AVX2)
+  return "avx2";
+#else
+  return "scalar";
+#endif
+}
+
+/// Whether the vector tier is live right now (compiled in, supported by the
+/// host CPU, and not switched off).
+[[nodiscard]] inline bool enabled() noexcept {
+#if GPUKSEL_SIMD_COMPILED
+  return detail::g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+/// Force the scalar reference (false) or re-enable the vector tier (true).
+/// Enabling is a no-op when no tier is compiled in or the CPU lacks it.
+inline void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on && compiled() && detail::detect_enabled(),
+                          std::memory_order_relaxed);
+}
+
+// --- scalar reference -------------------------------------------------------
+//
+// These loops define the semantics of every operation.  The vector tiers
+// below must match them bit for bit.
+
+namespace ref {
+
+template <typename T, typename F>
+inline void lanes(LaneMask m, F&& f) {
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (lane_active(m, i)) f(i);
+  }
+}
+
+}  // namespace ref
+
+// --- AVX-512 primitives -----------------------------------------------------
+
+#if defined(GPUKSEL_SIMD_AVX512)
+
+namespace v512 {
+
+inline __m512i load_lo(const void* p) noexcept {
+  return _mm512_load_si512(p);
+}
+inline __m512i load_hi(const void* p) noexcept {
+  return _mm512_load_si512(static_cast<const char*>(p) + 64);
+}
+inline void store_lo(void* p, __m512i v) noexcept { _mm512_store_si512(p, v); }
+inline void store_hi(void* p, __m512i v) noexcept {
+  _mm512_store_si512(static_cast<char*>(p) + 64, v);
+}
+inline __mmask16 klo(LaneMask m) noexcept {
+  return static_cast<__mmask16>(m & 0xffffu);
+}
+inline __mmask16 khi(LaneMask m) noexcept {
+  return static_cast<__mmask16>(m >> 16);
+}
+inline LaneMask join(__mmask16 lo, __mmask16 hi) noexcept {
+  return static_cast<LaneMask>(static_cast<std::uint32_t>(lo) |
+                               (static_cast<std::uint32_t>(hi) << 16));
+}
+inline __m512i iota_lo() noexcept {
+  return _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14,
+                           15);
+}
+inline __m512i iota_hi() noexcept {
+  return _mm512_setr_epi32(16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28,
+                           29, 30, 31);
+}
+
+}  // namespace v512
+
+#endif  // GPUKSEL_SIMD_AVX512
+
+// --- AVX2 primitives --------------------------------------------------------
+
+#if defined(GPUKSEL_SIMD_AVX2) && !defined(GPUKSEL_SIMD_AVX512)
+
+namespace v256 {
+
+inline __m256i load(const void* p, int group) noexcept {
+  return _mm256_load_si256(
+      reinterpret_cast<const __m256i*>(static_cast<const char*>(p)) + group);
+}
+inline void store(void* p, int group, __m256i v) noexcept {
+  _mm256_store_si256(reinterpret_cast<__m256i*>(static_cast<char*>(p)) + group,
+                     v);
+}
+/// Expand 8 mask bits (lanes 8g..8g+7) into a per-dword all-ones/zero vector.
+inline __m256i mask_vec(LaneMask m, int group) noexcept {
+  const __m256i bits = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+  const __m256i v = _mm256_set1_epi32(
+      static_cast<int>((m >> (8 * group)) & 0xffu));
+  return _mm256_cmpeq_epi32(_mm256_and_si256(v, bits), bits);
+}
+/// Collapse a per-dword compare result into 8 mask bits for lanes 8g..8g+7.
+inline LaneMask mask_bits(__m256i cmp, int group) noexcept {
+  const int bits = _mm256_movemask_ps(_mm256_castsi256_ps(cmp));
+  return static_cast<LaneMask>(static_cast<std::uint32_t>(bits) << (8 * group));
+}
+inline __m256i blend(__m256i bg, __m256i val, __m256i mask) noexcept {
+  return _mm256_blendv_epi8(bg, val, mask);
+}
+/// Unsigned 32-bit a < b (AVX2 has signed compares only).
+inline __m256i cmplt_epu32(__m256i a, __m256i b) noexcept {
+  const __m256i sign = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  return _mm256_cmpgt_epi32(_mm256_xor_si256(b, sign),
+                            _mm256_xor_si256(a, sign));
+}
+
+}  // namespace v256
+
+#endif  // AVX2-only
+
+// --- register moves and ALU -------------------------------------------------
+
+/// dst[i] = v for active lanes.
+template <typename T>
+inline void fill(LaneMask m, WarpVar<T>& dst, T v) noexcept {
+#if defined(GPUKSEL_SIMD_AVX512)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      std::uint32_t bits;
+      std::memcpy(&bits, &v, 4);
+      const __m512i b = _mm512_set1_epi32(static_cast<int>(bits));
+      using namespace v512;
+      store_lo(&dst, _mm512_mask_mov_epi32(load_lo(&dst), klo(m), b));
+      store_hi(&dst, _mm512_mask_mov_epi32(load_hi(&dst), khi(m), b));
+      return;
+    }
+  }
+#elif defined(GPUKSEL_SIMD_AVX2)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      std::uint32_t bits;
+      std::memcpy(&bits, &v, 4);
+      const __m256i b = _mm256_set1_epi32(static_cast<int>(bits));
+      using namespace v256;
+      for (int g = 0; g < 4; ++g) {
+        store(&dst, g, blend(load(&dst, g), b, mask_vec(m, g)));
+      }
+      return;
+    }
+  }
+#endif
+  ref::lanes<T>(m, [&](int i) { dst[i] = v; });
+}
+
+/// dst[i] = src[i] for active lanes.
+template <typename T>
+inline void copy(LaneMask m, WarpVar<T>& dst, const WarpVar<T>& src) noexcept {
+#if defined(GPUKSEL_SIMD_AVX512)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v512;
+      store_lo(&dst, _mm512_mask_mov_epi32(load_lo(&dst), klo(m),
+                                           load_lo(&src)));
+      store_hi(&dst, _mm512_mask_mov_epi32(load_hi(&dst), khi(m),
+                                           load_hi(&src)));
+      return;
+    }
+  }
+#elif defined(GPUKSEL_SIMD_AVX2)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v256;
+      for (int g = 0; g < 4; ++g) {
+        store(&dst, g, blend(load(&dst, g), load(&src, g), mask_vec(m, g)));
+      }
+      return;
+    }
+  }
+#endif
+  ref::lanes<T>(m, [&](int i) { dst[i] = src[i]; });
+}
+
+// Binary ALU ops write the full result register: active lanes get the op,
+// inactive lanes get a[i] (the conventional "r = a; op over active" shape
+// WarpContext uses).  r must not alias b; aliasing a is fine.
+
+#if defined(GPUKSEL_SIMD_AVX512)
+#define GPUKSEL_LV_BINOP_512(OPF, OPI)                                        \
+  if constexpr (lane32<T>) {                                                  \
+    if (enabled()) {                                                          \
+      using namespace v512;                                                   \
+      if constexpr (std::is_same_v<T, float>) {                               \
+        const __m512 alo = _mm512_castsi512_ps(load_lo(&a));                  \
+        const __m512 ahi = _mm512_castsi512_ps(load_hi(&a));                  \
+        const __m512 blo = _mm512_castsi512_ps(load_lo(&b));                  \
+        const __m512 bhi = _mm512_castsi512_ps(load_hi(&b));                  \
+        store_lo(&r, _mm512_castps_si512(OPF(alo, klo(m), alo, blo)));        \
+        store_hi(&r, _mm512_castps_si512(OPF(ahi, khi(m), ahi, bhi)));        \
+      } else {                                                                \
+        const __m512i alo = load_lo(&a);                                      \
+        const __m512i ahi = load_hi(&a);                                      \
+        store_lo(&r, OPI(alo, klo(m), alo, load_lo(&b)));                     \
+        store_hi(&r, OPI(ahi, khi(m), ahi, load_hi(&b)));                     \
+      }                                                                       \
+      return;                                                                 \
+    }                                                                         \
+  }
+#endif
+
+/// r[i] = active ? a[i] + b[i] : a[i].
+template <typename T>
+inline void add(LaneMask m, WarpVar<T>& r, const WarpVar<T>& a,
+                const WarpVar<T>& b) noexcept {
+#if defined(GPUKSEL_SIMD_AVX512)
+  GPUKSEL_LV_BINOP_512(_mm512_mask_add_ps, _mm512_mask_add_epi32)
+#elif defined(GPUKSEL_SIMD_AVX2)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v256;
+      for (int g = 0; g < 4; ++g) {
+        const __m256i av = load(&a, g);
+        __m256i sum;
+        if constexpr (std::is_same_v<T, float>) {
+          sum = _mm256_castps_si256(_mm256_add_ps(
+              _mm256_castsi256_ps(av), _mm256_castsi256_ps(load(&b, g))));
+        } else {
+          sum = _mm256_add_epi32(av, load(&b, g));
+        }
+        store(&r, g, blend(av, sum, mask_vec(m, g)));
+      }
+      return;
+    }
+  }
+#endif
+  // NaN note: an add where exactly one operand is NaN returns that NaN's
+  // payload bit-exactly on every tier.  When BOTH operands are NaN the
+  // result is a quiet NaN with an *unspecified* payload — compilers freely
+  // commute the add (scalar addss and vaddps alike), and x86 keeps whichever
+  // operand codegen put first.  No kernel adds two NaNs (accumulators start
+  // finite), so the bit-identity contract carves this single case out.
+  for (int i = 0; i < kWarpSize; ++i) {
+    r[i] = lane_active(m, i) ? static_cast<T>(a[i] + b[i]) : a[i];
+  }
+}
+
+/// r[i] = active ? a[i] - b[i] : a[i].
+template <typename T>
+inline void sub(LaneMask m, WarpVar<T>& r, const WarpVar<T>& a,
+                const WarpVar<T>& b) noexcept {
+#if defined(GPUKSEL_SIMD_AVX512)
+  GPUKSEL_LV_BINOP_512(_mm512_mask_sub_ps, _mm512_mask_sub_epi32)
+#elif defined(GPUKSEL_SIMD_AVX2)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v256;
+      for (int g = 0; g < 4; ++g) {
+        const __m256i av = load(&a, g);
+        __m256i dif;
+        if constexpr (std::is_same_v<T, float>) {
+          dif = _mm256_castps_si256(_mm256_sub_ps(
+              _mm256_castsi256_ps(av), _mm256_castsi256_ps(load(&b, g))));
+        } else {
+          dif = _mm256_sub_epi32(av, load(&b, g));
+        }
+        store(&r, g, blend(av, dif, mask_vec(m, g)));
+      }
+      return;
+    }
+  }
+#endif
+  for (int i = 0; i < kWarpSize; ++i) {
+    r[i] = lane_active(m, i) ? static_cast<T>(a[i] - b[i]) : a[i];
+  }
+}
+
+#if defined(GPUKSEL_SIMD_AVX512)
+#undef GPUKSEL_LV_BINOP_512
+#endif
+
+/// r[i] = active ? a[i] + b : a[i]  (immediate addend).
+template <typename T>
+inline void add_s(LaneMask m, WarpVar<T>& r, const WarpVar<T>& a,
+                  T b) noexcept {
+  const WarpVar<T> bv = WarpVar<T>::filled(b);
+  add(m, r, a, bv);
+}
+
+/// r[i] = active ? a[i] * b : a[i]  (immediate multiplier).
+template <typename T>
+inline void mul_s(LaneMask m, WarpVar<T>& r, const WarpVar<T>& a,
+                  T b) noexcept {
+#if defined(GPUKSEL_SIMD_AVX512)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v512;
+      std::uint32_t bits;
+      std::memcpy(&bits, &b, 4);
+      if constexpr (std::is_same_v<T, float>) {
+        const __m512 bv = _mm512_set1_ps(b);
+        const __m512 alo = _mm512_castsi512_ps(load_lo(&a));
+        const __m512 ahi = _mm512_castsi512_ps(load_hi(&a));
+        store_lo(&r, _mm512_castps_si512(
+                         _mm512_mask_mul_ps(alo, klo(m), alo, bv)));
+        store_hi(&r, _mm512_castps_si512(
+                         _mm512_mask_mul_ps(ahi, khi(m), ahi, bv)));
+      } else {
+        const __m512i bv = _mm512_set1_epi32(static_cast<int>(bits));
+        const __m512i alo = load_lo(&a);
+        const __m512i ahi = load_hi(&a);
+        store_lo(&r, _mm512_mask_mullo_epi32(alo, klo(m), alo, bv));
+        store_hi(&r, _mm512_mask_mullo_epi32(ahi, khi(m), ahi, bv));
+      }
+      return;
+    }
+  }
+#elif defined(GPUKSEL_SIMD_AVX2)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v256;
+      std::uint32_t bits;
+      std::memcpy(&bits, &b, 4);
+      const __m256i bv = _mm256_set1_epi32(static_cast<int>(bits));
+      for (int g = 0; g < 4; ++g) {
+        const __m256i av = load(&a, g);
+        __m256i prod;
+        if constexpr (std::is_same_v<T, float>) {
+          prod = _mm256_castps_si256(_mm256_mul_ps(_mm256_castsi256_ps(av),
+                                                   _mm256_castsi256_ps(bv)));
+        } else {
+          prod = _mm256_mullo_epi32(av, bv);
+        }
+        store(&r, g, blend(av, prod, mask_vec(m, g)));
+      }
+      return;
+    }
+  }
+#endif
+  for (int i = 0; i < kWarpSize; ++i) {
+    r[i] = lane_active(m, i) ? static_cast<T>(a[i] * b) : a[i];
+  }
+}
+
+/// r[i] = (m & take) lane active ? a[i] : b[i]  (the predicated select).
+template <typename T>
+inline void select(LaneMask m, LaneMask take, WarpVar<T>& r,
+                   const WarpVar<T>& a, const WarpVar<T>& b) noexcept {
+  const LaneMask k = m & take;
+#if defined(GPUKSEL_SIMD_AVX512)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v512;
+      store_lo(&r, _mm512_mask_mov_epi32(load_lo(&b), klo(k), load_lo(&a)));
+      store_hi(&r, _mm512_mask_mov_epi32(load_hi(&b), khi(k), load_hi(&a)));
+      return;
+    }
+  }
+#elif defined(GPUKSEL_SIMD_AVX2)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v256;
+      for (int g = 0; g < 4; ++g) {
+        store(&r, g, blend(load(&b, g), load(&a, g), mask_vec(k, g)));
+      }
+      return;
+    }
+  }
+#endif
+  for (int i = 0; i < kWarpSize; ++i) {
+    r[i] = lane_active(k, i) ? a[i] : b[i];
+  }
+}
+
+// --- fused address-generation ops (fresh registers, zero background) --------
+
+/// r[i] = active ? a[i] * mul + addc : 0  (fresh register).
+template <typename T>
+inline void mad_s(LaneMask m, WarpVar<T>& r, const WarpVar<T>& a, T mul,
+                  T addc) noexcept {
+  static_assert(std::is_integral_v<T>, "mad_s is integer address math");
+#if defined(GPUKSEL_SIMD_AVX512)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v512;
+      const __m512i mv = _mm512_set1_epi32(static_cast<int>(mul));
+      const __m512i av = _mm512_set1_epi32(static_cast<int>(addc));
+      store_lo(&r, _mm512_maskz_add_epi32(
+                       klo(m), _mm512_mullo_epi32(load_lo(&a), mv), av));
+      store_hi(&r, _mm512_maskz_add_epi32(
+                       khi(m), _mm512_mullo_epi32(load_hi(&a), mv), av));
+      return;
+    }
+  }
+#elif defined(GPUKSEL_SIMD_AVX2)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v256;
+      const __m256i mv = _mm256_set1_epi32(static_cast<int>(mul));
+      const __m256i av = _mm256_set1_epi32(static_cast<int>(addc));
+      for (int g = 0; g < 4; ++g) {
+        const __m256i val =
+            _mm256_add_epi32(_mm256_mullo_epi32(load(&a, g), mv), av);
+        store(&r, g, _mm256_and_si256(val, mask_vec(m, g)));
+      }
+      return;
+    }
+  }
+#endif
+  for (int i = 0; i < kWarpSize; ++i) {
+    r[i] = lane_active(m, i) ? static_cast<T>(a[i] * mul + addc) : T{0};
+  }
+}
+
+/// r[i] = active ? a[i] * mul + b[i] : 0  (fresh register).
+template <typename T>
+inline void mad_v(LaneMask m, WarpVar<T>& r, const WarpVar<T>& a, T mul,
+                  const WarpVar<T>& b) noexcept {
+  static_assert(std::is_integral_v<T>, "mad_v is integer address math");
+#if defined(GPUKSEL_SIMD_AVX512)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v512;
+      const __m512i mv = _mm512_set1_epi32(static_cast<int>(mul));
+      store_lo(&r, _mm512_maskz_add_epi32(
+                       klo(m), _mm512_mullo_epi32(load_lo(&a), mv),
+                       load_lo(&b)));
+      store_hi(&r, _mm512_maskz_add_epi32(
+                       khi(m), _mm512_mullo_epi32(load_hi(&a), mv),
+                       load_hi(&b)));
+      return;
+    }
+  }
+#elif defined(GPUKSEL_SIMD_AVX2)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v256;
+      const __m256i mv = _mm256_set1_epi32(static_cast<int>(mul));
+      for (int g = 0; g < 4; ++g) {
+        const __m256i val = _mm256_add_epi32(
+            _mm256_mullo_epi32(load(&a, g), mv), load(&b, g));
+        store(&r, g, _mm256_and_si256(val, mask_vec(m, g)));
+      }
+      return;
+    }
+  }
+#endif
+  for (int i = 0; i < kWarpSize; ++i) {
+    r[i] = lane_active(m, i) ? static_cast<T>(a[i] * mul + b[i]) : T{0};
+  }
+}
+
+/// r[i] = active ? base + i : 0  (the ubiquitous thread-index register).
+template <typename T>
+inline void lane_offset(LaneMask m, WarpVar<T>& r, T base) noexcept {
+  static_assert(std::is_integral_v<T>, "lane_offset is integer address math");
+#if defined(GPUKSEL_SIMD_AVX512)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v512;
+      const __m512i bv = _mm512_set1_epi32(static_cast<int>(base));
+      store_lo(&r, _mm512_maskz_add_epi32(klo(m), iota_lo(), bv));
+      store_hi(&r, _mm512_maskz_add_epi32(khi(m), iota_hi(), bv));
+      return;
+    }
+  }
+#elif defined(GPUKSEL_SIMD_AVX2)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v256;
+      const __m256i bv = _mm256_set1_epi32(static_cast<int>(base));
+      for (int g = 0; g < 4; ++g) {
+        const __m256i io = _mm256_add_epi32(
+            _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+            _mm256_set1_epi32(8 * g));
+        store(&r, g,
+              _mm256_and_si256(_mm256_add_epi32(io, bv), mask_vec(m, g)));
+      }
+      return;
+    }
+  }
+#endif
+  for (int i = 0; i < kWarpSize; ++i) {
+    r[i] = lane_active(m, i) ? static_cast<T>(base + static_cast<T>(i)) : T{0};
+  }
+}
+
+/// acc[i] = active ? acc[i] + d[i]*d[i] : acc[i] — the distance-kernel inner
+/// step, kept as two separately rounded IEEE ops (mul then add, no FMA).
+inline void add_sq(LaneMask m, WarpVar<float>& acc,
+                   const WarpVar<float>& d) noexcept {
+#if defined(GPUKSEL_SIMD_AVX512)
+  if (enabled()) {
+    using namespace v512;
+    const __m512 alo = _mm512_castsi512_ps(load_lo(&acc));
+    const __m512 ahi = _mm512_castsi512_ps(load_hi(&acc));
+    const __m512 dlo = _mm512_castsi512_ps(load_lo(&d));
+    const __m512 dhi = _mm512_castsi512_ps(load_hi(&d));
+    store_lo(&acc, _mm512_castps_si512(_mm512_mask_add_ps(
+                       alo, klo(m), alo, _mm512_mul_ps(dlo, dlo))));
+    store_hi(&acc, _mm512_castps_si512(_mm512_mask_add_ps(
+                       ahi, khi(m), ahi, _mm512_mul_ps(dhi, dhi))));
+    return;
+  }
+#elif defined(GPUKSEL_SIMD_AVX2)
+  if (enabled()) {
+    using namespace v256;
+    for (int g = 0; g < 4; ++g) {
+      const __m256 av = _mm256_castsi256_ps(load(&acc, g));
+      const __m256 dv = _mm256_castsi256_ps(load(&d, g));
+      const __m256 sum = _mm256_add_ps(av, _mm256_mul_ps(dv, dv));
+      store(&acc, g,
+            blend(_mm256_castps_si256(av), _mm256_castps_si256(sum),
+                  mask_vec(m, g)));
+    }
+    return;
+  }
+#endif
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (lane_active(m, i)) {
+      const float sq = d[i] * d[i];
+      acc[i] = acc[i] + sq;  // both-NaN payload unspecified; see add()
+    }
+  }
+}
+
+/// r[i] = active ? (i >= delta ? src[i-delta] : 0) : r[i] — the Hillis-Steele
+/// scan shift.  r and src must not alias.
+inline void shift_up_zero(LaneMask m, WarpVar<std::uint32_t>& r,
+                          const WarpVar<std::uint32_t>& src,
+                          int delta) noexcept {
+#if defined(GPUKSEL_SIMD_AVX512)
+  if (enabled() && delta >= 0 && delta < kWarpSize) {
+    using namespace v512;
+    const __m512i dv = _mm512_set1_epi32(delta);
+    const __m512i idx_lo = _mm512_sub_epi32(iota_lo(), dv);
+    const __m512i idx_hi = _mm512_sub_epi32(iota_hi(), dv);
+    // Lanes with i < delta have a negative selector; mask them to zero.
+    const __mmask16 ok_lo =
+        _mm512_cmpge_epi32_mask(idx_lo, _mm512_setzero_si512());
+    const __mmask16 ok_hi =
+        _mm512_cmpge_epi32_mask(idx_hi, _mm512_setzero_si512());
+    const __m512i slo = load_lo(&src);
+    const __m512i shi = load_hi(&src);
+    const __m512i val_lo =
+        _mm512_maskz_permutex2var_epi32(ok_lo, slo, idx_lo, shi);
+    const __m512i val_hi =
+        _mm512_maskz_permutex2var_epi32(ok_hi, slo, idx_hi, shi);
+    store_lo(&r, _mm512_mask_mov_epi32(load_lo(&r), klo(m), val_lo));
+    store_hi(&r, _mm512_mask_mov_epi32(load_hi(&r), khi(m), val_hi));
+    return;
+  }
+#endif
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (lane_active(m, i)) {
+      r[i] = i >= delta ? src[i - delta] : 0u;
+    }
+  }
+}
+
+/// r[i] = active ? 2*stride*(p/stride) + p%stride : 0, with p = base + i —
+/// the bitonic network's lower-pair position for per-lane pair p.  `stride`
+/// must be a power of two (every bitonic stage's is), so the divmod is a bit
+/// splice: shift the high bits of p left by one and keep the low log2(stride)
+/// bits in place.
+inline void bitonic_low_index(LaneMask m, WarpVar<std::uint32_t>& r,
+                              std::uint32_t base, std::uint32_t stride)
+    noexcept {
+  const std::uint32_t lo_bits = stride - 1u;
+#if defined(GPUKSEL_SIMD_AVX512)
+  if (enabled()) {
+    using namespace v512;
+    const __m512i bv = _mm512_set1_epi32(static_cast<int>(base));
+    const __m512i lm = _mm512_set1_epi32(static_cast<int>(lo_bits));
+    auto half = [&](__m512i iota, __mmask16 k) {
+      const __m512i p = _mm512_add_epi32(iota, bv);
+      const __m512i low = _mm512_and_si512(p, lm);
+      const __m512i high = _mm512_slli_epi32(_mm512_andnot_si512(lm, p), 1);
+      return _mm512_maskz_or_epi32(k, high, low);
+    };
+    store_lo(&r, half(iota_lo(), klo(m)));
+    store_hi(&r, half(iota_hi(), khi(m)));
+    return;
+  }
+#endif
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (lane_active(m, i)) {
+      const std::uint32_t p = base + static_cast<std::uint32_t>(i);
+      r[i] = 2u * stride * (p / stride) + (p % stride);
+    } else {
+      r[i] = 0u;
+    }
+  }
+}
+
+// --- predicates -------------------------------------------------------------
+
+namespace detail {
+
+enum class Cmp { kLt, kLe, kGt, kGe, kEq };
+
+template <Cmp C, typename T>
+inline bool cmp1(T a, T b) noexcept {
+  if constexpr (C == Cmp::kLt) return a < b;
+  if constexpr (C == Cmp::kLe) return a <= b;
+  if constexpr (C == Cmp::kGt) return a > b;
+  if constexpr (C == Cmp::kGe) return a >= b;
+  return a == b;
+}
+
+#if defined(GPUKSEL_SIMD_AVX512)
+template <Cmp C, typename T>
+inline __mmask16 cmp512(__mmask16 k, __m512i a, __m512i b) noexcept {
+  if constexpr (std::is_same_v<T, float>) {
+    const __m512 af = _mm512_castsi512_ps(a);
+    const __m512 bf = _mm512_castsi512_ps(b);
+    // Ordered-quiet predicates: false on NaN operands, matching scalar.
+    if constexpr (C == Cmp::kLt)
+      return _mm512_mask_cmp_ps_mask(k, af, bf, _CMP_LT_OQ);
+    if constexpr (C == Cmp::kLe)
+      return _mm512_mask_cmp_ps_mask(k, af, bf, _CMP_LE_OQ);
+    if constexpr (C == Cmp::kGt)
+      return _mm512_mask_cmp_ps_mask(k, af, bf, _CMP_GT_OQ);
+    if constexpr (C == Cmp::kGe)
+      return _mm512_mask_cmp_ps_mask(k, af, bf, _CMP_GE_OQ);
+    return _mm512_mask_cmp_ps_mask(k, af, bf, _CMP_EQ_OQ);
+  } else if constexpr (std::is_signed_v<T>) {
+    if constexpr (C == Cmp::kLt) return _mm512_mask_cmplt_epi32_mask(k, a, b);
+    if constexpr (C == Cmp::kLe) return _mm512_mask_cmple_epi32_mask(k, a, b);
+    if constexpr (C == Cmp::kGt) return _mm512_mask_cmpgt_epi32_mask(k, a, b);
+    if constexpr (C == Cmp::kGe) return _mm512_mask_cmpge_epi32_mask(k, a, b);
+    return _mm512_mask_cmpeq_epi32_mask(k, a, b);
+  } else {
+    if constexpr (C == Cmp::kLt) return _mm512_mask_cmplt_epu32_mask(k, a, b);
+    if constexpr (C == Cmp::kLe) return _mm512_mask_cmple_epu32_mask(k, a, b);
+    if constexpr (C == Cmp::kGt) return _mm512_mask_cmpgt_epu32_mask(k, a, b);
+    if constexpr (C == Cmp::kGe) return _mm512_mask_cmpge_epu32_mask(k, a, b);
+    return _mm512_mask_cmpeq_epu32_mask(k, a, b);
+  }
+}
+#endif
+
+#if defined(GPUKSEL_SIMD_AVX2) && !defined(GPUKSEL_SIMD_AVX512)
+template <Cmp C, typename T>
+inline __m256i cmp256(__m256i a, __m256i b) noexcept {
+  if constexpr (std::is_same_v<T, float>) {
+    const __m256 af = _mm256_castsi256_ps(a);
+    const __m256 bf = _mm256_castsi256_ps(b);
+    __m256 r;
+    if constexpr (C == Cmp::kLt) r = _mm256_cmp_ps(af, bf, _CMP_LT_OQ);
+    else if constexpr (C == Cmp::kLe) r = _mm256_cmp_ps(af, bf, _CMP_LE_OQ);
+    else if constexpr (C == Cmp::kGt) r = _mm256_cmp_ps(af, bf, _CMP_GT_OQ);
+    else if constexpr (C == Cmp::kGe) r = _mm256_cmp_ps(af, bf, _CMP_GE_OQ);
+    else r = _mm256_cmp_ps(af, bf, _CMP_EQ_OQ);
+    return _mm256_castps_si256(r);
+  } else if constexpr (std::is_signed_v<T>) {
+    if constexpr (C == Cmp::kLt) return _mm256_cmpgt_epi32(b, a);
+    if constexpr (C == Cmp::kLe)
+      return _mm256_xor_si256(_mm256_cmpgt_epi32(a, b),
+                              _mm256_set1_epi32(-1));
+    if constexpr (C == Cmp::kGt) return _mm256_cmpgt_epi32(a, b);
+    if constexpr (C == Cmp::kGe)
+      return _mm256_xor_si256(_mm256_cmpgt_epi32(b, a),
+                              _mm256_set1_epi32(-1));
+    return _mm256_cmpeq_epi32(a, b);
+  } else {
+    if constexpr (C == Cmp::kLt) return v256::cmplt_epu32(a, b);
+    if constexpr (C == Cmp::kLe)
+      return _mm256_xor_si256(v256::cmplt_epu32(b, a),
+                              _mm256_set1_epi32(-1));
+    if constexpr (C == Cmp::kGt) return v256::cmplt_epu32(b, a);
+    if constexpr (C == Cmp::kGe)
+      return _mm256_xor_si256(v256::cmplt_epu32(a, b),
+                              _mm256_set1_epi32(-1));
+    return _mm256_cmpeq_epi32(a, b);
+  }
+}
+#endif
+
+template <Cmp C, typename T>
+inline LaneMask cmp_vv(LaneMask m, const WarpVar<T>& a,
+                       const WarpVar<T>& b) noexcept {
+#if defined(GPUKSEL_SIMD_AVX512)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v512;
+      return join(cmp512<C, T>(klo(m), load_lo(&a), load_lo(&b)),
+                  cmp512<C, T>(khi(m), load_hi(&a), load_hi(&b)));
+    }
+  }
+#elif defined(GPUKSEL_SIMD_AVX2)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v256;
+      LaneMask out = 0;
+      for (int g = 0; g < 4; ++g) {
+        out |= mask_bits(cmp256<C, T>(load(&a, g), load(&b, g)), g);
+      }
+      return out & m;
+    }
+  }
+#endif
+  LaneMask out = 0;
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (lane_active(m, i) && cmp1<C>(a[i], b[i])) out |= lane_bit(i);
+  }
+  return out;
+}
+
+}  // namespace detail
+
+template <typename T>
+inline LaneMask cmp_lt(LaneMask m, const WarpVar<T>& a,
+                       const WarpVar<T>& b) noexcept {
+  return detail::cmp_vv<detail::Cmp::kLt>(m, a, b);
+}
+template <typename T>
+inline LaneMask cmp_le(LaneMask m, const WarpVar<T>& a,
+                       const WarpVar<T>& b) noexcept {
+  return detail::cmp_vv<detail::Cmp::kLe>(m, a, b);
+}
+template <typename T>
+inline LaneMask cmp_gt(LaneMask m, const WarpVar<T>& a,
+                       const WarpVar<T>& b) noexcept {
+  return detail::cmp_vv<detail::Cmp::kGt>(m, a, b);
+}
+template <typename T>
+inline LaneMask cmp_ge(LaneMask m, const WarpVar<T>& a,
+                       const WarpVar<T>& b) noexcept {
+  return detail::cmp_vv<detail::Cmp::kGe>(m, a, b);
+}
+template <typename T>
+inline LaneMask cmp_eq(LaneMask m, const WarpVar<T>& a,
+                       const WarpVar<T>& b) noexcept {
+  return detail::cmp_vv<detail::Cmp::kEq>(m, a, b);
+}
+template <typename T>
+inline LaneMask cmp_lt_s(LaneMask m, const WarpVar<T>& a, T b) noexcept {
+  return detail::cmp_vv<detail::Cmp::kLt>(m, a, WarpVar<T>::filled(b));
+}
+template <typename T>
+inline LaneMask cmp_gt_s(LaneMask m, const WarpVar<T>& a, T b) noexcept {
+  return detail::cmp_vv<detail::Cmp::kGt>(m, a, WarpVar<T>::filled(b));
+}
+template <typename T>
+inline LaneMask cmp_eq_s(LaneMask m, const WarpVar<T>& a, T b) noexcept {
+  return detail::cmp_vv<detail::Cmp::kEq>(m, a, WarpVar<T>::filled(b));
+}
+
+/// Lexicographic (dist, index) less-than over active lanes:
+/// (ad < bd) || (ad == bd && ai < bi).  Matches the scalar entry compare for
+/// every payload: NaN dists compare false on both legs, +/-0 compare equal.
+inline LaneMask cmp_lex_lt(LaneMask m, const WarpVar<float>& ad,
+                           const WarpVar<std::uint32_t>& ai,
+                           const WarpVar<float>& bd,
+                           const WarpVar<std::uint32_t>& bi) noexcept {
+  const LaneMask lt = cmp_lt(m, ad, bd);
+  const LaneMask eq = detail::cmp_vv<detail::Cmp::kEq>(m, ad, bd);
+  const LaneMask ilt = cmp_lt(m, ai, bi);
+  return (lt | (eq & ilt)) & m;
+}
+
+/// Mask of active lanes where base + i < bound (u32, fused iota compare).
+inline LaneMask cmp_iota_lt(LaneMask m, std::uint32_t base,
+                            std::uint32_t bound) noexcept {
+  // base + i never wraps in kernel usage (base is a tile offset); the scalar
+  // reference is the same expression, so wrap behavior matches regardless.
+  LaneMask out = 0;
+#if defined(GPUKSEL_SIMD_AVX512)
+  if (enabled()) {
+    using namespace v512;
+    const __m512i bv = _mm512_set1_epi32(static_cast<int>(base));
+    const __m512i bd = _mm512_set1_epi32(static_cast<int>(bound));
+    const __mmask16 lo = _mm512_mask_cmplt_epu32_mask(
+        klo(m), _mm512_add_epi32(iota_lo(), bv), bd);
+    const __mmask16 hi = _mm512_mask_cmplt_epu32_mask(
+        khi(m), _mm512_add_epi32(iota_hi(), bv), bd);
+    return join(lo, hi);
+  }
+#endif
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (lane_active(m, i) &&
+        base + static_cast<std::uint32_t>(i) < bound) {
+      out |= lane_bit(i);
+    }
+  }
+  return out;
+}
+
+/// Mask of active lanes where a[i] + 1 < bound (u32, the queue-advance test).
+inline LaneMask cmp_inc_lt(LaneMask m, const WarpVar<std::uint32_t>& a,
+                           std::uint32_t bound) noexcept {
+#if defined(GPUKSEL_SIMD_AVX512)
+  if (enabled()) {
+    using namespace v512;
+    const __m512i one = _mm512_set1_epi32(1);
+    const __m512i bd = _mm512_set1_epi32(static_cast<int>(bound));
+    const __mmask16 lo = _mm512_mask_cmplt_epu32_mask(
+        klo(m), _mm512_add_epi32(load_lo(&a), one), bd);
+    const __mmask16 hi = _mm512_mask_cmplt_epu32_mask(
+        khi(m), _mm512_add_epi32(load_hi(&a), one), bd);
+    return join(lo, hi);
+  }
+#endif
+  LaneMask out = 0;
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (lane_active(m, i) && a[i] + 1u < bound) out |= lane_bit(i);
+  }
+  return out;
+}
+
+/// Mask of active lanes where (a[i] & bits) != 0 — the bitonic direction
+/// test and other single-instruction bit probes.
+inline LaneMask test_bits(LaneMask m, const WarpVar<std::uint32_t>& a,
+                          std::uint32_t bits) noexcept {
+#if defined(GPUKSEL_SIMD_AVX512)
+  if (enabled()) {
+    using namespace v512;
+    const __m512i bv = _mm512_set1_epi32(static_cast<int>(bits));
+    return join(_mm512_mask_test_epi32_mask(klo(m), load_lo(&a), bv),
+                _mm512_mask_test_epi32_mask(khi(m), load_hi(&a), bv));
+  }
+#endif
+  LaneMask out = 0;
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (lane_active(m, i) && (a[i] & bits) != 0u) out |= lane_bit(i);
+  }
+  return out;
+}
+
+/// True iff a and b hold identical bits in every one of the 32 lanes (a host
+/// helper for memoizing pure per-access models, not a charged warp op).
+inline bool equal_all(const WarpVar<std::uint32_t>& a,
+                      const WarpVar<std::uint32_t>& b) noexcept {
+#if defined(GPUKSEL_SIMD_AVX512)
+  if (enabled()) {
+    using namespace v512;
+    return _mm512_cmpneq_epi32_mask(load_lo(&a), load_lo(&b)) == 0 &&
+           _mm512_cmpneq_epi32_mask(load_hi(&a), load_hi(&b)) == 0;
+  }
+#endif
+  return std::memcmp(&a.lanes, &b.lanes, sizeof(a.lanes)) == 0;
+}
+
+// --- shuffles ---------------------------------------------------------------
+
+/// r[i] = active ? src[from[i] & 31] : src[i].
+template <typename T>
+inline void permute(LaneMask m, WarpVar<T>& r, const WarpVar<T>& src,
+                    const WarpVar<std::uint32_t>& from) noexcept {
+#if defined(GPUKSEL_SIMD_AVX512)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v512;
+      // vpermt2d uses the selector's low 5 bits — the & 31 is free.
+      const __m512i slo = load_lo(&src);
+      const __m512i shi = load_hi(&src);
+      store_lo(&r, _mm512_mask_permutex2var_epi32(slo, klo(m), load_lo(&from),
+                                                  shi));
+      // mask_permutex2var keeps *a* (first arg) on masked-off lanes, which
+      // would be src[i-0..15] — not src[i] — for the high half, so blend
+      // explicitly instead.
+      const __m512i phi = _mm512_permutex2var_epi32(slo, load_hi(&from), shi);
+      store_hi(&r, _mm512_mask_mov_epi32(shi, khi(m), phi));
+      return;
+    }
+  }
+#elif defined(GPUKSEL_SIMD_AVX2)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v256;
+      // Gather from the register spilled to (aligned, in-bounds) memory.
+      const __m256i five = _mm256_set1_epi32(31);
+      const int* base = reinterpret_cast<const int*>(&src);
+      for (int g = 0; g < 4; ++g) {
+        const __m256i idx = _mm256_and_si256(load(&from, g), five);
+        const __m256i val = _mm256_i32gather_epi32(base, idx, 4);
+        store(&r, g, blend(load(&src, g), val, mask_vec(m, g)));
+      }
+      return;
+    }
+  }
+#endif
+  for (int i = 0; i < kWarpSize; ++i) {
+    r[i] = lane_active(m, i)
+               ? src[from[i] % static_cast<std::uint32_t>(kWarpSize)]
+               : src[i];
+  }
+}
+
+/// r[i] = active ? src[i ^ lanemask] : src[i]  (butterfly step).
+template <typename T>
+inline void permute_xor(LaneMask m, WarpVar<T>& r, const WarpVar<T>& src,
+                        int lanemask) noexcept {
+#if defined(GPUKSEL_SIMD_AVX512)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v512;
+      const __m512i lm = _mm512_set1_epi32(lanemask);
+      const __m512i slo = load_lo(&src);
+      const __m512i shi = load_hi(&src);
+      const __m512i plo = _mm512_permutex2var_epi32(
+          slo, _mm512_xor_si512(iota_lo(), lm), shi);
+      const __m512i phi = _mm512_permutex2var_epi32(
+          slo, _mm512_xor_si512(iota_hi(), lm), shi);
+      store_lo(&r, _mm512_mask_mov_epi32(slo, klo(m), plo));
+      store_hi(&r, _mm512_mask_mov_epi32(shi, khi(m), phi));
+      return;
+    }
+  }
+#elif defined(GPUKSEL_SIMD_AVX2)
+  if constexpr (lane32<T>) {
+    if (enabled() && lanemask >= 0 && lanemask < kWarpSize) {
+      using namespace v256;
+      // i ^ lm decomposes: swap 8-lane groups by lm>>3, rotate within the
+      // group by lm&7 via permutevar8x32.
+      const int xg = lanemask >> 3;
+      const __m256i idx = _mm256_xor_si256(
+          _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+          _mm256_set1_epi32(lanemask & 7));
+      for (int g = 0; g < 4; ++g) {
+        const __m256i val =
+            _mm256_permutevar8x32_epi32(load(&src, g ^ xg), idx);
+        store(&r, g, blend(load(&src, g), val, mask_vec(m, g)));
+      }
+      return;
+    }
+  }
+#endif
+  for (int i = 0; i < kWarpSize; ++i) {
+    r[i] = lane_active(m, i) ? src[i ^ lanemask] : src[i];
+  }
+}
+
+/// r[i] = active ? src[src_lane & 31] : src[i]  (broadcast).
+template <typename T>
+inline void broadcast(LaneMask m, WarpVar<T>& r, const WarpVar<T>& src,
+                      int src_lane) noexcept {
+  const T v = src[src_lane % kWarpSize];
+  if (&r != &src) r = src;
+  fill(m, r, v);
+}
+
+/// Mask of active lanes whose shuffle source lane (from[i] & 31) is inactive
+/// in m — the lockstep violation detector for general shuffles.
+inline LaneMask permute_inactive_sources(LaneMask m,
+                                         const WarpVar<std::uint32_t>& from)
+    noexcept {
+#if defined(GPUKSEL_SIMD_AVX512)
+  if (enabled()) {
+    using namespace v512;
+    // Expand m into a per-lane 0/1 table and permute it by `from`.
+    const __m512i mv = _mm512_set1_epi32(static_cast<int>(m));
+    const __m512i one = _mm512_set1_epi32(1);
+    const __m512i tbl_lo =
+        _mm512_and_si512(_mm512_srlv_epi32(mv, iota_lo()), one);
+    const __m512i tbl_hi =
+        _mm512_and_si512(_mm512_srlv_epi32(mv, iota_hi()), one);
+    const __m512i src_ok_lo =
+        _mm512_permutex2var_epi32(tbl_lo, load_lo(&from), tbl_hi);
+    const __m512i src_ok_hi =
+        _mm512_permutex2var_epi32(tbl_lo, load_hi(&from), tbl_hi);
+    const __mmask16 bad_lo = _mm512_mask_cmpeq_epi32_mask(
+        klo(m), src_ok_lo, _mm512_setzero_si512());
+    const __mmask16 bad_hi = _mm512_mask_cmpeq_epi32_mask(
+        khi(m), src_ok_hi, _mm512_setzero_si512());
+    return join(bad_lo, bad_hi);
+  }
+#endif
+  LaneMask bad = 0;
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (lane_active(m, i) &&
+        !lane_active(m, static_cast<int>(
+                            from[i] % static_cast<std::uint32_t>(kWarpSize)))) {
+      bad |= lane_bit(i);
+    }
+  }
+  return bad;
+}
+
+/// Same violation mask for the xor butterfly: bit i set iff lane i is active
+/// but lane i^lanemask is not.  Pure bit math — permuting the mask by the
+/// xor pattern is a butterfly swap of its bits per set bit of lanemask.
+inline LaneMask xor_inactive_sources(LaneMask m, int lanemask) noexcept {
+  LaneMask src_active = m;
+  constexpr LaneMask kKeep[5] = {0x55555555u, 0x33333333u, 0x0f0f0f0fu,
+                                 0x00ff00ffu, 0x0000ffffu};
+  for (int s = 0; s < 5; ++s) {
+    const int b = 1 << s;
+    if ((lanemask & b) == 0) continue;
+    // Swap bit blocks of width b: bit i of the result = bit i^b of input.
+    const LaneMask keep = kKeep[s];
+    src_active = ((src_active & keep) << b) | ((src_active >> b) & keep);
+  }
+  return m & ~src_active;
+}
+
+// --- global memory ----------------------------------------------------------
+
+/// Contiguity probe: if every active lane's index equals c + lane for one
+/// base c (so the access is a unit-stride run — the dominant pattern: lane
+/// offsets into interleaved thread arrays and distance rows), returns c;
+/// otherwise -1.  Returns -1 when the vector backend is off or the mask is
+/// empty: the scalar engine has no bulk load/store to exploit it, and
+/// keeping the probe vector-only means the scalar reference path is
+/// byte-for-byte the seed engine's.  Callers use a non-negative c to take
+/// masked contiguous loads/stores instead of hardware gather/scatter and to
+/// collapse the transaction/collision models to closed forms — all of which
+/// are exact, not approximations: a unit-stride run of 4-byte lanes touches
+/// ceil-range segments with no duplicate addresses by construction.
+[[nodiscard]] inline std::int64_t contig_base(
+    LaneMask m, const WarpVar<std::uint32_t>& idx) noexcept {
+  if (m == 0 || !enabled()) return -1;
+  const int first = lowest_lane(m);
+  const std::uint32_t f = idx[first];
+  if (f < static_cast<std::uint32_t>(first)) return -1;  // c would wrap
+  const std::uint32_t c = f - static_cast<std::uint32_t>(first);
+#if defined(GPUKSEL_SIMD_AVX512)
+  using namespace v512;
+  const __m512i cv = _mm512_set1_epi32(static_cast<int>(c));
+  const __mmask16 bad_lo = _mm512_mask_cmpneq_epu32_mask(
+      klo(m), load_lo(&idx), _mm512_add_epi32(cv, iota_lo()));
+  const __mmask16 bad_hi = _mm512_mask_cmpneq_epu32_mask(
+      khi(m), load_hi(&idx), _mm512_add_epi32(cv, iota_hi()));
+  if ((static_cast<std::uint32_t>(bad_lo) |
+       static_cast<std::uint32_t>(bad_hi)) != 0) {
+    return -1;
+  }
+  return static_cast<std::int64_t>(c);
+#elif defined(GPUKSEL_SIMD_AVX2)
+  using namespace v256;
+  const __m256i iota8 = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  for (int g = 0; g < 4; ++g) {
+    const __m256i expect = _mm256_add_epi32(
+        _mm256_set1_epi32(static_cast<int>(c + 8u * static_cast<unsigned>(g))),
+        iota8);
+    const LaneMask eq = mask_bits(_mm256_cmpeq_epi32(load(&idx, g), expect), g);
+    const LaneMask want = m & (0xffu << (8 * g));
+    if ((eq & want) != want) return -1;
+  }
+  return static_cast<std::int64_t>(c);
+#else
+  return -1;  // unreachable: enabled() is constant-false without a tier
+#endif
+}
+
+/// gather() specialised for a contiguous run established by contig_base():
+/// r[i] = active ? base[c + i] : 0, via masked unit-stride loads (masked-out
+/// elements are architecturally suppressed — never read, never faulted).
+template <typename T>
+inline void gather_contig(LaneMask m, WarpVar<T>& r, const T* base,
+                          std::int64_t c) noexcept {
+#if defined(GPUKSEL_SIMD_AVX512) && !defined(GPUKSEL_BOUNDS_CHECK)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v512;
+      const T* p = base + c;
+      store_lo(&r, _mm512_maskz_loadu_epi32(klo(m), p));
+      store_hi(&r, _mm512_maskz_loadu_epi32(khi(m), p + 16));
+      return;
+    }
+  }
+#elif defined(GPUKSEL_SIMD_AVX2) && !defined(GPUKSEL_BOUNDS_CHECK)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v256;
+      const int* p = reinterpret_cast<const int*>(base + c);
+      for (int g = 0; g < 4; ++g) {
+        store(&r, g, _mm256_maskload_epi32(p + 8 * g, mask_vec(m, g)));
+      }
+      return;
+    }
+  }
+#endif
+  for (int i = 0; i < kWarpSize; ++i) {
+    r[i] = lane_active(m, i)
+               ? base[static_cast<std::size_t>(c) + static_cast<unsigned>(i)]
+               : T{};
+  }
+}
+
+/// scatter() specialised for a contiguous run: base[c + i] = v[i] for active
+/// lanes.  Unit stride means all addresses are distinct, so there is no
+/// collision order to preserve; masked-out elements are never written.
+template <typename T>
+inline void scatter_contig(LaneMask m, T* base, std::int64_t c,
+                           const WarpVar<T>& v) noexcept {
+#if defined(GPUKSEL_SIMD_AVX512) && !defined(GPUKSEL_BOUNDS_CHECK)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v512;
+      T* p = base + c;
+      _mm512_mask_storeu_epi32(p, klo(m), load_lo(&v));
+      _mm512_mask_storeu_epi32(p + 16, khi(m), load_hi(&v));
+      return;
+    }
+  }
+#elif defined(GPUKSEL_SIMD_AVX2) && !defined(GPUKSEL_BOUNDS_CHECK)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v256;
+      int* p = reinterpret_cast<int*>(base + c);
+      for (int g = 0; g < 4; ++g) {
+        _mm256_maskstore_epi32(p + 8 * g, mask_vec(m, g), load(&v, g));
+      }
+      return;
+    }
+  }
+#endif
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (lane_active(m, i)) {
+      base[static_cast<std::size_t>(c) + static_cast<unsigned>(i)] = v[i];
+    }
+  }
+}
+
+/// r[i] = active ? base[idx[i]] : 0  (gather; idx must be in bounds for
+/// active lanes — the caller has either checked or accepted UB, exactly as
+/// the scalar loop would).
+template <typename T>
+inline void gather(LaneMask m, WarpVar<T>& r, const T* base,
+                   const WarpVar<std::uint32_t>& idx) noexcept {
+#if defined(GPUKSEL_SIMD_AVX512) && !defined(GPUKSEL_BOUNDS_CHECK)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v512;
+      const __m512i lo = _mm512_mask_i32gather_epi32(
+          _mm512_setzero_si512(), klo(m), load_lo(&idx), base, 4);
+      const __m512i hi = _mm512_mask_i32gather_epi32(
+          _mm512_setzero_si512(), khi(m), load_hi(&idx), base, 4);
+      store_lo(&r, lo);
+      store_hi(&r, hi);
+      return;
+    }
+  }
+#elif defined(GPUKSEL_SIMD_AVX2) && !defined(GPUKSEL_BOUNDS_CHECK)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v256;
+      for (int g = 0; g < 4; ++g) {
+        const __m256i mv = mask_vec(m, g);
+        const __m256i val = _mm256_mask_i32gather_epi32(
+            _mm256_setzero_si256(), reinterpret_cast<const int*>(base),
+            load(&idx, g), mv, 4);
+        store(&r, g, val);
+      }
+      return;
+    }
+  }
+#endif
+  for (int i = 0; i < kWarpSize; ++i) {
+    r[i] = lane_active(m, i) ? base[idx[i]] : T{};
+  }
+}
+
+/// base[idx[i]] = v[i] for active lanes, committed in lane order (highest
+/// lane wins a collision) — AVX-512 scatter guarantees LSB-to-MSB commit.
+template <typename T>
+inline void scatter(LaneMask m, T* base, const WarpVar<std::uint32_t>& idx,
+                    const WarpVar<T>& v) noexcept {
+#if defined(GPUKSEL_SIMD_AVX512) && !defined(GPUKSEL_BOUNDS_CHECK)
+  if constexpr (lane32<T>) {
+    if (enabled()) {
+      using namespace v512;
+      _mm512_mask_i32scatter_epi32(base, klo(m), load_lo(&idx), load_lo(&v),
+                                   4);
+      _mm512_mask_i32scatter_epi32(base, khi(m), load_hi(&idx), load_hi(&v),
+                                   4);
+      return;
+    }
+  }
+#endif
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (lane_active(m, i)) base[idx[i]] = v[i];
+  }
+}
+
+// --- sanitizer fast paths ---------------------------------------------------
+
+/// Whole-buffer shadow rebuild: shadow[i] = the 7-bit XOR-fold word of
+/// data[i] (bit-identical to shadow_of<T> for 4-byte T).  Used when a host
+/// write dirties a buffer and the next span() models a fresh upload; the
+/// lane engine folds 16 elements per step.
+template <typename T>
+inline void shadow_fill(const T* data, std::uint32_t* shadow,
+                        std::size_t n) noexcept {
+  static_assert(sizeof(T) == 4, "vector shadow fold is 4-byte only");
+  std::size_t i = 0;
+#if defined(GPUKSEL_SIMD_AVX512)
+  if (enabled()) {
+    const __m512i x80 = _mm512_set1_epi32(0x80);
+    const __m512i x7f = _mm512_set1_epi32(0x7f);
+    const __m512i xff = _mm512_set1_epi32(0xff);
+    for (; i + 16 <= n; i += 16) {
+      __m512i t = _mm512_loadu_si512(data + i);
+      t = _mm512_xor_si512(t, _mm512_srli_epi32(t, 16));
+      t = _mm512_xor_si512(t, _mm512_srli_epi32(t, 8));
+      t = _mm512_and_si512(t, xff);
+      t = _mm512_and_si512(_mm512_xor_si512(t, _mm512_srli_epi32(t, 7)), x7f);
+      _mm512_storeu_si512(shadow + i, _mm512_or_si512(t, x80));
+    }
+  }
+#elif defined(GPUKSEL_SIMD_AVX2)
+  if (enabled()) {
+    const __m256i x80 = _mm256_set1_epi32(0x80);
+    const __m256i x7f = _mm256_set1_epi32(0x7f);
+    const __m256i xff = _mm256_set1_epi32(0xff);
+    for (; i + 8 <= n; i += 8) {
+      __m256i t = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(data + i));
+      t = _mm256_xor_si256(t, _mm256_srli_epi32(t, 16));
+      t = _mm256_xor_si256(t, _mm256_srli_epi32(t, 8));
+      t = _mm256_and_si256(t, xff);
+      t = _mm256_and_si256(_mm256_xor_si256(t, _mm256_srli_epi32(t, 7)), x7f);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(shadow + i),
+                          _mm256_or_si256(t, x80));
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    std::uint32_t x;
+    std::memcpy(&x, data + i, 4);
+    x ^= x >> 16;
+    x ^= x >> 8;
+    x &= 0xffu;
+    x = (x ^ (x >> 7)) & 0x7fu;
+    shadow[i] = x | 0x80u;
+  }
+}
+
+/// The 7-bit XOR-fold shadow word of every lane (all 32, mask-independent),
+/// matching shadow_of<T> for 4-byte T bit for bit (value range 0x80..0xff,
+/// widened to a u32 lane so it gathers/scatters like data).
+template <typename T>
+inline void shadow_words(const WarpVar<T>& v,
+                         WarpVar<std::uint32_t>& out) noexcept {
+  static_assert(sizeof(T) == 4, "vector shadow fold is 4-byte only");
+#if defined(GPUKSEL_SIMD_AVX512)
+  if (enabled()) {
+    using namespace v512;
+    const __m512i x80 = _mm512_set1_epi32(0x80);
+    const __m512i x7f = _mm512_set1_epi32(0x7f);
+    const __m512i xff = _mm512_set1_epi32(0xff);
+    auto fold = [&](__m512i x) {
+      __m512i t = _mm512_xor_si512(x, _mm512_srli_epi32(x, 16));
+      t = _mm512_xor_si512(t, _mm512_srli_epi32(t, 8));
+      t = _mm512_and_si512(t, xff);
+      t = _mm512_and_si512(_mm512_xor_si512(t, _mm512_srli_epi32(t, 7)), x7f);
+      return _mm512_or_si512(t, x80);
+    };
+    store_lo(&out, fold(load_lo(&v)));
+    store_hi(&out, fold(load_hi(&v)));
+    return;
+  }
+#elif defined(GPUKSEL_SIMD_AVX2)
+  if (enabled()) {
+    using namespace v256;
+    const __m256i x80 = _mm256_set1_epi32(0x80);
+    const __m256i x7f = _mm256_set1_epi32(0x7f);
+    const __m256i xff = _mm256_set1_epi32(0xff);
+    for (int g = 0; g < 4; ++g) {
+      __m256i t = load(&v, g);
+      t = _mm256_xor_si256(t, _mm256_srli_epi32(t, 16));
+      t = _mm256_xor_si256(t, _mm256_srli_epi32(t, 8));
+      t = _mm256_and_si256(t, xff);
+      t = _mm256_and_si256(_mm256_xor_si256(t, _mm256_srli_epi32(t, 7)), x7f);
+      t = _mm256_or_si256(t, x80);
+      store(&out, g, t);
+    }
+    return;
+  }
+#endif
+  for (int i = 0; i < kWarpSize; ++i) {
+    std::uint32_t x;
+    std::memcpy(&x, &v[i], 4);
+    std::uint32_t t = x ^ (x >> 16);
+    t ^= t >> 8;
+    std::uint8_t fold = static_cast<std::uint8_t>(t & 0xffu);
+    fold = static_cast<std::uint8_t>((fold ^ (fold >> 7)) & 0x7f);
+    out[i] = 0x80u | fold;
+  }
+}
+
+/// Mask of active lanes where expect[i] != 0 and got[i] != expect[i] — the
+/// ECC-mismatch detector over a gathered shadow row (uninitialized shadows
+/// are exempt).
+inline LaneMask shadow_mismatch_mask(LaneMask m,
+                                     const WarpVar<std::uint32_t>& expect,
+                                     const WarpVar<std::uint32_t>& got)
+    noexcept {
+#if defined(GPUKSEL_SIMD_AVX512)
+  if (enabled()) {
+    using namespace v512;
+    const __m512i zero = _mm512_setzero_si512();
+    const __m512i elo = load_lo(&expect);
+    const __m512i ehi = load_hi(&expect);
+    const __mmask16 lo =
+        _mm512_mask_cmpneq_epu32_mask(
+            _mm512_mask_cmpneq_epu32_mask(klo(m), elo, zero), load_lo(&got),
+            elo);
+    const __mmask16 hi =
+        _mm512_mask_cmpneq_epu32_mask(
+            _mm512_mask_cmpneq_epu32_mask(khi(m), ehi, zero), load_hi(&got),
+            ehi);
+    return join(lo, hi);
+  }
+#elif defined(GPUKSEL_SIMD_AVX2)
+  if (enabled()) {
+    using namespace v256;
+    LaneMask written = 0;
+    LaneMask same = 0;
+    for (int g = 0; g < 4; ++g) {
+      const __m256i e = load(&expect, g);
+      written |= mask_bits(
+          _mm256_xor_si256(_mm256_cmpeq_epi32(e, _mm256_setzero_si256()),
+                           _mm256_set1_epi32(-1)),
+          g);
+      same |= mask_bits(_mm256_cmpeq_epi32(load(&got, g), e), g);
+    }
+    return m & written & ~same;
+  }
+#endif
+  LaneMask out = 0;
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (lane_active(m, i) && expect[i] != 0 && got[i] != expect[i]) {
+      out |= lane_bit(i);
+    }
+  }
+  return out;
+}
+
+/// Mask of active lanes with idx[i] >= size (the bounds-check detector).
+inline LaneMask oob_mask(LaneMask m, const WarpVar<std::uint32_t>& idx,
+                         std::size_t size) noexcept {
+  if (size > 0xffffffffull) return 0;  // a u32 index can never reach it
+  const std::uint32_t s = static_cast<std::uint32_t>(size);
+#if defined(GPUKSEL_SIMD_AVX512)
+  if (enabled()) {
+    using namespace v512;
+    const __m512i sv = _mm512_set1_epi32(static_cast<int>(s));
+    return join(_mm512_mask_cmpge_epu32_mask(klo(m), load_lo(&idx), sv),
+                _mm512_mask_cmpge_epu32_mask(khi(m), load_hi(&idx), sv));
+  }
+#elif defined(GPUKSEL_SIMD_AVX2)
+  if (enabled()) {
+    using namespace v256;
+    const __m256i sv = _mm256_set1_epi32(static_cast<int>(s));
+    LaneMask out = 0;
+    for (int g = 0; g < 4; ++g) {
+      const __m256i lt = cmplt_epu32(load(&idx, g), sv);
+      out |= mask_bits(_mm256_xor_si256(lt, _mm256_set1_epi32(-1)), g);
+    }
+    return out & m;
+  }
+#endif
+  LaneMask out = 0;
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (lane_active(m, i) && idx[i] >= s) out |= lane_bit(i);
+  }
+  return out;
+}
+
+/// True iff two active lanes hold the same idx value (exact; detection only —
+/// the caller reruns the scalar pairwise loop to produce the fault record).
+inline bool has_collision(LaneMask m, const WarpVar<std::uint32_t>& idx)
+    noexcept {
+  if (popcount(m) < 2) return false;
+#if defined(GPUKSEL_SIMD_AVX512)
+  if (enabled()) {
+    using namespace v512;
+    const __m512i lo = load_lo(&idx);
+    const __m512i hi = load_hi(&idx);
+    // Fast path: all active residues mod 32 distinct => all values distinct.
+    // Catches the per-thread-array pattern slot*threads + thread (threads a
+    // warp multiple), where idx mod 32 is exactly the lane id.
+    {
+      const __m512i one = _mm512_set1_epi32(1);
+      const __m512i b31 = _mm512_set1_epi32(31);
+      const __m512i bits_lo =
+          _mm512_maskz_sllv_epi32(klo(m), one, _mm512_and_si512(lo, b31));
+      const __m512i bits_hi =
+          _mm512_maskz_sllv_epi32(khi(m), one, _mm512_and_si512(hi, b31));
+      alignas(64) std::uint64_t folded[8];
+      _mm512_store_si512(folded, _mm512_or_si512(bits_lo, bits_hi));
+      std::uint64_t acc = 0;
+      for (int i = 0; i < 8; ++i) acc |= folded[i];
+      const std::uint32_t used = static_cast<std::uint32_t>(acc | (acc >> 32));
+      if (std::popcount(used) == popcount(m)) return false;
+    }
+    // Within-half duplicates via vpconflictd: element j's result holds one
+    // bit per preceding equal element; restrict those bits to active
+    // predecessors and the test to active lanes.
+    const __m512i active_lo = _mm512_set1_epi32(static_cast<int>(m & 0xffffu));
+    const __m512i active_hi = _mm512_set1_epi32(static_cast<int>(m >> 16));
+    const __mmask16 dup_lo = _mm512_mask_test_epi32_mask(
+        klo(m), _mm512_conflict_epi32(lo), active_lo);
+    if (dup_lo != 0) return true;
+    const __mmask16 dup_hi = _mm512_mask_test_epi32_mask(
+        khi(m), _mm512_conflict_epi32(hi), active_hi);
+    if (dup_hi != 0) return true;
+    // Cross-half: disjoint value ranges (the usual ascending-index case)
+    // settle it in two reductions; otherwise broadcast each active low lane
+    // against the high half.
+    std::uint32_t rest = m & 0xffffu;
+    const __mmask16 k_hi = khi(m);
+    if (k_hi != 0 && rest != 0) {
+      const __m512i ones = _mm512_set1_epi32(-1);
+      const std::uint32_t lo_max = _mm512_reduce_max_epu32(
+          _mm512_maskz_mov_epi32(klo(m), lo));
+      const std::uint32_t hi_min = _mm512_reduce_min_epu32(
+          _mm512_mask_mov_epi32(ones, k_hi, hi));
+      if (lo_max < hi_min) return false;
+      const std::uint32_t hi_max = _mm512_reduce_max_epu32(
+          _mm512_maskz_mov_epi32(k_hi, hi));
+      const std::uint32_t lo_min = _mm512_reduce_min_epu32(
+          _mm512_mask_mov_epi32(ones, klo(m), lo));
+      if (hi_max < lo_min) return false;
+      while (rest != 0) {
+        const int i = std::countr_zero(rest);
+        rest &= rest - 1;
+        const __m512i bc = _mm512_set1_epi32(static_cast<int>(idx[i]));
+        if (_mm512_mask_cmpeq_epi32_mask(k_hi, hi, bc) != 0) return true;
+      }
+    }
+    return false;
+  }
+#endif
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (!lane_active(m, i)) continue;
+    for (int j = i + 1; j < kWarpSize; ++j) {
+      if (lane_active(m, j) && idx[i] == idx[j]) return true;
+    }
+  }
+  return false;
+}
+
+/// Number of distinct 128-byte segments touched by the active lanes of a
+/// global access at byte offset `base_bytes` with 4-byte elements: the
+/// coalescing model's transaction count.  Exact for every input.
+inline int count_segments4(LaneMask m, std::size_t base_bytes,
+                           const WarpVar<std::uint32_t>& idx) noexcept {
+  if (m == 0) return 0;
+  alignas(64) std::uint64_t segs[kWarpSize];
+#if defined(GPUKSEL_SIMD_AVX512)
+  if (enabled()) {
+    using namespace v512;
+    const __m512i base = _mm512_set1_epi64(
+        static_cast<long long>(base_bytes));
+    auto segs_of = [&](int group) {
+      // Load each 8-lane group straight from the register's memory image —
+      // no 512->256 extraction intrinsics (whose GCC forms carry an
+      // undefined-value argument that trips -Wmaybe-uninitialized).
+      const __m256i idx8 = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(&idx) + group);
+      const __m512i wide = _mm512_cvtepu32_epi64(idx8);
+      const __m512i bytes =
+          _mm512_add_epi64(_mm512_slli_epi64(wide, 2), base);
+      return _mm512_srli_epi64(bytes, 7);  // / kTransactionBytes (128)
+    };
+    const __m512i s0 = segs_of(0);
+    const __m512i s1 = segs_of(1);
+    const __m512i s2 = segs_of(2);
+    const __m512i s3 = segs_of(3);
+    // Fast path: every active lane in the same segment (the coalesced case).
+    const int first = lowest_lane(m);
+    const std::uint64_t fseg =
+        (base_bytes + static_cast<std::uint64_t>(idx[first]) * 4u) >> 7;
+    const __m512i fv = _mm512_set1_epi64(static_cast<long long>(fseg));
+    const __mmask8 k0 = static_cast<__mmask8>(m & 0xff);
+    const __mmask8 k1 = static_cast<__mmask8>((m >> 8) & 0xff);
+    const __mmask8 k2 = static_cast<__mmask8>((m >> 16) & 0xff);
+    const __mmask8 k3 = static_cast<__mmask8>((m >> 24) & 0xff);
+    if (_mm512_mask_cmpneq_epi64_mask(k0, s0, fv) == 0 &&
+        _mm512_mask_cmpneq_epi64_mask(k1, s1, fv) == 0 &&
+        _mm512_mask_cmpneq_epi64_mask(k2, s2, fv) == 0 &&
+        _mm512_mask_cmpneq_epi64_mask(k3, s3, fv) == 0) {
+      return 1;
+    }
+    _mm512_store_si512(segs, s0);
+    _mm512_store_si512(segs + 8, s1);
+    _mm512_store_si512(segs + 16, s2);
+    _mm512_store_si512(segs + 24, s3);
+  } else
+#endif
+  {
+    for (int i = 0; i < kWarpSize; ++i) {
+      if (lane_active(m, i)) {
+        segs[i] = (base_bytes + static_cast<std::uint64_t>(idx[i]) * 4u) >> 7;
+      }
+    }
+  }
+  // Range-bitmap count: when every active segment sits within 64 of the
+  // minimum (true for every access stride these kernels generate), distinct
+  // segments are bits in one 64-bit word and the count is a popcount.
+  {
+    std::uint64_t mn = ~std::uint64_t{0};
+    for (std::uint32_t rest = m; rest != 0; rest &= rest - 1) {
+      const std::uint64_t s = segs[std::countr_zero(rest)];
+      if (s < mn) mn = s;
+    }
+    std::uint64_t bits = 0;
+    bool in_range = true;
+    for (std::uint32_t rest = m; rest != 0; rest &= rest - 1) {
+      const std::uint64_t d = segs[std::countr_zero(rest)] - mn;
+      if (d >= 64) {
+        in_range = false;
+        break;
+      }
+      bits |= std::uint64_t{1} << d;
+    }
+    if (in_range) return std::popcount(bits);
+  }
+  // Distinct count (order-free, so identical to the scalar dedupe); the
+  // distinct set is tiny in practice so the quadratic scan is cheap.
+  std::uint64_t seen[kWarpSize];
+  int n = 0;
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (!lane_active(m, i)) continue;
+    const std::uint64_t s = segs[i];
+    bool dup = false;
+    for (int j = 0; j < n; ++j) {
+      if (seen[j] == s) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) seen[n++] = s;
+  }
+  return n;
+}
+
+/// Bank-conflict replay degree for a shared access touching 4-byte words
+/// `words[i]` under mask m (1 = conflict-free).  Fast paths cover broadcast
+/// and all-banks-distinct; the histogram fallback is exact.
+inline int shared_degree(LaneMask m, const WarpVar<std::uint32_t>& words)
+    noexcept {
+  if (m == 0) return 1;
+#if defined(GPUKSEL_SIMD_AVX512)
+  if (enabled()) {
+    using namespace v512;
+    const __m512i wlo = load_lo(&words);
+    const __m512i whi = load_hi(&words);
+    const int first = lowest_lane(m);
+    const __m512i fv = _mm512_set1_epi32(static_cast<int>(words[first]));
+    if (_mm512_mask_cmpneq_epi32_mask(klo(m), wlo, fv) == 0 &&
+        _mm512_mask_cmpneq_epi32_mask(khi(m), whi, fv) == 0) {
+      return 1;  // broadcast: every active lane reads the same word
+    }
+    // All banks distinct => conflict-free: OR together 1 << (word % 32) and
+    // compare the population with the active-lane count.
+    const __m512i one = _mm512_set1_epi32(1);
+    const __m512i b31 = _mm512_set1_epi32(31);
+    const __m512i bits_lo =
+        _mm512_maskz_sllv_epi32(klo(m), one, _mm512_and_si512(wlo, b31));
+    const __m512i bits_hi =
+        _mm512_maskz_sllv_epi32(khi(m), one, _mm512_and_si512(whi, b31));
+    alignas(64) std::uint64_t folded[8];
+    _mm512_store_si512(folded, _mm512_or_si512(bits_lo, bits_hi));
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 8; ++i) acc |= folded[i];
+    const std::uint32_t used =
+        static_cast<std::uint32_t>(acc | (acc >> 32));
+    if (std::popcount(used) == popcount(m)) return 1;
+  }
+#endif
+  // Exact histogram: a bank replays once per *distinct* word it serves, so
+  // each lane's word counts only if no earlier active lane already brought
+  // it (A,B,A in one bank is degree 2, not 3).  O(lanes^2) compares, but the
+  // fast paths above absorb the common broadcast/conflict-free shapes.
+  std::uint8_t per_bank_words[kWarpSize] = {};
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (!lane_active(m, i)) continue;
+    const std::uint32_t word = words[i];
+    bool seen = false;
+    for (int j = 0; j < i; ++j) {
+      if (lane_active(m, j) && words[j] == word) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    ++per_bank_words[word % kWarpSize];
+  }
+  int degree = 1;
+  for (int b = 0; b < kWarpSize; ++b) {
+    degree = degree > per_bank_words[b] ? degree : per_bank_words[b];
+  }
+  return degree;
+}
+
+// --- NaN policy helpers -----------------------------------------------------
+
+/// Mask of active lanes holding NaN.
+inline LaneMask isnan_mask(LaneMask m, const WarpVar<float>& v) noexcept {
+#if defined(GPUKSEL_SIMD_AVX512)
+  if (enabled()) {
+    using namespace v512;
+    const __m512 lo = _mm512_castsi512_ps(load_lo(&v));
+    const __m512 hi = _mm512_castsi512_ps(load_hi(&v));
+    return join(_mm512_mask_cmp_ps_mask(klo(m), lo, lo, _CMP_UNORD_Q),
+                _mm512_mask_cmp_ps_mask(khi(m), hi, hi, _CMP_UNORD_Q));
+  }
+#elif defined(GPUKSEL_SIMD_AVX2)
+  if (enabled()) {
+    using namespace v256;
+    LaneMask out = 0;
+    for (int g = 0; g < 4; ++g) {
+      const __m256 x = _mm256_castsi256_ps(load(&v, g));
+      out |= mask_bits(_mm256_castps_si256(_mm256_cmp_ps(x, x, _CMP_UNORD_Q)),
+                       g);
+    }
+    return out & m;
+  }
+#endif
+  LaneMask out = 0;
+  for (int i = 0; i < kWarpSize; ++i) {
+    if (lane_active(m, i) && v[i] != v[i]) out |= lane_bit(i);
+  }
+  return out;
+}
+
+/// v[i] = +inf where active and NaN (NanPolicy::kSortLast remap).
+inline void nan_to_inf(LaneMask m, WarpVar<float>& v) noexcept {
+  const LaneMask nans = isnan_mask(m, v);
+  if (nans == 0) return;
+  fill(nans, v, std::numeric_limits<float>::infinity());
+}
+
+}  // namespace gpuksel::simt::lanevec

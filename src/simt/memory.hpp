@@ -7,8 +7,10 @@
 // the element indices a warp touches — deterministic and unit-testable.
 //
 // Every buffer also carries shadow memory for the sanitizer (sanitizer.hpp):
-// one byte per element recording whether the element was ever written and a
-// 7-bit checksum of its current value.  WarpContext consults the shadow on
+// one word per element recording whether the element was ever written and a
+// 7-bit checksum of its current value.  (The checksum fits a byte; storage is
+// a 32-bit word so the lane engine can gather/scatter shadow rows with the
+// same dword instructions it uses for data.)  WarpContext consults the shadow on
 // loads (uninitialized-read poisoning, ECC-style corruption detection) and
 // refreshes it on stores.  Host-side mutation through the non-const host()
 // accessor marks the shadow dirty; the next span() recomputes it, modeling a
@@ -18,8 +20,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
+#include "simt/lane_vec.hpp"
 #include "simt/sanitizer.hpp"
 #include "util/check.hpp"
 
@@ -37,12 +41,16 @@ class DeviceSpan {
  public:
   DeviceSpan() = default;
   DeviceSpan(T* data, std::size_t size, std::size_t byte_offset = 0,
-             std::uint8_t* shadow = nullptr) noexcept
-      : data_(data), size_(size), byte_offset_(byte_offset), shadow_(shadow) {}
+             std::uint32_t* shadow = nullptr, bool pristine = false) noexcept
+      : data_(data),
+        size_(size),
+        byte_offset_(byte_offset),
+        shadow_(shadow),
+        pristine_(pristine) {}
 
   /// Implicit widening to a const view.
   operator DeviceSpan<const T>() const noexcept {  // NOLINT(google-explicit-constructor)
-    return DeviceSpan<const T>(data_, size_, byte_offset_, shadow_);
+    return DeviceSpan<const T>(data_, size_, byte_offset_, shadow_, pristine_);
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
@@ -50,11 +58,25 @@ class DeviceSpan {
   [[nodiscard]] T* data() const noexcept { return data_; }
 
   /// Raw element access (simulator-internal; kernels go through WarpContext).
+  /// Writing through a mutable element here bypasses the shadow, so this is
+  /// the sanctioned "silent corruption" hook for ECC testing: touching a
+  /// non-const element forfeits the span's pristine bit, forcing the next
+  /// load through this span to re-verify the shadow.
   T& at(std::size_t i) const {
 #if defined(GPUKSEL_BOUNDS_CHECK)
     GPUKSEL_CHECK(i < size_, "device span index out of range");
 #endif
+    if constexpr (!std::is_const_v<T>) pristine_ = false;
     return data_[i];
+  }
+
+  /// Store-path write used by WarpContext, which refreshes the shadow as part
+  /// of the same operation — so pristineness is preserved (unlike at()).
+  void store_at(std::size_t i, T v) const {
+#if defined(GPUKSEL_BOUNDS_CHECK)
+    GPUKSEL_CHECK(i < size_, "device span index out of range");
+#endif
+    data_[i] = v;
   }
 
   /// Byte offset of element i from the start of the underlying buffer.
@@ -69,15 +91,26 @@ class DeviceSpan {
     GPUKSEL_CHECK(first <= size_ && count <= size_ - first,
                   "device subspan out of range");
     return DeviceSpan(data_ + first, count, byte_offset(first),
-                      shadow_ != nullptr ? shadow_ + first : nullptr);
+                      shadow_ != nullptr ? shadow_ + first : nullptr,
+                      pristine_);
   }
 
-  /// Sanitizer shadow byte of element i (kShadowUninit if never written).
+  /// True when every element of the underlying buffer was initialized at
+  /// construction/upload and the shadow has been consistent ever since (every
+  /// store through WarpContext refreshes both together).  The lane engine
+  /// uses this to prove poison/ECC checks vacuous and skip the shadow gather
+  /// on loads; a buffer born uninitialized() never becomes pristine.
+  [[nodiscard]] bool pristine() const noexcept { return pristine_; }
+
+  /// Sanitizer shadow word of element i (kShadowUninit if never written).
   [[nodiscard]] bool has_shadow() const noexcept { return shadow_ != nullptr; }
-  [[nodiscard]] std::uint8_t shadow_at(std::size_t i) const noexcept {
+  [[nodiscard]] std::uint32_t* shadow_data() const noexcept {
+    return shadow_;
+  }
+  [[nodiscard]] std::uint32_t shadow_at(std::size_t i) const noexcept {
     return shadow_[i];
   }
-  void set_shadow(std::size_t i, std::uint8_t value) const noexcept {
+  void set_shadow(std::size_t i, std::uint32_t value) const noexcept {
     shadow_[i] = value;
   }
 
@@ -85,7 +118,10 @@ class DeviceSpan {
   T* data_ = nullptr;
   std::size_t size_ = 0;
   std::size_t byte_offset_ = 0;
-  std::uint8_t* shadow_ = nullptr;
+  std::uint32_t* shadow_ = nullptr;
+  // Mutable: a raw write through at() on a value-copied span must still be
+  // able to revoke trust (see at()).
+  mutable bool pristine_ = false;
 };
 
 /// An owning device allocation with sanitizer shadow memory.
@@ -106,6 +142,7 @@ class DeviceBuffer {
     DeviceBuffer buf;
     buf.storage_.assign(n, T{});
     buf.shadow_.assign(n, kShadowUninit);
+    buf.pristine_ = false;
     return buf;
   }
 
@@ -116,12 +153,13 @@ class DeviceBuffer {
 
   [[nodiscard]] DeviceSpan<T> span() noexcept {
     refresh_shadow_if_dirty();
-    return DeviceSpan<T>(storage_.data(), storage_.size(), 0, shadow_.data());
+    return DeviceSpan<T>(storage_.data(), storage_.size(), 0, shadow_.data(),
+                         pristine_);
   }
   [[nodiscard]] DeviceSpan<const T> cspan() const noexcept {
     refresh_shadow_if_dirty();
     return DeviceSpan<const T>(storage_.data(), storage_.size(), 0,
-                               shadow_.data());
+                               shadow_.data(), pristine_);
   }
 
   /// Simulator-side view of the contents (tests and host verification).  The
@@ -136,21 +174,32 @@ class DeviceBuffer {
  private:
   void rebuild_shadow() const {
     shadow_.resize(storage_.size());
-    for (std::size_t i = 0; i < storage_.size(); ++i) {
-      shadow_[i] = shadow_of(storage_[i]);
+    if constexpr (sizeof(T) == 4) {
+      lanevec::shadow_fill(storage_.data(), shadow_.data(), storage_.size());
+    } else {
+      for (std::size_t i = 0; i < storage_.size(); ++i) {
+        shadow_[i] = shadow_of(storage_[i]);
+      }
     }
   }
   void refresh_shadow_if_dirty() const noexcept {
     if (!shadow_dirty_) return;
     rebuild_shadow();
     shadow_dirty_ = false;
+    // A rebuilt shadow marks every element initialized and consistent: the
+    // host write modeled a fresh upload.
+    pristine_ = true;
   }
 
   std::vector<T> storage_;
   // Shadow state is metadata about storage_, not logical buffer content, so
   // const views may refresh it.
-  mutable std::vector<std::uint8_t> shadow_;
+  mutable std::vector<std::uint32_t> shadow_;
   mutable bool shadow_dirty_ = false;
+  // Whether the whole buffer is initialized with a consistent shadow (see
+  // DeviceSpan::pristine).  True from the filling constructors, false from
+  // uninitialized(); host mutation re-establishes it via the rebuild above.
+  mutable bool pristine_ = true;
 };
 
 /// PCIe-like host<->device link model.  The paper's "Data Copy" row measures

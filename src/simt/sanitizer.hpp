@@ -76,18 +76,21 @@ class ScopedNanPolicy {
 
 // --- shadow memory encoding -------------------------------------------------
 //
-// One byte per element.  0x00 means "never written".  A written element holds
+// One word per element.  0x00 means "never written".  A written element holds
 // 0x80 | fold7(bytes): bit 7 marks initialized, bits 0..6 hold the element's
 // bytes XOR-folded to 7 bits.  Flipping any single bit of a 4-byte element
 // flips exactly one bit of the fold, so every single-bit corruption is
 // detected; multi-bit corruptions are detected unless they cancel in the
-// fold (the same guarantee class as SEC-DED ECC's detection side).
+// fold (the same guarantee class as SEC-DED ECC's detection side).  The
+// encoding fits a byte; storage is a 32-bit word so the lane engine can
+// gather/scatter shadow rows with the same dword instructions it uses for
+// data (lane_vec.hpp shadow_words / shadow_mismatch_mask).
 
-inline constexpr std::uint8_t kShadowUninit = 0x00;
+inline constexpr std::uint32_t kShadowUninit = 0x00;
 
 /// 7-bit XOR fold of an element's object representation, tagged initialized.
 template <typename T>
-[[nodiscard]] inline std::uint8_t shadow_of(const T& value) noexcept {
+[[nodiscard]] inline std::uint32_t shadow_of(const T& value) noexcept {
   static_assert(sizeof(T) <= 16, "shadow fold expects small scalar elements");
   unsigned char bytes[sizeof(T)];
   std::memcpy(bytes, &value, sizeof(T));
@@ -97,7 +100,7 @@ template <typename T>
   }
   // Fold 8 bits down to 7 so bit 7 is free for the initialized tag.
   fold = static_cast<std::uint8_t>((fold ^ (fold >> 7)) & 0x7f);
-  return static_cast<std::uint8_t>(0x80 | fold);
+  return static_cast<std::uint32_t>(0x80u | fold);
 }
 
 /// Throws SimtFaultError for `record`; the single funnel every sanitizer

@@ -10,6 +10,7 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <type_traits>
 
 namespace gpuksel::simt {
 
@@ -52,7 +53,7 @@ constexpr int lowest_lane(LaneMask m) noexcept {
 /// element access (used by kernels only for setup and by tests for
 /// inspection).
 template <typename T>
-struct WarpVar {
+struct alignas(64) WarpVar {
   std::array<T, kWarpSize> lanes{};
 
   constexpr T& operator[](int lane) noexcept { return lanes[lane]; }
@@ -81,5 +82,18 @@ struct WarpVar {
 using F32 = WarpVar<float>;
 using U32 = WarpVar<std::uint32_t>;
 using I32 = WarpVar<std::int32_t>;
+
+// The vector backend (lane_vec.hpp) loads WarpVar storage directly with
+// aligned 64-byte vector moves; these pin the layout that makes that legal.
+static_assert(sizeof(F32) == kWarpSize * sizeof(float) &&
+                  sizeof(U32) == kWarpSize * sizeof(std::uint32_t) &&
+                  sizeof(I32) == kWarpSize * sizeof(std::int32_t),
+              "WarpVar<4-byte T> must be exactly 32 packed lanes");
+static_assert(alignof(F32) >= 64 && alignof(U32) >= 64 && alignof(I32) >= 64,
+              "WarpVar must be 64-byte aligned for full-width vector loads");
+static_assert(std::is_trivially_copyable_v<F32> &&
+                  std::is_trivially_copyable_v<U32> &&
+                  std::is_trivially_copyable_v<I32>,
+              "WarpVar lanes must be raw bits; the backend memcpy/loads them");
 
 }  // namespace gpuksel::simt

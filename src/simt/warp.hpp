@@ -29,6 +29,7 @@
 #include <type_traits>
 
 #include "simt/fault_injection.hpp"
+#include "simt/lane_vec.hpp"
 #include "simt/memory.hpp"
 #include "simt/metrics.hpp"
 #include "simt/profiler.hpp"
@@ -56,8 +57,11 @@ class WarpContext {
         injector_(injector),
         kernel_name_(kernel_name),
         profile_(profile),
-        unchecked_(injector == nullptr &&
-                   (sanitizer == nullptr || !sanitizer->any_check_on())) {}
+        unchecked_((injector == nullptr || !injector->kernel_enabled()) &&
+                   (sanitizer == nullptr || !sanitizer->any_check_on())),
+        injector_live_(injector != nullptr && injector->kernel_enabled()),
+        shadow_checks_(sanitizer != nullptr &&
+                       (sanitizer->poison || sanitizer->ecc)) {}
 
   WarpContext(const WarpContext&) = delete;
   WarpContext& operator=(const WarpContext&) = delete;
@@ -113,7 +117,11 @@ class WarpContext {
   template <typename T>
   void mov(LaneMask m, WarpVar<T>& dst, T value) noexcept {
     issue(m);
-    for_active(m, [&](int i) { dst[i] = value; });
+    if constexpr (lanevec::lane32<T>) {
+      lanevec::fill(m, dst, value);
+    } else {
+      for_active(m, [&](int i) { dst[i] = value; });
+    }
   }
 
   /// Fresh register holding `value` in every lane.
@@ -128,13 +136,19 @@ class WarpContext {
   template <typename T>
   void cpy(LaneMask m, WarpVar<T>& dst, const WarpVar<T>& src) noexcept {
     issue(m);
-    for_active(m, [&](int i) { dst[i] = src[i]; });
+    if constexpr (lanevec::lane32<T>) {
+      lanevec::copy(m, dst, src);
+    } else {
+      for_active(m, [&](int i) { dst[i] = src[i]; });
+    }
   }
 
   // --- ALU -----------------------------------------------------------------
 
   /// Generic one-instruction ALU op: dst[i] = f(i) for active lanes.  The
   /// functor must be a per-lane expression over already-held registers.
+  /// Executes lane-by-lane — the escape hatch for irregular per-lane logic;
+  /// the typed ops below cover the hot shapes with the vector backend.
   template <typename T, typename F>
   void alu(LaneMask m, WarpVar<T>& dst, F&& f) noexcept {
     issue(m);
@@ -143,30 +157,58 @@ class WarpContext {
 
   template <typename T>
   WarpVar<T> add(LaneMask m, const WarpVar<T>& a, const WarpVar<T>& b) noexcept {
-    WarpVar<T> r = a;
-    alu(m, r, [&](int i) { return static_cast<T>(a[i] + b[i]); });
-    return r;
+    if constexpr (lanevec::lane32<T>) {
+      WarpVar<T> r;
+      issue(m);
+      lanevec::add(m, r, a, b);
+      return r;
+    } else {
+      WarpVar<T> r = a;
+      alu(m, r, [&](int i) { return static_cast<T>(a[i] + b[i]); });
+      return r;
+    }
   }
 
   template <typename T>
   WarpVar<T> add(LaneMask m, const WarpVar<T>& a, T b) noexcept {
-    WarpVar<T> r = a;
-    alu(m, r, [&](int i) { return static_cast<T>(a[i] + b); });
-    return r;
+    if constexpr (lanevec::lane32<T>) {
+      WarpVar<T> r;
+      issue(m);
+      lanevec::add_s(m, r, a, b);
+      return r;
+    } else {
+      WarpVar<T> r = a;
+      alu(m, r, [&](int i) { return static_cast<T>(a[i] + b); });
+      return r;
+    }
   }
 
   template <typename T>
   WarpVar<T> sub(LaneMask m, const WarpVar<T>& a, const WarpVar<T>& b) noexcept {
-    WarpVar<T> r = a;
-    alu(m, r, [&](int i) { return static_cast<T>(a[i] - b[i]); });
-    return r;
+    if constexpr (lanevec::lane32<T>) {
+      WarpVar<T> r;
+      issue(m);
+      lanevec::sub(m, r, a, b);
+      return r;
+    } else {
+      WarpVar<T> r = a;
+      alu(m, r, [&](int i) { return static_cast<T>(a[i] - b[i]); });
+      return r;
+    }
   }
 
   template <typename T>
   WarpVar<T> mul(LaneMask m, const WarpVar<T>& a, T b) noexcept {
-    WarpVar<T> r = a;
-    alu(m, r, [&](int i) { return static_cast<T>(a[i] * b); });
-    return r;
+    if constexpr (lanevec::lane32<T>) {
+      WarpVar<T> r;
+      issue(m);
+      lanevec::mul_s(m, r, a, b);
+      return r;
+    } else {
+      WarpVar<T> r = a;
+      alu(m, r, [&](int i) { return static_cast<T>(a[i] * b); });
+      return r;
+    }
   }
 
   /// dst[i] = cond lane i active in `take` ? a[i] : b[i] — a select executed
@@ -174,14 +216,96 @@ class WarpContext {
   template <typename T>
   WarpVar<T> select(LaneMask m, LaneMask take, const WarpVar<T>& a,
                     const WarpVar<T>& b) noexcept {
-    WarpVar<T> r = b;
-    alu(m, r, [&](int i) { return lane_active(take, i) ? a[i] : b[i]; });
+    if constexpr (lanevec::lane32<T>) {
+      WarpVar<T> r;
+      issue(m);
+      lanevec::select(m, take, r, a, b);
+      return r;
+    } else {
+      WarpVar<T> r = b;
+      alu(m, r, [&](int i) { return lane_active(take, i) ? a[i] : b[i]; });
+      return r;
+    }
+  }
+
+  // --- fused typed ops (one instruction each, vector-backed) ----------------
+  //
+  // These cover the address-generation and inner-loop shapes that dominated
+  // the kernels' generic alu()/pred() lambdas.  Each is exactly one issued
+  // instruction with the same lane semantics the lambda form had.
+
+  /// Fresh register: r[i] = a[i] * mul + addc for active lanes, 0 elsewhere
+  /// (matching the default-initialized WarpVar a lambda alu would write into).
+  template <typename T>
+  WarpVar<T> mad(LaneMask m, const WarpVar<T>& a, T mul, T addc) noexcept {
+    static_assert(std::is_integral_v<T>, "mad is integer address math");
+    WarpVar<T> r;
+    issue(m);
+    lanevec::mad_s(m, r, a, mul, addc);
     return r;
+  }
+
+  /// Fresh register: r[i] = a[i] * mul + b[i] for active lanes, 0 elsewhere.
+  template <typename T>
+  WarpVar<T> mad(LaneMask m, const WarpVar<T>& a, T mul,
+                 const WarpVar<T>& b) noexcept {
+    static_assert(std::is_integral_v<T>, "mad is integer address math");
+    WarpVar<T> r;
+    issue(m);
+    lanevec::mad_v(m, r, a, mul, b);
+    return r;
+  }
+
+  /// Fresh register: r[i] = base + i for active lanes, 0 elsewhere — the
+  /// canonical flat-thread-index computation.
+  [[nodiscard]] U32 lane_offset(LaneMask m, std::uint32_t base) noexcept {
+    U32 r;
+    issue(m);
+    lanevec::lane_offset(m, r, base);
+    return r;
+  }
+
+  /// acc[i] += d[i]*d[i] for active lanes — the distance-kernel inner step.
+  /// Two separately rounded IEEE ops (mul, then add); never an FMA.
+  void add_sq(LaneMask m, F32& acc, const F32& d) noexcept {
+    issue(m);
+    lanevec::add_sq(m, acc, d);
+  }
+
+  /// Fresh register: r[i] = i >= delta ? src[i-delta] : 0 for active lanes —
+  /// the Hillis-Steele scan shift (one instruction, like the lambda it
+  /// replaces).
+  [[nodiscard]] U32 shift_up_zero(LaneMask m, const U32& src,
+                                  int delta) noexcept {
+    U32 r;
+    issue(m);
+    lanevec::shift_up_zero(m, r, src, delta);
+    return r;
+  }
+
+  /// Fresh register: the bitonic network's lower-pair position for per-lane
+  /// pair p = base + i at power-of-two stride — r[i] = 2*stride*(p/stride) +
+  /// p%stride for active lanes, 0 elsewhere (one instruction, like the alu
+  /// lambda it replaces).
+  [[nodiscard]] U32 bitonic_low_index(LaneMask m, std::uint32_t base,
+                                      std::uint32_t stride) noexcept {
+    U32 r;
+    issue(m);
+    lanevec::bitonic_low_index(m, r, base, stride);
+    return r;
+  }
+
+  /// Mask of active lanes where (a[i] & bits) != 0 — a one-instruction bit
+  /// probe (the bitonic direction test).
+  LaneMask test_any(LaneMask m, const U32& a, std::uint32_t bits) noexcept {
+    issue(m);
+    return lanevec::test_bits(m, a, bits);
   }
 
   // --- predicates ----------------------------------------------------------
 
-  /// Generic compare producing a predicate mask restricted to `m`.
+  /// Generic compare producing a predicate mask restricted to `m`.  Lane-by-
+  /// lane escape hatch; the typed compares below are vector-backed.
   template <typename F>
   LaneMask pred(LaneMask m, F&& f) noexcept {
     issue(m);
@@ -194,27 +318,98 @@ class WarpContext {
 
   template <typename T>
   LaneMask cmp_lt(LaneMask m, const WarpVar<T>& a, const WarpVar<T>& b) noexcept {
-    return pred(m, [&](int i) { return a[i] < b[i]; });
+    if constexpr (lanevec::lane32<T>) {
+      issue(m);
+      return lanevec::cmp_lt(m, a, b);
+    } else {
+      return pred(m, [&](int i) { return a[i] < b[i]; });
+    }
   }
   template <typename T>
   LaneMask cmp_lt(LaneMask m, const WarpVar<T>& a, T b) noexcept {
-    return pred(m, [&](int i) { return a[i] < b; });
+    if constexpr (lanevec::lane32<T>) {
+      issue(m);
+      return lanevec::cmp_lt_s(m, a, b);
+    } else {
+      return pred(m, [&](int i) { return a[i] < b; });
+    }
   }
   template <typename T>
   LaneMask cmp_le(LaneMask m, const WarpVar<T>& a, const WarpVar<T>& b) noexcept {
-    return pred(m, [&](int i) { return a[i] <= b[i]; });
+    if constexpr (lanevec::lane32<T>) {
+      issue(m);
+      return lanevec::cmp_le(m, a, b);
+    } else {
+      return pred(m, [&](int i) { return a[i] <= b[i]; });
+    }
   }
   template <typename T>
   LaneMask cmp_gt(LaneMask m, const WarpVar<T>& a, const WarpVar<T>& b) noexcept {
-    return pred(m, [&](int i) { return a[i] > b[i]; });
+    if constexpr (lanevec::lane32<T>) {
+      issue(m);
+      return lanevec::cmp_gt(m, a, b);
+    } else {
+      return pred(m, [&](int i) { return a[i] > b[i]; });
+    }
+  }
+  template <typename T>
+  LaneMask cmp_gt(LaneMask m, const WarpVar<T>& a, T b) noexcept {
+    if constexpr (lanevec::lane32<T>) {
+      issue(m);
+      return lanevec::cmp_gt_s(m, a, b);
+    } else {
+      return pred(m, [&](int i) { return a[i] > b; });
+    }
   }
   template <typename T>
   LaneMask cmp_ge(LaneMask m, const WarpVar<T>& a, const WarpVar<T>& b) noexcept {
-    return pred(m, [&](int i) { return a[i] >= b[i]; });
+    if constexpr (lanevec::lane32<T>) {
+      issue(m);
+      return lanevec::cmp_ge(m, a, b);
+    } else {
+      return pred(m, [&](int i) { return a[i] >= b[i]; });
+    }
   }
   template <typename T>
   LaneMask cmp_eq(LaneMask m, const WarpVar<T>& a, T b) noexcept {
-    return pred(m, [&](int i) { return a[i] == b; });
+    if constexpr (lanevec::lane32<T>) {
+      issue(m);
+      return lanevec::cmp_eq_s(m, a, b);
+    } else {
+      return pred(m, [&](int i) { return a[i] == b; });
+    }
+  }
+  template <typename T>
+  LaneMask cmp_eq(LaneMask m, const WarpVar<T>& a, const WarpVar<T>& b) noexcept {
+    if constexpr (lanevec::lane32<T>) {
+      issue(m);
+      return lanevec::cmp_eq(m, a, b);
+    } else {
+      return pred(m, [&](int i) { return a[i] == b[i]; });
+    }
+  }
+
+  /// Lexicographic (dist, index) less-than — the queue-entry order predicate:
+  /// (ad[i], ai[i]) < (bd[i], bi[i]) with distances compared first and ties
+  /// broken by index.  One instruction, identical to the pred() lambda form
+  /// for every payload (NaN distances compare false on both legs).
+  LaneMask lex_lt(LaneMask m, const F32& ad, const U32& ai, const F32& bd,
+                  const U32& bi) noexcept {
+    issue(m);
+    return lanevec::cmp_lex_lt(m, ad, ai, bd, bi);
+  }
+
+  /// Mask of active lanes where base + i < bound (fused iota compare).
+  LaneMask iota_lt(LaneMask m, std::uint32_t base,
+                   std::uint32_t bound) noexcept {
+    issue(m);
+    return lanevec::cmp_iota_lt(m, base, bound);
+  }
+
+  /// Mask of active lanes where a[i] + 1 < bound (the queue-advance test).
+  LaneMask inc_lt(LaneMask m, const U32& a, std::uint32_t bound) noexcept {
+    issue(m);
+    return lanevec::cmp_inc_lt(m, a, bound);
   }
 
   // --- votes and shuffles --------------------------------------------------
@@ -243,27 +438,45 @@ class WarpContext {
   /// the sanitizer's lockstep check faults instead.
   template <typename T>
   WarpVar<T> shfl(LaneMask m, const WarpVar<T>& src, const U32& from) {
-    if (lockstep_on()) {
+    if (lockstep_on() &&
+        lanevec::permute_inactive_sources(m, from) != 0) {
+      // A violation exists; rerun the scalar walk so the first faulting
+      // lane (ascending order) and its message match the reference engine.
       for_active(m, [&](int i) {
         check_shuffle_source(m, i, static_cast<int>(from[i] % kWarpSize));
       });
     }
-    WarpVar<T> r = src;
-    alu(m, r, [&](int i) { return src[from[i] % kWarpSize]; });
-    return r;
+    if constexpr (lanevec::lane32<T>) {
+      WarpVar<T> r;
+      issue(m);
+      lanevec::permute(m, r, src, from);
+      return r;
+    } else {
+      WarpVar<T> r = src;
+      alu(m, r, [&](int i) { return src[from[i] % kWarpSize]; });
+      return r;
+    }
   }
 
   /// __shfl_xor_sync with a compile-time lane mask (butterfly step).
   template <typename T>
   WarpVar<T> shfl_xor(LaneMask m, const WarpVar<T>& src, int lanemask) {
-    if (lockstep_on()) {
+    if (lockstep_on() &&
+        lanevec::xor_inactive_sources(m, lanemask) != 0) {
       for_active(m, [&](int i) {
         check_shuffle_source(m, i, (i ^ lanemask) % kWarpSize);
       });
     }
-    WarpVar<T> r = src;
-    alu(m, r, [&](int i) { return src[i ^ lanemask]; });
-    return r;
+    if constexpr (lanevec::lane32<T>) {
+      WarpVar<T> r;
+      issue(m);
+      lanevec::permute_xor(m, r, src, lanemask);
+      return r;
+    } else {
+      WarpVar<T> r = src;
+      alu(m, r, [&](int i) { return src[i ^ lanemask]; });
+      return r;
+    }
   }
 
   /// Broadcast the value held by `src_lane` to all active lanes.
@@ -272,9 +485,16 @@ class WarpContext {
     if (lockstep_on() && m != 0) {
       check_shuffle_source(m, lowest_lane(m), src_lane % kWarpSize);
     }
-    WarpVar<T> r = src;
-    alu(m, r, [&](int) { return src[src_lane % kWarpSize]; });
-    return r;
+    if constexpr (lanevec::lane32<T>) {
+      WarpVar<T> r;
+      issue(m);
+      lanevec::broadcast(m, r, src, src_lane);
+      return r;
+    } else {
+      WarpVar<T> r = src;
+      alu(m, r, [&](int) { return src[src_lane % kWarpSize]; });
+      return r;
+    }
   }
 
   // --- global memory ---------------------------------------------------------
@@ -293,20 +513,52 @@ class WarpContext {
     // per-access decisions below are all constant no — skip them rather than
     // re-deriving that per lane.  Cost accounting is identical either way.
     if (unchecked_) {
-      charge_transactions<T>(m, span, idx, /*is_store=*/false);
-      for_active(m, [&](int i) { r[i] = span.at(idx[i]); });
+      const std::int64_t contig = contig_of<T>(m, idx);
+      charge_transactions<T>(m, span, idx, /*is_store=*/false, contig);
+      gather_values(m, span, idx, r, contig);
       return r;
     }
-    const auto planned = consult_injector<T>(m, /*is_load=*/true);
-    U32 eidx = idx;
-    if (planned) apply_index_fault(*planned, span.size(), eidx);
-    check_bounds(m, span.size(), eidx, /*is_store=*/false);
-    charge_transactions<T>(m, span, eidx, /*is_store=*/false);
-    check_initialized(m, span, eidx);
-    for_active(m, [&](int i) { r[i] = span.at(eidx[i]); });
-    if (planned) apply_value_fault(*planned, r);
-    verify_loaded(m, span, eidx, r);
+    if (injector_live_) [[unlikely]] {
+      const auto planned = consult_injector<T>(m, /*is_load=*/true);
+      U32 eidx = idx;
+      if (planned) apply_index_fault(*planned, span.size(), eidx);
+      checked_load_tail(m, span, eidx, r, planned ? &*planned : nullptr);
+      return r;
+    }
+    checked_load_tail(m, span, idx, r, nullptr);
     return r;
+  }
+
+  /// The per-access check pipeline shared by both load entry points: bounds,
+  /// transaction charge, poison, element gather, value fault (when an
+  /// injector planned one), ECC verify and NaN policy — in the reference
+  /// engine's order.
+  template <typename T>
+  void checked_load_tail(LaneMask m, DeviceSpan<const T> span, const U32& eidx,
+                         WarpVar<T>& r, const PlannedFault* planned) {
+    const std::int64_t contig = contig_of<T>(m, eidx);
+    check_bounds(m, span.size(), eidx, /*is_store=*/false);
+    charge_transactions<T>(m, span, eidx, /*is_store=*/false, contig);
+    // A pristine span's shadow is consistent by construction (rebuilt at
+    // upload, refreshed by every store), so the poison and ECC checks are
+    // provably vacuous and the shadow gather feeding them can be skipped —
+    // unless an injector is live, whose planned value faults must still trip
+    // the ECC verify.  Verdicts and metrics are unchanged either way.
+    const bool shadow_trusted = span.pristine() && !injector_live_;
+    // The poison check (pre-load) and the ECC verify (post-load) consult the
+    // same shadow row; gather it once here for both.
+    U32 sh{};
+    if (shadow_checks_ && span.has_shadow() && !shadow_trusted) {
+      if (contig >= 0) {
+        lanevec::gather_contig(m, sh, span.shadow_data(), contig);
+      } else {
+        lanevec::gather(m, sh, span.shadow_data(), eidx);
+      }
+      check_initialized(m, span, eidx, sh);
+    }
+    gather_values(m, span, eidx, r, contig);
+    if (planned != nullptr) apply_value_fault(*planned, r);
+    verify_loaded(m, span, eidx, r, sh, shadow_trusted);
   }
 
   template <typename T>
@@ -327,28 +579,32 @@ class WarpContext {
     // hoisted out of the lane loop.  Shadow bytes are still maintained so a
     // later launch with ecc/poison re-enabled sees coherent metadata.
     if (unchecked_) {
-      charge_transactions<T>(m, span, idx, /*is_store=*/true);
-      if (span.has_shadow()) {
-        for_active(m, [&](int i) {
-          span.at(idx[i]) = v[i];
-          span.set_shadow(idx[i], shadow_of(v[i]));
-        });
-      } else {
-        for_active(m, [&](int i) { span.at(idx[i]) = v[i]; });
-      }
+      const std::int64_t contig = contig_of<T>(m, idx);
+      charge_transactions<T>(m, span, idx, /*is_store=*/true, contig);
+      scatter_values(m, span, idx, v, contig);
       return;
     }
-    const auto planned = consult_injector<T>(m, /*is_load=*/false);
-    U32 eidx = idx;
-    if (planned) apply_index_fault(*planned, span.size(), eidx);
+    if (injector_live_) [[unlikely]] {
+      const auto planned = consult_injector<T>(m, /*is_load=*/false);
+      U32 eidx = idx;
+      if (planned) apply_index_fault(*planned, span.size(), eidx);
+      checked_store_tail(m, span, eidx, v);
+      return;
+    }
+    checked_store_tail(m, span, idx, v);
+  }
+
+  /// The store-side check pipeline shared by both store entry points.
+  template <typename T>
+  void checked_store_tail(LaneMask m, DeviceSpan<T> span, const U32& eidx,
+                          const WarpVar<T>& v) {
+    const std::int64_t contig = contig_of<T>(m, eidx);
     check_bounds(m, span.size(), eidx, /*is_store=*/true);
-    check_store_collisions(m, eidx);
-    charge_transactions<T>(m, span, eidx, /*is_store=*/true);
-    const bool shadow = span.has_shadow();
-    for_active(m, [&](int i) {
-      span.at(eidx[i]) = v[i];
-      if (shadow) span.set_shadow(eidx[i], shadow_of(v[i]));
-    });
+    // A unit-stride run has 32 distinct addresses by construction, so the
+    // collision check can only come up empty — skip the scan.
+    if (contig < 0) check_store_collisions(m, eidx);
+    charge_transactions<T>(m, span, eidx, /*is_store=*/true, contig);
+    scatter_values(m, span, eidx, v, contig);
   }
 
   /// Store an immediate to span[idx[i]] for active lanes.
@@ -357,42 +613,222 @@ class WarpContext {
     store(m, span, idx, WarpVar<T>::filled(value));
   }
 
+  // --- paired accesses ------------------------------------------------------
+  //
+  // Per-thread queues split one logical entry across a float array and an
+  // index array addressed by the same index vector, so every queue touch is
+  // two accesses with identical shape.  The paired entry points charge
+  // exactly what two plain calls would — two requests, two transaction
+  // counts — but share the stride probe and the segmentation, which are
+  // equal because both spans have 4-byte elements and transaction-aligned
+  // bases.  With any check or injector armed they ARE two plain calls.
+
+  /// ra = a[idx], rb = b[idx] under one index vector.
+  template <typename A, typename B>
+  void load_pair(LaneMask m, DeviceSpan<const A> a, DeviceSpan<const B> b,
+                 const U32& idx, WarpVar<A>& ra, WarpVar<B>& rb) {
+    static_assert(sizeof(A) == 4 && sizeof(B) == 4,
+                  "paired access requires matching 4-byte elements");
+    if (unchecked_ && same_segmentation(a, b)) {
+      issue(m, 2);
+      const std::int64_t contig = contig_of<A>(m, idx);
+      const auto n =
+          static_cast<std::uint64_t>(transaction_count<A>(m, a, idx, contig));
+      metrics_.global_requests += 2;
+      metrics_.global_load_tx += 2 * n;
+      gather_values(m, a, idx, ra, contig);
+      gather_values(m, b, idx, rb, contig);
+      return;
+    }
+    ra = load(m, a, idx);
+    rb = load(m, b, idx);
+  }
+
+  /// Mutable-span convenience, mirroring load(DeviceSpan<T>).
+  template <typename A, typename B>
+  void load_pair(LaneMask m, DeviceSpan<A> a, DeviceSpan<B> b, const U32& idx,
+                 WarpVar<A>& ra, WarpVar<B>& rb) {
+    load_pair(m, DeviceSpan<const A>(a), DeviceSpan<const B>(b), idx, ra, rb);
+  }
+
+  /// a[idx] = va, b[idx] = vb under one index vector.
+  template <typename A, typename B>
+  void store_pair(LaneMask m, DeviceSpan<A> a, DeviceSpan<B> b,
+                  const U32& idx, const WarpVar<A>& va, const WarpVar<B>& vb) {
+    static_assert(sizeof(A) == 4 && sizeof(B) == 4,
+                  "paired access requires matching 4-byte elements");
+    if (unchecked_ && same_segmentation(a, b)) {
+      issue(m, 2);
+      const std::int64_t contig = contig_of<A>(m, idx);
+      const auto n =
+          static_cast<std::uint64_t>(transaction_count<A>(m, a, idx, contig));
+      metrics_.global_requests += 2;
+      metrics_.global_store_tx += 2 * n;
+      scatter_values(m, a, idx, va, contig);
+      scatter_values(m, b, idx, vb, contig);
+      return;
+    }
+    store(m, a, idx, va);
+    store(m, b, idx, vb);
+  }
+
   // --- shared memory accounting (used by SharedArray) -----------------------
 
   /// Charges one shared request issued under `m` touching the given 4-byte
   /// bank words; replays once per extra conflicting access in a bank.
   void charge_shared(LaneMask m, const U32& bank_words) noexcept {
-    std::uint8_t per_bank_addrs[kWarpSize] = {};
-    std::uint32_t bank_addr[kWarpSize] = {};
-    for (int i = 0; i < kWarpSize; ++i) {
-      if (!lane_active(m, i)) continue;
-      const std::uint32_t word = bank_words[i];
-      const int bank = static_cast<int>(word % kWarpSize);
-      // Same word in same bank broadcasts for free; a different word in an
-      // occupied bank forces a replay.
-      if (per_bank_addrs[bank] == 0) {
-        per_bank_addrs[bank] = 1;
-        bank_addr[bank] = word;
-      } else if (bank_addr[bank] != word) {
-        ++per_bank_addrs[bank];
-        bank_addr[bank] = word;
+    // Broadcast/all-distinct patterns resolve in a few vector ops; genuinely
+    // conflicted requests fall back to the exact per-bank histogram inside
+    // shared_degree, so the modeled degree never changes.  The degree is a
+    // pure function of (mask, words), and warp-cooperative sorts issue the
+    // same access shape several times back to back (read dist, read index,
+    // then write both), so a two-entry memo removes most recomputation —
+    // for both backends, without touching the modeled cost.
+    int degree = -1;
+    for (const DegreeMemo& e : degree_memo_) {
+      if (e.valid && e.mask == m && lanevec::equal_all(e.words, bank_words)) {
+        degree = e.degree;
+        break;
       }
     }
-    int degree = 1;
-    for (int b = 0; b < kWarpSize; ++b) {
-      degree = std::max(degree, static_cast<int>(per_bank_addrs[b]));
+    if (degree < 0) {
+      // Second level: warp-cooperative sorting networks replay the *same*
+      // index shapes once per outer data tile (TBS re-sorts its truncation
+      // n/chunk times with identical (mask, words) pairs), so a hashed cache
+      // turns every histogram recomputation after the first tile into a
+      // lookup.  Collisions just recompute — the degree stored is always
+      // exact, so the modeled replay count cannot drift.
+      if (degree_cache_.empty()) degree_cache_.resize(kDegreeCacheSize);
+      const std::size_t h = hash_words(m, bank_words) & (kDegreeCacheSize - 1);
+      DegreeMemo& c = degree_cache_[h];
+      if (c.valid && c.mask == m && lanevec::equal_all(c.words, bank_words)) {
+        degree = c.degree;
+      } else {
+        degree = lanevec::shared_degree(m, bank_words);
+        c.words = bank_words;
+        c.mask = m;
+        c.degree = degree;
+        c.valid = true;
+      }
+      // Refresh the MRU pair in place (round-robin victim: one 32-word copy
+      // instead of the two an MRU shift would cost).
+      DegreeMemo& slot = degree_memo_[memo_evict_];
+      memo_evict_ ^= 1;
+      slot.words = bank_words;
+      slot.mask = m;
+      slot.degree = degree;
+      slot.valid = true;
     }
     issue(m, static_cast<std::uint64_t>(degree));
     metrics_.shared_requests += 1;
     metrics_.shared_conflict_replays += static_cast<std::uint64_t>(degree - 1);
   }
 
+  /// Broadcast variant: every active lane touches the same bank word, whose
+  /// conflict degree is 1 by definition, so the word vector and the memo scan
+  /// are skipped outright.  Charges exactly what charge_shared would.
+  void charge_shared_broadcast(LaneMask m) noexcept {
+    issue(m, 1);
+    metrics_.shared_requests += 1;
+  }
+
  private:
+  /// Two spans segment identically iff their elements are the same width
+  /// (enforced by the callers' static_asserts) and their bases sit at the
+  /// same offset within a transaction.
+  template <typename SpanA, typename SpanB>
+  static bool same_segmentation(const SpanA& a, const SpanB& b) noexcept {
+    return a.byte_offset(0) % kTransactionBytes ==
+           b.byte_offset(0) % kTransactionBytes;
+  }
+
   template <typename F>
   static void for_active(LaneMask m, F&& f) {
     for (int i = 0; i < kWarpSize; ++i) {
       if (lane_active(m, i)) f(i);
     }
+  }
+
+  // --- vectorized element movement ------------------------------------------
+
+  /// dst[i] = span[idx[i]] for active lanes; inactive lanes keep dst's zeros.
+  /// Indices must already be bounds-checked (or the span trusted).
+  /// The access's unit-stride base (lanevec::contig_base) or -1, computed
+  /// once per load/store and threaded through charging, collision checks and
+  /// element movement.  Debug bounds-check builds always take the scalar
+  /// .at() paths, so the probe is skipped there.
+  template <typename T>
+  static std::int64_t contig_of(LaneMask m, const U32& idx) noexcept {
+#if defined(GPUKSEL_BOUNDS_CHECK)
+    (void)m;
+    (void)idx;
+    return -1;
+#else
+    if constexpr (lanevec::lane32<T>) {
+      return lanevec::contig_base(m, idx);
+    } else {
+      return -1;
+    }
+#endif
+  }
+
+  template <typename T>
+  void gather_values(LaneMask m, DeviceSpan<const T> span, const U32& idx,
+                     WarpVar<T>& r, std::int64_t contig) const {
+#if defined(GPUKSEL_BOUNDS_CHECK)
+    (void)contig;
+    for_active(m, [&](int i) { r[i] = span.at(idx[i]); });
+#else
+    if constexpr (lanevec::lane32<T>) {
+      if (contig >= 0) {
+        lanevec::gather_contig(m, r, span.data(), contig);
+      } else {
+        lanevec::gather(m, r, span.data(), idx);
+      }
+    } else {
+      for_active(m, [&](int i) { r[i] = span.at(idx[i]); });
+    }
+#endif
+  }
+
+  /// span[idx[i]] = v[i] for active lanes, plus the shadow checksum when the
+  /// span carries one.  Colliding lanes commit lowest-to-highest in both the
+  /// vector scatter and the shadow loop, so highest lane wins for value and
+  /// shadow alike — exactly the scalar engine's order.
+  template <typename T>
+  void scatter_values(LaneMask m, DeviceSpan<T> span, const U32& idx,
+                      const WarpVar<T>& v, std::int64_t contig) const {
+    const bool shadow = span.has_shadow();
+#if defined(GPUKSEL_BOUNDS_CHECK)
+    (void)contig;
+    for_active(m, [&](int i) {
+      span.store_at(idx[i], v[i]);
+      if (shadow) span.set_shadow(idx[i], shadow_of(v[i]));
+    });
+#else
+    if constexpr (lanevec::lane32<T>) {
+      if (contig >= 0) {
+        lanevec::scatter_contig(m, span.data(), contig, v);
+        if (shadow) {
+          U32 sh;
+          lanevec::shadow_words(v, sh);
+          lanevec::scatter_contig(m, span.shadow_data(), contig, sh);
+        }
+        return;
+      }
+      lanevec::scatter(m, span.data(), idx, v);
+      if (shadow) {
+        U32 sh;
+        lanevec::shadow_words(v, sh);
+        lanevec::scatter(m, span.shadow_data(), idx, sh);
+      }
+    } else {
+      for_active(m, [&](int i) {
+        span.store_at(idx[i], v[i]);
+        if (shadow) span.set_shadow(idx[i], shadow_of(v[i]));
+      });
+    }
+#endif
   }
 
   // --- sanitizer / fault-injection plumbing ---------------------------------
@@ -455,6 +891,9 @@ class WarpContext {
   void check_bounds(LaneMask m, std::size_t size, const U32& idx,
                     bool is_store) const {
     if (!bounds_on()) return;
+    // Vector detect; the scalar walk below only runs to attribute a fault to
+    // its lane with the reference engine's message and ordering.
+    if (lanevec::oob_mask(m, idx, size) == 0) return;
     for_active(m, [&](int i) {
       if (idx[i] < size) return;
       std::ostringstream os;
@@ -464,12 +903,14 @@ class WarpContext {
     });
   }
 
+  /// `sh` is the shadow row already gathered by load() for the active lanes.
   template <typename T>
-  void check_initialized(LaneMask m, DeviceSpan<const T> span,
-                         const U32& idx) const {
+  void check_initialized(LaneMask m, DeviceSpan<const T> span, const U32& idx,
+                         const U32& sh) const {
     if (sanitizer_ == nullptr || !sanitizer_->poison || !span.has_shadow()) {
       return;
     }
+    if (lanevec::cmp_eq_s(m, sh, std::uint32_t{kShadowUninit}) == 0) return;
     for_active(m, [&](int i) {
       if (span.shadow_at(idx[i]) != kShadowUninit) return;
       std::ostringstream os;
@@ -481,21 +922,54 @@ class WarpContext {
   /// ECC decode at the consumer: the loaded (possibly injector-corrupted)
   /// register must match the shadow checksum written alongside the element.
   /// Runs before NaN remapping so a legitimate stored NaN never false-trips.
+  /// `sh` is the shadow row already gathered by load() for the active lanes.
   template <typename T>
   void verify_loaded(LaneMask m, DeviceSpan<const T> span, const U32& idx,
-                     WarpVar<T>& r) const {
+                     WarpVar<T>& r, const U32& sh,
+                     bool shadow_trusted = false) const {
     if (sanitizer_ == nullptr) return;
-    if (sanitizer_->ecc && span.has_shadow()) {
-      for_active(m, [&](int i) {
-        const std::uint8_t expect = span.shadow_at(idx[i]);
-        if (expect == kShadowUninit || shadow_of(r[i]) == expect) return;
-        std::ostringstream os;
-        os << "loaded word at element " << idx[i]
-           << " disagrees with its shadow checksum (corrupted memory)";
-        fault(FaultKind::kEccMismatch, i, os.str());
-      });
+    if (sanitizer_->ecc && span.has_shadow() && !shadow_trusted) {
+      if constexpr (lanevec::lane32<T>) {
+        // Recompute all 32 checksums in-register and compare against the
+        // pre-gathered shadow row in one shot; faults rerun the scalar walk.
+        U32 got;
+        lanevec::shadow_words(r, got);
+        if (lanevec::shadow_mismatch_mask(m, sh, got) != 0) {
+          for_active(m, [&](int i) {
+            const std::uint32_t e = span.shadow_at(idx[i]);
+            if (e == kShadowUninit || shadow_of(r[i]) == e) return;
+            std::ostringstream os;
+            os << "loaded word at element " << idx[i]
+               << " disagrees with its shadow checksum (corrupted memory)";
+            fault(FaultKind::kEccMismatch, i, os.str());
+          });
+        }
+      } else {
+        for_active(m, [&](int i) {
+          const std::uint32_t expect = span.shadow_at(idx[i]);
+          if (expect == kShadowUninit || shadow_of(r[i]) == expect) return;
+          std::ostringstream os;
+          os << "loaded word at element " << idx[i]
+             << " disagrees with its shadow checksum (corrupted memory)";
+          fault(FaultKind::kEccMismatch, i, os.str());
+        });
+      }
     }
-    if constexpr (std::is_floating_point_v<T>) {
+    if constexpr (std::is_same_v<T, float>) {
+      if (sanitizer_->nan_policy == NanPolicy::kReject) {
+        if (lanevec::isnan_mask(m, r) != 0) {
+          for_active(m, [&](int i) {
+            if (!std::isnan(r[i])) return;
+            std::ostringstream os;
+            os << "NaN loaded from element " << idx[i]
+               << " under NanPolicy::kReject";
+            fault(FaultKind::kNanDistance, i, os.str());
+          });
+        }
+      } else if (sanitizer_->nan_policy == NanPolicy::kSortLast) {
+        lanevec::nan_to_inf(m, r);
+      }
+    } else if constexpr (std::is_floating_point_v<T>) {
       if (sanitizer_->nan_policy == NanPolicy::kReject) {
         for_active(m, [&](int i) {
           if (!std::isnan(r[i])) return;
@@ -514,6 +988,9 @@ class WarpContext {
 
   void check_store_collisions(LaneMask m, const U32& idx) const {
     if (!lockstep_on()) return;
+    // One conflict-detection pass answers "any duplicate address?"; the
+    // quadratic walk below only runs to name the colliding lane pair.
+    if (!lanevec::has_collision(m, idx)) return;
     for (int i = 0; i < kWarpSize; ++i) {
       if (!lane_active(m, i)) continue;
       for (int j = i + 1; j < kWarpSize; ++j) {
@@ -529,21 +1006,8 @@ class WarpContext {
 
   template <typename T, typename SpanT>
   void charge_transactions(LaneMask m, const SpanT& span, const U32& idx,
-                           bool is_store) {
-    std::uint64_t segments[kWarpSize];
-    int n = 0;
-    for (int i = 0; i < kWarpSize; ++i) {
-      if (!lane_active(m, i)) continue;
-      const std::uint64_t seg = span.byte_offset(idx[i]) / kTransactionBytes;
-      bool seen = false;
-      for (int j = 0; j < n; ++j) {
-        if (segments[j] == seg) {
-          seen = true;
-          break;
-        }
-      }
-      if (!seen) segments[n++] = seg;
-    }
+                           bool is_store, std::int64_t contig = -1) {
+    const int n = transaction_count<T>(m, span, idx, contig);
     metrics_.global_requests += 1;
     if (is_store) {
       metrics_.global_store_tx += static_cast<std::uint64_t>(n);
@@ -552,16 +1016,93 @@ class WarpContext {
     }
   }
 
+  /// Distinct 128-byte segments touched by the access — the counting half of
+  /// charge_transactions, shared with the paired load/store fast paths.
+  template <typename T, typename SpanT>
+  int transaction_count(LaneMask m, const SpanT& span, const U32& idx,
+                        std::int64_t contig = -1) {
+    int n = 0;
+    if constexpr (sizeof(T) == 4) {
+      if (contig >= 0) {
+        // Unit-stride run: the active lanes cover bytes first..last, a range
+        // under 128 bytes whose end segments are both touched (by the lanes
+        // that define them), so the distinct count is the closed form
+        // hi - lo + 1 — identical to the dedupe below, n ∈ {1, 2}.
+        const auto c = static_cast<std::uint64_t>(contig);
+        const std::uint64_t first = static_cast<std::uint64_t>(lowest_lane(m));
+        const std::uint64_t last =
+            31u - static_cast<std::uint64_t>(std::countl_zero(m));
+        const std::uint64_t base_b = span.byte_offset(0);
+        const std::uint64_t lo = (base_b + (c + first) * 4u) / kTransactionBytes;
+        const std::uint64_t hi = (base_b + (c + last) * 4u) / kTransactionBytes;
+        n = static_cast<int>(hi - lo) + 1;
+      } else {
+        // Segment numbers for all 32 lanes compute in-register; the common
+        // fully-coalesced case (every lane in one 128-byte line) resolves
+        // without materializing the segment list at all.
+        n = lanevec::count_segments4(m, span.byte_offset(0), idx);
+      }
+    } else {
+      alignas(64) std::uint64_t segments[kWarpSize];
+      for (int i = 0; i < kWarpSize; ++i) {
+        if (!lane_active(m, i)) continue;
+        const std::uint64_t seg = span.byte_offset(idx[i]) / kTransactionBytes;
+        bool seen = false;
+        for (int j = 0; j < n; ++j) {
+          if (segments[j] == seg) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) segments[n++] = seg;
+      }
+    }
+    return n;
+  }
+
   KernelMetrics& metrics_;
   std::uint32_t warp_id_;
   const SanitizerConfig* sanitizer_ = nullptr;
   FaultInjector* injector_ = nullptr;
   const char* kernel_name_ = "kernel";
   WarpProfile* profile_ = nullptr;
-  /// No injector and no live sanitizer check at construction: global
-  /// accesses take the branch-free fast path.  Cached once per warp — the
-  /// config cannot change mid-launch.
+  /// No injector armed for this launch (absent, or kernel-filtered out) and
+  /// no live sanitizer check at construction: global accesses take the
+  /// branch-free fast path.  Cached once per warp — the config cannot change
+  /// mid-launch.
   bool unchecked_ = false;
+  /// Injector present and armed for this kernel: only then does the checked
+  /// access path pay for the consult + effective-index copy.
+  bool injector_live_ = false;
+  /// Shadow row consulted on loads (poison or ecc on); cached like the above.
+  bool shadow_checks_ = false;
+  /// Two-entry memo for the shared bank-conflict degree: warp-cooperative
+  /// sorts re-issue the same (mask, word-vector) access shape several times
+  /// back to back (read dist, read index, write both), and the degree is a
+  /// pure function of that pair.
+  struct DegreeMemo {
+    U32 words{};
+    LaneMask mask = 0;
+    int degree = 0;
+    bool valid = false;
+  };
+  DegreeMemo degree_memo_[2];
+  int memo_evict_ = 0;
+  /// Direct-mapped second-level degree cache (see charge_shared).  512
+  /// entries cover the distinct access shapes of a chunk-512 bitonic network
+  /// with room to spare; ~72 KiB per warp context sits comfortably in L2.
+  static constexpr std::size_t kDegreeCacheSize = 512;
+  static std::size_t hash_words(LaneMask m, const U32& w) noexcept {
+    const auto* p = reinterpret_cast<const std::uint64_t*>(&w.lanes[0]);
+    std::uint64_t acc = 0x9e3779b97f4a7c15ULL ^ m;
+    for (int i = 0; i < kWarpSize / 2; ++i) {
+      acc = (acc ^ p[i]) * 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(acc >> 32);
+  }
+  /// Allocated on the first MRU miss: warps that never touch shared memory
+  /// (or only broadcast) skip the 72 KiB footprint entirely.
+  std::vector<DegreeMemo> degree_cache_;
 };
 
 /// RAII guard for a WarpContext profiling region; closes it on destruction.
@@ -592,7 +1133,12 @@ template <typename T>
 class SharedArray {
  public:
   SharedArray(WarpContext& ctx, std::size_t n, T fill = T{})
-      : ctx_(ctx), data_(n, fill) {
+      : ctx_(ctx),
+        data_(n, fill),
+        // Cached for the lifetime of the array: shared arrays live inside one
+        // kernel launch, and the sanitizer config is fixed per launch (the
+        // same contract WarpContext uses for its own cached check flags).
+        lockstep_(ctx.sanitizer() != nullptr && ctx.sanitizer()->lockstep) {
     static_assert(sizeof(T) % 4 == 0 || sizeof(T) == 4 || sizeof(T) <= 4,
                   "shared bank model assumes word-multiple elements");
   }
@@ -604,8 +1150,18 @@ class SharedArray {
     check_indices(m, idx);
     charge(m, idx);
     WarpVar<T> r{};
-    for (int i = 0; i < kWarpSize; ++i) {
-      if (lane_active(m, i)) r[i] = at(idx[i]);
+    if constexpr (lanevec::lane32<T>) {
+      const std::int64_t contig = lanevec::contig_base(m, idx);
+      if (contig >= 0) {
+        lanevec::gather_contig(m, r, static_cast<const T*>(data_.data()),
+                               contig);
+        return r;
+      }
+      lanevec::gather(m, r, static_cast<const T*>(data_.data()), idx);
+    } else {
+      for (int i = 0; i < kWarpSize; ++i) {
+        if (lane_active(m, i)) r[i] = at(idx[i]);
+      }
     }
     return r;
   }
@@ -614,17 +1170,28 @@ class SharedArray {
   /// the sanitizer is off; a fault when its lockstep check is on).
   void write(LaneMask m, const U32& idx, const WarpVar<T>& v) {
     check_indices(m, idx);
-    check_collisions(m, idx);
+    const std::int64_t contig =
+        lanevec::lane32<T> ? lanevec::contig_base(m, idx) : -1;
+    // Unit-stride writes cannot collide; the scan would only come up empty.
+    if (contig < 0) check_collisions(m, idx);
     charge(m, idx);
-    for (int i = 0; i < kWarpSize; ++i) {
-      if (lane_active(m, i)) at(idx[i]) = v[i];
+    if constexpr (lanevec::lane32<T>) {
+      if (contig >= 0) {
+        lanevec::scatter_contig(m, data_.data(), contig, v);
+        return;
+      }
+      lanevec::scatter(m, data_.data(), idx, v);
+    } else {
+      for (int i = 0; i < kWarpSize; ++i) {
+        if (lane_active(m, i)) at(idx[i]) = v[i];
+      }
     }
   }
 
   /// All active lanes read slot `slot` (a broadcast: conflict-free).
   WarpVar<T> read_bcast(LaneMask m, std::size_t slot) {
     check_slot(slot);
-    charge(m, U32::filled(static_cast<std::uint32_t>(slot)));
+    charge_bcast(m);
     return WarpVar<T>::filled(at(slot));
   }
 
@@ -632,7 +1199,7 @@ class SharedArray {
   /// a deliberate single-address broadcast, exempt from the collision check).
   void write_bcast(LaneMask m, std::size_t slot, T value) {
     check_slot(slot);
-    charge(m, U32::filled(static_cast<std::uint32_t>(slot)));
+    charge_bcast(m);
     at(slot) = value;
   }
 
@@ -645,12 +1212,11 @@ class SharedArray {
     return data_[i];
   }
 
-  [[nodiscard]] bool lockstep_on() const noexcept {
-    return ctx_.sanitizer() != nullptr && ctx_.sanitizer()->lockstep;
-  }
+  [[nodiscard]] bool lockstep_on() const noexcept { return lockstep_; }
 
   void check_indices(LaneMask m, const U32& idx) const {
     if (!lockstep_on()) return;
+    if (lanevec::oob_mask(m, idx, data_.size()) == 0) return;
     for (int i = 0; i < kWarpSize; ++i) {
       if (!lane_active(m, i) || idx[i] < data_.size()) continue;
       std::ostringstream os;
@@ -668,6 +1234,7 @@ class SharedArray {
 
   void check_collisions(LaneMask m, const U32& idx) const {
     if (!lockstep_on()) return;
+    if (!lanevec::has_collision(m, idx)) return;
     for (int i = 0; i < kWarpSize; ++i) {
       if (!lane_active(m, i)) continue;
       for (int j = i + 1; j < kWarpSize; ++j) {
@@ -681,17 +1248,29 @@ class SharedArray {
   }
 
   void charge(LaneMask m, const U32& idx) {
-    U32 words;
-    const std::uint32_t words_per_elem =
-        static_cast<std::uint32_t>(std::max<std::size_t>(1, sizeof(T) / 4));
-    for (int i = 0; i < kWarpSize; ++i) {
-      words[i] = idx[i] * words_per_elem;
+    if constexpr (sizeof(T) <= 4) {
+      // One word per element: the element index *is* the bank word, so hand
+      // the index vector straight to the bank model (no scaled copy).
+      ctx_.charge_shared(m, idx);
+    } else {
+      U32 words;
+      const std::uint32_t words_per_elem =
+          static_cast<std::uint32_t>(sizeof(T) / 4);
+      // Full-mask scale: inactive lanes' word numbers are never consulted by
+      // the bank model, so computing all 32 is harmless and branch-free.
+      lanevec::mad_s(kFullMask, words, idx, words_per_elem, 0u);
+      ctx_.charge_shared(m, words);
     }
-    ctx_.charge_shared(m, words);
   }
+
+  // Single-slot access: all lanes hit one word regardless of element width
+  // (the model charges the element's first word, as charge() does), so the
+  // degree is 1 without consulting the bank histogram.
+  void charge_bcast(LaneMask m) { ctx_.charge_shared_broadcast(m); }
 
   WarpContext& ctx_;
   std::vector<T> data_;
+  const bool lockstep_;
 };
 
 }  // namespace gpuksel::simt

@@ -31,10 +31,8 @@ inline KeyedLanes reduce_min_keyed(WarpContext& ctx, LaneMask m,
   for (int delta = kWarpSize / 2; delta > 0; delta /= 2) {
     const F32 other_key = ctx.shfl_xor(kFullMask, clean.keys, delta);
     const U32 other_val = ctx.shfl_xor(kFullMask, clean.values, delta);
-    const LaneMask take = ctx.pred(kFullMask, [&](int i) {
-      return other_key[i] < clean.keys[i] ||
-             (other_key[i] == clean.keys[i] && other_val[i] < clean.values[i]);
-    });
+    const LaneMask take = ctx.lex_lt(kFullMask, other_key, other_val,
+                                     clean.keys, clean.values);
     clean.keys = ctx.select(kFullMask, take, other_key, clean.keys);
     clean.values = ctx.select(kFullMask, take, other_val, clean.values);
   }
@@ -73,9 +71,7 @@ inline U32 prefix_sum_exclusive(WarpContext& ctx, U32 v) {
   const LaneMask m = kFullMask;
   U32 inclusive = v;
   for (int delta = 1; delta < kWarpSize; delta *= 2) {
-    U32 shifted = inclusive;
-    ctx.alu(m, shifted,
-            [&](int i) { return i >= delta ? inclusive[i - delta] : 0u; });
+    const U32 shifted = ctx.shift_up_zero(m, inclusive, delta);
     inclusive = ctx.add(m, inclusive, shifted);
   }
   return ctx.sub(m, inclusive, v);

@@ -1,7 +1,11 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
+
+#include "util/check.hpp"
 
 namespace gpuksel {
 
@@ -55,6 +59,26 @@ std::int64_t CliFlags::get_int(const std::string& key, std::int64_t def) const {
   char* end = nullptr;
   const long long v = std::strtoll(it->second.c_str(), &end, 0);
   return (end && *end == '\0') ? v : def;
+}
+
+std::int64_t CliFlags::require_int(const std::string& key, std::int64_t def,
+                                   std::int64_t min_value,
+                                   std::int64_t max_value) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const std::string& text = it->second;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(text.c_str(), &end, 0);
+  const bool parsed = end != text.c_str() && end != nullptr && *end == '\0' &&
+                      errno != ERANGE;
+  if (!parsed || v < min_value || v > max_value) {
+    std::ostringstream os;
+    os << "--" << key << "=" << text << ": expected an integer in ["
+       << min_value << ", " << max_value << "]";
+    throw PreconditionError(os.str());
+  }
+  return v;
 }
 
 double CliFlags::get_double(const std::string& key, double def) const {

@@ -28,6 +28,15 @@ class CliFlags {
   /// Value of an integer flag, or `def` when absent or unparsable.
   [[nodiscard]] std::int64_t get_int(const std::string& key,
                                      std::int64_t def) const;
+  /// Value of an integer flag, or `def` when absent.  Unlike get_int, a flag
+  /// that is present but malformed (--threads=abc) or outside
+  /// [min_value, max_value] (--batch=-1) is a fatal usage error: throws
+  /// PreconditionError naming the flag, the offending text and the accepted
+  /// range, so misconfigured CI jobs fail instead of green-running defaults.
+  [[nodiscard]] std::int64_t require_int(const std::string& key,
+                                         std::int64_t def,
+                                         std::int64_t min_value,
+                                         std::int64_t max_value) const;
   /// Value of a floating flag, or `def` when absent or unparsable.
   [[nodiscard]] double get_double(const std::string& key, double def) const;
   /// True when the flag is present with no value or a truthy value.

@@ -26,6 +26,7 @@
 #include "simt/device.hpp"
 #include "simt/executor.hpp"
 #include "simt/fault_injection.hpp"
+#include "simt/lane_vec.hpp"
 #include "simt/memory.hpp"
 #include "simt/profiler.hpp"
 #include "simt/sanitizer.hpp"
@@ -181,6 +182,88 @@ TEST(LaunchDeterminism, MetricsAndResultsBitIdenticalAcrossThreadCounts) {
     const DivergentKernelRun parallel = run_divergent_kernel(threads);
     EXPECT_TRUE(parallel.metrics == serial.metrics) << "threads=" << threads;
     EXPECT_EQ(parallel.output, serial.output) << "threads=" << threads;
+  }
+}
+
+TEST(LaunchDeterminism, LaneBackendIdenticalAcrossThreadCounts) {
+  // The thread-count matrix crossed with the lane-engine backend: forcing
+  // the scalar reference engine (lanevec::set_enabled(false)) must not
+  // change a single bit of metrics or results at any thread count.
+  const bool prev = simt::lanevec::enabled();
+  const DivergentKernelRun serial = run_divergent_kernel(1);
+  for (const unsigned threads : kThreadCounts) {
+    for (const bool simd : {true, false}) {
+      simt::lanevec::set_enabled(simd);
+      const DivergentKernelRun run = run_divergent_kernel(threads);
+      EXPECT_TRUE(run.metrics == serial.metrics)
+          << "threads=" << threads << " simd=" << simd;
+      EXPECT_EQ(run.output, serial.output)
+          << "threads=" << threads << " simd=" << simd;
+    }
+  }
+  simt::lanevec::set_enabled(prev);
+}
+
+TEST(LaunchDeterminism, LaneBackendIdenticalUnderInjectionAndNaN) {
+  // Lane backend x thread count x armed sanitizer (NaN remap, ECC off) x
+  // seeded uncapped NaN injection: the injector's event log, the metrics and
+  // the remapped outputs must match the serial SIMD run bit for bit no
+  // matter which engine executed the lanes.
+  auto run = [&](unsigned threads, bool simd) {
+    const bool prev = simt::lanevec::enabled();
+    simt::lanevec::set_enabled(simd);
+    InjectorConfig cfg;
+    cfg.kind = InjectKind::kNanInject;
+    cfg.period = 16;
+    cfg.max_faults = 0;
+    cfg.seed = 99;
+    FaultInjector injector(cfg);
+    const DivergentKernelRun r =
+        run_divergent_kernel(threads, &injector, /*ecc=*/false);
+    simt::lanevec::set_enabled(prev);
+    return std::tuple(injector.events(), r.metrics, r.output);
+  };
+  const auto [serial_events, serial_metrics, serial_output] = run(1, true);
+  ASSERT_FALSE(serial_events.empty()) << "injection never fired — vacuous";
+  for (const unsigned threads : kThreadCounts) {
+    for (const bool simd : {true, false}) {
+      const auto [events, metrics, output] = run(threads, simd);
+      EXPECT_EQ(events, serial_events)
+          << "threads=" << threads << " simd=" << simd;
+      EXPECT_TRUE(metrics == serial_metrics)
+          << "threads=" << threads << " simd=" << simd;
+      EXPECT_EQ(output, serial_output)
+          << "threads=" << threads << " simd=" << simd;
+    }
+  }
+}
+
+TEST(LaunchDeterminism, LaneBackendKnnResultsIdentical) {
+  // Full search pipeline crossed with the backend switch: neighbors and
+  // cumulative device metrics are part of the bit-identity contract, not
+  // just raw register state.
+  const knn::Dataset refs = knn::make_uniform_dataset(300, 12, 31);
+  const knn::Dataset queries = knn::make_uniform_dataset(40, 12, 32);
+  const knn::BruteForceKnn searcher(refs);
+  auto run = [&](unsigned threads, bool simd) {
+    const bool prev = simt::lanevec::enabled();
+    simt::lanevec::set_enabled(simd);
+    Device dev;
+    dev.set_worker_threads(threads);
+    const knn::KnnResult result =
+        searcher.search_gpu(dev, queries, 9, knn::GpuSearchOptions{});
+    simt::lanevec::set_enabled(prev);
+    return std::pair(result.neighbors, dev.cumulative());
+  };
+  const auto [serial_neighbors, serial_metrics] = run(1, true);
+  for (const unsigned threads : kThreadCounts) {
+    for (const bool simd : {true, false}) {
+      const auto [neighbors, metrics] = run(threads, simd);
+      EXPECT_EQ(neighbors, serial_neighbors)
+          << "threads=" << threads << " simd=" << simd;
+      EXPECT_TRUE(metrics == serial_metrics)
+          << "threads=" << threads << " simd=" << simd;
+    }
   }
 }
 

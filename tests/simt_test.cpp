@@ -194,6 +194,36 @@ TEST_F(WarpFixture, SharedSameWordSameBankBroadcasts) {
   EXPECT_EQ(metrics_.shared_conflict_replays, 0u);
 }
 
+TEST_F(WarpFixture, SharedAlternatingWordsReplayPerDistinctWord) {
+  // Regression: the bank serializes once per *distinct* word, not once per
+  // word *change*.  Lanes alternate between words 0 and 32 — both bank 0 —
+  // so the bank serves exactly 2 distinct words (degree 2, 1 replay).  The
+  // old accounting compared each lane only against the last word seen in the
+  // bank, so the A,B,A,B... pattern re-counted every alternation: degree 32.
+  SharedArray<float> s(ctx_, 64);
+  U32 idx;
+  for (int i = 0; i < kWarpSize; ++i) {
+    idx[i] = (i % 2) * 32;
+  }
+  (void)s.read(kFullMask, idx);
+  EXPECT_EQ(metrics_.shared_requests, 1u);
+  EXPECT_EQ(metrics_.shared_conflict_replays, 1u);
+}
+
+TEST_F(WarpFixture, SharedRevisitedWordDoesNotRecount) {
+  // Three active lanes touch words 0, 32, 0 (all bank 0): two distinct words
+  // -> degree 2.  Last-word tracking counted the return to word 0 as a third
+  // replay.
+  SharedArray<float> s(ctx_, 64);
+  U32 idx;
+  idx[0] = 0;
+  idx[1] = 32;
+  idx[2] = 0;
+  (void)s.read(first_lanes(3), idx);
+  EXPECT_EQ(metrics_.shared_requests, 1u);
+  EXPECT_EQ(metrics_.shared_conflict_replays, 1u);
+}
+
 // --- warp collectives -------------------------------------------------------
 
 TEST_F(WarpFixture, ReduceMinKeyedFindsArgmin) {
@@ -423,6 +453,15 @@ TEST(CostModelTest, TransferCalibratedToPaperDataCopy) {
   const CostModel cm = c2075_model();
   const std::uint64_t bytes = 8192ull * 32768ull * 4ull;
   EXPECT_NEAR(cm.transfer_seconds(bytes), 0.46, 0.02);
+}
+
+TEST(CostModelTest, ZeroByteTransferIsFree) {
+  // Regression: an empty upload (empty batch, zero-row delta) issues no copy,
+  // so it must not be charged the per-transfer PCIe latency floor.
+  const CostModel cm = c2075_model();
+  EXPECT_EQ(cm.transfer_seconds(0), 0.0);
+  // The first real byte still pays the launch overhead.
+  EXPECT_GT(cm.transfer_seconds(1), cm.pcie_latency_s);
 }
 
 }  // namespace

@@ -4,8 +4,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <initializer_list>
 #include <set>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/check.hpp"
 #include "util/cli.hpp"
@@ -201,6 +204,54 @@ TEST(Cli, DashAndUnderscoreEquivalent) {
   int argc = 2;
   CliFlags flags(argc, argv);
   EXPECT_FALSE(flags.get_bool("paper_scale", true));
+}
+
+namespace {
+CliFlags make_flags(std::initializer_list<const char*> args) {
+  static std::vector<std::string> storage;
+  storage.assign({"prog"});
+  storage.insert(storage.end(), args.begin(), args.end());
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  argv.push_back(nullptr);
+  int argc = static_cast<int>(storage.size());
+  return CliFlags(argc, argv.data());
+}
+}  // namespace
+
+TEST(Cli, RequireIntAcceptsWellFormedAndDefaults) {
+  const CliFlags flags = make_flags({"--threads=7"});
+  EXPECT_EQ(flags.require_int("threads", 0, 0, 4096), 7);
+  // Absent flag falls back to the default without validation noise.
+  EXPECT_EQ(flags.require_int("warps", 2, 1, 1 << 22), 2);
+}
+
+TEST(Cli, RequireIntRejectsMalformedText) {
+  // Regression: get_int silently returned the default for --threads=abc, so
+  // a typo'd CI smoke job green-ran the default configuration.
+  const CliFlags flags = make_flags({"--threads=abc"});
+  try {
+    (void)flags.require_int("threads", 0, 0, 4096);
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--threads=abc"), std::string::npos) << what;
+    EXPECT_NE(what.find("[0, 4096]"), std::string::npos) << what;
+  }
+}
+
+TEST(Cli, RequireIntRejectsOutOfRange) {
+  const CliFlags batch = make_flags({"--batch=-1"});
+  EXPECT_THROW((void)batch.require_int("batch", 16, 1, 1 << 20),
+               PreconditionError);
+  const CliFlags huge = make_flags({"--threads=99999999999999999999"});
+  EXPECT_THROW((void)huge.require_int("threads", 0, 0, 4096),
+               PreconditionError);
+  // Trailing garbage after a valid prefix is malformed, not truncated.
+  const CliFlags trailing = make_flags({"--threads=8x"});
+  EXPECT_THROW((void)trailing.require_int("threads", 0, 0, 4096),
+               PreconditionError);
 }
 
 TEST(Check, ThrowsWithMessage) {
