@@ -1,0 +1,279 @@
+// Fig. 13 (extension) — IVF recall vs queries/sec at 10^5 reference rows.
+//
+// The pruned index's operating curve: one IvfKnn over N = 100k gaussian-
+// clustered rows (64 clusters, sigma wide enough that clusters overlap and
+// nprobe = 1 misses real neighbors), swept over nprobe.  Each point reports
+// measured recall@k against the exact full-scan answer and modeled
+// queries/sec; nprobe == nlist closes the curve at recall 1.0 and the bench
+// asserts that endpoint byte-identical to BatchedKnn — the exactness
+// contract at bench scale.
+//
+// No paper counterpart (the paper's selection is exact); the shape to expect
+// is the classic IVFFlat recall/throughput tradeoff of Johnson et al., with
+// the qps gain saturating near nlist/nprobe while recall climbs to 1.
+//
+// Task compaction needs full warps to pay off: the scan groups (query,
+// probe) tasks by list, 32 per warp, so modeled speedup requires
+// Q * nprobe / nlist >= 32 tasks per list.  The CI operating point runs
+// --warps=8 (Q = 256); smaller Q still sweeps correctly but under-fills the
+// scan warps and understates qps.
+//
+// --ivf-json=<path> dumps the gpuksel.ivf_recall.v1 JSON (curve + operating
+// point) that scripts/bench_to_json.sh records as BENCH_ivf_recall.json and
+// the ivf-smoke CI job gates on.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "knn/batch.hpp"
+#include "knn/dataset.hpp"
+#include "knn/distance.hpp"
+#include "knn/ivf.hpp"
+#include "knn/rbc.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace gpuksel;
+using namespace gpuksel::bench;
+
+constexpr std::uint32_t kN = 100000;  // reference rows (the ISSUE's 10^5)
+constexpr std::uint32_t kDim = 8;
+constexpr std::uint32_t kK = 10;
+constexpr std::uint32_t kNlist = 64;
+constexpr std::uint32_t kClusters = 64;
+constexpr float kSigma = 0.25f;
+constexpr std::uint32_t kTileRefs = 256;
+constexpr std::uint64_t kSeed = 7;
+/// The recorded operating point the CI recall/speedup gate reads.
+constexpr std::uint32_t kOperatingNprobe = 8;
+
+std::string& ivf_json_path() {
+  static std::string path;
+  return path;
+}
+
+std::vector<std::uint32_t> probe_widths() {
+  return {1u, 2u, 4u, 8u, 16u, 32u, kNlist};
+}
+
+struct CurvePoint {
+  std::uint32_t nprobe = 0;
+  double recall = 0.0;
+  double seconds = 0.0;       ///< modeled pruned-search seconds for the batch
+  double avg_scanned = 0.0;   ///< mean probed rows per query
+  simt::KernelMetrics metrics;
+};
+
+/// Everything the sweep shares: one dataset, one exact baseline, one trained
+/// index (the per-nprobe searches reuse the device-resident structures).
+struct Fig13State {
+  knn::Dataset refs;
+  knn::Dataset queries;
+  simt::Device flat_device;
+  simt::Device ivf_device;
+  std::unique_ptr<knn::BatchedKnn> flat;
+  std::unique_ptr<knn::IvfKnn> ivf;
+  std::vector<std::vector<Neighbor>> exact;
+  double baseline_seconds = 0.0;
+  simt::KernelMetrics baseline_metrics;
+  double train_seconds = 0.0;
+  std::map<std::uint32_t, CurvePoint> curve;
+};
+
+/// Mean rows a query's nprobe closest lists hold (observability: the scan
+/// fraction behind each speedup number).  Probe selection mirrors the
+/// kernel's (distance, list id) ordering.
+double avg_scanned_rows(const knn::IvfIndex& idx, const knn::Dataset& queries,
+                        std::uint32_t nprobe) {
+  std::vector<std::pair<float, std::uint32_t>> cents(idx.nlist);
+  double total = 0.0;
+  for (std::uint32_t q = 0; q < queries.count; ++q) {
+    for (std::uint32_t c = 0; c < idx.nlist; ++c) {
+      cents[c] = {knn::squared_euclidean(
+                      queries.row(q),
+                      idx.centroids.data() + std::size_t{c} * idx.dim,
+                      idx.dim),
+                  c};
+    }
+    std::sort(cents.begin(), cents.end());
+    for (std::uint32_t j = 0; j < nprobe && j < idx.nlist; ++j) {
+      const std::uint32_t l = cents[j].second;
+      total += idx.list_begin[l + 1] - idx.list_begin[l];
+    }
+  }
+  return queries.count > 0 ? total / queries.count : 0.0;
+}
+
+Fig13State& state(const Scale& scale) {
+  static std::unique_ptr<Fig13State> st;
+  if (st != nullptr) return *st;
+  st = std::make_unique<Fig13State>();
+  // One clustered draw split into references and queries, so queries live in
+  // the same (overlapping) clusters the lists partition.
+  const knn::LabelledDataset data = knn::make_gaussian_clusters(
+      kN + scale.queries(), kDim, kClusters, kSigma, kSeed);
+  st->refs.count = kN;
+  st->refs.dim = kDim;
+  st->refs.values.assign(
+      data.points.values.begin(),
+      data.points.values.begin() + std::size_t{kN} * kDim);
+  st->queries.count = scale.queries();
+  st->queries.dim = kDim;
+  st->queries.values.assign(
+      data.points.values.begin() + std::size_t{kN} * kDim,
+      data.points.values.end());
+
+  scale.configure(st->flat_device);
+  scale.configure(st->ivf_device);
+
+  knn::BatchedKnnOptions bopts;
+  bopts.batch.tile_refs = kTileRefs;
+  st->flat = std::make_unique<knn::BatchedKnn>(st->refs, bopts);
+  knn::KnnResult exact =
+      st->flat->search_gpu(st->flat_device, st->queries, kK);
+  st->exact = std::move(exact.neighbors);
+  st->baseline_seconds = exact.modeled_seconds;
+  st->baseline_metrics = exact.distance_metrics;
+  st->baseline_metrics += exact.select_metrics;
+
+  knn::IvfOptions iopts;
+  iopts.params.nlist = kNlist;
+  iopts.params.nprobe = kOperatingNprobe;
+  iopts.batch.batch.tile_refs = kTileRefs;
+  st->ivf = std::make_unique<knn::IvfKnn>(st->refs, iopts);
+  st->ivf->train(st->ivf_device);
+  st->train_seconds = iopts.batch.cost_model.kernel_seconds(
+      st->ivf->index().train_metrics);
+  return *st;
+}
+
+const CurvePoint& point(const Scale& scale, std::uint32_t nprobe) {
+  Fig13State& st = state(scale);
+  if (const auto it = st.curve.find(nprobe); it != st.curve.end()) {
+    return it->second;
+  }
+  st.ivf->set_nprobe(nprobe);
+  knn::KnnResult res = st.ivf->search_gpu(st.ivf_device, st.queries, kK);
+  CurvePoint pt;
+  pt.nprobe = nprobe;
+  pt.recall = knn::RandomBallCover::recall(res.neighbors, st.exact);
+  pt.seconds = res.modeled_seconds;
+  pt.avg_scanned = avg_scanned_rows(st.ivf->index(), st.queries, nprobe);
+  pt.metrics = res.distance_metrics;
+  pt.metrics += res.select_metrics;
+  if (nprobe == kNlist) {
+    // The exactness contract, asserted where the curve is recorded: probing
+    // every list must reproduce the full scan byte for byte.
+    GPUKSEL_CHECK(res.neighbors == st.exact,
+                  "nprobe == nlist diverged from the exact full scan");
+    GPUKSEL_CHECK(pt.recall == 1.0, "full-probe recall must be exactly 1");
+  }
+  return st.curve.emplace(nprobe, std::move(pt)).first->second;
+}
+
+void write_ivf_json(const Scale& scale, const std::string& path) {
+  Fig13State& st = state(scale);
+  std::ofstream os(path);
+  GPUKSEL_CHECK(os.is_open(), "cannot open ivf json file: " + path);
+  os.precision(17);
+  const double base_qps = scale.queries() / st.baseline_seconds;
+  const CurvePoint& op = point(scale, kOperatingNprobe);
+  os << "{\n  \"schema\": \"gpuksel.ivf_recall.v1\",\n"
+     << "  \"rows\": " << kN << ",\n  \"dim\": " << kDim << ",\n"
+     << "  \"queries\": " << scale.queries() << ",\n  \"k\": " << kK << ",\n"
+     << "  \"nlist\": " << kNlist << ",\n  \"clusters\": " << kClusters
+     << ",\n  \"sigma\": " << kSigma << ",\n"
+     << "  \"train_modeled_seconds\": " << st.train_seconds << ",\n"
+     << "  \"baseline\": {\"modeled_seconds\": " << st.baseline_seconds
+     << ", \"queries_per_second\": " << base_qps << "},\n"
+     << "  \"operating_point\": {\"nprobe\": " << op.nprobe
+     << ", \"recall\": " << op.recall
+     << ", \"queries_per_second\": " << scale.queries() / op.seconds
+     << ", \"speedup_vs_full_scan\": " << st.baseline_seconds / op.seconds
+     << "},\n  \"curve\": [";
+  const char* sep = "";
+  for (const std::uint32_t nprobe : probe_widths()) {
+    const CurvePoint& pt = point(scale, nprobe);
+    os << sep << "\n    {\"nprobe\": " << pt.nprobe
+       << ", \"recall\": " << pt.recall
+       << ", \"modeled_seconds\": " << pt.seconds
+       << ", \"queries_per_second\": " << scale.queries() / pt.seconds
+       << ", \"speedup_vs_full_scan\": " << st.baseline_seconds / pt.seconds
+       << ", \"avg_scanned_rows\": " << pt.avg_scanned << "}";
+    sep = ",";
+  }
+  os << "\n  ]\n}\n";
+}
+
+void report(const Scale& scale) {
+  Fig13State& st = state(scale);
+  Table t("Fig 13 — IVF recall vs qps (N=" + std::to_string(kN) +
+              ", k=" + std::to_string(kK) + ", nlist=" +
+              std::to_string(kNlist) + ", Q=" +
+              std::to_string(scale.queries()) + ", modeled)",
+          {"nprobe", "recall@10", "time (us)", "queries/s", "vs full scan",
+           "scanned rows"});
+  CsvWriter csv(scale.csv_path,
+                {"nprobe", "recall", "modeled_seconds", "queries_per_second",
+                 "speedup_vs_full_scan", "avg_scanned_rows"});
+  for (const std::uint32_t nprobe : probe_widths()) {
+    const CurvePoint& pt = point(scale, nprobe);
+    const double qps = scale.queries() / pt.seconds;
+    t.begin_row()
+        .add_int(nprobe)
+        .add(pt.recall, 3)
+        .add(pt.seconds * 1e6, 1)
+        .add(qps, 1)
+        .add(st.baseline_seconds / pt.seconds, 2)
+        .add(pt.avg_scanned, 0);
+    csv.write_row({std::to_string(nprobe), std::to_string(pt.recall),
+                   std::to_string(pt.seconds), std::to_string(qps),
+                   std::to_string(st.baseline_seconds / pt.seconds),
+                   std::to_string(pt.avg_scanned)});
+  }
+  t.print(std::cout);
+  std::cout << "Full scan: " << st.baseline_seconds * 1e6
+            << " us modeled; training (device assignment pass): "
+            << st.train_seconds * 1e6
+            << " us.\nnprobe == nlist is byte-identical to the full scan "
+               "(checked); smaller nprobe rides\nthe recall/qps curve.\n\n";
+  if (!ivf_json_path().empty()) write_ivf_json(scale, ivf_json_path());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Read the fig13-specific flag without consuming anything: bench_main's
+  // CliFlags strips every --key=value before handing argv to
+  // google-benchmark.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (const std::string prefix = "--ivf-json=";
+        arg.rfind(prefix, 0) == 0) {
+      ivf_json_path() = arg.substr(prefix.size());
+    }
+  }
+  return bench_main(
+      argc, argv, "fig13.csv",
+      [](const Scale& scale) {
+        register_run("fig13/full_scan", [scale] {
+          const Fig13State& st = state(scale);
+          return RunResult{st.baseline_seconds, st.baseline_metrics};
+        });
+        for (const std::uint32_t nprobe : probe_widths()) {
+          register_run("fig13/nprobe" + std::to_string(nprobe),
+                       [scale, nprobe] {
+                         const CurvePoint& pt = point(scale, nprobe);
+                         return RunResult{pt.seconds, pt.metrics};
+                       });
+        }
+      },
+      report);
+}

@@ -33,9 +33,19 @@
 # counters partitioning exactly and on the acceptance shape (availability
 # >= 99% with quarantine; qps collapse without it at the persistent rate).
 #
+# The IVF recall/qps bench (fig13) emits BENCH_ivf_recall.json: the bench's
+# own gpuksel.ivf_recall.v1 payload (recall, queries/sec and speedup per
+# nprobe plus the recorded operating point), re-emitted only after the same
+# serial/parallel determinism gates and the acceptance gates — recall
+# monotone in nprobe, exact at nprobe == nlist, and the operating point at
+# recall@k >= 0.95 with >= 5x the full-scan throughput on >= 1e5 rows.
+#
 # Usage: scripts/bench_to_json.sh [build_dir] [out_json] [out_batched_json] \
-#                                 [out_sharded_json] [out_availability_json]
+#                                 [out_sharded_json] [out_availability_json] \
+#                                 [out_ivf_json]
 #   WARPS=n    sampled warps per configuration (default 2)
+#   IVF_WARPS=n  fig13 query warps (default 8: the recorded operating point
+#              needs enough queries to fill the pruned scan's task warps)
 #   THREADS=n  parallel thread count (default: nproc)
 #   SCALAR_BUILD_DIR=dir  optional GPUKSEL_SIMD=OFF build tree: adds a
 #              scalar-*build* leg to the lane-engine section.  The runtime
@@ -49,16 +59,19 @@ OUT_JSON="${2:-BENCH_sim_throughput.json}"
 OUT_BATCHED_JSON="${3:-BENCH_batched_throughput.json}"
 OUT_SHARDED_JSON="${4:-BENCH_sharded_scaling.json}"
 OUT_AVAIL_JSON="${5:-BENCH_availability.json}"
+OUT_IVF_JSON="${6:-BENCH_ivf_recall.json}"
 WARPS="${WARPS:-2}"
+IVF_WARPS="${IVF_WARPS:-8}"
 THREADS="${THREADS:-$(nproc)}"
 BENCH="${BUILD_DIR}/bench/table1_execution_time"
 BENCH_BATCHED="${BUILD_DIR}/bench/fig10_batched_throughput"
 BENCH_SHARDED="${BUILD_DIR}/bench/fig11_sharded_scaling"
 BENCH_AVAIL="${BUILD_DIR}/bench/fig12_availability"
+BENCH_IVF="${BUILD_DIR}/bench/fig13_recall_qps"
 
 if [[ ! -x "${BENCH}" || ! -x "${BENCH_BATCHED}" || ! -x "${BENCH_SHARDED}" \
-      || ! -x "${BENCH_AVAIL}" ]]; then
-  echo "error: ${BENCH}, ${BENCH_BATCHED}, ${BENCH_SHARDED} or ${BENCH_AVAIL} not found — build the repo first" >&2
+      || ! -x "${BENCH_AVAIL}" || ! -x "${BENCH_IVF}" ]]; then
+  echo "error: ${BENCH}, ${BENCH_BATCHED}, ${BENCH_SHARDED}, ${BENCH_AVAIL} or ${BENCH_IVF} not found — build the repo first" >&2
   exit 1
 fi
 
@@ -495,4 +508,79 @@ with open(sys.argv[1], "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")
 print(json.dumps(out, indent=2))
+EOF
+
+# --- IVF recall vs qps (fig13) ------------------------------------------------
+
+IVF_CSV_SERIAL="${TMPDIR_RUN}/ivf_serial.csv"
+IVF_CSV_PARALLEL="${TMPDIR_RUN}/ivf_parallel.csv"
+IVF_PROFILE_SERIAL="${TMPDIR_RUN}/ivf_serial.json"
+IVF_PROFILE_PARALLEL="${TMPDIR_RUN}/ivf_parallel.json"
+IVF_JSON_SERIAL="${TMPDIR_RUN}/ivf_recall_serial.json"
+IVF_JSON_PARALLEL="${TMPDIR_RUN}/ivf_recall_parallel.json"
+
+# fig13 runs at its own warp count: the recorded operating point needs
+# enough queries (warps * 32) to fill the pruned scan's task warps.
+"${BENCH_IVF}" --warps="${IVF_WARPS}" --threads=1 \
+  --csv="${IVF_CSV_SERIAL}" --profile="${IVF_PROFILE_SERIAL}" \
+  --ivf-json="${IVF_JSON_SERIAL}" >/dev/null
+"${BENCH_IVF}" --warps="${IVF_WARPS}" --threads="${THREADS}" \
+  --csv="${IVF_CSV_PARALLEL}" --profile="${IVF_PROFILE_PARALLEL}" \
+  --ivf-json="${IVF_JSON_PARALLEL}" >/dev/null
+
+# Training is host-side k-means over a seeded sample and every recall/qps
+# value is modeled, so serial and parallel runs must agree byte-for-byte —
+# including the emitted recall JSON itself.
+if ! cmp -s "${IVF_CSV_SERIAL}" "${IVF_CSV_PARALLEL}"; then
+  echo "error: ivf serial and parallel runs disagree — determinism violated" >&2
+  exit 1
+fi
+if ! cmp -s <(grep -vE '"(wall_seconds|worker_threads)":' "${IVF_PROFILE_SERIAL}") \
+            <(grep -vE '"(wall_seconds|worker_threads)":' "${IVF_PROFILE_PARALLEL}"); then
+  echo "error: ivf serial and parallel profiles disagree — determinism violated" >&2
+  exit 1
+fi
+if ! cmp -s "${IVF_JSON_SERIAL}" "${IVF_JSON_PARALLEL}"; then
+  echo "error: ivf serial and parallel recall reports disagree — determinism violated" >&2
+  exit 1
+fi
+
+python3 - "${OUT_IVF_JSON}" "${IVF_JSON_SERIAL}" <<EOF
+import json, sys
+with open(sys.argv[2]) as f:
+    report = json.load(f)
+if report.get("schema") != "gpuksel.ivf_recall.v1":
+    sys.exit(f"error: unexpected ivf recall schema {report.get('schema')!r}")
+curve = report["curve"]
+if not curve:
+    sys.exit("error: ivf recall curve is empty")
+
+# Recall must be monotone non-decreasing in nprobe (probed-list nesting) and
+# exact once every list is probed.
+for prev, cur in zip(curve, curve[1:]):
+    if cur["nprobe"] <= prev["nprobe"]:
+        sys.exit("error: ivf curve nprobe values not increasing")
+    if cur["recall"] < prev["recall"]:
+        sys.exit(f"error: recall dropped from nprobe {prev['nprobe']} "
+                 f"({prev['recall']}) to {cur['nprobe']} ({cur['recall']})")
+full = curve[-1]
+if full["nprobe"] != report["nlist"] or full["recall"] != 1.0:
+    sys.exit("error: nprobe == nlist curve point is not exact "
+             f"(nprobe {full['nprobe']}, recall {full['recall']})")
+
+# The acceptance gate: the recorded operating point holds recall@k >= 0.95
+# with at least 5x the full-scan throughput on a >= 1e5-row reference set.
+op = report["operating_point"]
+if report["rows"] < 100_000:
+    sys.exit(f"error: fig13 reference set shrank to {report['rows']} rows")
+if op["recall"] < 0.95:
+    sys.exit(f"error: operating-point recall {op['recall']} < 0.95")
+if op["speedup_vs_full_scan"] < 5.0:
+    sys.exit(f"error: operating-point speedup {op['speedup_vs_full_scan']} < 5x")
+
+with open(sys.argv[1], "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(json.dumps({k: report[k] for k in
+                  ("schema", "rows", "nlist", "operating_point")}, indent=2))
 EOF

@@ -1,42 +1,13 @@
 #include "core/kernels/batch_pipeline.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
-#include <sstream>
 #include <vector>
 
+#include "core/kernels/computed_nan.hpp"
 #include "core/kernels/pipeline.hpp"
 #include "util/check.hpp"
 
 namespace gpuksel::kernels {
-
-namespace {
-
-/// NaN distances are *computed* in registers here, not loaded, so the
-/// load-time NaN policy in WarpContext never sees them.  Apply the same
-/// policy to the accumulator, so the fused kernel behaves exactly like the
-/// two-kernel pipeline — where the select kernel's matrix loads would have
-/// remapped (kSortLast) or faulted (kReject) these values.  The fixup is
-/// free, like the load-path remap: hardware charges nothing for it, it is a
-/// sanitizer semantic.
-void apply_computed_nan_policy(WarpContext& ctx, LaneMask act, F32& acc,
-                               const U32& thread, std::uint32_t ref) {
-  const simt::SanitizerConfig* san = ctx.sanitizer();
-  if (san == nullptr || san->nan_policy == NanPolicy::kPropagate) return;
-  for (int i = 0; i < simt::kWarpSize; ++i) {
-    if (!simt::lane_active(act, i) || !std::isnan(acc[i])) continue;
-    if (san->nan_policy == NanPolicy::kReject) {
-      std::ostringstream os;
-      os << "NaN distance computed for query " << thread[i] << " x ref " << ref
-         << " under NanPolicy::kReject";
-      ctx.fault(FaultKind::kNanDistance, i, os.str());
-    }
-    acc[i] = std::numeric_limits<float>::infinity();
-  }
-}
-
-}  // namespace
 
 BatchOutput batched_select(simt::Device& dev,
                            const simt::DeviceBuffer<float>& refs,

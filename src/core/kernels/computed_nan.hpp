@@ -1,0 +1,38 @@
+// NaN policy for distances *computed* in registers by fused kernels.
+//
+// The load-path sanitizer in WarpContext only sees NaNs that are loaded from
+// device memory.  Fused distance+select kernels (batch_pipeline, ivf_kernels)
+// compute distances in registers, so they apply the same policy to the
+// accumulator themselves: kReject faults, kSortLast remaps to +infinity so
+// the NaN ranks after every real candidate.  The fixup is free, like the
+// load-path remap: hardware charges nothing for it, it is a sanitizer
+// semantic.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "simt/warp.hpp"
+
+namespace gpuksel::kernels {
+
+inline void apply_computed_nan_policy(simt::WarpContext& ctx,
+                                      simt::LaneMask act, simt::F32& acc,
+                                      const simt::U32& thread,
+                                      std::uint32_t ref) {
+  const simt::SanitizerConfig* san = ctx.sanitizer();
+  if (san == nullptr || san->nan_policy == NanPolicy::kPropagate) return;
+  for (int i = 0; i < simt::kWarpSize; ++i) {
+    if (!simt::lane_active(act, i) || !std::isnan(acc[i])) continue;
+    if (san->nan_policy == NanPolicy::kReject) {
+      std::ostringstream os;
+      os << "NaN distance computed for query " << thread[i] << " x ref " << ref
+         << " under NanPolicy::kReject";
+      ctx.fault(FaultKind::kNanDistance, i, os.str());
+    }
+    acc[i] = std::numeric_limits<float>::infinity();
+  }
+}
+
+}  // namespace gpuksel::kernels

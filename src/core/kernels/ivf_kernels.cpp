@@ -1,0 +1,459 @@
+#include "core/kernels/ivf_kernels.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/kernels/computed_nan.hpp"
+#include "core/kernels/pipeline.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel::kernels {
+
+std::vector<std::uint32_t> ivf_assign(
+    simt::Device& dev, const simt::DeviceBuffer<float>& refs_dim_major,
+    const simt::DeviceBuffer<float>& centroids, std::uint32_t n,
+    std::uint32_t dim, std::uint32_t nlist, simt::KernelMetrics* metrics) {
+  GPUKSEL_CHECK(n >= 1 && dim >= 1 && nlist >= 1,
+                "ivf_assign needs n, dim, nlist >= 1");
+  GPUKSEL_CHECK(refs_dim_major.size() == std::size_t{n} * dim,
+                "reference buffer size mismatch");
+  GPUKSEL_CHECK(centroids.size() == std::size_t{nlist} * dim,
+                "centroid buffer size mismatch");
+
+  const std::uint32_t threads = padded_threads(n);
+  const std::uint32_t num_warps = threads / simt::kWarpSize;
+  auto d_assign = dev.alloc<std::uint32_t>(n);
+  const auto r_span = refs_dim_major.cspan();
+  const auto c_span = centroids.cspan();
+  const auto a_span = d_assign.span();
+
+  const simt::KernelMetrics launch_metrics = dev.launch(
+      "ivf_train", num_warps, [&](WarpContext& ctx, std::uint32_t warp) {
+        const auto whole = ctx.region("ivf_train");
+        const std::uint32_t base = warp * simt::kWarpSize;
+        const int live = static_cast<int>(
+            std::min<std::uint32_t>(simt::kWarpSize, n - base));
+        const LaneMask act = simt::first_lanes(live);
+        U32 thread;
+        ctx.alu(act, thread, [&](int i) { return base + i; });
+
+        // Row vector into registers, dim-major (coalesced), exactly as the
+        // batched kernel loads its query lanes.
+        std::vector<F32> row(dim);
+        for (std::uint32_t d = 0; d < dim; ++d) {
+          U32 idx;
+          ctx.alu(act, idx, [&](int i) { return d * n + thread[i]; });
+          row[d] = ctx.load(act, r_span, idx);
+        }
+
+        // Running lexicographic minimum over all centroids; k = 1 needs no
+        // queue structure.
+        F32 best_d = ctx.imm(act, simt::kFloatSentinel);
+        U32 best_i = ctx.imm(act, simt::kIndexSentinel);
+        simt::SharedArray<float> stage(ctx,
+                                       std::size_t{kDistanceTileRefs} * dim);
+        for (std::uint32_t c0 = 0; c0 < nlist; c0 += kDistanceTileRefs) {
+          const std::uint32_t ct = std::min(kDistanceTileRefs, nlist - c0);
+          const std::uint32_t total = ct * dim;
+          {
+            const auto prof = ctx.region("tile_copy");
+            for (std::uint32_t ofs = 0; ofs < total; ofs += simt::kWarpSize) {
+              const LaneMask in_range = ctx.pred(simt::kFullMask, [&](int i) {
+                return ofs + static_cast<std::uint32_t>(i) < total;
+              });
+              if (!in_range) break;
+              U32 src;
+              ctx.alu(in_range, src, [&](int i) { return c0 * dim + ofs + i; });
+              const F32 v = ctx.load(in_range, c_span, src);
+              U32 dst;
+              ctx.alu(in_range, dst, [&](int i) { return ofs + i; });
+              stage.write(in_range, dst, v);
+            }
+          }
+          for (std::uint32_t c = 0; c < ct; ++c) {
+            // Same FP op order as the batched distance kernel.
+            F32 acc = ctx.imm(act, 0.0f);
+            for (std::uint32_t d = 0; d < dim; ++d) {
+              const F32 cen_v = stage.read_bcast(act, std::size_t{c} * dim + d);
+              F32 diff;
+              ctx.alu(act, diff, [&](int i) { return row[d][i] - cen_v[i]; });
+              ctx.alu(act, acc, [&](int i) { return acc[i] + diff[i] * diff[i]; });
+            }
+            const std::uint32_t cid = c0 + c;
+            apply_computed_nan_policy(ctx, act, acc, thread, cid);
+            const U32 cand = ctx.imm(act, cid);
+            const LaneMask better = ctx.lex_lt(act, acc, cand, best_d, best_i);
+            best_d = ctx.select(act, better, acc, best_d);
+            best_i = ctx.select(act, better, cand, best_i);
+          }
+        }
+        ctx.store(act, a_span, thread, best_i);
+      });
+  if (metrics != nullptr) *metrics += launch_metrics;
+  return dev.download(d_assign);
+}
+
+std::vector<std::vector<std::uint32_t>> ivf_coarse_quantize(
+    simt::Device& dev, const simt::DeviceBuffer<float>& centroids,
+    std::span<const float> queries_dim_major, std::uint32_t num_queries,
+    std::uint32_t nlist, std::uint32_t dim, std::uint32_t nprobe,
+    const SelectConfig& cfg, simt::KernelMetrics* metrics) {
+  GPUKSEL_CHECK(nlist >= 1 && dim >= 1, "ivf_coarse_quantize needs data");
+  GPUKSEL_CHECK(nprobe >= 1 && nprobe <= nlist,
+                "ivf_coarse_quantize needs nprobe in [1, nlist]");
+  GPUKSEL_CHECK(centroids.size() == std::size_t{nlist} * dim,
+                "centroid buffer size mismatch");
+  GPUKSEL_CHECK(queries_dim_major.size() == std::size_t{num_queries} * dim,
+                "query buffer size mismatch");
+  if (num_queries == 0) return {};
+
+  const std::uint32_t threads = padded_threads(num_queries);
+  const std::uint32_t num_warps = threads / simt::kWarpSize;
+  const std::uint32_t cap = queue_capacity(cfg, nprobe);
+  const bool two_pointer = cfg.queue == QueueKind::kMerge &&
+                           cfg.merge_strategy == MergeStrategy::kTwoPointer;
+
+  auto d_queries = dev.upload(queries_dim_major);
+  auto qdist = dev.alloc<float>(std::size_t{cap} * threads);
+  auto qidx = dev.alloc<std::uint32_t>(std::size_t{cap} * threads);
+  auto dbuf = dev.alloc<float>(
+      cfg.buffer == BufferMode::kNone ? 0 : std::size_t{cfg.buffer_size} * threads);
+  auto ibuf = dev.alloc<std::uint32_t>(
+      cfg.buffer == BufferMode::kNone ? 0 : std::size_t{cfg.buffer_size} * threads);
+  auto dscr = dev.alloc<float>(two_pointer ? std::size_t{cap} * threads : 0);
+  auto iscr = dev.alloc<std::uint32_t>(two_pointer ? std::size_t{cap} * threads : 0);
+
+  const auto q_span = d_queries.cspan();
+  const auto c_span = centroids.cspan();
+  const ThreadArrayView qview{qdist.span(), qidx.span(), threads, cap,
+                              cfg.queue_layout};
+  const ThreadArrayView bview{dbuf.span(), ibuf.span(), threads,
+                              cfg.buffer_size, cfg.queue_layout};
+  const ThreadArrayView sview{dscr.span(), iscr.span(), threads,
+                              two_pointer ? cap : 0, cfg.queue_layout};
+
+  const simt::KernelMetrics launch_metrics = dev.launch(
+      "coarse_quantize", num_warps, [&](WarpContext& ctx, std::uint32_t warp) {
+        const auto whole = ctx.region("coarse_quantize");
+        const std::uint32_t base = warp * simt::kWarpSize;
+        const int live = static_cast<int>(
+            std::min<std::uint32_t>(simt::kWarpSize, num_queries - base));
+        const LaneMask act = simt::first_lanes(live);
+        U32 thread;
+        ctx.alu(act, thread, [&](int i) { return base + i; });
+
+        std::vector<F32> qreg(dim);
+        for (std::uint32_t d = 0; d < dim; ++d) {
+          U32 idx;
+          ctx.alu(act, idx, [&](int i) { return d * num_queries + thread[i]; });
+          qreg[d] = ctx.load(act, q_span, idx);
+        }
+
+        simt::SharedArray<int> flag(ctx, 2, 0);
+        WarpQueue queue(ctx, qview, thread, act, cfg.queue, cfg.merge_m,
+                        cfg.aligned_merge, &flag, cfg.merge_strategy, sview,
+                        cfg.cache_head);
+        queue.init();
+        BufferedInserter inserter(ctx, queue, act, bview, thread, cfg.buffer,
+                                  cfg.buffer_size, &flag);
+
+        simt::SharedArray<float> stage(ctx,
+                                       std::size_t{kDistanceTileRefs} * dim);
+        for (std::uint32_t c0 = 0; c0 < nlist; c0 += kDistanceTileRefs) {
+          const std::uint32_t ct = std::min(kDistanceTileRefs, nlist - c0);
+          const std::uint32_t total = ct * dim;
+          {
+            const auto prof = ctx.region("tile_copy");
+            for (std::uint32_t ofs = 0; ofs < total; ofs += simt::kWarpSize) {
+              const LaneMask in_range = ctx.pred(simt::kFullMask, [&](int i) {
+                return ofs + static_cast<std::uint32_t>(i) < total;
+              });
+              if (!in_range) break;
+              U32 src;
+              ctx.alu(in_range, src, [&](int i) { return c0 * dim + ofs + i; });
+              const F32 v = ctx.load(in_range, c_span, src);
+              U32 dst;
+              ctx.alu(in_range, dst, [&](int i) { return ofs + i; });
+              stage.write(in_range, dst, v);
+            }
+          }
+          for (std::uint32_t c = 0; c < ct; ++c) {
+            F32 acc = ctx.imm(act, 0.0f);
+            for (std::uint32_t d = 0; d < dim; ++d) {
+              const F32 cen_v = stage.read_bcast(act, std::size_t{c} * dim + d);
+              F32 diff;
+              ctx.alu(act, diff, [&](int i) { return qreg[d][i] - cen_v[i]; });
+              ctx.alu(act, acc, [&](int i) { return acc[i] + diff[i] * diff[i]; });
+            }
+            const std::uint32_t cid = c0 + c;
+            apply_computed_nan_policy(ctx, act, acc, thread, cid);
+            const EntryLanes cand{acc, ctx.imm(act, cid)};
+            inserter.offer(act, cand);
+          }
+        }
+        inserter.finish();
+      });
+  if (metrics != nullptr) *metrics += launch_metrics;
+
+  const std::vector<std::vector<Neighbor>> nearest = extract_queues(
+      qdist, qidx, num_queries, threads, cap, nprobe, cfg.queue_layout);
+  std::vector<std::vector<std::uint32_t>> probes(num_queries);
+  for (std::uint32_t q = 0; q < num_queries; ++q) {
+    probes[q].reserve(nearest[q].size());
+    for (const Neighbor& nb : nearest[q]) probes[q].push_back(nb.index);
+  }
+  return probes;
+}
+
+IvfScanOutput ivf_list_scan(simt::Device& dev,
+                            const simt::DeviceBuffer<float>& sorted_refs,
+                            const IvfListsView& lists,
+                            std::span<const float> queries_dim_major,
+                            std::uint32_t num_queries, std::uint32_t dim,
+                            const std::vector<std::vector<std::uint32_t>>& probes,
+                            std::uint32_t k, const SelectConfig& cfg) {
+  GPUKSEL_CHECK(k >= 1 && dim >= 1, "ivf_list_scan needs k, dim >= 1");
+  GPUKSEL_CHECK(lists.list_begin.size() >= 2,
+                "ivf_list_scan needs at least one list");
+  const auto nlist =
+      static_cast<std::uint32_t>(lists.list_begin.size() - 1);
+  const std::uint32_t n = lists.list_begin[nlist];
+  GPUKSEL_CHECK(sorted_refs.size() == std::size_t{n} * dim,
+                "sorted reference buffer size mismatch");
+  GPUKSEL_CHECK(lists.row_ids.size() == n, "row id table size mismatch");
+  GPUKSEL_CHECK(probes.size() == num_queries,
+                "one probe list per query required");
+
+  IvfScanOutput out;
+  if (num_queries == 0) return out;
+  // Probe lists may be ragged: under NanPolicy::kSortLast a query whose
+  // centroid distances all remap to +inf selects fewer than nprobe lists
+  // (possibly zero).  The task id space is sized by the widest query; absent
+  // (q, j) pairs simply have no task, and their slab slots stay sentinel.
+  std::size_t nprobe_max = 0;
+  for (const auto& p : probes) nprobe_max = std::max(nprobe_max, p.size());
+  const auto nprobe = static_cast<std::uint32_t>(nprobe_max);
+  if (nprobe == 0) {
+    out.neighbors.assign(num_queries, {});
+    return out;
+  }
+
+  // --- host-side task compaction -------------------------------------------
+  // Task t = (q, j) scans list probes[q][j].  Tasks are grouped by list
+  // (queries ascending within a list) and padded to whole warps, so one
+  // warp's lanes share one contiguous row block — no lane of any warp is
+  // masked off for list-length reasons, which is what keeps the modeled cost
+  // proportional to the rows actually scanned.  A task's queue lives at its
+  // *compacted* slot (warp * 32 + lane): warp-consecutive slots keep every
+  // queue access in the scan coalesced (thread = raw q*nprobe+j ids would
+  // scatter each request across 32 cache lines).  slot_of_task maps the raw
+  // id back to the slot for the reduce; absent tasks (ragged probes, empty
+  // lists, warp padding) map to one shared spare slot that keeps its
+  // sentinel fill and is rejected by the reduce for free.
+  std::vector<std::vector<std::uint32_t>> tasks_by_list(nlist);
+  for (std::uint32_t q = 0; q < num_queries; ++q) {
+    GPUKSEL_CHECK(probes[q].size() <= nprobe, "probe list wider than nprobe");
+    for (std::uint32_t j = 0; j < probes[q].size(); ++j) {
+      const std::uint32_t l = probes[q][j];
+      GPUKSEL_CHECK(l < nlist, "probe list id out of range");
+      tasks_by_list[l].push_back(q * nprobe + j);
+    }
+  }
+  std::vector<std::uint32_t> warp_list;
+  std::vector<std::uint32_t> task_slots;
+  for (std::uint32_t l = 0; l < nlist; ++l) {
+    const std::uint32_t rows = lists.list_begin[l + 1] - lists.list_begin[l];
+    if (rows == 0 || tasks_by_list[l].empty()) continue;
+    const auto& tasks = tasks_by_list[l];
+    out.scanned_rows += std::uint64_t{rows} * tasks.size();
+    for (std::size_t t0 = 0; t0 < tasks.size(); t0 += simt::kWarpSize) {
+      warp_list.push_back(l);
+      for (std::size_t i = 0; i < simt::kWarpSize; ++i) {
+        task_slots.push_back(t0 + i < tasks.size() ? tasks[t0 + i]
+                                                   : simt::kIndexSentinel);
+      }
+    }
+  }
+  out.scan_warps = static_cast<std::uint32_t>(warp_list.size());
+  const std::uint32_t spare_slot = out.scan_warps * simt::kWarpSize;
+  const std::uint32_t total_slots = spare_slot + 1;
+  std::vector<std::uint32_t> slot_of_task(
+      std::size_t{num_queries} * nprobe, spare_slot);
+  for (std::uint32_t s = 0; s < spare_slot; ++s) {
+    if (task_slots[s] != simt::kIndexSentinel) slot_of_task[task_slots[s]] = s;
+  }
+
+  const std::uint32_t stride = total_slots;  // compacted task-slot space
+  const std::uint32_t tile_cap = queue_capacity(cfg, k);
+  SelectConfig reduce_cfg = cfg;
+  reduce_cfg.queue = QueueKind::kMerge;
+  const std::uint32_t red_cap = queue_capacity(reduce_cfg, k);
+  const std::uint32_t threads_q = padded_threads(num_queries);
+  const std::uint32_t warps_q = threads_q / simt::kWarpSize;
+  const bool scan_two_pointer = cfg.queue == QueueKind::kMerge &&
+                                cfg.merge_strategy == MergeStrategy::kTwoPointer;
+
+  auto d_queries = dev.upload(queries_dim_major);
+  auto d_tasks = dev.upload(std::move(task_slots));
+  auto d_slotmap = dev.upload(std::move(slot_of_task));
+  // Per-task partial queues, pre-filled with the sentinel: only the padding
+  // lanes and the spare slot rely on the fill, but pre-filling everything
+  // keeps the slab free of uninitialized reads by construction.
+  auto pdist = dev.alloc<float>(std::size_t{tile_cap} * stride,
+                                simt::kFloatSentinel);
+  auto pidx = dev.alloc<std::uint32_t>(std::size_t{tile_cap} * stride,
+                                       simt::kIndexSentinel);
+  auto fdist = dev.alloc<float>(std::size_t{red_cap} * threads_q);
+  auto fidx = dev.alloc<std::uint32_t>(std::size_t{red_cap} * threads_q);
+  auto dbuf = dev.alloc<float>(
+      cfg.buffer == BufferMode::kNone ? 0 : std::size_t{cfg.buffer_size} * stride);
+  auto ibuf = dev.alloc<std::uint32_t>(
+      cfg.buffer == BufferMode::kNone ? 0 : std::size_t{cfg.buffer_size} * stride);
+  auto tdscr =
+      dev.alloc<float>(scan_two_pointer ? std::size_t{tile_cap} * stride : 0);
+  auto tiscr = dev.alloc<std::uint32_t>(
+      scan_two_pointer ? std::size_t{tile_cap} * stride : 0);
+  auto rdscr = dev.alloc<float>(std::size_t{red_cap} * threads_q);
+  auto riscr = dev.alloc<std::uint32_t>(std::size_t{red_cap} * threads_q);
+
+  const auto q_span = d_queries.cspan();
+  const auto r_span = sorted_refs.cspan();
+  const auto t_span = d_tasks.cspan();
+  const auto sm_span = d_slotmap.cspan();
+  const ThreadArrayView taskview{pdist.span(), pidx.span(), stride, tile_cap,
+                                 cfg.queue_layout};
+  const ThreadArrayView bview{dbuf.span(), ibuf.span(), stride,
+                              cfg.buffer_size, cfg.queue_layout};
+  const ThreadArrayView tsview{tdscr.span(), tiscr.span(), stride,
+                               scan_two_pointer ? tile_cap : 0,
+                               cfg.queue_layout};
+  const ThreadArrayView fview{fdist.span(), fidx.span(), threads_q, red_cap,
+                              cfg.queue_layout};
+  const ThreadArrayView rsview{rdscr.span(), riscr.span(), threads_q, red_cap,
+                               cfg.queue_layout};
+
+  // --- phase 1: one fused scan launch over all task warps ------------------
+  if (out.scan_warps > 0) {
+    out.scan_metrics = dev.launch(
+        "list_scan", out.scan_warps, [&](WarpContext& ctx, std::uint32_t warp) {
+          const auto whole = ctx.region("list_scan");
+          const std::uint32_t list = warp_list[warp];
+          const std::uint32_t row_begin = lists.list_begin[list];
+          const std::uint32_t row_end = lists.list_begin[list + 1];
+
+          U32 slot;
+          ctx.alu(simt::kFullMask, slot,
+                  [&](int i) { return warp * simt::kWarpSize + i; });
+          const U32 task = ctx.load(simt::kFullMask, t_span, slot);
+          const LaneMask act = ctx.pred(simt::kFullMask, [&](int i) {
+            return task[i] != simt::kIndexSentinel;
+          });
+          U32 qid;
+          ctx.alu(act, qid, [&](int i) { return task[i] / nprobe; });
+
+          std::vector<F32> qreg(dim);
+          for (std::uint32_t d = 0; d < dim; ++d) {
+            U32 idx;
+            ctx.alu(act, idx, [&](int i) { return d * num_queries + qid[i]; });
+            qreg[d] = ctx.load(act, q_span, idx);
+          }
+
+          simt::SharedArray<int> flag(ctx, 2, 0);
+          // The queue is addressed by the warp-consecutive compacted slot,
+          // not the raw task id: interleaved layout then keeps every queue
+          // load/store one coalesced request.
+          WarpQueue queue(ctx, taskview, slot, act, cfg.queue, cfg.merge_m,
+                          cfg.aligned_merge, &flag, cfg.merge_strategy, tsview,
+                          cfg.cache_head);
+          queue.init();
+          BufferedInserter inserter(ctx, queue, act, bview, slot, cfg.buffer,
+                                    cfg.buffer_size, &flag);
+
+          simt::SharedArray<float> stage(ctx,
+                                         std::size_t{kDistanceTileRefs} * dim);
+          for (std::uint32_t r0 = row_begin; r0 < row_end;
+               r0 += kDistanceTileRefs) {
+            const std::uint32_t rt = std::min(kDistanceTileRefs, row_end - r0);
+            const std::uint32_t total = rt * dim;
+            {
+              const auto prof = ctx.region("tile_copy");
+              for (std::uint32_t ofs = 0; ofs < total;
+                   ofs += simt::kWarpSize) {
+                const LaneMask in_range = ctx.pred(simt::kFullMask, [&](int i) {
+                  return ofs + static_cast<std::uint32_t>(i) < total;
+                });
+                if (!in_range) break;
+                U32 src;
+                ctx.alu(in_range, src,
+                        [&](int i) { return r0 * dim + ofs + i; });
+                const F32 v = ctx.load(in_range, r_span, src);
+                U32 dst;
+                ctx.alu(in_range, dst, [&](int i) { return ofs + i; });
+                stage.write(in_range, dst, v);
+              }
+            }
+            for (std::uint32_t r = 0; r < rt; ++r) {
+              // Identical FP op order to the batched kernel, and the
+              // candidate carries its *original* reference row id — the two
+              // halves of the nprobe == nlist bit-identity contract.
+              F32 acc = ctx.imm(act, 0.0f);
+              for (std::uint32_t d = 0; d < dim; ++d) {
+                const F32 ref_v =
+                    stage.read_bcast(act, std::size_t{r} * dim + d);
+                F32 diff;
+                ctx.alu(act, diff,
+                        [&](int i) { return qreg[d][i] - ref_v[i]; });
+                ctx.alu(act, acc,
+                        [&](int i) { return acc[i] + diff[i] * diff[i]; });
+              }
+              const std::uint32_t ref = lists.row_ids[r0 + r];
+              apply_computed_nan_policy(ctx, act, acc, qid, ref);
+              const EntryLanes cand{acc, ctx.imm(act, ref)};
+              inserter.offer(act, cand);
+            }
+          }
+          inserter.finish();
+        });
+  }
+
+  // --- phase 2: merge the nprobe partials per query ------------------------
+  out.reduce_metrics = dev.launch(
+      "ivf_reduce", warps_q, [&](WarpContext& ctx, std::uint32_t warp) {
+        const auto whole = ctx.region("ivf_reduce");
+        const std::uint32_t base = warp * simt::kWarpSize;
+        const int live = static_cast<int>(
+            std::min<std::uint32_t>(simt::kWarpSize, num_queries - base));
+        const LaneMask act = simt::first_lanes(live);
+        U32 thread;
+        ctx.alu(act, thread, [&](int i) { return base + i; });
+
+        simt::SharedArray<int> flag(ctx, 2, 0);
+        WarpQueue queue(ctx, fview, thread, act, QueueKind::kMerge,
+                        reduce_cfg.merge_m, reduce_cfg.aligned_merge, &flag,
+                        MergeStrategy::kTwoPointer, rsview,
+                        reduce_cfg.cache_head);
+        queue.init();
+
+        // Probe ranks in ascending order, slots in queue order: a
+        // deterministic candidate sequence, like batch_reduce's tile loop.
+        // Each lane gathers its own task's queue through the slot map; an
+        // absent task resolves to the spare slot's sentinel fill, which
+        // accepts() rejects (nothing beats the sentinel).
+        for (std::uint32_t j = 0; j < nprobe; ++j) {
+          U32 map_idx;
+          ctx.alu(act, map_idx, [&](int i) { return thread[i] * nprobe + j; });
+          const U32 tslot = ctx.load(act, sm_span, map_idx);
+          for (std::uint32_t s = 0; s < tile_cap; ++s) {
+            const EntryLanes e = taskview.load(ctx, act, tslot, s);
+            const LaneMask want = queue.accepts(act, e);
+            if (want) queue.insert(want, e);
+          }
+        }
+      });
+
+  out.neighbors = extract_queues(fdist, fidx, num_queries, threads_q, red_cap,
+                                 k, cfg.queue_layout);
+  return out;
+}
+
+}  // namespace gpuksel::kernels

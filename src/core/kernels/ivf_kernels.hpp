@@ -1,0 +1,107 @@
+// Device kernels for the IVF (inverted-file) pruned index.
+//
+// Three launches make up the IVF pipeline on top of the paper's selection
+// machinery:
+//
+//  * "ivf_train" — the final assignment pass of index construction: one lane
+//    per reference row scores the row against every centroid (staged through
+//    shared memory, same FP op order as the batched distance kernel) and
+//    keeps the lexicographically (dist, centroid) smallest.  The host-side
+//    k-means++/Lloyd trainer produces the centroids; running the full-set
+//    assignment on the device makes the dominant O(n * nlist * dim) cost of
+//    training show up honestly in the profiler.
+//
+//  * "coarse_quantize" — queries vs centroids through the fused tile kernel
+//    with a per-lane WarpQueue keeping the nprobe closest lists.  Structure
+//    is batch_tile_score with the centroid set as the only tile.
+//
+//  * "list_scan" (+ the "ivf_reduce" merge) — the pruned scan.  The modeled
+//    cost charges every warp instruction regardless of how many lanes are
+//    masked on, so scanning each short list with a full query warp would
+//    erase the pruning win.  Instead the (query, probe-rank) pairs are
+//    compacted host-side into *tasks* grouped by list: warps never straddle
+//    lists, each lane of a warp scans the same contiguous row block for its
+//    own task's query, and one launch covers every non-empty task group.
+//    Per-task partial queues live in one slab indexed by the task's
+//    *compacted* slot (warp * 32 + lane), so every queue access in the scan
+//    is one coalesced request; a slot map carries (q, probe-rank) -> slot
+//    into the reduce, and tasks with no warp (empty lists, ragged probes,
+//    padding) resolve to a shared spare slot whose sentinel fill the reduce
+//    rejects for free.  The reduce merges the nprobe partials per query with
+//    the two-pointer merge queue, exactly like batch_reduce.
+//
+// Exactness: candidates carry *original* reference row ids, distances
+// replicate the batched kernel's FP op order, and all ordering is
+// lexicographic (dist, index) — so with nprobe == nlist the lists partition
+// the reference set, every row is scanned exactly once, and the result is
+// bit-identical to batched_select over the original set.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/kernels/select_kernels.hpp"
+#include "core/neighbor.hpp"
+#include "simt/device.hpp"
+
+namespace gpuksel::kernels {
+
+/// Assigns every reference row to its lexicographically nearest centroid.
+/// `refs_dim_major` is the n x dim reference set in dim-major order (element
+/// (r, d) at d*n + r, the coalesced layout for row-per-lane kernels);
+/// `centroids` is nlist x dim row-major, device-resident.  Returns one
+/// centroid id per row.  Launch name / profiler region: "ivf_train".
+[[nodiscard]] std::vector<std::uint32_t> ivf_assign(
+    simt::Device& dev, const simt::DeviceBuffer<float>& refs_dim_major,
+    const simt::DeviceBuffer<float>& centroids, std::uint32_t n,
+    std::uint32_t dim, std::uint32_t nlist, simt::KernelMetrics* metrics);
+
+/// Selects the `nprobe` closest centroids per query with the fused tile
+/// kernel + WarpQueue.  `queries_dim_major` is the query batch in dim-major
+/// order; `centroids` is nlist x dim row-major, device-resident.  Returns
+/// per query the nprobe list ids ascending by (distance, list id).
+/// Launch name / profiler region: "coarse_quantize".
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> ivf_coarse_quantize(
+    simt::Device& dev, const simt::DeviceBuffer<float>& centroids,
+    std::span<const float> queries_dim_major, std::uint32_t num_queries,
+    std::uint32_t nlist, std::uint32_t dim, std::uint32_t nprobe,
+    const SelectConfig& cfg, simt::KernelMetrics* metrics);
+
+/// Inverted-list geometry of a device-resident reference set reordered so
+/// each list is one contiguous row block.
+struct IvfListsView {
+  /// list l's rows occupy sorted positions [list_begin[l], list_begin[l+1]).
+  std::span<const std::uint32_t> list_begin;  ///< nlist + 1 offsets
+  /// Original reference row id of each sorted position (the candidate ids
+  /// the kernels emit).
+  std::span<const std::uint32_t> row_ids;
+};
+
+/// Output of the pruned scan: per-query neighbors (original row ids) plus
+/// the metrics of the scan and reduce launches.
+struct IvfScanOutput {
+  std::vector<std::vector<Neighbor>> neighbors;
+  simt::KernelMetrics scan_metrics;    ///< the "list_scan" launch
+  simt::KernelMetrics reduce_metrics;  ///< the "ivf_reduce" launch
+  /// Task-compaction shape (observability): warps launched and reference
+  /// rows actually scanned (sum of probed list sizes over all tasks).
+  std::uint32_t scan_warps = 0;
+  std::uint64_t scanned_rows = 0;
+};
+
+/// Scans each query's probed lists (`probes[q]` = nprobe list ids from
+/// ivf_coarse_quantize) against the reordered reference set
+/// (`sorted_refs` = n x dim row-major in list order) and reduces the
+/// per-task partial top-k to min(k, scanned rows) neighbors per query,
+/// ascending by (dist, original row id).  Probe lists may be ragged (NaN
+/// remapping can shrink a query's selection); an empty probes[q] yields an
+/// empty result for that query.
+[[nodiscard]] IvfScanOutput ivf_list_scan(
+    simt::Device& dev, const simt::DeviceBuffer<float>& sorted_refs,
+    const IvfListsView& lists, std::span<const float> queries_dim_major,
+    std::uint32_t num_queries, std::uint32_t dim,
+    const std::vector<std::vector<std::uint32_t>>& probes, std::uint32_t k,
+    const SelectConfig& cfg);
+
+}  // namespace gpuksel::kernels

@@ -51,6 +51,7 @@ void BatchedKnn::set_refs(Dataset refs) {
   d_refs_ = {};
   bound_device_ = nullptr;
   uploaded_refs_ = nullptr;
+  ++generation_;
 }
 
 void BatchedKnn::ensure_refs(simt::Device& dev) {

@@ -51,6 +51,14 @@ class BatchedKnn {
   /// row count — the amortization key is the host data, not its size.
   void set_refs(Dataset refs);
 
+  /// Monotone counter bumped by every set_refs.  Anything derived from the
+  /// reference set (an IvfKnn's trained centroids and inverted lists) records
+  /// the generation it was built against and must refuse to serve when the
+  /// counter has moved — the stale-centroid guard.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+
   /// Appends a query batch to the serving queue; returns its position.
   /// An empty batch is valid (served as an empty result).
   std::size_t enqueue(Dataset queries, std::uint32_t k);
@@ -90,6 +98,7 @@ class BatchedKnn {
   /// same size must not reuse the stale upload (set_refs / moved storage), so
   /// ensure_refs keys on this pointer, not just the buffer size.
   const float* uploaded_refs_ = nullptr;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace gpuksel::knn

@@ -1,0 +1,341 @@
+#include "knn/ivf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "core/kernels/ivf_kernels.hpp"
+#include "knn/distance.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gpuksel::knn {
+
+namespace {
+
+/// The device queues only admit candidates that beat the sentinel slot, so a
+/// +inf distance (NaN remapped under kSortLast, or a propagated NaN — every
+/// lex comparison with it is false) never surfaces.  The host mirror applies
+/// the same admission rule.
+bool admitted(const Neighbor& n) noexcept { return n < kEmptySlot; }
+
+}  // namespace
+
+IvfKnn::IvfKnn(Dataset refs, IvfOptions options)
+    : batched_(std::move(refs), options.batch), options_(std::move(options)) {
+  GPUKSEL_CHECK(options_.params.nlist >= 1, "IvfKnn needs nlist >= 1");
+  GPUKSEL_CHECK(options_.params.nprobe >= 1, "IvfKnn needs nprobe >= 1");
+  GPUKSEL_CHECK(options_.params.train_sample >= 1,
+                "IvfKnn needs train_sample >= 1");
+  nprobe_ = options_.params.nprobe;
+}
+
+void IvfKnn::set_refs(Dataset refs) {
+  batched_.set_refs(std::move(refs));
+  // trained() now reports false via the generation mismatch even before the
+  // eager reset below — the reset just frees the stale structures.
+  trained_ = false;
+  index_ = {};
+  sorted_refs_ = {};
+  bound_device_ = nullptr;
+  d_sorted_ = {};
+  d_centroids_ = {};
+}
+
+void IvfKnn::set_nprobe(std::uint32_t nprobe) {
+  GPUKSEL_CHECK(nprobe >= 1, "IvfKnn needs nprobe >= 1");
+  nprobe_ = nprobe;
+}
+
+void IvfKnn::train(simt::Device& dev) {
+  const std::uint32_t n = size();
+  const std::uint32_t d = dim();
+  GPUKSEL_CHECK(n >= 1 && d >= 1, "IvfKnn::train needs a non-empty reference set");
+  const IvfParams& p = options_.params;
+  const std::uint32_t nlist = std::min(p.nlist, n);
+  const Dataset& refs = batched_.host().refs();
+
+  // --- seeded training sample ---------------------------------------------
+  std::vector<std::uint32_t> sample;
+  if (n > p.train_sample) {
+    const std::vector<std::uint32_t> perm = random_permutation(n, p.seed);
+    sample.assign(perm.begin(), perm.begin() + p.train_sample);
+  } else {
+    sample.resize(n);
+    std::iota(sample.begin(), sample.end(), 0u);
+  }
+  const std::size_t s = sample.size();
+
+  // --- k-means++ seeding (serial, fully determined by p.seed) --------------
+  Rng rng(p.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<float> centroids(std::size_t{nlist} * d);
+  const auto centroid = [&](std::uint32_t c) {
+    return centroids.data() + std::size_t{c} * d;
+  };
+  const auto adopt = [&](std::uint32_t c, std::uint32_t row) {
+    std::copy_n(refs.row(row), d, centroid(c));
+  };
+  adopt(0, sample[rng.uniform_below(s)]);
+  std::vector<double> mind2(s);
+  for (std::size_t i = 0; i < s; ++i) {
+    mind2[i] = squared_euclidean(refs.row(sample[i]), centroid(0), d);
+  }
+  for (std::uint32_t c = 1; c < nlist; ++c) {
+    double total = 0.0;
+    for (const double v : mind2) total += v;
+    std::size_t pick = 0;
+    if (std::isfinite(total) && total > 0.0) {
+      // D^2 weighting: walk the prefix sums to the drawn mass.
+      const double r = rng.uniform_double() * total;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < s; ++i) {
+        acc += mind2[i];
+        if (acc > r) {
+          pick = i;
+          break;
+        }
+      }
+    } else {
+      // All-duplicate (or NaN-poisoned) sample: fall back to uniform picks.
+      pick = rng.uniform_below(s);
+    }
+    adopt(c, sample[pick]);
+    for (std::size_t i = 0; i < s; ++i) {
+      const double d2 = squared_euclidean(refs.row(sample[i]), centroid(c), d);
+      if (d2 < mind2[i]) mind2[i] = d2;
+    }
+  }
+
+  // --- Lloyd refinement (serial, ascending row order) ----------------------
+  std::vector<double> sums(std::size_t{nlist} * d);
+  std::vector<std::uint32_t> counts(nlist);
+  for (std::uint32_t iter = 0; iter < p.kmeans_iters; ++iter) {
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (std::size_t i = 0; i < s; ++i) {
+      const float* row = refs.row(sample[i]);
+      float best_d = std::numeric_limits<float>::max();
+      std::uint32_t best_c = 0;
+      for (std::uint32_t c = 0; c < nlist; ++c) {
+        const float d2 = squared_euclidean(row, centroid(c), d);
+        if (d2 < best_d) {  // (d2, c) lexicographic: first wins ties
+          best_d = d2;
+          best_c = c;
+        }
+      }
+      double* sum = sums.data() + std::size_t{best_c} * d;
+      for (std::uint32_t f = 0; f < d; ++f) sum[f] += row[f];
+      ++counts[best_c];
+    }
+    for (std::uint32_t c = 0; c < nlist; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its old centroid
+      float* cen = centroid(c);
+      const double* sum = sums.data() + std::size_t{c} * d;
+      for (std::uint32_t f = 0; f < d; ++f) {
+        cen[f] = static_cast<float>(sum[f] / counts[c]);
+      }
+    }
+  }
+
+  // --- device assignment pass over the full set ----------------------------
+  index_ = {};
+  index_.nlist = nlist;
+  index_.dim = d;
+  auto d_refs_dm = dev.upload(to_dim_major(refs));
+  auto d_cent = dev.upload(std::span<const float>(centroids));
+  std::vector<std::uint32_t> assign = kernels::ivf_assign(
+      dev, d_refs_dm, d_cent, n, d, nlist, &index_.train_metrics);
+  // A row whose every centroid distance is NaN (or remapped +inf) never
+  // beats the running-min sentinel and comes back unassigned: pin it to
+  // list 0 — deterministic, and search never admits its distances anyway.
+  for (std::uint32_t& a : assign) {
+    if (a >= nlist) a = 0;
+  }
+  index_.centroids = std::move(centroids);
+
+  // --- inverted lists: counting sort, original row order within a list -----
+  index_.list_begin.assign(std::size_t{nlist} + 1, 0);
+  for (std::uint32_t r = 0; r < n; ++r) ++index_.list_begin[assign[r] + 1];
+  for (std::uint32_t l = 0; l < nlist; ++l) {
+    index_.list_begin[l + 1] += index_.list_begin[l];
+  }
+  index_.row_ids.resize(n);
+  std::vector<std::uint32_t> cursor(index_.list_begin.begin(),
+                                    index_.list_begin.end() - 1);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    index_.row_ids[cursor[assign[r]]++] = r;
+  }
+  sorted_refs_.values.resize(std::size_t{n} * d);
+  sorted_refs_.count = n;
+  sorted_refs_.dim = d;
+  for (std::uint32_t pos = 0; pos < n; ++pos) {
+    std::copy_n(refs.row(index_.row_ids[pos]), d,
+                sorted_refs_.values.data() + std::size_t{pos} * d);
+  }
+
+  trained_ = true;
+  trained_generation_ = batched_.generation();
+  reordered_begin_ = 0;
+  bound_device_ = nullptr;
+  d_sorted_ = {};
+  d_centroids_ = {};
+}
+
+void IvfKnn::ensure_device(simt::Device& dev) {
+  if (bound_device_ == &dev) return;
+  d_sorted_ = dev.upload(std::span<const float>(sorted_refs_.values));
+  d_centroids_ = dev.upload(std::span<const float>(index_.centroids));
+  bound_device_ = &dev;
+}
+
+KnnResult IvfKnn::search_gpu(simt::Device& dev, const Dataset& queries,
+                             std::uint32_t k) {
+  GPUKSEL_CHECK(k >= 1, "IvfKnn needs k >= 1");
+  GPUKSEL_CHECK(queries.count == 0 || queries.dim == dim(),
+                "query/reference dim mismatch");
+  GPUKSEL_CHECK(trained(),
+                "IvfKnn::search_gpu without a current trained index (train() "
+                "not run, or the reference set changed since training)");
+  if (queries.count == 0) return {};
+  const std::uint32_t nprobe = std::min(nprobe_, index_.nlist);
+  const kernels::SelectConfig& sel = options_.batch.batch.select;
+  simt::ScopedNanPolicy nan_guard(dev.sanitizer(), options_.batch.nan_policy);
+  try {
+    ensure_device(dev);
+    const std::vector<float> qdm = to_dim_major(queries);
+    simt::KernelMetrics coarse;
+    const std::vector<std::vector<std::uint32_t>> probes =
+        kernels::ivf_coarse_quantize(dev, d_centroids_, qdm, queries.count,
+                                     index_.nlist, dim(), nprobe, sel, &coarse);
+    const kernels::IvfListsView lists{index_.list_begin, index_.row_ids};
+    kernels::IvfScanOutput out = kernels::ivf_list_scan(
+        dev, d_sorted_, lists, qdm, queries.count, dim(), probes, k, sel);
+    KnnResult result;
+    result.neighbors = std::move(out.neighbors);
+    result.distance_metrics = coarse;
+    result.distance_metrics += out.scan_metrics;
+    result.select_metrics = out.reduce_metrics;
+    const auto& cm = options_.batch.cost_model;
+    result.modeled_seconds = cm.kernel_seconds(coarse) +
+                             cm.kernel_seconds(out.scan_metrics) +
+                             cm.kernel_seconds(out.reduce_metrics);
+    return result;
+  } catch (const SimtFaultError& fault) {
+    if (!options_.batch.fallback_to_host) throw;
+    KnnResult result = search_host(queries, k);
+    result.faults.push_back(fault.record());
+    result.used_host_fallback = true;
+    return result;
+  }
+}
+
+std::vector<std::vector<std::uint32_t>> IvfKnn::host_coarse(
+    const Dataset& queries, std::uint32_t nprobe) const {
+  const std::uint32_t d = dim();
+  std::vector<std::vector<std::uint32_t>> probes(queries.count);
+  std::vector<float> cdist(index_.nlist);
+  std::vector<Neighbor> cands;
+  for (std::uint32_t q = 0; q < queries.count; ++q) {
+    for (std::uint32_t c = 0; c < index_.nlist; ++c) {
+      cdist[c] = squared_euclidean(
+          queries.row(q), index_.centroids.data() + std::size_t{c} * d, d);
+    }
+    apply_nan_policy(cdist, options_.batch.nan_policy);
+    cands.clear();
+    for (std::uint32_t c = 0; c < index_.nlist; ++c) {
+      const Neighbor nb{cdist[c], c};
+      if (admitted(nb)) cands.push_back(nb);
+    }
+    std::sort(cands.begin(), cands.end());
+    if (cands.size() > nprobe) cands.resize(nprobe);
+    probes[q].reserve(cands.size());
+    for (const Neighbor& nb : cands) probes[q].push_back(nb.index);
+  }
+  return probes;
+}
+
+KnnResult IvfKnn::search_host(const Dataset& queries, std::uint32_t k) const {
+  GPUKSEL_CHECK(k >= 1, "IvfKnn needs k >= 1");
+  GPUKSEL_CHECK(queries.count == 0 || queries.dim == dim(),
+                "query/reference dim mismatch");
+  GPUKSEL_CHECK(trained(),
+                "IvfKnn::search_host without a current trained index (train() "
+                "not run, or the reference set changed since training)");
+  if (queries.count == 0) return {};
+  const std::uint32_t d = dim();
+  const std::uint32_t nprobe = std::min(nprobe_, index_.nlist);
+  const std::vector<std::vector<std::uint32_t>> probes =
+      host_coarse(queries, nprobe);
+
+  KnnResult result;
+  result.neighbors.resize(queries.count);
+  std::vector<float> dists;
+  std::vector<std::uint32_t> ids;
+  for (std::uint32_t q = 0; q < queries.count; ++q) {
+    dists.clear();
+    ids.clear();
+    for (const std::uint32_t l : probes[q]) {
+      for (std::uint32_t pos = index_.list_begin[l];
+           pos < index_.list_begin[l + 1]; ++pos) {
+        dists.push_back(squared_euclidean(queries.row(q),
+                                          sorted_refs_.row(pos), d));
+        ids.push_back(index_.row_ids[pos]);
+      }
+    }
+    apply_nan_policy(dists, options_.batch.nan_policy);
+    auto& nbrs = result.neighbors[q];
+    for (std::size_t i = 0; i < dists.size(); ++i) {
+      const Neighbor nb{dists[i], ids[i]};
+      if (admitted(nb)) nbrs.push_back(nb);
+    }
+    std::sort(nbrs.begin(), nbrs.end());
+    if (nbrs.size() > k) nbrs.resize(k);
+  }
+  return result;
+}
+
+IvfKnn IvfKnn::shard_view(const IvfKnn& global, std::uint32_t list_lo,
+                          std::uint32_t list_hi, IvfOptions options) {
+  GPUKSEL_CHECK(global.trained(), "IvfKnn::shard_view needs a trained index");
+  GPUKSEL_CHECK(list_lo < list_hi && list_hi <= global.index_.nlist,
+                "IvfKnn::shard_view needs a non-empty list range");
+  const std::uint32_t nlist = global.index_.nlist;
+  const std::uint32_t d = global.dim();
+  const std::uint32_t base = global.index_.list_begin[list_lo];
+  const std::uint32_t end = global.index_.list_begin[list_hi];
+  const std::uint32_t rows = end - base;
+  GPUKSEL_CHECK(rows >= 1, "IvfKnn::shard_view needs at least one owned row");
+
+  Dataset owned;
+  owned.count = rows;
+  owned.dim = d;
+  owned.values.assign(
+      global.sorted_refs_.values.begin() + std::size_t{base} * d,
+      global.sorted_refs_.values.begin() + std::size_t{end} * d);
+
+  options.params = global.options_.params;
+  IvfKnn shard(owned, std::move(options));
+  shard.nprobe_ = global.nprobe_;
+  shard.index_.nlist = nlist;
+  shard.index_.dim = d;
+  shard.index_.centroids = global.index_.centroids;  // full quantizer
+  shard.index_.list_begin.resize(std::size_t{nlist} + 1);
+  for (std::uint32_t l = 0; l <= nlist; ++l) {
+    // Foreign lists collapse to empty local ranges; owned lists keep their
+    // global extents shifted into local row space.
+    shard.index_.list_begin[l] =
+        std::clamp(global.index_.list_begin[std::clamp(l, list_lo, list_hi)],
+                   base, end) -
+        base;
+  }
+  shard.index_.row_ids.assign(global.index_.row_ids.begin() + base,
+                              global.index_.row_ids.begin() + end);
+  shard.sorted_refs_ = std::move(owned);
+  shard.trained_ = true;
+  shard.trained_generation_ = shard.batched_.generation();
+  shard.reordered_begin_ = base;
+  return shard;
+}
+
+}  // namespace gpuksel::knn

@@ -1,0 +1,140 @@
+// IVF (inverted-file) pruned k-NN index: the ROADMAP's step-change item for
+// million-row reference sets.
+//
+// A coarse k-means quantizer splits the reference set into nlist inverted
+// lists stored as contiguous row blocks; a query scores the nlist centroids,
+// probes only its nprobe closest lists, and merges the per-list partial top-k
+// — O(n * nprobe / nlist) distance work instead of O(n).  nprobe is the
+// recall/qps knob: nprobe == nlist scans every row exactly once and is
+// bit-identical to BatchedKnn (the exactness contract the differential tests
+// pin); smaller nprobe trades recall for speed along the fig13 curve.
+//
+// Determinism: training is host-side k-means++ / Lloyd over a seeded sample
+// (serial, fixed iteration order) plus one device assignment pass, so the
+// index depends only on (refs, IvfParams) — bit-identical across executor
+// thread counts and SIMD backends.  search_host is a scalar mirror of the
+// device pipeline with the same (dist, index) ordering and NaN policy and
+// produces byte-identical neighbors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "knn/batch.hpp"
+
+namespace gpuksel::knn {
+
+/// Index-construction parameters.  Everything is seeded: the same refs and
+/// params always build the same index.
+struct IvfParams {
+  std::uint32_t nlist = 16;   ///< inverted lists (clamped to the row count)
+  std::uint32_t nprobe = 4;   ///< default lists probed per query
+  std::uint32_t kmeans_iters = 8;   ///< Lloyd refinement passes
+  std::uint32_t train_sample = 8192;  ///< rows sampled for host training
+  std::uint64_t seed = 0x5eedf11eULL;
+};
+
+struct IvfOptions {
+  IvfParams params;
+  /// Batched-pipeline options shared with the exact path: select config,
+  /// cost model, NaN policy, fault fallback.
+  BatchedKnnOptions batch;
+};
+
+/// The trained quantizer + inverted-list geometry (host-resident).
+struct IvfIndex {
+  std::uint32_t nlist = 0;  ///< effective list count (min(params.nlist, n))
+  std::uint32_t dim = 0;
+  std::vector<float> centroids;           ///< nlist x dim row-major
+  std::vector<std::uint32_t> list_begin;  ///< nlist + 1 sorted-row offsets
+  std::vector<std::uint32_t> row_ids;     ///< sorted position -> original row
+  simt::KernelMetrics train_metrics;      ///< the "ivf_train" device pass
+};
+
+class IvfKnn {
+ public:
+  /// Indexes the reference set (row-major `count x dim`).  Training is a
+  /// separate explicit step (it needs a device for the assignment pass).
+  explicit IvfKnn(Dataset refs, IvfOptions options = {});
+
+  [[nodiscard]] std::uint32_t size() const noexcept { return batched_.size(); }
+  [[nodiscard]] std::uint32_t dim() const noexcept { return batched_.dim(); }
+  [[nodiscard]] const IvfOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const IvfIndex& index() const noexcept { return index_; }
+
+  /// The exact batched engine over the same (original-order) reference set:
+  /// the differential-test baseline and the owner of the reference
+  /// generation the stale-centroid guard checks.
+  [[nodiscard]] BatchedKnn& batched() noexcept { return batched_; }
+  [[nodiscard]] const BatchedKnn& batched() const noexcept { return batched_; }
+
+  /// Replaces the reference set.  The trained index is invalidated (the
+  /// generation guard): search_gpu/search_host refuse until train() runs
+  /// again against the new rows.
+  void set_refs(Dataset refs);
+
+  /// True when a trained index exists *and* it was built against the current
+  /// reference generation.
+  [[nodiscard]] bool trained() const noexcept {
+    return trained_ && trained_generation_ == batched_.generation();
+  }
+
+  /// The recall/qps knob.  Clamped to the effective nlist at search time.
+  [[nodiscard]] std::uint32_t nprobe() const noexcept { return nprobe_; }
+  void set_nprobe(std::uint32_t nprobe);
+
+  /// Trains the quantizer: seeded host-side k-means++ / Lloyd over a sample,
+  /// then one "ivf_train" device pass assigning every row, then the
+  /// inverted-list build (rows ascending within each list).
+  void train(simt::Device& dev);
+
+  /// Pruned device search: "coarse_quantize" + "list_scan" + "ivf_reduce".
+  /// distance_metrics covers coarse + scan, select_metrics the reduce.
+  /// Returns min(k, rows scanned) neighbors per query, ascending by
+  /// (dist, original row id).  On a caught SimtFaultError with
+  /// options.batch.fallback_to_host set, the batch is re-answered by
+  /// search_host (byte-identical to the fault-free device result).
+  [[nodiscard]] KnnResult search_gpu(simt::Device& dev, const Dataset& queries,
+                                     std::uint32_t k);
+
+  /// Scalar mirror of search_gpu (same probes, same candidate ordering, same
+  /// NaN policy): byte-identical neighbors, zero device metrics.
+  [[nodiscard]] KnnResult search_host(const Dataset& queries,
+                                      std::uint32_t k) const;
+
+  /// A shard owning lists [list_lo, list_hi) of a trained global index: the
+  /// full centroid set (so probe selection matches the global index), but
+  /// only the owned lists hold rows — probes into foreign lists scan
+  /// nothing.  Row ids stay global, so merged shard results are byte-
+  /// identical to the global index's (shard_merge needs no remap).
+  [[nodiscard]] static IvfKnn shard_view(const IvfKnn& global,
+                                         std::uint32_t list_lo,
+                                         std::uint32_t list_hi,
+                                         IvfOptions options);
+
+  /// Offset of this shard's rows in the global *reordered* row space (0 for
+  /// a full index): the contiguity key shard reports use.
+  [[nodiscard]] std::uint32_t reordered_begin() const noexcept {
+    return reordered_begin_;
+  }
+
+ private:
+  void ensure_device(simt::Device& dev);
+  [[nodiscard]] std::vector<std::vector<std::uint32_t>> host_coarse(
+      const Dataset& queries, std::uint32_t nprobe) const;
+
+  BatchedKnn batched_;
+  IvfOptions options_;
+  std::uint32_t nprobe_ = 0;
+  IvfIndex index_;
+  Dataset sorted_refs_;  ///< rows reordered into list order
+  bool trained_ = false;
+  std::uint64_t trained_generation_ = 0;
+  std::uint32_t reordered_begin_ = 0;
+
+  const simt::Device* bound_device_ = nullptr;
+  simt::DeviceBuffer<float> d_sorted_;
+  simt::DeviceBuffer<float> d_centroids_;
+};
+
+}  // namespace gpuksel::knn

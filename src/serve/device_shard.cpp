@@ -21,8 +21,22 @@ DeviceShard::DeviceShard(std::uint32_t id, std::uint32_t begin,
                          HealthOptions health)
     : id_(id),
       begin_(begin),
-      engine_(std::move(slice), shard_options(std::move(options))),
+      flat_(std::make_unique<knn::BatchedKnn>(std::move(slice),
+                                              shard_options(std::move(options)))),
       health_(health) {}
+
+DeviceShard::DeviceShard(std::uint32_t id, knn::IvfKnn engine,
+                         HealthOptions health)
+    : id_(id), begin_(engine.reordered_begin()), health_(health) {
+  // The shard view's options are fixed at construction, so unlike the flat
+  // path the silent fallback cannot be forced off here — refuse it instead.
+  GPUKSEL_CHECK(!engine.options().batch.fallback_to_host,
+                "an IVF DeviceShard needs fallback_to_host off (the shard "
+                "owns the fault policy)");
+  GPUKSEL_CHECK(engine.trained(),
+                "an IVF DeviceShard needs a trained shard view");
+  ivf_ = std::make_unique<knn::IvfKnn>(std::move(engine));
+}
 
 std::vector<std::vector<Neighbor>> DeviceShard::remap(
     std::vector<std::vector<Neighbor>> neighbors) const {
@@ -34,13 +48,17 @@ std::vector<std::vector<Neighbor>> DeviceShard::remap(
 
 std::vector<std::vector<Neighbor>> DeviceShard::host_recompute(
     const knn::Dataset& queries, std::uint32_t k) {
-  // Same FP op order and tie-breaking as the fused kernel, so a degraded
+  // Same FP op order and tie-breaking as the device pipeline, so a degraded
   // shard's partial list is bit-identical to what a healthy shard would have
   // produced.
-  const auto& opts = engine_.options();
-  knn::KnnResult res = engine_.host().search(queries, k,
-                                             opts.host_fallback_algo,
-                                             opts.nan_policy);
+  if (ivf_) {
+    // The scalar mirror of the pruned pipeline; already global row ids.
+    return ivf_->search_host(queries, k).neighbors;
+  }
+  const auto& opts = flat_->options();
+  knn::KnnResult res = flat_->host().search(queries, k,
+                                            opts.host_fallback_algo,
+                                            opts.nan_policy);
   return remap(std::move(res.neighbors));
 }
 
@@ -65,11 +83,14 @@ std::vector<std::vector<Neighbor>> DeviceShard::search(
   }
 
   const auto attempt = [&] {
-    knn::KnnResult res = engine_.search_gpu(device_, queries, k);
+    knn::KnnResult res = ivf_ ? ivf_->search_gpu(device_, queries, k)
+                              : flat_->search_gpu(device_, queries, k);
     stats.metrics = res.distance_metrics;
     stats.metrics += res.select_metrics;
     stats.modeled_seconds = res.modeled_seconds;
-    return remap(std::move(res.neighbors));
+    // The IVF view emits original global row ids already; the flat slice's
+    // local indices shift by the partition offset.
+    return ivf_ ? std::move(res.neighbors) : remap(std::move(res.neighbors));
   };
   // A faulted launch aborts before recording its own metrics, but the
   // attempt's *completed* launches (earlier tiles) did run — the cumulative
@@ -78,7 +99,7 @@ std::vector<std::vector<Neighbor>> DeviceShard::search(
     const simt::KernelMetrics delta = device_.cumulative() - before;
     stats.wasted_metrics += delta;
     stats.wasted_seconds +=
-        engine_.options().cost_model.kernel_seconds(delta);
+        batch_options().cost_model.kernel_seconds(delta);
     stats.failed_attempts += 1;
   };
   const auto degrade = [&] {

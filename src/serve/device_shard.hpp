@@ -1,15 +1,23 @@
 // One device of the sharded serving pool.
 //
-// A DeviceShard owns an independent simt::Device plus a BatchedKnn engine
-// over one contiguous slice [begin, begin + rows) of the global reference
-// set.  It answers query batches with shard-local indices remapped to global
-// ones, and implements the shard-level fault policy: a SimtFaultError is
+// A DeviceShard owns an independent simt::Device plus one of two engines
+// over its partition of the global reference set:
+//
+//  * flat — a BatchedKnn over one contiguous row slice [begin, begin + rows)
+//    of the original set; answers carry shard-local indices remapped to
+//    global ones.
+//  * IVF — an IvfKnn shard view (IvfKnn::shard_view) owning a contiguous
+//    inverted-list range of a globally trained index; its answers already
+//    carry original global row ids, so no remap happens.
+//
+// Either way the shard implements the same fault policy: a SimtFaultError is
 // retried once (transient-fault model — the injector's budget decides
 // whether the retry survives), and a second fault either propagates or, when
 // exclusion is allowed, degrades the shard to a host-path recompute of its
-// partition.  The host path shares the fused kernel's FP op order, so a
-// degraded shard still contributes bit-identical partials and the merged
-// result stays exact.
+// partition.  The host path shares the fused kernel's FP op order (for IVF,
+// IvfKnn::search_host is the bit-exact scalar mirror of the pruned
+// pipeline), so a degraded shard still contributes bit-identical partials
+// and the merged result stays exact.
 //
 // Layered on top of the per-request policy is a ShardHealth state machine
 // (shard_health.hpp): a shard whose sliding fault window crosses the
@@ -21,10 +29,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "knn/batch.hpp"
+#include "knn/ivf.hpp"
 #include "serve/shard_health.hpp"
 #include "simt/device.hpp"
 
@@ -69,22 +79,42 @@ struct ShardStats {
 
 class DeviceShard {
  public:
-  /// `slice` is the shard's rows (already cut from the global set); `begin`
-  /// is the global index of its first row.  fallback_to_host is forced off
-  /// on the engine: fault handling is this class's job, and a silent
-  /// engine-level fallback would hide the retry/exclusion policy.
+  /// Flat shard: `slice` is the shard's rows (already cut from the global
+  /// set); `begin` is the global index of its first row.  fallback_to_host
+  /// is forced off on the engine: fault handling is this class's job, and a
+  /// silent engine-level fallback would hide the retry/exclusion policy.
   DeviceShard(std::uint32_t id, std::uint32_t begin, knn::Dataset slice,
               knn::BatchedKnnOptions options, HealthOptions health = {});
 
+  /// IVF shard: `engine` is an IvfKnn shard view (IvfKnn::shard_view) over a
+  /// contiguous list range of a globally trained index; begin() is its
+  /// offset in the global *reordered* row space.  The view must have been
+  /// built with fallback_to_host off (checked) — same reasoning as the flat
+  /// constructor, but IvfOptions are baked in at view construction.
+  DeviceShard(std::uint32_t id, knn::IvfKnn engine, HealthOptions health = {});
+
   [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
-  /// Global index of the first reference row this shard holds.
+  /// Global index of the first reference row this shard holds (for IVF
+  /// shards, in the reordered list-order row space).
   [[nodiscard]] std::uint32_t begin() const noexcept { return begin_; }
-  [[nodiscard]] std::uint32_t rows() const noexcept { return engine_.size(); }
-  [[nodiscard]] std::uint32_t dim() const noexcept { return engine_.dim(); }
+  [[nodiscard]] std::uint32_t rows() const noexcept { return engine().size(); }
+  [[nodiscard]] std::uint32_t dim() const noexcept { return engine().dim(); }
 
   [[nodiscard]] simt::Device& device() noexcept { return device_; }
   [[nodiscard]] const simt::Device& device() const noexcept { return device_; }
-  [[nodiscard]] knn::BatchedKnn& engine() noexcept { return engine_; }
+  /// The exact batched engine: the flat engine itself, or the IVF view's
+  /// embedded differential baseline over the shard's (reordered) rows.
+  [[nodiscard]] knn::BatchedKnn& engine() noexcept {
+    return ivf_ ? ivf_->batched() : *flat_;
+  }
+  [[nodiscard]] const knn::BatchedKnn& engine() const noexcept {
+    return ivf_ ? ivf_->batched() : *flat_;
+  }
+  /// The IVF engine when this shard serves a list range, nullptr for flat.
+  [[nodiscard]] knn::IvfKnn* ivf_engine() noexcept { return ivf_.get(); }
+  [[nodiscard]] const knn::IvfKnn* ivf_engine() const noexcept {
+    return ivf_.get();
+  }
   [[nodiscard]] const ShardHealth& health() const noexcept { return health_; }
 
   /// Answers the batch over this shard's partition; per-query lists carry
@@ -106,11 +136,19 @@ class DeviceShard {
       std::vector<std::vector<Neighbor>> neighbors) const;
   [[nodiscard]] std::vector<std::vector<Neighbor>> host_recompute(
       const knn::Dataset& queries, std::uint32_t k);
+  /// The batched-pipeline options driving either engine (cost model, NaN
+  /// policy, host fallback algorithm).
+  [[nodiscard]] const knn::BatchedKnnOptions& batch_options() const noexcept {
+    return ivf_ ? ivf_->options().batch : flat_->options();
+  }
 
   std::uint32_t id_;
   std::uint32_t begin_;
   simt::Device device_;
-  knn::BatchedKnn engine_;
+  /// Exactly one of the two engines is set (flat row slice vs IVF list
+  /// range); heap-held so one shard type does not pay for the other.
+  std::unique_ptr<knn::BatchedKnn> flat_;
+  std::unique_ptr<knn::IvfKnn> ivf_;
   ShardHealth health_;
 };
 

@@ -26,6 +26,10 @@ HealthOptions effective_health(const ShardedKnnOptions& options) {
 
 }  // namespace
 
+const char* index_type_name(IndexType type) noexcept {
+  return type == IndexType::kIvf ? "ivf" : "flat";
+}
+
 ShardedKnn::ShardedKnn(knn::Dataset refs, ShardedKnnOptions options)
     : options_(std::move(options)), size_(refs.count), dim_(refs.dim) {
   GPUKSEL_CHECK(refs.count >= 1, "ShardedKnn needs a non-empty reference set");
@@ -35,27 +39,89 @@ ShardedKnn::ShardedKnn(knn::Dataset refs, ShardedKnnOptions options)
                 "degraded_host_penalty must be non-negative");
   const std::uint32_t num_shards = options_.num_shards;
   const HealthOptions health = effective_health(options_);
-  // Contiguous split with the remainder spread over the first shards, so
-  // shard sizes differ by at most one row for any (rows, num_shards).
-  const std::uint32_t base = size_ / num_shards;
-  const std::uint32_t rem = size_ % num_shards;
-  std::uint32_t begin = 0;
-  shards_.reserve(num_shards);
-  for (std::uint32_t s = 0; s < num_shards; ++s) {
-    const std::uint32_t rows = base + (s < rem ? 1 : 0);
-    knn::Dataset slice;
-    slice.count = rows;
-    slice.dim = dim_;
-    slice.values.assign(
-        refs.values.begin() + std::size_t{begin} * dim_,
-        refs.values.begin() + (std::size_t{begin} + rows) * dim_);
-    shards_.push_back(std::make_unique<DeviceShard>(s, begin, std::move(slice),
-                                                    options_.batch, health));
-    shards_.back()->device().set_worker_threads(options_.worker_threads);
-    begin += rows;
-  }
   merge_device_.set_worker_threads(options_.worker_threads);
+  shards_.reserve(num_shards);
+  if (options_.index_type == IndexType::kIvf) {
+    // Train one global index (on the merge device — its metrics land in the
+    // report's merge section) and hand each shard a contiguous list range.
+    knn::IvfOptions iopts;
+    iopts.params = options_.ivf;
+    iopts.batch = options_.batch;
+    iopts.batch.fallback_to_host = false;  // DeviceShard owns fault policy
+    knn::IvfKnn global(std::move(refs), iopts);
+    global.train(merge_device_);
+    const knn::IvfIndex& idx = global.index();
+    const std::uint32_t nlist = idx.nlist;
+    ivf_nlist_ = nlist;
+    ivf_nprobe_ = std::min(options_.ivf.nprobe, nlist);
+    // Every shard needs >= 1 row and rows only come in whole lists, so there
+    // must be a non-empty list per shard.
+    std::vector<std::uint32_t> nonempty_suffix(std::size_t{nlist} + 1, 0);
+    for (std::uint32_t l = nlist; l-- > 0;) {
+      nonempty_suffix[l] = nonempty_suffix[l + 1] +
+                           (idx.list_begin[l + 1] > idx.list_begin[l] ? 1 : 0);
+    }
+    GPUKSEL_CHECK(nonempty_suffix[0] >= num_shards,
+                  "IVF sharding needs at least num_shards non-empty lists");
+    // Contiguous list cut balanced by cumulative rows: boundary s aims for
+    // s/num_shards of the rows, clamped so every shard keeps >= 1 row and
+    // enough non-empty lists remain for the shards after it.
+    list_cut_.assign(std::size_t{num_shards} + 1, nlist);
+    list_cut_[0] = 0;
+    std::uint32_t lo = 0;
+    for (std::uint32_t s = 0; s + 1 < num_shards; ++s) {
+      std::uint32_t hi_min = lo + 1;
+      while (idx.list_begin[hi_min] == idx.list_begin[lo]) ++hi_min;
+      std::uint32_t hi_max = hi_min;
+      while (hi_max + 1 <= nlist &&
+             nonempty_suffix[hi_max + 1] >= num_shards - s - 1) {
+        ++hi_max;
+      }
+      const std::uint64_t target = (std::uint64_t{s} + 1) * size_;
+      std::uint32_t hi = hi_min;
+      while (hi < hi_max &&
+             std::uint64_t{idx.list_begin[hi]} * num_shards < target) {
+        ++hi;
+      }
+      list_cut_[s + 1] = hi;
+      lo = hi;
+    }
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      knn::IvfKnn view = knn::IvfKnn::shard_view(global, list_cut_[s],
+                                                 list_cut_[s + 1], iopts);
+      shards_.push_back(std::make_unique<DeviceShard>(s, std::move(view),
+                                                      health));
+      shards_.back()->device().set_worker_threads(options_.worker_threads);
+    }
+  } else {
+    // Contiguous split with the remainder spread over the first shards, so
+    // shard sizes differ by at most one row for any (rows, num_shards).
+    const std::uint32_t base = size_ / num_shards;
+    const std::uint32_t rem = size_ % num_shards;
+    std::uint32_t begin = 0;
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      const std::uint32_t rows = base + (s < rem ? 1 : 0);
+      knn::Dataset slice;
+      slice.count = rows;
+      slice.dim = dim_;
+      slice.values.assign(
+          refs.values.begin() + std::size_t{begin} * dim_,
+          refs.values.begin() + (std::size_t{begin} + rows) * dim_);
+      shards_.push_back(std::make_unique<DeviceShard>(s, begin,
+                                                      std::move(slice),
+                                                      options_.batch, health));
+      shards_.back()->device().set_worker_threads(options_.worker_threads);
+      begin += rows;
+    }
+  }
   totals_.resize(num_shards);
+}
+
+void ShardedKnn::set_nprobe(std::uint32_t nprobe) {
+  GPUKSEL_CHECK(options_.index_type == IndexType::kIvf,
+                "set_nprobe needs an IVF-sharded engine");
+  for (auto& shard : shards_) shard->ivf_engine()->set_nprobe(nprobe);
+  ivf_nprobe_ = std::min(nprobe, ivf_nlist_);
 }
 
 ShardedResult ShardedKnn::search(
@@ -232,7 +298,13 @@ void ShardedKnn::write_shard_report(std::ostream& os,
      << "  \"num_shards\": " << shards_.size() << ",\n"
      << "  \"reference_rows\": " << size_ << ",\n"
      << "  \"dim\": " << dim_ << ",\n"
-     << "  \"requests\": " << requests_ << ",\n"
+     << "  \"index_type\": \"" << index_type_name(options_.index_type)
+     << "\",\n";
+  if (options_.index_type == IndexType::kIvf) {
+    os << "  \"ivf\": {\"nlist\": " << ivf_nlist_
+       << ", \"nprobe\": " << ivf_nprobe_ << "},\n";
+  }
+  os << "  \"requests\": " << requests_ << ",\n"
      << "  \"degraded_requests\": " << degraded_requests_ << ",\n"
      << "  \"shards\": [";
   const char* sep = "";
@@ -245,7 +317,12 @@ void ShardedKnn::write_shard_report(std::ostream& os,
     total_h2d += tx.bytes_h2d;
     total_d2h += tx.bytes_d2h;
     os << sep << "\n    {\"shard\": " << s << ", \"begin\": " << shard.begin()
-       << ", \"rows\": " << shard.rows() << ", \"requests\": " << tot.requests
+       << ", \"rows\": " << shard.rows();
+    if (options_.index_type == IndexType::kIvf) {
+      os << ", \"list_lo\": " << list_cut_[s]
+         << ", \"list_hi\": " << list_cut_[s + 1];
+    }
+    os << ", \"requests\": " << tot.requests
        << ", \"retries\": " << tot.retries
        << ", \"exclusions\": " << tot.exclusions
        << ", \"faults\": " << tot.faults

@@ -11,6 +11,19 @@
 // argument), including when a faulty shard is excluded and recomputed on the
 // host.
 //
+// Index types: with IndexType::kFlat each shard full-scans a contiguous row
+// slice.  With IndexType::kIvf the constructor trains one global IvfKnn on
+// the merge device (seeded, deterministic), cuts the inverted lists into
+// contiguous ranges balanced by cumulative row count, and gives each shard
+// an IvfKnn::shard_view — every shard keeps the full centroid set, so each
+// query's probe selection is identical on every shard and the shards'
+// scanned rows partition the globally probed rows exactly.  The merged
+// result is therefore byte-identical to the single-device IvfKnn answer at
+// the same nprobe (and, at nprobe == nlist, to the flat answer).  The fault
+// policy, health machine, and deadline budget are index-type agnostic: a
+// degraded IVF shard is host-served by IvfKnn::search_host, the bit-exact
+// scalar mirror.
+//
 // Resilience: each DeviceShard carries a ShardHealth state machine
 // (shard_health.hpp) — persistent faulters are quarantined (host-served, no
 // GPU retries) and re-admitted via probes.  search() takes an optional
@@ -44,8 +57,10 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "knn/ivf.hpp"
 #include "serve/device_shard.hpp"
 #include "simt/profiler.hpp"
 
@@ -53,9 +68,22 @@ namespace gpuksel::serve {
 
 struct SchedulerCounters;  // scheduler.hpp; optional report section
 
+/// What each shard serves: a full-scan row slice or a pruned IVF list range.
+enum class IndexType {
+  kFlat,  ///< contiguous row slices, exact full scan per shard
+  kIvf,   ///< contiguous inverted-list ranges of one globally trained index
+};
+
+[[nodiscard]] const char* index_type_name(IndexType type) noexcept;
+
 struct ShardedKnnOptions {
   /// Devices to shard the reference set over; must be in [1, rows].
   std::uint32_t num_shards = 2;
+  /// How the reference set is indexed and partitioned across shards.
+  IndexType index_type = IndexType::kFlat;
+  /// IVF quantizer parameters (kIvf only).  nprobe is the serving-time
+  /// recall/qps knob; set_nprobe() adjusts it after construction.
+  knn::IvfParams ivf;
   /// Per-shard engine configuration (tile size, queue config, NaN policy,
   /// cost model).  fallback_to_host is ignored — shard fault policy is
   /// retry-once-then-exclude, owned by DeviceShard.
@@ -133,6 +161,25 @@ class ShardedKnn {
   }
   [[nodiscard]] simt::Device& merge_device() noexcept { return merge_device_; }
 
+  [[nodiscard]] IndexType index_type() const noexcept {
+    return options_.index_type;
+  }
+  /// Effective list count of the global IVF index (0 for flat).
+  [[nodiscard]] std::uint32_t ivf_nlist() const noexcept { return ivf_nlist_; }
+  /// Current probe width (clamped to nlist; 0 for flat).
+  [[nodiscard]] std::uint32_t ivf_nprobe() const noexcept {
+    return ivf_nprobe_;
+  }
+  /// List range shard i owns (kIvf only): [first, second) of the global
+  /// inverted lists.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> shard_lists(
+      std::uint32_t i) const {
+    return {list_cut_[i], list_cut_[i + 1]};
+  }
+  /// Retunes the recall/qps knob on every IVF shard (kIvf only; clamped to
+  /// nlist).  The next request probes the new width.
+  void set_nprobe(std::uint32_t nprobe);
+
   /// Serves one query batch across all shards and merges the partials.
   /// `deadline` is the request's absolute wall deadline (budget
   /// propagation): shards skip the GPU retry when the remaining budget
@@ -174,6 +221,11 @@ class ShardedKnn {
   ShardedKnnOptions options_;
   std::uint32_t size_ = 0;
   std::uint32_t dim_ = 0;
+  std::uint32_t ivf_nlist_ = 0;   ///< effective global nlist (kIvf only)
+  std::uint32_t ivf_nprobe_ = 0;  ///< current probe width (kIvf only)
+  /// List-range boundaries (num_shards + 1 entries, kIvf only): shard s owns
+  /// global lists [list_cut_[s], list_cut_[s + 1]).
+  std::vector<std::uint32_t> list_cut_;
   std::vector<std::unique_ptr<DeviceShard>> shards_;
   simt::Device merge_device_;
   /// One profiler per shard plus one for the merge device, heap-held for

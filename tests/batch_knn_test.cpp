@@ -162,6 +162,24 @@ TEST(BatchedKnnTest, SetRefsInvalidatesTheResidentUploadEvenAtSameSize) {
   EXPECT_THROW(knn.set_refs(refs_a), PreconditionError);
 }
 
+TEST(BatchedKnnTest, GenerationBumpsOnEverySetRefs) {
+  // Regression for the stale-centroid guard: derived state built over the
+  // reference set (the IVF trained index) snapshots generation() and refuses
+  // to serve once it lags.  The counter must bump on *every* set_refs — even
+  // one swapping in byte-identical rows — and never on a plain search.
+  const auto refs = make_uniform_dataset(40, 4, 91);
+  const auto queries = make_uniform_dataset(5, 4, 93);
+  BatchedKnn knn(refs, tiled_options(16));
+  const std::uint64_t g0 = knn.generation();
+  simt::Device dev;
+  (void)knn.search_gpu(dev, queries, 3);
+  EXPECT_EQ(knn.generation(), g0);  // serving does not advance the epoch
+  knn.set_refs(make_uniform_dataset(40, 4, 91));  // same bytes, new epoch
+  EXPECT_EQ(knn.generation(), g0 + 1);
+  knn.set_refs(make_uniform_dataset(12, 4, 92));
+  EXPECT_EQ(knn.generation(), g0 + 2);
+}
+
 TEST(BatchedKnnTest, FaultWithFallbackReAnswersOnHost) {
   const auto refs = make_uniform_dataset(50, 4, 36);
   const auto queries = make_uniform_dataset(8, 4, 37);

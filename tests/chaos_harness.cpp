@@ -14,6 +14,9 @@ namespace {
 ShardedKnnOptions engine_options(const ChaosScenario& scenario) {
   ShardedKnnOptions opts;
   opts.num_shards = scenario.num_shards;
+  opts.index_type = scenario.index_type;
+  opts.ivf.nlist = scenario.ivf_nlist;
+  opts.ivf.nprobe = scenario.ivf_nprobe;
   opts.batch.batch.tile_refs = scenario.tile_refs;
   opts.health = scenario.health;
   return opts;

@@ -51,6 +51,12 @@ struct ChaosScenario {
   std::uint32_t num_shards = 3;
   std::uint32_t tile_refs = 16;
   std::uint32_t num_requests = 24;
+  /// kIvf shards the inverted lists of one globally trained index instead of
+  /// row slices; the fault-free pass uses the identical index, so the
+  /// byte-identity invariant covers the pruned (approximate) results too.
+  IndexType index_type = IndexType::kFlat;
+  std::uint32_t ivf_nlist = 8;   ///< kIvf only
+  std::uint32_t ivf_nprobe = 4;  ///< kIvf only
   std::vector<ShardFaultPlan> faults;
   HealthOptions health;
   SchedulerOptions scheduler;

@@ -165,6 +165,51 @@ TEST(ChaosTest, FaultDuringProbeReturnsTheShardToQuarantine) {
   }
 }
 
+TEST(ChaosTest, IvfListScanFaultsQuarantineAndRecoverTheListShard) {
+  // The same persistent-faulter trajectory through the pruned index: a
+  // list-sharded IVF engine whose middle shard faults inside the list_scan
+  // kernel must quarantine it, host-serve its list partition (bit-exact, so
+  // every response still matches the fault-free IVF baseline — including the
+  // approximate nprobe < nlist ones), and re-admit it once the budget
+  // drains.
+  ChaosScenario sc;
+  sc.name = "ivf-list-scan";
+  sc.index_type = IndexType::kIvf;
+  sc.ivf_nlist = 8;
+  sc.ivf_nprobe = 4;
+  sc.num_requests = 30;
+  sc.health.window = 4;
+  sc.health.suspect_faults = 1;
+  sc.health.quarantine_faults = 2;
+  sc.health.probe_interval = 3;
+  sc.health.probe_successes = 2;
+  sc.faults.push_back(ShardFaultPlan{
+      1, simt::InjectorConfig{simt::InjectKind::kOobIndex, /*seed=*/5,
+                              /*period=*/8, /*max_faults=*/6,
+                              /*kernel_filter=*/"list_scan"}});
+  for (std::uint32_t seed : kSeeds) {
+    SCOPED_TRACE(testing::Message() << "seed " << seed);
+    const ChaosRun run = run_checked(sc, seed);
+    const ShardHealthSnapshot& shard = run.shards[1];
+    // Enough of the budget surfaced to cross the quarantine threshold, and
+    // the shard recovered before the stream ended.
+    EXPECT_GE(shard.totals.faults, sc.health.quarantine_faults);
+    EXPECT_LE(shard.totals.faults, 6u);
+    EXPECT_GE(shard.counters.quarantine_entries, 1u);
+    EXPECT_EQ(shard.counters.quarantine_entries,
+              shard.counters.quarantine_exits);
+    EXPECT_GE(shard.counters.quarantined_served, 1u);
+    EXPECT_EQ(shard.state, HealthState::kHealthy);
+    // Quarantined service is the host mirror over the shard's list range;
+    // check_invariants already proved every response byte-identical.
+    EXPECT_EQ(run.shards[0].counters.transitions, 0u);
+    EXPECT_EQ(run.shards[2].counters.transitions, 0u);
+    EXPECT_NE(run.report_json.find("\"index_type\": \"ivf\""),
+              std::string::npos);
+    EXPECT_NE(run.report_json.find("\"list_lo\""), std::string::npos);
+  }
+}
+
 // The health section of the shards report must reflect the chaos pass and
 // stay well-formed (the exact partition is asserted structurally by
 // check_invariants; CI additionally json-parses the report).

@@ -22,6 +22,7 @@
 #include "baselines/qms.hpp"
 #include "knn/batch.hpp"
 #include "knn/dataset.hpp"
+#include "knn/ivf.hpp"
 #include "knn/knn.hpp"
 #include "simt/device.hpp"
 #include "simt/executor.hpp"
@@ -313,6 +314,87 @@ TEST(LaunchDeterminism, BatchedKnnIdenticalAcrossThreadCounts) {
     const auto [neighbors, metrics] = run(threads);
     EXPECT_EQ(neighbors, serial_neighbors) << "threads=" << threads;
     EXPECT_TRUE(metrics == serial_metrics) << "threads=" << threads;
+  }
+}
+
+TEST(LaunchDeterminism, IvfTrainAndSearchIdenticalAcrossThreadsAndBackends) {
+  // IVF training is host k-means++ plus one "ivf_train" assignment launch;
+  // a pruned search launches coarse_quantize + list_scan + ivf_reduce.  The
+  // trained geometry (centroids, list offsets, row permutation), the pruned
+  // neighbors, and the cumulative device metrics must be bit-identical for
+  // every executor thread count crossed with both lane-engine backends.
+  const knn::Dataset refs =
+      knn::make_gaussian_clusters(500, 7, 8, 0.1f, 91).points;
+  const knn::Dataset queries = knn::make_uniform_dataset(96, 7, 92);
+  auto run = [&](unsigned threads, bool simd) {
+    const bool prev = simt::lanevec::enabled();
+    simt::lanevec::set_enabled(simd);
+    Device dev;
+    dev.set_worker_threads(threads);
+    knn::IvfOptions opts;
+    opts.params.nlist = 8;
+    opts.params.nprobe = 3;
+    opts.batch.batch.tile_refs = 48;
+    knn::IvfKnn engine(refs, opts);
+    engine.train(dev);
+    const knn::KnnResult result = engine.search_gpu(dev, queries, 9);
+    simt::lanevec::set_enabled(prev);
+    return std::tuple(engine.index().centroids, engine.index().list_begin,
+                      engine.index().row_ids, result.neighbors,
+                      dev.cumulative());
+  };
+  const auto [serial_centroids, serial_begin, serial_rows, serial_neighbors,
+              serial_metrics] = run(1, true);
+  for (const unsigned threads : kThreadCounts) {
+    for (const bool simd : {true, false}) {
+      const auto [centroids, begin, rows, neighbors, metrics] =
+          run(threads, simd);
+      EXPECT_EQ(centroids, serial_centroids)
+          << "threads=" << threads << " simd=" << simd;
+      EXPECT_EQ(begin, serial_begin)
+          << "threads=" << threads << " simd=" << simd;
+      EXPECT_EQ(rows, serial_rows)
+          << "threads=" << threads << " simd=" << simd;
+      EXPECT_EQ(neighbors, serial_neighbors)
+          << "threads=" << threads << " simd=" << simd;
+      EXPECT_TRUE(metrics == serial_metrics)
+          << "threads=" << threads << " simd=" << simd;
+    }
+  }
+}
+
+TEST(LaunchDeterminism, IvfProfilesBitIdenticalAcrossThreadCounts) {
+  // With host info excluded, a train + search profile — ivf_train,
+  // coarse_quantize, list_scan, ivf_reduce region attribution and trace
+  // spans — must serialize identically for any thread count.
+  const knn::Dataset refs =
+      knn::make_gaussian_clusters(240, 5, 6, 0.1f, 93).points;
+  const knn::Dataset queries = knn::make_uniform_dataset(64, 5, 94);
+  auto run = [&](unsigned threads) {
+    Device dev;
+    dev.set_worker_threads(threads);
+    simt::Profiler prof;
+    prof.set_include_host_info(false);
+    dev.set_profiler(&prof);
+    knn::IvfOptions opts;
+    opts.params.nlist = 6;
+    opts.params.nprobe = 2;
+    opts.batch.batch.tile_refs = 32;
+    knn::IvfKnn engine(refs, opts);
+    engine.train(dev);
+    (void)engine.search_gpu(dev, queries, 5);
+    std::ostringstream report, trace, csv;
+    prof.write_report(report);
+    prof.write_trace(trace);
+    prof.write_regions_csv(csv);
+    return std::tuple(report.str(), trace.str(), csv.str());
+  };
+  const auto [serial_report, serial_trace, serial_csv] = run(1);
+  for (const unsigned threads : {1u, 2u, 7u}) {
+    const auto [report, trace, csv] = run(threads);
+    EXPECT_EQ(report, serial_report) << "threads=" << threads;
+    EXPECT_EQ(trace, serial_trace) << "threads=" << threads;
+    EXPECT_EQ(csv, serial_csv) << "threads=" << threads;
   }
 }
 

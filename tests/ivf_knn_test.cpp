@@ -1,0 +1,336 @@
+// Recall/exactness differential suite for the IVF pruned index.
+//
+// The exactness contract: with nprobe == nlist every reference row is scanned
+// exactly once and IvfKnn must be byte-identical to BatchedKnn and the scalar
+// host selection.  Below nlist the result is approximate, so the suite pins
+// the properties that remain exact: probe sets are prefixes of one sorted
+// centroid list (recall monotone in nprobe), the host mirror is bit-identical
+// to the device path at every nprobe, and the bench's default operating point
+// clears a measured recall floor.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "knn/batch.hpp"
+#include "knn/dataset.hpp"
+#include "knn/ivf.hpp"
+#include "knn/knn.hpp"
+#include "knn/rbc.hpp"
+#include "simt/device.hpp"
+#include "simt/fault_injection.hpp"
+#include "simt/profiler.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel::knn {
+namespace {
+
+IvfOptions ivf_options(std::uint32_t nlist, std::uint32_t nprobe,
+                       std::uint32_t tile_refs = 64) {
+  IvfOptions opts;
+  opts.params.nlist = nlist;
+  opts.params.nprobe = nprobe;
+  opts.batch.batch.tile_refs = tile_refs;
+  return opts;
+}
+
+IvfKnn trained_ivf(simt::Device& dev, const Dataset& refs, IvfOptions opts) {
+  IvfKnn ivf(refs, std::move(opts));
+  ivf.train(dev);
+  return ivf;
+}
+
+/// A reference set where every row appears twice: duplicate distances force
+/// the (dist, index) tie-break on both the coarse and scan paths, and the
+/// all-duplicate k-means sample exercises the uniform-seeding fallback.
+Dataset duplicated_rows(std::uint32_t unique_rows, std::uint32_t dim,
+                        std::uint64_t seed) {
+  const Dataset base = make_uniform_dataset(unique_rows, dim, seed);
+  Dataset out;
+  out.count = unique_rows * 2;
+  out.dim = dim;
+  out.values.reserve(std::size_t{out.count} * dim);
+  out.values.insert(out.values.end(), base.values.begin(), base.values.end());
+  out.values.insert(out.values.end(), base.values.begin(), base.values.end());
+  return out;
+}
+
+TEST(IvfKnnTest, ExactWhenProbingAllLists) {
+  // Distribution x k matrix: nprobe == nlist must be byte-identical to the
+  // batched pipeline, the scalar host selection, and the IVF host mirror.
+  struct Case {
+    const char* name;
+    Dataset refs;
+  };
+  const std::vector<Case> cases = {
+      {"uniform", make_uniform_dataset(300, 6, 101)},
+      {"clustered", make_gaussian_clusters(300, 6, 8, 0.08f, 102).points},
+      {"duplicates", duplicated_rows(150, 6, 103)},
+  };
+  const auto queries = make_uniform_dataset(37, 6, 104);
+  for (const auto& c : cases) {
+    const BruteForceKnn scalar(c.refs);
+    for (const std::uint32_t k : {1u, 5u, 16u}) {
+      const auto expected = scalar.search(queries, k).neighbors;
+      simt::Device bdev;
+      BatchedKnn batched(c.refs, ivf_options(16, 16).batch);
+      ASSERT_EQ(batched.search_gpu(bdev, queries, k).neighbors, expected)
+          << c.name << " k=" << k;  // the baseline itself is exact
+      simt::Device dev;
+      auto ivf = trained_ivf(dev, c.refs, ivf_options(16, 16));
+      EXPECT_EQ(ivf.search_gpu(dev, queries, k).neighbors, expected)
+          << c.name << " k=" << k;
+      EXPECT_EQ(ivf.search_host(queries, k).neighbors, expected)
+          << c.name << " k=" << k;
+    }
+  }
+}
+
+TEST(IvfKnnTest, RecallIsMonotoneInNprobeAndReachesOne) {
+  const Dataset refs = make_gaussian_clusters(2000, 8, 16, 0.05f, 110).points;
+  const auto queries = make_gaussian_clusters(48, 8, 16, 0.05f, 111).points;
+  const std::uint32_t k = 10, nlist = 32;
+  const BruteForceKnn scalar(refs);
+  const auto truth = scalar.search(queries, k).neighbors;
+  simt::Device dev;
+  auto ivf = trained_ivf(dev, refs, ivf_options(nlist, 1));
+  double prev = -1.0;
+  for (const std::uint32_t nprobe : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    ivf.set_nprobe(nprobe);
+    const auto got = ivf.search_gpu(dev, queries, k).neighbors;
+    const double r = RandomBallCover::recall(got, truth);
+    // Probe sets are prefixes of one sorted centroid list, so the candidate
+    // set only grows with nprobe — recall cannot drop.
+    EXPECT_GE(r, prev) << "nprobe=" << nprobe;
+    prev = r;
+  }
+  EXPECT_EQ(prev, 1.0);  // nprobe == nlist is exact
+}
+
+TEST(IvfKnnTest, RecallFloorAtBenchOperatingPoint) {
+  // Mirrors fig13's operating ratio (nprobe/nlist = 1/8) at test scale: the
+  // clustered workload must clear the recall floor the CI gate enforces,
+  // while pruning cuts modeled time well below the full scan's.  The batch
+  // must be large enough to fill the task warps (q * nprobe / nlist >= 32
+  // tasks per list) or masked-off lanes eat the pruning win — the same
+  // batching requirement real GPU IVF has.
+  const std::uint32_t n = 20000, q = 256, dim = 8, k = 10;
+  const Dataset all = make_gaussian_clusters(n + q, dim, 64, 0.05f, 120).points;
+  Dataset refs, queries;
+  refs.dim = queries.dim = dim;
+  refs.count = n;
+  queries.count = q;
+  refs.values.assign(all.values.begin(),
+                     all.values.begin() + std::size_t{n} * dim);
+  queries.values.assign(all.values.begin() + std::size_t{n} * dim,
+                        all.values.end());
+
+  simt::Device bdev;
+  BatchedKnn batched(refs, ivf_options(64, 8, 256).batch);
+  const auto exact = batched.search_gpu(bdev, queries, k);
+
+  simt::Device dev;
+  auto ivf = trained_ivf(dev, refs, ivf_options(64, 8, 256));
+  const auto got = ivf.search_gpu(dev, queries, k);
+  EXPECT_GE(RandomBallCover::recall(got.neighbors, exact.neighbors), 0.95);
+  // The full 5x gate runs at bench scale in CI; at this scale the pruned scan
+  // must already be several times cheaper than the full scan.
+  EXPECT_LT(got.modeled_seconds * 4.0, exact.modeled_seconds);
+}
+
+TEST(IvfKnnTest, HostMirrorIsBitIdenticalAtEveryNprobe) {
+  const Dataset refs = make_gaussian_clusters(600, 5, 12, 0.1f, 130).points;
+  const auto queries = make_uniform_dataset(29, 5, 131);
+  simt::Device dev;
+  auto ivf = trained_ivf(dev, refs, ivf_options(24, 1));
+  for (const std::uint32_t nprobe : {1u, 3u, 7u, 24u}) {
+    ivf.set_nprobe(nprobe);
+    EXPECT_EQ(ivf.search_gpu(dev, queries, 9).neighbors,
+              ivf.search_host(queries, 9).neighbors)
+        << "nprobe=" << nprobe;
+  }
+}
+
+TEST(IvfKnnTest, FewerRowsThanListsClampsNlist) {
+  const Dataset refs = make_uniform_dataset(10, 4, 140);
+  const auto queries = make_uniform_dataset(6, 4, 141);
+  simt::Device dev;
+  auto ivf = trained_ivf(dev, refs, ivf_options(16, 16));
+  EXPECT_EQ(ivf.index().nlist, 10u);  // min(nlist, n)
+  const BruteForceKnn scalar(refs);
+  EXPECT_EQ(ivf.search_gpu(dev, queries, 3).neighbors,
+            scalar.search(queries, 3).neighbors);
+}
+
+TEST(IvfKnnTest, AllDuplicateRowsCollapseToOneListAndStayExact) {
+  // Every row identical: k-means++ falls back to uniform seeding, every row
+  // lands in list 0 (lexicographic assignment), lists 1..7 are empty — the
+  // empty-list path in both the scan (no warps) and the shard math.
+  Dataset refs;
+  refs.count = 40;
+  refs.dim = 4;
+  refs.values.assign(std::size_t{40} * 4, 0.25f);
+  const auto queries = make_uniform_dataset(5, 4, 150);
+  simt::Device dev;
+  auto ivf = trained_ivf(dev, refs, ivf_options(8, 1));
+  const auto& lb = ivf.index().list_begin;
+  EXPECT_EQ(lb.front(), 0u);
+  EXPECT_EQ(lb[1], 40u);  // list 0 holds everything...
+  EXPECT_EQ(lb.back(), 40u);  // ...and the rest are empty
+  const BruteForceKnn scalar(refs);
+  const auto expected = scalar.search(queries, 6).neighbors;
+  EXPECT_EQ(ivf.search_gpu(dev, queries, 6).neighbors, expected);
+  ivf.set_nprobe(8);  // probing empty lists adds nothing and breaks nothing
+  EXPECT_EQ(ivf.search_gpu(dev, queries, 6).neighbors, expected);
+}
+
+TEST(IvfKnnTest, KLargerThanProbedRowsReturnsWhatWasScanned) {
+  const Dataset refs = make_gaussian_clusters(200, 4, 16, 0.05f, 160).points;
+  const auto queries = make_uniform_dataset(11, 4, 161);
+  const std::uint32_t k = 50;  // larger than any single list (~200/16 rows)
+  simt::Device dev;
+  auto ivf = trained_ivf(dev, refs, ivf_options(16, 1));
+  const auto got = ivf.search_gpu(dev, queries, k);
+  const auto host = ivf.search_host(queries, k);
+  EXPECT_EQ(got.neighbors, host.neighbors);
+  for (const auto& nbrs : got.neighbors) {
+    EXPECT_GE(nbrs.size(), 1u);
+    EXPECT_LT(nbrs.size(), k);  // one list cannot fill k = 50
+  }
+  // With every list probed, clamping matches the exact path's min(k, n).
+  ivf.set_nprobe(16);
+  const BruteForceKnn scalar(refs);
+  EXPECT_EQ(ivf.search_gpu(dev, queries, 250).neighbors,
+            scalar.search(queries, 250).neighbors);
+}
+
+TEST(IvfKnnTest, EmptyQueryBatchIsServedForFree) {
+  simt::Device dev;
+  auto ivf = trained_ivf(dev, make_uniform_dataset(50, 4, 170),
+                         ivf_options(8, 2));
+  const auto before = dev.cumulative().instructions;
+  EXPECT_TRUE(ivf.search_gpu(dev, Dataset{}, 3).neighbors.empty());
+  EXPECT_TRUE(ivf.search_host(Dataset{}, 3).neighbors.empty());
+  EXPECT_EQ(dev.cumulative().instructions, before);
+}
+
+TEST(IvfKnnTest, StaleCentroidGuardAfterSetRefs) {
+  // Regression: replacing the reference set must invalidate the trained
+  // index — serving stale centroids against new rows is a silent-wrong-answer
+  // bug.  Both set_refs entry points bump the generation the guard checks.
+  const auto refs_a = make_uniform_dataset(60, 4, 180);
+  const auto refs_b = make_uniform_dataset(60, 4, 181);
+  const auto queries = make_uniform_dataset(7, 4, 182);
+  simt::Device dev;
+  auto ivf = trained_ivf(dev, refs_a, ivf_options(8, 8));
+  ASSERT_TRUE(ivf.trained());
+
+  // The guard fires even when only the inner engine is touched.
+  ivf.batched().set_refs(refs_b);
+  EXPECT_FALSE(ivf.trained());
+  EXPECT_THROW((void)ivf.search_gpu(dev, queries, 3), PreconditionError);
+  EXPECT_THROW((void)ivf.search_host(queries, 3), PreconditionError);
+
+  // Retraining against the new rows restores service, bit-exact.
+  ivf.train(dev);
+  ASSERT_TRUE(ivf.trained());
+  EXPECT_EQ(ivf.search_gpu(dev, queries, 3).neighbors,
+            BruteForceKnn(refs_b).search(queries, 3).neighbors);
+
+  // The convenience forwarder guards identically.
+  ivf.set_refs(refs_a);
+  EXPECT_FALSE(ivf.trained());
+  EXPECT_THROW((void)ivf.search_gpu(dev, queries, 3), PreconditionError);
+}
+
+TEST(IvfKnnTest, ProfilerRegionsPartitionEveryIvfLaunch) {
+  simt::Profiler prof;
+  simt::Device dev;
+  dev.set_profiler(&prof);
+  const Dataset refs = make_gaussian_clusters(400, 6, 8, 0.1f, 190).points;
+  auto ivf = trained_ivf(dev, refs, ivf_options(16, 4));
+  (void)ivf.search_gpu(dev, make_uniform_dataset(20, 6, 191), 5);
+
+  std::vector<std::string> seen;
+  for (const auto& rec : prof.records()) {
+    seen.push_back(rec.kernel);
+    simt::KernelMetrics sum;
+    std::uint64_t unattributed = 0;
+    for (const auto& region : rec.regions) {
+      sum += region.self;
+      if (region.name == simt::kUnattributedRegion) {
+        unattributed = region.self.instructions;
+      }
+    }
+    // Region self metrics partition the launch total exactly, and the IVF
+    // kernels wrap their whole body in a named region: nothing unattributed.
+    EXPECT_EQ(sum.instructions, rec.total.instructions) << rec.kernel;
+    EXPECT_EQ(unattributed, 0u) << rec.kernel;
+  }
+  for (const char* kernel :
+       {"ivf_train", "coarse_quantize", "list_scan", "ivf_reduce"}) {
+    EXPECT_NE(std::find(seen.begin(), seen.end(), kernel), seen.end())
+        << kernel << " launch missing";
+  }
+}
+
+TEST(IvfKnnTest, FaultDuringListScanFallsBackToHostMirror) {
+  const Dataset refs = make_gaussian_clusters(300, 4, 8, 0.1f, 200).points;
+  const auto queries = make_uniform_dataset(9, 4, 201);
+  auto opts = ivf_options(8, 2);
+  opts.batch.fallback_to_host = true;
+  simt::Device dev;
+  auto ivf = trained_ivf(dev, refs, opts);
+  const auto clean = ivf.search_gpu(dev, queries, 5);
+  ASSERT_TRUE(clean.faults.empty());
+
+  simt::FaultInjector injector(simt::InjectorConfig{
+      simt::InjectKind::kOobIndex, /*seed=*/5, /*period=*/64, /*max_faults=*/1,
+      /*kernel_filter=*/"list_scan"});
+  dev.set_fault_injector(&injector);
+  const auto result = ivf.search_gpu(dev, queries, 5);
+  dev.set_fault_injector(nullptr);
+  EXPECT_TRUE(result.used_host_fallback);
+  ASSERT_EQ(result.faults.size(), 1u);
+  EXPECT_EQ(result.faults[0].kind, FaultKind::kOutOfBounds);
+  // The host mirror is bit-identical to the fault-free device answer, so the
+  // fallback satisfies every recall property the clean path does.
+  EXPECT_EQ(result.neighbors, clean.neighbors);
+}
+
+TEST(IvfKnnTest, NanPolicySortLastMatchesBatchedWhenExact) {
+  auto refs = make_uniform_dataset(80, 4, 210);
+  refs.values[7 * 4 + 1] = std::numeric_limits<float>::quiet_NaN();
+  const auto queries = make_uniform_dataset(6, 4, 211);
+  auto opts = ivf_options(8, 8);
+  opts.batch.nan_policy = NanPolicy::kSortLast;
+  simt::Device bdev;
+  BatchedKnn batched(refs, opts.batch);
+  const auto expected = batched.search_gpu(bdev, queries, 10).neighbors;
+  simt::Device dev;
+  auto ivf = trained_ivf(dev, refs, opts);
+  EXPECT_EQ(ivf.search_gpu(dev, queries, 10).neighbors, expected);
+  EXPECT_EQ(ivf.search_host(queries, 10).neighbors, expected);
+}
+
+TEST(IvfKnnTest, PreconditionViolationsThrow) {
+  const auto refs = make_uniform_dataset(30, 4, 220);
+  const auto queries = make_uniform_dataset(4, 4, 221);
+  simt::Device dev;
+  IvfKnn untrained(refs, ivf_options(4, 2));
+  EXPECT_THROW((void)untrained.search_gpu(dev, queries, 3), PreconditionError);
+  EXPECT_THROW((void)untrained.search_host(queries, 3), PreconditionError);
+
+  auto ivf = trained_ivf(dev, refs, ivf_options(4, 2));
+  EXPECT_THROW((void)ivf.search_gpu(dev, queries, 0), PreconditionError);
+  EXPECT_THROW((void)ivf.search_gpu(dev, make_uniform_dataset(2, 8, 222), 3),
+               PreconditionError);  // dim mismatch
+  EXPECT_THROW(ivf.set_nprobe(0), PreconditionError);
+  IvfOptions bad;
+  bad.params.nlist = 0;
+  EXPECT_THROW(IvfKnn(refs, bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace gpuksel::knn

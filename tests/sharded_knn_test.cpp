@@ -522,6 +522,210 @@ TEST(ShardedKnnTest, ShardReportCarriesHealthAndWastedSections) {
   EXPECT_EQ(report.find("\"scheduler\""), std::string::npos);
 }
 
+ShardedKnnOptions ivf_sharded_options(std::uint32_t num_shards,
+                                      std::uint32_t nlist,
+                                      std::uint32_t nprobe) {
+  ShardedKnnOptions opts = sharded_options(num_shards);
+  opts.index_type = IndexType::kIvf;
+  opts.ivf.nlist = nlist;
+  opts.ivf.nprobe = nprobe;
+  return opts;
+}
+
+/// The single-device IVF answer list-sharded serving must match byte for
+/// byte: same params, same seed, so the same trained index.
+std::vector<std::vector<Neighbor>> single_device_ivf(
+    const knn::Dataset& refs, const knn::Dataset& queries, std::uint32_t k,
+    std::uint32_t nlist, std::uint32_t nprobe) {
+  simt::Device dev;
+  knn::IvfOptions opts;
+  opts.params.nlist = nlist;
+  opts.params.nprobe = nprobe;
+  opts.batch.batch.tile_refs = 16;
+  knn::IvfKnn engine(refs, opts);
+  engine.train(dev);
+  return engine.search_gpu(dev, queries, k).neighbors;
+}
+
+TEST(ShardedIvfTest, MatchesSingleDeviceIvfAtEveryProbeWidth) {
+  // List-sharded serving is a pure partition of the pruned scan: every shard
+  // selects probes against the full centroid set, so the merged answer must
+  // be byte-identical to the single-device IvfKnn at the same nprobe — and,
+  // at nprobe == nlist, to the flat full scan.
+  Rng rng(0x1f5);
+  const std::uint32_t nlist = 8;
+  for (const std::uint32_t shape : {0u, 3u}) {
+    const knn::Dataset refs = make_feature_set(80, 5, shape, rng);
+    const knn::Dataset queries = make_feature_set(13, 5, 0, rng);
+    for (const std::uint32_t k : {1u, 5u, 16u}) {
+      for (const std::uint32_t nprobe : {1u, 2u, nlist}) {
+        const auto expected =
+            single_device_ivf(refs, queries, k, nlist, nprobe);
+        for (const std::uint32_t shards : {1u, 2u, 3u}) {
+          ShardedKnn engine(refs, ivf_sharded_options(shards, nlist, nprobe));
+          const auto got = engine.search(queries, k);
+          EXPECT_EQ(got.neighbors, expected)
+              << "shape " << shape << " shards " << shards << " k " << k
+              << " nprobe " << nprobe;
+          EXPECT_FALSE(got.degraded);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedIvfTest, FullProbeEqualsFlatShardedAndSingleDevice) {
+  // The serving-stack face of the exactness contract: probing every list
+  // through three IVF shards == the flat sharded engine == one device.
+  Rng rng(0x1f6);
+  const knn::Dataset refs = make_feature_set(67, 6, 1, rng);
+  const knn::Dataset queries = make_feature_set(11, 6, 0, rng);
+  const auto expected = single_device(refs, queries, 9);
+  ShardedKnn flat(refs, sharded_options(3));
+  ShardedKnn ivf(refs, ivf_sharded_options(3, 8, 8));
+  EXPECT_EQ(flat.search(queries, 9).neighbors, expected);
+  EXPECT_EQ(ivf.search(queries, 9).neighbors, expected);
+}
+
+TEST(ShardedIvfTest, ListRangesPartitionTheListsAndRows) {
+  const knn::Dataset refs = knn::make_uniform_dataset(90, 4, 41);
+  ShardedKnn engine(refs, ivf_sharded_options(3, 16, 4));
+  EXPECT_EQ(engine.index_type(), IndexType::kIvf);
+  EXPECT_EQ(engine.ivf_nlist(), 16u);
+  EXPECT_EQ(engine.ivf_nprobe(), 4u);
+  std::uint32_t next_list = 0;
+  std::uint32_t next_row = 0;
+  std::uint32_t rows = 0;
+  for (std::uint32_t s = 0; s < engine.num_shards(); ++s) {
+    const auto [lo, hi] = engine.shard_lists(s);
+    EXPECT_EQ(lo, next_list) << "shard " << s;
+    EXPECT_LT(lo, hi) << "shard " << s;
+    next_list = hi;
+    EXPECT_GE(engine.shard(s).rows(), 1u) << "shard " << s;
+    EXPECT_EQ(engine.shard(s).begin(), next_row) << "shard " << s;
+    next_row += engine.shard(s).rows();
+    rows += engine.shard(s).rows();
+    ASSERT_NE(engine.shard(s).ivf_engine(), nullptr);
+    // Every shard carries the full quantizer: probe selection is global.
+    EXPECT_EQ(engine.shard(s).ivf_engine()->index().nlist, 16u);
+  }
+  EXPECT_EQ(next_list, engine.ivf_nlist());
+  EXPECT_EQ(rows, refs.count);
+}
+
+TEST(ShardedIvfTest, SetNprobeRetunesEveryShard) {
+  Rng rng(0x1f7);
+  const knn::Dataset refs = make_feature_set(70, 5, 0, rng);
+  const knn::Dataset queries = make_feature_set(9, 5, 0, rng);
+  ShardedKnn engine(refs, ivf_sharded_options(2, 8, 2));
+  EXPECT_EQ(engine.search(queries, 6).neighbors,
+            single_device_ivf(refs, queries, 6, 8, 2));
+  engine.set_nprobe(8);
+  EXPECT_EQ(engine.ivf_nprobe(), 8u);
+  // Widened to every list, the served answer snaps to the exact one.
+  EXPECT_EQ(engine.search(queries, 6).neighbors,
+            single_device(refs, queries, 6));
+  // Flat engines have no probe knob.
+  ShardedKnn flat(refs, sharded_options(2));
+  EXPECT_THROW(flat.set_nprobe(4), PreconditionError);
+}
+
+TEST(ShardedIvfTest, FaultedListScanDegradesToTheHostMirrorExactly) {
+  // Unlimited fault budget on shard 1's list_scan: both attempts fault, the
+  // shard host-serves via IvfKnn::search_host — and the merged answer stays
+  // byte-identical to the clean run at the same nprobe.
+  Rng rng(0x1f8);
+  const knn::Dataset refs = make_feature_set(80, 5, 0, rng);
+  const knn::Dataset queries = make_feature_set(12, 5, 0, rng);
+  const auto expected = single_device_ivf(refs, queries, 7, 8, 3);
+
+  ShardedKnn engine(refs, ivf_sharded_options(3, 8, 3));
+  simt::FaultInjector injector(simt::InjectorConfig{
+      simt::InjectKind::kOobIndex, /*seed=*/5, /*period=*/16, /*max_faults=*/0,
+      /*kernel_filter=*/"list_scan"});
+  engine.shard(1).device().set_fault_injector(&injector);
+
+  const auto got = engine.search(queries, 7);
+  EXPECT_EQ(got.neighbors, expected);
+  EXPECT_TRUE(got.degraded);
+  EXPECT_TRUE(got.shards[1].excluded);
+  EXPECT_EQ(got.shards[1].retries, 1u);
+  EXPECT_GE(got.shards[1].faults.size(), 2u);
+  // useful + wasted still partition each device's cumulative counters.
+  for (std::uint32_t s = 0; s < engine.num_shards(); ++s) {
+    simt::KernelMetrics sum = engine.totals()[s].useful_metrics;
+    sum += engine.totals()[s].wasted_metrics;
+    EXPECT_EQ(sum, engine.shard(s).device().cumulative()) << "shard " << s;
+  }
+}
+
+TEST(ShardedIvfTest, QuarantinedShardHostServesTheListPartition) {
+  ShardedKnnOptions opts = ivf_sharded_options(3, 8, 3);
+  opts.health.window = 2;
+  opts.health.suspect_faults = 1;
+  opts.health.quarantine_faults = 1;
+  opts.health.probe_interval = 100;  // no probes in this test
+  Rng rng(0x1f9);
+  const knn::Dataset refs = make_feature_set(80, 5, 0, rng);
+  ShardedKnn engine(refs, opts);
+  simt::FaultInjector injector(simt::InjectorConfig{
+      simt::InjectKind::kOobIndex, /*seed=*/5, /*period=*/16, /*max_faults=*/0,
+      /*kernel_filter=*/"list_scan"});
+  engine.shard(1).device().set_fault_injector(&injector);
+
+  // Request 0 trips the quarantine threshold.
+  const knn::Dataset q0 = make_feature_set(10, 5, 0, rng);
+  EXPECT_EQ(engine.search(q0, 6).neighbors,
+            single_device_ivf(refs, q0, 6, 8, 3));
+  EXPECT_EQ(engine.shard(1).health().state(), HealthState::kQuarantined);
+
+  // Quarantined service: zero new device work on the shard, still the exact
+  // pruned answer — the host mirror serves the list partition.
+  const simt::KernelMetrics frozen = engine.shard(1).device().cumulative();
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    const knn::Dataset q = make_feature_set(8, 5, 0, rng);
+    const auto res = engine.search(q, 5);
+    EXPECT_EQ(res.neighbors, single_device_ivf(refs, q, 5, 8, 3));
+    EXPECT_TRUE(res.shards[1].quarantine_served);
+    EXPECT_EQ(res.shards[1].failed_attempts, 0u);
+  }
+  EXPECT_EQ(engine.shard(1).device().cumulative(), frozen);
+}
+
+TEST(ShardedIvfTest, ReportCarriesIndexTypeAndListRanges) {
+  ShardedKnn engine(knn::make_uniform_dataset(60, 4, 43),
+                    ivf_sharded_options(2, 8, 4));
+  (void)engine.search(knn::make_uniform_dataset(7, 4, 44), 5);
+  std::ostringstream os;
+  engine.write_shard_report(os);
+  const std::string report = os.str();
+  for (const char* key :
+       {"\"index_type\": \"ivf\"", "\"ivf\": {\"nlist\": 8, \"nprobe\": 4}",
+        "\"list_lo\"", "\"list_hi\""}) {
+    EXPECT_NE(report.find(key), std::string::npos) << key;
+  }
+  // Flat engines keep the old report shape (plus the explicit type tag).
+  ShardedKnn flat(knn::make_uniform_dataset(30, 4, 45), sharded_options(2));
+  std::ostringstream fs;
+  flat.write_shard_report(fs);
+  EXPECT_NE(fs.str().find("\"index_type\": \"flat\""), std::string::npos);
+  EXPECT_EQ(fs.str().find("\"list_lo\""), std::string::npos);
+}
+
+TEST(ShardedIvfTest, NeedsOneNonEmptyListPerShard) {
+  // All-constant rows collapse into a single non-empty list: there is no
+  // list cut giving two shards a row each, and the constructor says so.
+  Rng rng(0x1fa);
+  const knn::Dataset refs = make_feature_set(24, 3, 2, rng);
+  EXPECT_THROW(ShardedKnn(refs, ivf_sharded_options(2, 8, 2)),
+               PreconditionError);
+  // One shard owning everything is fine.
+  ShardedKnn engine(refs, ivf_sharded_options(1, 8, 8));
+  const knn::Dataset queries = make_feature_set(5, 3, 0, rng);
+  EXPECT_EQ(engine.search(queries, 6).neighbors,
+            single_device(refs, queries, 6));
+}
+
 TEST(ShardMergeTest, MergesRaggedPartialsWithSentinelPadding) {
   // Hand-built partials with ragged lengths: shard 0 has 2 candidates for
   // query 0 and none for query 1; shard 1 has 1 and 3.

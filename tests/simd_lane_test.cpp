@@ -28,6 +28,9 @@
 
 #include "core/kernels/pipeline.hpp"
 #include "core/kernels/select_kernels.hpp"
+#include "knn/dataset.hpp"
+#include "knn/ivf.hpp"
+#include "knn/knn.hpp"
 #include "simt/device.hpp"
 #include "simt/fault_injection.hpp"
 #include "simt/lane_vec.hpp"
@@ -518,6 +521,55 @@ TEST(SimdLaneDifferential, PipelineProfileByteIdenticalAcrossThreadCounts) {
       EXPECT_TRUE(std::get<2>(got) == std::get<2>(baseline))
           << "threads=" << threads << " simd=" << simd;
       EXPECT_EQ(std::get<3>(got), std::get<3>(baseline))
+          << "threads=" << threads << " simd=" << simd;
+    }
+  }
+}
+
+TEST(SimdLaneDifferential, IvfTrainAndSearchByteIdenticalAcrossBackends) {
+  // The pruned IVF path end to end: k-means++ training (host sampling plus
+  // the ivf_train assignment launch), the coarse_quantize / list_scan /
+  // ivf_reduce pipeline, and the host mirror must all be byte-identical
+  // between backends at the thread counts the determinism suite uses — the
+  // fig13 determinism gate at test scale.
+  const knn::Dataset refs =
+      knn::make_gaussian_clusters(360, 6, 8, 0.1f, 5).points;
+  const knn::Dataset queries = knn::make_uniform_dataset(64, 6, 6);
+  auto run = [&](unsigned threads) {
+    Device dev;
+    dev.set_worker_threads(threads);
+    knn::IvfOptions opts;
+    opts.params.nlist = 8;
+    opts.params.nprobe = 3;
+    opts.batch.batch.tile_refs = 32;
+    knn::IvfKnn engine(refs, opts);
+    engine.train(dev);
+    const knn::KnnResult device = engine.search_gpu(dev, queries, 7);
+    const knn::KnnResult host = engine.search_host(queries, 7);
+    EXPECT_EQ(device.neighbors, host.neighbors)
+        << "host mirror diverged, threads=" << threads
+        << " simd=" << simt::lanevec::enabled();
+    return std::tuple(engine.index().centroids, engine.index().list_begin,
+                      engine.index().row_ids, device.neighbors,
+                      dev.cumulative());
+  };
+  const auto baseline = [&] {
+    ScopedBackend b(false);
+    return run(1);
+  }();
+  for (const unsigned threads : {1u, 2u, 7u, 16u}) {
+    for (const bool simd : {true, false}) {
+      ScopedBackend b(simd);
+      const auto got = run(threads);
+      EXPECT_EQ(std::get<0>(got), std::get<0>(baseline))
+          << "threads=" << threads << " simd=" << simd;
+      EXPECT_EQ(std::get<1>(got), std::get<1>(baseline))
+          << "threads=" << threads << " simd=" << simd;
+      EXPECT_EQ(std::get<2>(got), std::get<2>(baseline))
+          << "threads=" << threads << " simd=" << simd;
+      EXPECT_EQ(std::get<3>(got), std::get<3>(baseline))
+          << "threads=" << threads << " simd=" << simd;
+      EXPECT_TRUE(std::get<4>(got) == std::get<4>(baseline))
           << "threads=" << threads << " simd=" << simd;
     }
   }
