@@ -40,7 +40,7 @@ inline constexpr std::uint32_t kPaperQueries = 8192;
 
 /// Workload scale shared by all benches.
 struct Scale {
-  std::uint32_t warps = 2;  ///< simulated warps (32 queries each)
+  std::uint32_t warps = 8;  ///< simulated warps (32 queries each)
   std::string csv_path;     ///< optional CSV dump
   /// Host threads for the simulator's warp executor: 0 = device default
   /// (GPUKSEL_THREADS env, else hardware concurrency), 1 = serial loop.
@@ -80,7 +80,7 @@ struct Scale {
     // bench with a usage error instead of silently running the default
     // configuration (which would let a typo'd CI smoke job pass vacuously).
     s.warps =
-        static_cast<std::uint32_t>(flags.require_int("warps", 2, 1, 1 << 22));
+        static_cast<std::uint32_t>(flags.require_int("warps", 8, 1, 1 << 22));
     if (flags.get_bool("paper_scale", false)) {
       s.warps = kPaperQueries / simt::kWarpSize;
     }

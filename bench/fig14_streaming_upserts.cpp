@@ -1,0 +1,353 @@
+// Fig. 14 (extension) — streaming upserts on a mutable reference set.
+//
+// A mixed workload over knn::MutableKnn: phases of 64 mutations (48 fresh
+// inserts, 8 replaces, 8 removes) each followed by a Q-query serving batch,
+// run twice with very different base sizes.  The phase table reports modeled
+// queries/sec and the H2D bytes each phase spent, splitting out the
+// delta-sync traffic; a forced compaction mid-stream folds the delta back
+// into the base and the following phases show the index returning to
+// pure-base serving speed.
+//
+// The headline invariant — the reason a delta shard exists at all — is that
+// per-upsert upload bytes scale with the *delta*, never with the base row
+// count: both runs execute the identical mutation schedule, so their
+// delta-sync byte counts must be exactly equal even though the bases differ
+// by 8x.  That equality, the exact transfer identity
+//   delta_bytes_uploaded == 4 * (delta_rows_synced * dim +
+//                                tombstone_words_synced),
+// and the buffer pool's exactly-partitioning accounting are all checked here
+// and re-checked by the CI gate on the JSON.
+//
+// No paper counterpart (the paper's reference sets are immutable); the
+// mutable layer composes the paper's exact selection kernels with an
+// LSM-style delta + tombstone mask (DESIGN.md §14).
+//
+// --mutable-json=<path> dumps the gpuksel.mutable_upserts.v1 JSON that
+// scripts/bench_to_json.sh records as BENCH_mutable_upserts.json and the
+// mutable-smoke CI job gates on.  Everything recorded is modeled/counted
+// (never wall clock), so two runs at different --threads= must produce
+// byte-identical files.
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "knn/batch.hpp"
+#include "knn/dataset.hpp"
+#include "knn/mutable.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace gpuksel;
+using namespace gpuksel::bench;
+
+constexpr std::uint32_t kSmallRows = 4096;
+constexpr std::uint32_t kLargeRows = 32768;  // 8x: upsert bytes must not move
+constexpr std::uint32_t kDim = 8;
+constexpr std::uint32_t kK = 10;
+constexpr std::uint32_t kTileRefs = 256;
+constexpr std::uint32_t kPhases = 8;
+constexpr std::uint32_t kOpsPerPhase = 64;
+constexpr std::uint32_t kCompactPhase = 4;  ///< compact() before this search
+constexpr std::uint64_t kSeed = 14;
+
+std::string& mutable_json_path() {
+  static std::string path;
+  return path;
+}
+
+/// FNV-1a over the neighbor bits: a deterministic digest of every phase's
+/// full answer, so the CI two-run byte-compare covers results, not just
+/// counters.
+std::uint64_t neighbors_digest(
+    const std::vector<std::vector<Neighbor>>& lists) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& list : lists) {
+    mix(list.size());
+    for (const Neighbor& n : list) {
+      mix(std::bit_cast<std::uint32_t>(n.dist));
+      mix(n.index);
+    }
+  }
+  return h;
+}
+
+struct PhasePoint {
+  std::uint32_t phase = 0;
+  std::uint32_t live_rows = 0;
+  std::uint32_t delta_rows = 0;
+  std::uint32_t tombstones = 0;
+  std::uint64_t generation = 0;
+  double seconds = 0.0;           ///< modeled serving seconds for the batch
+  std::uint64_t bytes_h2d = 0;    ///< phase H2D total (queries + delta sync)
+  std::uint64_t delta_bytes = 0;  ///< the delta-sync share of bytes_h2d
+  std::uint64_t digest = 0;
+  simt::KernelMetrics metrics;
+};
+
+struct RunData {
+  std::uint32_t base_rows = 0;
+  std::uint64_t base_upload_bytes = 0;  ///< one-time warm-up upload
+  std::vector<PhasePoint> phases;
+  knn::MutableStats stats;
+  simt::PoolStats pool;
+  double total_seconds = 0.0;
+  simt::KernelMetrics total_metrics;
+};
+
+/// One deterministic mutation: 6-in-8 fresh insert, 1-in-8 replace of a live
+/// id, 1-in-8 remove.  Identical op *counts* for every base size, which is
+/// what makes the two runs' delta traffic exactly comparable.
+void apply_ops(knn::MutableKnn& index, Rng& rng, std::vector<float>& row) {
+  for (std::uint32_t op = 0; op < kOpsPerPhase; ++op) {
+    for (auto& v : row) v = rng.uniform_float();
+    const auto kind = op % 8;
+    if (kind == 6) {
+      const auto& ids = index.live_ids();
+      index.upsert(ids[rng.uniform_below(ids.size())], row);
+    } else if (kind == 7) {
+      const auto& ids = index.live_ids();
+      GPUKSEL_CHECK(index.remove(ids[rng.uniform_below(ids.size())]),
+                    "a live id must be removable");
+    } else {
+      (void)index.insert(row);
+    }
+  }
+}
+
+RunData run_stream(const Scale& scale, std::uint32_t base_rows,
+                   const knn::Dataset& queries, bool check_differential) {
+  knn::MutableKnnOptions mopts;
+  mopts.batch.batch.tile_refs = kTileRefs;
+  knn::MutableKnn index(knn::make_uniform_dataset(base_rows, kDim, kSeed),
+                        mopts);
+  simt::Device dev;
+  scale.configure(dev);
+
+  RunData run;
+  run.base_rows = base_rows;
+  // Warm-up batch: the one-time base upload happens here so the phase
+  // numbers show steady-state serving traffic only.
+  (void)index.search(dev, queries, kK);
+  run.base_upload_bytes = dev.transfers().bytes_h2d;
+
+  Rng rng(0x14f);
+  std::vector<float> row(kDim);
+  std::vector<std::vector<Neighbor>> last;
+  for (std::uint32_t phase = 0; phase < kPhases; ++phase) {
+    apply_ops(index, rng, row);
+    if (phase == kCompactPhase) {
+      GPUKSEL_CHECK(index.compact(), "mid-stream compaction must adopt");
+    }
+    const std::uint64_t h2d_before = dev.transfers().bytes_h2d;
+    const std::uint64_t delta_before = index.stats().delta_bytes_uploaded;
+    knn::KnnResult res = index.search(dev, queries, kK);
+    PhasePoint pt;
+    pt.phase = phase;
+    pt.live_rows = index.live_rows();
+    pt.delta_rows = index.delta_rows();
+    pt.tombstones = index.tombstones();
+    pt.generation = index.generation();
+    pt.seconds = res.modeled_seconds;
+    pt.bytes_h2d = dev.transfers().bytes_h2d - h2d_before;
+    pt.delta_bytes = index.stats().delta_bytes_uploaded - delta_before;
+    pt.digest = neighbors_digest(res.neighbors);
+    pt.metrics = res.distance_metrics;
+    pt.metrics += res.select_metrics;
+    run.total_seconds += pt.seconds;
+    run.total_metrics += pt.metrics;
+    run.phases.push_back(pt);
+    last = std::move(res.neighbors);
+  }
+
+  run.stats = index.stats();
+  run.pool = dev.pool().stats();
+  // The transfer identity: every delta byte is a synced row or mask word.
+  GPUKSEL_CHECK(run.stats.delta_bytes_uploaded ==
+                    4 * (run.stats.delta_rows_synced * kDim +
+                         run.stats.tombstone_words_synced),
+                "delta transfer identity violated");
+  // The pool's exactly-partitioning accounting contract.
+  GPUKSEL_CHECK(run.pool.bytes_requested ==
+                    run.pool.bytes_served_from_pool +
+                        run.pool.bytes_freshly_allocated,
+                "pool accounting does not partition");
+  if (check_differential) {
+    // The differential contract at bench scale: the final streamed answer
+    // is byte-identical to a fresh engine over the logically-current rows.
+    simt::Device fresh_dev;
+    scale.configure(fresh_dev);
+    knn::BatchedKnn fresh(index.materialize(), mopts.batch);
+    GPUKSEL_CHECK(fresh.search_gpu(fresh_dev, queries, kK).neighbors == last,
+                  "streamed answer diverged from a fresh rebuild");
+  }
+  return run;
+}
+
+struct Fig14State {
+  knn::Dataset queries;
+  RunData small;
+  RunData large;
+};
+
+Fig14State& state(const Scale& scale) {
+  static std::unique_ptr<Fig14State> st;
+  if (st != nullptr) return *st;
+  st = std::make_unique<Fig14State>();
+  st->queries = knn::make_uniform_dataset(scale.queries(), kDim, kSeed + 1);
+  st->small = run_stream(scale, kSmallRows, st->queries,
+                         /*check_differential=*/true);
+  st->large = run_stream(scale, kLargeRows, st->queries,
+                         /*check_differential=*/false);
+  // The delta-scaling law: identical mutation schedule => identical delta
+  // traffic, no matter that the bases differ by 8x.
+  GPUKSEL_CHECK(st->small.stats.delta_bytes_uploaded ==
+                    st->large.stats.delta_bytes_uploaded,
+                "per-upsert bytes must scale with the delta, not the base");
+  return *st;
+}
+
+void write_pool(std::ostream& os, const simt::PoolStats& p) {
+  os << "{\"bytes_requested\": " << p.bytes_requested
+     << ", \"bytes_served_from_pool\": " << p.bytes_served_from_pool
+     << ", \"bytes_freshly_allocated\": " << p.bytes_freshly_allocated
+     << ", \"blocks_acquired\": " << p.blocks_acquired
+     << ", \"blocks_reused\": " << p.blocks_reused
+     << ", \"blocks_released\": " << p.blocks_released
+     << ", \"blocks_trimmed\": " << p.blocks_trimmed
+     << ", \"bytes_resident\": " << p.bytes_resident << "}";
+}
+
+void write_run(std::ostream& os, const RunData& run, const Scale& scale) {
+  os << "{\"rows\": " << run.base_rows
+     << ", \"base_upload_bytes\": " << run.base_upload_bytes
+     << ",\n     \"stats\": {\"upserts\": " << run.stats.upserts
+     << ", \"removes\": " << run.stats.removes
+     << ", \"compactions\": " << run.stats.compactions
+     << ", \"generation\": " << run.stats.generation
+     << ", \"delta_bytes_uploaded\": " << run.stats.delta_bytes_uploaded
+     << ", \"delta_rows_synced\": " << run.stats.delta_rows_synced
+     << ", \"tombstone_words_synced\": " << run.stats.tombstone_words_synced
+     << "},\n     \"pool\": ";
+  write_pool(os, run.pool);
+  os << ",\n     \"total_modeled_seconds\": " << run.total_seconds
+     << ",\n     \"phases\": [";
+  const char* sep = "";
+  for (const PhasePoint& pt : run.phases) {
+    os << sep << "\n       {\"phase\": " << pt.phase
+       << ", \"live_rows\": " << pt.live_rows
+       << ", \"delta_rows\": " << pt.delta_rows
+       << ", \"tombstones\": " << pt.tombstones
+       << ", \"generation\": " << pt.generation
+       << ", \"modeled_seconds\": " << pt.seconds
+       << ", \"queries_per_second\": " << scale.queries() / pt.seconds
+       << ", \"bytes_h2d\": " << pt.bytes_h2d
+       << ", \"delta_bytes\": " << pt.delta_bytes
+       << ", \"digest\": " << pt.digest << "}";
+    sep = ",";
+  }
+  os << "\n     ]}";
+}
+
+void write_mutable_json(const Scale& scale, const std::string& path) {
+  Fig14State& st = state(scale);
+  std::ofstream os(path);
+  GPUKSEL_CHECK(os.is_open(), "cannot open mutable json file: " + path);
+  os.precision(17);
+  os << "{\n  \"schema\": \"gpuksel.mutable_upserts.v1\",\n"
+     << "  \"dim\": " << kDim << ",\n  \"k\": " << kK << ",\n"
+     << "  \"queries\": " << scale.queries() << ",\n"
+     << "  \"phases\": " << kPhases << ",\n"
+     << "  \"ops_per_phase\": " << kOpsPerPhase << ",\n"
+     << "  \"compact_phase\": " << kCompactPhase << ",\n"
+     << "  \"runs\": [\n    ";
+  write_run(os, st.small, scale);
+  os << ",\n    ";
+  write_run(os, st.large, scale);
+  os << "\n  ],\n  \"delta_scaling\": {\"small_delta_bytes\": "
+     << st.small.stats.delta_bytes_uploaded
+     << ", \"large_delta_bytes\": " << st.large.stats.delta_bytes_uploaded
+     << ", \"bytes_per_delta_row\": " << kDim * 4 << "}\n}\n";
+}
+
+void report(const Scale& scale) {
+  Fig14State& st = state(scale);
+  Table t("Fig 14 — streaming upserts (N=" + std::to_string(kLargeRows) +
+              ", k=" + std::to_string(kK) + ", Q=" +
+              std::to_string(scale.queries()) + ", 64 ops/phase, modeled)",
+          {"phase", "live rows", "delta", "dead", "gen", "time (us)",
+           "queries/s", "phase h2d B", "delta B"});
+  CsvWriter csv(scale.csv_path,
+                {"phase", "live_rows", "delta_rows", "tombstones",
+                 "generation", "modeled_seconds", "queries_per_second",
+                 "bytes_h2d", "delta_bytes"});
+  for (const PhasePoint& pt : st.large.phases) {
+    const double qps = scale.queries() / pt.seconds;
+    t.begin_row()
+        .add_int(pt.phase)
+        .add_int(pt.live_rows)
+        .add_int(pt.delta_rows)
+        .add_int(pt.tombstones)
+        .add_int(static_cast<long long>(pt.generation))
+        .add(pt.seconds * 1e6, 1)
+        .add(qps, 1)
+        .add_int(static_cast<long long>(pt.bytes_h2d))
+        .add_int(static_cast<long long>(pt.delta_bytes));
+    csv.write_row({std::to_string(pt.phase), std::to_string(pt.live_rows),
+                   std::to_string(pt.delta_rows),
+                   std::to_string(pt.tombstones),
+                   std::to_string(pt.generation), std::to_string(pt.seconds),
+                   std::to_string(qps), std::to_string(pt.bytes_h2d),
+                   std::to_string(pt.delta_bytes)});
+  }
+  t.print(std::cout);
+  std::cout << "Delta traffic at N=" << kSmallRows << " and N=" << kLargeRows
+            << ": " << st.small.stats.delta_bytes_uploaded << " B == "
+            << st.large.stats.delta_bytes_uploaded
+            << " B (per-upsert bytes scale with the delta, not the base)."
+            << "\nPhase " << kCompactPhase
+            << " follows a compaction: the delta folds into the base and "
+               "serving\nreturns to single-source speed.  The final answer "
+               "is byte-identical to a fresh\nrebuild (checked).\n\n";
+  if (!mutable_json_path().empty()) {
+    write_mutable_json(scale, mutable_json_path());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Read the fig14-specific flag without consuming anything: bench_main's
+  // CliFlags strips every --key=value before handing argv to
+  // google-benchmark.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (const std::string prefix = "--mutable-json=";
+        arg.rfind(prefix, 0) == 0) {
+      mutable_json_path() = arg.substr(prefix.size());
+    }
+  }
+  return bench_main(
+      argc, argv, "fig14.csv",
+      [](const Scale& scale) {
+        register_run("fig14/stream_small", [scale] {
+          const RunData& run = state(scale).small;
+          return RunResult{run.total_seconds, run.total_metrics};
+        });
+        register_run("fig14/stream_large", [scale] {
+          const RunData& run = state(scale).large;
+          return RunResult{run.total_seconds, run.total_metrics};
+        });
+      },
+      report);
+}

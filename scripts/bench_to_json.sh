@@ -40,10 +40,18 @@
 # monotone in nprobe, exact at nprobe == nlist, and the operating point at
 # recall@k >= 0.95 with >= 5x the full-scan throughput on >= 1e5 rows.
 #
+# The streaming-upsert bench (fig14) emits BENCH_mutable_upserts.json: the
+# bench's own gpuksel.mutable_upserts.v1 payload (per-phase qps, H2D bytes and
+# answer digests for a mixed upsert/remove/compact workload at two base
+# sizes), re-emitted only after a serial/parallel byte-compare of the whole
+# payload and the acceptance gates — the delta transfer identity, the buffer
+# pool's exact accounting partition, and per-upsert delta bytes equal across
+# an 8x base-size spread (upload cost scales with the delta, not the base).
+#
 # Usage: scripts/bench_to_json.sh [build_dir] [out_json] [out_batched_json] \
 #                                 [out_sharded_json] [out_availability_json] \
-#                                 [out_ivf_json]
-#   WARPS=n    sampled warps per configuration (default 2)
+#                                 [out_ivf_json] [out_mutable_json]
+#   WARPS=n    sampled warps per configuration (default 8)
 #   IVF_WARPS=n  fig13 query warps (default 8: the recorded operating point
 #              needs enough queries to fill the pruned scan's task warps)
 #   THREADS=n  parallel thread count (default: nproc)
@@ -60,7 +68,8 @@ OUT_BATCHED_JSON="${3:-BENCH_batched_throughput.json}"
 OUT_SHARDED_JSON="${4:-BENCH_sharded_scaling.json}"
 OUT_AVAIL_JSON="${5:-BENCH_availability.json}"
 OUT_IVF_JSON="${6:-BENCH_ivf_recall.json}"
-WARPS="${WARPS:-2}"
+OUT_MUTABLE_JSON="${7:-BENCH_mutable_upserts.json}"
+WARPS="${WARPS:-8}"
 IVF_WARPS="${IVF_WARPS:-8}"
 THREADS="${THREADS:-$(nproc)}"
 BENCH="${BUILD_DIR}/bench/table1_execution_time"
@@ -68,10 +77,12 @@ BENCH_BATCHED="${BUILD_DIR}/bench/fig10_batched_throughput"
 BENCH_SHARDED="${BUILD_DIR}/bench/fig11_sharded_scaling"
 BENCH_AVAIL="${BUILD_DIR}/bench/fig12_availability"
 BENCH_IVF="${BUILD_DIR}/bench/fig13_recall_qps"
+BENCH_MUTABLE="${BUILD_DIR}/bench/fig14_streaming_upserts"
 
 if [[ ! -x "${BENCH}" || ! -x "${BENCH_BATCHED}" || ! -x "${BENCH_SHARDED}" \
-      || ! -x "${BENCH_AVAIL}" || ! -x "${BENCH_IVF}" ]]; then
-  echo "error: ${BENCH}, ${BENCH_BATCHED}, ${BENCH_SHARDED}, ${BENCH_AVAIL} or ${BENCH_IVF} not found — build the repo first" >&2
+      || ! -x "${BENCH_AVAIL}" || ! -x "${BENCH_IVF}" \
+      || ! -x "${BENCH_MUTABLE}" ]]; then
+  echo "error: ${BENCH}, ${BENCH_BATCHED}, ${BENCH_SHARDED}, ${BENCH_AVAIL}, ${BENCH_IVF} or ${BENCH_MUTABLE} not found — build the repo first" >&2
   exit 1
 fi
 
@@ -583,4 +594,90 @@ with open(sys.argv[1], "w") as f:
     f.write("\n")
 print(json.dumps({k: report[k] for k in
                   ("schema", "rows", "nlist", "operating_point")}, indent=2))
+EOF
+
+# --- streaming upserts on a mutable reference set (fig14) ---------------------
+
+MUTABLE_CSV_SERIAL="${TMPDIR_RUN}/mutable_serial.csv"
+MUTABLE_CSV_PARALLEL="${TMPDIR_RUN}/mutable_parallel.csv"
+MUTABLE_PROFILE_SERIAL="${TMPDIR_RUN}/mutable_serial.json"
+MUTABLE_PROFILE_PARALLEL="${TMPDIR_RUN}/mutable_parallel.json"
+MUTABLE_JSON_SERIAL="${TMPDIR_RUN}/mutable_upserts_serial.json"
+MUTABLE_JSON_PARALLEL="${TMPDIR_RUN}/mutable_upserts_parallel.json"
+
+"${BENCH_MUTABLE}" --warps="${WARPS}" --threads=1 \
+  --csv="${MUTABLE_CSV_SERIAL}" --profile="${MUTABLE_PROFILE_SERIAL}" \
+  --mutable-json="${MUTABLE_JSON_SERIAL}" >/dev/null
+"${BENCH_MUTABLE}" --warps="${WARPS}" --threads="${THREADS}" \
+  --csv="${MUTABLE_CSV_PARALLEL}" --profile="${MUTABLE_PROFILE_PARALLEL}" \
+  --mutable-json="${MUTABLE_JSON_PARALLEL}" >/dev/null
+
+# Every fig14 value — per-phase qps, transfer counters, pool stats, answer
+# digests — is modeled or counted, so serial and parallel runs must agree
+# byte-for-byte, including the emitted upsert JSON itself.
+if ! cmp -s "${MUTABLE_CSV_SERIAL}" "${MUTABLE_CSV_PARALLEL}"; then
+  echo "error: mutable serial and parallel runs disagree — determinism violated" >&2
+  exit 1
+fi
+if ! cmp -s <(grep -vE '"(wall_seconds|worker_threads)":' "${MUTABLE_PROFILE_SERIAL}") \
+            <(grep -vE '"(wall_seconds|worker_threads)":' "${MUTABLE_PROFILE_PARALLEL}"); then
+  echo "error: mutable serial and parallel profiles disagree — determinism violated" >&2
+  exit 1
+fi
+if ! cmp -s "${MUTABLE_JSON_SERIAL}" "${MUTABLE_JSON_PARALLEL}"; then
+  echo "error: mutable serial and parallel upsert reports disagree — determinism violated" >&2
+  exit 1
+fi
+
+python3 - "${OUT_MUTABLE_JSON}" "${MUTABLE_JSON_SERIAL}" <<EOF
+import json, sys
+with open(sys.argv[2]) as f:
+    report = json.load(f)
+if report.get("schema") != "gpuksel.mutable_upserts.v1":
+    sys.exit(f"error: unexpected mutable upsert schema {report.get('schema')!r}")
+runs = report["runs"]
+if len(runs) != 2 or runs[0]["rows"] >= runs[1]["rows"]:
+    sys.exit("error: fig14 must report a small and a large base run")
+
+dim = report["dim"]
+for run in runs:
+    stats, pool = run["stats"], run["pool"]
+    # The delta transfer identity: every uploaded byte is a synced delta row
+    # (dim floats) or a 4-byte tombstone mask word.
+    expect = 4 * (stats["delta_rows_synced"] * dim
+                  + stats["tombstone_words_synced"])
+    if stats["delta_bytes_uploaded"] != expect:
+        sys.exit(f"error: run rows={run['rows']}: delta_bytes_uploaded "
+                 f"{stats['delta_bytes_uploaded']} != identity {expect}")
+    # The buffer pool's accounting must partition exactly.
+    if pool["bytes_requested"] != (pool["bytes_served_from_pool"]
+                                   + pool["bytes_freshly_allocated"]):
+        sys.exit(f"error: run rows={run['rows']}: pool bytes do not partition")
+    if pool["blocks_reused"] == 0:
+        sys.exit(f"error: run rows={run['rows']}: the pool never reused a "
+                 "block across the phase loop")
+    if not run["phases"]:
+        sys.exit("error: fig14 run has no phases")
+
+# The headline acceptance gate: both runs execute the identical mutation
+# schedule, so their delta-sync traffic must be exactly equal even though the
+# bases differ by 8x — per-upsert upload bytes scale with the delta, never
+# with the base row count.
+small, large = runs[0]["stats"], runs[1]["stats"]
+if small["delta_bytes_uploaded"] != large["delta_bytes_uploaded"]:
+    sys.exit(f"error: delta traffic scaled with the base: "
+             f"{small['delta_bytes_uploaded']} B at {runs[0]['rows']} rows vs "
+             f"{large['delta_bytes_uploaded']} B at {runs[1]['rows']} rows")
+# And the base upload itself must scale with the base (sanity: the two runs
+# really did build different-sized snapshots).
+if runs[1]["base_upload_bytes"] <= runs[0]["base_upload_bytes"]:
+    sys.exit("error: the large run's base upload is not larger than the "
+             "small run's")
+
+with open(sys.argv[1], "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(json.dumps({"schema": report["schema"],
+                  "runs": [r["rows"] for r in runs],
+                  "delta_scaling": report["delta_scaling"]}, indent=2))
 EOF

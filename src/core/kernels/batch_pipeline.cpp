@@ -19,8 +19,11 @@ BatchOutput batched_select(simt::Device& dev,
   GPUKSEL_CHECK(n >= 1, "batched_select needs a non-empty reference set");
   GPUKSEL_CHECK(dim >= 1, "batched_select needs dim >= 1");
   GPUKSEL_CHECK(cfg.tile_refs >= 1, "batched_select needs tile_refs >= 1");
-  GPUKSEL_CHECK(refs.size() == std::size_t{n} * dim,
-                "reference buffer size mismatch");
+  // >= rather than ==: a capacity-padded reference buffer (the mutable
+  // index's pooled delta shard grows in place) is valid — the pipeline only
+  // ever reads the first n * dim elements.
+  GPUKSEL_CHECK(refs.size() >= std::size_t{n} * dim,
+                "reference buffer too small");
   GPUKSEL_CHECK(queries_dim_major.size() == std::size_t{num_queries} * dim,
                 "query buffer size mismatch");
   if (cfg.select.buffer == BufferMode::kFullSorted) {

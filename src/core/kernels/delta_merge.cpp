@@ -1,0 +1,132 @@
+#include "core/kernels/delta_merge.hpp"
+
+#include <algorithm>
+
+#include "core/kernels/warp_queue.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel::kernels {
+
+DeltaMergeOutput delta_merge(
+    simt::Device& dev,
+    std::span<const std::vector<std::vector<Neighbor>>> partials,
+    const simt::DeviceBuffer<std::uint32_t>& alive, std::uint32_t num_slots,
+    std::uint32_t num_queries, std::uint32_t k, const SelectConfig& cfg) {
+  GPUKSEL_CHECK(k >= 1, "delta_merge needs k >= 1");
+  GPUKSEL_CHECK(!partials.empty(), "delta_merge needs at least one source");
+  GPUKSEL_CHECK(alive.size() >= num_slots,
+                "delta_merge alive mask smaller than the slot space");
+  DeltaMergeOutput out;
+  if (num_queries == 0) return out;  // an empty batch is merged for free
+
+  const auto num_sources = static_cast<std::uint32_t>(partials.size());
+  std::uint32_t slot_cap = 0;
+  for (const auto& source : partials) {
+    GPUKSEL_CHECK(source.size() == num_queries,
+                  "delta_merge: every source must answer every query");
+    for (const auto& list : source) {
+      slot_cap = std::max(slot_cap, static_cast<std::uint32_t>(list.size()));
+    }
+  }
+  if (slot_cap == 0) {  // all sources empty-handed: nothing to select from
+    out.neighbors.resize(num_queries);
+    return out;
+  }
+
+  const std::uint32_t threads = padded_threads(num_queries);
+  const std::uint32_t num_warps = threads / simt::kWarpSize;
+  // Always a two-pointer merge queue, like the other reductions: partials
+  // arrive sorted and mostly below the threshold.
+  SelectConfig merge_cfg = cfg;
+  merge_cfg.queue = QueueKind::kMerge;
+  const std::uint32_t red_cap = queue_capacity(merge_cfg, k);
+
+  // One sentinel-padded slab of per-thread candidate lists per source, built
+  // host-side in the view's layout and uploaded through the pool (merge
+  // slabs are same-shaped request to request — the recycling sweet spot).
+  std::vector<simt::DeviceBuffer<float>> sdist;
+  std::vector<simt::DeviceBuffer<std::uint32_t>> sidx;
+  sdist.reserve(num_sources);
+  sidx.reserve(num_sources);
+  const std::size_t slab = std::size_t{slot_cap} * threads;
+  for (const auto& source : partials) {
+    std::vector<float> dist(slab, simt::kFloatSentinel);
+    std::vector<std::uint32_t> index(slab, simt::kIndexSentinel);
+    for (std::uint32_t q = 0; q < num_queries; ++q) {
+      for (std::size_t j = 0; j < source[q].size(); ++j) {
+        const std::size_t flat =
+            merge_cfg.queue_layout == QueueLayout::kInterleaved
+                ? j * threads + q
+                : std::size_t{q} * slot_cap + j;
+        dist[flat] = source[q][j].dist;
+        index[flat] = source[q][j].index;
+      }
+    }
+    sdist.push_back(dev.upload_pooled(std::span<const float>(dist)));
+    sidx.push_back(dev.upload_pooled(std::span<const std::uint32_t>(index)));
+  }
+
+  auto fdist = dev.alloc<float>(std::size_t{red_cap} * threads);
+  auto fidx = dev.alloc<std::uint32_t>(std::size_t{red_cap} * threads);
+  auto rdscr = dev.alloc<float>(std::size_t{red_cap} * threads);
+  auto riscr = dev.alloc<std::uint32_t>(std::size_t{red_cap} * threads);
+
+  // Views are built host-side before the launch: DeviceBuffer::span() is not
+  // safe to call from parallel warp workers (it refreshes the shadow).
+  std::vector<ThreadArrayView> source_views;
+  source_views.reserve(num_sources);
+  for (std::uint32_t s = 0; s < num_sources; ++s) {
+    source_views.push_back(ThreadArrayView{sdist[s].span(), sidx[s].span(),
+                                           threads, slot_cap,
+                                           merge_cfg.queue_layout});
+  }
+  const ThreadArrayView fview{fdist.span(), fidx.span(), threads, red_cap,
+                              merge_cfg.queue_layout};
+  const ThreadArrayView rsview{rdscr.span(), riscr.span(), threads, red_cap,
+                               merge_cfg.queue_layout};
+  const auto alive_span = alive.cspan();
+
+  out.metrics = dev.launch(
+      "delta_merge", num_warps, [&](WarpContext& ctx, std::uint32_t warp) {
+        const std::uint32_t base = warp * simt::kWarpSize;
+        const int live = static_cast<int>(
+            std::min<std::uint32_t>(simt::kWarpSize, num_queries - base));
+        const LaneMask act = simt::first_lanes(live);
+        const U32 thread = ctx.lane_offset(act, base);
+
+        simt::SharedArray<int> flag(ctx, 2, 0);
+        WarpQueue queue(ctx, fview, thread, act, QueueKind::kMerge,
+                        merge_cfg.merge_m, merge_cfg.aligned_merge, &flag,
+                        MergeStrategy::kTwoPointer, rsview,
+                        merge_cfg.cache_head);
+        queue.init();
+
+        const auto prof = ctx.region("delta_merge");
+        // Sources in ascending order, slots in list order.  Sentinel padding
+        // never gathers (the mask load would be out of bounds) and never
+        // inserts; a real candidate additionally needs a live mask word.
+        for (std::uint32_t s = 0; s < num_sources; ++s) {
+          for (std::uint32_t j = 0; j < slot_cap; ++j) {
+            const EntryLanes e = source_views[s].load(ctx, act, thread, j);
+            const LaneMask have = ctx.pred(act, [&](int i) {
+              return e.index[i] != simt::kIndexSentinel;
+            });
+            const U32 a = ctx.load(have, alive_span, e.index);
+            const LaneMask livem =
+                ctx.pred(have, [&](int i) { return a[i] != 0; });
+            const LaneMask want = queue.accepts(livem, e);
+            if (want) queue.insert(want, e);
+          }
+        }
+      });
+
+  // The slabs are dead after the launch: recycle them for the next request.
+  for (auto& buf : sdist) dev.release(std::move(buf));
+  for (auto& buf : sidx) dev.release(std::move(buf));
+
+  out.neighbors = extract_queues(fdist, fidx, num_queries, threads, red_cap, k,
+                                 merge_cfg.queue_layout);
+  return out;
+}
+
+}  // namespace gpuksel::kernels

@@ -1,0 +1,51 @@
+// Tombstone-aware merge of base + delta partial top-k lists.
+//
+// The mutable index (knn/mutable.hpp) answers a query from two sources: the
+// immutable base engine and the small append-only delta shard.  Each source
+// ships a per-query partial top-k list whose indices are *slot ids* — base
+// rows occupy slots [0, base_rows), delta rows slots [base_rows, num_slots).
+// delta_merge() reduces those partials with the same two-pointer merge queue
+// shard_merge uses, with one extra admission step: each candidate's slot is
+// gathered from the device-resident alive mask and tombstoned slots (mask
+// word 0) are suppressed before the queue sees them.
+//
+// Exactness (the differential contract): each source's partial is fetched at
+// k + (dead slots in that source) depth, so by the divide-and-merge superset
+// argument the live candidates surviving suppression contain the exact
+// top-k over the logically-current rows; slot order is strictly monotone in
+// logical-row order over live slots, so the (dist, slot) merge order is
+// isomorphic to the fresh-engine's (dist, row) order and the caller's
+// slot -> logical-position remap yields byte-identical results.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/kernels/select_kernels.hpp"
+#include "core/neighbor.hpp"
+#include "simt/device.hpp"
+
+namespace gpuksel::kernels {
+
+/// Result of one tombstone-aware reduction.
+struct DeltaMergeOutput {
+  /// Per query: up to k nearest *live* (dist, slot), ascending.  Fewer than
+  /// k entries when fewer live candidates survived suppression.
+  std::vector<std::vector<Neighbor>> neighbors;
+  /// Metrics of the single "delta_merge" launch.
+  simt::KernelMetrics metrics;
+};
+
+/// Merges per-source partial top-k lists (slot-indexed, ascending, ragged
+/// lists sentinel-padded) into the exact live top-k on `dev`, suppressing
+/// every candidate whose alive-mask word is 0.  `alive` must hold at least
+/// `num_slots` words (capacity padding beyond that is ignored); every source
+/// must answer all `num_queries` queries.  An empty batch launches nothing.
+[[nodiscard]] DeltaMergeOutput delta_merge(
+    simt::Device& dev,
+    std::span<const std::vector<std::vector<Neighbor>>> partials,
+    const simt::DeviceBuffer<std::uint32_t>& alive, std::uint32_t num_slots,
+    std::uint32_t num_queries, std::uint32_t k, const SelectConfig& cfg);
+
+}  // namespace gpuksel::kernels

@@ -30,7 +30,9 @@
 #include "core/queues/merge_queue.hpp"
 #include "core/kernels/shard_merge.hpp"
 #include "knn/batch.hpp"
+#include "knn/ivf.hpp"
 #include "knn/knn.hpp"
+#include "knn/mutable.hpp"
 #include "knn/rbc.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/sharded_knn.hpp"

@@ -46,23 +46,27 @@ void BatchedKnn::set_refs(Dataset refs) {
   GPUKSEL_CHECK(queue_.empty(),
                 "BatchedKnn::set_refs with batches still pending");
   host_ = BruteForceKnn(std::move(refs));
-  // Invalidate unconditionally: the next batch must re-upload even onto the
-  // same device with a same-sized set.
-  d_refs_ = {};
-  bound_device_ = nullptr;
-  uploaded_refs_ = nullptr;
+  // The generation bump alone invalidates the cached upload (ensure_refs
+  // keys on it): the next batch re-uploads even onto the same device with a
+  // same-sized set.  The stale d_refs_ block is deliberately kept so
+  // ensure_refs can recycle it through the device pool.
   ++generation_;
 }
 
 void BatchedKnn::ensure_refs(simt::Device& dev) {
-  const float* host_data = host_.refs().values.data();
-  if (bound_device_ == &dev && uploaded_refs_ == host_data &&
+  if (bound_device_ == &dev && uploaded_generation_ == generation_ &&
       d_refs_.size() == std::size_t{size()} * dim()) {
     return;
   }
-  d_refs_ = dev.upload(std::span<const float>(host_.refs().values));
+  if (d_refs_.size() != 0) {
+    // Recycle the stale upload's block — but only into the device it came
+    // from, and only when that device is provably alive (it is `dev`).
+    if (bound_device_ == &dev) dev.release(std::move(d_refs_));
+    d_refs_ = {};
+  }
+  d_refs_ = dev.upload_pooled(std::span<const float>(host_.refs().values));
   bound_device_ = &dev;
-  uploaded_refs_ = host_data;
+  uploaded_generation_ = generation_;
 }
 
 KnnResult BatchedKnn::run_batch(simt::Device& dev, const Dataset& queries,

@@ -93,11 +93,16 @@ class BatchedKnn {
   BatchedKnnOptions options_;
   std::deque<PendingBatch> queue_;
   simt::DeviceBuffer<float> d_refs_;
-  const simt::Device* bound_device_ = nullptr;
-  /// Host buffer d_refs_ was uploaded from.  A replaced reference set of the
-  /// same size must not reuse the stale upload (set_refs / moved storage), so
-  /// ensure_refs keys on this pointer, not just the buffer size.
-  const float* uploaded_refs_ = nullptr;
+  /// Non-const: a stale d_refs_ block is recycled through this device's
+  /// buffer pool when the same device re-uploads.
+  simt::Device* bound_device_ = nullptr;
+  /// Generation d_refs_ was uploaded from.  Keying the cached upload on the
+  /// generation counter (not the host data pointer) is ABA-proof: a replaced
+  /// reference set whose storage lands at the freed set's address and size
+  /// can never masquerade as the cached upload, because set_refs always
+  /// bumps the generation.  That is also what lets set_refs keep the stale
+  /// device block around for pool recycling instead of dropping it.
+  std::uint64_t uploaded_generation_ = 0;
   std::uint64_t generation_ = 0;
 };
 

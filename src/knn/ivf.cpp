@@ -142,10 +142,15 @@ void IvfKnn::train(simt::Device& dev) {
   index_ = {};
   index_.nlist = nlist;
   index_.dim = d;
-  auto d_refs_dm = dev.upload(to_dim_major(refs));
-  auto d_cent = dev.upload(std::span<const float>(centroids));
+  // Training scratch goes through the pool: a retraining index (background
+  // compaction, set_refs churn) reuses the blocks of the previous pass.
+  auto d_refs_dm = dev.upload_pooled(
+      std::span<const float>(to_dim_major(refs)));
+  auto d_cent = dev.upload_pooled(std::span<const float>(centroids));
   std::vector<std::uint32_t> assign = kernels::ivf_assign(
       dev, d_refs_dm, d_cent, n, d, nlist, &index_.train_metrics);
+  dev.release(std::move(d_refs_dm));
+  dev.release(std::move(d_cent));
   // A row whose every centroid distance is NaN (or remapped +inf) never
   // beats the running-min sentinel and comes back unassigned: pin it to
   // list 0 — deterministic, and search never admits its distances anyway.
@@ -177,6 +182,12 @@ void IvfKnn::train(simt::Device& dev) {
   trained_ = true;
   trained_generation_ = batched_.generation();
   reordered_begin_ = 0;
+  // Stale serving uploads of the previous index: recycle when they live on
+  // the training device (the only device provably alive here), else drop.
+  if (bound_device_ == &dev && d_sorted_.size() != 0) {
+    dev.release(std::move(d_sorted_));
+    dev.release(std::move(d_centroids_));
+  }
   bound_device_ = nullptr;
   d_sorted_ = {};
   d_centroids_ = {};
@@ -184,8 +195,8 @@ void IvfKnn::train(simt::Device& dev) {
 
 void IvfKnn::ensure_device(simt::Device& dev) {
   if (bound_device_ == &dev) return;
-  d_sorted_ = dev.upload(std::span<const float>(sorted_refs_.values));
-  d_centroids_ = dev.upload(std::span<const float>(index_.centroids));
+  d_sorted_ = dev.upload_pooled(std::span<const float>(sorted_refs_.values));
+  d_centroids_ = dev.upload_pooled(std::span<const float>(index_.centroids));
   bound_device_ = &dev;
 }
 

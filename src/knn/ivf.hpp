@@ -132,7 +132,8 @@ class IvfKnn {
   std::uint64_t trained_generation_ = 0;
   std::uint32_t reordered_begin_ = 0;
 
-  const simt::Device* bound_device_ = nullptr;
+  /// Non-const: stale index uploads are recycled through this device's pool.
+  simt::Device* bound_device_ = nullptr;
   simt::DeviceBuffer<float> d_sorted_;
   simt::DeviceBuffer<float> d_centroids_;
 };

@@ -1,0 +1,464 @@
+#include "knn/mutable.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/kernels/delta_merge.hpp"
+#include "knn/distance.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel::knn {
+
+namespace {
+
+/// Smallest power of two >= n (delta-shard capacity growth).
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t cap = 1;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+MutableKnn::MutableKnn(Dataset initial, MutableKnnOptions options,
+                       std::uint32_t id_base)
+    : options_(std::move(options)), dim_(initial.dim) {
+  GPUKSEL_CHECK(initial.count >= 1, "MutableKnn needs a non-empty initial set");
+  GPUKSEL_CHECK(initial.dim >= 1, "MutableKnn needs dim >= 1");
+  const std::uint32_t n = initial.count;
+  base_ids_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) base_ids_[i] = id_base + i;
+  next_id_ = id_base + n;
+  alive_.assign(n, 1u);
+  id_to_slot_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) id_to_slot_[base_ids_[i]] = i;
+  if (options_.base == MutableBase::kFlat) {
+    flat_ = std::make_unique<BatchedKnn>(std::move(initial), engine_options());
+  } else {
+    IvfOptions io;
+    io.params = options_.ivf;
+    io.batch = engine_options();
+    ivf_ = std::make_unique<IvfKnn>(std::move(initial), io);
+    ivf_->train(compaction_device_);
+  }
+}
+
+MutableKnn::~MutableKnn() {
+  if (compaction_thread_.joinable()) compaction_thread_.join();
+}
+
+BatchedKnnOptions MutableKnn::engine_options() const {
+  // The wrapped engines always propagate faults: MutableKnn owns the host
+  // fallback so a recovered answer covers the *live* rows, not one source.
+  BatchedKnnOptions b = options_.batch;
+  b.fallback_to_host = false;
+  return b;
+}
+
+const Dataset& MutableKnn::base_refs() const noexcept {
+  return flat_ != nullptr ? flat_->host().refs() : ivf_->batched().host().refs();
+}
+
+MutableStats MutableKnn::stats() const noexcept {
+  MutableStats s;
+  s.upserts = upserts_;
+  s.removes = removes_;
+  s.compactions = compactions_;
+  s.compactions_aborted = compactions_aborted_;
+  s.compactions_failed = compactions_failed_;
+  s.base_rows = base_rows();
+  s.delta_rows = delta_rows();
+  s.tombstones = tombstones();
+  s.live_rows = live_rows();
+  s.generation = generation_;
+  s.delta_bytes_uploaded = delta_bytes_uploaded_;
+  s.delta_rows_synced = delta_rows_synced_;
+  s.tombstone_words_synced = tombstone_words_synced_;
+  return s;
+}
+
+void MutableKnn::tombstone_slot(std::uint32_t slot) {
+  alive_[slot] = 0;
+  pending_dead_.push_back(slot);
+  if (slot < base_rows()) {
+    ++dead_base_;
+  } else {
+    ++dead_delta_;
+  }
+}
+
+void MutableKnn::upsert(std::uint32_t id, std::span<const float> row) {
+  GPUKSEL_CHECK(row.size() == dim_, "upsert row dim mismatch");
+  adopt_pending();
+  const auto it = id_to_slot_.find(id);
+  if (it != id_to_slot_.end()) tombstone_slot(it->second);
+  delta_rows_.insert(delta_rows_.end(), row.begin(), row.end());
+  delta_ids_.push_back(id);
+  alive_.push_back(1u);
+  id_to_slot_[id] = static_cast<std::uint32_t>(alive_.size() - 1);
+  next_id_ = std::max(next_id_, id + 1);
+  ++upserts_;
+  bump_epoch();
+}
+
+std::uint32_t MutableKnn::insert(std::span<const float> row) {
+  const std::uint32_t id = next_id_;
+  upsert(id, row);
+  return id;
+}
+
+bool MutableKnn::remove(std::uint32_t id) {
+  adopt_pending();
+  const auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) return false;
+  tombstone_slot(it->second);
+  id_to_slot_.erase(it);
+  ++removes_;
+  bump_epoch();
+  return true;
+}
+
+void MutableKnn::refresh_live_cache() {
+  if (live_cache_epoch_ == epoch_) return;
+  const std::uint32_t total = base_rows() + delta_rows();
+  live_prefix_.assign(total, 0xffffffffu);
+  live_ids_cache_.clear();
+  live_ids_cache_.reserve(live_rows());
+  std::uint32_t pos = 0;
+  for (std::uint32_t s = 0; s < total; ++s) {
+    if (alive_[s] == 0) continue;
+    live_prefix_[s] = pos++;
+    live_ids_cache_.push_back(slot_id(s));
+  }
+  live_cache_epoch_ = epoch_;
+}
+
+const std::vector<std::uint32_t>& MutableKnn::live_ids() {
+  adopt_pending();
+  refresh_live_cache();
+  return live_ids_cache_;
+}
+
+Dataset MutableKnn::materialize() {
+  adopt_pending();
+  refresh_live_cache();
+  Dataset out;
+  out.dim = dim_;
+  out.count = live_rows();
+  out.values.reserve(std::size_t{out.count} * dim_);
+  const Dataset& base = base_refs();
+  for (std::uint32_t s = 0; s < base_rows(); ++s) {
+    if (alive_[s] == 0) continue;
+    const float* row = base.row(s);
+    out.values.insert(out.values.end(), row, row + dim_);
+  }
+  for (std::uint32_t d = 0; d < delta_rows(); ++d) {
+    if (alive_[base_rows() + d] == 0) continue;
+    const float* row = delta_rows_.data() + std::size_t{d} * dim_;
+    out.values.insert(out.values.end(), row, row + dim_);
+  }
+  return out;
+}
+
+void MutableKnn::adopt_pending() {
+  std::unique_ptr<Snapshot> snap;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    snap = std::move(pending_);
+  }
+  if (snap == nullptr) return;
+  if (snap->failed) {
+    // The rebuild faulted (chaos): the old snapshot keeps serving.
+    ++compactions_failed_;
+    return;
+  }
+  if (snap->built_epoch != epoch_) {
+    // A mutation landed while the rebuild ran: the snapshot is stale.
+    ++compactions_aborted_;
+    return;
+  }
+  flat_ = std::move(snap->flat);
+  ivf_ = std::move(snap->ivf);
+  base_ids_ = std::move(snap->ids);
+  delta_rows_.clear();
+  delta_ids_.clear();
+  alive_.assign(base_ids_.size(), 1u);
+  dead_base_ = 0;
+  dead_delta_ = 0;
+  id_to_slot_.clear();
+  for (std::uint32_t i = 0; i < base_rows(); ++i) id_to_slot_[base_ids_[i]] = i;
+  // The device delta cache is wholesale stale; its blocks are recycled into
+  // the pool at the next ensure_delta_device on the device that owns them.
+  pending_dead_.clear();
+  delta_synced_ = 0;
+  cache_valid_ = false;
+  ++generation_;
+  ++compactions_;
+  bump_epoch();
+}
+
+std::unique_ptr<MutableKnn::Snapshot> MutableKnn::build_snapshot(
+    Dataset rows, std::vector<std::uint32_t> ids, std::uint64_t epoch) {
+  auto snap = std::make_unique<Snapshot>();
+  snap->built_epoch = epoch;
+  try {
+    if (options_.base == MutableBase::kFlat) {
+      snap->flat = std::make_unique<BatchedKnn>(std::move(rows), engine_options());
+    } else {
+      IvfOptions io;
+      io.params = options_.ivf;
+      io.batch = engine_options();
+      snap->ivf = std::make_unique<IvfKnn>(std::move(rows), io);
+      snap->ivf->train(compaction_device_);
+    }
+    snap->ids = std::move(ids);
+  } catch (const SimtFaultError&) {
+    snap->flat.reset();
+    snap->ivf.reset();
+    snap->failed = true;
+  }
+  return snap;
+}
+
+bool MutableKnn::compactable() const noexcept {
+  return live_rows() >= 1 && (delta_rows() > 0 || tombstones() > 0);
+}
+
+bool MutableKnn::compact() {
+  adopt_pending();
+  if (compaction_running()) return false;
+  if (!compactable()) return false;
+  Dataset rows = materialize();
+  std::vector<std::uint32_t> ids = live_ids_cache_;
+  auto snap = build_snapshot(std::move(rows), std::move(ids), epoch_);
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    pending_ = std::move(snap);
+  }
+  const std::uint64_t before = compactions_;
+  adopt_pending();
+  return compactions_ > before;
+}
+
+bool MutableKnn::maybe_compact() {
+  adopt_pending();
+  const std::uint32_t total = base_rows() + delta_rows();
+  if (total < options_.min_compact_rows) return false;
+  const double df = static_cast<double>(delta_rows()) / total;
+  const double tf = static_cast<double>(tombstones()) / total;
+  if (df <= options_.max_delta_fraction && tf <= options_.max_tombstone_fraction) {
+    return false;
+  }
+  return compact();
+}
+
+bool MutableKnn::compact_async() {
+  if (compaction_running()) return false;
+  finish_compaction();  // join a finished rebuild, adopt or discard it
+  if (!compactable()) return false;
+  Dataset rows = materialize();
+  std::vector<std::uint32_t> ids = live_ids_cache_;
+  const std::uint64_t epoch = epoch_;
+  compaction_active_.store(true, std::memory_order_release);
+  compaction_thread_ = std::thread(
+      [this, rows = std::move(rows), ids = std::move(ids), epoch]() mutable {
+        auto snap = build_snapshot(std::move(rows), std::move(ids), epoch);
+        if (rebuild_hook_) rebuild_hook_();
+        {
+          const std::lock_guard<std::mutex> lk(mu_);
+          pending_ = std::move(snap);
+        }
+        compaction_active_.store(false, std::memory_order_release);
+      });
+  return true;
+}
+
+void MutableKnn::finish_compaction() {
+  if (compaction_thread_.joinable()) compaction_thread_.join();
+  adopt_pending();
+}
+
+void MutableKnn::ensure_delta_device(simt::Device& dev) {
+  const std::uint64_t before = dev.transfers().bytes_h2d;
+  const std::uint32_t dcount = delta_rows();
+  if (!cache_valid_ || cache_device_ != &dev ||
+      cache_generation_ != generation_) {
+    // Full rebuild: recycle the stale blocks into the pool of the device
+    // they came from (only provably safe when that device is `dev` itself),
+    // re-upload every delta row, re-sync every tombstone word.
+    if (d_delta_.size() != 0 || d_alive_.size() != 0) {
+      if (cache_device_ == &dev) {
+        if (d_delta_.size() != 0) dev.release(std::move(d_delta_));
+        if (d_alive_.size() != 0) dev.release(std::move(d_alive_));
+      }
+      d_delta_ = {};
+      d_alive_ = {};
+    }
+    delta_cap_ = round_up_pow2(std::max<std::size_t>(dcount, 4));
+    d_delta_ = dev.alloc_pooled<float>(delta_cap_ * dim_, 0.0f);
+    if (dcount > 0) {
+      dev.upload_into(d_delta_, 0,
+                      std::span<const float>(delta_rows_.data(),
+                                             std::size_t{dcount} * dim_));
+      delta_rows_synced_ += dcount;
+    }
+    d_alive_ = dev.alloc_pooled<std::uint32_t>(base_rows() + delta_cap_, 1u);
+    const std::uint32_t total = base_rows() + dcount;
+    static constexpr std::uint32_t kDead = 0u;
+    for (std::uint32_t s = 0; s < total; ++s) {
+      if (alive_[s] != 0) continue;
+      dev.upload_into(d_alive_, s, std::span<const std::uint32_t>(&kDead, 1));
+      ++tombstone_words_synced_;
+    }
+    delta_synced_ = dcount;
+    pending_dead_.clear();
+    cache_device_ = &dev;
+    cache_generation_ = generation_;
+    cache_valid_ = true;
+  } else {
+    if (dcount > delta_synced_) {
+      if (dcount > delta_cap_) {
+        // Capacity-doubled growth.  The already-synced prefix moves with a
+        // device-to-device copy (host-side here, uncharged on the link).
+        const std::size_t new_cap = round_up_pow2(dcount);
+        auto grown = dev.alloc_pooled<float>(new_cap * dim_, 0.0f);
+        const auto& old_rows = std::as_const(d_delta_).host();
+        std::copy_n(old_rows.begin(), std::size_t{delta_synced_} * dim_,
+                    grown.host().begin());
+        dev.release(std::move(d_delta_));
+        d_delta_ = std::move(grown);
+        auto grown_alive =
+            dev.alloc_pooled<std::uint32_t>(base_rows() + new_cap, 1u);
+        const auto& old_alive = std::as_const(d_alive_).host();
+        std::copy_n(old_alive.begin(), base_rows() + delta_cap_,
+                    grown_alive.host().begin());
+        dev.release(std::move(d_alive_));
+        d_alive_ = std::move(grown_alive);
+        delta_cap_ = new_cap;
+      }
+      const std::uint32_t fresh = dcount - delta_synced_;
+      dev.upload_into(
+          d_delta_, std::size_t{delta_synced_} * dim_,
+          std::span<const float>(
+              delta_rows_.data() + std::size_t{delta_synced_} * dim_,
+              std::size_t{fresh} * dim_));
+      delta_rows_synced_ += fresh;
+      delta_synced_ = dcount;
+    }
+    static constexpr std::uint32_t kDead = 0u;
+    for (const std::uint32_t slot : pending_dead_) {
+      // A slot dies at most once, so each mask word is charged at most once
+      // per generation and device binding.
+      dev.upload_into(d_alive_, slot,
+                      std::span<const std::uint32_t>(&kDead, 1));
+      ++tombstone_words_synced_;
+    }
+    pending_dead_.clear();
+  }
+  delta_bytes_uploaded_ += dev.transfers().bytes_h2d - before;
+}
+
+KnnResult MutableKnn::host_exact(const Dataset& queries, std::uint32_t k) {
+  if (host_cache_epoch_ != epoch_) {
+    host_engine_ = std::make_unique<BruteForceKnn>(materialize());
+    host_cache_epoch_ = epoch_;
+  }
+  return host_engine_->search(queries, k, options_.batch.host_fallback_algo,
+                              options_.batch.nan_policy);
+}
+
+KnnResult MutableKnn::search_host(const Dataset& queries, std::uint32_t k) {
+  adopt_pending();
+  GPUKSEL_CHECK(queries.count == 0 || queries.dim == dim_,
+                "query/reference dim mismatch");
+  GPUKSEL_CHECK(k >= 1, "MutableKnn needs k >= 1");
+  if (queries.count == 0) return {};
+  if (live_rows() == 0) {
+    KnnResult r;
+    r.neighbors.resize(queries.count);
+    return r;
+  }
+  return host_exact(queries, k);
+}
+
+KnnResult MutableKnn::search(simt::Device& dev, const Dataset& queries,
+                             std::uint32_t k) {
+  adopt_pending();
+  GPUKSEL_CHECK(queries.count == 0 || queries.dim == dim_,
+                "query/reference dim mismatch");
+  GPUKSEL_CHECK(k >= 1, "MutableKnn needs k >= 1");
+  if (queries.count == 0) return {};
+  if (live_rows() == 0) {
+    // A fresh engine over zero rows cannot exist: the convention is one
+    // empty neighbor list per query.
+    KnnResult r;
+    r.neighbors.resize(queries.count);
+    return r;
+  }
+  refresh_live_cache();
+  simt::ScopedNanPolicy nan_guard(dev.sanitizer(), options_.batch.nan_policy);
+  try {
+    return search_device(dev, queries, k);
+  } catch (const SimtFaultError& fault) {
+    if (!options_.batch.fallback_to_host) throw;
+    KnnResult result = host_exact(queries, k);
+    result.faults.push_back(fault.record());
+    result.used_host_fallback = true;
+    return result;
+  }
+}
+
+KnnResult MutableKnn::search_device(simt::Device& dev, const Dataset& queries,
+                                    std::uint32_t k) {
+  const std::uint32_t dcount = delta_rows();
+  if (dcount == 0 && dead_base_ == 0) {
+    // Pure base: slots coincide with logical positions, so the base engine's
+    // answer already satisfies the differential contract.
+    return flat_ != nullptr ? flat_->search_gpu(dev, queries, k)
+                            : ivf_->search_gpu(dev, queries, k);
+  }
+  ensure_delta_device(dev);
+  const auto& cm = options_.batch.cost_model;
+  const std::uint32_t B = base_rows();
+  // Partial depth k + dead-in-source: the divide-and-merge superset bound —
+  // a live row of the true top-k is beaten by fewer than k live rows overall
+  // and at most dead_source dead rows inside its own source.
+  const std::uint32_t k_base = std::min<std::uint32_t>(B, k + dead_base_);
+  KnnResult base = flat_ != nullptr ? flat_->search_gpu(dev, queries, k_base)
+                                    : ivf_->search_gpu(dev, queries, k_base);
+  KnnResult result;
+  result.distance_metrics = base.distance_metrics;
+  result.select_metrics = base.select_metrics;
+  result.modeled_seconds = base.modeled_seconds;
+  std::vector<std::vector<std::vector<Neighbor>>> partials;
+  partials.push_back(std::move(base.neighbors));
+  if (dcount > 0) {
+    const std::uint32_t k_delta = std::min(dcount, k + dead_delta_);
+    kernels::BatchOutput delta = kernels::batched_select(
+        dev, d_delta_, to_dim_major(queries), queries.count, dcount, dim_,
+        k_delta, options_.batch.batch);
+    // Delta row d occupies slot B + d.
+    for (auto& list : delta.neighbors) {
+      for (Neighbor& nb : list) nb.index += B;
+    }
+    result.distance_metrics += delta.tile_metrics;
+    result.select_metrics += delta.reduce_metrics;
+    result.modeled_seconds += cm.kernel_seconds(delta.tile_metrics) +
+                              cm.kernel_seconds(delta.reduce_metrics);
+    partials.push_back(std::move(delta.neighbors));
+  }
+  kernels::DeltaMergeOutput merged = kernels::delta_merge(
+      dev, partials, d_alive_, B + dcount, queries.count, k,
+      options_.batch.batch.select);
+  result.select_metrics += merged.metrics;
+  result.modeled_seconds += cm.kernel_seconds(merged.metrics);
+  // Slot -> logical position: strictly monotone over live slots, so the
+  // (dist, slot) merge order maps to the fresh engine's (dist, row) order.
+  for (auto& list : merged.neighbors) {
+    for (Neighbor& nb : list) nb.index = live_prefix_[nb.index];
+  }
+  result.neighbors = std::move(merged.neighbors);
+  return result;
+}
+
+}  // namespace gpuksel::knn

@@ -1,0 +1,260 @@
+// Mutable reference sets: streaming upserts and tombstone-aware deletes on
+// top of the immutable engines.
+//
+// MutableKnn wraps a base engine (BatchedKnn or IvfKnn) built over an
+// immutable snapshot of rows, plus a small append-only *delta shard* holding
+// rows upserted since the snapshot and a *tombstone mask* marking rows
+// logically deleted.  A query is answered from both sources — the base
+// engine's partial top-k and a batched_select over the delta shard — reduced
+// by the tombstone-aware delta_merge kernel, which suppresses dead rows on
+// the device before they can enter the merge queue.
+//
+// The differential contract: search() is byte-identical to building a fresh
+// engine over the logically-current rows (live base rows in slot order, then
+// live delta rows in insertion order) and searching it.  Neighbor indices
+// are *logical positions* in that order — callers that need user-visible ids
+// map through live_ids().  For an IVF base the contract holds unreservedly
+// right after a compaction (identical training inputs ⇒ identical index) and
+// in the exact regime (nprobe == nlist) while a delta/tombstones exist; at
+// pruning nprobe the base engine probes the *old* snapshot's lists, which is
+// the standard freshness/recall tradeoff of IVF streaming — see DESIGN.md.
+//
+// Compaction rebuilds the base engine over the live rows on a private
+// compaction device, off the serving path (compact_async), and the new
+// snapshot is adopted atomically at the next serving operation *only if* no
+// mutation happened since the rebuild was captured (epoch check) — otherwise
+// it is discarded and counted as aborted.  A fault during the rebuild
+// (chaos testing) leaves the old snapshot serving, counted as failed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "knn/ivf.hpp"
+
+namespace gpuksel::knn {
+
+/// Which engine serves the immutable base snapshot.
+enum class MutableBase {
+  kFlat,  ///< BatchedKnn: exact, no training step
+  kIvf,   ///< IvfKnn: trained on the compaction device at (re)build time
+};
+
+struct MutableKnnOptions {
+  MutableBase base = MutableBase::kFlat;
+  /// IVF construction parameters (kIvf base only).
+  IvfParams ivf;
+  /// Pipeline options shared by the base engine, the delta scan and the
+  /// merge (select config, cost model, NaN policy).  fallback_to_host is
+  /// owned by MutableKnn itself: the wrapped engines always propagate so
+  /// the composite can fall back over the *live* rows.
+  BatchedKnnOptions batch;
+  /// maybe_compact() triggers when delta rows exceed this fraction of the
+  /// total slot space...
+  double max_delta_fraction = 0.25;
+  /// ...or tombstones do.
+  double max_tombstone_fraction = 0.25;
+  /// No automatic compaction below this many total slots (base + delta).
+  std::uint32_t min_compact_rows = 64;
+};
+
+/// Point-in-time counters; partition invariants the tests pin:
+/// base_rows + delta_rows == tombstones + live_rows, and
+/// delta_bytes_uploaded == 4 * (delta_rows_synced * dim +
+/// tombstone_words_synced).
+struct MutableStats {
+  std::uint64_t upserts = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t compactions = 0;          ///< snapshots adopted
+  std::uint64_t compactions_aborted = 0;  ///< stale epoch at adoption time
+  std::uint64_t compactions_failed = 0;   ///< rebuild faulted; old snapshot serves
+  std::uint32_t base_rows = 0;
+  std::uint32_t delta_rows = 0;
+  std::uint32_t tombstones = 0;  ///< dead slots, base + delta
+  std::uint32_t live_rows = 0;
+  std::uint64_t generation = 0;  ///< bumped per adopted compaction
+  /// H2D bytes spent keeping the delta shard + tombstone mask device-
+  /// resident: scales with the *delta*, never with the base row count.
+  std::uint64_t delta_bytes_uploaded = 0;
+  std::uint64_t delta_rows_synced = 0;       ///< rows uploaded (dim floats each)
+  std::uint64_t tombstone_words_synced = 0;  ///< 4-byte mask words uploaded
+};
+
+class MutableKnn {
+ public:
+  /// Builds the initial base snapshot over `initial` (count >= 1), assigning
+  /// ids id_base .. id_base + count - 1.  An IVF base trains immediately on
+  /// the private compaction device.
+  explicit MutableKnn(Dataset initial, MutableKnnOptions options = {},
+                      std::uint32_t id_base = 0);
+  ~MutableKnn();
+
+  MutableKnn(const MutableKnn&) = delete;
+  MutableKnn& operator=(const MutableKnn&) = delete;
+
+  [[nodiscard]] std::uint32_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::uint32_t base_rows() const noexcept {
+    return static_cast<std::uint32_t>(base_ids_.size());
+  }
+  [[nodiscard]] std::uint32_t delta_rows() const noexcept {
+    return static_cast<std::uint32_t>(delta_ids_.size());
+  }
+  [[nodiscard]] std::uint32_t tombstones() const noexcept {
+    return dead_base_ + dead_delta_;
+  }
+  [[nodiscard]] std::uint32_t live_rows() const noexcept {
+    return base_rows() + delta_rows() - tombstones();
+  }
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+  [[nodiscard]] const MutableKnnOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] MutableStats stats() const noexcept;
+  [[nodiscard]] bool contains(std::uint32_t id) const {
+    return id_to_slot_.contains(id);
+  }
+
+  /// Inserts or replaces the row with the given id (a replace tombstones the
+  /// old slot and appends to the delta shard, like any LSM).
+  void upsert(std::uint32_t id, std::span<const float> row);
+  /// Inserts under a fresh id (returned).
+  std::uint32_t insert(std::span<const float> row);
+  /// Tombstones the row; false if the id is not live.
+  bool remove(std::uint32_t id);
+
+  /// Exact live top-k (see the differential contract above).  Neighbor
+  /// indices are logical positions; map through live_ids() for ids.  When
+  /// every row is deleted the result has one empty list per query (a fresh
+  /// engine over zero rows cannot exist).
+  [[nodiscard]] KnnResult search(simt::Device& dev, const Dataset& queries,
+                                 std::uint32_t k);
+  /// Scalar-exact mirror over the live rows (also the fault-fallback path).
+  [[nodiscard]] KnnResult search_host(const Dataset& queries, std::uint32_t k);
+
+  /// Id of each live logical position, in logical order.
+  [[nodiscard]] const std::vector<std::uint32_t>& live_ids();
+  /// The logically-current rows, in logical order — exactly what a fresh
+  /// engine (or a compaction) would be built over.
+  [[nodiscard]] Dataset materialize();
+
+  /// Synchronous compaction on the private device: rebuild over the live
+  /// rows, adopt immediately.  False when there is nothing to compact, the
+  /// set is fully deleted, an async rebuild is in flight, or the rebuild
+  /// faulted (counted in stats; the old snapshot keeps serving).
+  bool compact();
+  /// compact() iff a threshold in the options is crossed.
+  bool maybe_compact();
+  /// Starts a rebuild on a background thread; adoption happens at the next
+  /// serving operation after it finishes (or in finish_compaction()).
+  bool compact_async();
+  [[nodiscard]] bool compaction_running() const noexcept {
+    return compaction_active_.load(std::memory_order_acquire);
+  }
+  /// Joins an async rebuild (if any) and adopts or discards its snapshot.
+  void finish_compaction();
+
+  /// The private device compactions (and an IVF base's training) run on.
+  /// Exposed so chaos tests can attach a fault injector to it.
+  [[nodiscard]] simt::Device& compaction_device() noexcept {
+    return compaction_device_;
+  }
+  /// Test seam: runs on the async rebuild thread after the snapshot is built
+  /// but before it is published, so tests can pin the mutation/publication
+  /// interleaving deterministically.  Set only while no rebuild is in flight.
+  void set_rebuild_hook(std::function<void()> hook) {
+    rebuild_hook_ = std::move(hook);
+  }
+  /// The exact batched engine over the current base snapshot (reporting).
+  [[nodiscard]] BatchedKnn& base_batched() noexcept {
+    return flat_ != nullptr ? *flat_ : ivf_->batched();
+  }
+
+ private:
+  /// A rebuilt base engine waiting to be adopted.
+  struct Snapshot {
+    std::unique_ptr<BatchedKnn> flat;
+    std::unique_ptr<IvfKnn> ivf;
+    std::vector<std::uint32_t> ids;
+    std::uint64_t built_epoch = 0;
+    bool failed = false;  ///< the rebuild faulted; nothing to adopt
+  };
+
+  [[nodiscard]] BatchedKnnOptions engine_options() const;
+  [[nodiscard]] const Dataset& base_refs() const noexcept;
+  [[nodiscard]] std::uint32_t slot_id(std::uint32_t slot) const noexcept {
+    return slot < base_rows() ? base_ids_[slot]
+                              : delta_ids_[slot - base_rows()];
+  }
+  void tombstone_slot(std::uint32_t slot);
+  void bump_epoch() noexcept { ++epoch_; }
+  void adopt_pending();
+  [[nodiscard]] std::unique_ptr<Snapshot> build_snapshot(
+      Dataset rows, std::vector<std::uint32_t> ids, std::uint64_t epoch);
+  [[nodiscard]] bool compactable() const noexcept;
+  void refresh_live_cache();
+  void ensure_delta_device(simt::Device& dev);
+  [[nodiscard]] KnnResult search_device(simt::Device& dev,
+                                        const Dataset& queries,
+                                        std::uint32_t k);
+  [[nodiscard]] KnnResult host_exact(const Dataset& queries, std::uint32_t k);
+
+  MutableKnnOptions options_;
+  std::uint32_t dim_ = 0;
+
+  // --- logical state (serving thread only) --------------------------------
+  std::unique_ptr<BatchedKnn> flat_;  ///< exactly one of flat_/ivf_ is set
+  std::unique_ptr<IvfKnn> ivf_;
+  std::vector<std::uint32_t> base_ids_;   ///< id per base slot
+  std::vector<float> delta_rows_;         ///< row-major appended rows
+  std::vector<std::uint32_t> delta_ids_;  ///< id per delta slot
+  std::vector<std::uint32_t> alive_;      ///< 1/0 per slot (base then delta)
+  std::uint32_t dead_base_ = 0;
+  std::uint32_t dead_delta_ = 0;
+  std::unordered_map<std::uint32_t, std::uint32_t> id_to_slot_;
+  std::uint32_t next_id_ = 0;
+  std::uint64_t generation_ = 0;  ///< adopted compactions
+  std::uint64_t epoch_ = 0;       ///< every logical mutation (incl. adoption)
+
+  std::uint64_t upserts_ = 0;
+  std::uint64_t removes_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t compactions_aborted_ = 0;
+  std::uint64_t compactions_failed_ = 0;
+  std::uint64_t delta_bytes_uploaded_ = 0;
+  std::uint64_t delta_rows_synced_ = 0;
+  std::uint64_t tombstone_words_synced_ = 0;
+
+  // --- epoch-keyed caches -------------------------------------------------
+  std::uint64_t live_cache_epoch_ = ~std::uint64_t{0};
+  std::vector<std::uint32_t> live_ids_cache_;   ///< logical position -> id
+  std::vector<std::uint32_t> live_prefix_;      ///< slot -> logical position
+  std::uint64_t host_cache_epoch_ = ~std::uint64_t{0};
+  std::unique_ptr<BruteForceKnn> host_engine_;  ///< over materialize()
+
+  // --- device-resident delta cache (one bound device at a time) -----------
+  simt::Device* cache_device_ = nullptr;
+  std::uint64_t cache_generation_ = 0;
+  bool cache_valid_ = false;
+  simt::DeviceBuffer<float> d_delta_;  ///< capacity-padded delta shard
+  std::size_t delta_cap_ = 0;          ///< row capacity of d_delta_
+  std::uint32_t delta_synced_ = 0;     ///< delta rows already uploaded
+  simt::DeviceBuffer<std::uint32_t> d_alive_;  ///< base_rows + delta_cap_ words
+  std::vector<std::uint32_t> pending_dead_;    ///< slots awaiting mask sync
+
+  // --- compaction ---------------------------------------------------------
+  simt::Device compaction_device_;
+  std::function<void()> rebuild_hook_;  ///< test seam, see set_rebuild_hook
+  std::thread compaction_thread_;
+  std::atomic<bool> compaction_active_{false};
+  std::mutex mu_;                      ///< guards pending_
+  std::unique_ptr<Snapshot> pending_;  ///< published by the rebuild thread
+};
+
+}  // namespace gpuksel::knn

@@ -25,6 +25,17 @@ DeviceShard::DeviceShard(std::uint32_t id, std::uint32_t begin,
                                               shard_options(std::move(options)))),
       health_(health) {}
 
+DeviceShard::DeviceShard(std::uint32_t id, std::uint32_t begin,
+                         knn::Dataset slice, knn::MutableKnnOptions options,
+                         std::uint32_t id_base, HealthOptions health)
+    : id_(id), begin_(begin), health_(health) {
+  // Same reasoning as the flat constructor: the shard owns the fault policy,
+  // so the engine must propagate.
+  options.batch.fallback_to_host = false;
+  mutable_ = std::make_unique<knn::MutableKnn>(std::move(slice),
+                                               std::move(options), id_base);
+}
+
 DeviceShard::DeviceShard(std::uint32_t id, knn::IvfKnn engine,
                          HealthOptions health)
     : id_(id), begin_(engine.reordered_begin()), health_(health) {
@@ -40,10 +51,32 @@ DeviceShard::DeviceShard(std::uint32_t id, knn::IvfKnn engine,
 
 std::vector<std::vector<Neighbor>> DeviceShard::remap(
     std::vector<std::vector<Neighbor>> neighbors) const {
+  if (mutable_ != nullptr) {
+    // A mutable engine answers in logical positions; the id table maps them
+    // to the globally-unique ids ShardedKnn routes by.
+    const std::vector<std::uint32_t>& ids = mutable_->live_ids();
+    for (auto& list : neighbors) {
+      for (Neighbor& n : list) n.index = ids[n.index];
+    }
+    return neighbors;
+  }
   for (auto& list : neighbors) {
     for (Neighbor& n : list) n.index += begin_;
   }
   return neighbors;
+}
+
+void DeviceShard::upsert(std::uint32_t id, std::span<const float> row) {
+  GPUKSEL_CHECK(mutable_ != nullptr, "upsert needs a mutable shard");
+  mutable_->upsert(id, row);
+  (void)mutable_->maybe_compact();
+}
+
+bool DeviceShard::remove(std::uint32_t id) {
+  GPUKSEL_CHECK(mutable_ != nullptr, "remove needs a mutable shard");
+  const bool removed = mutable_->remove(id);
+  (void)mutable_->maybe_compact();
+  return removed;
 }
 
 std::vector<std::vector<Neighbor>> DeviceShard::host_recompute(
@@ -51,6 +84,10 @@ std::vector<std::vector<Neighbor>> DeviceShard::host_recompute(
   // Same FP op order and tie-breaking as the device pipeline, so a degraded
   // shard's partial list is bit-identical to what a healthy shard would have
   // produced.
+  if (mutable_) {
+    // The scalar-exact mirror over the live rows, remapped to global ids.
+    return remap(mutable_->search_host(queries, k).neighbors);
+  }
   if (ivf_) {
     // The scalar mirror of the pruned pipeline; already global row ids.
     return ivf_->search_host(queries, k).neighbors;
@@ -83,13 +120,15 @@ std::vector<std::vector<Neighbor>> DeviceShard::search(
   }
 
   const auto attempt = [&] {
-    knn::KnnResult res = ivf_ ? ivf_->search_gpu(device_, queries, k)
-                              : flat_->search_gpu(device_, queries, k);
+    knn::KnnResult res = mutable_ ? mutable_->search(device_, queries, k)
+                        : ivf_   ? ivf_->search_gpu(device_, queries, k)
+                                 : flat_->search_gpu(device_, queries, k);
     stats.metrics = res.distance_metrics;
     stats.metrics += res.select_metrics;
     stats.modeled_seconds = res.modeled_seconds;
     // The IVF view emits original global row ids already; the flat slice's
-    // local indices shift by the partition offset.
+    // local indices shift by the partition offset; a mutable shard's logical
+    // positions map through its id table.
     return ivf_ ? std::move(res.neighbors) : remap(std::move(res.neighbors));
   };
   // A faulted launch aborts before recording its own metrics, but the

@@ -35,6 +35,7 @@
 
 #include "knn/batch.hpp"
 #include "knn/ivf.hpp"
+#include "knn/mutable.hpp"
 #include "serve/shard_health.hpp"
 #include "simt/device.hpp"
 
@@ -93,21 +94,38 @@ class DeviceShard {
   /// constructor, but IvfOptions are baked in at view construction.
   DeviceShard(std::uint32_t id, knn::IvfKnn engine, HealthOptions health = {});
 
+  /// Mutable shard: a MutableKnn over the initial row slice, accepting
+  /// streaming upserts/removes (see knn/mutable.hpp).  Initial rows get ids
+  /// id_base .. id_base + slice.count - 1 (ShardedKnn passes the global row
+  /// offset so ids are globally unique); answers remap the engine's logical
+  /// positions to those ids via live_ids().  fallback_to_host is forced off
+  /// like the flat constructor.
+  DeviceShard(std::uint32_t id, std::uint32_t begin, knn::Dataset slice,
+              knn::MutableKnnOptions options, std::uint32_t id_base,
+              HealthOptions health = {});
+
   [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
   /// Global index of the first reference row this shard holds (for IVF
   /// shards, in the reordered list-order row space).
   [[nodiscard]] std::uint32_t begin() const noexcept { return begin_; }
-  [[nodiscard]] std::uint32_t rows() const noexcept { return engine().size(); }
+  /// Rows currently served: the live row count for a mutable shard, the
+  /// engine's (fixed) row count otherwise.
+  [[nodiscard]] std::uint32_t rows() const noexcept {
+    return mutable_ ? mutable_->live_rows() : engine().size();
+  }
   [[nodiscard]] std::uint32_t dim() const noexcept { return engine().dim(); }
 
   [[nodiscard]] simt::Device& device() noexcept { return device_; }
   [[nodiscard]] const simt::Device& device() const noexcept { return device_; }
-  /// The exact batched engine: the flat engine itself, or the IVF view's
-  /// embedded differential baseline over the shard's (reordered) rows.
+  /// The exact batched engine: the flat engine itself, the IVF view's
+  /// embedded differential baseline over the shard's (reordered) rows, or a
+  /// mutable shard's base-snapshot engine.
   [[nodiscard]] knn::BatchedKnn& engine() noexcept {
+    if (mutable_) return mutable_->base_batched();
     return ivf_ ? ivf_->batched() : *flat_;
   }
   [[nodiscard]] const knn::BatchedKnn& engine() const noexcept {
+    if (mutable_) return mutable_->base_batched();
     return ivf_ ? ivf_->batched() : *flat_;
   }
   /// The IVF engine when this shard serves a list range, nullptr for flat.
@@ -115,7 +133,22 @@ class DeviceShard {
   [[nodiscard]] const knn::IvfKnn* ivf_engine() const noexcept {
     return ivf_.get();
   }
+  /// The mutable engine when this shard accepts upserts, nullptr otherwise.
+  [[nodiscard]] knn::MutableKnn* mutable_engine() noexcept {
+    return mutable_.get();
+  }
+  [[nodiscard]] const knn::MutableKnn* mutable_engine() const noexcept {
+    return mutable_.get();
+  }
   [[nodiscard]] const ShardHealth& health() const noexcept { return health_; }
+
+  /// Streaming mutations (mutable shards only).  Every mutation runs the
+  /// engine's threshold check, so compaction happens synchronously on the
+  /// shard's private compaction device as soon as the delta or tombstone
+  /// fraction crosses its limit — deterministic and off this shard's serving
+  /// device.
+  void upsert(std::uint32_t id, std::span<const float> row);
+  bool remove(std::uint32_t id);
 
   /// Answers the batch over this shard's partition; per-query lists carry
   /// *global* indices.  The health machine plans the request (GPU attempt vs
@@ -139,16 +172,19 @@ class DeviceShard {
   /// The batched-pipeline options driving either engine (cost model, NaN
   /// policy, host fallback algorithm).
   [[nodiscard]] const knn::BatchedKnnOptions& batch_options() const noexcept {
+    if (mutable_) return mutable_->options().batch;
     return ivf_ ? ivf_->options().batch : flat_->options();
   }
 
   std::uint32_t id_;
   std::uint32_t begin_;
   simt::Device device_;
-  /// Exactly one of the two engines is set (flat row slice vs IVF list
-  /// range); heap-held so one shard type does not pay for the other.
+  /// Exactly one of the three engines is set (flat row slice vs IVF list
+  /// range vs mutable slice); heap-held so one shard type does not pay for
+  /// the others.
   std::unique_ptr<knn::BatchedKnn> flat_;
   std::unique_ptr<knn::IvfKnn> ivf_;
+  std::unique_ptr<knn::MutableKnn> mutable_;
   ShardHealth health_;
 };
 

@@ -15,6 +15,20 @@ namespace gpuksel::serve {
 
 namespace {
 
+/// One "pool" JSON object: the device buffer pool's exactly-partitioning
+/// accounting (bytes_requested == served_from_pool + freshly_allocated; CI
+/// gates the identity).
+void write_pool_json(std::ostream& os, const simt::PoolStats& p) {
+  os << "{\"bytes_requested\": " << p.bytes_requested
+     << ", \"bytes_served_from_pool\": " << p.bytes_served_from_pool
+     << ", \"bytes_freshly_allocated\": " << p.bytes_freshly_allocated
+     << ", \"blocks_acquired\": " << p.blocks_acquired
+     << ", \"blocks_reused\": " << p.blocks_reused
+     << ", \"blocks_released\": " << p.blocks_released
+     << ", \"blocks_trimmed\": " << p.blocks_trimmed
+     << ", \"bytes_resident\": " << p.bytes_resident << "}";
+}
+
 HealthOptions effective_health(const ShardedKnnOptions& options) {
   HealthOptions health = options.health;
   // Quarantined service is host recompute (a degraded answer); without
@@ -27,7 +41,15 @@ HealthOptions effective_health(const ShardedKnnOptions& options) {
 }  // namespace
 
 const char* index_type_name(IndexType type) noexcept {
-  return type == IndexType::kIvf ? "ivf" : "flat";
+  switch (type) {
+    case IndexType::kIvf:
+      return "ivf";
+    case IndexType::kMutable:
+      return "mutable";
+    case IndexType::kFlat:
+      break;
+  }
+  return "flat";
 }
 
 ShardedKnn::ShardedKnn(knn::Dataset refs, ShardedKnnOptions options)
@@ -96,6 +118,15 @@ ShardedKnn::ShardedKnn(knn::Dataset refs, ShardedKnnOptions options)
   } else {
     // Contiguous split with the remainder spread over the first shards, so
     // shard sizes differ by at most one row for any (rows, num_shards).
+    const bool is_mutable = options_.index_type == IndexType::kMutable;
+    if (is_mutable) {
+      GPUKSEL_CHECK(options_.mutable_index.base == knn::MutableBase::kFlat,
+                    "kMutable sharding needs a flat base engine (per-shard "
+                    "IVF training would not reproduce a global index)");
+      initial_cut_.reserve(std::size_t{num_shards} + 1);
+      initial_cut_.push_back(0);
+      next_id_ = size_;
+    }
     const std::uint32_t base = size_ / num_shards;
     const std::uint32_t rem = size_ % num_shards;
     std::uint32_t begin = 0;
@@ -107,14 +138,67 @@ ShardedKnn::ShardedKnn(knn::Dataset refs, ShardedKnnOptions options)
       slice.values.assign(
           refs.values.begin() + std::size_t{begin} * dim_,
           refs.values.begin() + (std::size_t{begin} + rows) * dim_);
-      shards_.push_back(std::make_unique<DeviceShard>(s, begin,
-                                                      std::move(slice),
-                                                      options_.batch, health));
+      if (is_mutable) {
+        knn::MutableKnnOptions mopts = options_.mutable_index;
+        mopts.batch = options_.batch;  // one pipeline config for every shard
+        shards_.push_back(std::make_unique<DeviceShard>(
+            s, begin, std::move(slice), std::move(mopts), /*id_base=*/begin,
+            health));
+      } else {
+        shards_.push_back(std::make_unique<DeviceShard>(
+            s, begin, std::move(slice), options_.batch, health));
+      }
       shards_.back()->device().set_worker_threads(options_.worker_threads);
       begin += rows;
+      if (is_mutable) initial_cut_.push_back(begin);
     }
   }
   totals_.resize(num_shards);
+}
+
+std::uint32_t ShardedKnn::live_rows() const noexcept {
+  std::uint32_t live = 0;
+  for (const auto& shard : shards_) live += shard->rows();
+  return live;
+}
+
+std::uint32_t ShardedKnn::shard_for_id(std::uint32_t id) const {
+  GPUKSEL_CHECK(options_.index_type == IndexType::kMutable,
+                "id routing needs a kMutable-sharded engine");
+  if (id < size_) {
+    // Initial ids are the original row indices: binary-search the cut.  The
+    // assignment is permanent, so a removed-then-reinserted id lands on the
+    // same shard and one id can never be live on two shards.
+    const auto it =
+        std::upper_bound(initial_cut_.begin(), initial_cut_.end(), id);
+    return static_cast<std::uint32_t>(it - initial_cut_.begin() - 1);
+  }
+  const auto it = minted_id_shard_.find(id);
+  GPUKSEL_CHECK(it != minted_id_shard_.end(),
+                "unknown id: only insert() mints ids above the initial rows");
+  return it->second;
+}
+
+std::uint32_t ShardedKnn::insert(std::span<const float> row) {
+  GPUKSEL_CHECK(options_.index_type == IndexType::kMutable,
+                "insert needs a kMutable-sharded engine");
+  // Least-live shard, lowest id on ties: deterministic load balancing.
+  std::uint32_t target = 0;
+  for (std::uint32_t s = 1; s < shards_.size(); ++s) {
+    if (shards_[s]->rows() < shards_[target]->rows()) target = s;
+  }
+  const std::uint32_t id = next_id_++;
+  minted_id_shard_.emplace(id, target);
+  shards_[target]->upsert(id, row);
+  return id;
+}
+
+void ShardedKnn::upsert(std::uint32_t id, std::span<const float> row) {
+  shards_[shard_for_id(id)]->upsert(id, row);
+}
+
+bool ShardedKnn::remove(std::uint32_t id) {
+  return shards_[shard_for_id(id)]->remove(id);
 }
 
 void ShardedKnn::set_nprobe(std::uint32_t nprobe) {
@@ -304,6 +388,9 @@ void ShardedKnn::write_shard_report(std::ostream& os,
     os << "  \"ivf\": {\"nlist\": " << ivf_nlist_
        << ", \"nprobe\": " << ivf_nprobe_ << "},\n";
   }
+  if (options_.index_type == IndexType::kMutable) {
+    os << "  \"live_rows\": " << live_rows() << ",\n";
+  }
   os << "  \"requests\": " << requests_ << ",\n"
      << "  \"degraded_requests\": " << degraded_requests_ << ",\n"
      << "  \"shards\": [";
@@ -360,6 +447,26 @@ void ShardedKnn::write_shard_report(std::ostream& os,
       }
       os << "]}";
     }
+    os << ",\n     \"pool\": ";
+    write_pool_json(os, shard.device().pool().stats());
+    if (const knn::MutableKnn* engine = shard.mutable_engine();
+        engine != nullptr) {
+      const knn::MutableStats ms = engine->stats();
+      os << ",\n     \"mutable\": {\"base_rows\": " << ms.base_rows
+         << ", \"delta_rows\": " << ms.delta_rows
+         << ", \"tombstones\": " << ms.tombstones
+         << ", \"live_rows\": " << ms.live_rows
+         << ", \"generation\": " << ms.generation
+         << ", \"upserts\": " << ms.upserts
+         << ", \"removes\": " << ms.removes
+         << ", \"compactions\": " << ms.compactions
+         << ", \"compactions_aborted\": " << ms.compactions_aborted
+         << ", \"compactions_failed\": " << ms.compactions_failed
+         << ", \"delta_bytes_uploaded\": " << ms.delta_bytes_uploaded
+         << ", \"delta_rows_synced\": " << ms.delta_rows_synced
+         << ", \"tombstone_words_synced\": " << ms.tombstone_words_synced
+         << "}";
+    }
     // useful + wasted partition this shard's cumulative device metrics
     // exactly (failed requests included — their stats are absorbed before
     // the rethrow).
@@ -381,7 +488,9 @@ void ShardedKnn::write_shard_report(std::ostream& os,
     total_d2h += tx.bytes_d2h;
     os << "\"modeled_seconds\": " << merge_seconds_total_
        << ", \"transfers\": {\"bytes_h2d\": " << tx.bytes_h2d
-       << ", \"bytes_d2h\": " << tx.bytes_d2h << "},\n    \"metrics\": ";
+       << ", \"bytes_d2h\": " << tx.bytes_d2h << "},\n    \"pool\": ";
+    write_pool_json(os, merge_device_.pool().stats());
+    os << ",\n    \"metrics\": ";
     simt::write_metrics_json(os, m);
   }
   os << "},\n";

@@ -56,7 +56,9 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -68,10 +70,19 @@ namespace gpuksel::serve {
 
 struct SchedulerCounters;  // scheduler.hpp; optional report section
 
-/// What each shard serves: a full-scan row slice or a pruned IVF list range.
+/// What each shard serves: a full-scan row slice, a pruned IVF list range,
+/// or a mutable row slice accepting streaming upserts.
 enum class IndexType {
   kFlat,  ///< contiguous row slices, exact full scan per shard
   kIvf,   ///< contiguous inverted-list ranges of one globally trained index
+  /// Contiguous *initial* row slices wrapped in MutableKnn: upsert()/
+  /// remove() route by id (initial ids by the contiguous cut, new ids
+  /// stick to the shard that first received them), answers carry global
+  /// ids, and each shard compacts itself on its private device when its
+  /// delta/tombstone thresholds trip.  The base engine is flat (checked):
+  /// per-shard IVF training over a slice would not reproduce the global
+  /// index, breaking the exactness contract sharded serving is built on.
+  kMutable,
 };
 
 [[nodiscard]] const char* index_type_name(IndexType type) noexcept;
@@ -84,6 +95,11 @@ struct ShardedKnnOptions {
   /// IVF quantizer parameters (kIvf only).  nprobe is the serving-time
   /// recall/qps knob; set_nprobe() adjusts it after construction.
   knn::IvfParams ivf;
+  /// Mutable-engine configuration (kMutable only): compaction thresholds and
+  /// the base engine type, which must be MutableBase::kFlat here.  Its
+  /// embedded `batch` options are ignored — the shared `batch` below drives
+  /// every shard engine uniformly.
+  knn::MutableKnnOptions mutable_index;
   /// Per-shard engine configuration (tile size, queue config, NaN policy,
   /// cost model).  fallback_to_host is ignored — shard fault policy is
   /// retry-once-then-exclude, owned by DeviceShard.
@@ -180,6 +196,21 @@ class ShardedKnn {
   /// nlist).  The next request probes the new width.
   void set_nprobe(std::uint32_t nprobe);
 
+  /// Rows currently live across all shards (== size() until a kMutable
+  /// engine mutates).
+  [[nodiscard]] std::uint32_t live_rows() const noexcept;
+
+  /// Streaming mutations (kMutable only).  Ids are global: the initial rows
+  /// carry ids 0 .. size() - 1 (their original row indices), insert() mints
+  /// fresh ids above that.  Routing is deterministic: an initial id goes to
+  /// the shard whose slice held it, a minted id sticks forever to the shard
+  /// that first received it (least-live shard at mint time, lowest id on
+  /// ties), so one id can never be live on two shards.  Each mutation may
+  /// trigger the owning shard's synchronous threshold compaction.
+  std::uint32_t insert(std::span<const float> row);
+  void upsert(std::uint32_t id, std::span<const float> row);
+  bool remove(std::uint32_t id);
+
   /// Serves one query batch across all shards and merges the partials.
   /// `deadline` is the request's absolute wall deadline (budget
   /// propagation): shards skip the GPU retry when the remaining budget
@@ -218,6 +249,9 @@ class ShardedKnn {
                           const SchedulerCounters* scheduler = nullptr) const;
 
  private:
+  /// Owning shard for a global id (kMutable routing; see upsert()).
+  [[nodiscard]] std::uint32_t shard_for_id(std::uint32_t id) const;
+
   ShardedKnnOptions options_;
   std::uint32_t size_ = 0;
   std::uint32_t dim_ = 0;
@@ -235,6 +269,12 @@ class ShardedKnn {
   std::uint64_t requests_ = 0;
   std::uint64_t degraded_requests_ = 0;
   double merge_seconds_total_ = 0.0;
+  /// kMutable routing state: the initial contiguous cut (num_shards + 1
+  /// boundaries over ids [0, size_)), the next fresh id, and the sticky
+  /// shard assignment of every minted id.
+  std::vector<std::uint32_t> initial_cut_;
+  std::uint32_t next_id_ = 0;
+  std::unordered_map<std::uint32_t, std::uint32_t> minted_id_shard_;
 };
 
 }  // namespace gpuksel::serve

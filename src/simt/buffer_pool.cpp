@@ -1,0 +1,14 @@
+#include "simt/buffer_pool.hpp"
+
+namespace gpuksel::simt {
+
+std::uint64_t BufferPool::trim() {
+  const std::uint64_t freed = stats_.bytes_resident;
+  stats_.blocks_trimmed += free_f32_.size() + free_u32_.size();
+  free_f32_.clear();
+  free_u32_.clear();
+  stats_.bytes_resident = 0;
+  return freed;
+}
+
+}  // namespace gpuksel::simt

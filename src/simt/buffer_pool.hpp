@@ -1,0 +1,134 @@
+// Device buffer suballocator / recycler.
+//
+// Every DeviceBuffer is backed by a host std::vector whose capacity survives
+// a move (the "device allocation").  The pool keeps released storage blocks
+// on size-bucketed free lists and serves later acquisitions best-fit (the
+// smallest free block whose capacity covers the request), so a serving front
+// end that repeatedly re-uploads same-shaped data — delta shards, compaction
+// rebuilds, per-request merge slabs — stops paying a fresh allocation per
+// upload.  The model is FAISS/vuk-style frame recycling: `release` returns a
+// block to the pool, `trim` frees everything idle.
+//
+// Accounting contract (CI gates it): every acquisition is served from the
+// pool XOR freshly allocated, so
+//     bytes_requested == bytes_served_from_pool + bytes_freshly_allocated
+// holds exactly at all times.  `bytes_resident` tracks the capacity bytes
+// currently idle on the free lists (what trim() would return).
+//
+// The pool recycles only the storage block, never the contents: a reused
+// block is resized and refilled before DeviceBuffer construction, and the
+// buffer's sanitizer shadow is rebuilt from the new contents — a recycled
+// upload is indistinguishable from a fresh one to every kernel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "simt/memory.hpp"
+
+namespace gpuksel::simt {
+
+/// Cumulative pool accounting.  bytes_requested partitions exactly into
+/// bytes_served_from_pool + bytes_freshly_allocated (every request is one or
+/// the other, never both, never neither).
+struct PoolStats {
+  std::uint64_t bytes_requested = 0;
+  std::uint64_t bytes_served_from_pool = 0;
+  std::uint64_t bytes_freshly_allocated = 0;
+  std::uint64_t blocks_acquired = 0;  ///< total acquisitions (fill + acquire)
+  std::uint64_t blocks_reused = 0;    ///< acquisitions served from a free block
+  std::uint64_t blocks_released = 0;  ///< buffers returned via release()
+  std::uint64_t blocks_trimmed = 0;   ///< free blocks dropped by trim()
+  std::uint64_t bytes_resident = 0;   ///< capacity bytes idle on free lists
+};
+
+class BufferPool {
+ public:
+  BufferPool() = default;
+  // Free blocks are plain vectors; moving the pool moves them.  Copying a
+  // pool would double-count bytes_resident, so it is disallowed.
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Allocates n elements filled with `fill` (cudaMemset-style: contents
+  /// count as initialized), reusing a free block when one fits.
+  template <typename T>
+  [[nodiscard]] DeviceBuffer<T> acquire(std::size_t n, T fill = T{}) {
+    std::vector<T> storage = take<T>(n);
+    storage.assign(n, fill);
+    return DeviceBuffer<T>(std::move(storage));
+  }
+
+  /// Copies `host` into a (possibly recycled) block and wraps it as a device
+  /// buffer.  The caller charges the transfer; the pool only owns storage.
+  template <typename T>
+  [[nodiscard]] DeviceBuffer<T> fill(std::span<const T> host) {
+    std::vector<T> storage = take<T>(host.size());
+    storage.assign(host.begin(), host.end());
+    return DeviceBuffer<T>(std::move(storage));
+  }
+
+  /// Returns a buffer's backing block to the free lists for reuse.  The
+  /// block keeps its capacity; its contents are dead.
+  template <typename T>
+  void release(DeviceBuffer<T>&& buf) {
+    std::vector<T> storage = std::move(buf.host());
+    if (storage.capacity() == 0) return;  // nothing worth keeping
+    stats_.blocks_released += 1;
+    stats_.bytes_resident += storage.capacity() * sizeof(T);
+    free_list<T>().emplace(storage.capacity(), std::move(storage));
+  }
+
+  /// Drops every idle free block; returns the capacity bytes freed.
+  std::uint64_t trim();
+
+  [[nodiscard]] const PoolStats& stats() const noexcept { return stats_; }
+  /// Free blocks currently held (across both element types).
+  [[nodiscard]] std::size_t free_blocks() const noexcept {
+    return free_f32_.size() + free_u32_.size();
+  }
+
+ private:
+  /// Best-fit take: the smallest free block with capacity >= n, else a fresh
+  /// allocation.  Accounts the request to exactly one side of the partition.
+  template <typename T>
+  [[nodiscard]] std::vector<T> take(std::size_t n) {
+    const std::uint64_t bytes = std::uint64_t{n} * sizeof(T);
+    stats_.bytes_requested += bytes;
+    stats_.blocks_acquired += 1;
+    auto& list = free_list<T>();
+    const auto it = list.lower_bound(n);
+    if (it != list.end()) {
+      stats_.bytes_served_from_pool += bytes;
+      stats_.blocks_reused += 1;
+      stats_.bytes_resident -= std::uint64_t{it->first} * sizeof(T);
+      std::vector<T> storage = std::move(it->second);
+      list.erase(it);
+      return storage;
+    }
+    stats_.bytes_freshly_allocated += bytes;
+    return {};
+  }
+
+  template <typename T>
+  [[nodiscard]] std::multimap<std::size_t, std::vector<T>>& free_list() {
+    static_assert(std::is_same_v<T, float> || std::is_same_v<T, std::uint32_t>,
+                  "BufferPool recycles float and uint32 device buffers");
+    if constexpr (std::is_same_v<T, float>) {
+      return free_f32_;
+    } else {
+      return free_u32_;
+    }
+  }
+
+  /// Free blocks keyed by capacity (elements); lower_bound == best fit.
+  std::multimap<std::size_t, std::vector<float>> free_f32_;
+  std::multimap<std::size_t, std::vector<std::uint32_t>> free_u32_;
+  PoolStats stats_;
+};
+
+}  // namespace gpuksel::simt

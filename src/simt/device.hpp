@@ -1,6 +1,7 @@
 // Device: allocation, host<->device transfer accounting, kernel launch.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -8,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "simt/buffer_pool.hpp"
 #include "simt/executor.hpp"
 #include "simt/fault_injection.hpp"
 #include "simt/memory.hpp"
@@ -75,6 +77,45 @@ class Device {
   std::vector<T> download(const DeviceBuffer<T>& buf) {
     transfers_.bytes_d2h += buf.bytes();
     return buf.host();
+  }
+
+  /// This device's buffer recycler.  Pooled uploads/allocations reuse
+  /// released storage blocks best-fit; stats() partitions exactly.
+  [[nodiscard]] BufferPool& pool() noexcept { return pool_; }
+  [[nodiscard]] const BufferPool& pool() const noexcept { return pool_; }
+
+  /// upload() through the pool: charges the PCIe link identically, but the
+  /// backing block is recycled from a released buffer when one fits.
+  template <typename T>
+  DeviceBuffer<T> upload_pooled(std::span<const T> host) {
+    transfers_.bytes_h2d += host.size() * sizeof(T);
+    return pool_.fill(host);
+  }
+
+  /// alloc(n, fill) through the pool (cudaMemset model: initialized contents,
+  /// no transfer charge).
+  template <typename T>
+  DeviceBuffer<T> alloc_pooled(std::size_t n, T fill = T{}) {
+    return pool_.acquire<T>(n, fill);
+  }
+
+  /// Returns a buffer's backing block to this device's pool.
+  template <typename T>
+  void release(DeviceBuffer<T>&& buf) {
+    pool_.release(std::move(buf));
+  }
+
+  /// Partial in-place upload (cudaMemcpy into an existing allocation):
+  /// copies `host` into `buf` at element offset `first`, charging only the
+  /// copied bytes.  The host-side write marks the buffer's shadow dirty, so
+  /// the next span() models the whole buffer as freshly uploaded.
+  template <typename T>
+  void upload_into(DeviceBuffer<T>& buf, std::size_t first,
+                   std::span<const T> host) {
+    GPUKSEL_CHECK(first <= buf.size() && host.size() <= buf.size() - first,
+                  "upload_into out of range");
+    transfers_.bytes_h2d += host.size() * sizeof(T);
+    std::copy(host.begin(), host.end(), buf.host().begin() + first);
   }
 
   /// Runs `kernel(WarpContext&, warp_id)` for warp_id in [0, num_warps) and
@@ -231,6 +272,7 @@ class Device {
   KernelMetrics last_launch_;
   KernelMetrics cumulative_;
   TransferStats transfers_;
+  BufferPool pool_;
   SanitizerConfig sanitizer_;
   FaultInjector* injector_ = nullptr;
   Profiler* profiler_ = nullptr;

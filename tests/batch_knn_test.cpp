@@ -298,5 +298,29 @@ TEST(BatchPipelineTest, EveryQueueConfigurationStaysExact) {
   }
 }
 
+TEST(BatchedKnnTest, SetRefsInvalidatesTheCachedUploadEvenAtEqualSize) {
+  // Regression: the cached device upload used to be keyed on (count, dim),
+  // so replacing the reference set with one of identical shape could serve
+  // stale rows (the ABA problem).  The generation key makes the swap stick.
+  const auto first = make_uniform_dataset(50, 4, 90);
+  auto second = make_uniform_dataset(50, 4, 91);  // same shape, new content
+  const auto queries = make_uniform_dataset(7, 4, 92);
+  simt::Device dev;
+  BatchedKnn knn(first, tiled_options(16));
+  const auto before = knn.search_gpu(dev, queries, 5).neighbors;
+  const std::uint64_t gen = knn.generation();
+  const std::uint64_t h2d = dev.transfers().bytes_h2d;
+  knn.set_refs(second);
+  EXPECT_EQ(knn.generation(), gen + 1);
+  const auto after = knn.search_gpu(dev, queries, 5).neighbors;
+  // The new rows crossed the link again and the answers come from them.
+  EXPECT_GE(dev.transfers().bytes_h2d, h2d + 50u * 4u * sizeof(float));
+  EXPECT_NE(after, before);
+  const BruteForceKnn fresh(std::move(second));
+  EXPECT_EQ(after, scalar_gpu(fresh, queries, 5));
+  // The stale block is not leaked: it recycles through the device pool.
+  EXPECT_GT(dev.pool().stats().blocks_reused, 0u);
+}
+
 }  // namespace
 }  // namespace gpuksel::knn

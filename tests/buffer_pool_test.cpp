@@ -1,0 +1,162 @@
+// Tests for the device buffer pool: the exactly-partitioning accounting
+// contract, best-fit block reuse, trim, and the Device integration (pooled
+// uploads charge the link like plain uploads but recycle storage).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "simt/buffer_pool.hpp"
+#include "simt/device.hpp"
+
+namespace gpuksel::simt {
+namespace {
+
+/// The accounting contract: every request lands on exactly one side.
+void expect_partition(const PoolStats& s) {
+  EXPECT_EQ(s.bytes_requested,
+            s.bytes_served_from_pool + s.bytes_freshly_allocated);
+  EXPECT_LE(s.blocks_reused, s.blocks_acquired);
+}
+
+TEST(BufferPoolTest, FreshAcquisitionIsAccountedAsFresh) {
+  BufferPool pool;
+  auto buf = pool.acquire<float>(100, 1.5f);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_EQ(buf.host()[99], 1.5f);
+  const PoolStats& s = pool.stats();
+  EXPECT_EQ(s.bytes_requested, 400u);
+  EXPECT_EQ(s.bytes_freshly_allocated, 400u);
+  EXPECT_EQ(s.bytes_served_from_pool, 0u);
+  EXPECT_EQ(s.blocks_acquired, 1u);
+  EXPECT_EQ(s.blocks_reused, 0u);
+  expect_partition(s);
+}
+
+TEST(BufferPoolTest, ReleasedBlockIsReusedBestFit) {
+  BufferPool pool;
+  auto big = pool.acquire<float>(128);
+  auto small = pool.acquire<float>(32);
+  pool.release(std::move(big));
+  pool.release(std::move(small));
+  EXPECT_EQ(pool.free_blocks(), 2u);
+  EXPECT_EQ(pool.stats().blocks_released, 2u);
+  // 20 elements fit both blocks: best fit picks the 32-capacity one.
+  auto reused = pool.acquire<float>(20, 7.0f);
+  EXPECT_EQ(reused.size(), 20u);
+  EXPECT_EQ(reused.host()[0], 7.0f);
+  EXPECT_EQ(pool.free_blocks(), 1u);
+  const PoolStats& s = pool.stats();
+  EXPECT_EQ(s.blocks_reused, 1u);
+  EXPECT_EQ(s.bytes_served_from_pool, 20u * sizeof(float));
+  // The remaining free block is the 128-capacity one.
+  EXPECT_EQ(s.bytes_resident, 128u * sizeof(float));
+  expect_partition(s);
+}
+
+TEST(BufferPoolTest, TooSmallFreeBlocksAreNotReused) {
+  BufferPool pool;
+  pool.release(pool.acquire<float>(16));
+  auto buf = pool.acquire<float>(64);
+  const PoolStats& s = pool.stats();
+  EXPECT_EQ(s.blocks_reused, 0u);
+  EXPECT_EQ(s.bytes_freshly_allocated, (16u + 64u) * sizeof(float));
+  EXPECT_EQ(pool.free_blocks(), 1u);  // the small block stays available
+  expect_partition(s);
+}
+
+TEST(BufferPoolTest, FloatAndU32FreeListsAreIndependent) {
+  BufferPool pool;
+  pool.release(pool.acquire<float>(64));
+  // A u32 request must not consume the float block.
+  auto u = pool.acquire<std::uint32_t>(64, 3u);
+  EXPECT_EQ(u.host()[63], 3u);
+  EXPECT_EQ(pool.stats().blocks_reused, 0u);
+  EXPECT_EQ(pool.free_blocks(), 1u);
+  expect_partition(pool.stats());
+}
+
+TEST(BufferPoolTest, TrimDropsEveryFreeBlockAndReportsBytes) {
+  BufferPool pool;
+  pool.release(pool.acquire<float>(100));
+  pool.release(pool.acquire<std::uint32_t>(50));
+  const std::uint64_t resident = pool.stats().bytes_resident;
+  EXPECT_GE(resident, 100u * sizeof(float) + 50u * sizeof(std::uint32_t));
+  EXPECT_EQ(pool.trim(), resident);
+  EXPECT_EQ(pool.free_blocks(), 0u);
+  EXPECT_EQ(pool.stats().bytes_resident, 0u);
+  EXPECT_EQ(pool.stats().blocks_trimmed, 2u);
+  // A trimmed pool serves the next request fresh.
+  auto buf = pool.acquire<float>(10);
+  EXPECT_EQ(pool.stats().blocks_reused, 0u);
+  expect_partition(pool.stats());
+}
+
+TEST(BufferPoolTest, ReleasingAnEmptyBufferIsIgnored) {
+  BufferPool pool;
+  pool.release(DeviceBuffer<float>{});
+  EXPECT_EQ(pool.free_blocks(), 0u);
+  EXPECT_EQ(pool.stats().blocks_released, 0u);
+}
+
+TEST(BufferPoolTest, FillCopiesHostContentsIntoRecycledBlock) {
+  BufferPool pool;
+  pool.release(pool.acquire<float>(8, -1.0f));
+  std::vector<float> host(8);
+  std::iota(host.begin(), host.end(), 0.0f);
+  auto buf = pool.fill(std::span<const float>(host));
+  EXPECT_EQ(pool.stats().blocks_reused, 1u);
+  // Recycling is storage-only: the old contents are fully overwritten.
+  for (std::size_t i = 0; i < host.size(); ++i) {
+    EXPECT_EQ(buf.host()[i], static_cast<float>(i));
+  }
+  expect_partition(pool.stats());
+}
+
+TEST(DevicePoolTest, PooledUploadChargesTheLinkAndRecyclesStorage) {
+  Device dev;
+  std::vector<float> a(256, 1.0f);
+  std::vector<float> b(256, 2.0f);
+  auto d_a = dev.upload_pooled(std::span<const float>(a));
+  EXPECT_EQ(dev.transfers().bytes_h2d, 256u * sizeof(float));
+  dev.release(std::move(d_a));
+  auto d_b = dev.upload_pooled(std::span<const float>(b));
+  // The second upload charges the link like the first but reuses the block.
+  EXPECT_EQ(dev.transfers().bytes_h2d, 2u * 256u * sizeof(float));
+  EXPECT_EQ(dev.pool().stats().blocks_reused, 1u);
+  EXPECT_EQ(dev.download(d_b), b);
+}
+
+TEST(DevicePoolTest, AllocPooledDoesNotChargeTheLink) {
+  Device dev;
+  auto buf = dev.alloc_pooled<std::uint32_t>(64, 1u);
+  EXPECT_EQ(dev.transfers().bytes_h2d, 0u);
+  EXPECT_EQ(buf.size(), 64u);
+  EXPECT_EQ(dev.download(buf), std::vector<std::uint32_t>(64, 1u));
+}
+
+TEST(DevicePoolTest, UploadIntoChargesOnlyTheCopiedBytes) {
+  Device dev;
+  auto buf = dev.alloc_pooled<float>(100, 0.0f);
+  const std::vector<float> patch{5.0f, 6.0f, 7.0f};
+  dev.upload_into(buf, 10, std::span<const float>(patch));
+  EXPECT_EQ(dev.transfers().bytes_h2d, 3u * sizeof(float));
+  const auto host = dev.download(buf);
+  EXPECT_EQ(host[9], 0.0f);
+  EXPECT_EQ(host[10], 5.0f);
+  EXPECT_EQ(host[12], 7.0f);
+  EXPECT_EQ(host[13], 0.0f);
+}
+
+TEST(DevicePoolTest, UploadIntoOutOfRangeIsAnError) {
+  Device dev;
+  auto buf = dev.alloc_pooled<float>(4, 0.0f);
+  const std::vector<float> patch{1.0f, 2.0f};
+  EXPECT_THROW(dev.upload_into(buf, 3, std::span<const float>(patch)),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace gpuksel::simt

@@ -11,6 +11,9 @@
 #include <string>
 
 #include "chaos_harness.hpp"
+#include "knn/dataset.hpp"
+#include "knn/mutable.hpp"
+#include "simt/fault_injection.hpp"
 
 namespace gpuksel::serve::chaos {
 namespace {
@@ -226,6 +229,53 @@ TEST(ChaosTest, ShardReportCarriesHealthAndSchedulerSections) {
   EXPECT_NE(run.report_json.find("\"wasted_seconds\""), std::string::npos);
   EXPECT_NE(run.report_json.find("\"scheduler\""), std::string::npos);
   EXPECT_NE(run.report_json.find("\"quarantine_entries\""), std::string::npos);
+}
+
+// A fault injected into the compaction device mid-rebuild must leave the old
+// snapshot serving byte-exact answers, be counted as a failed compaction,
+// and not poison later (clean) compactions.
+TEST(ChaosTest, FaultDuringCompactionLeavesTheOldSnapshotServing) {
+  knn::MutableKnnOptions opts;
+  opts.base = knn::MutableBase::kIvf;  // rebuild launches ivf_train
+  opts.ivf.nlist = 4;
+  opts.ivf.nprobe = 4;
+  knn::MutableKnn index(knn::make_uniform_dataset(80, 5, 77), opts);
+  const knn::Dataset extra = knn::make_uniform_dataset(12, 5, 78);
+  for (std::uint32_t i = 0; i < extra.count; ++i) {
+    index.upsert(1000 + i, {extra.row(i), extra.dim});
+  }
+  const knn::Dataset queries = knn::make_uniform_dataset(9, 5, 79);
+  simt::Device dev;
+  const auto before = index.search(dev, queries, 6).neighbors;
+
+  simt::FaultInjector injector(simt::InjectorConfig{
+      simt::InjectKind::kOobIndex, /*seed=*/7, /*period=*/4,
+      /*max_faults=*/1, /*kernel_filter=*/"ivf_train"});
+  index.compaction_device().set_fault_injector(&injector);
+
+  // Synchronous rebuild faults: nothing is adopted, the delta stays, and
+  // the served answer is unchanged.
+  EXPECT_FALSE(index.compact());
+  EXPECT_EQ(index.stats().compactions_failed, 1u);
+  EXPECT_EQ(index.stats().compactions, 0u);
+  EXPECT_GE(injector.fault_count(), 1u);
+  EXPECT_EQ(index.delta_rows(), extra.count);
+  EXPECT_EQ(index.search(dev, queries, 6).neighbors, before);
+
+  // Same schedule through the async path (the injector budget refills).
+  injector.reset();
+  ASSERT_TRUE(index.compact_async());
+  index.finish_compaction();
+  EXPECT_EQ(index.stats().compactions_failed, 2u);
+  EXPECT_EQ(index.search(dev, queries, 6).neighbors, before);
+
+  // With the injector detached the rebuild completes and folds the delta —
+  // and the answer is still byte-identical (compaction preserves rows).
+  index.compaction_device().set_fault_injector(nullptr);
+  EXPECT_TRUE(index.compact());
+  EXPECT_EQ(index.stats().compactions, 1u);
+  EXPECT_EQ(index.delta_rows(), 0u);
+  EXPECT_EQ(index.search(dev, queries, 6).neighbors, before);
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 #include "knn/dataset.hpp"
 #include "knn/ivf.hpp"
 #include "knn/knn.hpp"
+#include "knn/mutable.hpp"
 #include "simt/device.hpp"
 #include "simt/executor.hpp"
 #include "simt/fault_injection.hpp"
@@ -314,6 +315,49 @@ TEST(LaunchDeterminism, BatchedKnnIdenticalAcrossThreadCounts) {
     const auto [neighbors, metrics] = run(threads);
     EXPECT_EQ(neighbors, serial_neighbors) << "threads=" << threads;
     EXPECT_TRUE(metrics == serial_metrics) << "threads=" << threads;
+  }
+}
+
+TEST(LaunchDeterminism, MutableIndexIdenticalAcrossThreadCounts) {
+  // A fixed upsert/remove/search/compact schedule over the mutable index:
+  // every search's neighbors, the serving device's cumulative metrics, and
+  // the compaction device's cumulative metrics (IVF training + rebuilds run
+  // there) must be bit-identical for any executor thread count.
+  const knn::Dataset initial = knn::make_uniform_dataset(90, 6, 81);
+  const knn::Dataset extra = knn::make_uniform_dataset(30, 6, 82);
+  const knn::Dataset queries = knn::make_uniform_dataset(12, 6, 83);
+  auto run = [&](unsigned threads) {
+    Device dev;
+    dev.set_worker_threads(threads);
+    knn::MutableKnnOptions opts;
+    opts.base = knn::MutableBase::kIvf;
+    opts.ivf.nlist = 6;
+    opts.ivf.nprobe = 6;  // exact regime: the differential contract holds
+    knn::MutableKnn index(initial, opts);
+    index.compaction_device().set_worker_threads(threads);
+    std::vector<std::vector<std::vector<Neighbor>>> answers;
+    for (std::uint32_t i = 0; i < extra.count; ++i) {
+      index.upsert(1000 + i, {extra.row(i), extra.dim});
+      if (i % 3 == 0) (void)index.remove(i);
+      if (i % 11 == 10) {
+        EXPECT_TRUE(index.compact());
+      }
+      answers.push_back(index.search(dev, queries, 8).neighbors);
+    }
+    return std::tuple(std::move(answers), dev.cumulative(),
+                      index.compaction_device().cumulative(),
+                      index.generation());
+  };
+  const auto [serial_answers, serial_metrics, serial_compaction_metrics,
+              serial_generation] = run(1);
+  for (const unsigned threads : kThreadCounts) {
+    const auto [answers, metrics, compaction_metrics, generation] =
+        run(threads);
+    EXPECT_EQ(answers, serial_answers) << "threads=" << threads;
+    EXPECT_TRUE(metrics == serial_metrics) << "threads=" << threads;
+    EXPECT_TRUE(compaction_metrics == serial_compaction_metrics)
+        << "threads=" << threads;
+    EXPECT_EQ(generation, serial_generation) << "threads=" << threads;
   }
 }
 

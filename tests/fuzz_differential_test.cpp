@@ -21,6 +21,7 @@
 #include "knn/batch.hpp"
 #include "knn/dataset.hpp"
 #include "knn/knn.hpp"
+#include "knn/mutable.hpp"
 #include "util/rng.hpp"
 
 namespace gpuksel {
@@ -417,6 +418,68 @@ TEST(FuzzDifferential, BatchedQueueServesMixedBatchesExactly) {
     ASSERT_EQ(results[i].neighbors,
               scalar.search_gpu(sdev, batches[i], ks[i]).neighbors)
         << "batch " << i << " q=" << batches[i].count << " k=" << ks[i];
+  }
+}
+
+TEST(FuzzDifferential, MutableIndexMatchesFreshRebuildEveryStep) {
+  // The streaming-index differential matrix: {flat, IVF-exact} bases x
+  // k in {1, 5, 16}, a random interleaving of inserts, replaces, removes and
+  // compactions, and after *every* op the mutable answer must be
+  // byte-identical to a fresh exact engine built over the logically-current
+  // rows.  The IVF base runs at nprobe == nlist, where pruning is a no-op
+  // and the contract holds even while a delta/tombstones exist.
+  Rng rng(0x3017);
+  const std::uint32_t dim = 4;
+  for (const bool ivf_base : {false, true}) {
+    for (const std::uint32_t k : {1u, 5u, 16u}) {
+      knn::MutableKnnOptions mopts;
+      if (ivf_base) {
+        mopts.base = knn::MutableBase::kIvf;
+        mopts.ivf.nlist = 4;
+        mopts.ivf.nprobe = 4;
+      }
+      mopts.min_compact_rows = 32;
+      knn::MutableKnn index(knn::make_uniform_dataset(60, dim, 0x90 + k),
+                            mopts);
+      const knn::Dataset queries =
+          knn::make_uniform_dataset(6, dim, 0x91 + k);
+      simt::Device dev;
+      std::vector<float> row(dim);
+      for (int op = 0; op < 40; ++op) {
+        const auto kind = rng.uniform_below(8);
+        for (auto& v : row) v = rng.uniform_float();
+        if (kind < 3) {
+          (void)index.insert(row);
+        } else if (kind < 5) {
+          const auto& ids = index.live_ids();
+          if (!ids.empty()) {
+            index.upsert(ids[rng.uniform_below(ids.size())], row);
+          }
+        } else if (kind < 7) {
+          const auto& ids = index.live_ids();
+          if (!ids.empty()) {
+            ASSERT_TRUE(index.remove(ids[rng.uniform_below(ids.size())]));
+          }
+        } else {
+          (void)index.compact();
+        }
+        (void)index.maybe_compact();
+
+        const auto got = index.search(dev, queries, k).neighbors;
+        if (index.live_rows() == 0) {
+          for (const auto& list : got) ASSERT_TRUE(list.empty());
+          continue;
+        }
+        simt::Device fresh_dev;
+        knn::BatchedKnn fresh(index.materialize(), mopts.batch);
+        ASSERT_EQ(got, fresh.search_gpu(fresh_dev, queries, k).neighbors)
+            << (ivf_base ? "ivf" : "flat") << " base, k=" << k
+            << ", op=" << op;
+        ASSERT_EQ(index.search_host(queries, k).neighbors, got)
+            << (ivf_base ? "ivf" : "flat") << " base, k=" << k
+            << ", op=" << op;
+      }
+    }
   }
 }
 

@@ -1,0 +1,331 @@
+// Tests for the mutable index: the differential contract (search over the
+// mutated set is byte-identical to a fresh engine over the logically-current
+// rows), upsert/remove semantics, compaction (sync, threshold, async with
+// the stale-epoch abort), and the delta-scaling transfer accounting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <semaphore>
+#include <span>
+#include <vector>
+
+#include "knn/batch.hpp"
+#include "knn/dataset.hpp"
+#include "knn/ivf.hpp"
+#include "knn/mutable.hpp"
+#include "simt/device.hpp"
+#include "util/check.hpp"
+
+namespace gpuksel::knn {
+namespace {
+
+std::span<const float> row_of(const Dataset& data, std::uint32_t i) {
+  return {data.row(i), data.dim};
+}
+
+/// The contract's right-hand side: a fresh exact engine over exactly the
+/// rows the mutable index currently serves.
+std::vector<std::vector<Neighbor>> fresh_answer(MutableKnn& index,
+                                                const Dataset& queries,
+                                                std::uint32_t k) {
+  simt::Device dev;
+  BatchedKnn fresh(index.materialize(), index.options().batch);
+  return fresh.search_gpu(dev, queries, k).neighbors;
+}
+
+void expect_differential(MutableKnn& index, const Dataset& queries,
+                         std::uint32_t k, const char* where) {
+  simt::Device dev;
+  const auto got = index.search(dev, queries, k);
+  EXPECT_EQ(got.neighbors, fresh_answer(index, queries, k)) << where;
+  // And the host mirror agrees (the repo-wide host == GPU contract).
+  EXPECT_EQ(index.search_host(queries, k).neighbors, got.neighbors) << where;
+}
+
+TEST(MutableKnnTest, PureBaseMatchesFreshEngine) {
+  MutableKnn index(make_uniform_dataset(120, 6, 31));
+  const auto queries = make_uniform_dataset(17, 6, 32);
+  expect_differential(index, queries, 5, "pure base");
+}
+
+TEST(MutableKnnTest, UpsertsEnterResultsExactly) {
+  MutableKnn index(make_uniform_dataset(90, 5, 33));
+  const auto extra = make_uniform_dataset(25, 5, 34);
+  for (std::uint32_t i = 0; i < extra.count; ++i) {
+    index.insert(row_of(extra, i));
+  }
+  EXPECT_EQ(index.delta_rows(), 25u);
+  EXPECT_EQ(index.live_rows(), 115u);
+  const auto queries = make_uniform_dataset(13, 5, 35);
+  expect_differential(index, queries, 7, "after inserts");
+}
+
+TEST(MutableKnnTest, RemovedRowsNeverSurface) {
+  MutableKnn index(make_uniform_dataset(80, 4, 36));
+  const auto queries = make_uniform_dataset(11, 4, 37);
+  // Remove rows that are certainly near the queries: every query's current
+  // nearest neighbor.
+  simt::Device dev;
+  const auto before = index.search(dev, queries, 1);
+  const auto& ids = index.live_ids();
+  for (const auto& list : before.neighbors) {
+    ASSERT_FALSE(list.empty());
+    (void)index.remove(ids[list[0].index]);
+  }
+  EXPECT_GT(index.tombstones(), 0u);
+  expect_differential(index, queries, 6, "after removes");
+}
+
+TEST(MutableKnnTest, UpsertReplacesExistingId) {
+  const auto initial = make_uniform_dataset(40, 3, 38);
+  MutableKnn index(initial);
+  // Move row id 7 far away: it must vanish from results near its old spot.
+  const std::vector<float> far(3, 100.0f);
+  index.upsert(7, far);
+  EXPECT_EQ(index.live_rows(), 40u);  // a replace is not a net insert
+  EXPECT_EQ(index.tombstones(), 1u);
+  EXPECT_EQ(index.delta_rows(), 1u);
+  Dataset query;
+  query.count = 1;
+  query.dim = 3;
+  query.values.assign(initial.row(7), initial.row(7) + 3);
+  const auto res = index.search_host(query, 1);
+  const auto& ids = index.live_ids();
+  // The old copy is gone; whoever is nearest now, it holds the new value.
+  EXPECT_NE(ids[res.neighbors[0][0].index], 7u);
+  const auto queries = make_uniform_dataset(9, 3, 39);
+  expect_differential(index, queries, 4, "after replace");
+}
+
+TEST(MutableKnnTest, RemoveUnknownIdIsFalse) {
+  MutableKnn index(make_uniform_dataset(10, 3, 40));
+  EXPECT_FALSE(index.remove(1234));
+  EXPECT_TRUE(index.remove(3));
+  EXPECT_FALSE(index.remove(3));  // already dead
+  EXPECT_EQ(index.stats().removes, 1u);
+}
+
+TEST(MutableKnnTest, FullyDeletedSetServesEmptyLists) {
+  MutableKnn index(make_uniform_dataset(6, 3, 41));
+  for (std::uint32_t id = 0; id < 6; ++id) EXPECT_TRUE(index.remove(id));
+  EXPECT_EQ(index.live_rows(), 0u);
+  const auto queries = make_uniform_dataset(4, 3, 42);
+  simt::Device dev;
+  const auto res = index.search(dev, queries, 3);
+  ASSERT_EQ(res.neighbors.size(), 4u);
+  for (const auto& list : res.neighbors) EXPECT_TRUE(list.empty());
+  EXPECT_EQ(index.search_host(queries, 3).neighbors, res.neighbors);
+}
+
+TEST(MutableKnnTest, KLargerThanLiveReturnsEveryLiveRow) {
+  MutableKnn index(make_uniform_dataset(12, 4, 43));
+  for (std::uint32_t id = 0; id < 8; ++id) EXPECT_TRUE(index.remove(id));
+  const auto extra = make_uniform_dataset(3, 4, 44);
+  for (std::uint32_t i = 0; i < extra.count; ++i) index.insert(row_of(extra, i));
+  EXPECT_EQ(index.live_rows(), 7u);
+  const auto queries = make_uniform_dataset(5, 4, 45);
+  simt::Device dev;
+  const auto res = index.search(dev, queries, 20);
+  for (const auto& list : res.neighbors) EXPECT_EQ(list.size(), 7u);
+  expect_differential(index, queries, 20, "k > live");
+}
+
+TEST(MutableKnnTest, IvfBaseExactRegimeHoldsTheContract) {
+  MutableKnnOptions opts;
+  opts.base = MutableBase::kIvf;
+  opts.ivf.nlist = 8;
+  opts.ivf.nprobe = 8;  // exact regime: every list probed
+  MutableKnn index(make_uniform_dataset(150, 5, 46), opts);
+  const auto extra = make_uniform_dataset(20, 5, 47);
+  for (std::uint32_t i = 0; i < extra.count; ++i) index.insert(row_of(extra, i));
+  for (std::uint32_t id = 0; id < 10; ++id) EXPECT_TRUE(index.remove(id));
+  const auto queries = make_uniform_dataset(12, 5, 48);
+  expect_differential(index, queries, 6, "ivf exact regime");
+}
+
+TEST(MutableKnnTest, CompactFoldsDeltaAndTombstonesIntoTheBase) {
+  MutableKnn index(make_uniform_dataset(70, 4, 49));
+  const auto extra = make_uniform_dataset(15, 4, 50);
+  for (std::uint32_t i = 0; i < extra.count; ++i) index.insert(row_of(extra, i));
+  for (std::uint32_t id = 0; id < 5; ++id) EXPECT_TRUE(index.remove(id));
+  const auto queries = make_uniform_dataset(10, 4, 51);
+  const auto before = fresh_answer(index, queries, 5);
+  const std::uint64_t gen = index.generation();
+  EXPECT_TRUE(index.compact());
+  EXPECT_EQ(index.generation(), gen + 1);
+  EXPECT_EQ(index.delta_rows(), 0u);
+  EXPECT_EQ(index.tombstones(), 0u);
+  EXPECT_EQ(index.base_rows(), 80u);
+  EXPECT_EQ(index.stats().compactions, 1u);
+  // Compaction preserves the logical rows: the answer is unchanged.
+  simt::Device dev;
+  EXPECT_EQ(index.search(dev, queries, 5).neighbors, before);
+  // Ids survive compaction in logical order.
+  const auto& ids = index.live_ids();
+  EXPECT_EQ(ids.size(), 80u);
+  EXPECT_EQ(ids.front(), 5u);  // 0..4 were removed
+  // Nothing left to compact.
+  EXPECT_FALSE(index.compact());
+}
+
+TEST(MutableKnnTest, CompactionRunsOffTheServingDevice) {
+  MutableKnnOptions opts;
+  opts.base = MutableBase::kIvf;  // the IVF rebuild actually launches kernels
+  opts.ivf.nlist = 4;
+  opts.ivf.nprobe = 4;
+  MutableKnn index(make_uniform_dataset(60, 4, 52), opts);
+  const auto extra = make_uniform_dataset(10, 4, 53);
+  for (std::uint32_t i = 0; i < extra.count; ++i) index.insert(row_of(extra, i));
+  const auto queries = make_uniform_dataset(5, 4, 84);
+  simt::Device dev;
+  (void)index.search(dev, queries, 3);
+  const std::uint64_t instr = dev.cumulative().instructions;
+  const std::uint64_t h2d = dev.transfers().bytes_h2d;
+  EXPECT_TRUE(index.compact());
+  // The serving device saw neither a launch nor a byte from the rebuild;
+  // the training work happened on the private compaction device.
+  EXPECT_EQ(dev.cumulative().instructions, instr);
+  EXPECT_EQ(dev.transfers().bytes_h2d, h2d);
+  EXPECT_GT(index.compaction_device().cumulative().instructions, 0u);
+}
+
+TEST(MutableKnnTest, MaybeCompactHonorsThresholds) {
+  MutableKnnOptions opts;
+  opts.min_compact_rows = 16;
+  opts.max_delta_fraction = 0.25;
+  MutableKnn index(make_uniform_dataset(30, 3, 54), opts);
+  const auto extra = make_uniform_dataset(20, 3, 55);
+  // Below every threshold: no compaction.
+  index.insert(row_of(extra, 0));
+  EXPECT_FALSE(index.maybe_compact());
+  // Push the delta fraction over 25%.
+  for (std::uint32_t i = 1; i < 12; ++i) index.insert(row_of(extra, i));
+  EXPECT_TRUE(index.maybe_compact());
+  EXPECT_EQ(index.delta_rows(), 0u);
+  EXPECT_EQ(index.stats().compactions, 1u);
+}
+
+TEST(MutableKnnTest, MinCompactRowsSuppressesSmallSets) {
+  MutableKnnOptions opts;
+  opts.min_compact_rows = 1000;
+  MutableKnn index(make_uniform_dataset(20, 3, 56), opts);
+  const auto extra = make_uniform_dataset(15, 3, 57);
+  for (std::uint32_t i = 0; i < extra.count; ++i) index.insert(row_of(extra, i));
+  EXPECT_FALSE(index.maybe_compact());
+  EXPECT_EQ(index.delta_rows(), 15u);
+}
+
+TEST(MutableKnnTest, AsyncCompactionAdoptsWhenNothingMutated) {
+  MutableKnn index(make_uniform_dataset(50, 4, 58));
+  const auto extra = make_uniform_dataset(10, 4, 59);
+  for (std::uint32_t i = 0; i < extra.count; ++i) index.insert(row_of(extra, i));
+  ASSERT_TRUE(index.compact_async());
+  index.finish_compaction();
+  EXPECT_EQ(index.stats().compactions, 1u);
+  EXPECT_EQ(index.delta_rows(), 0u);
+  const auto queries = make_uniform_dataset(8, 4, 60);
+  expect_differential(index, queries, 5, "after async compaction");
+}
+
+TEST(MutableKnnTest, AsyncCompactionAbortsWhenAMutationLands) {
+  MutableKnn index(make_uniform_dataset(50, 4, 61));
+  const auto extra = make_uniform_dataset(12, 4, 62);
+  for (std::uint32_t i = 0; i + 1 < extra.count; ++i) {
+    index.insert(row_of(extra, i));
+  }
+  // Hold the rebuilt snapshot back until the mutation has landed, pinning
+  // the mutation-before-publication interleaving deterministically.
+  std::binary_semaphore publish_gate{0};
+  index.set_rebuild_hook([&publish_gate] { publish_gate.acquire(); });
+  ASSERT_TRUE(index.compact_async());
+  index.insert(row_of(extra, extra.count - 1));
+  publish_gate.release();
+  index.finish_compaction();
+  EXPECT_EQ(index.stats().compactions, 0u);
+  EXPECT_EQ(index.stats().compactions_aborted, 1u);
+  EXPECT_EQ(index.delta_rows(), 12u);  // nothing was folded
+  const auto queries = make_uniform_dataset(8, 4, 63);
+  expect_differential(index, queries, 5, "after aborted compaction");
+}
+
+TEST(MutableKnnTest, DeltaBytesScaleWithTheDeltaNotTheBase) {
+  // Two indexes with very different base sizes pay *identical* upload bytes
+  // across the upsert/query loop: the base never moves over the link again.
+  std::vector<std::uint64_t> loop_bytes;
+  for (const std::uint32_t base_rows : {64u, 1024u}) {
+    MutableKnn index(make_uniform_dataset(base_rows, 8, 64));
+    const auto queries = make_uniform_dataset(4, 8, 65);
+    simt::Device dev;
+    (void)index.search(dev, queries, 3);  // base upload happens here
+    const auto extra = make_uniform_dataset(6, 8, 66);
+    const std::uint64_t h2d_before = dev.transfers().bytes_h2d;
+    for (std::uint32_t i = 0; i < extra.count; ++i) {
+      index.insert(row_of(extra, i));
+      (void)index.search(dev, queries, 3);
+    }
+    const MutableStats s = index.stats();
+    // Every appended row crossed once (8 floats), nothing else from the
+    // delta path; the identity ties the meter to the sync counters.
+    EXPECT_EQ(s.delta_bytes_uploaded,
+              4u * (s.delta_rows_synced * 8u + s.tombstone_words_synced))
+        << "base_rows=" << base_rows;
+    EXPECT_EQ(s.delta_rows_synced, 6u) << "base_rows=" << base_rows;
+    EXPECT_EQ(s.tombstone_words_synced, 0u);
+    loop_bytes.push_back(dev.transfers().bytes_h2d - h2d_before);
+  }
+  // Query uploads and merge slabs are delta- and k-sized, so the marginal
+  // cost of serving upserts is independent of the base row count.
+  ASSERT_EQ(loop_bytes.size(), 2u);
+  EXPECT_EQ(loop_bytes[0], loop_bytes[1]);
+}
+
+TEST(MutableKnnTest, TombstoneSyncIsOneWordPerKill) {
+  MutableKnn index(make_uniform_dataset(40, 4, 67));
+  const auto queries = make_uniform_dataset(3, 4, 68);
+  simt::Device dev;
+  (void)index.search(dev, queries, 2);
+  EXPECT_TRUE(index.remove(5));
+  (void)index.search(dev, queries, 2);
+  EXPECT_TRUE(index.remove(9));
+  EXPECT_TRUE(index.remove(11));
+  (void)index.search(dev, queries, 2);
+  const MutableStats s = index.stats();
+  EXPECT_EQ(s.tombstone_words_synced, 3u);
+  EXPECT_EQ(s.delta_bytes_uploaded,
+            4u * (s.delta_rows_synced * 4u + s.tombstone_words_synced));
+}
+
+TEST(MutableKnnTest, ServingReusesPooledBlocksAcrossCompaction) {
+  MutableKnn index(make_uniform_dataset(60, 4, 69));
+  const auto queries = make_uniform_dataset(6, 4, 70);
+  const auto extra = make_uniform_dataset(8, 4, 71);
+  simt::Device dev;
+  for (std::uint32_t i = 0; i < extra.count; ++i) index.insert(row_of(extra, i));
+  (void)index.search(dev, queries, 4);
+  EXPECT_TRUE(index.compact());
+  for (std::uint32_t i = 0; i < extra.count; ++i) {
+    index.upsert(1000 + i, row_of(extra, i));
+  }
+  (void)index.search(dev, queries, 4);
+  // The new generation's delta shard and merge slabs landed in recycled
+  // blocks released by the previous generation.
+  EXPECT_GT(dev.pool().stats().blocks_reused, 0u);
+  const auto& p = dev.pool().stats();
+  EXPECT_EQ(p.bytes_requested,
+            p.bytes_served_from_pool + p.bytes_freshly_allocated);
+}
+
+TEST(MutableKnnTest, RejectsMalformedInput) {
+  MutableKnn index(make_uniform_dataset(10, 4, 72));
+  const std::vector<float> short_row(3, 0.0f);
+  EXPECT_THROW(index.upsert(0, short_row), PreconditionError);
+  simt::Device dev;
+  const auto queries = make_uniform_dataset(2, 4, 73);
+  EXPECT_THROW((void)index.search(dev, queries, 0), PreconditionError);
+  const auto wrong_dim = make_uniform_dataset(2, 5, 74);
+  EXPECT_THROW((void)index.search(dev, wrong_dim, 3), PreconditionError);
+  EXPECT_THROW(MutableKnn(Dataset{}, {}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace gpuksel::knn

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -740,6 +741,146 @@ TEST(ShardMergeTest, MergesRaggedPartialsWithSentinelPadding) {
   EXPECT_EQ(out.neighbors[1],
             (std::vector<Neighbor>{{0.1f, 9u}, {0.2f, 11u}}));
   EXPECT_GT(out.metrics.instructions, 0u);
+}
+
+// --- mutable sharded serving ------------------------------------------------
+
+ShardedKnnOptions mutable_options(std::uint32_t num_shards) {
+  ShardedKnnOptions opts = sharded_options(num_shards);
+  opts.index_type = IndexType::kMutable;
+  opts.mutable_index.min_compact_rows = 48;
+  return opts;
+}
+
+/// Host-side model of the logically-current rows, keyed by global id.
+/// std::map keeps ids sorted, so the reference engine's row order is the
+/// id order and result positions map straight back to ids.
+using LiveModel = std::map<std::uint32_t, std::vector<float>>;
+
+std::vector<std::vector<Neighbor>> model_reference(const LiveModel& model,
+                                                   std::uint32_t dim,
+                                                   const knn::Dataset& queries,
+                                                   std::uint32_t k) {
+  knn::Dataset refs;
+  refs.dim = dim;
+  refs.count = static_cast<std::uint32_t>(model.size());
+  std::vector<std::uint32_t> ids;
+  for (const auto& [id, row] : model) {
+    ids.push_back(id);
+    refs.values.insert(refs.values.end(), row.begin(), row.end());
+  }
+  simt::Device dev;
+  const knn::BruteForceKnn engine(std::move(refs));
+  auto lists = engine.search_gpu(dev, queries, k).neighbors;
+  for (auto& list : lists) {
+    for (Neighbor& n : list) n.index = ids[n.index];
+  }
+  return lists;
+}
+
+TEST(ShardedMutableTest, StreamingMutationsMatchTheIdOrderedReference) {
+  // A mixed stream of replaces, minted inserts and removes over a 3-shard
+  // mutable deployment: after every batch the sharded answer (global ids)
+  // must match a brute-force engine over the live rows in id order.
+  const std::uint32_t n = 60, dim = 5;
+  Rng rng(0x3de5);
+  const knn::Dataset initial = knn::make_uniform_dataset(n, dim, 0xb0);
+  const knn::Dataset queries = knn::make_uniform_dataset(11, dim, 0xb1);
+  ShardedKnn engine(initial, mutable_options(3));
+  LiveModel model;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    model[i] = {initial.row(i), initial.row(i) + dim};
+  }
+  EXPECT_EQ(engine.search(queries, 7).neighbors,
+            model_reference(model, dim, queries, 7));
+
+  std::vector<float> row(dim);
+  for (int batch = 0; batch < 6; ++batch) {
+    for (int op = 0; op < 8; ++op) {
+      for (auto& v : row) v = rng.uniform_float();
+      const auto kind = rng.uniform_below(4);
+      if (kind == 0 && !model.empty()) {
+        // replace a random live id (initial or minted — routing must stick)
+        auto it = model.begin();
+        std::advance(it, rng.uniform_below(model.size()));
+        engine.upsert(it->first, row);
+        it->second = row;
+      } else if (kind == 1 && model.size() > 20) {
+        auto it = model.begin();
+        std::advance(it, rng.uniform_below(model.size()));
+        EXPECT_TRUE(engine.remove(it->first));
+        model.erase(it);
+      } else {
+        const std::uint32_t id = engine.insert(row);
+        EXPECT_FALSE(model.contains(id)) << "minted id must be fresh";
+        model[id] = row;
+      }
+    }
+    EXPECT_EQ(engine.live_rows(), model.size());
+    EXPECT_EQ(engine.search(queries, 7).neighbors,
+              model_reference(model, dim, queries, 7))
+        << "batch " << batch;
+  }
+  // An initial-range id stays routable after death (remove is idempotent),
+  // but an id insert() never minted has no owning shard — that is an error.
+  if (model.contains(0)) {
+    EXPECT_TRUE(engine.remove(0));
+    model.erase(0);
+  }
+  EXPECT_FALSE(engine.remove(0));
+  EXPECT_THROW((void)engine.remove(0xdeadu), PreconditionError);
+}
+
+TEST(ShardedMutableTest, MintedIdsRouteToTheLeastLiveShardAndStick) {
+  const std::uint32_t n = 30, dim = 4;
+  const knn::Dataset initial = knn::make_uniform_dataset(n, dim, 0xb2);
+  ShardedKnn engine(initial, mutable_options(3));
+  // Drain shard 1's initial slice (ids 10..19) to make it the least-live.
+  for (std::uint32_t id = 10; id < 18; ++id) EXPECT_TRUE(engine.remove(id));
+  const std::vector<float> row(dim, 0.25f);
+  const std::uint32_t minted = engine.insert(row);
+  EXPECT_EQ(minted, n);  // ids continue after the initial range
+  const std::uint32_t before = engine.shard(1).rows();
+  // The fresh insert landed on the drained shard, and a replace of the
+  // minted id must not migrate it.
+  EXPECT_EQ(before, 3u);  // 2 initial survivors + the minted row
+  engine.upsert(minted, std::vector<float>(dim, 0.75f));
+  EXPECT_EQ(engine.shard(1).rows(), before);
+  EXPECT_TRUE(engine.remove(minted));
+  EXPECT_EQ(engine.shard(1).rows(), before - 1);
+}
+
+TEST(ShardedMutableTest, ReportCarriesMutableAndPoolSections) {
+  const knn::Dataset initial = knn::make_uniform_dataset(40, 4, 0xb3);
+  const knn::Dataset queries = knn::make_uniform_dataset(6, 4, 0xb4);
+  ShardedKnn engine(initial, mutable_options(2));
+  const std::vector<float> row(4, 0.5f);
+  (void)engine.insert(row);
+  EXPECT_TRUE(engine.remove(3));
+  (void)engine.search(queries, 5);
+  std::ostringstream os;
+  engine.write_shard_report(os);
+  const std::string report = os.str();
+  EXPECT_NE(report.find("\"index_type\": \"mutable\""), std::string::npos);
+  EXPECT_NE(report.find("\"live_rows\""), std::string::npos);
+  EXPECT_NE(report.find("\"mutable\""), std::string::npos);
+  EXPECT_NE(report.find("\"delta_rows\""), std::string::npos);
+  EXPECT_NE(report.find("\"pool\""), std::string::npos);
+  EXPECT_NE(report.find("\"bytes_served_from_pool\""), std::string::npos);
+  // The pool accounting partition holds on every serving device.
+  for (std::uint32_t s = 0; s < engine.num_shards(); ++s) {
+    const simt::PoolStats& p = engine.shard(s).device().pool().stats();
+    EXPECT_EQ(p.bytes_requested,
+              p.bytes_served_from_pool + p.bytes_freshly_allocated)
+        << "shard " << s;
+  }
+}
+
+TEST(ShardedMutableTest, RefusesAnIvfBase) {
+  ShardedKnnOptions opts = mutable_options(2);
+  opts.mutable_index.base = knn::MutableBase::kIvf;
+  EXPECT_THROW(ShardedKnn(knn::make_uniform_dataset(20, 3, 0xb5), opts),
+               PreconditionError);
 }
 
 TEST(ShardMergeTest, RejectsMismatchedShardQueryCounts) {
